@@ -1,0 +1,61 @@
+"""Ablation of the §3.2/§3.3 optimization ladder.
+
+DESIGN.md calls out each transaction refinement as a design choice; this
+bench measures every Cuttlesim optimization level (O0 naive ... O5 fully
+analyzed) on a conflict-light design (rv32i: everything provably safe, so
+O5 sheds all tracking) and a conflict-heavy one (collatz: contending rules
+keep dynamic checks).
+"""
+
+import pytest
+
+from conftest import CYCLES, WORKLOADS, get_design
+from repro.cuttlesim import compile_model
+
+DESIGNS = ["collatz", "rv32i-primes"]
+LEVELS = list(range(6)) + ["5s"]   # "5s" = O5 + the AST simplifier
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("opt", LEVELS)
+def test_ablation(benchmark, name, opt):
+    benchmark.group = f"ablation:{name}"
+    cycles = CYCLES[name]
+    simplify = opt == "5s"
+    level = 5 if simplify else opt
+
+    def setup():
+        design = get_design(name)
+        cls = compile_model(design, opt=level, simplify=simplify,
+                            warn_goldberg=False)
+        return (cls(WORKLOADS[name][1]()),), {}
+
+    benchmark.pedantic(lambda sim: sim.run(cycles), setup=setup,
+                       rounds=3, iterations=1)
+    rate = round(cycles / benchmark.stats.stats.mean)
+    benchmark.extra_info.update({"design": name, "opt_level": f"O{opt}",
+                                 "cycles_per_second": rate})
+    _RESULTS[(name, opt)] = rate
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    print("\n\nOptimization-ladder ablation — cycles/second "
+          "(speedup vs the naive O0 model)")
+    header = f"{'design':<14}" + "".join(f"{'O' + str(o):>10}" for o in LEVELS)
+    print(header)
+    print("-" * len(header))
+    for name in DESIGNS:
+        if (name, 0) not in _RESULTS:
+            continue
+        base = _RESULTS[(name, 0)]
+        row = f"{name:<14}"
+        for opt in LEVELS:
+            rate = _RESULTS.get((name, opt))
+            row += f"{rate:>10}" if rate else f"{'-':>10}"
+        print(row)
+        print(f"{'  (vs O0)':<14}" + "".join(
+            f"{_RESULTS[(name, o)] / base:>9.2f}x" for o in LEVELS
+            if (name, o) in _RESULTS))

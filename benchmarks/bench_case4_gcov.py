@@ -1,0 +1,82 @@
+"""Case study 4's quantitative side: coverage-derived counters.
+
+Runs the branchy workload on the baseline (pc+4) and BTB+BHT cores with
+instrumented models, and reports the misprediction and stall counts that
+the paper reads off Gcov output (2,071,903 -> 165,753 mispredictions on
+their workload; scaled here).  Also measures the instrumentation overhead
+itself (instrumented vs plain models), since "low effort and high speed"
+is part of the claim.
+"""
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.debug import CoverageReport
+from repro.designs import build_rv32i, build_rv32i_bp, make_core_env, \
+    run_program
+from repro.riscv import assemble
+from repro.riscv.programs import branchy_source
+
+PROGRAM = assemble(branchy_source(300))
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("label,builder", [
+    ("baseline", build_rv32i),
+    ("bp", build_rv32i_bp),
+])
+def test_gcov_counts(benchmark, label, builder):
+    benchmark.group = "case4:gcov"
+    design = builder()
+    cls = compile_model(design, opt=5, instrument=True, warn_goldberg=False)
+
+    def run_instrumented():
+        env = make_core_env(PROGRAM)
+        model = cls(env)
+        result, cycles = run_program(model, env, max_cycles=100_000)
+        return model, cycles
+
+    model, cycles = benchmark.pedantic(run_instrumented, rounds=2,
+                                       iterations=1)
+    coverage = CoverageReport(model)
+    row = {
+        "cycles": cycles,
+        "mispredictions": coverage.count_for_tag("mispredict"),
+        "decode_failures": coverage.rule_failures("decode"),
+        "fetch_commits": coverage.rule_commits("fetch"),
+    }
+    benchmark.extra_info.update(row)
+    _RESULTS[label] = row
+
+
+@pytest.mark.parametrize("mode", ["plain", "instrumented"])
+def test_instrumentation_overhead(benchmark, mode):
+    benchmark.group = "case4:overhead"
+    design = build_rv32i()
+    cls = compile_model(design, opt=5, instrument=(mode == "instrumented"),
+                        warn_goldberg=False)
+
+    def setup():
+        return (cls(make_core_env(PROGRAM)),), {}
+
+    benchmark.pedantic(lambda model: model.run(3000), setup=setup,
+                       rounds=3, iterations=1)
+    benchmark.extra_info["mode"] = mode
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    print("\n\nCase study 4 (reproduction) — coverage-derived counters")
+    header = (f"{'core':<10}{'cycles':>8}{'mispredicts':>13}"
+              f"{'decode fails':>14}{'fetch commits':>15}")
+    print(header)
+    print("-" * len(header))
+    for label, row in _RESULTS.items():
+        print(f"{label:<10}{row['cycles']:>8}{row['mispredictions']:>13}"
+              f"{row['decode_failures']:>14}{row['fetch_commits']:>15}")
+    if {"baseline", "bp"} <= set(_RESULTS):
+        ratio = (_RESULTS["baseline"]["mispredictions"]
+                 / max(1, _RESULTS["bp"]["mispredictions"]))
+        print(f"misprediction reduction: {ratio:.1f}x "
+              "(paper: 2,071,903 -> 165,753, 12.5x, different workload)")

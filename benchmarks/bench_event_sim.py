@@ -1,0 +1,52 @@
+"""§4.1's side remark: "Other simulators that we benchmarked against (CVC
+and Icarus) were orders of magnitude slower than Verilator."
+
+Compares the event-driven netlist simulator (the Icarus analogue) against
+the compiled cycle simulator and Cuttlesim on small designs, with reduced
+cycle budgets (the event-driven simulator really is that slow).
+"""
+
+import pytest
+
+from conftest import WORKLOADS, get_design
+from repro.harness import make_simulator
+
+DESIGNS = ["collatz", "fir", "rv32i-primes"]
+EVENT_CYCLES = {"collatz": 2_000, "fir": 1_500, "rv32i-primes": 300}
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("backend", ["cuttlesim", "rtl-cycle", "rtl-event"])
+def test_event_sim(benchmark, name, backend):
+    benchmark.group = f"event:{name}"
+    cycles = EVENT_CYCLES[name]
+
+    def setup():
+        env = WORKLOADS[name][1]()
+        return (make_simulator(get_design(name), backend=backend,
+                               env=env),), {}
+
+    benchmark.pedantic(lambda sim: sim.run(cycles), setup=setup,
+                       rounds=2, iterations=1)
+    rate = round(cycles / benchmark.stats.stats.mean)
+    benchmark.extra_info.update({"design": name, "backend": backend,
+                                 "cycles_per_second": rate})
+    _RESULTS[(name, backend)] = rate
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    print("\n\nEvent-driven simulation (Icarus analogue) — cycles/second")
+    header = (f"{'design':<14}{'cuttlesim':>11}{'rtl-cycle':>11}"
+              f"{'rtl-event':>11}{'cycle/event':>13}")
+    print(header)
+    print("-" * len(header))
+    for name in DESIGNS:
+        cut = _RESULTS.get((name, "cuttlesim"))
+        cyc = _RESULTS.get((name, "rtl-cycle"))
+        evt = _RESULTS.get((name, "rtl-event"))
+        if None in (cut, cyc, evt):
+            continue
+        print(f"{name:<14}{cut:>11}{cyc:>11}{evt:>11}{cyc / evt:>12.1f}x")

@@ -1,0 +1,146 @@
+"""Supplementary benchmarks for the extension designs (beyond the paper's
+Table 1): the RV32IM core and the UART loopback — both control-heavy, so
+Cuttlesim's advantage should resemble the CPU-core rows of Figure 1."""
+
+import pytest
+
+from repro.designs import build_rv32i, build_rv32i_bypass, build_rv32im
+from repro.designs.uart import build_uart, make_uart_env
+from repro.designs.rv32 import RV32MemoryDevice
+from repro.harness import Environment, make_simulator
+from repro.riscv import assemble
+from repro.riscv.programs import matmul_source
+
+_RESULTS = {}
+
+
+def _im_env():
+    env = Environment()
+    env.add_device(RV32MemoryDevice(assemble(matmul_source(4)), ""))
+    return env
+
+
+WORKLOADS = {
+    "rv32im-matmul": (build_rv32im, _im_env, 3000),
+    "uart-loopback": (build_uart,
+                      lambda: make_uart_env(list(range(64))), 4000),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+@pytest.mark.parametrize("backend", ["cuttlesim", "rtl-cycle"])
+def test_extension(benchmark, name, backend):
+    benchmark.group = f"ext:{name}"
+    builder, env_factory, cycles = WORKLOADS[name]
+    design = builder()
+
+    def setup():
+        return (make_simulator(design, backend=backend,
+                               env=env_factory()),), {}
+
+    benchmark.pedantic(lambda sim: sim.run(cycles), setup=setup,
+                       rounds=3, iterations=1)
+    rate = round(cycles / benchmark.stats.stats.mean)
+    benchmark.extra_info.update({"design": name, "backend": backend,
+                                 "cycles_per_second": rate})
+    _RESULTS[(name, backend)] = rate
+
+
+DEPENDENT_CHAIN = """
+    li   a0, 1
+    li   s1, 200
+    li   s0, 0
+loop:
+    addi a0, a0, 3
+    xori a0, a0, 5
+    addi a0, a0, 7
+    slli a1, a0, 1
+    add  a0, a0, a1
+    addi s0, s0, 1
+    bltu s0, s1, loop
+    li   t2, 0x40000000
+    sw   a0, 0(t2)
+halt:
+    j halt
+"""
+
+_CYCLES = {}
+
+
+@pytest.mark.parametrize("label,builder", [
+    ("rv32i", build_rv32i), ("rv32i-bypass", build_rv32i_bypass),
+])
+def test_bypass_exploration(benchmark, label, builder):
+    """Case study 4's follow-up: how much do the missing bypass paths
+    cost on back-to-back dependent arithmetic?"""
+    from repro.designs import make_core_env, run_program
+    from repro.cuttlesim import compile_model
+
+    benchmark.group = "ext:bypass-exploration"
+    program = assemble(DEPENDENT_CHAIN)
+    cls = compile_model(builder(), opt=5, warn_goldberg=False)
+
+    def run_to_halt():
+        env = make_core_env(program)
+        return run_program(cls(env), env, max_cycles=100_000)
+
+    result, cycles = benchmark.pedantic(run_to_halt, rounds=2, iterations=1)
+    benchmark.extra_info.update({"core": label, "cycles": cycles})
+    _CYCLES[label] = cycles
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    if {"cache:uncached", "cache:cached"} <= set(_CYCLES):
+        plain, cached = _CYCLES["cache:uncached"], _CYCLES["cache:cached"]
+        print(f"\n\nCache exploration (primes, memory latency 4): "
+              f"{plain} -> {cached} cycles "
+              f"({plain / cached:.1f}x with I+D caches)")
+    if {"rv32i", "rv32i-bypass"} <= set(_CYCLES):
+        base, bypass = _CYCLES["rv32i"], _CYCLES["rv32i-bypass"]
+        print(f"\n\nBypass exploration (dependent-arithmetic workload): "
+              f"{base} -> {bypass} cycles "
+              f"({100 * (base - bypass) / base:.0f}% fewer)")
+    print("\nExtension designs — cycles/second")
+    for name in WORKLOADS:
+        cut = _RESULTS.get((name, "cuttlesim"))
+        rtl = _RESULTS.get((name, "rtl-cycle"))
+        if cut and rtl:
+            print(f"  {name:<16} cuttlesim {cut:>9} | rtl {rtl:>9} | "
+                  f"{cut / rtl:.2f}x")
+
+
+@pytest.mark.parametrize("label", ["uncached", "cached"])
+def test_cache_exploration(benchmark, label):
+    """Caches vs a latency-4 main memory: the architectural payoff."""
+    from repro.cuttlesim import compile_model
+    from repro.designs import build_rv32i as _build_plain
+    from repro.designs.rv32.cache import build_rv32i_cached, make_cached_env
+    from repro.designs import make_core_env, run_program
+    from repro.riscv import assemble as _assemble
+    from repro.riscv.programs import primes_source
+
+    benchmark.group = "ext:cache-exploration"
+    program = _assemble(primes_source(40))
+    if label == "cached":
+        cls = compile_model(build_rv32i_cached(icache_lines=16), opt=5,
+                            warn_goldberg=False)
+
+        def run_to_halt():
+            env = make_cached_env(program, latency=4)
+            device = env.devices[0]
+            model = cls(env)
+            model.run_until(lambda _s: device.halted, max_cycles=300_000)
+            return device.tohost, model.cycle
+    else:
+        cls = compile_model(_build_plain(), opt=5, warn_goldberg=False)
+
+        def run_to_halt():
+            env = make_core_env(program, latency=4)
+            return run_program(cls(env), env, max_cycles=300_000)
+
+    result, cycles = benchmark.pedantic(run_to_halt, rounds=2, iterations=1)
+    benchmark.extra_info.update({"core": label, "cycles": cycles,
+                                 "memory_latency": 4})
+    _CYCLES[f"cache:{label}"] = cycles

@@ -1,0 +1,40 @@
+"""Figure 1: Cuttlesim vs Verilator-on-Kôika-generated-Verilog.
+
+Runtime (and cycles/second, in ``extra_info``) for every Table 1 design on
+the two pipelines the paper compares:
+
+* ``cuttlesim``  — the paper's compiler (O5 models);
+* ``rtl-cycle``  — the Verilator analogue simulating the Kôika lowering.
+
+Expected shape (paper §4.1 Q1): multiple-times speedups on control-heavy
+designs (the CPU cores), a narrow gap on combinational ones (fir).
+"""
+
+import pytest
+
+from conftest import WORKLOADS, bench_cycles
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+@pytest.mark.parametrize("backend", ["cuttlesim", "rtl-cycle"])
+def test_fig1(benchmark, name, backend):
+    benchmark.group = f"fig1:{name}"
+    bench_cycles(benchmark, name, backend)
+    _RESULTS[(name, backend)] = benchmark.extra_info["cycles_per_second"]
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    print("\n\nFigure 1 (reproduction) — cycles/second and speedup")
+    header = f"{'design':<16}{'cuttlesim':>12}{'verilator-koika':>17}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for name in WORKLOADS:
+        cut = _RESULTS.get((name, "cuttlesim"))
+        rtl = _RESULTS.get((name, "rtl-cycle"))
+        if cut is None or rtl is None:
+            continue
+        print(f"{name:<16}{cut:>12}{rtl:>17}{cut / rtl:>8.2f}x")

@@ -1,0 +1,46 @@
+"""Figure 2: models of equivalent Bluespec and Kôika designs.
+
+The paper benchmarks Verilator on bsc-generated Verilog against Verilator
+on Kôika-generated Verilog (plus Cuttlesim): the two compilers' circuits
+simulate "roughly within a factor two" of each other.  Our analogue:
+
+* ``rtl-cycle``    — compiled simulation of the Kôika lowering (dynamic
+  read-write-set circuits);
+* ``rtl-bluespec`` — compiled simulation of the bsc-style lowering
+  (static conflict-matrix scheduling, leaner conflict logic);
+* ``cuttlesim``    — for reference, as in the figure.
+"""
+
+import pytest
+
+from conftest import WORKLOADS, bench_cycles
+
+DESIGNS = ["fir", "fft", "rv32i-primes"]
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("backend", ["cuttlesim", "rtl-cycle",
+                                     "rtl-bluespec"])
+def test_fig2(benchmark, name, backend):
+    benchmark.group = f"fig2:{name}"
+    bench_cycles(benchmark, name, backend)
+    _RESULTS[(name, backend)] = benchmark.extra_info["cycles_per_second"]
+
+
+def teardown_module(module):
+    if not _RESULTS:
+        return
+    print("\n\nFigure 2 (reproduction) — cycles/second")
+    header = (f"{'design':<14}{'cuttlesim':>11}{'verilator-koika':>17}"
+              f"{'verilator-bluespec':>20}{'koika/bsv':>11}")
+    print(header)
+    print("-" * len(header))
+    for name in DESIGNS:
+        cut = _RESULTS.get((name, "cuttlesim"))
+        koika = _RESULTS.get((name, "rtl-cycle"))
+        bsv = _RESULTS.get((name, "rtl-bluespec"))
+        if None in (cut, koika, bsv):
+            continue
+        print(f"{name:<14}{cut:>11}{koika:>17}{bsv:>20}"
+              f"{koika / bsv:>10.2f}x")

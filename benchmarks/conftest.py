@@ -1,0 +1,95 @@
+"""Shared workload definitions for the benchmark suite.
+
+Every figure/table benchmark draws from one registry so designs, cycle
+budgets, and environments are consistent across files.  Budgets are scaled
+down from the paper's 10^9-cycle runs (pure-Python models run at
+10^4-10^6 cycles/s); see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.designs import (
+    build_collatz, build_fft, build_fir, build_rv32e, build_rv32i,
+    build_rv32i_bp, build_rv32i_mc,
+)
+from repro.designs.rv32 import RV32MemoryDevice
+from repro.harness import Environment, make_simulator
+from repro.riscv import assemble
+from repro.riscv.programs import primes_source
+
+#: Cycle budgets per benchmark (scaled-down stand-ins for the paper's 1G).
+CYCLES = {
+    "collatz": 40_000,
+    "fir": 15_000,
+    "fft": 5_000,
+    "rv32e-primes": 4_000,
+    "rv32i-primes": 4_000,
+    "rv32i-bp-primes": 4_000,
+    "rv32i-mc-primes": 2_000,
+}
+
+_PRIMES = primes_source(200)
+
+
+def _fir_env():
+    return Environment({"get_sample": lambda _: 0x12345678,
+                        "put_result": lambda _v: 0})
+
+
+def _fft_env():
+    return Environment({"get_sample": lambda k: (k * 2654435761) & 0xFFFF,
+                        "put_result": lambda _v: 0})
+
+
+def _core_env(prefixes=("",), max_reg=32):
+    program = assemble(_PRIMES, max_reg=max_reg)
+    env = Environment()
+    for prefix in prefixes:
+        env.add_device(RV32MemoryDevice(program, prefix))
+    return env
+
+
+#: name -> (design builder, environment factory).  Table 1's rows.
+WORKLOADS = {
+    "collatz": (build_collatz, Environment),
+    "fir": (build_fir, _fir_env),
+    "fft": (lambda: build_fft(8), _fft_env),
+    "rv32e-primes": (build_rv32e, lambda: _core_env(max_reg=16)),
+    "rv32i-primes": (build_rv32i, _core_env),
+    "rv32i-bp-primes": (build_rv32i_bp, _core_env),
+    "rv32i-mc-primes": (build_rv32i_mc, lambda: _core_env(("c0_", "c1_"))),
+}
+
+#: Design caches (building + compiling once per session).
+_design_cache = {}
+
+
+def get_design(name):
+    if name not in _design_cache:
+        _design_cache[name] = WORKLOADS[name][0]()
+    return _design_cache[name]
+
+
+def make_sim(name, backend, **kwargs):
+    builder, env_factory = WORKLOADS[name]
+    return make_simulator(get_design(name), backend=backend,
+                          env=env_factory(), **kwargs)
+
+
+def bench_cycles(benchmark, name, backend, rounds=3, **kwargs):
+    """Benchmark ``sim.run(CYCLES[name])`` with a fresh sim per round;
+    records cycles/second in ``extra_info`` (Figure 1's right panel)."""
+    cycles = CYCLES[name]
+
+    def setup():
+        return (make_sim(name, backend, **kwargs),), {}
+
+    def run(sim):
+        sim.run(cycles)
+
+    benchmark.pedantic(run, setup=setup, rounds=rounds, iterations=1)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["cycles_per_second"] = \
+        round(cycles / benchmark.stats.stats.mean)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["design"] = name

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Case study 4: branch-prediction exploration with coverage as the
+profiler.  Compares the baseline (pc + 4) core against the BTB + BHT
+variant on a branchy workload and reads the architectural numbers straight
+off the generated model's execution counts — "without adding a single
+piece of counting hardware".
+
+Run:  python examples/branch_prediction.py
+"""
+
+from repro.cuttlesim import compile_model
+from repro.debug import CoverageReport, annotate_source
+from repro.designs import (build_rv32i, build_rv32i_bp, make_core_env,
+                           run_program)
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import branchy_source
+
+
+def measure(builder, program):
+    design = builder()
+    model_cls = compile_model(design, opt=5, instrument=True,
+                              warn_goldberg=False)
+    env = make_core_env(program)
+    model = model_cls(env)
+    result, cycles = run_program(model, env, max_cycles=200_000)
+    coverage = CoverageReport(model)
+    return {
+        "model": model,
+        "result": result,
+        "cycles": cycles,
+        "mispredicts": coverage.count_for_tag("mispredict"),
+        "stalls": coverage.rule_failures("decode"),
+    }
+
+
+def main() -> None:
+    program = assemble(branchy_source(300))
+    golden = GoldenModel(program)
+    expected = golden.run()
+    instructions = golden.instructions_executed
+
+    baseline = measure(build_rv32i, program)
+    predicted = measure(build_rv32i_bp, program)
+    assert baseline["result"] == predicted["result"] == expected
+
+    print(f"workload: {instructions} instructions, result {expected}\n")
+    header = f"{'':<22}{'baseline (pc+4)':>17}{'bp (BTB+BHT)':>15}"
+    print(header)
+    print("-" * len(header))
+    for key, label in (("cycles", "cycles"),
+                       ("mispredicts", "mispredictions"),
+                       ("stalls", "decode failures")):
+        print(f"{label:<22}{baseline[key]:>17}{predicted[key]:>15}")
+    print(f"{'IPC':<22}{instructions / baseline['cycles']:>17.2f}"
+          f"{instructions / predicted['cycles']:>15.2f}")
+    reduction = baseline["mispredicts"] / max(1, predicted["mispredicts"])
+    print(f"\nmisprediction reduction: {reduction:.1f}x")
+    print("(paper, on its own workload: 2,071,903 -> 165,753)")
+
+    print("\n=== gcov-style annotated execute stage (bp core) ===")
+    listing = annotate_source(predicted["model"], only_rule="execute")
+    for line in listing.splitlines():
+        if "mispredict" in line or "nextpc" in line.lower():
+            print(line)
+    print("\n('From the same Gcov run, we also learn that decoding is often")
+    print(" stalled by the scoreboard' — see the decode failures above.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Case study 1, interactively: debugging a deadlock in a 2-core MSI
+cache-coherence system with the gdb/rr-analogue debugger.
+
+The buggy design's downgrade-acknowledge rule writes the ack wire at port
+1 instead of port 0.  The parent's confirm rule reads that wire at port 1
+in the same cycle — and a same-cycle write at port 1 makes that read
+fail, every cycle, forever.
+
+Run:  python examples/msi_deadlock_debugging.py
+"""
+
+from repro.debug import Debugger
+from repro.designs import build_msi, make_msi_env
+
+SCRIPT = [
+    (1, "write", 2, 0xAAAA),   # core 1 takes line 2 in Modified
+    (0, "write", 2, 0xBBBB),   # core 0 upgrades I -> M: downgrade needed
+]
+
+
+def main() -> None:
+    print("running the BUGGY coherence system...")
+    debugger = Debugger(build_msi(bug=True), make_msi_env(SCRIPT))
+    debugger.run_cycles(80)
+
+    print("\n(gdb) print relevant state    # pretty-printed automatically")
+    for register in ("c0_mshr", "c1_mshr", "p_state"):
+        print(f"  {register:<10} = {debugger.format_register(register)}")
+    print("\n-> Core 0 is stuck in WaitFillResp; the parent is stuck in")
+    print("   ConfirmDowngrades.  Why does confirm_downgrades never run?")
+
+    print("\n(gdb) break FAIL if rule == parent_confirm_downgrades")
+    print("(gdb) continue")
+    debugger.break_on_fail(rule="parent_confirm_downgrades")
+    hit = debugger.continue_()
+    print(f"  {hit!r}")
+    print(f"\n-> The failure is a CONFLICT on {hit.register}, operation "
+          f"{hit.operation} —")
+    print("   not an explicit abort.  Some earlier rule did something this")
+    print("   read at port 1 cannot coexist with.")
+
+    print("\n(gdb) watch -l c1_ack_valid ; reverse-continue   # rr-style")
+    cycle, write_event = debugger.find_last_write("c1_ack_valid")
+    print(f"  previous write: cycle {cycle}, {write_event!r}")
+    print(f"\n-> There it is: the write is at PORT {write_event.port}.")
+    print("   An accidental wr1 instead of wr0 — a port-1 write conflicts")
+    print("   with the parent's same-cycle port-1 read.  Fix: wr0.")
+
+    print("\nrunning the FIXED system on the same script...")
+    from repro.cuttlesim import compile_model
+
+    fixed = compile_model(build_msi(bug=False), opt=5, warn_goldberg=False)
+    env = make_msi_env(SCRIPT + [(1, "read", 2, 0)])
+    driver = env.devices[0]
+    model = fixed(env)
+    model.run_until(lambda s: driver.all_done, max_cycles=2000)
+    print(f"  completed in {model.cycle} cycles; core 1 reads back "
+          f"0x{driver.reads[1][0]:X} (core 0's write) — coherent.")
+
+
+if __name__ == "__main__":
+    main()

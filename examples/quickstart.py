@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: write a Kôika design, simulate it on every backend, and
+read the model Cuttlesim generates for it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import C, Design, Environment, Let, V, guard, make_simulator, seq
+from repro.cuttlesim import compile_model
+from repro.koika import pretty_design
+
+
+def build_gcd() -> Design:
+    """A classic: two registers converge to their GCD, one subtraction per
+    cycle.  Two mutually exclusive rules contend on the registers."""
+    design = Design("gcd")
+    a = design.reg("a", 16, init=270)
+    b = design.reg("b", 16, init=192)
+    design.rule("sub_a", seq(
+        guard((a.rd0() > b.rd0()) & (b.rd0() != C(0, 16))),
+        a.wr0(a.rd0() - b.rd0()),
+    ))
+    design.rule("sub_b", seq(
+        guard((b.rd0() > a.rd0()) & (a.rd0() != C(0, 16))),
+        b.wr0(b.rd0() - a.rd0()),
+    ))
+    design.schedule("sub_a", "sub_b")
+    return design.finalize()
+
+
+def main() -> None:
+    design = build_gcd()
+
+    print("=== The design, pretty-printed (Kôika surface syntax) ===")
+    print(pretty_design(design))
+
+    print("\n=== One design, five simulators ===")
+    for backend in ("interp", "cuttlesim", "rtl-cycle", "rtl-event",
+                    "rtl-bluespec"):
+        sim = make_simulator(design, backend=backend, env=Environment())
+        cycles = sim.run_until(lambda s: s.peek("a") == s.peek("b")
+                               or min(s.peek("a"), s.peek("b")) == 0,
+                               max_cycles=1000)
+        print(f"{backend:>14}: gcd(270, 192) = {sim.peek('a'):>3} "
+              f"after {cycles} cycles")
+
+    print("\n=== The generated Cuttlesim model (the paper's §2.3 story:")
+    print("    readable, early-exit, matches the design line for line) ===")
+    model_cls = compile_model(design, opt=5)
+    source = model_cls.SOURCE
+    start = source.index("def rule_sub_a")
+    end = source.index("def _cycle(")
+    print(source[start:end])
+
+    print("=== What the static analysis proved ===")
+    print(model_cls.ANALYSIS.summary())
+
+
+if __name__ == "__main__":
+    main()

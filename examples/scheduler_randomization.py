@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Case study 2: functional verification with scheduler randomization.
+
+"A good rule-based design should use its scheduler for performance, but
+not for functional correctness."  With a Cuttlesim model this check is one
+loop: call the rules in a random order each cycle and confirm the design
+still computes the same results.
+
+Run:  python examples/scheduler_randomization.py
+"""
+
+from repro.debug import randomized_trials
+from repro.designs import build_rv32i, make_core_env
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import primes_source
+
+TRIALS = 8
+
+
+def main() -> None:
+    program = assemble(primes_source(30))
+    expected = GoldenModel(program).run()
+    print(f"reference result: {expected} primes below 30\n")
+
+    print(f"running {TRIALS} trials of rv32i with per-cycle random rule "
+          f"orders...")
+    observations = randomized_trials(
+        build_rv32i(),
+        env_factory=lambda: make_core_env(program),
+        until=lambda model, env: env.devices[0].halted,
+        observe=lambda model, env: (env.devices[0].tohost, model.cycle),
+        trials=TRIALS, max_cycles=500_000)
+
+    for trial, (result, cycles) in enumerate(observations):
+        marker = "ok" if result == expected else "MISMATCH"
+        print(f"  trial {trial}: result={result} cycles={cycles}  [{marker}]")
+
+    results = {result for result, _ in observations}
+    cycle_counts = {cycles for _, cycles in observations}
+    assert results == {expected}, "order-dependence detected!"
+    print(f"\nall {TRIALS} schedules computed {expected}; cycle counts "
+          f"varied over {sorted(cycle_counts)}")
+    print("-> the design is functionally schedule-independent (the")
+    print("   scheduler only affects performance), as the paper requires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""A control-dominated design: UART TX/RX with a serial loopback.
+
+Two interacting state machines plus a baud divider — in most cycles most
+rules fail their guards immediately, which is exactly the structure
+Cuttlesim's early-exit compilation exploits.
+
+Run:  python examples/uart_loopback.py
+"""
+
+from repro.designs.uart import TX_STATE, build_uart, make_uart_env
+from repro.harness import PerfMonitor, make_simulator
+
+PAYLOAD = [0x48, 0x65, 0x6C, 0x6C, 0x6F, 0x21]  # "Hello!"
+
+
+def main() -> None:
+    design = build_uart(divisor=4)
+    env = make_uart_env(PAYLOAD)
+    driver = env.devices[0]
+    sim = make_simulator(design, env=env)
+
+    monitor = PerfMonitor(sim)
+    monitor.run_until(lambda _s: driver.done, max_cycles=10_000)
+
+    text = "".join(chr(b) for b in driver.received)
+    print(f"sent     : {[hex(b) for b in PAYLOAD]}")
+    print(f"received : {[hex(b) for b in driver.received]}  ({text!r})")
+    print(f"framing errors: {sim.peek('rx_errors')}")
+    assert driver.received == PAYLOAD
+
+    print(f"\nrule utilization over {monitor.cycles} cycles "
+          "(early-exit means cheap failures):")
+    print(monitor.report())
+
+    # The line, decoded by eye: watch one frame go by.
+    print("\none frame on the wire (line level per baud tick):")
+    env2 = make_uart_env([0b01010011])
+    sim2 = make_simulator(design, env=env2)
+    bits = []
+    for _ in range(12):
+        for _ in range(4):          # divisor cycles per bit
+            sim2.run(1)
+        bits.append(sim2.peek("line"))
+    print("  " + " ".join(str(b) for b in bits)
+          + "   (start=0, data LSB-first, stop=1)")
+
+
+if __name__ == "__main__":
+    main()

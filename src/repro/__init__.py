@@ -1,0 +1,53 @@
+"""Reproduction of "Effective simulation and debugging for a high-level
+hardware language using software compilers" (Cuttlesim, ASPLOS 2021).
+
+Quickstart::
+
+    from repro import Design, C, Let, V, If, make_simulator
+
+    d = Design("counter")
+    x = d.reg("x", 8)
+    d.rule("incr", x.wr0(x.rd0() + C(1, 8)))
+    d.schedule("incr")
+
+    sim = make_simulator(d, backend="cuttlesim")   # the paper's compiler
+    sim.run(10)
+    assert sim.peek("x") == 10
+
+Package tour:
+
+* :mod:`repro.koika` — the Kôika language (types, AST/DSL, designs).
+* :mod:`repro.semantics` — the reference one-rule-at-a-time interpreter.
+* :mod:`repro.analysis` — the static analysis of §3.3.
+* :mod:`repro.cuttlesim` — the paper's contribution: compilation of designs
+  to fast, readable, sequential simulation models (O0 through O5).
+* :mod:`repro.rtl` — the synthesis path: circuit lowering, Verilog emission,
+  and RTL-level simulators (the Verilator/Icarus/bsc analogues).
+* :mod:`repro.harness` — one simulator API over every backend.
+* :mod:`repro.debug` — coverage (Gcov), interactive debugger (gdb/rr),
+  scheduler randomization, VCD waveforms.
+* :mod:`repro.designs` — the paper's benchmark designs (Table 1) and the
+  case-study systems.
+* :mod:`repro.riscv` — RV32I assembler, golden model, benchmark programs.
+* :mod:`repro.testing` — random design generation + differential running.
+"""
+
+from .harness import Device, Environment, make_simulator
+from .koika import (
+    Abort, Action, Assign, Binop, C, Call, Const, Design, EnumType, ExtCall,
+    Fifo1, GetField, If, Let, Read, RegArray, Seq, StructType, SubstField,
+    Unop, V, Var, Write, bits, clone_action, enum_const, guard, instantiate,
+    mux, pretty_design, seq, struct_init, switch, when,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device", "Environment", "make_simulator",
+    "Abort", "Action", "Assign", "Binop", "C", "Call", "Const", "Design",
+    "EnumType", "ExtCall", "Fifo1", "GetField", "If", "Let", "Read",
+    "RegArray", "Seq", "StructType", "SubstField", "Unop", "V", "Var",
+    "Write", "bits", "clone_action", "enum_const", "guard", "instantiate",
+    "mux", "pretty_design", "seq", "struct_init", "switch", "when",
+    "__version__",
+]

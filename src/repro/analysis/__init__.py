@@ -1,0 +1,14 @@
+"""Static analysis of Koika designs (paper §3.3)."""
+
+from .lint import LintFinding, lint_design, lint_report
+from .report import design_report
+from .abstract import (
+    MAYBE, NO, YES, RD0, RD1, WR0, WR1, AbstractLog, DesignAnalysis,
+    NodeInfo, RuleAnalysis, analyze,
+)
+
+__all__ = [
+    "MAYBE", "NO", "YES", "RD0", "RD1", "WR0", "WR1", "AbstractLog",
+    "DesignAnalysis", "NodeInfo", "RuleAnalysis", "analyze", "design_report",
+    "LintFinding", "lint_design", "lint_report",
+]

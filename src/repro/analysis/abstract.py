@@ -1,0 +1,397 @@
+"""Abstract interpretation of rules (paper §3.3).
+
+A single forward pass per rule annotates every ``read``/``write``/``abort``
+with a conservative approximation of the rule log at that point, plus a
+per-register tribool saying whether operations on that register might fail.
+Combining the per-rule logs in schedule order yields the whole-cycle
+approximation.  The results drive every design-specific optimization:
+
+* **safe registers** — all operations provably succeed: read-write sets are
+  discarded entirely and reads/writes become direct array accesses;
+* **minimized read-write sets** — only flags actually consulted by some
+  possibly-failing check are tracked (``rd0`` is never tracked: a
+  sequential compiler flags the conflict at the read itself);
+* **register classification** — plain registers / wires / EHRs;
+* **rule footprints** — commits and rollbacks copy only what a rule may
+  have touched;
+* **Goldberg detection** — ``rd1`` after a same-rule ``wr1`` would be
+  misread by merged-data models; Cuttlesim warns and ignores (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from ..koika.design import Design
+
+# Tribool lattice.
+NO, MAYBE, YES = 0, 1, 2
+
+# Flag indices within an abstract log entry.
+RD0, RD1, WR0, WR1 = 0, 1, 2, 3
+FLAG_NAMES = ("rd0", "rd1", "wr0", "wr1")
+
+
+def tri_or(a: int, b: int) -> int:
+    """``a`` happened, then ``b``: did the operation happen overall?"""
+    if a == YES or b == YES:
+        return YES
+    if a == NO and b == NO:
+        return NO
+    return MAYBE
+
+
+def tri_join(a: int, b: int) -> int:
+    """Merge of two branches of an ``if``."""
+    if a == b:
+        return a
+    return MAYBE
+
+
+def tri_weaken(a: int) -> int:
+    """Downgrade for a rule that might not commit: YES becomes MAYBE."""
+    return MAYBE if a == YES else a
+
+
+class AbstractLog:
+    """Map register -> [rd0, rd1, wr0, wr1] tribools."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, registers: Sequence[str]):
+        self.entries: Dict[str, List[int]] = {r: [NO, NO, NO, NO] for r in registers}
+
+    def copy(self) -> "AbstractLog":
+        log = AbstractLog(())
+        log.entries = {r: list(flags) for r, flags in self.entries.items()}
+        return log
+
+    def join_with(self, other: "AbstractLog") -> None:
+        for register, flags in self.entries.items():
+            other_flags = other.entries[register]
+            for i in range(4):
+                flags[i] = tri_join(flags[i], other_flags[i])
+
+    def absorb(self, other: "AbstractLog", weaken: bool) -> None:
+        """Append ``other`` (a finished rule log) into this cycle log."""
+        for register, flags in self.entries.items():
+            other_flags = other.entries[register]
+            for i in range(4):
+                incoming = tri_weaken(other_flags[i]) if weaken else other_flags[i]
+                flags[i] = tri_or(flags[i], incoming)
+
+    def get(self, register: str, flag: int) -> int:
+        return self.entries[register][flag]
+
+
+@dataclass
+class NodeInfo:
+    """Per read/write node facts recorded by the pass."""
+
+    may_fail: bool = False
+    goldberg: bool = False
+
+
+@dataclass
+class RuleAnalysis:
+    name: str
+    may_abort: bool = False
+    #: Registers whose tracked flags this rule may set.
+    flag_footprint: Set[str] = field(default_factory=set)
+    #: Registers this rule may write (data needs commit/rollback).
+    data_footprint: Set[str] = field(default_factory=set)
+    #: Final abstract rule log.
+    log: Optional[AbstractLog] = None
+
+
+@dataclass
+class DesignAnalysis:
+    design: Design
+    rules: Dict[str, RuleAnalysis] = field(default_factory=dict)
+    node_info: Dict[int, NodeInfo] = field(default_factory=dict)
+    #: Registers on which no operation can ever fail.
+    safe_registers: Set[str] = field(default_factory=set)
+    #: For unsafe registers: which of rd1/wr0/wr1 must be tracked.
+    tracked_flags: Dict[str, Set[int]] = field(default_factory=dict)
+    #: 'plain' | 'wire' | 'ehr' | 'unused', per register.
+    classification: Dict[str, str] = field(default_factory=dict)
+    goldberg_warnings: List[str] = field(default_factory=list)
+
+    def info(self, node: Action) -> NodeInfo:
+        return self.node_info.setdefault(node.uid, NodeInfo())
+
+    def summary(self) -> str:
+        total = len(self.design.registers)
+        safe = len(self.safe_registers)
+        kinds = {kind: 0 for kind in ("plain", "wire", "ehr", "unused")}
+        for kind in self.classification.values():
+            kinds[kind] += 1
+        return (
+            f"{total} registers: {safe} safe, "
+            f"{kinds['plain']} plain / {kinds['wire']} wires / "
+            f"{kinds['ehr']} EHRs / {kinds['unused']} unused"
+        )
+
+
+class _RulePass:
+    """One forward abstract-interpretation pass over a rule body."""
+
+    def __init__(self, analysis: DesignAnalysis, cycle_log: AbstractLog,
+                 rule_name: str):
+        self.analysis = analysis
+        self.cycle = cycle_log
+        self.rule_name = rule_name
+        self.rule_log = AbstractLog(list(cycle_log.entries))
+        self.may_abort = False
+        #: (register, op-kind, consulted flags) for each possibly-failing
+        #: check, used later to minimize tracked flags.
+        self.failing_checks: List[Tuple[str, int]] = []
+
+    # The pass mutates self.rule_log in place; `if` branches fork and join.
+    def run(self, body: Action) -> None:
+        self._visit(body)
+
+    def _visit(self, node: Action) -> None:
+        if isinstance(node, (Const, Var)):
+            return
+        if isinstance(node, (Unop, GetField)):
+            self._visit(node.arg)
+            return
+        if isinstance(node, Binop):
+            self._visit(node.a)
+            self._visit(node.b)
+            return
+        if isinstance(node, SubstField):
+            self._visit(node.arg)
+            self._visit(node.value)
+            return
+        if isinstance(node, (ExtCall,)):
+            self._visit(node.arg)
+            return
+        if isinstance(node, Call):
+            for arg in node.args:
+                self._visit(arg)
+            return
+        if isinstance(node, Seq):
+            for action in node.actions:
+                self._visit(action)
+            return
+        if isinstance(node, Let):
+            self._visit(node.value)
+            self._visit(node.body)
+            return
+        if isinstance(node, Assign):
+            self._visit(node.value)
+            return
+        if isinstance(node, If):
+            self._visit(node.cond)
+            saved = self.rule_log.copy()
+            self._visit(node.then)
+            then_log = self.rule_log
+            self.rule_log = saved
+            if node.orelse is not None:
+                self._visit(node.orelse)
+            self.rule_log.join_with(then_log)
+            return
+        if isinstance(node, Abort):
+            self.may_abort = True
+            return
+        if isinstance(node, Read):
+            self._visit_read(node)
+            return
+        if isinstance(node, Write):
+            self._visit(node.value)
+            self._visit_write(node)
+            return
+        raise TypeError(f"unexpected AST node {type(node).__name__}")
+
+    def _visit_read(self, node: Read) -> None:
+        info = self.analysis.info(node)
+        register = node.reg
+        entry = self.rule_log.entries[register]
+        if node.port == 0:
+            # rd0 fails iff the cycle log has a write at any port.
+            info.may_fail = (
+                self.cycle.get(register, WR0) != NO
+                or self.cycle.get(register, WR1) != NO
+            )
+            if info.may_fail:
+                self.failing_checks.append((register, RD0))
+            entry[RD0] = tri_or(entry[RD0], YES)
+        else:
+            # rd1 fails iff the cycle log has a write at port 1.
+            info.may_fail = self.cycle.get(register, WR1) != NO
+            if info.may_fail:
+                self.failing_checks.append((register, RD1))
+            # Goldberg pattern: a same-rule wr1 before this rd1 means a
+            # merged-data model would return the wrong value.
+            if entry[WR1] != NO:
+                info.goldberg = True
+                self.analysis.goldberg_warnings.append(
+                    f"rule {self.rule_name!r}: rd1({register}) after a "
+                    f"same-rule wr1; merged-data models misread this "
+                    f"(anti-pattern, see paper §3.2)"
+                )
+            entry[RD1] = tri_or(entry[RD1], YES)
+        if info.may_fail:
+            self.may_abort = True
+
+    def _visit_write(self, node: Write) -> None:
+        info = self.analysis.info(node)
+        register = node.reg
+        entry = self.rule_log.entries[register]
+        if node.port == 0:
+            blockers = (
+                self.cycle.get(register, RD1), self.cycle.get(register, WR0),
+                self.cycle.get(register, WR1),
+                entry[RD1], entry[WR0], entry[WR1],
+            )
+            info.may_fail = any(flag != NO for flag in blockers)
+            if info.may_fail:
+                self.failing_checks.append((register, WR0))
+            entry[WR0] = tri_or(entry[WR0], YES)
+        else:
+            blockers = (self.cycle.get(register, WR1), entry[WR1])
+            info.may_fail = any(flag != NO for flag in blockers)
+            if info.may_fail:
+                self.failing_checks.append((register, WR1))
+            entry[WR1] = tri_or(entry[WR1], YES)
+        if info.may_fail:
+            self.may_abort = True
+
+
+#: Which flags each operation's dynamic check consults (sequential model:
+#: rd0 is consulted by no check — the paper's "minimize read-write sets").
+_CONSULTS: Dict[int, Tuple[int, ...]] = {
+    RD0: (WR0, WR1),
+    RD1: (WR1,),
+    WR0: (RD1, WR0, WR1),
+    WR1: (WR1,),
+}
+
+
+def analyze(design: Design, order: Optional[Sequence[str]] = None,
+            order_independent: bool = False) -> DesignAnalysis:
+    """Run the full static-analysis pass over a finalized design.
+
+    ``order`` overrides the schedule; ``order_independent=True`` produces an
+    analysis sound under *any* rule order (used by the scheduler
+    randomization harness, case study 2): every rule is analyzed against a
+    cycle log that already includes every rule's possible effects.
+    """
+    if not design.finalized:
+        design.finalize()
+    analysis = DesignAnalysis(design)
+    registers = list(design.registers)
+    schedule = list(order) if order is not None else list(design.scheduler)
+
+    if order_independent:
+        # First pass: each rule in isolation, assuming it may not commit.
+        # A rule's incoming cycle log under an arbitrary order is the merge
+        # of every *other* rule's possible effects (a rule never precedes
+        # itself within a cycle).
+        isolated_logs = {}
+        for name in schedule:
+            isolated = _RulePass(analysis, AbstractLog(registers), name)
+            isolated.run(design.rules[name].body)
+            isolated_logs[name] = isolated.rule_log
+        cycle_logs = {}
+        for name in schedule:
+            merged = AbstractLog(registers)
+            for other in schedule:
+                if other != name:
+                    merged.absorb(isolated_logs[other], weaken=True)
+            cycle_logs[name] = merged
+    else:
+        # Progressive cycle log in schedule order.
+        cycle_logs = {}
+        cycle = AbstractLog(registers)
+        for name in schedule:
+            cycle_logs[name] = cycle.copy()
+            probe = _RulePass(analysis, cycle_logs[name], name)
+            probe.run(design.rules[name].body)
+            cycle.absorb(probe.rule_log, weaken=probe.may_abort)
+
+    # Final pass with the definitive cycle logs (records node info).
+    analysis.node_info.clear()
+    analysis.goldberg_warnings.clear()
+    failing: List[Tuple[str, int]] = []
+    for name in schedule:
+        rule_pass = _RulePass(analysis, cycle_logs[name], name)
+        rule_pass.run(design.rules[name].body)
+        failing.extend(rule_pass.failing_checks)
+        rule_analysis = RuleAnalysis(name, may_abort=rule_pass.may_abort)
+        rule_analysis.log = rule_pass.rule_log
+        for register, flags in rule_pass.rule_log.entries.items():
+            if flags[WR0] != NO or flags[WR1] != NO:
+                rule_analysis.data_footprint.add(register)
+            if flags[RD1] != NO or flags[WR0] != NO or flags[WR1] != NO:
+                rule_analysis.flag_footprint.add(register)
+        analysis.rules[name] = rule_analysis
+
+    # Safe registers: no possibly-failing check anywhere.
+    unsafe = {register for register, _ in failing}
+    analysis.safe_registers = set(registers) - unsafe
+
+    # Tracked flags: only what a possibly-failing check consults.
+    tracked: Dict[str, Set[int]] = {register: set() for register in unsafe}
+    for register, op in failing:
+        tracked[register].update(_CONSULTS[op])
+    analysis.tracked_flags = tracked
+
+    # Trim flag footprints to tracked flags only.
+    for rule_analysis in analysis.rules.values():
+        assert rule_analysis.log is not None
+        trimmed = set()
+        for register in rule_analysis.flag_footprint:
+            flags = rule_analysis.log.entries[register]
+            keeps = tracked.get(register, set())
+            if any(flags[flag] != NO for flag in keeps):
+                trimmed.add(register)
+        rule_analysis.flag_footprint = trimmed
+
+    # Classification (reported; the codegen keys off safety/tracked flags).
+    used: Dict[str, Set[int]] = {register: set() for register in registers}
+    for name in schedule:
+        for node in _reads_writes(design.rules[name].body):
+            if isinstance(node, Read):
+                used[node.reg].add(RD0 if node.port == 0 else RD1)
+            else:
+                used[node.reg].add(WR0 if node.port == 0 else WR1)
+    for register, ports in used.items():
+        if not ports:
+            analysis.classification[register] = "unused"
+        elif ports <= {RD0, WR0}:
+            analysis.classification[register] = "plain"
+        elif ports <= {WR0, RD1}:
+            analysis.classification[register] = "wire"
+        else:
+            analysis.classification[register] = "ehr"
+    return analysis
+
+
+def _reads_writes(body: Action):
+    from ..koika.ast import walk
+
+    for node in walk(body):
+        if isinstance(node, (Read, Write)):
+            yield node

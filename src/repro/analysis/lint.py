@@ -1,0 +1,144 @@
+"""Design lint: statically detectable design mistakes.
+
+Combines the abstract interpretation (§3.3) with the RTL lowering's
+constant folding to flag things that are *certainly* wrong, not merely
+tracked:
+
+* an operation that **always** fails its port check (its blocking flags
+  are statically ``YES``) — e.g. ``rd0`` of a register an earlier rule
+  unconditionally writes;
+* a rule whose ``will_fire`` folds to constant 0 — it can never commit;
+* registers that are written but never read, or never accessed at all;
+* Goldberg patterns (``rd1`` after a same-rule ``wr1``).
+
+Run it via ``lint_design`` or ``python -m repro report DESIGN`` (the
+report appends lint findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..koika.ast import Read, Write, walk
+from ..koika.design import Design
+from .abstract import NO, RD0, RD1, WR0, WR1, YES, AbstractLog, _RulePass, \
+    analyze
+
+
+@dataclass
+class LintFinding:
+    severity: str       # "error" | "warning"
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.message}"
+
+
+def _always_failing_ops(design: Design) -> List[LintFinding]:
+    """Re-run the per-rule pass, flagging checks whose blockers are YES."""
+    findings: List[LintFinding] = []
+    analysis = analyze(design)
+    registers = list(design.registers)
+    cycle = AbstractLog(registers)
+    for rule_name in design.scheduler:
+        rule_pass = _RulePass(analysis, cycle.copy(), rule_name)
+        rule_pass.run(design.rules[rule_name].body)
+        for node in walk(design.rules[rule_name].body):
+            if isinstance(node, Read):
+                entry = cycle.entries[node.reg]
+                if node.port == 0 and (entry[WR0] == YES
+                                       or entry[WR1] == YES):
+                    findings.append(LintFinding(
+                        "error", "always-fails",
+                        f"rule {rule_name!r}: {node.reg}.rd0 always "
+                        f"conflicts (an earlier rule unconditionally "
+                        f"writes {node.reg})"))
+                if node.port == 1 and entry[WR1] == YES:
+                    findings.append(LintFinding(
+                        "error", "always-fails",
+                        f"rule {rule_name!r}: {node.reg}.rd1 always "
+                        f"conflicts (an earlier rule unconditionally "
+                        f"wr1-writes {node.reg})"))
+            elif isinstance(node, Write) and node.port == 0:
+                entry = cycle.entries[node.reg]
+                if YES in (entry[RD1], entry[WR0], entry[WR1]):
+                    findings.append(LintFinding(
+                        "error", "always-fails",
+                        f"rule {rule_name!r}: {node.reg}.wr0 always "
+                        f"conflicts with an earlier rule's unconditional "
+                        f"access"))
+            elif isinstance(node, Write) and node.port == 1:
+                entry = cycle.entries[node.reg]
+                if entry[WR1] == YES:
+                    findings.append(LintFinding(
+                        "error", "always-fails",
+                        f"rule {rule_name!r}: {node.reg}.wr1 always "
+                        f"conflicts (double unconditional wr1)"))
+        cycle.absorb(rule_pass.rule_log, weaken=rule_pass.may_abort)
+    return findings
+
+
+def _never_firing_rules(design: Design) -> List[LintFinding]:
+    from ..rtl.circuit import NConst
+    from ..rtl.lower import lower_design
+
+    findings: List[LintFinding] = []
+    netlist = lower_design(design)
+    for rule_name, will_fire in netlist.will_fire.items():
+        if isinstance(will_fire, NConst) and will_fire.value == 0:
+            findings.append(LintFinding(
+                "error", "never-fires",
+                f"rule {rule_name!r} can never commit (its will-fire "
+                f"signal folds to constant 0)"))
+    return findings
+
+
+def _register_usage(design: Design) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    read_registers = set()
+    written_registers = set()
+    for rule in design.rules.values():
+        for node in walk(rule.body):
+            if isinstance(node, Read):
+                read_registers.add(node.reg)
+            elif isinstance(node, Write):
+                written_registers.add(node.reg)
+    for name in design.registers:
+        if name not in read_registers and name not in written_registers:
+            findings.append(LintFinding(
+                "warning", "unused-register",
+                f"register {name!r} is never accessed by any rule "
+                f"(testbench-only registers are fine; otherwise dead)"))
+        elif name in written_registers and name not in read_registers:
+            findings.append(LintFinding(
+                "warning", "write-only-register",
+                f"register {name!r} is written but never read by the "
+                f"design (observable only through the testbench)"))
+    return findings
+
+
+def lint_design(design: Design,
+                include_goldberg: bool = True) -> List[LintFinding]:
+    """All lint findings for a finalized design, errors first."""
+    if not design.finalized:
+        design.finalize()
+    findings = []
+    findings += _always_failing_ops(design)
+    findings += _never_firing_rules(design)
+    findings += _register_usage(design)
+    if include_goldberg:
+        for warning in analyze(design).goldberg_warnings:
+            findings.append(LintFinding("warning", "goldberg", warning))
+    findings.sort(key=lambda f: (f.severity != "error", f.kind))
+    return findings
+
+
+def lint_report(design: Design) -> str:
+    findings = lint_design(design)
+    if not findings:
+        return f"lint: {design.name}: clean"
+    lines = [f"lint: {design.name}: {len(findings)} finding(s)"]
+    lines += [f"  {finding}" for finding in findings]
+    return "\n".join(lines)

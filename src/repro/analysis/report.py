@@ -1,0 +1,107 @@
+"""Human-readable design reports from the static analysis.
+
+``design_report`` renders what the §3.3 pass proved about a design —
+per-register classification/safety/tracked flags, per-rule footprints and
+abort behaviour, and the pairwise conflict matrix — the information a
+designer reads before deciding where to add bypasses or split rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..koika.design import Design
+from .abstract import (
+    MAYBE, NO, RD0, RD1, WR0, WR1, YES, DesignAnalysis, analyze,
+)
+
+_FLAG_LABEL = {RD1: "rd1", WR0: "wr0", WR1: "wr1"}
+
+
+def _collapse_array_names(names: List[str]) -> List[str]:
+    """Group ``rf_0 .. rf_31`` into ``rf[32]`` for readable tables."""
+    import re
+
+    groups: Dict[str, int] = {}
+    singles: List[str] = []
+    for name in names:
+        match = re.fullmatch(r"(.+)_(\d+)", name)
+        if match:
+            groups[match.group(1)] = groups.get(match.group(1), 0) + 1
+        else:
+            singles.append(name)
+    collapsed = list(singles)
+    for base, count in groups.items():
+        collapsed.append(f"{base}[{count}]" if count > 1 else f"{base}_?")
+    return sorted(collapsed)
+
+
+def design_report(design: Design,
+                  analysis: Optional[DesignAnalysis] = None) -> str:
+    """Render the analysis results for a design as a text report."""
+    if analysis is None:
+        analysis = analyze(design)
+    lines: List[str] = []
+    add = lines.append
+    add(f"Design report: {design.name}")
+    add("=" * (15 + len(design.name)))
+    add(f"registers: {len(design.registers)}   rules: {len(design.rules)}   "
+        f"schedule: {' |> '.join(design.scheduler)}")
+    add("")
+    add(f"analysis summary: {analysis.summary()}")
+    add("")
+
+    # Per-class register listing (arrays collapsed).
+    add("register classes")
+    add("----------------")
+    by_kind: Dict[str, List[str]] = {}
+    for register, kind in analysis.classification.items():
+        safety = "safe" if register in analysis.safe_registers else "tracked"
+        by_kind.setdefault(f"{kind}/{safety}", []).append(register)
+    for key in sorted(by_kind):
+        names = _collapse_array_names(by_kind[key])
+        preview = ", ".join(names[:8]) + (", ..." if len(names) > 8 else "")
+        add(f"  {key:<16} {len(by_kind[key]):>4}  {preview}")
+    add("")
+
+    if analysis.tracked_flags:
+        add("tracked read-write-set flags (unsafe registers only)")
+        add("----------------------------------------------------")
+        for register in sorted(analysis.tracked_flags):
+            flags = sorted(_FLAG_LABEL[f]
+                           for f in analysis.tracked_flags[register])
+            add(f"  {register:<24} {{{', '.join(flags)}}}")
+        add("")
+
+    add("per-rule summary")
+    add("----------------")
+    for name in design.scheduler:
+        info = analysis.rules[name]
+        aborts = "may abort" if info.may_abort else "never aborts"
+        add(f"  {name:<24} {aborts:<13} "
+            f"writes {len(info.data_footprint):>3} regs, "
+            f"tracks {len(info.flag_footprint):>3}")
+    add("")
+
+    if analysis.goldberg_warnings:
+        add("warnings")
+        add("--------")
+        for warning in analysis.goldberg_warnings:
+            add(f"  ! {warning}")
+        add("")
+
+    from ..rtl.bluespec import conflict_matrix
+
+    matrix = conflict_matrix(design)
+    conflicts = [(a, b) for (a, b), c in matrix.items() if c]
+    add(f"static conflict pairs (bsc-style): {len(conflicts)} "
+        f"of {len(matrix)}")
+    for earlier, later in conflicts[:20]:
+        add(f"  {earlier} >< {later}")
+    if len(conflicts) > 20:
+        add(f"  ... and {len(conflicts) - 20} more")
+    add("")
+    from .lint import lint_report
+
+    add(lint_report(design))
+    return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the whole toolchain a front door:
+
+* ``list``            — the built-in designs and their sizes;
+* ``pretty DESIGN``   — canonical Kôika rendering;
+* ``model DESIGN``    — the generated Cuttlesim model source;
+* ``verilog DESIGN``  — the synthesis path's Verilog;
+* ``report DESIGN``   — what the static analysis proved;
+* ``asm PROGRAM``     — assemble a built-in program or .s file, dump the listing;
+* ``run DESIGN``      — simulate (any backend; rv32 designs take --program);
+* ``trace DESIGN``    — per-cycle commit/delta trace;
+* ``bench DESIGN``    — quick cycles/second measurement per backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from .designs import (TABLE1_DESIGNS, build_msi, build_rv32i_bypass,
+                      build_rv32im, build_stm)
+from .harness import Environment, make_simulator
+from .koika import design_sloc, pretty_design
+
+#: All designs reachable from the CLI.
+DESIGNS: Dict[str, Callable] = dict(TABLE1_DESIGNS)
+DESIGNS["rv32im"] = build_rv32im
+DESIGNS["rv32i-bypass"] = build_rv32i_bypass
+
+from .designs.rv32 import build_rv32i_cached  # noqa: E402
+
+DESIGNS["rv32i-cached"] = build_rv32i_cached
+DESIGNS["stm"] = build_stm
+DESIGNS["msi"] = build_msi
+DESIGNS["msi-buggy"] = lambda: build_msi(bug=True)
+
+from .designs import build_uart  # noqa: E402  (registry entries)
+
+DESIGNS["uart"] = build_uart
+
+from .designs import build_soc  # noqa: E402
+
+DESIGNS["soc"] = build_soc
+
+#: Built-in RISC-V programs: name -> source builder taking an int arg.
+PROGRAMS: Dict[str, Callable] = {}
+
+
+def _programs() -> Dict[str, Callable]:
+    if not PROGRAMS:
+        from .riscv import programs as p
+
+        PROGRAMS.update({
+            "primes": p.primes_source,
+            "nops": p.nops_source,
+            "arith": p.arithmetic_source,
+            "fib": p.fibonacci_source,
+            "sort": lambda _n=0: p.sort_source(),
+            "branchy": p.branchy_source,
+            "stream": p.stream_output_source,
+        })
+    return PROGRAMS
+
+
+def _get_design(name: str):
+    if name not in DESIGNS:
+        raise SystemExit(f"unknown design {name!r}; try: "
+                         f"{', '.join(sorted(DESIGNS))}")
+    return DESIGNS[name]()
+
+
+def _default_env(design, program: Optional[str],
+                 program_arg: int) -> Environment:
+    """Build a suitable environment for a design by convention."""
+    name = design.name
+    if name == "rv32i_cached":
+        from .designs.rv32.cache import make_cached_env
+        from .riscv import assemble
+
+        source = _programs().get(program or "primes")
+        if source is None:
+            raise SystemExit(f"unknown program {program!r}")
+        return make_cached_env(assemble(source(program_arg)), latency=4)
+    if name.startswith("rv32"):
+        from .designs.rv32 import RV32MemoryDevice
+        from .riscv import assemble
+
+        source = _programs().get(program or "primes")
+        if source is None:
+            raise SystemExit(f"unknown program {program!r}; try: "
+                             f"{', '.join(sorted(_programs()))}")
+        max_reg = 16 if "rv32e" in name else 32
+        assembled = assemble(source(program_arg), max_reg=max_reg)
+        env = Environment()
+        prefixes = ("c0_", "c1_") if "mc" in name else ("",)
+        for prefix in prefixes:
+            env.add_device(RV32MemoryDevice(assembled, prefix))
+        return env
+    if name == "fir":
+        return Environment({"get_sample": lambda _: 0x12345678,
+                            "put_result": lambda _v: 0})
+    if name == "fft":
+        return Environment({"get_sample": lambda k: (k * 7919) & 0xFFFF,
+                            "put_result": lambda _v: 0})
+    if name == "stm":
+        return Environment({"get_input": lambda _: 0xDEAD,
+                            "put_output": lambda _v: 0})
+    if name == "soc":
+        from .designs.soc import make_soc_env, print_string_source
+        from .riscv import assemble
+
+        return make_soc_env(assemble(print_string_source("Hi from repro!")))
+    if name == "uart":
+        from .designs.uart import make_uart_env
+
+        return make_uart_env([0x48, 0x49, 0x21])
+    if name.startswith("msi"):
+        from .designs.msi import make_msi_env
+
+        return make_msi_env([(1, "write", 2, 0xAAAA),
+                             (0, "write", 2, 0xBBBB),
+                             (1, "read", 2, 0)])
+    return Environment()
+
+
+# ----------------------------------------------------------------------
+# Subcommands.
+# ----------------------------------------------------------------------
+
+def cmd_list(args) -> int:
+    from .rtl import lower_design
+
+    print(f"{'design':<12}{'regs':>6}{'rules':>7}{'koika sloc':>12}"
+          f"{'netlist':>9}")
+    for name in sorted(DESIGNS):
+        design = DESIGNS[name]()
+        nodes = lower_design(design).stats()["total"]
+        print(f"{name:<12}{len(design.registers):>6}{len(design.rules):>7}"
+              f"{design_sloc(design):>12}{nodes:>9}")
+    return 0
+
+
+def cmd_pretty(args) -> int:
+    print(pretty_design(_get_design(args.design)))
+    return 0
+
+
+def cmd_model(args) -> int:
+    from .cuttlesim import compile_model
+
+    cls = compile_model(_get_design(args.design), opt=args.opt,
+                        instrument=args.instrument, simplify=args.simplify,
+                        warn_goldberg=False)
+    print(cls.SOURCE)
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    from .rtl import generate_verilog
+
+    print(generate_verilog(_get_design(args.design)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import design_report
+
+    print(design_report(_get_design(args.design)))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    from .rtl.stats import stats_report
+
+    print(stats_report(_get_design(args.design)))
+    return 0
+
+
+def cmd_debug(args) -> int:
+    from .debug.shell import DebugShell
+
+    design = _get_design(args.design)
+    env = _default_env(design, args.program, args.arg)
+    DebugShell(design, env).cmdloop()
+    return 0
+
+
+def cmd_asm(args) -> int:
+    from .riscv import assemble
+
+    builders = _programs()
+    if args.program in builders:
+        source = builders[args.program](args.arg)
+    else:
+        with open(args.program) as handle:
+            source = handle.read()
+    program = assemble(source)
+    print(program.dump())
+    print(f"# {len(program.words)} words, labels: "
+          f"{', '.join(sorted(program.labels))}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    design = _get_design(args.design)
+    env = _default_env(design, args.program, args.arg)
+    sim = make_simulator(design, backend=args.backend, env=env)
+    started = time.perf_counter()
+    if design.name.startswith("rv32"):
+        devices = [d for d in env.devices if hasattr(d, "halted")]
+        sim.run_until(lambda _s: all(d.halted for d in devices),
+                      max_cycles=args.cycles)
+        elapsed = time.perf_counter() - started
+        for i, device in enumerate(devices):
+            print(f"core {i}: result = {device.tohost}"
+                  + (f", outputs = {device.outputs}" if device.outputs
+                     else ""))
+    else:
+        sim.run(args.cycles)
+        elapsed = time.perf_counter() - started
+        state = sim.state_dict()
+        shown = dict(list(state.items())[:12])
+        print(f"state after {args.cycles} cycles: {shown}"
+              + (" ..." if len(state) > 12 else ""))
+    rate = sim.cycle / elapsed if elapsed else float("inf")
+    print(f"[{args.backend}] {sim.cycle} cycles in {elapsed:.3f}s "
+          f"({rate:,.0f} cycles/s)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .debug.trace import CycleTracer
+
+    design = _get_design(args.design)
+    env = _default_env(design, args.program, args.arg)
+    sim = make_simulator(design, backend=args.backend, env=env)
+    tracer = CycleTracer(sim)
+    for record in tracer.run(args.cycles):
+        print(record)
+    print("\ncommit counts:", tracer.summary())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    design = _get_design(args.design)
+    backends = args.backend.split(",") if args.backend else \
+        ["cuttlesim", "rtl-cycle"]
+    rates = {}
+    for backend in backends:
+        env = _default_env(design, args.program, args.arg)
+        sim = make_simulator(design, backend=backend, env=env)
+        sim.run(min(200, args.cycles // 10))  # warmup
+        started = time.perf_counter()
+        sim.run(args.cycles)
+        elapsed = time.perf_counter() - started
+        rates[backend] = args.cycles / elapsed
+        print(f"{backend:<14} {rates[backend]:>12,.0f} cycles/s")
+    if "cuttlesim" in rates and "rtl-cycle" in rates:
+        print(f"{'speedup':<14} {rates['cuttlesim'] / rates['rtl-cycle']:>11.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cuttlesim reproduction toolchain (ASPLOS 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in designs").set_defaults(
+        fn=cmd_list)
+
+    for name, fn, help_text in (
+        ("pretty", cmd_pretty, "pretty-print a design (Koika syntax)"),
+        ("verilog", cmd_verilog, "emit Verilog for a design"),
+        ("report", cmd_report, "static-analysis report for a design"),
+        ("synth", cmd_synth, "area/critical-path estimates, both lowerings"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("design")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("model", help="print the generated Cuttlesim model")
+    p.add_argument("design")
+    p.add_argument("--opt", type=int, default=5, choices=range(6))
+    p.add_argument("--instrument", action="store_true")
+    p.add_argument("--simplify", action="store_true",
+                   help="run the AST simplifier before codegen")
+    p.set_defaults(fn=cmd_model)
+
+    p = sub.add_parser("asm", help="assemble a program, print the listing")
+    p.add_argument("program", help="built-in name or path to a .s file")
+    p.add_argument("--arg", type=int, default=100,
+                   help="parameter for built-in programs (e.g. primes limit)")
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("debug", help="interactive gdb-style debugger")
+    p.add_argument("design")
+    p.add_argument("--program", default=None)
+    p.add_argument("--arg", type=int, default=100)
+    p.set_defaults(fn=cmd_debug)
+
+    for name, fn, default_cycles in (("run", cmd_run, 200_000),
+                                     ("trace", cmd_trace, 30),
+                                     ("bench", cmd_bench, 5_000)):
+        p = sub.add_parser(name)
+        p.add_argument("design")
+        p.add_argument("--backend", default="cuttlesim" if name != "bench"
+                       else None)
+        p.add_argument("--cycles", type=int, default=default_cycles)
+        p.add_argument("--program", default=None,
+                       help="built-in RISC-V program (rv32 designs)")
+        p.add_argument("--arg", type=int, default=100)
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Cuttlesim: compilation of Koika designs to fast sequential models."""
+
+from .codegen import compile_model, generate_source
+from .model import ModelBase
+
+__all__ = ["compile_model", "generate_source", "ModelBase"]

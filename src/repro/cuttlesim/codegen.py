@@ -1,0 +1,1598 @@
+"""Cuttlesim's code generator: Kôika designs to readable Python models.
+
+This is the paper's core contribution, transposed from C++ to Python: each
+design becomes a generated class with one method per rule, the scheduler
+becomes a ``_cycle`` method calling the rules in turn, and the transaction
+machinery is specialized per design.  The optimization ladder of §3.2–§3.3
+is implemented as six distinct layouts so each refinement is measurable:
+
+======  =====================================================================
+``O0``  Naive: beginning-of-cycle state + interleaved rule/cycle logs
+        (one ``[rd0, rd1, wr0, wr1, data0, data1]`` record per register).
+``O1``  Separate read-write sets (one small int bitmask per register) from
+        data, making set resets cache-friendly slice copies.
+``O2``  Accumulated rule log (``L ++ l``): write checks consult one log,
+        commits become plain copies.
+``O3``  Reset on failure, not on entry: successful rules skip the reset.
+``O4``  Merged ``data0``/``data1`` and no separate beginning-of-cycle
+        state: the logs *are* the state; end-of-cycle commits disappear.
+``O5``  Static analysis (§3.3): registers proven safe lose their read-write
+        sets entirely, tracked flags are minimized (``rd0`` is never
+        tracked), commits/rollbacks are restricted to each rule's
+        footprint, and aborts before any effect return without rollback.
+======  =====================================================================
+
+Additional compile modes:
+
+* ``instrument=True`` — insert per-block execution counters (the Gcov
+  analogue used by case study 4);
+* ``debug=True`` — insert ``self._hook(...)`` calls at rule entry, reads,
+  writes, failures, and commits (what ``-g`` plus a debugger gives you).
+"""
+
+from __future__ import annotations
+
+import linecache
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.abstract import DesignAnalysis, RD1, WR0, WR1, analyze
+from ..errors import CompileError
+from ..harness.env import Environment
+from ..koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+    walk,
+)
+from ..koika.design import Design, Fn, Rule
+from ..koika.types import StructType, mask
+from .model import ModelBase
+
+# Read-write set bitmask layout for O1-O4 (one int per register).
+_M_RD0, _M_RD1, _M_WR0, _M_WR1 = 1, 2, 4, 8
+# Minimized flag bits for O5 (rd0 is never tracked).
+_F_RD1, _F_WR0, _F_WR1 = 1, 2, 4
+_F_BIT = {RD1: _F_RD1, WR0: _F_WR0, WR1: _F_WR1}
+
+#: Footprint size beyond which commits fall back to whole-array copies
+#: (the paper's "single memcpy beats many field copies").
+_FOOTPRINT_FALLBACK = 16
+
+
+def _hex(value: int) -> str:
+    return str(value) if -10 < value < 10 else hex(value)
+
+
+class _Builder:
+    """Accumulates generated source lines plus coverage/line metadata."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.line_block: List[Optional[int]] = []
+        self.indent = 0
+        self.current_block: Optional[int] = None
+
+    def line(self, text: str = "") -> int:
+        self.lines.append(("    " * self.indent + text) if text else "")
+        self.line_block.append(self.current_block if text else None)
+        return len(self.lines)
+
+    def lineno(self) -> int:
+        """1-based line number of the *next* line to be emitted."""
+        return len(self.lines) + 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Meta:
+    """Metadata attached to the compiled model class."""
+
+    def __init__(self) -> None:
+        #: (block_id, rule_name, kind, ast_uid_or_None)
+        self.blocks: List[Tuple[int, str, str, Optional[int]]] = []
+        self.uid_line: Dict[int, int] = {}
+        self.line_block: List[Optional[int]] = []
+
+
+# ----------------------------------------------------------------------
+# Per-optimization-level layouts.
+# ----------------------------------------------------------------------
+
+class _Layout:
+    """How one optimization level stores logs and implements §3.1's rules.
+
+    Statements returned by ``read_*``/``write_*`` assume the local aliases
+    from :meth:`rule_locals` are in scope.
+    """
+
+    uses_analysis = False
+
+    def __init__(self, design: Design, analysis: Optional[DesignAnalysis]):
+        self.design = design
+        self.analysis = analysis
+        self.regs = list(design.registers)
+        self.reg_id = {name: i for i, name in enumerate(self.regs)}
+        self.n = len(self.regs)
+
+    # Every (check, flag set, value) below implements §3.1 for its layout.
+    def read_check(self, i: int, port: int) -> Optional[str]:
+        raise NotImplementedError
+
+    def read_flag_stmts(self, i: int, port: int) -> List[str]:
+        raise NotImplementedError
+
+    def read_value(self, i: int, port: int) -> str:
+        raise NotImplementedError
+
+    def write_check(self, i: int, port: int) -> Optional[str]:
+        raise NotImplementedError
+
+    def write_stmts(self, i: int, port: int, value: str) -> List[str]:
+        raise NotImplementedError
+
+    def rule_locals(self, rule: str) -> List[str]:
+        raise NotImplementedError
+
+    def rule_entry(self, rule: str) -> List[str]:
+        return []
+
+    def rule_commit(self, rule: str) -> List[str]:
+        """Statements to commit; end with ``return True`` (or return a
+        single ``return self._helper()`` line)."""
+        raise NotImplementedError
+
+    def fail_stmt(self, rule: str, effects_so_far: bool) -> str:
+        """The return statement for a failure site."""
+        raise NotImplementedError
+
+    def needs_fail_helper(self, rule: str) -> bool:
+        return False
+
+    def fail_helper_body(self, rule: str) -> List[str]:
+        return []
+
+    def cycle_start(self) -> List[str]:
+        raise NotImplementedError
+
+    def cycle_start_inline(self) -> List[str]:
+        """Cycle-start statements for the inlined ``_cycle`` (may assume
+        the :meth:`rule_locals` aliases are bound)."""
+        return self.cycle_start()
+
+    def cycle_end(self) -> List[str]:
+        raise NotImplementedError
+
+    def reset_body(self) -> List[str]:
+        raise NotImplementedError
+
+    def module_consts(self) -> List[str]:
+        return []
+
+    def get_reg(self) -> str:
+        """Body (expression) of ``_get_reg(self, i)``."""
+        raise NotImplementedError
+
+    def set_reg(self) -> List[str]:
+        raise NotImplementedError
+
+    def peek_spec(self) -> str:
+        """Expression for the speculative (mid-cycle) value of register i."""
+        raise NotImplementedError
+
+    def snapshot_expr(self) -> str:
+        raise NotImplementedError
+
+    def restore_body(self) -> List[str]:
+        raise NotImplementedError
+
+
+class _LayoutO0(_Layout):
+    """Naive model: interleaved per-register log records (paper §3.1)."""
+
+    def read_check(self, i, port):
+        if port == 0:
+            return f"L[{i}][2] or L[{i}][3]"
+        return f"L[{i}][3]"
+
+    def read_flag_stmts(self, i, port):
+        return [f"l[{i}][{0 if port == 0 else 1}] = True"]
+
+    def read_value(self, i, port):
+        if port == 0:
+            return f"S[{i}]"
+        return f"(l[{i}][4] if l[{i}][2] else (L[{i}][4] if L[{i}][2] else S[{i}]))"
+
+    def write_check(self, i, port):
+        if port == 0:
+            return (f"L[{i}][1] or L[{i}][2] or L[{i}][3] "
+                    f"or l[{i}][1] or l[{i}][2] or l[{i}][3]")
+        return f"L[{i}][3] or l[{i}][3]"
+
+    def write_stmts(self, i, port, value):
+        if port == 0:
+            return [f"l[{i}][2] = True", f"l[{i}][4] = {value}"]
+        return [f"l[{i}][3] = True", f"l[{i}][5] = {value}"]
+
+    def rule_locals(self, rule):
+        return ["S = self._state", "L = self._L", "l = self._l"]
+
+    def rule_entry(self, rule):
+        return ["self._clear_rule_log()"]
+
+    def rule_commit(self, rule):
+        return ["return self._commit_rule()"]
+
+    def fail_stmt(self, rule, effects_so_far):
+        return "return False"
+
+    def cycle_start(self):
+        return ["self._clear_cycle_log()"]
+
+    def cycle_end(self):
+        return ["self._commit_cycle()"]
+
+    def reset_body(self):
+        return [
+            "self._state = list(self.REG_INIT)",
+            f"self._L = [[False, False, False, False, None, None] "
+            f"for _ in range({self.n})]",
+            f"self._l = [[False, False, False, False, None, None] "
+            f"for _ in range({self.n})]",
+        ]
+
+    def helper_methods(self) -> List[Tuple[str, List[str]]]:
+        return [
+            ("_clear_rule_log", [
+                "for e in self._l:",
+                "    e[0] = e[1] = e[2] = e[3] = False",
+                "    e[4] = e[5] = None",
+            ]),
+            ("_clear_cycle_log", [
+                "for e in self._L:",
+                "    e[0] = e[1] = e[2] = e[3] = False",
+                "    e[4] = e[5] = None",
+            ]),
+            ("_commit_rule", [
+                "L = self._L",
+                "for i, le in enumerate(self._l):",
+                "    Le = L[i]",
+                "    if le[0]: Le[0] = True",
+                "    if le[1]: Le[1] = True",
+                "    if le[2]:",
+                "        Le[2] = True",
+                "        Le[4] = le[4]",
+                "    if le[3]:",
+                "        Le[3] = True",
+                "        Le[5] = le[5]",
+                "return True",
+            ]),
+            ("_commit_cycle", [
+                "S = self._state",
+                "for i, e in enumerate(self._L):",
+                "    if e[3]:",
+                "        S[i] = e[5]",
+                "    elif e[2]:",
+                "        S[i] = e[4]",
+            ]),
+        ]
+
+    def get_reg(self):
+        return "self._state[i]"
+
+    def set_reg(self):
+        return ["self._state[i] = value & _RM[i]"]
+
+    def peek_spec(self):
+        return ("(self._l[i][5] if self._l[i][3] else "
+                "self._l[i][4] if self._l[i][2] else "
+                "self._L[i][5] if self._L[i][3] else "
+                "self._L[i][4] if self._L[i][2] else self._state[i])")
+
+    def snapshot_expr(self):
+        return ("(list(self._state), [list(e) for e in self._L], "
+                "[list(e) for e in self._l])")
+
+    def restore_body(self):
+        return [
+            "self._state[:] = snapshot[0]",
+            "self._L = [list(e) for e in snapshot[1]]",
+            "self._l = [list(e) for e in snapshot[2]]",
+        ]
+
+
+class _LayoutO1(_Layout):
+    """Separate read-write sets (int bitmasks) from data arrays."""
+
+    def read_check(self, i, port):
+        return f"Lrw[{i}] & 12" if port == 0 else f"Lrw[{i}] & 8"
+
+    def read_flag_stmts(self, i, port):
+        return [f"lrw[{i}] |= {1 if port == 0 else 2}"]
+
+    def read_value(self, i, port):
+        if port == 0:
+            return f"S[{i}]"
+        return (f"(ld0[{i}] if lrw[{i}] & 4 else "
+                f"(Ld0[{i}] if Lrw[{i}] & 4 else S[{i}]))")
+
+    def write_check(self, i, port):
+        if port == 0:
+            return f"(Lrw[{i}] | lrw[{i}]) & 14"
+        return f"(Lrw[{i}] | lrw[{i}]) & 8"
+
+    def write_stmts(self, i, port, value):
+        if port == 0:
+            return [f"lrw[{i}] |= 4", f"ld0[{i}] = {value}"]
+        return [f"lrw[{i}] |= 8", f"ld1[{i}] = {value}"]
+
+    def rule_locals(self, rule):
+        return [
+            "S = self._state",
+            "Lrw = self._Lrw", "Ld0 = self._Ld0", "Ld1 = self._Ld1",
+            "lrw = self._lrw", "ld0 = self._ld0", "ld1 = self._ld1",
+        ]
+
+    def rule_entry(self, rule):
+        return ["lrw[:] = _RWZ"]
+
+    def rule_commit(self, rule):
+        return ["return self._commit_rule()"]
+
+    def fail_stmt(self, rule, effects_so_far):
+        return "return False"
+
+    def cycle_start(self):
+        return ["self._Lrw[:] = _RWZ"]
+
+    def cycle_end(self):
+        return ["self._commit_cycle()"]
+
+    def reset_body(self):
+        return [
+            "self._state = list(self.REG_INIT)",
+            f"self._Lrw = [0] * {self.n}",
+            "self._Ld0 = list(self.REG_INIT)",
+            "self._Ld1 = list(self.REG_INIT)",
+            f"self._lrw = [0] * {self.n}",
+            "self._ld0 = list(self.REG_INIT)",
+            "self._ld1 = list(self.REG_INIT)",
+        ]
+
+    def module_consts(self):
+        return [f"_RWZ = (0,) * {self.n}"]
+
+    def helper_methods(self) -> List[Tuple[str, List[str]]]:
+        return [
+            ("_commit_rule", [
+                "Lrw = self._Lrw",
+                "Ld0 = self._Ld0",
+                "Ld1 = self._Ld1",
+                "ld0 = self._ld0",
+                "ld1 = self._ld1",
+                "for i, m in enumerate(self._lrw):",
+                "    if m:",
+                "        Lrw[i] |= m",
+                "        if m & 4: Ld0[i] = ld0[i]",
+                "        if m & 8: Ld1[i] = ld1[i]",
+                "return True",
+            ]),
+            ("_commit_cycle", [
+                "S = self._state",
+                "Ld0 = self._Ld0",
+                "Ld1 = self._Ld1",
+                "for i, m in enumerate(self._Lrw):",
+                "    if m & 8:",
+                "        S[i] = Ld1[i]",
+                "    elif m & 4:",
+                "        S[i] = Ld0[i]",
+            ]),
+        ]
+
+    def get_reg(self):
+        return "self._state[i]"
+
+    def set_reg(self):
+        return ["self._state[i] = value & _RM[i]"]
+
+    def peek_spec(self):
+        return ("(self._ld1[i] if self._lrw[i] & 8 else "
+                "self._ld0[i] if self._lrw[i] & 4 else "
+                "self._Ld1[i] if self._Lrw[i] & 8 else "
+                "self._Ld0[i] if self._Lrw[i] & 4 else self._state[i])")
+
+    def snapshot_expr(self):
+        return ("(list(self._state), list(self._Lrw), list(self._Ld0), "
+                "list(self._Ld1), list(self._lrw), list(self._ld0), "
+                "list(self._ld1))")
+
+    def restore_body(self):
+        return [
+            "(self._state[:], self._Lrw[:], self._Ld0[:], self._Ld1[:],",
+            " self._lrw[:], self._ld0[:], self._ld1[:]) = snapshot",
+        ]
+
+
+class _LayoutO23(_Layout):
+    """O2 (accumulated log) and O3 (reset on failure) share a layout; they
+    differ in where resets happen."""
+
+    def __init__(self, design, analysis, reset_on_failure: bool):
+        super().__init__(design, analysis)
+        self.reset_on_failure = reset_on_failure
+
+    def read_check(self, i, port):
+        return f"Lrw[{i}] & 12" if port == 0 else f"Lrw[{i}] & 8"
+
+    def read_flag_stmts(self, i, port):
+        return [f"Arw[{i}] |= {1 if port == 0 else 2}"]
+
+    def read_value(self, i, port):
+        if port == 0:
+            return f"S[{i}]"
+        return f"(Ad0[{i}] if Arw[{i}] & 4 else S[{i}])"
+
+    def write_check(self, i, port):
+        return f"Arw[{i}] & 14" if port == 0 else f"Arw[{i}] & 8"
+
+    def write_stmts(self, i, port, value):
+        if port == 0:
+            return [f"Arw[{i}] |= 4", f"Ad0[{i}] = {value}"]
+        return [f"Arw[{i}] |= 8", f"Ad1[{i}] = {value}"]
+
+    def rule_locals(self, rule):
+        return [
+            "S = self._state",
+            "Lrw = self._Lrw", "Ld0 = self._Ld0", "Ld1 = self._Ld1",
+            "Arw = self._Arw", "Ad0 = self._Ad0", "Ad1 = self._Ad1",
+        ]
+
+    def rule_entry(self, rule):
+        if self.reset_on_failure:
+            return []
+        return ["Arw[:] = Lrw", "Ad0[:] = Ld0", "Ad1[:] = Ld1"]
+
+    def rule_commit(self, rule):
+        return ["Lrw[:] = Arw", "Ld0[:] = Ad0", "Ld1[:] = Ad1", "return True"]
+
+    def fail_stmt(self, rule, effects_so_far):
+        if self.reset_on_failure:
+            return "return self._rollback()"
+        return "return False"
+
+    def helper_methods(self) -> List[Tuple[str, List[str]]]:
+        helpers = [
+            ("_commit_cycle", [
+                "S = self._state",
+                "Ld0 = self._Ld0",
+                "Ld1 = self._Ld1",
+                "for i, m in enumerate(self._Lrw):",
+                "    if m & 8:",
+                "        S[i] = Ld1[i]",
+                "    elif m & 4:",
+                "        S[i] = Ld0[i]",
+            ]),
+        ]
+        if self.reset_on_failure:
+            helpers.append(("_rollback", [
+                "self._Arw[:] = self._Lrw",
+                "self._Ad0[:] = self._Ld0",
+                "self._Ad1[:] = self._Ld1",
+                "return False",
+            ]))
+        return helpers
+
+    def cycle_start(self):
+        if self.reset_on_failure:
+            return ["self._Lrw[:] = _RWZ", "self._Arw[:] = _RWZ"]
+        return ["self._Lrw[:] = _RWZ"]
+
+    def cycle_start_inline(self):
+        if self.reset_on_failure:
+            return ["Lrw[:] = _RWZ", "Arw[:] = _RWZ"]
+        return ["Lrw[:] = _RWZ"]
+
+    def cycle_end(self):
+        return ["self._commit_cycle()"]
+
+    def reset_body(self):
+        return [
+            "self._state = list(self.REG_INIT)",
+            f"self._Lrw = [0] * {self.n}",
+            "self._Ld0 = list(self.REG_INIT)",
+            "self._Ld1 = list(self.REG_INIT)",
+            f"self._Arw = [0] * {self.n}",
+            "self._Ad0 = list(self.REG_INIT)",
+            "self._Ad1 = list(self.REG_INIT)",
+        ]
+
+    def module_consts(self):
+        return [f"_RWZ = (0,) * {self.n}"]
+
+    def get_reg(self):
+        return "self._state[i]"
+
+    def set_reg(self):
+        return ["self._state[i] = value & _RM[i]"]
+
+    def peek_spec(self):
+        return ("(self._Ad1[i] if self._Arw[i] & 8 else "
+                "self._Ad0[i] if self._Arw[i] & 4 else self._state[i])")
+
+    def snapshot_expr(self):
+        return ("(list(self._state), list(self._Lrw), list(self._Ld0), "
+                "list(self._Ld1), list(self._Arw), list(self._Ad0), "
+                "list(self._Ad1))")
+
+    def restore_body(self):
+        return [
+            "(self._state[:], self._Lrw[:], self._Ld0[:], self._Ld1[:],",
+            " self._Arw[:], self._Ad0[:], self._Ad1[:]) = snapshot",
+        ]
+
+
+class _LayoutO4(_Layout):
+    """Merged data fields, no beginning-of-cycle state: the logs *are* the
+    state.  ``Ld`` holds committed values, ``Ad`` accumulated values."""
+
+    def read_check(self, i, port):
+        return f"Lrw[{i}] & 12" if port == 0 else f"Lrw[{i}] & 8"
+
+    def read_flag_stmts(self, i, port):
+        return [f"Arw[{i}] |= {1 if port == 0 else 2}"]
+
+    def read_value(self, i, port):
+        if port == 0:
+            return f"Ld[{i}]"
+        return f"(Ad[{i}] if Arw[{i}] & 4 else Ld[{i}])"
+
+    def write_check(self, i, port):
+        return f"Arw[{i}] & 14" if port == 0 else f"Arw[{i}] & 8"
+
+    def write_stmts(self, i, port, value):
+        return [f"Arw[{i}] |= {4 if port == 0 else 8}", f"Ad[{i}] = {value}"]
+
+    def rule_locals(self, rule):
+        return [
+            "Lrw = self._Lrw", "Ld = self._Ld",
+            "Arw = self._Arw", "Ad = self._Ad",
+        ]
+
+    def rule_commit(self, rule):
+        return ["Lrw[:] = Arw", "Ld[:] = Ad", "return True"]
+
+    def fail_stmt(self, rule, effects_so_far):
+        return "return self._rollback()"
+
+    def helper_methods(self) -> List[Tuple[str, List[str]]]:
+        return [
+            ("_rollback", [
+                "self._Arw[:] = self._Lrw",
+                "self._Ad[:] = self._Ld",
+                "return False",
+            ]),
+        ]
+
+    def cycle_start(self):
+        return ["self._Lrw[:] = _RWZ", "self._Arw[:] = _RWZ"]
+
+    def cycle_start_inline(self):
+        return ["Lrw[:] = _RWZ", "Arw[:] = _RWZ"]
+
+    def cycle_end(self):
+        return []
+
+    def reset_body(self):
+        return [
+            f"self._Lrw = [0] * {self.n}",
+            "self._Ld = list(self.REG_INIT)",
+            f"self._Arw = [0] * {self.n}",
+            "self._Ad = list(self.REG_INIT)",
+        ]
+
+    def module_consts(self):
+        return [f"_RWZ = (0,) * {self.n}"]
+
+    def get_reg(self):
+        return "self._Ld[i]"
+
+    def set_reg(self):
+        return [
+            "value &= _RM[i]",
+            "self._Ld[i] = value",
+            "self._Ad[i] = value",
+        ]
+
+    def peek_spec(self):
+        return "self._Ad[i]"
+
+    def snapshot_expr(self):
+        return ("(list(self._Lrw), list(self._Ld), list(self._Arw), "
+                "list(self._Ad))")
+
+    def restore_body(self):
+        return [
+            "(self._Lrw[:], self._Ld[:], self._Arw[:], self._Ad[:]) = snapshot",
+        ]
+
+
+class _LayoutO5(_LayoutO4):
+    """O4 plus the design-specific optimizations of §3.3."""
+
+    uses_analysis = True
+
+    def __init__(self, design, analysis):
+        super().__init__(design, analysis)
+        assert analysis is not None
+        # Flag slots only for unsafe registers.
+        unsafe = [r for r in self.regs if r not in analysis.safe_registers]
+        self.flag_slot = {r: s for s, r in enumerate(unsafe)}
+        self.m = len(unsafe)
+
+    def _info(self, node):
+        return self.analysis.node_info.get(node.uid)
+
+    # Node-aware variants (the emitter calls these with the AST node).
+    def node_read_check(self, node: Read) -> Optional[str]:
+        info = self._info(node)
+        if info is None or not info.may_fail:
+            return None
+        slot = self.flag_slot[node.reg]
+        if node.port == 0:
+            return f"Lf[{slot}] & {_F_WR0 | _F_WR1}"
+        return f"Lf[{slot}] & {_F_WR1}"
+
+    def node_read_flag_stmts(self, node: Read) -> List[str]:
+        if node.port == 0:
+            return []  # rd0 is never tracked in a sequential model.
+        tracked = self.analysis.tracked_flags.get(node.reg, set())
+        if RD1 not in tracked:
+            return []
+        return [f"Af[{self.flag_slot[node.reg]}] |= {_F_RD1}"]
+
+    def node_read_value(self, node: Read) -> str:
+        i = self.reg_id[node.reg]
+        return f"Ld[{i}]" if node.port == 0 else f"Ad[{i}]"
+
+    def node_write_check(self, node: Write) -> Optional[str]:
+        info = self._info(node)
+        if info is None or not info.may_fail:
+            return None
+        slot = self.flag_slot[node.reg]
+        if node.port == 0:
+            return f"Af[{slot}] & {_F_RD1 | _F_WR0 | _F_WR1}"
+        return f"Af[{slot}] & {_F_WR1}"
+
+    def node_write_stmts(self, node: Write, value: str) -> List[str]:
+        stmts = []
+        tracked = self.analysis.tracked_flags.get(node.reg, set())
+        flag = WR0 if node.port == 0 else WR1
+        if flag in tracked:
+            stmts.append(f"Af[{self.flag_slot[node.reg]}] |= {_F_BIT[flag]}")
+        stmts.append(f"Ad[{self.reg_id[node.reg]}] = {value}")
+        return stmts
+
+    def rule_locals(self, rule):
+        locals_ = ["Ld = self._Ld", "Ad = self._Ad"]
+        if self.m:
+            locals_ += ["Lf = self._Lf", "Af = self._Af"]
+        return locals_
+
+    def rule_commit(self, rule):
+        info = self.analysis.rules[rule]
+        stmts: List[str] = []
+        data = sorted(self.reg_id[r] for r in info.data_footprint)
+        if len(data) > max(_FOOTPRINT_FALLBACK, (2 * self.n) // 3):
+            stmts.append("Ld[:] = Ad")
+        else:
+            stmts += [f"Ld[{i}] = Ad[{i}]" for i in data]
+        flags = sorted(self.flag_slot[r] for r in info.flag_footprint
+                       if r in self.flag_slot)
+        if len(flags) > max(_FOOTPRINT_FALLBACK, (2 * self.m) // 3):
+            stmts.append("Lf[:] = Af")
+        else:
+            stmts += [f"Lf[{s}] = Af[{s}]" for s in flags]
+        stmts.append("return True")
+        return stmts
+
+    def fail_stmt(self, rule, effects_so_far):
+        if not effects_so_far:
+            return "return False"  # early failure: nothing to roll back
+        return f"return self._fail_{rule}()"
+
+    def needs_fail_helper(self, rule):
+        info = self.analysis.rules[rule]
+        return info.may_abort and bool(info.data_footprint or info.flag_footprint)
+
+    def fail_helper_body(self, rule):
+        info = self.analysis.rules[rule]
+        stmts: List[str] = []
+        data = sorted(self.reg_id[r] for r in info.data_footprint)
+        flags = sorted(self.flag_slot[r] for r in info.flag_footprint
+                       if r in self.flag_slot)
+        if data or flags:
+            stmts += ["Ld = self._Ld", "Ad = self._Ad"]
+        if flags:
+            stmts += ["Lf = self._Lf", "Af = self._Af"]
+        if len(data) > max(_FOOTPRINT_FALLBACK, (2 * self.n) // 3):
+            stmts.append("Ad[:] = Ld")
+        else:
+            stmts += [f"Ad[{i}] = Ld[{i}]" for i in data]
+        if len(flags) > max(_FOOTPRINT_FALLBACK, (2 * self.m) // 3):
+            stmts.append("Af[:] = Lf")
+        else:
+            stmts += [f"Af[{s}] = Lf[{s}]" for s in flags]
+        stmts.append("return False")
+        return stmts
+
+    def cycle_start(self):
+        if not self.m:
+            return []
+        return ["self._Lf[:] = _FZ", "self._Af[:] = _FZ"]
+
+    def cycle_start_inline(self):
+        if not self.m:
+            return []
+        if self.m <= 8:
+            return ([f"Lf[{s}] = 0" for s in range(self.m)]
+                    + [f"Af[{s}] = 0" for s in range(self.m)])
+        return ["Lf[:] = _FZ", "Af[:] = _FZ"]
+
+    def reset_body(self):
+        return [
+            "self._Ld = list(self.REG_INIT)",
+            "self._Ad = list(self.REG_INIT)",
+            f"self._Lf = [0] * {self.m}",
+            f"self._Af = [0] * {self.m}",
+        ]
+
+    def module_consts(self):
+        return [f"_FZ = (0,) * {self.m}"]
+
+    def helper_methods(self) -> List[Tuple[str, List[str]]]:
+        return []
+
+    def snapshot_expr(self):
+        return ("(list(self._Ld), list(self._Ad), list(self._Lf), "
+                "list(self._Af))")
+
+    def restore_body(self):
+        return [
+            "(self._Ld[:], self._Ad[:], self._Lf[:], self._Af[:]) = snapshot",
+        ]
+
+
+def _make_layout(design: Design, opt: int,
+                 analysis: Optional[DesignAnalysis]) -> _Layout:
+    if opt == 0:
+        return _LayoutO0(design, analysis)
+    if opt == 1:
+        return _LayoutO1(design, analysis)
+    if opt == 2:
+        return _LayoutO23(design, analysis, reset_on_failure=False)
+    if opt == 3:
+        return _LayoutO23(design, analysis, reset_on_failure=True)
+    if opt == 4:
+        return _LayoutO4(design, analysis)
+    if opt == 5:
+        return _LayoutO5(design, analysis)
+    raise CompileError(f"unknown optimization level O{opt}")
+
+
+# ----------------------------------------------------------------------
+# Expression/action emission.
+# ----------------------------------------------------------------------
+
+def _is_atomic(expr: str) -> bool:
+    return expr.isidentifier() or expr.lstrip("-").isdigit() or (
+        expr.startswith("0x") and all(c in "0123456789abcdef" for c in expr[2:])
+    )
+
+
+def _is_unit_const(node: Action) -> bool:
+    return isinstance(node, Const) and node.typ is not None and node.typ.width == 0
+
+
+class _Emitter:
+    """Shared expression emitter.  Subclasses handle effectful nodes."""
+
+    def __init__(self, out: _Builder, meta: _Meta):
+        self.out = out
+        self.meta = meta
+        self._temps = 0
+        self.scope: Dict[str, str] = {}
+        self._mutates_cache: Dict[int, bool] = {}
+
+    def fresh(self, hint: str = "t") -> str:
+        self._temps += 1
+        return f"_{hint}{self._temps}"
+
+    def line(self, text: str) -> None:
+        self.out.line(text)
+
+    def _mutates(self, node: Action) -> bool:
+        # ExtCall counts: external calls must keep their exact sequential
+        # call order (the environment may observe them, e.g. output sinks).
+        cached = self._mutates_cache.get(node.uid)
+        if cached is None:
+            cached = any(isinstance(n, (Read, Write, ExtCall))
+                         for n in walk(node))
+            self._mutates_cache[node.uid] = cached
+        return cached
+
+    def _is_pure(self, node: Action) -> bool:
+        """Pure enough to inline as a single Python expression (and to drop
+        when the value is discarded)."""
+        for n in walk(node):
+            if isinstance(n, (Write, Abort, Let, Assign, Seq, ExtCall)):
+                return False
+            if isinstance(n, Read) and not self._read_is_pure(n):
+                return False
+        return True
+
+    def _read_is_pure(self, node: Read) -> bool:
+        return False  # overridden by the rule emitter for O5 / fn emitter
+
+    def emit_ordered(self, children: Sequence[Action]) -> List[str]:
+        """Emit children left-to-right, hoisting earlier results to temps
+        whenever a later child mutates log state (order preservation)."""
+        mutates_after = [False] * (len(children) + 1)
+        for i in range(len(children) - 1, -1, -1):
+            mutates_after[i] = mutates_after[i + 1] or self._mutates(children[i])
+        exprs = []
+        for i, child in enumerate(children):
+            expr = self.emit(child)
+            if mutates_after[i + 1] and not _is_atomic(expr):
+                temp = self.fresh()
+                self.line(f"{temp} = {expr}")
+                expr = temp
+            exprs.append(expr)
+        return exprs
+
+    # -- dispatch ------------------------------------------------------------
+    def emit(self, node: Action) -> str:
+        self.meta.uid_line.setdefault(node.uid, self.out.lineno())
+        if isinstance(node, Const):
+            return _hex(node.value)
+        if isinstance(node, Var):
+            return self.scope[node.name]
+        if isinstance(node, Unop):
+            return self._emit_unop(node)
+        if isinstance(node, Binop):
+            return self._emit_binop(node)
+        if isinstance(node, GetField):
+            return self._emit_getfield(node)
+        if isinstance(node, SubstField):
+            return self._emit_substfield(node)
+        if isinstance(node, Call):
+            exprs = self.emit_ordered(node.args)
+            return f"fn_{node.fn}({', '.join(exprs)})"
+        if isinstance(node, Let):
+            return self._emit_let(node)
+        if isinstance(node, Assign):
+            expr = self.emit(node.value)
+            self.line(f"{self.scope[node.name]} = {expr}")
+            return "0"
+        if isinstance(node, Seq):
+            for action in node.actions[:-1]:
+                self.emit_discard(action)
+            return self.emit(node.actions[-1])
+        if isinstance(node, If):
+            return self._emit_if(node)
+        if isinstance(node, (Read, Write, Abort, ExtCall)):
+            return self._emit_effect(node)
+        raise CompileError(f"cannot emit {type(node).__name__}")
+
+    def emit_discard(self, node: Action) -> None:
+        """Emit a node whose value is unused."""
+        if self._is_pure(node):
+            return  # a pure value computed for nothing: drop it entirely
+        if isinstance(node, If):
+            self._emit_if_stmt(node)
+            return
+        expr = self.emit(node)
+        if any(isinstance(n, ExtCall) for n in walk(node)):
+            # The returned expression performs the external call(s); emit it
+            # as an expression statement so they actually run.
+            self.line(expr)
+
+    def _emit_effect(self, node: Action) -> str:
+        raise CompileError(
+            f"{node.kind} is not allowed in this context (pure function?)"
+        )
+
+    def _emit_let(self, node: Let) -> str:
+        expr = self.emit(node.value)
+        pyname = self._bind(node.name)
+        self.line(f"{pyname} = {expr}")
+        saved = self.scope.get(node.name)
+        self.scope[node.name] = pyname
+        result = self.emit(node.body)
+        if saved is not None and saved != pyname:
+            self.scope[node.name] = saved
+        return result
+
+    def _bind(self, name: str) -> str:
+        base = f"v_{name}"
+        if self.scope.get(name) == base or base in self.scope.values():
+            self._temps += 1
+            return f"{base}_{self._temps}"
+        return base
+
+    def _emit_unop(self, node: Unop) -> str:
+        arg = self.emit(node.arg)
+        if node.op == "not":
+            return f"({arg} ^ {_hex(mask(node.typ.width))})"
+        if node.op == "neg":
+            return f"(-{arg} & {_hex(mask(node.typ.width))})"
+        if node.op == "zextl":
+            return arg
+        if node.op == "sextl":
+            in_width = node.arg.typ.width
+            if in_width == 0:
+                return "0"
+            sign_bit = _hex(1 << (in_width - 1))
+            high = _hex(mask(node.param) - mask(in_width))
+            if not _is_atomic(arg):
+                temp = self.fresh()
+                self.line(f"{temp} = {arg}")
+                arg = temp
+            return f"(({arg} | {high}) if {arg} & {sign_bit} else {arg})"
+        offset, width = node.param
+        if offset == 0:
+            return f"({arg} & {_hex(mask(width))})"
+        return f"(({arg} >> {offset}) & {_hex(mask(width))})"
+
+    def _emit_binop(self, node: Binop) -> str:
+        op = node.op
+        a_expr, b_expr = self.emit_ordered((node.a, node.b))
+        width = node.a.typ.width
+        result_mask = _hex(mask(node.typ.width))
+        if op == "add":
+            return f"(({a_expr} + {b_expr}) & {result_mask})"
+        if op == "sub":
+            return f"(({a_expr} - {b_expr}) & {result_mask})"
+        if op == "mul":
+            return f"(({a_expr} * {b_expr}) & {result_mask})"
+        if op == "divu":
+            return f"(({a_expr} // {b_expr}) if {b_expr} else {result_mask})"
+        if op == "remu":
+            return f"(({a_expr} % {b_expr}) if {b_expr} else {a_expr})"
+        if op == "and":
+            return f"({a_expr} & {b_expr})"
+        if op == "or":
+            return f"({a_expr} | {b_expr})"
+        if op == "xor":
+            return f"({a_expr} ^ {b_expr})"
+        if op in ("eq", "ne", "ltu", "leu", "gtu", "geu"):
+            py = {"eq": "==", "ne": "!=", "ltu": "<",
+                  "leu": "<=", "gtu": ">", "geu": ">="}[op]
+            return f"({a_expr} {py} {b_expr})"
+        if op in ("lts", "les", "gts", "ges"):
+            py = {"lts": "<", "les": "<=", "gts": ">", "ges": ">="}[op]
+            half, full = _hex(1 << (width - 1)), _hex(1 << width)
+            return (f"(_sgn({a_expr}, {half}, {full}) {py} "
+                    f"_sgn({b_expr}, {half}, {full}))")
+        if op == "concat":
+            return f"(({a_expr} << {node.b.typ.width}) | {b_expr})"
+        if op == "sll":
+            if isinstance(node.b, Const):
+                if node.b.value >= width:
+                    return "0"
+                return f"(({a_expr} << {node.b.value}) & {result_mask})"
+            return (f"((({a_expr} << {b_expr}) & {result_mask}) "
+                    f"if {b_expr} < {width} else 0)")
+        if op == "srl":
+            if isinstance(node.b, Const):
+                return "0" if node.b.value >= width else f"({a_expr} >> {node.b.value})"
+            return f"(({a_expr} >> {b_expr}) if {b_expr} < {width} else 0)"
+        if op == "sra":
+            half, full = _hex(1 << (width - 1)), _hex(1 << width)
+            shift = (f"{b_expr} if {b_expr} < {width} else {width}"
+                     if not isinstance(node.b, Const)
+                     else str(min(node.b.value, width)))
+            return (f"((_sgn({a_expr}, {half}, {full}) >> ({shift})) "
+                    f"& {result_mask})")
+        if op == "sel":
+            if isinstance(node.b, Const):
+                if node.b.value >= width:
+                    return "0"
+                return f"(({a_expr} >> {node.b.value}) & 1)"
+            return f"((({a_expr} >> {b_expr}) & 1) if {b_expr} < {width} else 0)"
+        raise CompileError(f"unknown binop {op!r}")
+
+    def _emit_getfield(self, node: GetField) -> str:
+        arg = self.emit(node.arg)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(node.field_name)
+        width = struct.field_type(node.field_name).width
+        if offset == 0:
+            return f"({arg} & {_hex(mask(width))})"
+        return f"(({arg} >> {offset}) & {_hex(mask(width))})"
+
+    def _emit_substfield(self, node: SubstField) -> str:
+        arg_expr, value_expr = self.emit_ordered((node.arg, node.value))
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(node.field_name)
+        width = struct.field_type(node.field_name).width
+        clear = _hex(mask(struct.width) ^ (mask(width) << offset))
+        if offset == 0:
+            return f"(({arg_expr} & {clear}) | {value_expr})"
+        return f"(({arg_expr} & {clear}) | ({value_expr} << {offset}))"
+
+    def _emit_if(self, node: If) -> str:
+        if node.orelse is not None and self._is_pure(node):
+            cond = self.emit(node.cond)
+            then = self.emit(node.then)
+            orelse = self.emit(node.orelse)
+            return f"({then} if {cond} else {orelse})"
+        if node.typ is not None and node.typ.width == 0:
+            self._emit_if_stmt(node)
+            return "0"
+        # Statement form with a result temp.
+        temp = self.fresh()
+        cond = self.emit(node.cond)
+        self.line(f"if {cond}:")
+        self._branch(node.then, temp, node, "then")
+        self.line("else:")
+        assert node.orelse is not None
+        self._branch(node.orelse, temp, node, "else")
+        return temp
+
+    def _branch(self, body: Action, temp: Optional[str], node: If,
+                kind: str) -> None:
+        self.out.indent += 1
+        self._branch_depth = getattr(self, "_branch_depth", 0) + 1
+        self._enter_block(kind, node.uid)
+        if temp is None:
+            before = len(self.out.lines)
+            self.emit_discard(body)
+            if len(self.out.lines) == before and not self._block_marks():
+                self.line("pass")
+        else:
+            expr = self.emit(body)
+            self.line(f"{temp} = {expr}")
+        self.out.indent -= 1
+        self._branch_depth -= 1
+        self._exit_block()
+
+    def _emit_if_stmt(self, node: If) -> None:
+        """If whose value is unit/discarded, emitted as a statement."""
+        then_trivial = _is_unit_const(node.then) or (
+            self._is_pure(node.then) and not isinstance(node.then, Abort))
+        orelse_trivial = node.orelse is None or _is_unit_const(node.orelse) or (
+            self._is_pure(node.orelse) and not isinstance(node.orelse, Abort))
+        # Peepholes for guards: `if (!cond) abort` reads like the paper's
+        # models (`if (READ0(st) != A) return false;`).
+        if isinstance(node.orelse, Abort) and then_trivial:
+            cond = self.emit(node.cond)
+            self.line(f"if not {cond}:")
+            self._abort_branch(node.orelse)
+            self._reblock(node.uid)
+            return
+        if isinstance(node.then, Abort) and orelse_trivial:
+            cond = self.emit(node.cond)
+            self.line(f"if {cond}:")
+            self._abort_branch(node.then)
+            self._reblock(node.uid)
+            return
+        cond = self.emit(node.cond)
+        if then_trivial and not orelse_trivial:
+            self.line(f"if not {cond}:")
+            self._branch(node.orelse, None, node, "else")
+            self._reblock(node.uid)
+            return
+        self.line(f"if {cond}:")
+        self._branch(node.then, None, node, "then")
+        if not orelse_trivial:
+            self.line("else:")
+            self._branch(node.orelse, None, node, "else")
+        self._reblock(node.uid)
+
+    def _abort_branch(self, node: Abort) -> None:
+        self.out.indent += 1
+        self._enter_block("fail", node.uid)
+        self.emit(node)
+        self.out.indent -= 1
+        self._exit_block()
+
+    # Block hooks (only the rule emitter implements coverage counters).
+    def _enter_block(self, kind: str, uid: Optional[int]) -> None:
+        pass
+
+    def _reblock(self, uid: Optional[int]) -> None:
+        pass
+
+    def _exit_block(self) -> None:
+        pass
+
+    def _block_marks(self) -> bool:
+        return False
+
+
+class _FnEmitter(_Emitter):
+    """Emits a pure design function as a module-level Python function."""
+
+    def _read_is_pure(self, node: Read) -> bool:  # pragma: no cover
+        return True
+
+    def emit_fn(self, fn: Fn) -> None:
+        args = ", ".join(f"v_{name}" for name, _ in fn.args)
+        self.line(f"def fn_{fn.name}({args}):")
+        self.out.indent += 1
+        self.scope = {name: f"v_{name}" for name, _ in fn.args}
+        expr = self.emit(fn.body)
+        self.line(f"return {expr}")
+        self.out.indent -= 1
+        self.line("")
+
+
+class _RuleEmitter(_Emitter):
+    """Emits one rule as a model method returning True (commit) / False."""
+
+    def __init__(self, out: _Builder, meta: _Meta, design: Design,
+                 layout: _Layout, rule: Rule, instrument: bool, debug: bool,
+                 inline: bool = False):
+        super().__init__(out, meta)
+        self.design = design
+        self.layout = layout
+        self.rule = rule
+        self.instrument = instrument
+        self.debug = debug
+        #: Inline mode: the rule body is emitted inside ``_cycle`` wrapped
+        #: in ``while True:``; returns become breaks (what a C++ compiler's
+        #: inlining does to the paper's models for free).
+        self.inline = inline
+        self.effects = False
+        self._block_stack: List[Optional[int]] = []
+        self._marked = False
+        #: Read checks consult only the cycle log, which is constant for
+        #: the whole rule, so a check that already ran unconditionally (at
+        #: branch depth 0) never needs repeating.
+        self._branch_depth = 0
+        self._reads_checked: set = set()
+
+    def _emit_exit(self, return_stmt: str) -> None:
+        """Emit a rule exit: verbatim in method mode, translated to
+        (call +) ``break`` in inline mode."""
+        if not self.inline:
+            self.line(return_stmt)
+            return
+        if return_stmt in ("return False", "return True"):
+            self.line("break")
+            return
+        assert return_stmt.startswith("return ")
+        self.line(return_stmt[len("return "):])
+        self.line("break")
+
+    # -- coverage blocks -------------------------------------------------------
+    def _new_block(self, kind: str, uid: Optional[int]) -> int:
+        block_id = len(self.meta.blocks)
+        self.meta.blocks.append((block_id, self.rule.name, kind, uid))
+        return block_id
+
+    def _enter_block(self, kind: str, uid: Optional[int]) -> None:
+        if not self.instrument:
+            return
+        self._block_stack.append(self.out.current_block)
+        block_id = self._new_block(kind, uid)
+        self.out.current_block = block_id
+        self.line(f"_c[{block_id}] += 1")
+        self._marked = True
+
+    def _exit_block(self) -> None:
+        if not self.instrument:
+            return
+        self.out.current_block = self._block_stack.pop()
+
+    def _reblock(self, uid: Optional[int]) -> None:
+        """Start a fresh basic block (gcov-style): the continuation after a
+        possibly-returning construct gets its own counter, so e.g. the code
+        after an early guard shows the guard's pass count."""
+        if not self.instrument:
+            return
+        block_id = self._new_block("join", uid)
+        self.out.current_block = block_id
+        self.line(f"_c[{block_id}] += 1")
+
+    def _block_marks(self) -> bool:
+        if self._marked:
+            self._marked = False
+            return True
+        return False
+
+    # -- effectful nodes ---------------------------------------------------------
+    def _read_is_pure(self, node: Read) -> bool:
+        if self.debug:
+            return False
+        layout = self.layout
+        if isinstance(layout, _LayoutO5):
+            return (layout.node_read_check(node) is None
+                    and not layout.node_read_flag_stmts(node))
+        return False
+
+    def _emit_effect(self, node: Action) -> str:
+        if isinstance(node, Read):
+            return self._emit_read(node)
+        if isinstance(node, Write):
+            return self._emit_write(node)
+        if isinstance(node, Abort):
+            return self._emit_abort(node)
+        if isinstance(node, ExtCall):
+            return self._emit_extcall(node)
+        raise CompileError(f"cannot emit {type(node).__name__}")
+
+    def _emit_read(self, node: Read) -> str:
+        layout = self.layout
+        name = node.reg
+        i = layout.reg_id[name]
+        if isinstance(layout, _LayoutO5):
+            check = layout.node_read_check(node)
+            flag_stmts = layout.node_read_flag_stmts(node)
+            value = layout.node_read_value(node)
+        else:
+            check = layout.read_check(i, node.port)
+            flag_stmts = layout.read_flag_stmts(i, node.port)
+            value = layout.read_value(i, node.port)
+        if check is not None and (name, node.port) not in self._reads_checked:
+            self.line(f"if {check}:  # {name}.rd{node.port} conflict")
+            self._emit_fail_body(node.uid, name, f"rd{node.port}")
+            self._reblock(node.uid)
+            if self._branch_depth == 0:
+                self._reads_checked.add((name, node.port))
+        for stmt in flag_stmts:
+            self.line(stmt)
+            self.effects = True
+        if self.debug:
+            temp = self.fresh("r")
+            self.line(f"{temp} = {value}  # {name}.rd{node.port}")
+            self.line(f"if _h: _h('read', {node.uid}, {name!r}, "
+                      f"{node.port}, {temp})")
+            return temp
+        return value
+
+    def _emit_write(self, node: Write) -> str:
+        value_expr = self.emit(node.value)
+        layout = self.layout
+        name = node.reg
+        i = layout.reg_id[name]
+        if isinstance(layout, _LayoutO5):
+            check = layout.node_write_check(node)
+            stmts = layout.node_write_stmts(node, value_expr)
+        else:
+            check = layout.write_check(i, node.port)
+            stmts = layout.write_stmts(i, node.port, value_expr)
+        if check is not None:
+            self.line(f"if {check}:  # {name}.wr{node.port} conflict")
+            self._emit_fail_body(node.uid, name, f"wr{node.port}")
+            self._reblock(node.uid)
+        for index, stmt in enumerate(stmts):
+            comment = f"  # {name}.wr{node.port}" if index == len(stmts) - 1 else ""
+            self.line(stmt + comment)
+        self.effects = True
+        if self.debug:
+            self.line(f"if _h: _h('write', {node.uid}, {name!r}, "
+                      f"{node.port}, {value_expr})")
+        return "0"
+
+    def _emit_abort(self, node: Abort) -> str:
+        if self.instrument and self.out.current_block is not None:
+            pass  # fail blocks are created by the caller via _abort_branch
+        if self.debug:
+            self.line(f"if _h: _h('fail', {node.uid}, None, 'abort', "
+                      f"{self.rule.name!r})")
+        self._emit_exit(self.layout.fail_stmt(self.rule.name, self.effects))
+        return "0"
+
+    def _emit_fail_body(self, uid: int, register: str, operation: str) -> None:
+        self.out.indent += 1
+        self._enter_block("fail", uid)
+        if self.debug:
+            self.line(f"if _h: _h('fail', {uid}, {register!r}, "
+                      f"{operation!r}, {self.rule.name!r})")
+        self._emit_exit(self.layout.fail_stmt(self.rule.name, self.effects))
+        self.out.indent -= 1
+        self._exit_block()
+
+    def _emit_extcall(self, node: ExtCall) -> str:
+        arg = self.emit(node.arg)
+        ret_mask = _hex(mask(node.typ.width))
+        return f"(self._ext_{node.fn}({arg}) & {ret_mask})"
+
+    # -- whole rule ---------------------------------------------------------------
+    def emit_rule(self) -> None:
+        rule = self.rule
+        if self.inline:
+            self.line(f"# rule {rule.name}")
+            self.line("while True:")
+        else:
+            self.line(f"def rule_{rule.name}(self):")
+        self.out.indent += 1
+        if not self.inline:
+            for alias in self.layout.rule_locals(rule.name):
+                self.line(alias)
+            if self.instrument:
+                self.line("_c = self._cov")
+        if self.debug:
+            self.line("_h = self._hook")
+            self.line(f"if _h: _h('rule', {rule.name!r})")
+        self._enter_block("rule", None)
+        for stmt in self.layout.rule_entry(rule.name):
+            self.line(stmt)
+        self.emit_discard(rule.body)
+        self._enter_block("commit", None)
+        if self.debug:
+            self.line(f"if _h: _h('commit', {rule.name!r})")
+        for stmt in self.layout.rule_commit(rule.name):
+            self._emit_exit(stmt) if stmt.startswith("return ") \
+                else self.line(stmt)
+        if self.inline and not self._ends_with_break():
+            self.line("break")
+        self._exit_block()
+        self._exit_block()
+        self.out.indent -= 1
+        if not self.inline:
+            self.line("")
+
+    def _ends_with_break(self) -> bool:
+        for text in reversed(self.out.lines):
+            stripped = text.strip()
+            if stripped:
+                return stripped == "break"
+        return False
+
+
+# ----------------------------------------------------------------------
+# Whole-module generation.
+# ----------------------------------------------------------------------
+
+def generate_source(design: Design, opt: int = 5, instrument: bool = False,
+                    debug: bool = False,
+                    analysis: Optional[DesignAnalysis] = None,
+                    inline_rules: Optional[bool] = None) -> Tuple[str, _Meta]:
+    """Generate the Python source of a Cuttlesim model for ``design``.
+
+    ``inline_rules`` controls whether the fast-path ``_cycle`` inlines
+    every rule body (the Python analogue of the C++ compiler inlining the
+    paper's models rely on).  Defaults to on, except for instrumented or
+    debug builds, where per-rule methods keep the tooling simple.
+    """
+    if inline_rules is None:
+        inline_rules = not (instrument or debug)
+    if not design.finalized:
+        design.finalize()
+    if opt >= 5 and analysis is None:
+        analysis = analyze(design)
+    layout = _make_layout(design, opt, analysis)
+    out = _Builder()
+    meta = _Meta()
+
+    out.line(f'"""Cuttlesim model for design {design.name!r} '
+             f'(optimization level O{opt}).')
+    out.line("")
+    out.line("Auto-generated; one method per rule, `_cycle` is the scheduler.")
+    out.line("Reads/writes follow Koika's port semantics; `return False`")
+    out.line("aborts the current rule (early exit), `return True` commits.")
+    if analysis is not None and opt >= 5:
+        out.line("")
+        out.line(f"Static analysis: {analysis.summary()}")
+    out.line('"""')
+    out.line("")
+    out.line("def _sgn(v, half, full):")
+    out.line("    return v - full if v >= half else v")
+    out.line("")
+    masks = ", ".join(_hex(mask(r.typ.width)) for r in design.registers.values())
+    out.line(f"_RM = ({masks}{',' if len(design.registers) == 1 else ''})")
+    for const in layout.module_consts():
+        out.line(const)
+    out.line("")
+
+    for fn in design.fns.values():
+        emitter = _FnEmitter(out, meta)
+        emitter.emit_fn(fn)
+
+    out.line("class Model(ModelBase):")
+    out.indent += 1
+    out.line(f"DESIGN_NAME = {design.name!r}")
+    out.line(f"OPT_LEVEL = {opt}")
+    reg_names = tuple(design.registers)
+    out.line(f"REG_NAMES = {reg_names!r}")
+    out.line(f"REG_INIT = {tuple(r.init for r in design.registers.values())!r}")
+    out.line(f"REG_IDS = {dict((n, i) for i, n in enumerate(reg_names))!r}")
+    out.line(f"RULE_NAMES = {tuple(design.scheduler)!r}")
+    out.line("")
+
+    extfuns = sorted(design.extfuns)
+    if extfuns:
+        out.line("def _bind_extfuns(self):")
+        out.indent += 1
+        for name in extfuns:
+            out.line(f"self._ext_{name} = self._env.resolve({name!r})")
+        out.indent -= 1
+        out.line("")
+
+    out.line("def reset(self):")
+    out.indent += 1
+    out.line("self.cycle = 0")
+    for stmt in layout.reset_body():
+        out.line(stmt)
+    out.indent -= 1
+    out.line("")
+
+    for rule in design.scheduled_rules():
+        emitter = _RuleEmitter(out, meta, design, layout, rule, instrument, debug)
+        emitter.emit_rule()
+        if layout.needs_fail_helper(rule.name):
+            out.line(f"def _fail_{rule.name}(self):")
+            out.indent += 1
+            for stmt in layout.fail_helper_body(rule.name):
+                out.line(stmt)
+            out.indent -= 1
+            out.line("")
+
+    for name, body in getattr(layout, "helper_methods", lambda: [])():
+        out.line(f"def {name}(self):")
+        out.indent += 1
+        for stmt in body:
+            out.line(stmt)
+        out.indent -= 1
+        out.line("")
+
+    # The scheduler, fast path and reporting/ordered variants.
+    def emit_cycle(name: str, report: bool) -> None:
+        out.line(f"def {name}(self):")
+        out.indent += 1
+        out.line("env = self._env")
+        out.line("env.before_cycle(self)")
+        if report or not inline_rules:
+            for stmt in layout.cycle_start():
+                out.line(stmt)
+        if report:
+            out.line("committed = []")
+        if not report and inline_rules:
+            # Whole-cycle inlining: bind the log aliases once, then paste
+            # every rule body (wrapped in `while True:` so failure paths
+            # `break` out — the cost model of the paper's inlined C++).
+            for alias in layout.rule_locals(""):
+                out.line(alias)
+            for stmt in layout.cycle_start_inline():
+                out.line(stmt)
+            for rule in design.scheduled_rules():
+                emitter = _RuleEmitter(out, meta, design, layout, rule,
+                                       instrument=False, debug=False,
+                                       inline=True)
+                emitter.emit_rule()
+        else:
+            for rule_name in design.scheduler:
+                if report:
+                    out.line(f"if self.rule_{rule_name}():")
+                    out.line(f"    committed.append({rule_name!r})")
+                else:
+                    out.line(f"self.rule_{rule_name}()")
+        for stmt in layout.cycle_end():
+            out.line(stmt)
+        out.line("self.cycle += 1")
+        out.line("env.after_cycle(self)")
+        if report:
+            out.line("return committed")
+        out.indent -= 1
+        out.line("")
+
+    emit_cycle("_cycle", report=False)
+    emit_cycle("_cycle_report", report=True)
+
+    out.line("def _cycle_ordered(self, methods):")
+    out.indent += 1
+    out.line("env = self._env")
+    out.line("env.before_cycle(self)")
+    for stmt in layout.cycle_start():
+        out.line(stmt)
+    out.line("committed = []")
+    out.line("for name, method in methods:")
+    out.line("    if method():")
+    out.line("        committed.append(name)")
+    for stmt in layout.cycle_end():
+        out.line(stmt)
+    out.line("self.cycle += 1")
+    out.line("env.after_cycle(self)")
+    out.line("return committed")
+    out.indent -= 1
+    out.line("")
+
+    out.line("def _get_reg(self, i):")
+    out.line(f"    return {layout.get_reg()}")
+    out.line("")
+    out.line("def _set_reg(self, i, value):")
+    out.indent += 1
+    for stmt in layout.set_reg():
+        out.line(stmt)
+    out.indent -= 1
+    out.line("")
+    out.line("def _peek_spec(self, i):")
+    out.line(f"    return {layout.peek_spec()}")
+    out.line("")
+    out.line("def _snapshot(self):")
+    out.line(f"    return {layout.snapshot_expr()}")
+    out.line("")
+    out.line("def _restore(self, snapshot):")
+    out.indent += 1
+    for stmt in layout.restore_body():
+        out.line(stmt)
+    out.indent -= 1
+    out.indent -= 1
+
+    meta.line_block = list(out.line_block)
+    return out.source(), meta
+
+
+_compile_counter = 0
+
+
+def compile_model(design: Design, opt: int = 5, instrument: bool = False,
+                  debug: bool = False, order_independent: bool = False,
+                  warn_goldberg: bool = True, inline_rules=None,
+                  host_optimize: int = -1, simplify: bool = False):
+    """Compile a design into a Cuttlesim model class.
+
+    Returns the class; instantiate with an :class:`Environment` to simulate.
+    ``order_independent=True`` makes the O5 analysis sound for any rule
+    order (required before using ``run_cycle(order=...)`` with O5 models).
+    ``host_optimize`` is forwarded to the host compiler (CPython's
+    ``compile(optimize=...)``) — the knob Figure 3's toolchain-sensitivity
+    experiment turns, standing in for the paper's GCC-vs-Clang axis.
+    """
+    global _compile_counter
+    if not design.finalized:
+        design.finalize()
+    if simplify:
+        from ..koika.simplify import simplify_design
+
+        design = simplify_design(design)
+    analysis = None
+    if opt >= 5:
+        analysis = analyze(design, order_independent=order_independent)
+        if warn_goldberg and opt >= 4:
+            for warning in analysis.goldberg_warnings:
+                import warnings
+
+                warnings.warn(warning, stacklevel=2)
+    source, meta = generate_source(design, opt=opt, instrument=instrument,
+                                   debug=debug, analysis=analysis,
+                                   inline_rules=inline_rules)
+    _compile_counter += 1
+    filename = f"<cuttlesim:{design.name}-O{opt}#{_compile_counter}>"
+    namespace: Dict[str, object] = {"ModelBase": ModelBase}
+    try:
+        code = compile(source, filename, "exec", optimize=host_optimize)
+    except SyntaxError as exc:  # pragma: no cover - compiler bug guard
+        raise CompileError(
+            f"generated model failed to parse ({exc}); source:\n{source}"
+        ) from exc
+    exec(code, namespace)
+    cls = namespace["Model"]
+    cls.SOURCE = source
+    cls.N_COV = len(meta.blocks)
+    cls.COV_BLOCKS = tuple(meta.blocks)
+    cls.META = meta
+    cls.ANALYSIS = analysis
+    cls.DESIGN = design
+    cls.REG_TYPES = tuple(r.typ for r in design.registers.values())
+    cls.FILENAME = filename
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    return cls

@@ -1,0 +1,153 @@
+"""Runtime support for generated Cuttlesim models.
+
+A compiled design is a generated Python class deriving from
+:class:`ModelBase`.  The generated subclass provides:
+
+* ``REG_NAMES`` / ``REG_IDS`` / ``REG_INIT`` — register tables;
+* ``reset()`` — (re)initialize logs and state;
+* ``_cycle()`` — one cycle in scheduler order (the fast path);
+* ``_run_rule(name)`` helpers via ``rule_<name>`` methods returning bool;
+* ``_get_reg(i)`` / ``_set_reg(i, value)`` — state accessors (each
+  optimization level stores register values differently);
+* ``_snapshot()`` / ``_restore(s)`` — full model state, including logs
+  (enables the paper's "mid-cycle snapshots" and reverse debugging).
+
+Everything user-facing (peek/poke/run) lives here so the generated code
+stays small and readable — it is meant to be *read* (paper §2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..harness.env import Environment
+
+#: Debug-hook event kinds (debug=True compilations call
+#: ``self._hook(kind, ...)`` at these points).
+EV_RULE = "rule"
+EV_READ = "read"
+EV_WRITE = "write"
+EV_FAIL = "fail"
+EV_COMMIT = "commit"
+
+
+class ModelBase:
+    """Base class of all generated Cuttlesim models."""
+
+    # Filled in by the generated subclass / the compiler:
+    DESIGN_NAME: str = "?"
+    OPT_LEVEL: int = -1
+    REG_NAMES: Sequence[str] = ()
+    REG_INIT: Sequence[int] = ()
+    REG_IDS: Dict[str, int] = {}
+    RULE_NAMES: Sequence[str] = ()
+    SOURCE: str = ""
+    #: Coverage blocks: (block_id, rule, start_line, end_line, kind, ast_uid).
+    COV_BLOCKS: Sequence[tuple] = ()
+    N_COV: int = 0
+
+    def __init__(self, env: Optional[Environment] = None):
+        self._env = env or Environment()
+        self.cycle = 0
+        self._cov: List[int] = [0] * self.N_COV
+        self._hook: Optional[Callable] = None
+        self._bind_extfuns()
+        self.reset()
+
+    def _bind_extfuns(self) -> None:
+        """Generated subclasses override to prebind external functions."""
+
+    @property
+    def backend_name(self) -> str:
+        return f"cuttlesim-O{self.OPT_LEVEL}"
+
+    # -- SimHandle ----------------------------------------------------------
+    def peek(self, register: str) -> int:
+        index = self.REG_IDS.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        return int(self._get_reg(index))
+
+    def poke(self, register: str, value: int) -> None:
+        index = self.REG_IDS.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        self._set_reg(index, int(value))
+
+    # -- execution -----------------------------------------------------------
+    def run_cycle(self, order: Optional[Sequence[str]] = None):
+        """Run one cycle.  ``order`` overrides the compiled scheduler with a
+        list of rule names (used by scheduler randomization, case study 2).
+
+        Returns the list of rule names that committed.
+        """
+        if order is None:
+            return self._cycle_report()
+        methods = []
+        for name in order:
+            method = getattr(self, f"rule_{name}", None)
+            if method is None:
+                raise SimulationError(f"unknown rule {name!r}")
+            methods.append((name, method))
+        return self._cycle_ordered(methods)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self._cycle()
+
+    def run_until(self, predicate: Callable[["ModelBase"], bool],
+                  max_cycles: int = 10_000_000) -> int:
+        for elapsed in range(max_cycles):
+            if predicate(self):
+                return elapsed
+            self._cycle()
+        raise SimulationError(f"predicate not reached within {max_cycles} cycles")
+
+    # -- state (generated subclasses implement) --------------------------------
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def _cycle(self):
+        raise NotImplementedError
+
+    def _cycle_report(self):
+        raise NotImplementedError
+
+    def _cycle_ordered(self, methods):
+        raise NotImplementedError
+
+    def _get_reg(self, index: int) -> int:
+        raise NotImplementedError
+
+    def _set_reg(self, index: int, value: int) -> None:
+        raise NotImplementedError
+
+    def _snapshot(self):
+        raise NotImplementedError
+
+    def _restore(self, snapshot) -> None:
+        raise NotImplementedError
+
+    # -- tooling ---------------------------------------------------------------
+    def snapshot(self):
+        """Full model snapshot (registers, logs, cycle counter)."""
+        return (self.cycle, self._snapshot())
+
+    def restore(self, snapshot) -> None:
+        self.cycle, inner = snapshot
+        self._restore(inner)
+
+    def set_hook(self, hook: Optional[Callable]) -> None:
+        """Install a debug hook (only effective on debug=True models)."""
+        self._hook = hook
+
+    def coverage_counts(self) -> List[int]:
+        return list(self._cov)
+
+    def reset_coverage(self) -> None:
+        for i in range(len(self._cov)):
+            self._cov[i] = 0
+
+    def state_dict(self) -> Dict[str, int]:
+        return {name: int(self._get_reg(i)) for i, name in enumerate(self.REG_NAMES)}

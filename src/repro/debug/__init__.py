@@ -1,0 +1,18 @@
+"""Debugging and analysis tooling: coverage (Gcov analogue), interactive
+debugger (gdb/rr analogue), scheduler randomization, VCD waveforms."""
+
+from .coverage import CoverageReport, annotate_source
+from .debugger import Breakpoint, Debugger, Event
+from .randomize import randomized_trials, run_with_random_schedule
+from .shell import DebugShell, run_script
+from .trace import Cosim, CycleRecord, CycleTracer, diff_traces
+from .waveform import VcdWriter, dump_vcd
+
+__all__ = [
+    "CoverageReport", "annotate_source",
+    "Breakpoint", "Debugger", "Event",
+    "randomized_trials", "run_with_random_schedule",
+    "Cosim", "CycleRecord", "CycleTracer", "diff_traces",
+    "DebugShell", "run_script",
+    "VcdWriter", "dump_vcd",
+]

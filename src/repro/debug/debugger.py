@@ -1,0 +1,334 @@
+"""Interactive debugger for Cuttlesim models — the gdb + rr analogue.
+
+Because compiled models are deterministic and cheap to snapshot, the
+debugger gets the full gdb/rr feature set by *replay*: it keeps a ring
+buffer of cycle-start snapshots (model + devices) and re-executes cycles
+with an instrumentation hook to stop at any event.  Supported, mirroring
+case study 1:
+
+* breakpoints on rule entry and — crucially — on ``FAIL()`` (rule aborts),
+  with the failure reason (explicit abort vs port conflict, and on which
+  register/operation);
+* watchpoints on register writes and reads;
+* single-stepping through a rule's reads and writes, *mid-cycle*, with
+  speculative (uncommitted) register values visible;
+* reverse execution: ``find_last_write`` answers "who performed the
+  previous write to this read-write set?" exactly like the case study's
+  rr session;
+* pretty-printed registers: enums print as ``state::A``, structs by field
+  — "the programmer does not have to write custom pretty-printers".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DebuggerError
+from ..harness.env import Environment
+
+
+class Event:
+    """One hook event during a cycle."""
+
+    __slots__ = ("index", "kind", "rule", "register", "port", "value",
+                 "uid", "operation")
+
+    def __init__(self, index: int, kind: str, rule: Optional[str] = None,
+                 register: Optional[str] = None, port: Optional[int] = None,
+                 value: Optional[int] = None, uid: Optional[int] = None,
+                 operation: Optional[str] = None):
+        self.index = index
+        self.kind = kind
+        self.rule = rule
+        self.register = register
+        self.port = port
+        self.value = value
+        self.uid = uid
+        self.operation = operation
+
+    def __repr__(self) -> str:
+        if self.kind == "rule":
+            return f"<{self.index}: rule {self.rule}>"
+        if self.kind in ("read", "write"):
+            return (f"<{self.index}: {self.register}.{self.kind[0]}"
+                    f"{'d' if self.kind == 'read' else 'r'}{self.port}"
+                    f" = {self.value}>")
+        if self.kind == "fail":
+            what = (f"conflict on {self.register}.{self.operation}"
+                    if self.register else "explicit abort")
+            return f"<{self.index}: FAIL in {self.rule} ({what})>"
+        return f"<{self.index}: {self.kind} {self.rule}>"
+
+
+class _BreakHit(Exception):
+    def __init__(self, event: Event):
+        self.event = event
+
+
+class Breakpoint:
+    """A predicate over events.  ``condition`` sees the event."""
+
+    def __init__(self, bp_id: int, description: str,
+                 condition: Callable[[Event], bool]):
+        self.bp_id = bp_id
+        self.description = description
+        self.condition = condition
+        self.enabled = True
+
+    def __repr__(self) -> str:
+        state = "" if self.enabled else " (disabled)"
+        return f"breakpoint {self.bp_id}: {self.description}{state}"
+
+
+class Debugger:
+    """Drives a debug-compiled Cuttlesim model with time travel."""
+
+    def __init__(self, design, env: Optional[Environment] = None,
+                 opt: int = 5, history: int = 1024):
+        from ..cuttlesim.codegen import compile_model
+
+        self.design = design
+        self.env = env or Environment()
+        model_cls = compile_model(design, opt=opt, debug=True,
+                                  warn_goldberg=False)
+        self.model = model_cls(self.env)
+        self.history = history
+        #: cycle -> (model snapshot, device snapshots); ring buffer.
+        self._snapshots: Dict[int, tuple] = {}
+        self.breakpoints: List[Breakpoint] = []
+        self._next_bp = 1
+        #: Pause position: None (at a cycle boundary) or the hit Event.
+        self.paused_at: Optional[Event] = None
+        self._take_snapshot()
+
+    # -- snapshots ------------------------------------------------------------
+    def _take_snapshot(self) -> None:
+        cycle = self.model.cycle
+        self._snapshots[cycle] = (
+            self.model.snapshot(),
+            [device.snapshot_state() for device in self.env.devices],
+        )
+        stale = cycle - self.history
+        self._snapshots.pop(stale, None)
+
+    def _restore(self, cycle: int) -> None:
+        if cycle not in self._snapshots:
+            raise DebuggerError(
+                f"cycle {cycle} is outside the recorded history "
+                f"(last {self.history} cycles)"
+            )
+        model_snapshot, device_snapshots = self._snapshots[cycle]
+        self.model.restore(model_snapshot)
+        for device, snapshot in zip(self.env.devices, device_snapshots):
+            device.restore_state(snapshot)
+
+    # -- breakpoints -------------------------------------------------------------
+    def _add(self, description: str,
+             condition: Callable[[Event], bool]) -> Breakpoint:
+        bp = Breakpoint(self._next_bp, description, condition)
+        self._next_bp += 1
+        self.breakpoints.append(bp)
+        return bp
+
+    def break_on_rule(self, rule: str) -> Breakpoint:
+        return self._add(f"rule {rule}",
+                         lambda e: e.kind == "rule" and e.rule == rule)
+
+    def break_on_fail(self, rule: Optional[str] = None,
+                      register: Optional[str] = None) -> Breakpoint:
+        """The case study's ``break FAIL`` — stop whenever a rule aborts."""
+        description = "FAIL()" + (f" in {rule}" if rule else "")
+
+        def condition(event: Event) -> bool:
+            if event.kind != "fail":
+                return False
+            if rule is not None and event.rule != rule:
+                return False
+            if register is not None and event.register != register:
+                return False
+            return True
+
+        return self._add(description, condition)
+
+    def watch(self, register: str, kind: str = "write") -> Breakpoint:
+        """Watchpoint on a register (``kind``: 'write' or 'read')."""
+        return self._add(
+            f"{kind} watchpoint on {register}",
+            lambda e: e.kind == kind and e.register == register)
+
+    def delete_breakpoint(self, bp_id: int) -> None:
+        self.breakpoints = [b for b in self.breakpoints if b.bp_id != bp_id]
+
+    # -- execution ------------------------------------------------------------
+    def _make_hook(self, skip_through: int, counter: List[int],
+                   check: bool, collect: Optional[List[Event]] = None):
+        def hook(kind, *args) -> None:
+            index = counter[0]
+            counter[0] += 1
+            event = _decode_event(index, kind, args)
+            if collect is not None:
+                collect.append(event)
+            if not check or index <= skip_through:
+                return
+            for bp in self.breakpoints:
+                if bp.enabled and bp.condition(event):
+                    raise _BreakHit(event)
+        return hook
+
+    def _run_one_cycle(self, skip_through: int = -1,
+                       check: bool = True) -> Optional[Event]:
+        """Run (or finish) the current cycle.  Returns the hit event, or
+        None if the cycle completed; on completion a snapshot is taken."""
+        counter = [0]
+        self.model.set_hook(self._make_hook(skip_through, counter, check))
+        try:
+            self.model._cycle()
+        except _BreakHit as hit:
+            self.paused_at = hit.event
+            return hit.event
+        finally:
+            self.model.set_hook(None)
+        self.paused_at = None
+        self._take_snapshot()
+        return None
+
+    def continue_(self, max_cycles: int = 1_000_000) -> Optional[Event]:
+        """Run until a breakpoint fires (gdb's ``continue``)."""
+        skip = self.paused_at.index if self.paused_at is not None else -1
+        if self.paused_at is not None:
+            self._restore(self.model.cycle)  # rewind the partial cycle
+        for _ in range(max_cycles):
+            hit = self._run_one_cycle(skip_through=skip)
+            if hit is not None:
+                return hit
+            skip = -1
+        return None
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance whole cycles, ignoring breakpoints."""
+        if self.paused_at is not None:
+            self._restore(self.model.cycle)
+            self.paused_at = None
+        for _ in range(cycles):
+            self._run_one_cycle(check=False)
+
+    def step_event(self) -> Optional[Event]:
+        """Advance to the next hook event (mid-cycle stepping)."""
+        target = (self.paused_at.index + 1) if self.paused_at is not None \
+            else 0
+        if self.paused_at is not None:
+            self._restore(self.model.cycle)
+        counter = [0]
+        hold: List[Event] = []
+
+        def hook(kind, *args):
+            index = counter[0]
+            counter[0] += 1
+            event = _decode_event(index, kind, args)
+            if index == target:
+                raise _BreakHit(event)
+
+        self.model.set_hook(hook)
+        try:
+            self.model._cycle()
+        except _BreakHit as hit:
+            self.paused_at = hit.event
+            return hit.event
+        finally:
+            self.model.set_hook(None)
+        # Cycle had no event at `target`: it completed.
+        self.paused_at = None
+        self._take_snapshot()
+        return None
+
+    def events_of_cycle(self, cycle: Optional[int] = None) -> List[Event]:
+        """Replay a past (or the current) cycle, returning all its events."""
+        home = self.model.cycle
+        cycle = home if cycle is None else cycle
+        saved_pause = self.paused_at
+        self._restore(cycle)
+        counter = [0]
+        events: List[Event] = []
+        self.model.set_hook(self._make_hook(-1, counter, check=False,
+                                            collect=events))
+        try:
+            self.model._cycle()
+        finally:
+            self.model.set_hook(None)
+        # Return to where we were before the replay.
+        self._restore(home)
+        self.paused_at = saved_pause
+        return events
+
+    def find_last_write(self, register: str) -> Optional[Tuple[int, Event]]:
+        """Reverse-execute to the most recent write of ``register`` before
+        the current position (case study 1's rr query).
+
+        Returns ``(cycle, event)`` or None if no write is in history.
+        """
+        current_cycle = self.model.cycle
+        boundary = self.paused_at.index if self.paused_at is not None \
+            else None
+        # At a cycle boundary nothing of the current cycle has run yet, so
+        # the search starts in the previous cycle.
+        cycle = current_cycle if boundary is not None else current_cycle - 1
+        while cycle in self._snapshots:
+            events = self.events_of_cycle(cycle)
+            candidates = [
+                e for e in events
+                if e.kind == "write" and e.register == register
+                and (cycle != current_cycle or boundary is None
+                     or e.index < boundary)
+            ]
+            if candidates:
+                return cycle, candidates[-1]
+            cycle -= 1
+            boundary = None
+        return None
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.model.cycle
+
+    def peek(self, register: str) -> int:
+        """Committed value of a register."""
+        return self.model.peek(register)
+
+    def peek_speculative(self, register: str) -> int:
+        """Mid-cycle value including uncommitted writes of the current
+        rule — "stopping halfway through the execution of a cycle to print
+        the intermediate state" (§4.2)."""
+        index = self.model.REG_IDS[register]
+        return int(self.model._peek_spec(index))
+
+    def format_register(self, register: str, speculative: bool = False) -> str:
+        """Pretty-print a register using its design type (enums by member
+        name, structs by field — no custom pretty-printers needed)."""
+        index = self.model.REG_IDS.get(register)
+        if index is None:
+            raise DebuggerError(f"unknown register {register!r}")
+        value = (int(self.model._peek_spec(index)) if speculative
+                 else self.model.peek(register))
+        return self.model.REG_TYPES[index].format(value)
+
+    def where(self) -> str:
+        if self.paused_at is None:
+            return f"at the boundary of cycle {self.model.cycle}"
+        return f"cycle {self.model.cycle}, paused at {self.paused_at!r}"
+
+
+def _decode_event(index: int, kind: str, args: tuple) -> Event:
+    if kind == "rule":
+        return Event(index, "rule", rule=args[0])
+    if kind in ("read", "write"):
+        uid, register, port, value = args
+        return Event(index, kind, register=register, port=port,
+                     value=int(value), uid=uid)
+    if kind == "fail":
+        uid, register, operation, rule = args
+        return Event(index, "fail", rule=rule, register=register,
+                     operation=operation, uid=uid)
+    if kind == "commit":
+        return Event(index, "commit", rule=args[0])
+    raise DebuggerError(f"unknown hook event {kind!r}")

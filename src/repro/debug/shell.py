@@ -1,0 +1,191 @@
+"""An interactive, gdb-flavoured shell around :class:`Debugger`.
+
+    from repro.debug.shell import DebugShell
+    DebugShell(design, env).cmdloop()
+
+or from the command line::
+
+    python -m repro debug msi-buggy
+
+Commands mirror the case-study workflow: ``break``/``bfail``/``watch``,
+``continue``/``step``, ``print`` (pretty-printed enums/structs),
+``lastwrite`` (the rr-style reverse query), ``events``, ``run``, ``info``.
+"""
+
+from __future__ import annotations
+
+import cmd
+from typing import List, Optional
+
+from ..errors import DebuggerError
+from ..harness.env import Environment
+from .debugger import Debugger
+
+
+class DebugShell(cmd.Cmd):
+    intro = ("Cuttlesim debugger.  Type help or ? to list commands; the\n"
+             "typical session: break/bfail/watch, continue, print, "
+             "lastwrite.\n")
+
+    def __init__(self, design, env: Optional[Environment] = None,
+                 stdout=None, **debugger_kwargs):
+        super().__init__(stdout=stdout)
+        self.debugger = Debugger(design, env, **debugger_kwargs)
+        self.design = design
+        self._update_prompt()
+
+    def _update_prompt(self) -> None:
+        self.prompt = f"({self.design.name}:{self.debugger.cycle}) "
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    # -- breakpoints -------------------------------------------------------
+    def do_break(self, arg: str) -> None:
+        """break RULE — stop when RULE starts executing."""
+        if not arg:
+            self._say("usage: break RULE")
+            return
+        self._say(repr(self.debugger.break_on_rule(arg.strip())))
+
+    def do_bfail(self, arg: str) -> None:
+        """bfail [RULE] — stop on any FAIL() (optionally only in RULE)."""
+        rule = arg.strip() or None
+        self._say(repr(self.debugger.break_on_fail(rule=rule)))
+
+    def do_watch(self, arg: str) -> None:
+        """watch REG [read] — stop on writes (or reads) of a register."""
+        parts = arg.split()
+        if not parts:
+            self._say("usage: watch REG [read]")
+            return
+        kind = "read" if len(parts) > 1 and parts[1] == "read" else "write"
+        self._say(repr(self.debugger.watch(parts[0], kind=kind)))
+
+    def do_delete(self, arg: str) -> None:
+        """delete ID — remove a breakpoint."""
+        try:
+            self.debugger.delete_breakpoint(int(arg))
+        except ValueError:
+            self._say("usage: delete ID")
+
+    # -- execution -----------------------------------------------------------
+    def do_continue(self, arg: str) -> None:
+        """continue [MAXCYCLES] — run until a breakpoint fires."""
+        limit = int(arg) if arg.strip() else 100_000
+        hit = self.debugger.continue_(max_cycles=limit)
+        self._say(repr(hit) if hit is not None
+                  else f"no breakpoint hit within {limit} cycles")
+        self._update_prompt()
+
+    do_c = do_continue
+
+    def do_step(self, arg: str) -> None:
+        """step [N] — advance N events (rule entries, reads, writes...)."""
+        count = int(arg) if arg.strip() else 1
+        event = None
+        for _ in range(count):
+            event = self.debugger.step_event()
+        self._say(repr(event) if event is not None else "(cycle boundary)")
+        self._update_prompt()
+
+    do_s = do_step
+
+    def do_run(self, arg: str) -> None:
+        """run N — advance N whole cycles, ignoring breakpoints."""
+        try:
+            cycles = int(arg)
+        except ValueError:
+            self._say("usage: run N")
+            return
+        self.debugger.run_cycles(cycles)
+        self._update_prompt()
+
+    # -- inspection -----------------------------------------------------------
+    def do_print(self, arg: str) -> None:
+        """print REG [spec] — pretty-print a register ('spec' shows the
+        speculative mid-cycle value)."""
+        parts = arg.split()
+        if not parts:
+            self._say("usage: print REG [spec]")
+            return
+        speculative = len(parts) > 1 and parts[1].startswith("spec")
+        try:
+            self._say(f"{parts[0]} = " + self.debugger.format_register(
+                parts[0], speculative=speculative))
+        except (DebuggerError, KeyError):
+            self._say(f"no register named {parts[0]!r}")
+
+    do_p = do_print
+
+    def do_where(self, arg: str) -> None:
+        """where — current pause position."""
+        self._say(self.debugger.where())
+
+    def do_lastwrite(self, arg: str) -> None:
+        """lastwrite REG — reverse-execute to the previous write of REG."""
+        if not arg.strip():
+            self._say("usage: lastwrite REG")
+            return
+        found = self.debugger.find_last_write(arg.strip())
+        if found is None:
+            self._say("no write found in recorded history")
+        else:
+            cycle, event = found
+            self._say(f"cycle {cycle}: {event!r}")
+
+    def do_events(self, arg: str) -> None:
+        """events [CYCLE] — replay and list a cycle's events."""
+        cycle = int(arg) if arg.strip() else None
+        try:
+            for event in self.debugger.events_of_cycle(cycle):
+                self._say(f"  {event!r}")
+        except DebuggerError as error:
+            self._say(str(error))
+
+    def do_info(self, arg: str) -> None:
+        """info breakpoints | info registers [PREFIX]"""
+        what = arg.split()[0] if arg.split() else ""
+        if what.startswith("break"):
+            if not self.debugger.breakpoints:
+                self._say("no breakpoints")
+            for bp in self.debugger.breakpoints:
+                self._say(f"  {bp!r}")
+            return
+        if what.startswith("reg"):
+            prefix = arg.split()[1] if len(arg.split()) > 1 else ""
+            for name in self.debugger.model.REG_NAMES:
+                if name.startswith(prefix):
+                    self._say(f"  {name:<24} = "
+                              + self.debugger.format_register(name))
+            return
+        self._say("usage: info breakpoints | info registers [PREFIX]")
+
+    # -- session ---------------------------------------------------------------
+    def do_quit(self, arg: str) -> bool:
+        """quit — leave the debugger."""
+        return True
+
+    do_q = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:
+        pass
+
+    def default(self, line: str) -> None:
+        self._say(f"unknown command {line.split()[0]!r} (try 'help')")
+
+
+def run_script(design, env: Optional[Environment],
+               commands: List[str]) -> str:
+    """Run a list of shell commands non-interactively; returns the
+    transcript (used by tests and documentation)."""
+    import io
+
+    buffer = io.StringIO()
+    shell = DebugShell(design, env, stdout=buffer)
+    for command in commands:
+        buffer.write(shell.prompt + command + "\n")
+        if shell.onecmd(command):
+            break
+    return buffer.getvalue()

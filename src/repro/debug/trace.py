@@ -1,0 +1,149 @@
+"""Cycle traces and cross-backend trace comparison.
+
+:class:`CycleTracer` records, per cycle, which rules committed and which
+registers changed (deltas, not full state — traces of long runs stay
+small).  :func:`diff_traces` and :class:`Cosim` turn this into tooling:
+
+* record a trace once, re-run after a change, and diff;
+* run two backends in lockstep and report the first divergence with
+  context (the committed-rule sets and register deltas around it).
+
+This is the workflow glue for "write, compile to a model, debug, repeat"
+— regressions show up as a trace diff long before waveforms come out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class CycleRecord:
+    """One traced cycle: committed rules + register deltas."""
+
+    __slots__ = ("cycle", "committed", "deltas")
+
+    def __init__(self, cycle: int, committed: Tuple[str, ...],
+                 deltas: Dict[str, Tuple[int, int]]):
+        self.cycle = cycle
+        self.committed = committed
+        self.deltas = deltas  # register -> (old, new)
+
+    def __repr__(self) -> str:
+        changes = ", ".join(f"{r}: {old}->{new}"
+                            for r, (old, new) in sorted(self.deltas.items()))
+        return (f"cycle {self.cycle}: fired [{', '.join(self.committed)}] "
+                f"{{{changes}}}")
+
+
+class CycleTracer:
+    """Record committed rules and register deltas while running a sim."""
+
+    def __init__(self, sim, registers: Optional[Sequence[str]] = None):
+        self.sim = sim
+        self.registers = list(registers) if registers is not None else \
+            list(getattr(sim, "REG_NAMES", None) or sim.design.registers)
+        self.records: List[CycleRecord] = []
+        self._last = {r: sim.peek(r) for r in self.registers}
+
+    def step(self) -> CycleRecord:
+        committed = self.sim.run_cycle()
+        if committed is None:
+            committed = []
+        deltas: Dict[str, Tuple[int, int]] = {}
+        for register in self.registers:
+            value = self.sim.peek(register)
+            if value != self._last[register]:
+                deltas[register] = (self._last[register], value)
+                self._last[register] = value
+        record = CycleRecord(self.sim.cycle - 1, tuple(sorted(committed)),
+                             deltas)
+        self.records.append(record)
+        return record
+
+    def run(self, cycles: int) -> List[CycleRecord]:
+        for _ in range(cycles):
+            self.step()
+        return self.records
+
+    def summary(self) -> Dict[str, int]:
+        """Commit counts per rule over the whole trace."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            for rule in record.committed:
+                counts[rule] = counts.get(rule, 0) + 1
+        return counts
+
+
+def diff_traces(a: Sequence[CycleRecord], b: Sequence[CycleRecord],
+                max_report: int = 5) -> List[str]:
+    """Compare two traces; returns human-readable divergence lines
+    (empty if the traces agree on their common prefix and length)."""
+    problems: List[str] = []
+    if len(a) != len(b):
+        problems.append(f"trace lengths differ: {len(a)} vs {len(b)}")
+    for record_a, record_b in zip(a, b):
+        if len(problems) >= max_report:
+            problems.append("...")
+            break
+        if record_a.committed != record_b.committed:
+            problems.append(
+                f"cycle {record_a.cycle}: committed "
+                f"{list(record_a.committed)} vs {list(record_b.committed)}")
+        if record_a.deltas != record_b.deltas:
+            keys = set(record_a.deltas) | set(record_b.deltas)
+            for key in sorted(keys):
+                if record_a.deltas.get(key) != record_b.deltas.get(key):
+                    problems.append(
+                        f"cycle {record_a.cycle}: {key} delta "
+                        f"{record_a.deltas.get(key)} vs "
+                        f"{record_b.deltas.get(key)}")
+    return problems
+
+
+class Cosim:
+    """Run two simulators in lockstep; stop at the first divergence.
+
+    Usage::
+
+        cosim = Cosim(make_simulator(d, backend="cuttlesim"),
+                      make_simulator(d, backend="rtl-cycle"))
+        divergence = cosim.run(10_000)   # None if they agree throughout
+    """
+
+    def __init__(self, left, right,
+                 registers: Optional[Sequence[str]] = None,
+                 check_commits: bool = True):
+        self.left = left
+        self.right = right
+        self.registers = list(registers) if registers is not None else \
+            list(getattr(left, "REG_NAMES", None) or left.design.registers)
+        self.check_commits = check_commits
+        self.cycles_run = 0
+
+    def step(self) -> Optional[str]:
+        """One lockstep cycle; returns a divergence description or None."""
+        left_committed = self.left.run_cycle()
+        right_committed = self.right.run_cycle()
+        cycle = self.cycles_run
+        self.cycles_run += 1
+        if (self.check_commits and left_committed is not None
+                and right_committed is not None
+                and set(left_committed) != set(right_committed)):
+            return (f"cycle {cycle}: committed sets differ: "
+                    f"{sorted(set(left_committed))} vs "
+                    f"{sorted(set(right_committed))}")
+        for register in self.registers:
+            left_value = self.left.peek(register)
+            right_value = self.right.peek(register)
+            if left_value != right_value:
+                return (f"cycle {cycle}: {register} = {left_value} "
+                        f"({self.left.backend_name}) vs {right_value} "
+                        f"({self.right.backend_name})")
+        return None
+
+    def run(self, cycles: int) -> Optional[str]:
+        for _ in range(cycles):
+            divergence = self.step()
+            if divergence is not None:
+                return divergence
+        return None

@@ -1,0 +1,93 @@
+"""VCD waveform dumping — the traditional tooling, for comparison.
+
+The paper contrasts Cuttlesim's software-debugging workflow with
+"wave-form debugging (e.g. using GTKWave)"; this writer produces standard
+VCD from any backend so both workflows are available.  It works by
+sampling registers at cycle boundaries, so it is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TextIO
+
+
+class VcdWriter:
+    """Streams register values of a running simulation into VCD."""
+
+    def __init__(self, sim, out: TextIO,
+                 registers: Optional[Sequence[str]] = None,
+                 design_name: str = "design"):
+        self.sim = sim
+        self.out = out
+        self.registers = list(registers) if registers is not None \
+            else list(sim.REG_NAMES if hasattr(sim, "REG_NAMES")
+                      else sim.design.registers)
+        self._ids: Dict[str, str] = {}
+        self._last: Dict[str, Optional[int]] = {}
+        self._widths: Dict[str, int] = {}
+        self._header_written = False
+        self._resolve_widths()
+
+    def _resolve_widths(self) -> None:
+        design = getattr(self.sim, "DESIGN", None) or getattr(
+            self.sim, "design", None)
+        for register in self.registers:
+            if design is not None and register in design.registers:
+                self._widths[register] = design.registers[register].typ.width
+            else:
+                self._widths[register] = 32
+
+    def _identifier(self, index: int) -> str:
+        # Printable VCD identifier codes: ! through ~.
+        chars = []
+        index += 1
+        while index:
+            index, digit = divmod(index, 94)
+            chars.append(chr(33 + digit))
+        return "".join(chars)
+
+    def write_header(self) -> None:
+        out = self.out
+        out.write("$timescale 1ns $end\n")
+        out.write("$scope module top $end\n")
+        for i, register in enumerate(self.registers):
+            code = self._identifier(i)
+            self._ids[register] = code
+            self._last[register] = None
+            width = max(1, self._widths[register])
+            out.write(f"$var wire {width} {code} {register} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        self._header_written = True
+
+    def sample(self) -> None:
+        """Record the current cycle's register values (call once per
+        cycle, after ``run_cycle``)."""
+        if not self._header_written:
+            self.write_header()
+        self.out.write(f"#{self.sim.cycle}\n")
+        for register in self.registers:
+            value = self.sim.peek(register)
+            if value == self._last[register]:
+                continue
+            self._last[register] = value
+            width = max(1, self._widths[register])
+            if width == 1:
+                self.out.write(f"{value}{self._ids[register]}\n")
+            else:
+                self.out.write(f"b{value:b} {self._ids[register]}\n")
+
+    def run(self, cycles: int) -> None:
+        """Run the simulation, sampling every cycle."""
+        for _ in range(cycles):
+            self.sim.run_cycle()
+            self.sample()
+
+
+def dump_vcd(sim, path: str, cycles: int,
+             registers: Optional[Sequence[str]] = None) -> None:
+    """Run ``cycles`` cycles and write the waveform to ``path``."""
+    with open(path, "w") as handle:
+        writer = VcdWriter(sim, handle, registers)
+        writer.write_header()
+        writer.sample()
+        writer.run(cycles)

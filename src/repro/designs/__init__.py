@@ -1,0 +1,41 @@
+"""The paper's benchmark designs (Table 1) plus the case-study systems.
+
+``TABLE1_DESIGNS`` maps benchmark names to builder functions, in the order
+Table 1 lists them.
+"""
+
+from .collatz import build_collatz, build_stm
+from .fft import build_fft, fixed_point_fft_stage
+from .fir import DEFAULT_TAPS, build_fir, reference_fir
+from .msi import CoherenceDriver, build_msi, make_msi_env
+from .soc import SocDevice, build_soc, make_soc_env, print_string_source
+from .stdlib import Fifo2, Lfsr, RisingEdge, SaturatingCounter
+from .uart import UartDriver, build_uart, make_uart_env
+from .rv32 import (RV32MemoryDevice, add_rv32_core, build_rv32e, build_rv32i,
+                   build_rv32i_bp, build_rv32i_bypass, build_rv32i_mc,
+                   build_rv32im, make_core_env, run_program)
+
+#: Benchmark name -> design builder, in Table 1 order.
+TABLE1_DESIGNS = {
+    "collatz": build_collatz,
+    "fir": build_fir,
+    "fft": build_fft,
+    "rv32i": build_rv32i,
+    "rv32e": build_rv32e,
+    "rv32i-bp": build_rv32i_bp,
+    "rv32i-mc": build_rv32i_mc,
+}
+
+__all__ = [
+    "build_collatz", "build_stm", "build_fft", "fixed_point_fft_stage",
+    "DEFAULT_TAPS", "build_fir", "reference_fir",
+    "CoherenceDriver", "build_msi", "make_msi_env",
+    "UartDriver", "build_uart", "make_uart_env",
+    "SocDevice", "build_soc", "make_soc_env", "print_string_source",
+    "Fifo2", "Lfsr", "RisingEdge", "SaturatingCounter",
+    "RV32MemoryDevice", "add_rv32_core", "build_rv32e", "build_rv32i",
+    "build_rv32i_bp", "build_rv32i_bypass", "build_rv32i_mc",
+    "build_rv32im", "make_core_env",
+    "run_program",
+    "TABLE1_DESIGNS",
+]

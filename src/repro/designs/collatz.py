@@ -1,0 +1,87 @@
+"""The ``collatz`` benchmark: the paper's "trivial state machine".
+
+Two mutually exclusive rules contend on one register — the minimal design
+that shows the difference between sequential early-exit simulation (one
+rule body per cycle) and RTL simulation (both bodies plus commit muxes
+every cycle, §2.3).
+"""
+
+from __future__ import annotations
+
+from ..koika.ast import C, If, Let, V
+from ..koika.design import Design
+from ..koika.dsl import guard, seq
+
+
+def build_collatz(seed: int = 19, width: int = 32) -> Design:
+    """The Collatz iteration, one step per cycle.
+
+    ``rl_even`` halves even values; ``rl_odd`` maps odd values to ``3x+1``.
+    Exactly one rule commits each cycle (they are mutually exclusive via
+    guards), so the sequence ``x`` walks the Collatz orbit of ``seed``.
+    """
+    design = Design("collatz")
+    x = design.reg("x", width, init=seed)
+    design.rule(
+        "rl_even",
+        seq(
+            guard(x.rd0()[0] == C(0, 1)),
+            x.wr0(x.rd0() >> 1),
+        ),
+    )
+    design.rule(
+        "rl_odd",
+        seq(
+            guard(x.rd0()[0] == C(1, 1)),
+            x.wr0((x.rd0() * C(3, width)) + C(1, width)),
+        ),
+    )
+    design.schedule("rl_even", "rl_odd")
+    return design.finalize()
+
+
+def build_stm(width: int = 32) -> Design:
+    """The two-state machine of §2.1, verbatim.
+
+    State ``st`` alternates between ``A`` and ``B``; the active rule applies
+    ``fA`` or ``fB`` ("potentially complex work") to ``x`` and the external
+    input, and puts the result on the output port.
+    """
+    from ..koika.types import EnumType
+
+    state = EnumType("state", ["A", "B"])
+    design = Design("stm")
+    st = design.reg("st", state, init=state.A)
+    x = design.reg("x", width, init=0)
+    get_input = design.extfun("get_input", 0, width)
+    put_output = design.extfun("put_output", width, 0)
+
+    # fA and fB stand in for nontrivial combinational work.
+    arg_x, arg_in = V("vx"), V("vin")
+    design.fn("fA", [("vx", width), ("vin", width)],
+              ((arg_x ^ arg_in) + C(0x9E3779B9 & ((1 << width) - 1), width)))
+    design.fn("fB", [("vx", width), ("vin", width)],
+              ((arg_x + arg_in) ^ (arg_x >> 3)))
+
+    fA, fB = design.fns["fA"], design.fns["fB"]
+
+    design.rule(
+        "rlA",
+        seq(
+            guard(st.rd0() == C(state.A, state)),
+            st.wr0(C(state.B, state)),
+            Let("new_x", fA(x.rd0(), get_input(C(0, 0))),
+                seq(x.wr0(V("new_x")), put_output(V("new_x")))),
+        ),
+    )
+    design.rule(
+        "rlB",
+        seq(
+            guard(st.rd0() == C(state.B, state)),
+            st.wr0(C(state.A, state)),
+            Let("new_x", fB(x.rd0(), get_input(C(0, 0))),
+                seq(x.wr0(V("new_x")), put_output(V("new_x")))),
+        ),
+    )
+    design.schedule("rlA", "rlB")
+    return design.finalize()

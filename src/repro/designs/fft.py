@@ -1,0 +1,143 @@
+"""The ``fft`` benchmark: butterfly stages of a radix-2 FFT.
+
+A combinational-heavy design: every cycle executes one full butterfly
+stage over the whole sample array (fixed-point complex multiplies, adds,
+subtracts), cycling ``load -> stage 0 -> ... -> stage log2(N)-1``.  Like
+``fir``, there is almost no control to skip, so it probes the lower bound
+of Cuttlesim's advantage over RTL simulation.
+
+Arithmetic is Q2.14 fixed point on 16-bit two's complement values; the
+``fixed_point_fft_stage`` golden model below replicates it bit-exactly for
+the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..koika.ast import Action, Binop, C, If, Let, Seq, V
+from ..koika.design import Design
+from ..koika.dsl import seq, switch
+from ..koika.types import to_signed, truncate
+
+WIDTH = 16
+FRAC_BITS = 14
+_PROD_WIDTH = 2 * WIDTH
+
+
+def _twiddles(n: int) -> List[Tuple[int, int]]:
+    """Q2.14 encodings of exp(-2*pi*i*k/n) for k in [0, n/2)."""
+    out = []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        real = int(round(math.cos(angle) * (1 << FRAC_BITS)))
+        imag = int(round(math.sin(angle) * (1 << FRAC_BITS)))
+        out.append((truncate(real, WIDTH), truncate(imag, WIDTH)))
+    return out
+
+
+def _stage_plan(n: int) -> List[List[Tuple[int, int, int]]]:
+    """Per stage: list of (index_a, index_b, twiddle_index) butterflies."""
+    stages = []
+    log_n = n.bit_length() - 1
+    for s in range(log_n):
+        half = 1 << s
+        span = half * 2
+        plan = []
+        for base in range(0, n, span):
+            for j in range(half):
+                plan.append((base + j, base + j + half, j * (n // span)))
+        stages.append(plan)
+    return stages
+
+
+def build_fft(n: int = 8) -> Design:
+    """Build the FFT butterfly engine for ``n`` points (a power of two).
+
+    Phase ``log2(n)`` (the last value of the ``stage`` counter) reloads the
+    sample array from the ``get_sample`` external port; phases ``0`` to
+    ``log2(n)-1`` apply the butterfly stages in place.
+    """
+    if n & (n - 1) or n < 4:
+        raise ValueError("n must be a power of two >= 4")
+    log_n = n.bit_length() - 1
+    design = Design("fft")
+    stage_width = max(2, (log_n + 1).bit_length())
+    stage = design.reg("stage", stage_width, init=log_n)  # start by loading
+    res = [design.reg(f"re{i}", WIDTH, init=0) for i in range(n)]
+    ims = [design.reg(f"im{i}", WIDTH, init=0) for i in range(n)]
+    get_sample = design.extfun("get_sample", stage_width + 4, WIDTH)
+    put_result = design.extfun("put_result", WIDTH, 0)
+    twiddles = _twiddles(n)
+
+    def smul(a: Action, b_const: int) -> Action:
+        """Signed Q2.14 multiply by a constant: widen, multiply, shift."""
+        wide_a = a.sext(_PROD_WIDTH)
+        wide_b = C(truncate(to_signed(b_const, WIDTH), _PROD_WIDTH), _PROD_WIDTH)
+        return (wide_a * wide_b).sra(FRAC_BITS)[0:WIDTH]
+
+    cases = []
+    for s, plan in enumerate(_stage_plan(n)):
+        writes: List[Action] = []
+        for (ia, ib, tw) in plan:
+            w_re, w_im = twiddles[tw]
+            a_re, a_im = res[ia].rd0(), ims[ia].rd0()
+            b_re, b_im = res[ib].rd0(), ims[ib].rd0()
+            t_re = smul(b_re, w_re) - smul(b_im, w_im)
+            t_im = smul(b_re, w_im) + smul(b_im, w_re)
+            body = seq(
+                res[ia].wr0(V(f"ta_re_{s}_{ia}") + V(f"t_re_{s}_{ia}")),
+                ims[ia].wr0(V(f"ta_im_{s}_{ia}") + V(f"t_im_{s}_{ia}")),
+                res[ib].wr0(V(f"ta_re_{s}_{ia}") - V(f"t_re_{s}_{ia}")),
+                ims[ib].wr0(V(f"ta_im_{s}_{ia}") - V(f"t_im_{s}_{ia}")),
+            )
+            writes.append(
+                Let(f"ta_re_{s}_{ia}", a_re,
+                    Let(f"ta_im_{s}_{ia}", a_im,
+                        Let(f"t_re_{s}_{ia}", t_re,
+                            Let(f"t_im_{s}_{ia}", t_im, body))))
+            )
+        writes.append(stage.wr0(C(s + 1, stage_width)))
+        cases.append((C(s, stage_width), seq(*writes)))
+
+    # Load phase: pull n fresh samples, emit one result, restart at stage 0.
+    load_actions: List[Action] = []
+    for i in range(n):
+        load_actions.append(res[i].wr0(get_sample(C(2 * i, stage_width + 4))))
+        load_actions.append(ims[i].wr0(get_sample(C(2 * i + 1, stage_width + 4))))
+    load_actions.append(put_result(res[0].rd1()))
+    load_actions.append(stage.wr0(C(0, stage_width)))
+    cases.append((C(log_n, stage_width), seq(*load_actions)))
+
+    design.rule("butterfly", switch(stage.rd0(), cases))
+    design.schedule("butterfly")
+    return design.finalize()
+
+
+# ----------------------------------------------------------------------
+# Bit-exact golden model (shared by the unit tests).
+# ----------------------------------------------------------------------
+
+def _smul_ref(a: int, b: int) -> int:
+    wide = truncate(to_signed(a, WIDTH) * to_signed(b, WIDTH), _PROD_WIDTH)
+    shifted = to_signed(wide, _PROD_WIDTH) >> FRAC_BITS
+    return truncate(shifted, WIDTH)
+
+
+def fixed_point_fft_stage(reals: Sequence[int], imags: Sequence[int],
+                          stage_index: int, n: int) -> Tuple[List[int], List[int]]:
+    """Apply one butterfly stage exactly as the hardware does."""
+    twiddles = _twiddles(n)
+    out_re, out_im = list(reals), list(imags)
+    for (ia, ib, tw) in _stage_plan(n)[stage_index]:
+        w_re, w_im = twiddles[tw]
+        t_re = truncate(_smul_ref(reals[ib], w_re) - _smul_ref(imags[ib], w_im),
+                        WIDTH)
+        t_im = truncate(_smul_ref(reals[ib], w_im) + _smul_ref(imags[ib], w_re),
+                        WIDTH)
+        out_re[ia] = truncate(reals[ia] + t_re, WIDTH)
+        out_im[ia] = truncate(imags[ia] + t_im, WIDTH)
+        out_re[ib] = truncate(reals[ia] - t_re, WIDTH)
+        out_im[ib] = truncate(imags[ia] - t_im, WIDTH)
+    return out_re, out_im

@@ -1,0 +1,74 @@
+"""The ``fir`` benchmark: a finite impulse response filter.
+
+A purely combinational design (single rule, no conflicts): each cycle the
+filter shifts a new sample into its delay line and emits
+
+    y[n] = sum_k  c_k * x[n - k]
+
+Because there is no scheduling work to skip, this is a design where
+Cuttlesim's advantage over RTL simulation is expected to be *narrow*
+(§4.1, "On combinational circuits, Cuttlesim's advantage is narrower, as
+expected") — both simulators do essentially the same multiply-accumulate
+work every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..koika.ast import Action, C, Let, V
+from ..koika.design import Design
+from ..koika.dsl import seq
+
+#: A small low-pass-ish integer kernel (matches the paper's "small FIR").
+DEFAULT_TAPS: Sequence[int] = (1, 3, 5, 7, 9, 7, 5, 3, 1)
+
+
+def build_fir(taps: Sequence[int] = DEFAULT_TAPS, width: int = 32) -> Design:
+    """Build an n-tap FIR filter over ``width``-bit samples.
+
+    Samples arrive through the ``get_sample`` external port and results
+    leave through ``put_result`` — the testbench provides both.
+    """
+    taps = tuple(taps)
+    if not taps:
+        raise ValueError("FIR filter needs at least one tap")
+    design = Design("fir")
+    delay = [design.reg(f"x{k}", width, init=0) for k in range(len(taps) - 1)]
+    get_sample = design.extfun("get_sample", 0, width)
+    put_result = design.extfun("put_result", width, 0)
+
+    def accumulate(sample_var: Action) -> Action:
+        acc: Action = sample_var * C(taps[0], width)
+        for k, tap in enumerate(taps[1:]):
+            acc = acc + (delay[k].rd0() * C(tap, width))
+        return acc
+
+    shifts = []
+    for k in range(len(delay) - 1, 0, -1):
+        shifts.append(delay[k].wr0(delay[k - 1].rd0()))
+    body = Let(
+        "sample", get_sample(C(0, 0)),
+        seq(
+            put_result(accumulate(V("sample"))),
+            *(shifts + ([delay[0].wr0(V("sample"))] if delay else [])),
+        ),
+    )
+    design.rule("filter", body)
+    design.schedule("filter")
+    return design.finalize()
+
+
+def reference_fir(samples: Sequence[int], taps: Sequence[int] = DEFAULT_TAPS,
+                  width: int = 32) -> list:
+    """Software golden model of the filter (used by tests)."""
+    mask = (1 << width) - 1
+    history = [0] * len(taps)
+    outputs = []
+    for sample in samples:
+        history = [sample & mask] + history[:-1]
+        acc = 0
+        for tap, value in zip(taps, history):
+            acc = (acc + tap * value) & mask
+        outputs.append(acc)
+    return outputs

@@ -1,0 +1,366 @@
+"""A 2-core MSI cache-coherence system (case study 1).
+
+Two cores with L1 "child" caches and a "parent" protocol engine
+implementing the MSI protocol over a 4-line address space.  The moving
+pieces match the paper's description:
+
+* **MSHRs** — each cache has a miss-status holding register whose tag is
+  ``Ready``, ``SendFillReq`` (miss: must request a fill from the parent),
+  or ``WaitFillResp`` (waiting for the parent's response).
+* **The parent** is either ``Idle`` or ``ConfirmDowngrades`` — the latter
+  while it waits for the other core to acknowledge a downgrade.
+* Downgrade acknowledgements travel over a *wire*: the downgrading child
+  announces completion every cycle at port 0, and the parent's
+  ``confirm_downgrades`` rule reads it at port 1 in the same cycle.
+
+``bug=True`` reproduces the case-study deadlock verbatim: the child's
+announce rule *accidentally writes at port 1 instead of port 0*.  A write
+at port 1 conflicts with the parent's same-cycle read at port 1, so
+``confirm_downgrades`` aborts — every cycle, forever: core 0 is stuck in
+``WaitFillResp`` and the parent in ``ConfirmDowngrades``, exactly the
+state the paper's programmer finds in gdb.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..harness.env import Device, Environment, SimHandle
+from ..koika.ast import C, If, Let, Seq, V, enum_const, struct_init, unit
+from ..koika.design import Design
+from ..koika.dsl import RegArray, guard, mux, seq, when
+from ..koika.types import EnumType, StructType, bits
+
+#: Cache-line coherence states.
+MSI = EnumType("msi", ["I", "S", "M"])
+#: MSHR tags (names straight from the paper).
+MSHR = EnumType("mshr_tag", ["Ready", "SendFillReq", "WaitFillResp"])
+#: Parent protocol-engine states.
+PSTATE = EnumType("pstate", ["Idle", "ConfirmDowngrades"])
+
+N_LINES = 4
+ADDR_W = 2
+
+#: Child -> parent fill request.
+CREQ = StructType("creq", [("addr", bits(ADDR_W)), ("want", MSI)])
+#: Parent -> child fill response.
+CRSP = StructType("crsp", [("addr", bits(ADDR_W)), ("state", MSI),
+                           ("data", bits(32))])
+#: Parent -> child downgrade request.
+DREQ = StructType("dreq", [("addr", bits(ADDR_W)), ("to", MSI)])
+
+
+def build_msi(bug: bool = False) -> Design:
+    """Build the coherence system; ``bug=True`` plants the wr1 deadlock."""
+    design = Design("msi" + ("_buggy" if bug else ""))
+
+    children = []
+    for i in (0, 1):
+        p = f"c{i}_"
+        child = {
+            "states": RegArray(design, f"{p}state", N_LINES, MSI, MSI.I),
+            "data": RegArray(design, f"{p}data", N_LINES, 32),
+            "mshr": design.reg(f"{p}mshr", MSHR, MSHR.Ready),
+            "mshr_addr": design.reg(f"{p}mshr_addr", ADDR_W, 0),
+            "mshr_want": design.reg(f"{p}mshr_want", MSI, MSI.I),
+            "cmd_valid": design.reg(f"{p}cmd_valid", 1, 0),
+            "cmd_addr": design.reg(f"{p}cmd_addr", ADDR_W, 0),
+            "cmd_want": design.reg(f"{p}cmd_want", MSI, MSI.I),
+            "cmd_data": design.reg(f"{p}cmd_data", 32, 0),
+            "result": design.reg(f"{p}result", 32, 0),
+            "done": design.reg(f"{p}done", 16, 0),
+            # fill request channel (child enq @0, parent deq @1)
+            "creq_valid": design.reg(f"{p}creq_valid", 1, 0),
+            "creq_data": design.reg(f"{p}creq_data", CREQ, 0),
+            # fill response channel (parent enq @1, child deq @0)
+            "crsp_valid": design.reg(f"{p}crsp_valid", 1, 0),
+            "crsp_data": design.reg(f"{p}crsp_data", CRSP, 0),
+            # downgrade request channel (parent enq @1, child deq @0)
+            "dreq_valid": design.reg(f"{p}dreq_valid", 1, 0),
+            "dreq_data": design.reg(f"{p}dreq_data", DREQ, 0),
+            # downgrade-acknowledge *wire* (child announces @0, parent
+            # reads @1 the same cycle)
+            "ack_valid": design.reg(f"{p}ack_valid", 1, 0),
+            "ack_addr": design.reg(f"{p}ack_addr", ADDR_W, 0),
+            "ack_data": design.reg(f"{p}ack_data", 32, 0),
+            "ack_was_m": design.reg(f"{p}ack_was_m", 1, 0),
+            # announcing mode flag
+            "announcing": design.reg(f"{p}announcing", 1, 0),
+        }
+        children.append(child)
+
+    directory = [RegArray(design, f"dir_c{i}", N_LINES, MSI, MSI.I)
+                 for i in (0, 1)]
+    pmem = RegArray(design, "pmem", N_LINES, 32)
+    p_state = design.reg("p_state", PSTATE, PSTATE.Idle)
+    p_child = design.reg("p_child", 1, 0)        # requesting child
+    p_addr = design.reg("p_addr", ADDR_W, 0)
+    p_want = design.reg("p_want", MSI, MSI.I)
+    p_to = design.reg("p_to", MSI, MSI.I)        # downgrade target state
+
+    def msi_c(member: str):
+        return enum_const(MSI, member)
+
+    # ------------------------------------------------------------------
+    # Child rules.
+    # ------------------------------------------------------------------
+    for i, child in enumerate(children):
+        p = f"c{i}_"
+
+        # recv_resp: install the fill response, complete the command.
+        addr = V("addr")
+        resp = V("resp")
+        design.rule(f"{p}recv_resp", seq(
+            guard(child["crsp_valid"].rd0() == C(1, 1)),
+            Let("resp", child["crsp_data"].rd0(), Let(
+                "addr", resp.field("addr"), seq(
+                    child["crsp_valid"].wr0(C(0, 1)),
+                    child["states"].write(0, addr, resp.field("state")),
+                    If(resp.field("state") == msi_c("M"),
+                       # write fill: install the store data
+                       child["data"].write(0, addr, child["cmd_data"].rd0()),
+                       child["data"].write(0, addr, resp.field("data"))),
+                    child["result"].wr0(resp.field("data")),
+                    child["mshr"].wr0(enum_const(MSHR, "Ready")),
+                    child["cmd_valid"].wr0(C(0, 1)),
+                    child["done"].wr0(child["done"].rd0() + C(1, 16)),
+                ))),
+        ))
+
+        # handle_downgrade: honor the parent's downgrade request, then
+        # enter announcing mode.
+        dreq = V("dreq")
+        design.rule(f"{p}handle_downgrade", seq(
+            guard(child["dreq_valid"].rd0() == C(1, 1)),
+            Let("dreq", child["dreq_data"].rd0(), Let(
+                "addr", dreq.field("addr"), seq(
+                    child["dreq_valid"].wr0(C(0, 1)),
+                    child["ack_addr"].wr0(V("addr")),
+                    child["ack_data"].wr0(child["data"].read(0, V("addr"))),
+                    child["ack_was_m"].wr0(mux(
+                        child["states"].read(0, V("addr")) == msi_c("M"),
+                        C(1, 1), C(0, 1))),
+                    child["states"].write(0, V("addr"), dreq.field("to")),
+                    child["announcing"].wr0(C(1, 1)),
+                ))),
+        ))
+
+        # announce: while announcing, drive the ack wire every cycle.
+        # THE BUG (case study 1): port 1 instead of port 0.
+        ack_port = 1 if bug else 0
+        design.rule(f"{p}announce", seq(
+            guard(child["announcing"].rd0() == C(1, 1)),
+            child["ack_valid"].write(ack_port, C(1, 1)),
+        ))
+
+        # request: hits complete locally; misses allocate the MSHR.
+        st = V("st")
+        design.rule(f"{p}request", seq(
+            guard(child["cmd_valid"].rd0() == C(1, 1)),
+            guard(child["mshr"].rd0() == enum_const(MSHR, "Ready")),
+            Let("addr", child["cmd_addr"].rd0(),
+                Let("st", child["states"].read(0, V("addr")), seq(
+                    If((child["cmd_want"].rd0() == msi_c("S"))
+                       & (st != msi_c("I")),
+                       # read hit
+                       seq(
+                           child["result"].wr0(
+                               child["data"].read(0, V("addr"))),
+                           child["cmd_valid"].wr0(C(0, 1)),
+                           child["done"].wr0(
+                               child["done"].rd0() + C(1, 16)),
+                       ),
+                       If((child["cmd_want"].rd0() == msi_c("M"))
+                          & (st == msi_c("M")),
+                          # write hit
+                          seq(
+                              child["data"].write(
+                                  0, V("addr"), child["cmd_data"].rd0()),
+                              child["cmd_valid"].wr0(C(0, 1)),
+                              child["done"].wr0(
+                                  child["done"].rd0() + C(1, 16)),
+                          ),
+                          # miss: request a fill
+                          seq(
+                              child["mshr"].wr0(
+                                  enum_const(MSHR, "SendFillReq")),
+                              child["mshr_addr"].wr0(V("addr")),
+                              child["mshr_want"].wr0(
+                                  child["cmd_want"].rd0()),
+                          ))),
+                ))),
+        ))
+
+        # send_fill: push the fill request to the parent.
+        design.rule(f"{p}send_fill", seq(
+            guard(child["mshr"].rd0() == enum_const(MSHR, "SendFillReq")),
+            guard(child["creq_valid"].rd0() == C(0, 1)),
+            child["creq_data"].wr0(struct_init(
+                CREQ, addr=child["mshr_addr"].rd0(),
+                want=child["mshr_want"].rd0())),
+            child["creq_valid"].wr0(C(1, 1)),
+            child["mshr"].wr0(enum_const(MSHR, "WaitFillResp")),
+        ))
+
+    # ------------------------------------------------------------------
+    # Parent rules.
+    # ------------------------------------------------------------------
+    def handle_request(i: int):
+        """Process child i's fill request (runs with p_state == Idle)."""
+        other = 1 - i
+        child, rival = children[i], children[other]
+        req = V("req")
+        addr = req.field("addr")
+        want = req.field("want")
+        # Port 1: see directory updates made by an earlier grant this cycle.
+        rival_state = directory[other].read(1, addr)
+        needs_downgrade = mux(
+            want == msi_c("M"), rival_state != msi_c("I"),
+            mux(want == msi_c("S"), rival_state == msi_c("M"), C(0, 1)))
+        grant = seq(
+            guard(child["crsp_valid"].rd1() == C(0, 1)),
+            child["crsp_valid"].wr1(C(1, 1)),
+            child["crsp_data"].wr1(struct_init(
+                CRSP, addr=addr, state=want,
+                data=pmem.read(0, addr))),
+            directory[i].write(0, addr, want),
+        )
+        downgrade = seq(
+            guard(rival["dreq_valid"].rd1() == C(0, 1)),
+            rival["dreq_data"].wr1(struct_init(
+                DREQ, addr=addr,
+                to=mux(want == msi_c("M"), msi_c("I"), msi_c("S")))),
+            rival["dreq_valid"].wr1(C(1, 1)),
+            p_state.wr0(enum_const(PSTATE, "ConfirmDowngrades")),
+            p_child.wr0(C(i, 1)),
+            p_addr.wr0(addr),
+            p_want.wr0(want),
+            p_to.wr0(mux(want == msi_c("M"), msi_c("I"), msi_c("S"))),
+        )
+        return seq(
+            guard(p_state.rd0() == enum_const(PSTATE, "Idle")),
+            guard(children[i]["creq_valid"].rd1() == C(1, 1)),
+            children[i]["creq_valid"].wr1(C(0, 1)),
+            Let("req", children[i]["creq_data"].rd1(),
+                If(needs_downgrade, downgrade, grant)),
+        )
+
+    design.rule("parent_handle_req0", handle_request(0))
+    design.rule("parent_handle_req1", handle_request(1))
+
+    # confirm_downgrades: wait for the other child's acknowledgement.
+    def confirm_for(other: int):
+        """Confirmation path when the downgrading child is ``other``."""
+        rival = children[other]
+        req_child = children[1 - other]
+        return seq(
+            # The read at port 1 the case study stares at in gdb:
+            guard(rival["ack_valid"].rd1() == C(1, 1)),
+            # Collect the writeback if the line was Modified.
+            when(rival["ack_was_m"].rd1() == C(1, 1),
+                 pmem.write(0, p_addr.rd0(), rival["ack_data"].rd1())),
+            directory[other].write(0, p_addr.rd0(), p_to.rd0()),
+            rival["ack_valid"].wr1(C(0, 1)),
+            rival["announcing"].wr1(C(0, 1)),
+            # Grant the original request.
+            guard(req_child["crsp_valid"].rd1() == C(0, 1)),
+            req_child["crsp_valid"].wr1(C(1, 1)),
+            req_child["crsp_data"].wr1(struct_init(
+                CRSP, addr=p_addr.rd0(), state=p_want.rd0(),
+                data=pmem.read(1, p_addr.rd0()))),
+            directory[1 - other].write(0, p_addr.rd0(), p_want.rd0()),
+            p_state.wr0(enum_const(PSTATE, "Idle")),
+        )
+
+    design.rule("parent_confirm_downgrades", seq(
+        guard(p_state.rd0() == enum_const(PSTATE, "ConfirmDowngrades")),
+        If(p_child.rd0() == C(0, 1),
+           confirm_for(other=1),
+           confirm_for(other=0)),
+    ))
+
+    schedule = []
+    for i in (0, 1):
+        p = f"c{i}_"
+        schedule += [f"{p}recv_resp", f"{p}handle_downgrade",
+                     f"{p}announce", f"{p}request", f"{p}send_fill"]
+    schedule += ["parent_handle_req0", "parent_handle_req1",
+                 "parent_confirm_downgrades"]
+    design.schedule(*schedule)
+    return design.finalize()
+
+
+class CoherenceDriver(Device):
+    """Testbench driving a script of ``(core, op, addr, data)`` accesses.
+
+    ``op`` is ``"read"`` or ``"write"``.  Each core's next access is poked
+    when its previous one completes.  Progress is observable through
+    ``completed`` (per core) and ``reads`` (values returned by read ops).
+
+    ``sequential=True`` (the default) issues operations one at a time in
+    script order — deterministic, for checking data values.  With
+    ``sequential=False`` both cores run their own streams concurrently
+    (a stress mode; inter-core ordering is then up to the protocol).
+    """
+
+    def __init__(self, script: List[Tuple[int, str, int, int]],
+                 sequential: bool = True):
+        self.script = list(script)
+        self.sequential = sequential
+        self.reset()
+
+    def reset(self) -> None:
+        self.queues: List[List[Tuple[str, int, int]]] = [[], []]
+        self.global_queue = [(core, op, addr, data)
+                             for core, op, addr, data in self.script]
+        if not self.sequential:
+            for core, op, addr, data in self.script:
+                self.queues[core].append((op, addr, data))
+        self.inflight: List[Optional[Tuple[str, int, int]]] = [None, None]
+        self.completed = [0, 0]
+        self.reads: List[List[int]] = [[], []]
+
+    def _retire(self, sim: SimHandle, core: int) -> None:
+        p = f"c{core}_"
+        done = sim.peek(f"{p}done")
+        if self.inflight[core] is not None and done == self.completed[core] + 1:
+            op, addr, _ = self.inflight[core]
+            if op == "read":
+                self.reads[core].append(sim.peek(f"{p}result"))
+            self.completed[core] = done
+            self.inflight[core] = None
+
+    def _issue(self, sim: SimHandle, core: int, op: str, addr: int,
+               data: int) -> None:
+        p = f"c{core}_"
+        sim.poke(f"{p}cmd_addr", addr)
+        sim.poke(f"{p}cmd_want", MSI.S if op == "read" else MSI.M)
+        sim.poke(f"{p}cmd_data", data)
+        sim.poke(f"{p}cmd_valid", 1)
+        self.inflight[core] = (op, addr, data)
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        for core in (0, 1):
+            self._retire(sim, core)
+        if self.sequential:
+            if self.inflight == [None, None] and self.global_queue:
+                core, op, addr, data = self.global_queue.pop(0)
+                self._issue(sim, core, op, addr, data)
+            return
+        for core in (0, 1):
+            if self.inflight[core] is None and self.queues[core] \
+                    and not sim.peek(f"c{core}_cmd_valid"):
+                op, addr, data = self.queues[core].pop(0)
+                self._issue(sim, core, op, addr, data)
+
+    @property
+    def all_done(self) -> bool:
+        if self.sequential:
+            return not self.global_queue and self.inflight == [None, None]
+        return (not any(self.queues) and self.inflight == [None, None])
+
+
+def make_msi_env(script: List[Tuple[int, str, int, int]]) -> Environment:
+    env = Environment()
+    env.add_device(CoherenceDriver(script))
+    return env

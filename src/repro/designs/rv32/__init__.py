@@ -1,0 +1,20 @@
+"""Pipelined RV32 cores (rv32i, rv32e, rv32i-bp, rv32i-mc)."""
+
+from .common import D2E, DINST, DMEM_REQ, E2W, F2D
+from .core import (add_rv32_core, build_rv32e, build_rv32i, build_rv32i_bp,
+                   build_rv32i_bypass, build_rv32i_mc, build_rv32im)
+from .memory import RV32MemoryDevice, make_core_env, run_program
+from .cache import (CacheMemoryDevice, add_dcache, add_icache,
+                    build_rv32i_cached, make_cached_env)
+from .checker import GoldenLockstep, LockstepMismatch
+from .viewer import PipelineViewer, StageView
+
+__all__ = [
+    "D2E", "DINST", "DMEM_REQ", "E2W", "F2D",
+    "add_rv32_core", "build_rv32e", "build_rv32i", "build_rv32i_bp",
+    "build_rv32i_bypass", "build_rv32i_mc", "build_rv32im",
+    "RV32MemoryDevice", "make_core_env",
+    "run_program", "PipelineViewer", "StageView", "GoldenLockstep",
+    "LockstepMismatch", "CacheMemoryDevice", "add_dcache", "add_icache",
+    "build_rv32i_cached", "make_cached_env",
+]

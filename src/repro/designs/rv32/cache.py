@@ -1,0 +1,272 @@
+"""Direct-mapped caches for the RV32 core, as Kôika rules.
+
+With a multi-cycle main memory (``RV32MemoryDevice(latency=N)``) the
+idealized single-cycle fetch path becomes the bottleneck; these caches
+put the paper's design methodology to work on a classic microarchitecture
+problem, entirely inside the rule language:
+
+* **I-cache** — direct-mapped, one word per line; a hit answers the
+  core's instruction request in one cycle, a miss forwards it to the
+  memory port and fills on the response.
+* **D-cache** — write-through, no-allocate-on-store; loads are cached,
+  MMIO addresses (bit 30 set) always bypass.
+
+Port discipline worth reading (it is the subtle part):
+
+* the cache *consumes* the core's request with ``rd1``/``wr1`` — it runs
+  after the core stage that issued it in the same cycle;
+* the cache *delivers* responses with ``wr1`` on the ``from*`` registers
+  the core reads at ``rd0``/``wr0`` — so the consuming stage can retire
+  the previous response in the same cycle the cache delivers the next
+  one (``wr1`` commits after, and wins over, the stage's ``wr0`` clear).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...harness.env import Device, Environment, SimHandle
+from ...koika.ast import C, If, Let, V, enum_const, struct_init
+from ...koika.design import Design
+from ...koika.dsl import RegArray, guard, mux, seq, when
+from ...koika.types import EnumType
+from ...riscv.assembler import Program
+from ...riscv.golden import OUTPUT_ADDR, TOHOST_ADDR, load_from, store_to
+from .common import DMEM_REQ
+from .core import add_rv32_core
+
+CACHE_STATE = EnumType("cache_state", ["Ready", "WaitMem"])
+
+
+def _split_address(addr, index_bits: int):
+    """addr -> (line index, tag) for word-aligned direct mapping."""
+    index = addr[2:2 + index_bits]
+    tag = addr[2 + index_bits:32]
+    return index, tag
+
+
+def add_icache(design: Design, lines: int = 8, core_prefix: str = "",
+               prefix: str = "ic_") -> None:
+    index_bits = (lines - 1).bit_length()
+    tag_width = 32 - 2 - index_bits
+    p, cp = prefix, core_prefix
+
+    tags = RegArray(design, f"{p}tag", lines, tag_width)
+    valids = RegArray(design, f"{p}valid", lines, 1)
+    data = RegArray(design, f"{p}data", lines, 32)
+    state = design.reg(f"{p}state", CACHE_STATE, CACHE_STATE.Ready)
+    pending = design.reg(f"{p}pending", 32, 0)
+    mreq_addr = design.reg(f"{p}mreq_addr", 32, 0)
+    mreq_valid = design.reg(f"{p}mreq_valid", 1, 0)
+    mrsp_data = design.reg(f"{p}mrsp_data", 32, 0)
+    mrsp_valid = design.reg(f"{p}mrsp_valid", 1, 0)
+
+    to_valid = design.registers[f"{cp}toIMem_valid"]
+    to_addr = design.registers[f"{cp}toIMem_addr"]
+    from_data = design.registers[f"{cp}fromIMem_data"]
+    from_valid = design.registers[f"{cp}fromIMem_valid"]
+
+    addr = V("addr")
+    index, tag = _split_address(addr, index_bits)
+    serve_ready = seq(
+        guard(to_valid.rd1() == C(1, 1)),
+        Let("addr", to_addr.rd1(), seq(
+            to_valid.wr1(C(0, 1)),                    # consume the request
+            If((valids.read(0, index) == C(1, 1))
+               & (tags.read(0, index) == tag),
+               seq(                                   # hit: answer now
+                   from_data.wr1(data.read(0, index)),
+                   from_valid.wr1(C(1, 1)),
+               ),
+               seq(                                   # miss: go to memory
+                   mreq_addr.wr0(V("addr")),
+                   mreq_valid.wr0(C(1, 1)),
+                   pending.wr0(V("addr")),
+                   state.wr0(enum_const(CACHE_STATE, "WaitMem")),
+               )),
+        )),
+    )
+    fill_index, fill_tag = _split_address(V("faddr"), index_bits)
+    serve_wait = seq(
+        guard(mrsp_valid.rd0() == C(1, 1)),
+        mrsp_valid.wr0(C(0, 1)),
+        Let("faddr", pending.rd0(), seq(
+            tags.write(0, fill_index, fill_tag),
+            valids.write(0, fill_index, C(1, 1)),
+            data.write(0, fill_index, mrsp_data.rd0()),
+            from_data.wr1(mrsp_data.rd0()),
+            from_valid.wr1(C(1, 1)),
+            state.wr0(enum_const(CACHE_STATE, "Ready")),
+        )),
+    )
+    design.rule(f"{p}serve", If(
+        state.rd0() == enum_const(CACHE_STATE, "Ready"),
+        serve_ready, serve_wait))
+    design.schedule(f"{p}serve")
+
+
+def add_dcache(design: Design, lines: int = 8, core_prefix: str = "",
+               prefix: str = "dc_") -> None:
+    index_bits = (lines - 1).bit_length()
+    tag_width = 32 - 2 - index_bits
+    p, cp = prefix, core_prefix
+
+    tags = RegArray(design, f"{p}tag", lines, tag_width)
+    valids = RegArray(design, f"{p}valid", lines, 1)
+    data = RegArray(design, f"{p}data", lines, 32)
+    state = design.reg(f"{p}state", CACHE_STATE, CACHE_STATE.Ready)
+    mreq_data = design.reg(f"{p}mreq_data", DMEM_REQ, 0)
+    mreq_valid = design.reg(f"{p}mreq_valid", 1, 0)
+    mrsp_data = design.reg(f"{p}mrsp_data", 32, 0)
+    mrsp_valid = design.reg(f"{p}mrsp_valid", 1, 0)
+    pending = design.reg(f"{p}pending", 32, 0)
+
+    to_valid = design.registers[f"{cp}toDMem_valid"]
+    to_data = design.registers[f"{cp}toDMem_data"]
+    from_data = design.registers[f"{cp}fromDMem_data"]
+    from_valid = design.registers[f"{cp}fromDMem_valid"]
+
+    req = V("req")
+    addr = req.field("addr")
+    index, tag = _split_address(addr, index_bits)
+    is_mmio = addr[30] == C(1, 1)
+    is_word = req.field("funct3") == C(0b010, 3)
+    hit = (valids.read(0, index) == C(1, 1)) & \
+        (tags.read(0, index) == tag)
+
+    forward_to_memory = seq(
+        mreq_data.wr0(req),
+        mreq_valid.wr0(C(1, 1)),
+    )
+    handle_store = seq(
+        # Write-through: keep a hit line coherent (word stores update it;
+        # sub-word stores just invalidate — simplest correct policy).
+        when(hit & ~is_mmio,
+             If(is_word,
+                data.write(0, index, req.field("data")),
+                valids.write(0, index, C(0, 1)))),
+        forward_to_memory,
+        to_valid.wr1(C(0, 1)),
+    )
+    handle_load = If(
+        hit & ~is_mmio & is_word,
+        seq(                                        # cached word load
+            from_data.wr1(data.read(0, index)),
+            from_valid.wr1(C(1, 1)),
+            to_valid.wr1(C(0, 1)),
+        ),
+        seq(                                        # miss or uncacheable
+            forward_to_memory,
+            pending.wr0(addr),
+            state.wr0(enum_const(CACHE_STATE, "WaitMem")),
+            to_valid.wr1(C(0, 1)),
+        ))
+    serve_ready = seq(
+        guard(to_valid.rd1() == C(1, 1)),
+        guard(mreq_valid.rd0() == C(0, 1)),         # memory port free
+        Let("req", to_data.rd1(),
+            If(req.field("is_store") == C(1, 1), handle_store,
+               handle_load)),
+    )
+    fill_index, fill_tag = _split_address(V("faddr"), index_bits)
+    serve_wait = seq(
+        guard(mrsp_valid.rd0() == C(1, 1)),
+        mrsp_valid.wr0(C(0, 1)),
+        Let("faddr", pending.rd0(), seq(
+            # Only well-aligned cacheable words are allocated.
+            when((V("faddr")[30] == C(0, 1)),
+                 seq(tags.write(0, fill_index, fill_tag),
+                     valids.write(0, fill_index, C(1, 1)),
+                     data.write(0, fill_index, mrsp_data.rd0()))),
+            from_data.wr1(mrsp_data.rd0()),
+            from_valid.wr1(C(1, 1)),
+            state.wr0(enum_const(CACHE_STATE, "Ready")),
+        )),
+    )
+    design.rule(f"{p}serve", If(
+        state.rd0() == enum_const(CACHE_STATE, "Ready"),
+        serve_ready, serve_wait))
+    design.schedule(f"{p}serve")
+
+
+def build_rv32i_cached(icache_lines: int = 8,
+                       dcache_lines: int = 8) -> Design:
+    """rv32i plus an I-cache and a write-through D-cache."""
+    design = Design("rv32i_cached")
+    add_rv32_core(design, nregs=32, predictor="pc4")
+    add_icache(design, lines=icache_lines)
+    add_dcache(design, lines=dcache_lines)
+    return design.finalize()
+
+
+class CacheMemoryDevice(Device):
+    """Backing memory behind the caches, with configurable latency.
+
+    Services the caches' memory-side ports (``ic_mreq``/``dc_mreq``);
+    TOHOST/OUTPUT MMIO lives here, reached through the D-cache's bypass.
+    """
+
+    def __init__(self, program: Program, latency: int = 1):
+        if latency < 1:
+            raise ValueError("memory latency must be >= 1 cycle")
+        self.program = program
+        self.latency = latency
+        self.reset()
+
+    def reset(self) -> None:
+        self.memory = self.program.memory_image()
+        self.tohost: Optional[int] = None
+        self.outputs: List[int] = []
+        self.fills = 0
+        self._in_flight: List[List] = []
+
+    @property
+    def halted(self) -> bool:
+        return self.tohost is not None
+
+    def _respond(self, sim: SimHandle, port: str, value: int) -> None:
+        if self.latency == 1:
+            sim.poke(f"{port}_data", value)
+            sim.poke(f"{port}_valid", 1)
+        else:
+            self._in_flight.append([self.latency - 1, port, value])
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        still_waiting = []
+        for entry in self._in_flight:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                sim.poke(f"{entry[1]}_data", entry[2])
+                sim.poke(f"{entry[1]}_valid", 1)
+            else:
+                still_waiting.append(entry)
+        self._in_flight = still_waiting
+
+        if sim.peek("ic_mreq_valid"):
+            addr = sim.peek("ic_mreq_addr")
+            self._respond(sim, "ic_mrsp", self.memory.get(addr & ~3, 0))
+            sim.poke("ic_mreq_valid", 0)
+            self.fills += 1
+        if sim.peek("dc_mreq_valid"):
+            request = DMEM_REQ.unpack(sim.peek("dc_mreq_data"))
+            addr = request["addr"]
+            if request["is_store"]:
+                value = request["data"]
+                if addr == TOHOST_ADDR:
+                    if self.tohost is None:
+                        self.tohost = value
+                elif addr == OUTPUT_ADDR:
+                    self.outputs.append(value)
+                else:
+                    store_to(self.memory, addr, value, request["funct3"])
+            else:
+                self._respond(sim, "dc_mrsp",
+                              load_from(self.memory, addr,
+                                        request["funct3"]))
+            sim.poke("dc_mreq_valid", 0)
+
+
+def make_cached_env(program: Program, latency: int = 1) -> Environment:
+    env = Environment()
+    env.add_device(CacheMemoryDevice(program, latency=latency))
+    return env

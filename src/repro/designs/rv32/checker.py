@@ -1,0 +1,99 @@
+"""Golden-model lockstep checking for the RV32 cores.
+
+Classic retirement-level co-verification: run the pipelined core and the
+one-instruction-at-a-time golden model side by side, stepping the golden
+model once per *architectural* retirement (a non-poisoned writeback
+commit) and comparing the full architectural register file after each
+one.  A divergence pinpoints the first retired instruction whose effect
+differs — far more precise than comparing only the final TOHOST value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...errors import SimulationError
+from ...riscv.disasm import disassemble
+from ...riscv.golden import GoldenModel
+from .common import E2W
+
+
+class LockstepMismatch(AssertionError):
+    """The pipeline and the golden model disagree at a retirement."""
+
+
+class GoldenLockstep:
+    """Drives a core simulation in lockstep with a :class:`GoldenModel`.
+
+    ``sim`` must expose the core's registers under ``prefix`` and report
+    committed rules from ``run_cycle`` (all backends do).
+    """
+
+    def __init__(self, sim, golden: GoldenModel, prefix: str = "",
+                 nregs: int = 32):
+        self.sim = sim
+        self.golden = golden
+        self.prefix = prefix
+        self.nregs = nregs
+        self.retired = 0
+        self.log: List[str] = []
+
+    def _pending_retirement(self) -> Optional[dict]:
+        """The e2w entry that this cycle's writeback would retire."""
+        p = self.prefix
+        if not self.sim.peek(f"{p}e2w_valid"):
+            return None
+        entry = E2W.unpack(self.sim.peek(f"{p}e2w_data"))
+        # A pending load additionally needs its memory response; both the
+        # pipeline and this check see the same fromDMem_valid register.
+        if entry["is_load"] and not self.sim.peek(f"{p}fromDMem_valid"):
+            return None
+        return entry
+
+    def step(self) -> bool:
+        """One cycle; returns True if an instruction retired.
+
+        Raises :class:`LockstepMismatch` on the first register-file
+        divergence after a retirement.
+        """
+        pending = self._pending_retirement()
+        committed = self.sim.run_cycle()
+        writeback = f"{self.prefix}writeback" in committed
+        if not (writeback and pending is not None):
+            return False
+        if pending["poisoned"]:
+            return False  # wrong-path instruction: architecturally invisible
+        instruction_pc = self.golden.pc
+        word = self.golden.memory.get(instruction_pc & ~3, 0)
+        self.golden.step()
+        self.retired += 1
+        self.log.append(disassemble(word, pc=instruction_pc))
+        self._compare(instruction_pc, word)
+        return True
+
+    def _compare(self, pc: int, word: int) -> None:
+        p = self.prefix
+        for index in range(1, self.nregs):
+            pipeline_value = self.sim.peek(f"{p}rf_{index}")
+            golden_value = self.golden.regs[index]
+            if pipeline_value != golden_value:
+                raise LockstepMismatch(
+                    f"after retiring #{self.retired} "
+                    f"[{pc:#x}: {disassemble(word, pc=pc)}]: "
+                    f"x{index} = {pipeline_value:#x} in the pipeline but "
+                    f"{golden_value:#x} in the golden model"
+                )
+
+    def run(self, max_cycles: int = 1_000_000,
+            until_halted: bool = True) -> int:
+        """Run until the golden model halts (or ``max_cycles``); returns
+        the number of retired instructions."""
+        for _ in range(max_cycles):
+            self.step()
+            if until_halted and self.golden.halted:
+                return self.retired
+        if until_halted:
+            raise SimulationError(
+                f"program did not retire to completion in {max_cycles} cycles"
+            )
+        return self.retired

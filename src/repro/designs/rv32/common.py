@@ -1,0 +1,210 @@
+"""Shared combinational pieces of the RV32 cores: instruction decoder,
+ALU, branch unit, and the pipeline-stage structs.
+
+These are Kôika *internal functions* (pure), so Cuttlesim emits them as
+plain, readable Python functions in the generated model — the "zero-cost
+idiomatic patterns" readability story of the paper.
+"""
+
+from __future__ import annotations
+
+from ...koika.ast import Action, Binop, C, If, Let, Unop, V
+from ...koika.design import Design, Fn
+from ...koika.dsl import mux, switch
+from ...koika.types import StructType, bits
+from ...riscv import encoding as enc
+
+#: Decoded-instruction struct carried from decode to execute.
+DINST = StructType("dinst", [
+    ("opcode", bits(7)),
+    ("funct3", bits(3)),
+    ("alt", bits(1)),       # funct7[5] when it selects sub/sra
+    ("rd", bits(5)),
+    ("rs1", bits(5)),
+    ("rs2", bits(5)),
+    ("imm", bits(32)),
+    ("wen", bits(1)),       # writes a destination register
+    ("mdiv", bits(1)),      # RV32M op (funct7 == 0b0000001 under OP_REG)
+])
+
+#: Fetch-to-decode entry.
+F2D = StructType("f2d", [
+    ("pc", bits(32)),
+    ("ppc", bits(32)),
+    ("epoch", bits(1)),
+])
+
+#: Decode-to-execute entry.
+D2E = StructType("d2e", [
+    ("pc", bits(32)),
+    ("ppc", bits(32)),
+    ("epoch", bits(1)),
+    ("dinst", DINST),
+    ("rval1", bits(32)),
+    ("rval2", bits(32)),
+])
+
+#: Execute-to-writeback entry.
+E2W = StructType("e2w", [
+    ("rd", bits(5)),
+    ("wen", bits(1)),
+    ("poisoned", bits(1)),
+    ("is_load", bits(1)),
+    ("wdata", bits(32)),
+])
+
+#: Data-memory request (serviced by the testbench memory device).
+DMEM_REQ = StructType("dmem_req", [
+    ("is_store", bits(1)),
+    ("funct3", bits(3)),
+    ("addr", bits(32)),
+    ("data", bits(32)),
+])
+
+
+def _imm_i(instr: Action) -> Action:
+    return instr[20:32].sext(32)
+
+
+def _imm_s(instr: Action) -> Action:
+    return (instr[25:32].concat(instr[7:12])).sext(32)
+
+
+def _imm_b(instr: Action) -> Action:
+    joined = instr[31].concat(instr[7]).concat(instr[25:31]) \
+        .concat(instr[8:12]).concat(C(0, 1))
+    return joined.sext(32)
+
+
+def _imm_u(instr: Action) -> Action:
+    return instr[12:32].concat(C(0, 12))
+
+
+def _imm_j(instr: Action) -> Action:
+    joined = instr[31].concat(instr[12:20]).concat(instr[20]) \
+        .concat(instr[21:31]).concat(C(0, 1))
+    return joined.sext(32)
+
+
+def add_decoder(design: Design, prefix: str = "") -> Fn:
+    """Define ``decode(instr) -> DINST`` on the design."""
+    instr = V("instr")
+    opcode = instr[0:7]
+    funct3 = instr[12:15]
+    rd = instr[7:12]
+    rs1 = instr[15:20]
+    rs2 = instr[20:25]
+
+    writing_opcodes = (enc.OP_LUI, enc.OP_AUIPC, enc.OP_JAL, enc.OP_JALR,
+                       enc.OP_LOAD, enc.OP_IMM, enc.OP_REG)
+    wen: Action = C(0, 1)
+    for op in writing_opcodes:
+        wen = wen | (opcode == C(op, 7))
+
+    imm = switch(opcode, [
+        (C(enc.OP_IMM, 7), _imm_i(instr)),
+        (C(enc.OP_LOAD, 7), _imm_i(instr)),
+        (C(enc.OP_JALR, 7), _imm_i(instr)),
+        (C(enc.OP_STORE, 7), _imm_s(instr)),
+        (C(enc.OP_BRANCH, 7), _imm_b(instr)),
+        (C(enc.OP_LUI, 7), _imm_u(instr)),
+        (C(enc.OP_AUIPC, 7), _imm_u(instr)),
+        (C(enc.OP_JAL, 7), _imm_j(instr)),
+    ], default=C(0, 32))
+
+    # funct7[5] is "alt" (sub/sra) only where the encoding says so.
+    alt_applies = (opcode == C(enc.OP_REG, 7)) | \
+        ((opcode == C(enc.OP_IMM, 7)) & (funct3 == C(0b101, 3)))
+    alt = mux(alt_applies, instr[30], C(0, 1))
+    # funct7[0] marks the M extension (only meaningful under OP_REG).
+    mdiv = mux(opcode == C(enc.OP_REG, 7), instr[25], C(0, 1))
+
+    body = (
+        C(0, DINST)
+        .subst("opcode", opcode)
+        .subst("funct3", funct3)
+        .subst("alt", alt)
+        .subst("rd", rd)
+        .subst("rs1", rs1)
+        .subst("rs2", rs2)
+        .subst("imm", imm)
+        .subst("wen", wen)
+        .subst("mdiv", mdiv)
+    )
+    return design.fn(f"{prefix}decode", [("instr", 32)], body)
+
+
+def add_alu(design: Design, prefix: str = "") -> Fn:
+    """Define ``alu(funct3, alt, a, b) -> bits32`` on the design."""
+    funct3, alt = V("funct3"), V("alt")
+    a, b = V("a"), V("b")
+    shamt = b[0:5]
+    body = switch(funct3, [
+        (C(0b000, 3), mux(alt == C(1, 1), a - b, a + b)),
+        (C(0b001, 3), a << shamt),
+        (C(0b010, 3), a.slt(b).zext(32)),
+        (C(0b011, 3), (a < b).zext(32)),
+        (C(0b100, 3), a ^ b),
+        (C(0b101, 3), mux(alt == C(1, 1), a.sra(shamt), a >> shamt)),
+        (C(0b110, 3), a | b),
+    ], default=a & b)
+    return design.fn(f"{prefix}alu",
+                     [("funct3", 3), ("alt", 1), ("a", 32), ("b", 32)], body)
+
+
+def add_muldiv_unit(design: Design, prefix: str = "") -> Fn:
+    """Define ``muldiv(funct3, a, b) -> bits32`` (RV32M, single-cycle).
+
+    A combinational multiplier/divider is an idealization (real cores
+    iterate); it keeps the pipeline single-issue-per-stage and is
+    cycle-accurate against *this* design's RTL, which uses the same
+    single-cycle ``divu``/``remu`` netlist primitives.
+    """
+    funct3 = V("funct3")
+    a, b = V("a"), V("b")
+    wide_a_s = a.sext(64)
+    wide_b_s = b.sext(64)
+    wide_a_u = a.zext(64)
+    wide_b_u = b.zext(64)
+    body = switch(funct3, [
+        (C(0b000, 3), a * b),
+        (C(0b001, 3), (wide_a_s * wide_b_s)[32:64]),
+        (C(0b010, 3), (wide_a_s * wide_b_u)[32:64]),
+        (C(0b011, 3), (wide_a_u * wide_b_u)[32:64]),
+        (C(0b100, 3), _signed_div(a, b)),
+        (C(0b101, 3), Binop("divu", a, b)),
+        (C(0b110, 3), _signed_rem(a, b)),
+    ], default=Binop("remu", a, b))
+    return design.fn(f"{prefix}muldiv",
+                     [("funct3", 3), ("a", 32), ("b", 32)], body)
+
+
+def _abs32(value: Action) -> Action:
+    return mux(value[31] == C(1, 1), Unop("neg", value), value)
+
+
+def _signed_div(a: Action, b: Action) -> Action:
+    quotient = Binop("divu", _abs32(a), _abs32(b))
+    negate = (a[31] ^ b[31]) == C(1, 1)
+    return mux(b == C(0, 32), C(0xFFFFFFFF, 32),
+               mux(negate, Unop("neg", quotient), quotient))
+
+
+def _signed_rem(a: Action, b: Action) -> Action:
+    remainder = Binop("remu", _abs32(a), _abs32(b))
+    return mux(b == C(0, 32), a,
+               mux(a[31] == C(1, 1), Unop("neg", remainder), remainder))
+
+
+def add_branch_unit(design: Design, prefix: str = "") -> Fn:
+    """Define ``branch_taken(funct3, a, b) -> bits1`` on the design."""
+    funct3, a, b = V("funct3"), V("a"), V("b")
+    body = switch(funct3, [
+        (C(0b000, 3), a == b),
+        (C(0b001, 3), a != b),
+        (C(0b100, 3), a.slt(b)),
+        (C(0b101, 3), a.sge(b)),
+        (C(0b110, 3), a < b),
+    ], default=a >= b)
+    return design.fn(f"{prefix}branch_taken",
+                     [("funct3", 3), ("a", 32), ("b", 32)], body)

@@ -1,0 +1,445 @@
+"""The paper's embedded RISC-V cores: 4-stage pipelined RV32I / RV32E.
+
+Pipeline structure (one rule per stage, classic Kôika/Bluespec style):
+
+    writeback |> execute |> decode |> fetch
+
+* **fetch** — predict the next pc (``pc + 4`` baseline, or BTB + BHT for
+  the ``-bp`` variant), enqueue into ``f2d``, issue the instruction-memory
+  request.
+* **decode** — decode the fetched word, stall on scoreboard hazards (the
+  paper's ``if (score1 != 0 || score2 != 0) FAIL();``), read the register
+  file (port 1: bypass from same-cycle writeback), claim the destination
+  in the scoreboard, enqueue into ``d2e``.
+* **execute** — drop mispredicted-epoch instructions (poisoned), run the
+  ALU / branch unit, redirect the pc on mispredicts (flipping the epoch),
+  issue data-memory requests, enqueue into ``e2w``.
+* **writeback** — collect load responses, write the register file, release
+  the scoreboard entry.
+
+The FIFO port discipline (dequeue at port 0 before the upstream stage
+enqueues at port 1) means every stage advances every cycle when nothing
+stalls.  Static analysis proves *every* register of this design safe, so
+the O5 Cuttlesim model carries no read-write-set tracking at all.
+
+``scoreboard_x0_bug=True`` reproduces case study 3: the scoreboard tracks
+``x0`` like a real register, so each NOP (``addi x0, x0, 0``) creates a
+phantom dependency on the previous one and the pipeline runs at ~2 cycles
+per instruction (203 cycles for 100 NOPs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...koika.ast import Action, C, If, Let, Seq, V, struct_init, unit
+from ...koika.design import Design
+from ...koika.dsl import RegArray, guard, mux, seq, when
+from ...koika.types import bits
+from ...riscv import encoding as enc
+from .common import D2E, DINST, DMEM_REQ, E2W, F2D, add_alu, \
+    add_branch_unit, add_decoder, add_muldiv_unit
+
+#: Branch-predictor geometry for the ``-bp`` variant.
+BTB_BITS = 3     # 8-entry direct-mapped branch target buffer
+BHT_BITS = 4     # 16-entry table of 2-bit saturating counters
+
+
+def add_rv32_core(design: Design, prefix: str = "", nregs: int = 32,
+                  predictor: str = "pc4",
+                  scoreboard_x0_bug: bool = False,
+                  muldiv: bool = False,
+                  bypass: bool = False) -> None:
+    """Add one pipelined core (registers, functions, four rules) to
+    ``design``, namespaced by ``prefix``.  Appends its rules to the
+    scheduler in ``writeback |> execute |> decode |> fetch`` order."""
+    if nregs not in (16, 32):
+        raise ValueError("nregs must be 16 (RV32E) or 32 (RV32I)")
+    if predictor not in ("pc4", "btb"):
+        raise ValueError(f"unknown predictor {predictor!r}")
+    p = prefix
+
+    pc = design.reg(f"{p}pc", 32, init=0)
+    epoch = design.reg(f"{p}epoch", 1, init=0)
+    rf = RegArray(design, f"{p}rf", nregs, 32)
+    sb = RegArray(design, f"{p}sb", nregs, 2)
+
+    f2d_data = design.reg(f"{p}f2d_data", F2D, 0)
+    f2d_valid = design.reg(f"{p}f2d_valid", 1, 0)
+    d2e_data = design.reg(f"{p}d2e_data", D2E, 0)
+    d2e_valid = design.reg(f"{p}d2e_valid", 1, 0)
+    e2w_data = design.reg(f"{p}e2w_data", E2W, 0)
+    e2w_valid = design.reg(f"{p}e2w_valid", 1, 0)
+
+    to_imem_addr = design.reg(f"{p}toIMem_addr", 32, 0)
+    to_imem_valid = design.reg(f"{p}toIMem_valid", 1, 0)
+    from_imem_data = design.reg(f"{p}fromIMem_data", 32, 0)
+    from_imem_valid = design.reg(f"{p}fromIMem_valid", 1, 0)
+    to_dmem_data = design.reg(f"{p}toDMem_data", DMEM_REQ, 0)
+    to_dmem_valid = design.reg(f"{p}toDMem_valid", 1, 0)
+    from_dmem_data = design.reg(f"{p}fromDMem_data", 32, 0)
+    from_dmem_valid = design.reg(f"{p}fromDMem_valid", 1, 0)
+
+    bypass_regs = None
+    if bypass:
+        # EX -> decode forwarding wire (the "missing bypassing path" case
+        # study 4 identifies).  Execute drives it at port 0 when it
+        # produces a non-load result; decode reads it at port 1 the same
+        # cycle; an always-firing late rule clears the valid bit at port 1
+        # so the wire never leaks into the next cycle.
+        bypass_regs = {
+            "valid": design.reg(f"{p}bypass_valid", 1, 0),
+            "rd": design.reg(f"{p}bypass_rd", 5, 0),
+            "val": design.reg(f"{p}bypass_val", 32, 0),
+        }
+
+    decode_fn = add_decoder(design, p)
+    alu_fn = add_alu(design, p)
+    branch_fn = add_branch_unit(design, p)
+    muldiv_fn = add_muldiv_unit(design, p) if muldiv else None
+
+    btb = None
+    if predictor == "btb":
+        btb = {
+            "valid": RegArray(design, f"{p}btb_valid", 1 << BTB_BITS, 1),
+            "tag": RegArray(design, f"{p}btb_tag", 1 << BTB_BITS,
+                            32 - 2 - BTB_BITS),
+            "target": RegArray(design, f"{p}btb_target", 1 << BTB_BITS, 32),
+            "uncond": RegArray(design, f"{p}btb_uncond", 1 << BTB_BITS, 1),
+            "bht": RegArray(design, f"{p}bht", 1 << BHT_BITS, 2, init=1),
+        }
+
+    def reg_index(field: Action) -> Action:
+        """Map a 5-bit register specifier to a register-file index."""
+        return field if nregs == 32 else field[0:4]
+
+    # ------------------------------------------------------------------
+    # writeback
+    # ------------------------------------------------------------------
+    w = V("w")
+    rd_idx = reg_index(w.field("rd"))
+    rf_write = rf.write(0, rd_idx, V("value"))
+    if not scoreboard_x0_bug:
+        rf_write = when(w.field("rd") != C(0, 5), rf_write)
+    writeback_body = seq(
+        guard(e2w_valid.rd0() == C(1, 1)),
+        Let("w", e2w_data.rd0(), seq(
+            # A live load must have its memory response before retiring.
+            when((w.field("is_load") == C(1, 1)),
+                 guard(from_dmem_valid.rd0() == C(1, 1))),
+            e2w_valid.wr0(C(0, 1)),
+            Let("value", mux(w.field("is_load") == C(1, 1),
+                             from_dmem_data.rd0(), w.field("wdata")), seq(
+                when(w.field("is_load") == C(1, 1),
+                     from_dmem_valid.wr0(C(0, 1))),
+                when((w.field("wen") == C(1, 1))
+                     & (w.field("poisoned") == C(0, 1)),
+                     rf_write),
+                when(w.field("wen") == C(1, 1),
+                     sb.write(0, rd_idx,
+                              sb.read(0, rd_idx) - C(1, 2))),
+            )),
+        )),
+    )
+    design.rule(f"{p}writeback", writeback_body)
+
+    # ------------------------------------------------------------------
+    # execute
+    # ------------------------------------------------------------------
+    e = V("e")
+    di = V("di")
+    rv1, rv2 = V("rv1"), V("rv2")
+    opcode = di.field("opcode")
+    funct3 = di.field("funct3")
+    imm = di.field("imm")
+    epc = e.field("pc")
+    pc_plus4 = epc + C(4, 32)
+
+    is_branch = opcode == C(enc.OP_BRANCH, 7)
+    is_jal = opcode == C(enc.OP_JAL, 7)
+    is_jalr = opcode == C(enc.OP_JALR, 7)
+    is_load = opcode == C(enc.OP_LOAD, 7)
+    is_store = opcode == C(enc.OP_STORE, 7)
+
+    taken = branch_fn(funct3, rv1, rv2)
+    next_pc = mux(
+        is_branch, mux(taken == C(1, 1), epc + imm, pc_plus4),
+        mux(is_jal, epc + imm,
+            mux(is_jalr, (rv1 + imm) & C(0xFFFFFFFE, 32), pc_plus4)))
+
+    alu_out = alu_fn(funct3, di.field("alt"), rv1,
+                     mux(opcode == C(enc.OP_REG, 7), rv2, imm))
+    if muldiv:
+        # M extension: funct7[0] routes OP_REG instructions to the
+        # multiply/divide unit instead of the base ALU.
+        alu_out = mux(di.field("mdiv") == C(1, 1),
+                      muldiv_fn(funct3, rv1, rv2), alu_out)
+    wdata = mux(
+        opcode == C(enc.OP_LUI, 7), imm,
+        mux(opcode == C(enc.OP_AUIPC, 7), epc + imm,
+            mux(is_jal | is_jalr, pc_plus4, alu_out)))
+
+    dmem_req = struct_init(
+        DMEM_REQ,
+        is_store=mux(is_store, C(1, 1), C(0, 1)),
+        funct3=funct3,
+        addr=mux(is_store, rv1 + di.field("imm"), rv1 + imm),
+        data=rv2,
+    )
+
+    predictor_update = unit()
+    if predictor == "btb":
+        predictor_update = _btb_update(btb, e, taken, is_branch, is_jal,
+                                       is_jalr)
+
+    mispredict_redirect = pc.wr0(V("nextpc"))
+    mispredict_redirect.tag = f"{p}mispredict"  # counted by case study 4
+    execute_real = Let("nextpc", next_pc, seq(
+        when(V("nextpc") != e.field("ppc"), seq(
+            mispredict_redirect,
+            epoch.wr0(epoch.rd0() ^ C(1, 1)),
+        )),
+        when(is_load | is_store, seq(
+            guard(to_dmem_valid.rd0() == C(0, 1)),
+            to_dmem_data.wr0(dmem_req),
+            to_dmem_valid.wr0(C(1, 1)),
+        )),
+        Seq(
+            e2w_data.wr1(struct_init(
+                E2W, rd=di.field("rd"), wen=di.field("wen"),
+                poisoned=C(0, 1),
+                is_load=mux(is_load, C(1, 1), C(0, 1)),
+                wdata=wdata)),
+            e2w_valid.wr1(C(1, 1)),
+        ),
+        (seq(
+            when((di.field("wen") == C(1, 1)) & ~is_load,
+                 seq(bypass_regs["valid"].wr0(C(1, 1)),
+                     bypass_regs["rd"].wr0(di.field("rd")),
+                     bypass_regs["val"].wr0(wdata))),
+        ) if bypass else unit()),
+        predictor_update,
+    ))
+
+    execute_poisoned = Seq(
+        e2w_data.wr1(struct_init(
+            E2W, rd=di.field("rd"), wen=di.field("wen"),
+            poisoned=C(1, 1), is_load=C(0, 1), wdata=C(0, 32))),
+        e2w_valid.wr1(C(1, 1)),
+    )
+
+    execute_body = seq(
+        guard(d2e_valid.rd0() == C(1, 1)),
+        guard(e2w_valid.rd1() == C(0, 1)),  # space after writeback's deq
+        Let("e", d2e_data.rd0(), Let("di", e.field("dinst"), seq(
+            d2e_valid.wr0(C(0, 1)),
+            Let("rv1", e.field("rval1"), Let("rv2", e.field("rval2"),
+                If(e.field("epoch") == epoch.rd0(),
+                   execute_real,
+                   execute_poisoned))),
+        ))),
+    )
+    design.rule(f"{p}execute", execute_body)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    f = V("f")
+    d = V("d")
+    rs1_idx = reg_index(d.field("rs1"))
+    rs2_idx = reg_index(d.field("rs2"))
+    drd_idx = reg_index(d.field("rd"))
+    if scoreboard_x0_bug:
+        # Case study 3: x0 is scoreboarded like any other register, so
+        # NOPs (addi x0, x0, 0) serialize against each other.
+        wen_adjusted = d.field("wen")
+    else:
+        wen_adjusted = d.field("wen") & \
+            mux(d.field("rd") == C(0, 5), C(0, 1), C(1, 1))
+
+    decode_body = seq(
+        guard(f2d_valid.rd0() == C(1, 1)),
+        guard(from_imem_valid.rd0() == C(1, 1)),
+        Let("f", f2d_data.rd0(),
+            Let("d", decode_fn(from_imem_data.rd0()),
+                # Scoreboard hazard check — the paper's stall.  With the
+                # bypass wire, a single in-flight producer whose result is
+                # on the wire this cycle does not stall.
+                Let("score1", sb.read(1, rs1_idx),
+                    Let("score2", sb.read(1, rs2_idx), seq(
+                        *(_bypass_guards(bypass_regs, d)
+                          if bypass else
+                          [guard((V("score1") == C(0, 2))
+                                 & (V("score2") == C(0, 2)))]),
+                        f2d_valid.wr0(C(0, 1)),
+                        from_imem_valid.wr0(C(0, 1)),
+                        Let("wen", wen_adjusted, seq(
+                            when(V("wen") == C(1, 1),
+                                 sb.write(1, drd_idx,
+                                          sb.read(1, drd_idx) + C(1, 2))),
+                            guard(d2e_valid.rd1() == C(0, 1)),
+                            d2e_data.wr1(struct_init(
+                                D2E,
+                                pc=f.field("pc"), ppc=f.field("ppc"),
+                                epoch=f.field("epoch"),
+                                dinst=d.subst("wen", V("wen")),
+                                rval1=(_bypass_mux(bypass_regs, d, "rs1",
+                                                   rf.read(1, rs1_idx))
+                                       if bypass
+                                       else rf.read(1, rs1_idx)),
+                                rval2=(_bypass_mux(bypass_regs, d, "rs2",
+                                                   rf.read(1, rs2_idx))
+                                       if bypass
+                                       else rf.read(1, rs2_idx)))),
+                            d2e_valid.wr1(C(1, 1)),
+                        )),
+                    ))))),
+    )
+    design.rule(f"{p}decode", decode_body)
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+    if predictor == "btb":
+        predict = _btb_predict(btb, V("pc_now"))
+    else:
+        predict = V("pc_now") + C(4, 32)
+
+    fetch_body = seq(
+        guard(to_imem_valid.rd0() == C(0, 1)),
+        guard(f2d_valid.rd1() == C(0, 1)),
+        Let("pc_now", pc.rd1(), Let("pred", predict, seq(
+            f2d_data.wr1(struct_init(
+                F2D, pc=V("pc_now"), ppc=V("pred"), epoch=epoch.rd1())),
+            f2d_valid.wr1(C(1, 1)),
+            pc.wr1(V("pred")),
+            to_imem_addr.wr0(V("pc_now")),
+            to_imem_valid.wr0(C(1, 1)),
+        ))),
+    )
+    design.rule(f"{p}fetch", fetch_body)
+
+    if bypass:
+        design.rule(f"{p}bypass_clear",
+                    bypass_regs["valid"].wr1(C(0, 1)))
+    design.schedule(f"{p}writeback", f"{p}execute", f"{p}decode", f"{p}fetch",
+                    *([f"{p}bypass_clear"] if bypass else []))
+
+
+def _bypass_hit(bypass_regs, d, rs_field: str):
+    """This source register's value is on the forwarding wire right now."""
+    return (bypass_regs["valid"].rd1() == C(1, 1)) & \
+        (bypass_regs["rd"].rd1() == d.field(rs_field)) & \
+        (d.field(rs_field) != C(0, 5))
+
+
+def _bypass_guards(bypass_regs, d):
+    """Stall unless each busy source register is forwardable."""
+    return [
+        guard((V("score1") == C(0, 2)) | _bypass_hit(bypass_regs, d, "rs1")),
+        guard((V("score2") == C(0, 2)) | _bypass_hit(bypass_regs, d, "rs2")),
+    ]
+
+
+def _bypass_mux(bypass_regs, d, rs_field: str, regular):
+    """Prefer the forwarded value when the register is still scoreboarded."""
+    score = V("score1") if rs_field == "rs1" else V("score2")
+    return mux((score != C(0, 2)) & _bypass_hit(bypass_regs, d, rs_field),
+               bypass_regs["val"].rd1(), regular)
+
+
+# ----------------------------------------------------------------------
+# Branch predictor (BTB + BHT) for the -bp variant.
+# ----------------------------------------------------------------------
+
+def _btb_predict(btb, pc_now: Action) -> Action:
+    btb_idx = pc_now[2:2 + BTB_BITS]
+    bht_idx = pc_now[2:2 + BHT_BITS]
+    tag = pc_now[2 + BTB_BITS:32]
+    hit = (btb["valid"].read(1, btb_idx) == C(1, 1)) & \
+        (btb["tag"].read(1, btb_idx) == tag)
+    take = (btb["uncond"].read(1, btb_idx) == C(1, 1)) | \
+        (btb["bht"].read(1, bht_idx)[1] == C(1, 1))
+    return mux(hit & take, btb["target"].read(1, btb_idx),
+               pc_now + C(4, 32))
+
+
+def _btb_update(btb, e: Action, taken: Action, is_branch: Action,
+                is_jal: Action, is_jalr: Action) -> Action:
+    epc = e.field("pc")
+    btb_idx = epc[2:2 + BTB_BITS]
+    bht_idx = epc[2:2 + BHT_BITS]
+    tag = epc[2 + BTB_BITS:32]
+    counter = V("bht_ctr")
+    bumped = mux(V("brtaken") == C(1, 1),
+                 mux(counter == C(3, 2), C(3, 2), counter + C(1, 2)),
+                 mux(counter == C(0, 2), C(0, 2), counter - C(1, 2)))
+    update_bht = Let("bht_ctr", btb["bht"].read(0, bht_idx),
+                     btb["bht"].write(0, bht_idx, bumped))
+    record_target = seq(
+        btb["valid"].write(0, btb_idx, C(1, 1)),
+        btb["tag"].write(0, btb_idx, tag),
+        btb["target"].write(0, btb_idx, V("nextpc")),
+        btb["uncond"].write(0, btb_idx,
+                            mux(is_branch, C(0, 1), C(1, 1))),
+    )
+    return seq(
+        when(is_branch, Let("brtaken", taken, seq(
+            update_bht,
+            when(V("brtaken") == C(1, 1), record_target),
+        ))),
+        when(is_jal | is_jalr, record_target),
+    )
+
+
+# ----------------------------------------------------------------------
+# Design builders (Table 1's rows).
+# ----------------------------------------------------------------------
+
+def build_rv32i(scoreboard_x0_bug: bool = False) -> Design:
+    """``rv32i``: small RISC-V core, pc+4 predictor."""
+    design = Design("rv32i" + ("_sbbug" if scoreboard_x0_bug else ""))
+    add_rv32_core(design, nregs=32, predictor="pc4",
+                  scoreboard_x0_bug=scoreboard_x0_bug)
+    return design.finalize()
+
+
+def build_rv32i_bypass() -> Design:
+    """``rv32i`` plus an EX->decode forwarding path — the architectural
+    follow-up case study 4 suggests ("missing bypassing paths, forcing
+    the processor to insert bubbles between back-to-back data dependent
+    arithmetic instructions")."""
+    design = Design("rv32i_bypass")
+    add_rv32_core(design, nregs=32, predictor="pc4", bypass=True)
+    return design.finalize()
+
+
+def build_rv32im() -> Design:
+    """``rv32im``: rv32i plus the M extension (an extension beyond the
+    paper's benchmarks; single-cycle idealized multiplier/divider)."""
+    design = Design("rv32im")
+    add_rv32_core(design, nregs=32, predictor="pc4", muldiv=True)
+    return design.finalize()
+
+
+def build_rv32e() -> Design:
+    """``rv32e``: the 16-register embedded variant."""
+    design = Design("rv32e")
+    add_rv32_core(design, nregs=16, predictor="pc4")
+    return design.finalize()
+
+
+def build_rv32i_bp() -> Design:
+    """``rv32i-bp``: rv32i with a BTB + BHT branch predictor."""
+    design = Design("rv32i_bp")
+    add_rv32_core(design, nregs=32, predictor="btb")
+    return design.finalize()
+
+
+def build_rv32i_mc() -> Design:
+    """``rv32i-mc``: dual-core variant (two independent cores in one
+    design, doubling the amount of hardware simulated per cycle)."""
+    design = Design("rv32i_mc")
+    add_rv32_core(design, prefix="c0_", nregs=32, predictor="pc4")
+    add_rv32_core(design, prefix="c1_", nregs=32, predictor="pc4")
+    return design.finalize()

@@ -1,0 +1,115 @@
+"""Testbench memory for the RV32 cores: an idealized single-cycle memory.
+
+The core talks to memory through valid/data register pairs; this device
+services requests *between* cycles (peek/poke), which is cycle-accurate by
+construction on every backend (§4.1's "idealized single-cycle memory").
+Memory-mapped conventions match the golden model: a store to ``TOHOST``
+halts the program (recording the result), a store to ``OUTPUT`` appends to
+an output stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...harness.env import Device, Environment, SimHandle
+from ...riscv.assembler import Program
+from ...riscv.golden import OUTPUT_ADDR, TOHOST_ADDR, load_from, store_to
+from .common import DMEM_REQ
+
+
+class RV32MemoryDevice(Device):
+    """Instruction + data memory plus TOHOST/OUTPUT MMIO, for one core.
+
+    ``latency=1`` is the paper's idealized single-cycle memory (a request
+    issued in cycle N is answered before cycle N+1).  Larger latencies
+    queue responses for ``latency - 1`` additional cycles, exercising the
+    pipeline's stall paths (decode waits on ``fromIMem``, writeback on
+    ``fromDMem``) without any design change.
+    """
+
+    def __init__(self, program: Program, prefix: str = "",
+                 latency: int = 1):
+        if latency < 1:
+            raise ValueError("memory latency must be >= 1 cycle")
+        self.program = program
+        self.prefix = prefix
+        self.latency = latency
+        self.reset()
+
+    def reset(self) -> None:
+        self.memory: Dict[int, int] = self.program.memory_image()
+        self.tohost: Optional[int] = None
+        self.outputs: List[int] = []
+        self.imem_reads = 0
+        self.dmem_accesses = 0
+        #: (remaining_delay, register, value) responses in flight.
+        self._in_flight: List[List] = []
+
+    @property
+    def halted(self) -> bool:
+        return self.tohost is not None
+
+    def _respond(self, sim: SimHandle, register: str, value: int) -> None:
+        if self.latency == 1:
+            sim.poke(f"{register}_data", value)
+            sim.poke(f"{register}_valid", 1)
+        else:
+            self._in_flight.append([self.latency - 1, register, value])
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        p = self.prefix
+        # Deliver responses whose delay has elapsed.
+        still_waiting = []
+        for entry in self._in_flight:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                sim.poke(f"{entry[1]}_data", entry[2])
+                sim.poke(f"{entry[1]}_valid", 1)
+            else:
+                still_waiting.append(entry)
+        self._in_flight = still_waiting
+
+        if sim.peek(f"{p}toIMem_valid"):
+            addr = sim.peek(f"{p}toIMem_addr")
+            self._respond(sim, f"{p}fromIMem", self.memory.get(addr & ~3, 0))
+            sim.poke(f"{p}toIMem_valid", 0)
+            self.imem_reads += 1
+        if sim.peek(f"{p}toDMem_valid"):
+            request = DMEM_REQ.unpack(sim.peek(f"{p}toDMem_data"))
+            self.dmem_accesses += 1
+            addr = request["addr"]
+            if request["is_store"]:
+                value = request["data"]
+                if addr == TOHOST_ADDR:
+                    if self.tohost is None:
+                        self.tohost = value
+                elif addr == OUTPUT_ADDR:
+                    self.outputs.append(value)
+                else:
+                    store_to(self.memory, addr, value, request["funct3"])
+            else:
+                self._respond(sim, f"{p}fromDMem",
+                              load_from(self.memory, addr,
+                                        request["funct3"]))
+            sim.poke(f"{p}toDMem_valid", 0)
+
+
+def make_core_env(program: Program, prefixes: tuple = ("",),
+                  latency: int = 1) -> Environment:
+    """Environment with one memory device per core prefix."""
+    env = Environment()
+    for prefix in prefixes:
+        env.add_device(RV32MemoryDevice(program, prefix, latency=latency))
+    return env
+
+
+def run_program(sim, env: Environment, max_cycles: int = 2_000_000):
+    """Run a core simulation until its (first) memory device sees TOHOST.
+
+    Returns ``(result, cycles)``.
+    """
+    devices = [d for d in env.devices if isinstance(d, RV32MemoryDevice)]
+    primary = devices[0]
+    cycles = sim.run_until(lambda _s: primary.halted, max_cycles=max_cycles)
+    return primary.tohost, cycles

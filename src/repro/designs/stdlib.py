@@ -1,0 +1,159 @@
+"""Reusable hardware building blocks beyond the core DSL FIFOs.
+
+These mirror the standard-library modules rule-based designs lean on
+(Bluespec's ``FIFOF``/``LFSR``/counters).  Each block is a plain Python
+helper that adds registers to a design and returns action builders, so
+every backend and every analysis sees ordinary Kôika registers.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import KoikaElaborationError
+from ..koika.ast import Action, Binop, C, If, unit
+from ..koika.design import Design, Register
+from ..koika.dsl import guard, mux, seq
+from ..koika.types import Type, bits
+
+
+class Fifo2:
+    """A two-element FIFO (ring of two slots) with the pipelined port
+    discipline: dequeue at port 0, enqueue at port 1, so a full FIFO still
+    accepts an element in the cycle its head is dequeued."""
+
+    def __init__(self, design: Design, name: str, typ: Union[Type, int]):
+        if isinstance(typ, int):
+            typ = bits(typ)
+        self.name = name
+        self.typ = typ
+        self.data0 = design.reg(f"{name}_d0", typ, 0)
+        self.data1 = design.reg(f"{name}_d1", typ, 0)
+        #: Number of valid elements (0..2); head is always slot 0.
+        self.count = design.reg(f"{name}_count", 2, 0)
+
+    def can_enq(self) -> Action:
+        return self.count.rd1() < C(2, 2)
+
+    def enq(self, value: Action) -> Action:
+        count = self.count.rd1()
+        return seq(
+            guard(count < C(2, 2)),
+            If(count == C(0, 2),
+               self.data0.wr1(value),
+               self.data1.wr1(value)),
+            self.count.wr1(count + C(1, 2)),
+        )
+
+    def can_deq(self) -> Action:
+        return self.count.rd0() != C(0, 2)
+
+    def first(self) -> Action:
+        return seq(guard(self.can_deq()), self.data0.rd0())
+
+    def deq(self) -> Action:
+        """Dequeue the head; the second element (if any) shifts down."""
+        return seq(
+            guard(self.can_deq()),
+            self.data0.wr0(self.data1.rd0()),
+            self.count.wr0(self.count.rd0() - C(1, 2)),
+            self.data0.rd0(),
+        )
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter (the BHT's building block)."""
+
+    def __init__(self, design: Design, name: str, width: int = 2,
+                 init: int = 0):
+        if width < 1:
+            raise KoikaElaborationError("counter width must be >= 1")
+        self.width = width
+        self.reg = design.reg(name, width, init)
+        self._max = (1 << width) - 1
+
+    def value(self, port: int = 0) -> Action:
+        return self.reg.read(port)
+
+    def increment(self, port: int = 0) -> Action:
+        current = self.reg.read(port)
+        return self.reg.write(port, mux(
+            current == C(self._max, self.width),
+            C(self._max, self.width), current + C(1, self.width)))
+
+    def decrement(self, port: int = 0) -> Action:
+        current = self.reg.read(port)
+        return self.reg.write(port, mux(
+            current == C(0, self.width),
+            C(0, self.width), current - C(1, self.width)))
+
+    def update(self, up: Action, port: int = 0) -> Action:
+        """Increment when ``up`` is 1, decrement otherwise (saturating)."""
+        current = self.reg.read(port)
+        bumped = mux(current == C(self._max, self.width),
+                     C(self._max, self.width), current + C(1, self.width))
+        dropped = mux(current == C(0, self.width),
+                      C(0, self.width), current - C(1, self.width))
+        return self.reg.write(port, mux(up == C(1, 1), bumped, dropped))
+
+
+class Lfsr:
+    """A Galois LFSR (pseudo-random source for randomized testbenches
+    built *in hardware*, e.g. stress-pattern generators)."""
+
+    #: Maximal-period taps per width (Galois form).
+    TAPS = {8: 0xB8, 16: 0xB400, 32: 0xA3000000}
+
+    def __init__(self, design: Design, name: str, width: int = 16,
+                 seed: int = 1):
+        if width not in self.TAPS:
+            raise KoikaElaborationError(
+                f"no tap table for width {width}; choose from "
+                f"{sorted(self.TAPS)}")
+        if seed == 0:
+            raise KoikaElaborationError("LFSR seed must be nonzero")
+        self.width = width
+        self.reg = design.reg(name, width, seed)
+
+    def value(self, port: int = 0) -> Action:
+        return self.reg.read(port)
+
+    def step(self, port: int = 0) -> Action:
+        """Advance the LFSR one step (write at ``port``)."""
+        state = self.reg.read(port)
+        shifted = state >> 1
+        taps = C(self.TAPS[self.width], self.width)
+        return self.reg.write(port, mux(
+            state[0] == C(1, 1), shifted ^ taps, shifted))
+
+
+def lfsr_reference(width: int, seed: int, steps: int) -> int:
+    """Software model of :class:`Lfsr` (for tests)."""
+    taps = Lfsr.TAPS[width]
+    state = seed
+    for _ in range(steps):
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= taps
+    return state
+
+
+class RisingEdge:
+    """Detect a 0->1 transition of a 1-bit register between cycles."""
+
+    def __init__(self, design: Design, name: str, monitored: Register):
+        if monitored.typ.width != 1:
+            raise KoikaElaborationError("RisingEdge monitors 1-bit registers")
+        self.monitored = monitored
+        self.last = design.reg(f"{name}_last", 1, 0)
+
+    def sample_and_detect(self) -> Action:
+        """Returns 1 exactly on cycles where the value rose; also records
+        the current value for the next cycle (rd0/wr0 on the shadow)."""
+        current = self.monitored.rd0()
+        previous = self.last.rd0()
+        return seq(
+            self.last.wr0(current),
+            (previous == C(0, 1)) & (current == C(1, 1)),
+        )

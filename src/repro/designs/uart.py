@@ -1,0 +1,162 @@
+"""A UART transmitter/receiver pair with a serial loopback.
+
+A control-dominated design (two interacting finite state machines plus a
+baud-rate divider) — the class of design where rule-based modeling and
+Cuttlesim's early-exit compilation shine: in any given cycle most rules
+fail their state guards immediately.
+
+Structure (all in one design, TX wired to RX through the ``line`` bit):
+
+* ``baud`` — divides cycles by ``divisor`` and pulses ``tick``;
+* ``tx_start`` — pops a byte from the TX FIFO, drives the start bit;
+* ``tx_shift`` — shifts data bits (LSB first) and the stop bit out;
+* ``rx_wait`` / ``rx_shift`` — hunt for a start bit, sample 8 data bits,
+  check the stop bit, and push the byte into the RX FIFO.
+
+The testbench device feeds bytes into the TX FIFO and collects them from
+the RX FIFO; the loopback test asserts bytes survive the serialization
+round trip, bit-exactly, at any divisor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..harness.env import Device, Environment, SimHandle
+from ..koika.ast import C, If, Let, V, enum_const
+from ..koika.design import Design
+from ..koika.dsl import Fifo1, guard, mux, seq, when
+from ..koika.types import EnumType
+
+TX_STATE = EnumType("tx_state", ["Idle", "Data", "Stop"])
+RX_STATE = EnumType("rx_state", ["Hunt", "Data", "Stop"])
+
+
+def build_uart(divisor: int = 4) -> Design:
+    """Build the loopback UART; ``divisor`` cycles per bit (>= 2)."""
+    if divisor < 2:
+        raise ValueError("divisor must be >= 2 (need an RX sample point)")
+    design = Design("uart")
+
+    # Baud generator: tick pulses one cycle in every `divisor`.
+    counter_width = max(2, (divisor - 1).bit_length() + 1)
+    baud_count = design.reg("baud_count", counter_width, 0)
+    tick = design.reg("tick", 1, 0)
+    design.rule("baud", seq(
+        If(baud_count.rd0() == C(divisor - 1, counter_width),
+           seq(baud_count.wr0(C(0, counter_width)), tick.wr0(C(1, 1))),
+           seq(baud_count.wr0(baud_count.rd0() + C(1, counter_width)),
+               tick.wr0(C(0, 1)))),
+    ))
+
+    # The serial line, idle-high, written by TX and sampled by RX.
+    line = design.reg("line", 1, 1)
+
+    tx_fifo = Fifo1(design, "tx_fifo", 8)
+    rx_fifo = Fifo1(design, "rx_fifo", 8)
+
+    tx_state = design.reg("tx_state", TX_STATE, TX_STATE.Idle)
+    tx_shift = design.reg("tx_shift", 8, 0)
+    tx_bits = design.reg("tx_bits", 4, 0)
+
+    design.rule("tx_start", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(tx_state.rd0() == enum_const(TX_STATE, "Idle")),
+        Let("byte", tx_fifo.deq(), seq(   # aborts when nothing to send
+            tx_shift.wr0(V("byte")),
+            tx_bits.wr0(C(0, 4)),
+            line.wr0(C(0, 1)),            # start bit
+            tx_state.wr0(enum_const(TX_STATE, "Data")),
+        )),
+    ))
+
+    design.rule("tx_shift_rule", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(tx_state.rd0() == enum_const(TX_STATE, "Data")),
+        line.wr0(tx_shift.rd0()[0]),      # LSB first
+        tx_shift.wr0(tx_shift.rd0() >> 1),
+        If(tx_bits.rd0() == C(7, 4),
+           tx_state.wr0(enum_const(TX_STATE, "Stop")),
+           tx_bits.wr0(tx_bits.rd0() + C(1, 4))),
+    ))
+
+    design.rule("tx_stop", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(tx_state.rd0() == enum_const(TX_STATE, "Stop")),
+        line.wr0(C(1, 1)),                # stop bit (line returns idle)
+        tx_state.wr0(enum_const(TX_STATE, "Idle")),
+    ))
+
+    rx_state = design.reg("rx_state", RX_STATE, RX_STATE.Hunt)
+    rx_shift = design.reg("rx_shift", 8, 0)
+    rx_bits = design.reg("rx_bits", 4, 0)
+    rx_errors = design.reg("rx_errors", 8, 0)
+
+    # RX samples the line on the same baud tick (zero clock skew in the
+    # loopback; it reads the line at port 0, i.e. the value driven on the
+    # *previous* tick-cycle commit, exactly one bit-time behind TX).
+    design.rule("rx_wait", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(rx_state.rd0() == enum_const(RX_STATE, "Hunt")),
+        guard(line.rd0() == C(0, 1)),     # start bit seen
+        rx_bits.wr0(C(0, 4)),
+        rx_state.wr0(enum_const(RX_STATE, "Data")),
+    ))
+
+    design.rule("rx_shift_rule", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(rx_state.rd0() == enum_const(RX_STATE, "Data")),
+        rx_shift.wr0(line.rd0().concat(rx_shift.rd0()[1:8])),
+        If(rx_bits.rd0() == C(7, 4),
+           rx_state.wr0(enum_const(RX_STATE, "Stop")),
+           rx_bits.wr0(rx_bits.rd0() + C(1, 4))),
+    ))
+
+    design.rule("rx_stop", seq(
+        guard(tick.rd1() == C(1, 1)),
+        guard(rx_state.rd0() == enum_const(RX_STATE, "Stop")),
+        when(line.rd0() == C(0, 1),       # framing error: no stop bit
+             rx_errors.wr0(rx_errors.rd0() + C(1, 8))),
+        when(line.rd0() == C(1, 1),
+             rx_fifo.enq(rx_shift.rd0())),
+        rx_state.wr0(enum_const(RX_STATE, "Hunt")),
+    ))
+
+    # Schedule: the baud divider runs first so `tick` behaves as a wire
+    # (wr0 by baud, rd1 by everyone else in the same cycle).  RX rules run
+    # before TX rules: RX samples `line` at port 0 (the bit committed on
+    # the previous tick), so TX's port-0 write of the *next* bit must come
+    # after.
+    design.schedule("baud", "rx_wait", "rx_shift_rule", "rx_stop",
+                    "tx_start", "tx_shift_rule", "tx_stop")
+    return design.finalize()
+
+
+class UartDriver(Device):
+    """Feeds bytes into the TX FIFO and drains the RX FIFO."""
+
+    def __init__(self, payload: List[int]):
+        self.payload = [b & 0xFF for b in payload]
+        self.reset()
+
+    def reset(self) -> None:
+        self.to_send = list(self.payload)
+        self.received: List[int] = []
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        if self.to_send and not sim.peek("tx_fifo_valid"):
+            sim.poke("tx_fifo_data", self.to_send.pop(0))
+            sim.poke("tx_fifo_valid", 1)
+        if sim.peek("rx_fifo_valid"):
+            self.received.append(sim.peek("rx_fifo_data"))
+            sim.poke("rx_fifo_valid", 0)
+
+    @property
+    def done(self) -> bool:
+        return not self.to_send and len(self.received) == len(self.payload)
+
+
+def make_uart_env(payload: List[int]) -> Environment:
+    env = Environment()
+    env.add_device(UartDriver(payload))
+    return env

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class KoikaTypeError(ReproError):
+    """A design failed type checking (bad widths, unknown registers, ...)."""
+
+
+class KoikaElaborationError(ReproError):
+    """A design is structurally malformed (duplicate names, bad scheduler, ...)."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven incorrectly (unknown register, bad poke, ...)."""
+
+
+class CompileError(ReproError):
+    """The Cuttlesim or RTL compiler could not process a design."""
+
+
+class AssemblerError(ReproError):
+    """An assembly program could not be assembled."""
+
+
+class DebuggerError(ReproError):
+    """The interactive debugger was driven incorrectly."""

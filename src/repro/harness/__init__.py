@@ -1,0 +1,8 @@
+"""Simulation harness: environments, devices, and the unified simulator API."""
+
+from .env import Device, Environment, SimHandle
+from .perf import PerfMonitor
+from .sim import BACKENDS, make_simulator
+
+__all__ = ["Device", "Environment", "SimHandle", "BACKENDS",
+           "make_simulator", "PerfMonitor"]

@@ -1,0 +1,125 @@
+"""Simulation environments: external functions and peripheral devices.
+
+A design talks to the outside world through two mechanisms:
+
+* **external functions** (``extcall``) — *cycle-pure* combinational
+  functions.  Within one cycle, calling one twice with the same argument
+  must return the same value and have no observable side effect.  This is
+  the contract that keeps the RTL backends (which evaluate every rule every
+  cycle, discarding aborted results) cycle-accurate with the sequential
+  backends (which skip aborted work).
+
+* **devices** with ``before_cycle``/``after_cycle`` hooks — stateful
+  peripherals (memories, testbench drivers) that peek and poke registers
+  *between* cycles, which is backend-agnostic by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from ..errors import SimulationError
+
+
+class SimHandle(Protocol):
+    """What a device sees of a running simulation (any backend)."""
+
+    def peek(self, register: str) -> int: ...
+
+    def poke(self, register: str, value: int) -> None: ...
+
+    @property
+    def cycle(self) -> int: ...
+
+
+class Device:
+    """Base class for stateful peripherals.
+
+    Subclasses may define ``extfuns`` (name -> callable) and override the
+    cycle hooks.  ``before_cycle`` runs before the first rule of a cycle;
+    ``after_cycle`` runs after the cycle's commit.
+    """
+
+    extfuns: Dict[str, Callable[[int], int]] = {}
+
+    def reset(self) -> None:
+        """Return the device to its power-on state."""
+
+    def before_cycle(self, sim: SimHandle) -> None:
+        pass
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        pass
+
+    # Snapshot/restore support the debugger's replay-based time travel.
+    # The deepcopy default works for ordinary devices; override for devices
+    # holding unpicklable or huge state.
+    def snapshot_state(self):
+        import copy
+
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, snapshot) -> None:
+        import copy
+
+        self.__dict__.update(copy.deepcopy(snapshot))
+
+
+class Environment:
+    """A bundle of external functions and devices for one simulation run."""
+
+    def __init__(self, extfuns: Optional[Dict[str, Callable[[int], int]]] = None):
+        self._extfuns: Dict[str, Callable[[int], int]] = dict(extfuns or {})
+        self.devices: List[Device] = []
+
+    def add_device(self, device: Device) -> Device:
+        self.devices.append(device)
+        for name, fn in device.extfuns.items():
+            if name in self._extfuns:
+                raise SimulationError(f"duplicate external function {name!r}")
+            self._extfuns[name] = fn
+        return device
+
+    def add_extfun(self, name: str, fn: Callable[[int], int]) -> None:
+        if name in self._extfuns:
+            raise SimulationError(f"duplicate external function {name!r}")
+        self._extfuns[name] = fn
+
+    def extcall(self, name: str, arg: int) -> int:
+        fn = self._extfuns.get(name)
+        if fn is None:
+            raise SimulationError(
+                f"design calls external function {name!r} but the environment "
+                f"does not provide it (available: {sorted(self._extfuns)})"
+            )
+        return fn(arg)
+
+    def has_extfun(self, name: str) -> bool:
+        return name in self._extfuns
+
+    def resolve(self, name: str) -> Callable[[int], int]:
+        """Return the callable behind an external function (for prebinding
+        by compiled models; avoids a dict lookup per call)."""
+        fn = self._extfuns.get(name)
+        if fn is None:
+            raise SimulationError(
+                f"design calls external function {name!r} but the environment "
+                f"does not provide it (available: {sorted(self._extfuns)})"
+            )
+        return fn
+
+    def reset(self) -> None:
+        for device in self.devices:
+            device.reset()
+
+    def before_cycle(self, sim: SimHandle) -> None:
+        for device in self.devices:
+            device.before_cycle(sim)
+
+    def after_cycle(self, sim: SimHandle) -> None:
+        for device in self.devices:
+            device.after_cycle(sim)
+
+
+#: A shared default environment with no external functions.
+EMPTY = Environment()

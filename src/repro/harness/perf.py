@@ -1,0 +1,79 @@
+"""Performance-counter harness: architecture statistics without hardware.
+
+The paper's case study 4 argues that adding hardware performance counters
+is the expensive traditional route.  Coverage (``repro.debug.coverage``)
+is the zero-cost route for Cuttlesim models; this module is the *backend-
+agnostic* middle road — a device-free monitor built on ``run_cycle``'s
+committed-rule reporting, so it also works on RTL backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class PerfMonitor:
+    """Counts rule commits/aborts and user-defined events over a run.
+
+    Events are predicates over the simulator, sampled once per cycle after
+    it executes: ``monitor.watch("mispredict", lambda s: ...)``.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.cycles = 0
+        self.commit_counts: Dict[str, int] = {}
+        self.idle_cycles = 0
+        self._events: Dict[str, Callable] = {}
+        self.event_counts: Dict[str, int] = {}
+
+    def watch(self, name: str, predicate: Callable[[object], bool]) -> None:
+        self._events[name] = predicate
+        self.event_counts[name] = 0
+
+    def step(self) -> List[str]:
+        committed = self.sim.run_cycle()
+        self.cycles += 1
+        if not committed:
+            self.idle_cycles += 1
+        for rule in committed or ():
+            self.commit_counts[rule] = self.commit_counts.get(rule, 0) + 1
+        for name, predicate in self._events.items():
+            if predicate(self.sim):
+                self.event_counts[name] += 1
+        return committed or []
+
+    def run(self, cycles: int) -> "PerfMonitor":
+        for _ in range(cycles):
+            self.step()
+        return self
+
+    def run_until(self, predicate: Callable[[object], bool],
+                  max_cycles: int = 1_000_000) -> "PerfMonitor":
+        for _ in range(max_cycles):
+            if predicate(self.sim):
+                return self
+            self.step()
+        raise RuntimeError(f"predicate not reached in {max_cycles} cycles")
+
+    # -- derived statistics ---------------------------------------------------
+    def utilization(self, rule: str) -> float:
+        """Fraction of cycles in which ``rule`` committed."""
+        if not self.cycles:
+            return 0.0
+        return self.commit_counts.get(rule, 0) / self.cycles
+
+    def ipc(self, retire_rule: str) -> float:
+        """Instructions per cycle, counting commits of the retire rule."""
+        return self.utilization(retire_rule)
+
+    def report(self) -> str:
+        lines = [f"{self.cycles} cycles, {self.idle_cycles} idle "
+                 f"({100.0 * self.idle_cycles / max(1, self.cycles):.1f}%)"]
+        for rule in sorted(self.commit_counts):
+            count = self.commit_counts[rule]
+            lines.append(f"  {rule:<24} {count:>8} commits "
+                         f"({100.0 * count / max(1, self.cycles):>5.1f}%)")
+        for name in sorted(self.event_counts):
+            lines.append(f"  event {name:<18} {self.event_counts[name]:>8}")
+        return "\n".join(lines)

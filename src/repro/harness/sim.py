@@ -1,0 +1,66 @@
+"""One constructor for every backend.
+
+    sim = make_simulator(design, backend="cuttlesim", env=env)
+    sim.run(1000); sim.peek("pc")
+
+Backends:
+
+======================  ======================================================
+``interp``              Reference one-rule-at-a-time interpreter (the spec).
+``cuttlesim``           The paper's contribution; ``opt=0..5`` picks the
+                        optimization level (default 5, fully analyzed).
+``rtl-cycle``           Compiled cycle-accurate netlist sim (Verilator
+                        analogue).
+``rtl-event``           Event-driven netlist sim (Icarus analogue).
+``rtl-bluespec``        Cycle sim over the bsc-style static-scheduling
+                        lowering (see :mod:`repro.rtl.bluespec` for the
+                        cycle-count caveat).
+======================  ======================================================
+
+All returned simulators share the core API: ``run(n)``, ``run_cycle()``,
+``run_until(pred)``, ``peek``/``poke``, ``cycle``, ``state_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from ..koika.design import Design
+from .env import Environment
+
+BACKENDS = ("interp", "cuttlesim", "rtl-cycle", "rtl-event", "rtl-bluespec")
+
+
+def make_simulator(design: Design, backend: str = "cuttlesim",
+                   env: Optional[Environment] = None, opt: int = 5,
+                   instrument: bool = False, debug: bool = False,
+                   order_independent: bool = False):
+    """Build a ready-to-run simulator for ``design`` on any backend."""
+    env = env or Environment()
+    if backend == "interp":
+        from ..semantics.interp import Interpreter
+
+        return Interpreter(design, env=env)
+    if backend == "cuttlesim":
+        from ..cuttlesim.codegen import compile_model
+
+        cls = compile_model(design, opt=opt, instrument=instrument,
+                            debug=debug, order_independent=order_independent,
+                            warn_goldberg=False)
+        return cls(env)
+    if backend == "rtl-cycle":
+        from ..rtl.cycle_sim import compile_cycle_sim
+
+        return compile_cycle_sim(design)(env)
+    if backend == "rtl-event":
+        from ..rtl.event_sim import EventSim
+
+        return EventSim(design, env=env)
+    if backend == "rtl-bluespec":
+        from ..rtl.bluespec import compile_bluespec_sim
+
+        return compile_bluespec_sim(design)(env)
+    raise SimulationError(
+        f"unknown backend {backend!r}; choose one of {BACKENDS}"
+    )

@@ -1,0 +1,35 @@
+"""The Kôika rule-based hardware description language (embedded in Python)."""
+
+from .ast import (
+    Abort, Action, Assign, Binop, C, Call, Const, ExtCall, GetField, If, Let,
+    Read, Seq, SubstField, Unop, V, Var, Write, enum_const, struct_init, unit,
+    walk,
+)
+from .design import Design, ExtFun, Fn, Register, Rule
+from .dsl import (
+    BypassFifo1, Fifo1, RegArray, abort_when, guard, let, mux, ones, seq,
+    switch, when, zero,
+)
+from .module import Instance, clone_action, instantiate
+from .pretty import design_sloc, pretty_action, pretty_design
+from .simplify import simplify_action, simplify_design
+from .typecheck import typecheck_action, typecheck_design
+from .types import (
+    BitsType, EnumType, StructType, Type, UNIT, bits, from_signed, mask,
+    maybe, to_signed, truncate,
+)
+
+__all__ = [
+    "Abort", "Action", "Assign", "Binop", "C", "Call", "Const", "ExtCall",
+    "GetField", "If", "Let", "Read", "Seq", "SubstField", "Unop", "V", "Var",
+    "Write", "enum_const", "struct_init", "unit", "walk",
+    "Design", "ExtFun", "Fn", "Register", "Rule",
+    "BypassFifo1", "Fifo1", "RegArray", "abort_when", "guard", "let", "mux",
+    "ones", "seq", "switch", "when", "zero",
+    "design_sloc", "pretty_action", "pretty_design",
+    "Instance", "clone_action", "instantiate",
+    "simplify_action", "simplify_design",
+    "typecheck_action", "typecheck_design",
+    "BitsType", "EnumType", "StructType", "Type", "UNIT", "bits",
+    "from_signed", "mask", "maybe", "to_signed", "truncate",
+]

@@ -1,0 +1,458 @@
+"""The Kôika action language.
+
+A *rule* body is an action: an expression that can additionally read and
+write registers (each at port 0 or 1) and abort.  This module defines the
+AST.  Operator overloading on :class:`Action` provides the embedded DSL used
+to write designs — ``a + b``, ``a == b``, ``x[3:7]`` all build AST nodes.
+
+Every node carries:
+
+* ``uid`` — a unique id, used by the coverage tool to map execution counts
+  on generated models back to design source;
+* ``typ`` — its type, filled in by the type checker;
+* ``tag`` — an optional human-readable source label for diagnostics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import KoikaTypeError
+from .types import BitsType, EnumType, StructType, Type, UNIT, bits
+
+_uids = itertools.count()
+
+#: Binary operators and whether their result width follows the left operand
+#: (``w``), is a single bit (``1``), or is the sum of both widths (``cat``).
+BINOPS: Dict[str, str] = {
+    "and": "w", "or": "w", "xor": "w",
+    "add": "w", "sub": "w", "mul": "w",
+    "divu": "w", "remu": "w",
+    "sll": "w", "srl": "w", "sra": "w",
+    "concat": "cat",
+    "eq": "1", "ne": "1",
+    "ltu": "1", "leu": "1", "gtu": "1", "geu": "1",
+    "lts": "1", "les": "1", "gts": "1", "ges": "1",
+    "sel": "1",
+}
+
+UNOPS = ("not", "neg", "zextl", "sextl", "slice")
+
+
+class Action:
+    """Base class of all AST nodes."""
+
+    #: Node kinds that are pure (no reads, writes, or aborts) are marked by
+    #: the analysis pass, not here; this flag only aids repr debugging.
+    kind: str = "action"
+
+    def __init__(self, tag: Optional[str] = None):
+        self.uid = next(_uids)
+        self.typ: Optional[Type] = None
+        self.tag = tag
+
+    # ------------------------------------------------------------------
+    # Embedded DSL: operator overloading.
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ActionLike") -> "Binop":
+        return Binop("add", self, _coerce(other, self))
+
+    def __sub__(self, other: "ActionLike") -> "Binop":
+        return Binop("sub", self, _coerce(other, self))
+
+    def __mul__(self, other: "ActionLike") -> "Binop":
+        return Binop("mul", self, _coerce(other, self))
+
+    def __and__(self, other: "ActionLike") -> "Binop":
+        return Binop("and", self, _coerce(other, self))
+
+    def __or__(self, other: "ActionLike") -> "Binop":
+        return Binop("or", self, _coerce(other, self))
+
+    def __xor__(self, other: "ActionLike") -> "Binop":
+        return Binop("xor", self, _coerce(other, self))
+
+    def __lshift__(self, other: "ActionLike") -> "Binop":
+        return Binop("sll", self, _coerce_shift(other))
+
+    def __rshift__(self, other: "ActionLike") -> "Binop":
+        return Binop("srl", self, _coerce_shift(other))
+
+    def __invert__(self) -> "Unop":
+        return Unop("not", self)
+
+    def __eq__(self, other: object) -> "Binop":  # type: ignore[override]
+        return Binop("eq", self, _coerce(other, self))
+
+    def __ne__(self, other: object) -> "Binop":  # type: ignore[override]
+        return Binop("ne", self, _coerce(other, self))
+
+    def __lt__(self, other: "ActionLike") -> "Binop":
+        return Binop("ltu", self, _coerce(other, self))
+
+    def __le__(self, other: "ActionLike") -> "Binop":
+        return Binop("leu", self, _coerce(other, self))
+
+    def __gt__(self, other: "ActionLike") -> "Binop":
+        return Binop("gtu", self, _coerce(other, self))
+
+    def __ge__(self, other: "ActionLike") -> "Binop":
+        return Binop("geu", self, _coerce(other, self))
+
+    __hash__ = None  # type: ignore[assignment]  # == builds AST, not truth
+
+    def __getitem__(self, item: Union[int, slice, "Action"]) -> "Action":
+        if isinstance(item, slice):
+            if item.step is not None:
+                raise KoikaTypeError("bit slices do not support a step")
+            lo = item.start or 0
+            if item.stop is None:
+                raise KoikaTypeError("bit slices need an explicit stop")
+            if item.stop <= lo:
+                raise KoikaTypeError(f"empty bit slice [{lo}:{item.stop}]")
+            return Unop("slice", self, param=(lo, item.stop - lo))
+        if isinstance(item, int):
+            return Unop("slice", self, param=(item, 1))
+        return Binop("sel", self, item)
+
+    # Signed comparisons (unsigned are the defaults above).
+    def slt(self, other: "ActionLike") -> "Binop":
+        return Binop("lts", self, _coerce(other, self))
+
+    def sle(self, other: "ActionLike") -> "Binop":
+        return Binop("les", self, _coerce(other, self))
+
+    def sgt(self, other: "ActionLike") -> "Binop":
+        return Binop("gts", self, _coerce(other, self))
+
+    def sge(self, other: "ActionLike") -> "Binop":
+        return Binop("ges", self, _coerce(other, self))
+
+    def sra(self, other: "ActionLike") -> "Binop":
+        return Binop("sra", self, _coerce_shift(other))
+
+    def concat(self, low: "Action") -> "Binop":
+        """``self ++ low``: self becomes the high bits."""
+        return Binop("concat", self, low)
+
+    def zext(self, width: int) -> "Unop":
+        return Unop("zextl", self, param=width)
+
+    def sext(self, width: int) -> "Unop":
+        return Unop("sextl", self, param=width)
+
+    def field(self, name: str) -> "GetField":
+        return GetField(self, name)
+
+    def subst(self, name: str, value: "Action") -> "SubstField":
+        return SubstField(self, name, value)
+
+    def children(self) -> Tuple["Action", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        from .pretty import pretty_action
+
+        try:
+            return pretty_action(self)
+        except Exception:  # pragma: no cover - repr must never raise
+            return f"<{type(self).__name__} #{self.uid}>"
+
+
+ActionLike = Union[Action, int, bool]
+
+
+def _coerce(value: object, like: Optional[Action] = None) -> Action:
+    """Turn a Python int into a constant matching ``like``'s width.
+
+    The width is resolved during type checking (a :class:`Const` built here
+    carries ``typ=None`` and unifies with its sibling operand).
+    """
+    if isinstance(value, Action):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), bits(1))
+    if isinstance(value, int):
+        return Const(value, None)
+    raise KoikaTypeError(f"cannot use {value!r} in a Kôika expression")
+
+
+def _coerce_shift(value: object) -> Action:
+    if isinstance(value, Action):
+        return value
+    if isinstance(value, int):
+        if value < 0:
+            raise KoikaTypeError("negative shift amount")
+        width = max(1, value.bit_length())
+        return Const(value, bits(width))
+    raise KoikaTypeError(f"cannot shift by {value!r}")
+
+
+class Const(Action):
+    """A literal.  ``typ`` may be ``None`` for bare Python ints; the type
+    checker infers the width from context."""
+
+    kind = "const"
+
+    def __init__(self, value: int, typ: Optional[Type] = None, tag: Optional[str] = None):
+        super().__init__(tag)
+        if not isinstance(value, int):
+            raise KoikaTypeError(f"constant must be an int, got {value!r}")
+        self.value = value
+        self.typ = typ
+        if typ is not None:
+            if value < 0:
+                self.value = value & ((1 << typ.width) - 1)
+            typ.validate(self.value)
+
+
+def C(value: int, width_or_type: Union[int, Type, None] = None) -> Const:
+    """Shorthand constant constructor: ``C(3, 8)`` is an 8-bit 3."""
+    if width_or_type is None:
+        return Const(value, None)
+    if isinstance(width_or_type, int):
+        return Const(value, bits(width_or_type))
+    return Const(value, width_or_type)
+
+
+#: The unit value (zero-width constant) — the result of writes, `when`, etc.
+def unit() -> Const:
+    return Const(0, UNIT)
+
+
+class Var(Action):
+    kind = "var"
+
+    def __init__(self, name: str, tag: Optional[str] = None):
+        super().__init__(tag)
+        self.name = name
+
+
+def V(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+class Let(Action):
+    """``let name = value in body``."""
+
+    kind = "let"
+
+    def __init__(self, name: str, value: Action, body: Action, mutable: bool = False,
+                 tag: Optional[str] = None):
+        super().__init__(tag)
+        self.name = name
+        self.value = value
+        self.body = body
+        self.mutable = mutable
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.value, self.body)
+
+
+class Assign(Action):
+    """Update a let-bound mutable variable.  Evaluates to unit."""
+
+    kind = "assign"
+
+    def __init__(self, name: str, value: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        self.name = name
+        self.value = value
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.value,)
+
+
+class Seq(Action):
+    """Sequence of actions; evaluates to the last one's value."""
+
+    kind = "seq"
+
+    def __init__(self, *actions: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        if not actions:
+            raise KoikaTypeError("empty Seq")
+        flat: List[Action] = []
+        for act in actions:
+            if isinstance(act, Seq):
+                flat.extend(act.actions)
+            else:
+                flat.append(act)
+        self.actions: Tuple[Action, ...] = tuple(flat)
+
+    def children(self) -> Tuple[Action, ...]:
+        return self.actions
+
+
+class If(Action):
+    """Conditional; with no else branch the then branch must be unit-typed."""
+
+    kind = "if"
+
+    def __init__(self, cond: Action, then: Action, orelse: Optional[Action] = None,
+                 tag: Optional[str] = None):
+        super().__init__(tag)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def children(self) -> Tuple[Action, ...]:
+        if self.orelse is None:
+            return (self.cond, self.then)
+        return (self.cond, self.then, self.orelse)
+
+
+class Abort(Action):
+    """Cancel the current rule.  Type-polymorphic (unifies with context)."""
+
+    kind = "abort"
+
+    def __init__(self, tag: Optional[str] = None):
+        super().__init__(tag)
+
+
+class Read(Action):
+    kind = "read"
+
+    def __init__(self, reg: str, port: int, tag: Optional[str] = None):
+        super().__init__(tag)
+        if port not in (0, 1):
+            raise KoikaTypeError(f"read port must be 0 or 1, got {port}")
+        self.reg = reg
+        self.port = port
+
+
+class Write(Action):
+    kind = "write"
+
+    def __init__(self, reg: str, port: int, value: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        if port not in (0, 1):
+            raise KoikaTypeError(f"write port must be 0 or 1, got {port}")
+        self.reg = reg
+        self.port = port
+        self.value = value
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.value,)
+
+
+class Unop(Action):
+    kind = "unop"
+
+    def __init__(self, op: str, arg: Action, param=None, tag: Optional[str] = None):
+        super().__init__(tag)
+        if op not in UNOPS:
+            raise KoikaTypeError(f"unknown unary op {op!r}")
+        self.op = op
+        self.arg = arg
+        self.param = param
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.arg,)
+
+
+class Binop(Action):
+    kind = "binop"
+
+    def __init__(self, op: str, a: Action, b: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        if op not in BINOPS:
+            raise KoikaTypeError(f"unknown binary op {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.a, self.b)
+
+    def __bool__(self) -> bool:
+        raise KoikaTypeError(
+            "a Kôika comparison builds an AST node; it has no Python truth "
+            "value (use mux/when/guard instead of Python `if`)"
+        )
+
+
+class GetField(Action):
+    kind = "getfield"
+
+    def __init__(self, arg: Action, field: str, tag: Optional[str] = None):
+        super().__init__(tag)
+        self.arg = arg
+        self.field_name = field
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.arg,)
+
+
+class SubstField(Action):
+    kind = "substfield"
+
+    def __init__(self, arg: Action, field: str, value: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        self.arg = arg
+        self.field_name = field
+        self.value = value
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.arg, self.value)
+
+
+class ExtCall(Action):
+    """Call an external (environment-provided, cycle-pure) function."""
+
+    kind = "extcall"
+
+    def __init__(self, fn: str, arg: Action, tag: Optional[str] = None):
+        super().__init__(tag)
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> Tuple[Action, ...]:
+        return (self.arg,)
+
+
+class Call(Action):
+    """Call an internal (design-defined, pure combinational) function."""
+
+    kind = "call"
+
+    def __init__(self, fn: str, args: Sequence[Action], tag: Optional[str] = None):
+        super().__init__(tag)
+        self.fn = fn
+        self.args: Tuple[Action, ...] = tuple(args)
+
+    def children(self) -> Tuple[Action, ...]:
+        return self.args
+
+
+# ----------------------------------------------------------------------
+# Structural helpers used across the compiler.
+# ----------------------------------------------------------------------
+
+def walk(action: Action):
+    """Yield every node of an action tree, pre-order."""
+    stack = [action]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def enum_const(enum: EnumType, member: str) -> Const:
+    """A constant of an enum type, by member name."""
+    return Const(enum.value_of(member), enum, tag=f"{enum.name}::{member}")
+
+
+def struct_init(struct: StructType, **field_values: "ActionLike") -> Action:
+    """Build a struct value from per-field actions (missing fields are 0)."""
+    result: Action = Const(0, struct)
+    for field, value in field_values.items():
+        if not struct.has_field(field):
+            raise KoikaTypeError(f"struct {struct.name!r} has no field {field!r}")
+        if isinstance(value, int):
+            value = Const(value, struct.field_type(field))
+        result = SubstField(result, field, value)
+    return result

@@ -1,0 +1,193 @@
+"""Designs: registers + rules + a scheduler (+ pure functions, ext funs).
+
+A :class:`Design` is the unit every backend consumes: the reference
+interpreter, the Cuttlesim compiler, and the RTL lowerings.  Designs are
+built imperatively::
+
+    d = Design("collatz")
+    x = d.reg("x", 32, init=19)
+    d.rule("step", ...)
+    d.schedule("step")
+    d.finalize()          # type checks everything
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import KoikaElaborationError
+from .ast import Action, Call, Read, Write
+from .types import BitsType, Type, bits
+
+
+class Register:
+    """A hardware state element."""
+
+    def __init__(self, name: str, typ: Type, init: int = 0):
+        self.name = name
+        self.typ = typ
+        self.init = typ.validate(init)
+
+    # DSL sugar -----------------------------------------------------------
+    def read(self, port: int) -> Read:
+        return Read(self.name, port)
+
+    def rd0(self) -> Read:
+        return Read(self.name, 0)
+
+    def rd1(self) -> Read:
+        return Read(self.name, 1)
+
+    def write(self, port: int, value: Action) -> Write:
+        return Write(self.name, port, value)
+
+    def wr0(self, value: Action) -> Write:
+        return Write(self.name, 0, value)
+
+    def wr1(self, value: Action) -> Write:
+        return Write(self.name, 1, value)
+
+    def __repr__(self) -> str:
+        return f"Register({self.name}: {self.typ!r} = {self.init})"
+
+
+class Fn:
+    """A pure combinational function defined inside a design.
+
+    Bodies may only use pure constructs (no reads, writes, or aborts); the
+    type checker enforces this.  Backends may inline calls or emit them as
+    host-language functions — both are semantically equivalent.
+    """
+
+    def __init__(self, name: str, args: Sequence[Tuple[str, Type]], body: Action):
+        self.name = name
+        self.args: List[Tuple[str, Type]] = list(args)
+        self.body = body
+        self.ret: Optional[Type] = None  # filled by the type checker
+
+    def __call__(self, *actual: Action) -> Call:
+        if len(actual) != len(self.args):
+            raise KoikaElaborationError(
+                f"function {self.name!r} takes {len(self.args)} args, got {len(actual)}"
+            )
+        return Call(self.name, actual)
+
+
+class ExtFun:
+    """Declaration of an external function provided by the environment.
+
+    External functions must be *cycle-pure*: within one cycle, calling one
+    with equal arguments returns equal results and has no observable side
+    effect.  This is what keeps the RTL backends (which evaluate every rule
+    every cycle) cycle-accurate with the sequential backends.  Stateful
+    devices talk to a design through registers and the harness instead.
+    """
+
+    def __init__(self, name: str, arg_type: Type, ret_type: Type):
+        self.name = name
+        self.arg_type = arg_type
+        self.ret_type = ret_type
+
+    def __call__(self, arg: Action) -> Action:
+        from .ast import ExtCall
+
+        return ExtCall(self.name, arg)
+
+
+class Rule:
+    def __init__(self, name: str, body: Action):
+        self.name = name
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name})"
+
+
+class Design:
+    """A complete Kôika design."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.registers: Dict[str, Register] = {}
+        self.rules: Dict[str, Rule] = {}
+        self.fns: Dict[str, Fn] = {}
+        self.extfuns: Dict[str, ExtFun] = {}
+        self.scheduler: List[str] = []
+        self.finalized = False
+
+    # -- construction ------------------------------------------------------
+    def reg(self, name: str, typ: Union[Type, int], init: int = 0) -> Register:
+        if isinstance(typ, int):
+            typ = bits(typ)
+        self._fresh(name)
+        register = Register(name, typ, init)
+        self.registers[name] = register
+        return register
+
+    def rule(self, name: str, body: Action) -> Rule:
+        if name in self.rules:
+            raise KoikaElaborationError(f"duplicate rule {name!r}")
+        rule = Rule(name, body)
+        self.rules[name] = rule
+        return rule
+
+    def fn(self, name: str, args: Sequence[Tuple[str, Union[Type, int]]], body: Action) -> Fn:
+        if name in self.fns:
+            raise KoikaElaborationError(f"duplicate function {name!r}")
+        normalized = [(n, bits(t) if isinstance(t, int) else t) for n, t in args]
+        fn = Fn(name, normalized, body)
+        self.fns[name] = fn
+        return fn
+
+    def extfun(self, name: str, arg_type: Union[Type, int], ret_type: Union[Type, int]) -> ExtFun:
+        if name in self.extfuns:
+            raise KoikaElaborationError(f"duplicate external function {name!r}")
+        if isinstance(arg_type, int):
+            arg_type = bits(arg_type)
+        if isinstance(ret_type, int):
+            ret_type = bits(ret_type)
+        ext = ExtFun(name, arg_type, ret_type)
+        self.extfuns[name] = ext
+        return ext
+
+    def schedule(self, *rule_names: str) -> None:
+        """Append rules to the scheduler, in (apparent) execution order."""
+        for name in rule_names:
+            if name not in self.rules:
+                raise KoikaElaborationError(f"scheduler references unknown rule {name!r}")
+            if name in self.scheduler:
+                raise KoikaElaborationError(f"rule {name!r} scheduled twice")
+            self.scheduler.append(name)
+
+    def _fresh(self, name: str) -> None:
+        if name in self.registers:
+            raise KoikaElaborationError(f"duplicate register {name!r}")
+        if not name.isidentifier():
+            raise KoikaElaborationError(f"register name {name!r} is not an identifier")
+
+    # -- finalization --------------------------------------------------------
+    def finalize(self) -> "Design":
+        """Type check the whole design.  Idempotent."""
+        from .typecheck import typecheck_design
+
+        typecheck_design(self)
+        self.finalized = True
+        return self
+
+    # -- convenience ---------------------------------------------------------
+    def scheduled_rules(self) -> List[Rule]:
+        if not self.scheduler:
+            return list(self.rules.values())
+        return [self.rules[name] for name in self.scheduler]
+
+    def initial_state(self) -> Dict[str, int]:
+        return {name: register.init for name, register in self.registers.items()}
+
+    def register_names(self) -> List[str]:
+        return list(self.registers.keys())
+
+    def __repr__(self) -> str:
+        return (
+            f"Design({self.name}: {len(self.registers)} registers, "
+            f"{len(self.rules)} rules)"
+        )

@@ -1,0 +1,268 @@
+"""High-level combinators for writing Kôika designs concisely.
+
+These are pure syntactic sugar: everything lowers to the core AST in
+:mod:`repro.koika.ast`.  They mirror the conveniences Kôika's Coq frontend
+and Bluespec's surface language provide (guards, when-blocks, muxes,
+switches, register files).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import KoikaElaborationError, KoikaTypeError
+from .ast import (
+    Abort,
+    Action,
+    ActionLike,
+    Binop,
+    C,
+    Const,
+    If,
+    Let,
+    Read,
+    Seq,
+    Write,
+    unit,
+)
+from .ast import Var
+from .design import Design, Register
+from .types import Type, bits
+
+
+def seq(*actions: Action) -> Action:
+    """Sequence actions; a single action passes through unchanged."""
+    if len(actions) == 1:
+        return actions[0]
+    return Seq(*actions)
+
+
+def when(cond: Action, *body: Action) -> If:
+    """Run ``body`` when ``cond`` holds; no else branch (body must be unit)."""
+    return If(cond, seq(*body))
+
+
+def mux(cond: Action, then: ActionLike, orelse: ActionLike) -> If:
+    """Expression-level conditional."""
+    if isinstance(then, int):
+        then = C(then)
+    if isinstance(orelse, int):
+        orelse = C(orelse)
+    return If(cond, then, orelse)
+
+
+def guard(cond: Action) -> If:
+    """Abort the rule unless ``cond`` holds (Bluespec's `when`/guard)."""
+    return If(cond, unit(), Abort())
+
+
+def abort_when(cond: Action) -> If:
+    """Abort the rule if ``cond`` holds."""
+    return If(cond, Abort(), unit())
+
+
+def let(bindings: Sequence[Tuple[str, Action]], body: Action, mutable: bool = False) -> Action:
+    """Chain of let bindings: ``let([(n1, v1), (n2, v2)], body)``."""
+    result = body
+    for name, value in reversed(list(bindings)):
+        result = Let(name, value, result, mutable=mutable)
+    return result
+
+
+def switch(
+    scrutinee: Action,
+    cases: Sequence[Tuple[ActionLike, Action]],
+    default: Optional[Action] = None,
+) -> Action:
+    """Multi-way branch on equality, lowered to nested ifs.
+
+    ``default`` is required when the cases are not exhaustive over the
+    scrutinee's width (the type checker will flag a unit mismatch if the
+    branches carry values and no default is given).
+    """
+    if not cases:
+        if default is None:
+            raise KoikaElaborationError("switch with no cases needs a default")
+        return default
+    result: Action = default if default is not None else unit()
+    for match, body in reversed(list(cases)):
+        if isinstance(match, int):
+            match = C(match)
+        result = If(Binop("eq", scrutinee, match), body, result)
+    return result
+
+
+def ones(width: int) -> Const:
+    return C((1 << width) - 1, width)
+
+
+def zero(width: int) -> Const:
+    return C(0, width)
+
+
+class RegArray:
+    """A register file built out of individual registers plus mux trees.
+
+    Kôika has no native arrays; designs like the RV32 cores use one register
+    per entry and select with a mux tree (exactly what the hardware would
+    synthesize to).  ``read(port, index)`` produces the mux tree;
+    ``write(port, index, value)`` produces a sequence of guarded writes.
+
+    ``index`` may be a Python int (static, no tree) or an action (dynamic).
+    """
+
+    def __init__(self, design: Design, name: str, size: int,
+                 typ: Union[Type, int], init: Union[int, Sequence[int]] = 0):
+        if size <= 0:
+            raise KoikaElaborationError(f"register array {name!r} needs size > 0")
+        if isinstance(typ, int):
+            typ = bits(typ)
+        if isinstance(init, int):
+            inits = [init] * size
+        else:
+            inits = list(init)
+            if len(inits) != size:
+                raise KoikaElaborationError(
+                    f"register array {name!r}: {len(inits)} inits for size {size}"
+                )
+        self.name = name
+        self.size = size
+        self.typ = typ
+        self.index_width = max(1, (size - 1).bit_length())
+        self.regs: List[Register] = [
+            design.reg(f"{name}_{i}", typ, inits[i]) for i in range(size)
+        ]
+
+    def __getitem__(self, index: int) -> Register:
+        return self.regs[index]
+
+    def _index(self, index: Union[int, Action]) -> Union[int, Action]:
+        if isinstance(index, int):
+            if not 0 <= index < self.size:
+                raise KoikaElaborationError(
+                    f"index {index} out of range for {self.name!r} (size {self.size})"
+                )
+        return index
+
+    _fresh = 0
+
+    @classmethod
+    def _unique(cls, hint: str) -> str:
+        cls._fresh += 1
+        return f"_{hint}{cls._fresh}"
+
+    def read(self, port: int, index: Union[int, Action]) -> Action:
+        index = self._index(index)
+        if isinstance(index, int):
+            return Read(self.regs[index].name, port)
+        # Bind the index once so the mux tree compares a single temporary.
+        idx_name = self._unique(f"{self.name}_ri")
+        idx = Var(idx_name)
+        result: Action = Read(self.regs[self.size - 1].name, port)
+        for i in reversed(range(self.size - 1)):
+            result = If(
+                Binop("eq", idx, C(i, self.index_width)),
+                Read(self.regs[i].name, port),
+                result,
+            )
+        return Let(idx_name, index, result)
+
+    def write(self, port: int, index: Union[int, Action], value: Action) -> Action:
+        index = self._index(index)
+        if isinstance(index, int):
+            return Write(self.regs[index].name, port, value)
+        # Bind index and value once: the value (which may itself read
+        # registers) is evaluated exactly once, *before* any write — this
+        # matches what the hardware's decoder+mux would do and keeps the
+        # accesses in a merged-data-friendly read-then-write order.
+        idx_name = self._unique(f"{self.name}_wi")
+        val_name = self._unique(f"{self.name}_wv")
+        idx, val = Var(idx_name), Var(val_name)
+        writes = [
+            If(
+                Binop("eq", idx, C(i, self.index_width)),
+                Write(self.regs[i].name, port, val),
+                unit(),
+            )
+            for i in range(self.size)
+        ]
+        return Let(idx_name, index, Let(val_name, value, Seq(*writes)))
+
+
+class Fifo1:
+    """A one-element FIFO built from a data register and a valid bit.
+
+    This is the standard Kôika/Bluespec pipeline-stage FIFO.  ``enq`` aborts
+    (via a failed guard) when full; ``deq``/``first`` abort when empty.  Port
+    discipline follows the classic pipelined FIFO: ``deq`` happens logically
+    before ``enq`` within a cycle (deq reads/writes at port 0, enq checks at
+    port 1), so a stage can dequeue and its predecessor enqueue in the same
+    cycle — exactly the structure used in the paper's RV32 cores.
+    """
+
+    def __init__(self, design: Design, name: str, typ: Union[Type, int]):
+        if isinstance(typ, int):
+            typ = bits(typ)
+        self.name = name
+        self.typ = typ
+        self.data = design.reg(f"{name}_data", typ, 0)
+        self.valid = design.reg(f"{name}_valid", 1, 0)
+
+    def can_enq(self) -> Action:
+        return Binop("eq", self.valid.rd1(), C(0, 1))
+
+    def enq(self, value: Action) -> Action:
+        """Enqueue; aborts the rule when the FIFO is still full."""
+        return seq(
+            guard(self.can_enq()),
+            self.data.wr1(value),
+            self.valid.wr1(C(1, 1)),
+        )
+
+    def can_deq(self) -> Action:
+        return Binop("eq", self.valid.rd0(), C(1, 1))
+
+    def first(self) -> Action:
+        return seq(guard(self.can_deq()), self.data.rd0())
+
+    def deq(self) -> Action:
+        """Dequeue and return the element; aborts when empty."""
+        return seq(
+            guard(self.can_deq()),
+            self.valid.wr0(C(0, 1)),
+            self.data.rd0(),
+        )
+
+    def peek_valid(self) -> Action:
+        return self.valid.rd0()
+
+
+class BypassFifo1:
+    """A one-element bypass FIFO: enq at port 0, deq at port 1.
+
+    The enqueued element can be dequeued in the *same* cycle by a later rule
+    (a "wire"-like FIFO).  Used for request/response ports where zero-latency
+    forwarding is wanted.
+    """
+
+    def __init__(self, design: Design, name: str, typ: Union[Type, int]):
+        if isinstance(typ, int):
+            typ = bits(typ)
+        self.name = name
+        self.typ = typ
+        self.data = design.reg(f"{name}_data", typ, 0)
+        self.valid = design.reg(f"{name}_valid", 1, 0)
+
+    def enq(self, value: Action) -> Action:
+        return seq(
+            guard(Binop("eq", self.valid.rd0(), C(0, 1))),
+            self.data.wr0(value),
+            self.valid.wr0(C(1, 1)),
+        )
+
+    def deq(self) -> Action:
+        return seq(
+            guard(Binop("eq", self.valid.rd1(), C(1, 1))),
+            self.valid.wr1(C(0, 1)),
+            self.data.rd1(),
+        )

@@ -1,0 +1,144 @@
+"""Design composition: instantiate one design inside another.
+
+Kôika designs are flat (registers + rules), so hierarchy is a
+metaprogramming concern: ``instantiate(parent, child, prefix)`` copies
+the child's registers, functions, and rules into the parent under a name
+prefix, cloning the ASTs so the child design stays untouched and can be
+instantiated any number of times.
+
+    soc = Design("soc")
+    add_rv32_core(soc)                       # builder-style composition
+    instantiate(soc, build_uart(), "u0_")    # design-level composition
+    instantiate(soc, build_uart(), "u1_")
+    soc.finalize()
+
+Child rules are appended to the parent's scheduler in the child's own
+order; cross-instance wiring happens through registers (bridge rules in
+the parent, or devices in the testbench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import KoikaElaborationError
+from .ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from .design import Design, Register
+
+
+def clone_action(node: Action,
+                 rename_regs: Optional[Dict[str, str]] = None,
+                 rename_fns: Optional[Dict[str, str]] = None) -> Action:
+    """Deep-copy an action tree, optionally renaming register and
+    function references.  Type annotations are not copied; the parent
+    design re-typechecks at ``finalize``."""
+    regs = rename_regs or {}
+    fns = rename_fns or {}
+
+    def clone(n: Action) -> Action:
+        if isinstance(n, Const):
+            return Const(n.value, n.typ, tag=n.tag)
+        if isinstance(n, Var):
+            return Var(n.name, tag=n.tag)
+        if isinstance(n, Let):
+            return Let(n.name, clone(n.value), clone(n.body),
+                       mutable=n.mutable, tag=n.tag)
+        if isinstance(n, Assign):
+            return Assign(n.name, clone(n.value), tag=n.tag)
+        if isinstance(n, Seq):
+            return Seq(*[clone(a) for a in n.actions], tag=n.tag)
+        if isinstance(n, If):
+            return If(clone(n.cond), clone(n.then),
+                      clone(n.orelse) if n.orelse is not None else None,
+                      tag=n.tag)
+        if isinstance(n, Abort):
+            return Abort(tag=n.tag)
+        if isinstance(n, Read):
+            return Read(regs.get(n.reg, n.reg), n.port, tag=n.tag)
+        if isinstance(n, Write):
+            return Write(regs.get(n.reg, n.reg), n.port, clone(n.value),
+                         tag=n.tag)
+        if isinstance(n, Unop):
+            return Unop(n.op, clone(n.arg), param=n.param, tag=n.tag)
+        if isinstance(n, Binop):
+            return Binop(n.op, clone(n.a), clone(n.b), tag=n.tag)
+        if isinstance(n, GetField):
+            return GetField(clone(n.arg), n.field_name, tag=n.tag)
+        if isinstance(n, SubstField):
+            return SubstField(clone(n.arg), n.field_name, clone(n.value),
+                              tag=n.tag)
+        if isinstance(n, ExtCall):
+            return ExtCall(n.fn, clone(n.arg), tag=n.tag)
+        if isinstance(n, Call):
+            return Call(fns.get(n.fn, n.fn), [clone(a) for a in n.args],
+                        tag=n.tag)
+        raise KoikaElaborationError(
+            f"cannot clone AST node {type(n).__name__}")
+
+    return clone(node)
+
+
+class Instance:
+    """Handle to one instantiation: maps child names to parent names."""
+
+    def __init__(self, prefix: str, registers: Dict[str, str],
+                 rules: Dict[str, str]):
+        self.prefix = prefix
+        self.registers = registers
+        self.rules = rules
+
+    def reg_name(self, child_name: str) -> str:
+        return self.registers[child_name]
+
+    def rule_name(self, child_name: str) -> str:
+        return self.rules[child_name]
+
+
+def instantiate(parent: Design, child: Design, prefix: str,
+                schedule: bool = True) -> Instance:
+    """Copy ``child``'s registers, functions, and rules into ``parent``
+    under ``prefix``.  Returns an :class:`Instance` name map."""
+    if not prefix.isidentifier():
+        raise KoikaElaborationError(
+            f"instance prefix {prefix!r} must be a valid identifier piece")
+    reg_map: Dict[str, str] = {}
+    for name, register in child.registers.items():
+        new_name = f"{prefix}{name}"
+        parent.reg(new_name, register.typ, register.init)
+        reg_map[name] = new_name
+    fn_map: Dict[str, str] = {}
+    for name, fn in child.fns.items():
+        new_name = f"{prefix}{name}"
+        parent.fn(new_name, fn.args,
+                  clone_action(fn.body, reg_map, fn_map))
+        fn_map[name] = new_name
+    for name, ext in child.extfuns.items():
+        if name not in parent.extfuns:
+            parent.extfun(name, ext.arg_type, ext.ret_type)
+    rule_map: Dict[str, str] = {}
+    order = child.scheduler or list(child.rules)
+    for name in order:
+        new_name = f"{prefix}{name}"
+        parent.rule(new_name,
+                    clone_action(child.rules[name].body, reg_map, fn_map))
+        rule_map[name] = new_name
+    if schedule:
+        parent.schedule(*(rule_map[name] for name in order))
+    return Instance(prefix, reg_map, rule_map)

@@ -1,0 +1,170 @@
+"""Pretty-printer: renders designs back to Kôika-style concrete syntax.
+
+Used for diagnostics, ``repr`` of AST nodes, and the SLOC counts reported in
+the Table 1 reproduction (the paper counts Kôika source lines; we count the
+lines of the canonical pretty-printed design).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from .design import Design
+from .types import EnumType, StructType
+
+_BINOP_SYMBOLS = {
+    "and": "&", "or": "|", "xor": "^",
+    "add": "+", "sub": "-", "mul": "*",
+    "divu": "/u", "remu": "%u",
+    "sll": "<<", "srl": ">>", "sra": ">>>",
+    "concat": "++",
+    "eq": "==", "ne": "!=",
+    "ltu": "<", "leu": "<=", "gtu": ">", "geu": ">=",
+    "lts": "<s", "les": "<=s", "gts": ">s", "ges": ">=s",
+}
+
+
+def pretty_action(action: Action) -> str:
+    """Single-line rendering of an action (used in reprs and messages)."""
+    return _expr(action)
+
+
+def _expr(node: Action) -> str:
+    if isinstance(node, Const):
+        if node.typ is None:
+            return str(node.value)
+        if isinstance(node.typ, EnumType):
+            return node.typ.format(node.value)
+        if node.typ.width == 0:
+            return "()"
+        return f"{node.typ.width}'d{node.value}"
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Read):
+        return f"{node.reg}.rd{node.port}()"
+    if isinstance(node, Write):
+        return f"{node.reg}.wr{node.port}({_expr(node.value)})"
+    if isinstance(node, Abort):
+        return "abort"
+    if isinstance(node, Assign):
+        return f"set {node.name} := {_expr(node.value)}"
+    if isinstance(node, Let):
+        return f"let {node.name} := {_expr(node.value)} in {_expr(node.body)}"
+    if isinstance(node, Seq):
+        return "; ".join(_expr(a) for a in node.actions)
+    if isinstance(node, If):
+        orelse = f" else {_expr(node.orelse)}" if node.orelse is not None else ""
+        return f"if ({_expr(node.cond)}) {_expr(node.then)}{orelse}"
+    if isinstance(node, Unop):
+        if node.op == "not":
+            return f"!{_atom(node.arg)}"
+        if node.op == "neg":
+            return f"-{_atom(node.arg)}"
+        if node.op in ("zextl", "sextl"):
+            return f"{node.op}({_expr(node.arg)}, {node.param})"
+        offset, width = node.param
+        return f"{_atom(node.arg)}[{offset}:{offset + width}]"
+    if isinstance(node, Binop):
+        if node.op == "sel":
+            return f"{_atom(node.a)}[{_expr(node.b)}]"
+        return f"{_atom(node.a)} {_BINOP_SYMBOLS[node.op]} {_atom(node.b)}"
+    if isinstance(node, GetField):
+        return f"{_atom(node.arg)}.{node.field_name}"
+    if isinstance(node, SubstField):
+        return f"{{{_atom(node.arg)} with {node.field_name} := {_expr(node.value)}}}"
+    if isinstance(node, ExtCall):
+        return f"extcall {node.fn}({_expr(node.arg)})"
+    if isinstance(node, Call):
+        return f"{node.fn}({', '.join(_expr(a) for a in node.args)})"
+    return f"<{type(node).__name__}>"
+
+
+def _atom(node: Action) -> str:
+    text = _expr(node)
+    if isinstance(node, (Binop, If, Let, Seq)):
+        return f"({text})"
+    return text
+
+
+def _block(node: Action, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(node, Seq):
+        for action in node.actions:
+            _block(action, indent, lines)
+        return
+    if isinstance(node, Let) and node.body is not None:
+        lines.append(f"{pad}let {node.name} := {_expr(node.value)} in")
+        _block(node.body, indent, lines)
+        return
+    if isinstance(node, If):
+        lines.append(f"{pad}if ({_expr(node.cond)}) {{")
+        _block(node.then, indent + 1, lines)
+        if node.orelse is not None and not _is_unit_const(node.orelse):
+            lines.append(f"{pad}}} else {{")
+            _block(node.orelse, indent + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+    if _is_unit_const(node):
+        return
+    lines.append(f"{pad}{_expr(node)};")
+
+
+def _is_unit_const(node: Action) -> bool:
+    return isinstance(node, Const) and node.typ is not None and node.typ.width == 0
+
+
+def pretty_design(design: Design) -> str:
+    """Multi-line canonical rendering of a whole design."""
+    lines: List[str] = [f"design {design.name} {{"]
+    printed_types = set()
+    for register in design.registers.values():
+        typ = register.typ
+        if isinstance(typ, (EnumType, StructType)) and typ.key() not in printed_types:
+            printed_types.add(typ.key())
+            if isinstance(typ, EnumType):
+                members = ", ".join(typ.members)
+                lines.append(f"  enum {typ.name} {{ {members} }}")
+            else:
+                fields = "; ".join(f"{f}: {t!r}" for f, t in typ.fields)
+                lines.append(f"  struct {typ.name} {{ {fields} }}")
+    for register in design.registers.values():
+        lines.append(f"  register {register.name} : {register.typ!r} := {register.init};")
+    for ext in design.extfuns.values():
+        lines.append(
+            f"  external {ext.name} : {ext.arg_type!r} -> {ext.ret_type!r};"
+        )
+    for fn in design.fns.values():
+        args = ", ".join(f"{n}: {t!r}" for n, t in fn.args)
+        lines.append(f"  function {fn.name}({args}) {{")
+        _block(fn.body, 2, lines)
+        lines.append("  }")
+    for rule in design.rules.values():
+        lines.append(f"  rule {rule.name} {{")
+        _block(rule.body, 2, lines)
+        lines.append("  }")
+    lines.append(f"  scheduler: {' |> '.join(design.scheduler)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def design_sloc(design: Design) -> int:
+    """Source-line count of the canonical rendering (Table 1's Kôika SLOC)."""
+    return len(pretty_design(design).splitlines())

@@ -1,0 +1,248 @@
+"""AST-level simplification of typed actions.
+
+An optional pre-pass for the Cuttlesim compiler
+(``compile_model(..., simplify=True)``): constant folding, branch pruning,
+and algebraic identities on the *typed* action tree, before code
+generation.  The netlist builder constant-folds the RTL path already;
+this gives the sequential path the same treatment — elaboration-time
+constants (e.g. a parameterized design specialized to a constant mode)
+vanish from the generated model.
+
+Effect discipline: reads, writes, aborts, and external calls are effects;
+a transformation may drop a subtree only if it is effect-free.  Rewrites
+never reorder effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+    walk,
+)
+from .design import Design
+from .types import StructType, UNIT, bits, mask
+
+
+def _is_effectful(node: Action) -> bool:
+    return any(isinstance(n, (Read, Write, Abort, ExtCall))
+               for n in walk(node))
+
+
+def _const(value: int, like: Action) -> Const:
+    folded = Const(value & mask(like.typ.width), like.typ, tag=like.tag)
+    folded.typ = like.typ
+    return folded
+
+
+def _const_value(node: Action) -> Optional[int]:
+    if isinstance(node, Const):
+        return node.value
+    return None
+
+
+def simplify_action(design: Design, node: Action) -> Action:
+    """Return a simplified copy of a *typed* action tree.  Shared pure
+    subtrees may be reused; effectful nodes are never duplicated or
+    dropped."""
+    return _simplify(design, node)
+
+
+def _simplify(design: Design, node: Action) -> Action:
+    if isinstance(node, (Const, Var, Read)):
+        return node
+    if isinstance(node, Write):
+        value = _simplify(design, node.value)
+        if value is node.value:
+            return node
+        out = Write(node.reg, node.port, value, tag=node.tag)
+        out.typ = node.typ
+        return out
+    if isinstance(node, Abort):
+        return node
+    if isinstance(node, Assign):
+        out = Assign(node.name, _simplify(design, node.value), tag=node.tag)
+        out.typ = node.typ
+        return out
+    if isinstance(node, Let):
+        return _simplify_let(design, node)
+    if isinstance(node, Seq):
+        return _simplify_seq(design, node)
+    if isinstance(node, If):
+        return _simplify_if(design, node)
+    if isinstance(node, Unop):
+        return _simplify_unop(design, node)
+    if isinstance(node, Binop):
+        return _simplify_binop(design, node)
+    if isinstance(node, GetField):
+        arg = _simplify(design, node.arg)
+        value = _const_value(arg)
+        if value is not None:
+            struct = node.arg.typ
+            assert isinstance(struct, StructType)
+            return _const(struct.extract(value, node.field_name), node)
+        out = GetField(arg, node.field_name, tag=node.tag)
+        out.typ = node.typ
+        return out
+    if isinstance(node, SubstField):
+        arg = _simplify(design, node.arg)
+        value = _simplify(design, node.value)
+        arg_const, value_const = _const_value(arg), _const_value(value)
+        if arg_const is not None and value_const is not None:
+            struct = node.arg.typ
+            assert isinstance(struct, StructType)
+            return _const(struct.subst(arg_const, node.field_name, value_const),
+                          node)
+        out = SubstField(arg, node.field_name, value, tag=node.tag)
+        out.typ = node.typ
+        return out
+    if isinstance(node, ExtCall):
+        out = ExtCall(node.fn, _simplify(design, node.arg), tag=node.tag)
+        out.typ = node.typ
+        return out
+    if isinstance(node, Call):
+        out = Call(node.fn, [_simplify(design, a) for a in node.args],
+                   tag=node.tag)
+        out.typ = node.typ
+        return out
+    return node
+
+
+def _simplify_let(design: Design, node: Let) -> Let:
+    out = Let(node.name, _simplify(design, node.value),
+              _simplify(design, node.body), mutable=node.mutable,
+              tag=node.tag)
+    out.typ = node.typ
+    return out
+
+
+def _simplify_seq(design: Design, node: Seq) -> Action:
+    actions = []
+    for index, action in enumerate(node.actions):
+        simplified = _simplify(design, action)
+        last = index == len(node.actions) - 1
+        if not last and not _is_effectful(simplified) \
+                and not isinstance(simplified, (Assign, Let)):
+            continue  # pure value in discard position: drop it
+        actions.append(simplified)
+    if not actions:
+        unit_const = Const(0, UNIT)
+        unit_const.typ = UNIT
+        return unit_const
+    if len(actions) == 1:
+        return actions[0]
+    out = Seq(*actions, tag=node.tag)
+    out.typ = node.typ
+    return out
+
+
+def _simplify_if(design: Design, node: If) -> Action:
+    cond = _simplify(design, node.cond)
+    cond_value = _const_value(cond)
+    if cond_value is not None:
+        # Branch is statically known; only it (plus the pure cond) remains.
+        if cond_value:
+            return _simplify(design, node.then)
+        if node.orelse is None:
+            unit_const = Const(0, UNIT)
+            unit_const.typ = UNIT
+            return unit_const
+        return _simplify(design, node.orelse)
+    then = _simplify(design, node.then)
+    orelse = _simplify(design, node.orelse) if node.orelse is not None \
+        else None
+    # mux(c, k, k) with a pure condition collapses.
+    then_const, orelse_const = _const_value(then), \
+        (_const_value(orelse) if orelse is not None else None)
+    if then_const is not None and then_const == orelse_const \
+            and not _is_effectful(cond):
+        return then
+    out = If(cond, then, orelse, tag=node.tag)
+    out.typ = node.typ
+    return out
+
+
+def _simplify_unop(design: Design, node: Unop) -> Action:
+    arg = _simplify(design, node.arg)
+    value = _const_value(arg)
+    if value is not None:
+        from ..rtl.circuit import eval_op
+
+        folded = eval_op(node.op, [value], node.typ.width,
+                         [node.arg.typ.width], node.param)
+        return _const(folded, node)
+    out = Unop(node.op, arg, param=node.param, tag=node.tag)
+    out.typ = node.typ
+    return out
+
+
+#: ops where `op(x, 0) == x`.
+_RIGHT_ZERO_IDENTITY = {"add", "sub", "or", "xor", "sll", "srl", "sra"}
+
+
+def _simplify_binop(design: Design, node: Binop) -> Action:
+    a = _simplify(design, node.a)
+    b = _simplify(design, node.b)
+    a_value, b_value = _const_value(a), _const_value(b)
+    if a_value is not None and b_value is not None:
+        from ..rtl.circuit import eval_op
+
+        folded = eval_op(node.op, [a_value, b_value], node.typ.width,
+                         [node.a.typ.width, node.b.typ.width])
+        return _const(folded, node)
+    # Algebraic identities (never drop an effectful operand).
+    if b_value == 0 and node.op in _RIGHT_ZERO_IDENTITY:
+        return a
+    if b_value == 0 and node.op in ("and", "mul") and not _is_effectful(a):
+        return _const(0, node)
+    if a_value == 0 and node.op in ("and", "mul") and not _is_effectful(b):
+        return _const(0, node)
+    if a_value == 0 and node.op in ("or", "xor", "add"):
+        return b
+    if b_value == 1 and node.op == "mul":
+        return a
+    full = mask(node.typ.width)
+    if node.op == "and" and b_value == full:
+        return a
+    if node.op == "and" and a_value == full:
+        return b
+    out = Binop(node.op, a, b, tag=node.tag)
+    out.typ = node.typ
+    return out
+
+
+def simplify_design(design: Design) -> Design:
+    """Return a new design with every rule and function body simplified
+    (registers/schedule shared)."""
+    if not design.finalized:
+        design.finalize()
+    simplified = Design(design.name)
+    simplified.registers = dict(design.registers)
+    simplified.extfuns = dict(design.extfuns)
+    for name, fn in design.fns.items():
+        new_fn = simplified.fn(name, fn.args, _simplify(design, fn.body))
+        new_fn.ret = fn.ret
+    for name, rule in design.rules.items():
+        simplified.rule(name, _simplify(design, rule.body))
+    simplified.schedule(*design.scheduler)
+    from .typecheck import typecheck_design
+
+    typecheck_design(simplified)
+    simplified.finalized = True
+    return simplified

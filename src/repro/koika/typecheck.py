@@ -1,0 +1,341 @@
+"""Type checking for Kôika designs.
+
+Checking is bidirectional: widths flow both ways so that bare Python integer
+literals (``x + 1``) and ``abort`` pick up their types from context.  Every
+AST node gets its ``typ`` field filled in; later passes (interpreter,
+compilers) rely on this annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import KoikaTypeError
+from .ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+    walk,
+)
+from .design import Design, Fn
+from .types import BitsType, StructType, Type, UNIT, bits
+
+
+class _Uninferable(Exception):
+    """Internal: a node's type cannot be synthesized without context."""
+
+
+class _Env:
+    def __init__(self, design: Design):
+        self.design = design
+        self.vars: Dict[str, Type] = {}
+
+    def child(self) -> "_Env":
+        env = _Env(self.design)
+        env.vars = dict(self.vars)
+        return env
+
+
+def typecheck_design(design: Design) -> None:
+    """Check every function and rule of ``design`` in place."""
+    for fn in design.fns.values():
+        _check_fn(design, fn)
+    for rule in design.rules.values():
+        env = _Env(design)
+        try:
+            _check(rule.body, env, None)
+        except _Uninferable:
+            _check(rule.body, env, UNIT)
+    if not design.scheduler and design.rules:
+        # An unscheduled design defaults to declaration order; make that
+        # explicit so every backend agrees.
+        design.schedule(*design.rules.keys())
+
+
+def typecheck_action(design: Design, action: Action,
+                     vars: Optional[Dict[str, Type]] = None,
+                     expected: Optional[Type] = None) -> Type:
+    """Check a standalone action (used by tests and the REPL debugger)."""
+    env = _Env(design)
+    if vars:
+        env.vars.update(vars)
+    try:
+        return _check(action, env, expected)
+    except _Uninferable:
+        raise KoikaTypeError(f"cannot infer the width of {action!r}")
+
+
+def _check_fn(design: Design, fn: Fn) -> None:
+    for node in walk(fn.body):
+        if isinstance(node, (Read, Write, Abort, ExtCall)):
+            raise KoikaTypeError(
+                f"function {fn.name!r} must be pure; found {node.kind}"
+            )
+    env = _Env(design)
+    for arg_name, arg_type in fn.args:
+        env.vars[arg_name] = arg_type
+    try:
+        fn.ret = _check(fn.body, env, None)
+    except _Uninferable:
+        raise KoikaTypeError(f"cannot infer the return width of function {fn.name!r}")
+
+
+def _expect(node: Action, actual: Type, expected: Optional[Type]) -> Type:
+    if expected is not None and actual.width != expected.width:
+        raise KoikaTypeError(
+            f"width mismatch at {node.kind} (uid {node.uid}"
+            f"{', ' + node.tag if node.tag else ''}): "
+            f"expected {expected!r}, got {actual!r}"
+        )
+    node.typ = actual
+    return actual
+
+
+def _check(node: Action, env: _Env, expected: Optional[Type]) -> Type:
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise KoikaTypeError(f"unknown AST node {type(node).__name__}")
+    return handler(node, env, expected)
+
+
+def _check_const(node: Const, env: _Env, expected: Optional[Type]) -> Type:
+    if node.typ is None:
+        if expected is None:
+            raise _Uninferable()
+        if node.value < 0:
+            node.value &= (1 << expected.width) - 1
+        expected.validate(node.value)
+        node.typ = expected
+        return expected
+    return _expect(node, node.typ, expected)
+
+
+def _check_var(node: Var, env: _Env, expected: Optional[Type]) -> Type:
+    if node.name not in env.vars:
+        raise KoikaTypeError(f"unbound variable {node.name!r}")
+    return _expect(node, env.vars[node.name], expected)
+
+
+def _check_let(node: Let, env: _Env, expected: Optional[Type]) -> Type:
+    try:
+        value_type = _check(node.value, env, None)
+    except _Uninferable:
+        raise KoikaTypeError(
+            f"cannot infer the width of let-bound {node.name!r}; "
+            "annotate the value with an explicit width"
+        )
+    body_env = env.child()
+    body_env.vars[node.name] = value_type
+    body_type = _check(node.body, body_env, expected)
+    node.typ = body_type
+    return body_type
+
+
+def _check_assign(node: Assign, env: _Env, expected: Optional[Type]) -> Type:
+    if node.name not in env.vars:
+        raise KoikaTypeError(f"assignment to unbound variable {node.name!r}")
+    _check(node.value, env, env.vars[node.name])
+    return _expect(node, UNIT, expected)
+
+
+def _check_seq(node: Seq, env: _Env, expected: Optional[Type]) -> Type:
+    for action in node.actions[:-1]:
+        try:
+            _check(action, env, None)
+        except _Uninferable:
+            _check(action, env, UNIT)
+    last_type = _check(node.actions[-1], env, expected)
+    node.typ = last_type
+    return last_type
+
+
+def _check_if(node: If, env: _Env, expected: Optional[Type]) -> Type:
+    _check(node.cond, env, bits(1))
+    if node.orelse is None:
+        _check(node.then, env, UNIT)
+        return _expect(node, UNIT, expected)
+    try:
+        then_type = _check(node.then, env, expected)
+    except _Uninferable:
+        orelse_type = _check(node.orelse, env, expected)
+        then_type = _check(node.then, env, orelse_type)
+        node.typ = then_type
+        return then_type
+    _check(node.orelse, env, then_type)
+    node.typ = then_type
+    return then_type
+
+
+def _check_abort(node: Abort, env: _Env, expected: Optional[Type]) -> Type:
+    if expected is None:
+        # Polymorphic: let the context (e.g. the if's other branch) decide.
+        raise _Uninferable()
+    node.typ = expected
+    return node.typ
+
+
+def _check_read(node: Read, env: _Env, expected: Optional[Type]) -> Type:
+    register = env.design.registers.get(node.reg)
+    if register is None:
+        raise KoikaTypeError(f"read of unknown register {node.reg!r}")
+    return _expect(node, register.typ, expected)
+
+
+def _check_write(node: Write, env: _Env, expected: Optional[Type]) -> Type:
+    register = env.design.registers.get(node.reg)
+    if register is None:
+        raise KoikaTypeError(f"write to unknown register {node.reg!r}")
+    _check(node.value, env, register.typ)
+    return _expect(node, UNIT, expected)
+
+
+def _check_unop(node: Unop, env: _Env, expected: Optional[Type]) -> Type:
+    if node.op in ("not", "neg"):
+        arg_type = _check(node.arg, env, expected)
+        return _expect(node, arg_type, expected)
+    if node.op in ("zextl", "sextl"):
+        if not isinstance(node.param, int) or node.param <= 0:
+            raise KoikaTypeError(f"{node.op} needs a positive target width")
+        try:
+            arg_type = _check(node.arg, env, None)
+        except _Uninferable:
+            raise KoikaTypeError(f"cannot infer the width of {node.op} argument")
+        if arg_type.width > node.param:
+            raise KoikaTypeError(
+                f"{node.op} to width {node.param} from wider {arg_type!r}"
+            )
+        return _expect(node, bits(node.param), expected)
+    if node.op == "slice":
+        offset, width = node.param
+        try:
+            arg_type = _check(node.arg, env, None)
+        except _Uninferable:
+            raise KoikaTypeError("cannot infer the width of a slice argument")
+        if offset < 0 or width <= 0 or offset + width > arg_type.width:
+            raise KoikaTypeError(
+                f"slice [{offset}:{offset + width}] out of range for {arg_type!r}"
+            )
+        return _expect(node, bits(width), expected)
+    raise KoikaTypeError(f"unknown unary op {node.op!r}")
+
+
+def _check_binop(node: Binop, env: _Env, expected: Optional[Type]) -> Type:
+    op = node.op
+    if op in ("and", "or", "xor", "add", "sub", "mul", "divu", "remu"):
+        try:
+            a_type = _check(node.a, env, expected)
+        except _Uninferable:
+            b_type = _check(node.b, env, expected)
+            a_type = _check(node.a, env, b_type)
+            return _expect(node, bits(a_type.width), expected)
+        _check(node.b, env, a_type)
+        return _expect(node, bits(a_type.width), expected)
+    if op in ("sll", "srl", "sra"):
+        a_type = _check_width_known(node.a, env, expected, what=f"{op} operand")
+        try:
+            _check(node.b, env, None)
+        except _Uninferable:
+            raise KoikaTypeError(f"cannot infer the width of a {op} shift amount")
+        return _expect(node, bits(a_type.width), expected)
+    if op == "concat":
+        a_type = _check_width_known(node.a, env, None, what="concat operand")
+        b_type = _check_width_known(node.b, env, None, what="concat operand")
+        return _expect(node, bits(a_type.width + b_type.width), expected)
+    if op == "sel":
+        _check_width_known(node.a, env, None, what="sel operand")
+        _check_width_known(node.b, env, None, what="sel index")
+        return _expect(node, bits(1), expected)
+    # Comparisons.
+    try:
+        a_type = _check(node.a, env, None)
+    except _Uninferable:
+        try:
+            b_type = _check(node.b, env, None)
+        except _Uninferable:
+            raise KoikaTypeError(
+                f"cannot infer operand widths of comparison {op!r}"
+            )
+        _check(node.a, env, b_type)
+        return _expect(node, bits(1), expected)
+    _check(node.b, env, a_type)
+    return _expect(node, bits(1), expected)
+
+
+def _check_width_known(node: Action, env: _Env, expected: Optional[Type],
+                       what: str) -> Type:
+    try:
+        return _check(node, env, expected)
+    except _Uninferable:
+        raise KoikaTypeError(f"cannot infer the width of a {what}")
+
+
+def _check_getfield(node: GetField, env: _Env, expected: Optional[Type]) -> Type:
+    arg_type = _check_width_known(node.arg, env, None, what="field access target")
+    if not isinstance(arg_type, StructType):
+        raise KoikaTypeError(f"field access on non-struct {arg_type!r}")
+    return _expect(node, arg_type.field_type(node.field_name), expected)
+
+
+def _check_substfield(node: SubstField, env: _Env, expected: Optional[Type]) -> Type:
+    arg_type = _check_width_known(node.arg, env, None, what="field update target")
+    if not isinstance(arg_type, StructType):
+        raise KoikaTypeError(f"field update on non-struct {arg_type!r}")
+    _check(node.value, env, arg_type.field_type(node.field_name))
+    return _expect(node, arg_type, expected)
+
+
+def _check_extcall(node: ExtCall, env: _Env, expected: Optional[Type]) -> Type:
+    ext = env.design.extfuns.get(node.fn)
+    if ext is None:
+        raise KoikaTypeError(f"call to unknown external function {node.fn!r}")
+    _check(node.arg, env, ext.arg_type)
+    return _expect(node, ext.ret_type, expected)
+
+
+def _check_call(node: Call, env: _Env, expected: Optional[Type]) -> Type:
+    fn = env.design.fns.get(node.fn)
+    if fn is None:
+        raise KoikaTypeError(f"call to unknown function {node.fn!r}")
+    if fn.ret is None:
+        raise KoikaTypeError(
+            f"function {node.fn!r} used before its definition was checked"
+        )
+    if len(node.args) != len(fn.args):
+        raise KoikaTypeError(
+            f"function {node.fn!r} takes {len(fn.args)} args, got {len(node.args)}"
+        )
+    for actual, (_, arg_type) in zip(node.args, fn.args):
+        _check(actual, env, arg_type)
+    return _expect(node, fn.ret, expected)
+
+
+_HANDLERS = {
+    Const: _check_const,
+    Var: _check_var,
+    Let: _check_let,
+    Assign: _check_assign,
+    Seq: _check_seq,
+    If: _check_if,
+    Abort: _check_abort,
+    Read: _check_read,
+    Write: _check_write,
+    Unop: _check_unop,
+    Binop: _check_binop,
+    GetField: _check_getfield,
+    SubstField: _check_substfield,
+    ExtCall: _check_extcall,
+    Call: _check_call,
+}

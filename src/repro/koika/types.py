@@ -1,0 +1,230 @@
+"""Kôika's type universe: bit vectors, enums, and packed structs.
+
+All runtime values in this reproduction are plain Python integers; a type
+describes how many bits a value occupies and how to interpret them.  Structs
+are packed into integers exactly like hardware would pack them into wires
+(first field in the least-significant bits), which keeps every simulation
+backend trivially bit-accurate with the RTL path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import KoikaTypeError
+
+
+def mask(width: int) -> int:
+    """Bit mask with ``width`` low bits set."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit integer."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's complement."""
+    if width == 0:
+        return 0
+    value = truncate(value, width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as two's complement bits."""
+    return truncate(value, width)
+
+
+class Type:
+    """Base class of Kôika types.  Every type has a bit ``width``."""
+
+    width: int
+
+    def accepts(self, value: int) -> bool:
+        """Whether ``value`` is a legal unsigned encoding for this type."""
+        return isinstance(value, int) and 0 <= value <= mask(self.width)
+
+    def validate(self, value: int) -> int:
+        if not self.accepts(value):
+            raise KoikaTypeError(f"value {value!r} does not fit in {self}")
+        return value
+
+    def format(self, value: int) -> str:
+        """Human-readable rendering of a raw value (used by the debugger)."""
+        return f"0x{value:0{max(1, (self.width + 3) // 4)}x}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+
+class BitsType(Type):
+    """A plain bit vector of a given width."""
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise KoikaTypeError(f"negative width {width}")
+        self.width = width
+
+    def key(self) -> tuple:
+        return ("bits", self.width)
+
+    def __repr__(self) -> str:
+        return f"bits<{self.width}>"
+
+
+#: The unit type: a zero-width bit vector.
+UNIT = BitsType(0)
+
+
+def bits(width: int) -> BitsType:
+    """Convenience constructor for :class:`BitsType`."""
+    return BitsType(width)
+
+
+class EnumType(Type):
+    """A named enumeration backed by a bit vector.
+
+    Members are exposed as attributes for use in the DSL::
+
+        state = EnumType("state", ["A", "B"])
+        state.A      # -> 0
+        state.B      # -> 1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        members: Sequence[str],
+        width: Optional[int] = None,
+        values: Optional[Sequence[int]] = None,
+    ):
+        if not members:
+            raise KoikaTypeError(f"enum {name!r} needs at least one member")
+        if len(set(members)) != len(members):
+            raise KoikaTypeError(f"enum {name!r} has duplicate members")
+        if values is None:
+            values = list(range(len(members)))
+        if len(values) != len(members):
+            raise KoikaTypeError(f"enum {name!r}: values/members length mismatch")
+        self.name = name
+        self.members: Dict[str, int] = dict(zip(members, values))
+        min_width = max(max(values), 1).bit_length() if max(values) > 0 else 1
+        self.width = width if width is not None else min_width
+        if any(v > mask(self.width) for v in values):
+            raise KoikaTypeError(f"enum {name!r}: member value exceeds width {self.width}")
+        self._by_value: Dict[int, str] = {}
+        for member, value in self.members.items():
+            self._by_value.setdefault(value, member)
+
+    def __getattr__(self, item: str) -> int:
+        members = self.__dict__.get("members", {})
+        if item in members:
+            return members[item]
+        raise AttributeError(item)
+
+    def value_of(self, member: str) -> int:
+        if member not in self.members:
+            raise KoikaTypeError(f"enum {self.name!r} has no member {member!r}")
+        return self.members[member]
+
+    def member_of(self, value: int) -> Optional[str]:
+        return self._by_value.get(value)
+
+    def format(self, value: int) -> str:
+        member = self.member_of(value)
+        if member is None:
+            return f"<{self.name}:{value}>"
+        return f"{self.name}::{member}"
+
+    def key(self) -> tuple:
+        return ("enum", self.name, tuple(sorted(self.members.items())), self.width)
+
+    def __repr__(self) -> str:
+        return f"enum {self.name}"
+
+
+class StructType(Type):
+    """A packed record.  Field 0 occupies the least-significant bits."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]]):
+        if len({f for f, _ in fields}) != len(fields):
+            raise KoikaTypeError(f"struct {name!r} has duplicate fields")
+        self.name = name
+        self.fields: List[Tuple[str, Type]] = list(fields)
+        self.width = sum(t.width for _, t in fields)
+        self._offsets: Dict[str, Tuple[int, Type]] = {}
+        offset = 0
+        for field, typ in self.fields:
+            self._offsets[field] = (offset, typ)
+            offset += typ.width
+
+    def field_names(self) -> List[str]:
+        return [f for f, _ in self.fields]
+
+    def has_field(self, field: str) -> bool:
+        return field in self._offsets
+
+    def field_type(self, field: str) -> Type:
+        return self._field(field)[1]
+
+    def field_offset(self, field: str) -> int:
+        return self._field(field)[0]
+
+    def _field(self, field: str) -> Tuple[int, Type]:
+        if field not in self._offsets:
+            raise KoikaTypeError(f"struct {self.name!r} has no field {field!r}")
+        return self._offsets[field]
+
+    def pack(self, **field_values: int) -> int:
+        """Pack named field values into a single integer."""
+        unknown = set(field_values) - set(self._offsets)
+        if unknown:
+            raise KoikaTypeError(f"struct {self.name!r} has no fields {sorted(unknown)}")
+        packed = 0
+        for field, (offset, typ) in self._offsets.items():
+            value = field_values.get(field, 0)
+            packed |= typ.validate(truncate(value, typ.width)) << offset
+        return packed
+
+    def unpack(self, value: int) -> Dict[str, int]:
+        """Split a packed integer back into its named fields."""
+        out = {}
+        for field, (offset, typ) in self._offsets.items():
+            out[field] = (value >> offset) & mask(typ.width)
+        return out
+
+    def extract(self, value: int, field: str) -> int:
+        offset, typ = self._field(field)
+        return (value >> offset) & mask(typ.width)
+
+    def subst(self, value: int, field: str, field_value: int) -> int:
+        offset, typ = self._field(field)
+        cleared = value & ~(mask(typ.width) << offset)
+        return cleared | (truncate(field_value, typ.width) << offset)
+
+    def format(self, value: int) -> str:
+        parts = []
+        for field, (offset, typ) in self._offsets.items():
+            parts.append(f"{field}={typ.format((value >> offset) & mask(typ.width))}")
+        return f"{self.name}{{{', '.join(parts)}}}"
+
+    def key(self) -> tuple:
+        return ("struct", self.name, tuple((f, t.key()) for f, t in self.fields))
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+
+def maybe(typ: Type, name: Optional[str] = None) -> StructType:
+    """An option type: ``{valid: bits<1>, data: typ}`` — Kôika's `maybe`."""
+    return StructType(name or f"maybe_{typ.width}", [("valid", bits(1)), ("data", typ)])

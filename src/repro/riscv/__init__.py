@@ -1,0 +1,13 @@
+"""RISC-V substrate: RV32I encoder/assembler, golden model, programs."""
+
+from .assembler import Assembler, Program, assemble
+from .disasm import disassemble, disassemble_program
+from .encoding import NOP, Decoded, decode, reg_number
+from .golden import OUTPUT_ADDR, TOHOST_ADDR, GoldenModel
+from . import programs
+
+__all__ = [
+    "Assembler", "Program", "assemble", "disassemble",
+    "disassemble_program", "NOP", "Decoded", "decode",
+    "reg_number", "OUTPUT_ADDR", "TOHOST_ADDR", "GoldenModel", "programs",
+]

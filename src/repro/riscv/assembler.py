@@ -1,0 +1,268 @@
+"""A small two-pass RV32I assembler.
+
+Supports the RV32I user subset, labels, ``.word``/``.org`` directives,
+character-friendly immediates (decimal, hex, ``%lo``/``%hi``), and the
+common pseudo-instructions (``li``, ``la``, ``mv``, ``nop``, ``j``,
+``call``, ``ret``, ``beqz``/``bnez``, ``not``/``neg``/``seqz``/``snez``).
+
+This removes the cross-compiler gate: all benchmark programs used by the
+paper reproduction are assembled in-repo.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from . import encoding as enc
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_RE = re.compile(r"^(-?[\w%().+]*)\(([\w]+)\)$")
+
+
+def _parse_imm(token: str, labels: Dict[str, int]) -> int:
+    token = token.strip()
+    if token.startswith("%lo(") and token.endswith(")"):
+        value = _parse_imm(token[4:-1], labels)
+        low = value & 0xFFF
+        return low - 0x1000 if low >= 0x800 else low
+    if token.startswith("%hi(") and token.endswith(")"):
+        value = _parse_imm(token[4:-1], labels)
+        return ((value + 0x800) >> 12) & 0xFFFFF
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"cannot parse immediate {token!r}")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+class _Line:
+    def __init__(self, mnemonic: str, operands: List[str], source: str,
+                 lineno: int):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.source = source
+        self.lineno = lineno
+
+
+class Program:
+    """An assembled program: a dict of word-addressed memory contents."""
+
+    def __init__(self, words: Dict[int, int], labels: Dict[str, int],
+                 listing: List[Tuple[int, int, str]]):
+        self.words = words  # byte address (aligned) -> 32-bit word
+        self.labels = labels
+        self.listing = listing
+
+    def memory_image(self) -> Dict[int, int]:
+        return dict(self.words)
+
+    def size_bytes(self) -> int:
+        return (max(self.words) + 4) if self.words else 0
+
+    def dump(self) -> str:
+        return "\n".join(f"{addr:08x}: {word:08x}  {src}"
+                         for addr, word, src in self.listing)
+
+
+class Assembler:
+    def __init__(self, max_reg: int = 32):
+        self.max_reg = max_reg
+
+    # -- public ------------------------------------------------------------
+    def assemble(self, source: str, base: int = 0) -> Program:
+        lines = self._parse(source)
+        labels = self._layout(lines, base)
+        words: Dict[int, int] = {}
+        listing: List[Tuple[int, int, str]] = []
+        pc = base
+        for line in lines:
+            if line.mnemonic == ".org":
+                pc = _parse_imm(line.operands[0], labels)
+                continue
+            if line.mnemonic == ".word":
+                for op in line.operands:
+                    words[pc] = _parse_imm(op, labels) & 0xFFFFFFFF
+                    listing.append((pc, words[pc], line.source))
+                    pc += 4
+                continue
+            for word in self._encode(line, pc, labels):
+                words[pc] = word
+                listing.append((pc, word, line.source))
+                pc += 4
+        return Program(words, labels, listing)
+
+    # -- passes ------------------------------------------------------------
+    def _parse(self, source: str) -> List[_Line]:
+        lines: List[_Line] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("#")[0].split("//")[0].strip()
+            while True:
+                match = _LABEL_RE.match(text)
+                if not match:
+                    break
+                lines.append(_Line(".label", [match.group(1)], raw, lineno))
+                text = text[match.end():].strip()
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            lines.append(_Line(mnemonic, operands, raw.strip(), lineno))
+        return lines
+
+    def _instr_length(self, line: _Line) -> int:
+        """Words emitted by one source line (pseudo-expansion aware)."""
+        mnemonic = line.mnemonic
+        if mnemonic in (".label", ".org"):
+            return 0
+        if mnemonic == ".word":
+            return len(line.operands)
+        if mnemonic in ("li", "la"):
+            return 2  # conservatively always lui+addi (stable layout)
+        if mnemonic == "call":
+            return 1
+        return 1
+
+    def _layout(self, lines: List[_Line], base: int) -> Dict[str, int]:
+        labels: Dict[str, int] = {}
+        pc = base
+        for line in lines:
+            if line.mnemonic == ".label":
+                name = line.operands[0]
+                if name in labels:
+                    raise AssemblerError(f"duplicate label {name!r} "
+                                         f"(line {line.lineno})")
+                labels[name] = pc
+            elif line.mnemonic == ".org":
+                pc = _parse_imm(line.operands[0], {})
+            else:
+                pc += 4 * self._instr_length(line)
+        return labels
+
+    # -- encoding ----------------------------------------------------------
+    def _reg(self, token: str) -> int:
+        return enc.reg_number(token, self.max_reg)
+
+    def _encode(self, line: _Line, pc: int,
+                labels: Dict[str, int]) -> List[int]:
+        mnemonic, ops = line.mnemonic, line.operands
+        if mnemonic == ".label":
+            return []
+        try:
+            return self._encode_inner(mnemonic, ops, pc, labels)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {line.lineno}: {line.source!r}: {exc}")
+
+    def _encode_inner(self, mnemonic: str, ops: List[str], pc: int,
+                      labels: Dict[str, int]) -> List[int]:
+        # Pseudo-instructions first.
+        if mnemonic == "nop":
+            return [enc.NOP]
+        if mnemonic == "mv":
+            return [enc.encode_i(enc.OP_IMM, 0, self._reg(ops[0]),
+                                 self._reg(ops[1]), 0)]
+        if mnemonic == "not":
+            return [enc.encode_i(enc.OP_IMM, 0b100, self._reg(ops[0]),
+                                 self._reg(ops[1]), -1)]
+        if mnemonic == "neg":
+            return [enc.encode_r(enc.OP_REG, 0, 0b0100000, self._reg(ops[0]),
+                                 0, self._reg(ops[1]))]
+        if mnemonic == "seqz":
+            return [enc.encode_i(enc.OP_IMM, 0b011, self._reg(ops[0]),
+                                 self._reg(ops[1]), 1)]
+        if mnemonic == "snez":
+            return [enc.encode_r(enc.OP_REG, 0b011, 0, self._reg(ops[0]),
+                                 0, self._reg(ops[1]))]
+        if mnemonic in ("li", "la"):
+            rd = self._reg(ops[0])
+            value = _parse_imm(ops[1], labels) & 0xFFFFFFFF
+            low = value & 0xFFF
+            low = low - 0x1000 if low >= 0x800 else low
+            high = ((value - low) >> 12) & 0xFFFFF
+            return [enc.encode_u(enc.OP_LUI, rd, high),
+                    enc.encode_i(enc.OP_IMM, 0, rd, rd, low)]
+        if mnemonic == "j":
+            return [enc.encode_j(enc.OP_JAL, 0,
+                                 _parse_imm(ops[0], labels) - pc)]
+        if mnemonic == "jr":
+            return [enc.encode_i(enc.OP_JALR, 0, 0, self._reg(ops[0]), 0)]
+        if mnemonic == "ret":
+            return [enc.encode_i(enc.OP_JALR, 0, 0, 1, 0)]
+        if mnemonic == "call":
+            return [enc.encode_j(enc.OP_JAL, 1,
+                                 _parse_imm(ops[0], labels) - pc)]
+        if mnemonic == "beqz":
+            return [enc.encode_b(enc.OP_BRANCH, 0, self._reg(ops[0]), 0,
+                                 _parse_imm(ops[1], labels) - pc)]
+        if mnemonic == "bnez":
+            return [enc.encode_b(enc.OP_BRANCH, 1, self._reg(ops[0]), 0,
+                                 _parse_imm(ops[1], labels) - pc)]
+        if mnemonic == "bgtz":
+            return [enc.encode_b(enc.OP_BRANCH, 0b100, 0, self._reg(ops[0]),
+                                 _parse_imm(ops[1], labels) - pc)]
+        if mnemonic == "blez":
+            return [enc.encode_b(enc.OP_BRANCH, 0b101, 0, self._reg(ops[0]),
+                                 _parse_imm(ops[1], labels) - pc)]
+
+        info = enc.INSTRUCTIONS.get(mnemonic)
+        if info is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+        fmt, opcode, funct3, funct7 = info
+        if fmt == "R":
+            return [enc.encode_r(opcode, funct3, funct7, self._reg(ops[0]),
+                                 self._reg(ops[1]), self._reg(ops[2]))]
+        if fmt == "Ishamt":
+            shamt = _parse_imm(ops[2], labels)
+            if not 0 <= shamt < 32:
+                raise AssemblerError(f"shift amount {shamt} out of range")
+            return [enc.encode_i(opcode, funct3, self._reg(ops[0]),
+                                 self._reg(ops[1]),
+                                 (funct7 << 5) | shamt)]
+        if fmt == "I":
+            if opcode == enc.OP_LOAD or (opcode == enc.OP_JALR and
+                                         _MEM_RE.match(ops[-1] if ops else "")):
+                rd = self._reg(ops[0])
+                match = _MEM_RE.match(ops[1])
+                if not match:
+                    raise AssemblerError(f"expected offset(reg), got {ops[1]!r}")
+                imm = _parse_imm(match.group(1) or "0", labels)
+                return [enc.encode_i(opcode, funct3, rd,
+                                     self._reg(match.group(2)), imm)]
+            if opcode == enc.OP_JALR:
+                rd = self._reg(ops[0])
+                rs1 = self._reg(ops[1])
+                imm = _parse_imm(ops[2], labels) if len(ops) > 2 else 0
+                return [enc.encode_i(opcode, funct3, rd, rs1, imm)]
+            return [enc.encode_i(opcode, funct3, self._reg(ops[0]),
+                                 self._reg(ops[1]),
+                                 _parse_imm(ops[2], labels))]
+        if fmt == "S":
+            match = _MEM_RE.match(ops[1])
+            if not match:
+                raise AssemblerError(f"expected offset(reg), got {ops[1]!r}")
+            return [enc.encode_s(opcode, funct3, self._reg(match.group(2)),
+                                 self._reg(ops[0]),
+                                 _parse_imm(match.group(1) or "0", labels))]
+        if fmt == "B":
+            return [enc.encode_b(opcode, funct3, self._reg(ops[0]),
+                                 self._reg(ops[1]),
+                                 _parse_imm(ops[2], labels) - pc)]
+        if fmt == "U":
+            return [enc.encode_u(opcode, self._reg(ops[0]),
+                                 _parse_imm(ops[1], labels))]
+        if fmt == "J":
+            return [enc.encode_j(opcode, self._reg(ops[0]),
+                                 _parse_imm(ops[1], labels) - pc)]
+        raise AssemblerError(f"unhandled format {fmt!r}")
+
+
+def assemble(source: str, base: int = 0, max_reg: int = 32) -> Program:
+    """Assemble RV32I source text into a :class:`Program`."""
+    return Assembler(max_reg=max_reg).assemble(source, base)

@@ -1,0 +1,95 @@
+"""RV32IM disassembler.
+
+Produces assembler-compatible text (``disassemble`` output re-assembles
+to the same word — tested by round-trip), used by the pipeline viewer and
+the CLI to label instructions flowing through the cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from . import encoding as enc
+
+#: (opcode, funct3, funct7_or_None) -> mnemonic, built from the encoder's
+#: own table so the two can never drift apart.
+_BY_FIELDS: Dict[Tuple[int, int, Optional[int]], str] = {}
+for _name, (_fmt, _op, _f3, _f7) in enc.INSTRUCTIONS.items():
+    if _fmt in ("R", "Ishamt"):
+        _BY_FIELDS[(_op, _f3, _f7)] = _name
+    elif _f3 is not None:
+        _BY_FIELDS[(_op, _f3, None)] = _name
+
+_REG_NAMES = {number: name for name, number in enc.ABI_NAMES.items()
+              if name not in ("fp",)}
+
+
+def _reg(number: int) -> str:
+    return _REG_NAMES.get(number, f"x{number}")
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Disassemble one instruction word.  Branch/jump targets are printed
+    as absolute addresses computed from ``pc``."""
+    if word == enc.NOP:
+        return "nop"
+    d = enc.decode(word)
+    op = d.opcode
+    if op == enc.OP_LUI:
+        return f"lui {_reg(d.rd)}, {(word >> 12) & 0xFFFFF:#x}"
+    if op == enc.OP_AUIPC:
+        return f"auipc {_reg(d.rd)}, {(word >> 12) & 0xFFFFF:#x}"
+    if op == enc.OP_JAL:
+        target = (pc + d.imm_j) & 0xFFFFFFFF
+        if d.rd == 0:
+            return f"j {target:#x}"
+        return f"jal {_reg(d.rd)}, {target:#x}"
+    if op == enc.OP_JALR:
+        if d.rd == 0 and d.rs1 == 1 and d.imm_i == 0:
+            return "ret"
+        return f"jalr {_reg(d.rd)}, {d.imm_i}({_reg(d.rs1)})"
+    if op == enc.OP_BRANCH:
+        mnemonic = _BY_FIELDS.get((op, d.funct3, None))
+        if mnemonic is None:
+            return f".word {word:#010x}"
+        target = (pc + d.imm_b) & 0xFFFFFFFF
+        return f"{mnemonic} {_reg(d.rs1)}, {_reg(d.rs2)}, {target:#x}"
+    if op == enc.OP_LOAD:
+        mnemonic = _BY_FIELDS.get((op, d.funct3, None))
+        if mnemonic is None:
+            return f".word {word:#010x}"
+        return f"{mnemonic} {_reg(d.rd)}, {d.imm_i}({_reg(d.rs1)})"
+    if op == enc.OP_STORE:
+        mnemonic = _BY_FIELDS.get((op, d.funct3, None))
+        if mnemonic is None:
+            return f".word {word:#010x}"
+        return f"{mnemonic} {_reg(d.rs2)}, {d.imm_s}({_reg(d.rs1)})"
+    if op == enc.OP_IMM:
+        if d.funct3 in (0b001, 0b101):  # shifts carry funct7 in the imm
+            mnemonic = _BY_FIELDS.get((op, d.funct3, d.funct7 & 0b1111111))
+            if mnemonic is None:
+                return f".word {word:#010x}"
+            return f"{mnemonic} {_reg(d.rd)}, {_reg(d.rs1)}, {d.rs2}"
+        mnemonic = _BY_FIELDS.get((op, d.funct3, None))
+        if mnemonic is None:
+            return f".word {word:#010x}"
+        return f"{mnemonic} {_reg(d.rd)}, {_reg(d.rs1)}, {d.imm_i}"
+    if op == enc.OP_REG:
+        mnemonic = _BY_FIELDS.get((op, d.funct3, d.funct7))
+        if mnemonic is None:
+            return f".word {word:#010x}"
+        return f"{mnemonic} {_reg(d.rd)}, {_reg(d.rs1)}, {_reg(d.rs2)}"
+    return f".word {word:#010x}"
+
+
+def disassemble_program(words: Dict[int, int], base: int = 0,
+                        limit: Optional[int] = None) -> str:
+    """Disassemble a word-addressed memory image into a listing."""
+    lines = []
+    for address in sorted(words):
+        if limit is not None and len(lines) >= limit:
+            lines.append("...")
+            break
+        lines.append(f"{address:08x}:  {words[address]:08x}  "
+                     f"{disassemble(words[address], pc=address)}")
+    return "\n".join(lines)

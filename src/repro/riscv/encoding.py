@@ -1,0 +1,187 @@
+"""RV32I instruction encodings (user subset, as in the paper's cores:
+"supporting the RV32I&E flavors of the RISC-V ISA, minus system
+instructions, interrupts and exceptions")."""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from ..errors import AssemblerError
+
+# Opcodes (major, bits [6:0]).
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+
+#: mnemonic -> (format, opcode, funct3, funct7)
+INSTRUCTIONS: Dict[str, Tuple[str, int, Optional[int], Optional[int]]] = {
+    "lui":   ("U", OP_LUI, None, None),
+    "auipc": ("U", OP_AUIPC, None, None),
+    "jal":   ("J", OP_JAL, None, None),
+    "jalr":  ("I", OP_JALR, 0b000, None),
+    "beq":   ("B", OP_BRANCH, 0b000, None),
+    "bne":   ("B", OP_BRANCH, 0b001, None),
+    "blt":   ("B", OP_BRANCH, 0b100, None),
+    "bge":   ("B", OP_BRANCH, 0b101, None),
+    "bltu":  ("B", OP_BRANCH, 0b110, None),
+    "bgeu":  ("B", OP_BRANCH, 0b111, None),
+    "lb":    ("I", OP_LOAD, 0b000, None),
+    "lh":    ("I", OP_LOAD, 0b001, None),
+    "lw":    ("I", OP_LOAD, 0b010, None),
+    "lbu":   ("I", OP_LOAD, 0b100, None),
+    "lhu":   ("I", OP_LOAD, 0b101, None),
+    "sb":    ("S", OP_STORE, 0b000, None),
+    "sh":    ("S", OP_STORE, 0b001, None),
+    "sw":    ("S", OP_STORE, 0b010, None),
+    "addi":  ("I", OP_IMM, 0b000, None),
+    "slti":  ("I", OP_IMM, 0b010, None),
+    "sltiu": ("I", OP_IMM, 0b011, None),
+    "xori":  ("I", OP_IMM, 0b100, None),
+    "ori":   ("I", OP_IMM, 0b110, None),
+    "andi":  ("I", OP_IMM, 0b111, None),
+    "slli":  ("Ishamt", OP_IMM, 0b001, 0b0000000),
+    "srli":  ("Ishamt", OP_IMM, 0b101, 0b0000000),
+    "srai":  ("Ishamt", OP_IMM, 0b101, 0b0100000),
+    "add":   ("R", OP_REG, 0b000, 0b0000000),
+    "sub":   ("R", OP_REG, 0b000, 0b0100000),
+    "sll":   ("R", OP_REG, 0b001, 0b0000000),
+    "slt":   ("R", OP_REG, 0b010, 0b0000000),
+    "sltu":  ("R", OP_REG, 0b011, 0b0000000),
+    "xor":   ("R", OP_REG, 0b100, 0b0000000),
+    "srl":   ("R", OP_REG, 0b101, 0b0000000),
+    "sra":   ("R", OP_REG, 0b101, 0b0100000),
+    "or":    ("R", OP_REG, 0b110, 0b0000000),
+    "and":   ("R", OP_REG, 0b111, 0b0000000),
+    # M extension (multiply/divide; funct7 = 0b0000001)
+    "mul":    ("R", OP_REG, 0b000, 0b0000001),
+    "mulh":   ("R", OP_REG, 0b001, 0b0000001),
+    "mulhsu": ("R", OP_REG, 0b010, 0b0000001),
+    "mulhu":  ("R", OP_REG, 0b011, 0b0000001),
+    "div":    ("R", OP_REG, 0b100, 0b0000001),
+    "divu":   ("R", OP_REG, 0b101, 0b0000001),
+    "rem":    ("R", OP_REG, 0b110, 0b0000001),
+    "remu":   ("R", OP_REG, 0b111, 0b0000001),
+}
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def reg_number(name: str, max_reg: int = 32) -> int:
+    name = name.lower().strip()
+    if name in ABI_NAMES:
+        number = ABI_NAMES[name]
+    elif name.startswith("x") and name[1:].isdigit():
+        number = int(name[1:])
+    else:
+        raise AssemblerError(f"unknown register {name!r}")
+    if not 0 <= number < max_reg:
+        raise AssemblerError(f"register {name!r} out of range (RV32E?)")
+    return number
+
+
+def _fit(value: int, bits: int, signed: bool, what: str) -> int:
+    low = -(1 << (bits - 1)) if signed else 0
+    high = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    if not low <= value <= high:
+        raise AssemblerError(f"{what} {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode_r(opcode: int, funct3: int, funct7: int, rd: int, rs1: int,
+             rs2: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (rd << 7) | opcode
+
+
+def encode_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    imm = _fit(imm, 12, signed=True, what="I immediate")
+    return (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm = _fit(imm, 12, signed=True, what="S immediate")
+    return (((imm >> 5) & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | \
+        (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, offset: int) -> int:
+    if offset % 2:
+        raise AssemblerError(f"branch offset {offset} is not even")
+    imm = _fit(offset, 13, signed=True, what="branch offset")
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) | \
+        (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    imm = _fit(imm, 20, signed=False, what="U immediate") if imm >= 0 else \
+        _fit(imm, 20, signed=True, what="U immediate")
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, offset: int) -> int:
+    if offset % 2:
+        raise AssemblerError(f"jump offset {offset} is not even")
+    imm = _fit(offset, 21, signed=True, what="jump offset")
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) | \
+        (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) | \
+        (rd << 7) | opcode
+
+
+class Decoded(NamedTuple):
+    """Fields of a decoded instruction (used by the golden model)."""
+
+    opcode: int
+    rd: int
+    funct3: int
+    rs1: int
+    rs2: int
+    funct7: int
+    imm_i: int
+    imm_s: int
+    imm_b: int
+    imm_u: int
+    imm_j: int
+
+
+def _sext(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(instr: int) -> Decoded:
+    opcode = instr & 0x7F
+    rd = (instr >> 7) & 0x1F
+    funct3 = (instr >> 12) & 0x7
+    rs1 = (instr >> 15) & 0x1F
+    rs2 = (instr >> 20) & 0x1F
+    funct7 = (instr >> 25) & 0x7F
+    imm_i = _sext(instr >> 20, 12)
+    imm_s = _sext(((instr >> 25) << 5) | ((instr >> 7) & 0x1F), 12)
+    imm_b = _sext(
+        (((instr >> 31) & 1) << 12) | (((instr >> 7) & 1) << 11)
+        | (((instr >> 25) & 0x3F) << 5) | (((instr >> 8) & 0xF) << 1), 13)
+    imm_u = _sext(instr >> 12, 20) << 12
+    imm_j = _sext(
+        (((instr >> 31) & 1) << 20) | (((instr >> 12) & 0xFF) << 12)
+        | (((instr >> 20) & 1) << 11) | (((instr >> 21) & 0x3FF) << 1), 21)
+    return Decoded(opcode, rd, funct3, rs1, rs2, funct7,
+                   imm_i, imm_s, imm_b, imm_u, imm_j)
+
+
+#: Canonical NOP: addi x0, x0, 0.
+NOP = encode_i(OP_IMM, 0b000, 0, 0, 0)

@@ -1,0 +1,233 @@
+"""Golden ISA-level model of RV32I (the oracle for the pipelined cores).
+
+Executes one instruction per step with no timing model.  Memory-mapped
+conventions shared with the hardware testbench devices:
+
+* a store to ``TOHOST_ADDR`` halts the program; the stored value is the
+  program's result;
+* a store to ``OUTPUT_ADDR`` appends the value to an output stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..koika.types import to_signed, truncate
+from . import encoding as enc
+from .assembler import Program
+
+TOHOST_ADDR = 0x40000000
+OUTPUT_ADDR = 0x40000004
+
+
+def load_from(memory: Dict[int, int], addr: int, funct3: int) -> int:
+    """Perform an RV32I load against a word-addressed memory dict."""
+    word = memory.get(addr & ~3, 0)
+    offset = (addr & 3) * 8
+    if funct3 == 0b010:  # lw
+        if addr % 4:
+            raise SimulationError(f"unaligned lw at {addr:#x}")
+        return word
+    if funct3 in (0b000, 0b100):  # lb / lbu
+        byte = (word >> offset) & 0xFF
+        return byte if funct3 == 0b100 else truncate(to_signed(byte, 8), 32)
+    if funct3 in (0b001, 0b101):  # lh / lhu
+        if addr % 2:
+            raise SimulationError(f"unaligned lh at {addr:#x}")
+        half = (word >> offset) & 0xFFFF
+        return half if funct3 == 0b101 else truncate(to_signed(half, 16), 32)
+    raise SimulationError(f"bad load funct3 {funct3:#b}")
+
+
+def store_to(memory: Dict[int, int], addr: int, value: int,
+             funct3: int) -> None:
+    """Perform an RV32I store against a word-addressed memory dict
+    (MMIO addresses are the caller's responsibility)."""
+    base = addr & ~3
+    word = memory.get(base, 0)
+    offset = (addr & 3) * 8
+    if funct3 == 0b010:  # sw
+        if addr % 4:
+            raise SimulationError(f"unaligned sw at {addr:#x}")
+        memory[base] = value & 0xFFFFFFFF
+    elif funct3 == 0b000:  # sb
+        mask = 0xFF << offset
+        memory[base] = (word & ~mask) | ((value & 0xFF) << offset)
+    elif funct3 == 0b001:  # sh
+        if addr % 2:
+            raise SimulationError(f"unaligned sh at {addr:#x}")
+        mask = 0xFFFF << offset
+        memory[base] = (word & ~mask) | ((value & 0xFFFF) << offset)
+    else:
+        raise SimulationError(f"bad store funct3 {funct3:#b}")
+
+
+class GoldenModel:
+    """One-instruction-at-a-time RV32I interpreter."""
+
+    def __init__(self, program: Program, pc: int = 0, nregs: int = 32):
+        self.memory: Dict[int, int] = program.memory_image()
+        self.pc = pc
+        self.nregs = nregs
+        self.regs: List[int] = [0] * 32
+        self.halted = False
+        self.result: Optional[int] = None
+        self.outputs: List[int] = []
+        self.instructions_executed = 0
+
+    # -- memory ------------------------------------------------------------
+    def load_word(self, addr: int) -> int:
+        if addr % 4:
+            raise SimulationError(f"unaligned word load at {addr:#x}")
+        return self.memory.get(addr, 0)
+
+    def store_word(self, addr: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if addr == TOHOST_ADDR:
+            self.halted = True
+            self.result = value
+            return
+        if addr == OUTPUT_ADDR:
+            self.outputs.append(value)
+            return
+        if addr % 4:
+            raise SimulationError(f"unaligned word store at {addr:#x}")
+        self.memory[addr] = value
+
+    def _load(self, addr: int, funct3: int) -> int:
+        return load_from(self.memory, addr, funct3)
+
+    def _store(self, addr: int, value: int, funct3: int) -> None:
+        if addr in (TOHOST_ADDR, OUTPUT_ADDR):
+            self.store_word(addr, value)
+            return
+        store_to(self.memory, addr, value, funct3)
+
+    # -- execution -----------------------------------------------------------
+    def _write_reg(self, rd: int, value: int) -> None:
+        if rd != 0:
+            if rd >= self.nregs:
+                raise SimulationError(
+                    f"write to x{rd} on an RV32E ({self.nregs}-register) core"
+                )
+            self.regs[rd] = value & 0xFFFFFFFF
+
+    def step(self) -> None:
+        if self.halted:
+            return
+        instr = self.load_word(self.pc)
+        d = enc.decode(instr)
+        rs1 = self.regs[d.rs1]
+        rs2 = self.regs[d.rs2]
+        next_pc = (self.pc + 4) & 0xFFFFFFFF
+        op = d.opcode
+        if op == enc.OP_LUI:
+            self._write_reg(d.rd, d.imm_u)
+        elif op == enc.OP_AUIPC:
+            self._write_reg(d.rd, self.pc + d.imm_u)
+        elif op == enc.OP_JAL:
+            self._write_reg(d.rd, next_pc)
+            next_pc = (self.pc + d.imm_j) & 0xFFFFFFFF
+        elif op == enc.OP_JALR:
+            self._write_reg(d.rd, next_pc)
+            next_pc = (rs1 + d.imm_i) & 0xFFFFFFFE
+        elif op == enc.OP_BRANCH:
+            taken = self._branch_taken(d.funct3, rs1, rs2)
+            if taken:
+                next_pc = (self.pc + d.imm_b) & 0xFFFFFFFF
+        elif op == enc.OP_LOAD:
+            self._write_reg(d.rd, self._load((rs1 + d.imm_i) & 0xFFFFFFFF,
+                                             d.funct3))
+        elif op == enc.OP_STORE:
+            self._store((rs1 + d.imm_s) & 0xFFFFFFFF, rs2, d.funct3)
+        elif op == enc.OP_IMM:
+            self._write_reg(d.rd, self._alu(d.funct3,
+                                            (d.funct7 if d.funct3 == 0b101
+                                             else 0), rs1,
+                                            d.imm_i & 0xFFFFFFFF,
+                                            imm_mode=True))
+        elif op == enc.OP_REG:
+            if d.funct7 == 0b0000001:
+                self._write_reg(d.rd, self._muldiv(d.funct3, rs1, rs2))
+            else:
+                self._write_reg(d.rd, self._alu(d.funct3, d.funct7, rs1,
+                                                rs2, imm_mode=False))
+        else:
+            raise SimulationError(
+                f"illegal instruction {instr:#010x} at pc {self.pc:#x}")
+        self.pc = next_pc
+        self.instructions_executed += 1
+
+    def _branch_taken(self, funct3: int, rs1: int, rs2: int) -> bool:
+        if funct3 == 0b000:
+            return rs1 == rs2
+        if funct3 == 0b001:
+            return rs1 != rs2
+        if funct3 == 0b100:
+            return to_signed(rs1, 32) < to_signed(rs2, 32)
+        if funct3 == 0b101:
+            return to_signed(rs1, 32) >= to_signed(rs2, 32)
+        if funct3 == 0b110:
+            return rs1 < rs2
+        if funct3 == 0b111:
+            return rs1 >= rs2
+        raise SimulationError(f"bad branch funct3 {funct3:#b}")
+
+    def _muldiv(self, funct3: int, a: int, b: int) -> int:
+        """RV32M semantics, including the division-by-zero and overflow
+        conventions of the RISC-V spec."""
+        sa, sb = to_signed(a, 32), to_signed(b, 32)
+        if funct3 == 0b000:  # mul
+            return (a * b) & 0xFFFFFFFF
+        if funct3 == 0b001:  # mulh
+            return ((sa * sb) >> 32) & 0xFFFFFFFF
+        if funct3 == 0b010:  # mulhsu
+            return ((sa * b) >> 32) & 0xFFFFFFFF
+        if funct3 == 0b011:  # mulhu
+            return ((a * b) >> 32) & 0xFFFFFFFF
+        if funct3 == 0b100:  # div (round toward zero)
+            if b == 0:
+                return 0xFFFFFFFF
+            quotient = -(-sa // sb) if (sa < 0) != (sb < 0) else sa // sb
+            return truncate(quotient, 32)
+        if funct3 == 0b101:  # divu
+            return 0xFFFFFFFF if b == 0 else a // b
+        if funct3 == 0b110:  # rem (sign of dividend)
+            if b == 0:
+                return a
+            quotient = -(-sa // sb) if (sa < 0) != (sb < 0) else sa // sb
+            return truncate(sa - quotient * sb, 32)
+        # remu
+        return a if b == 0 else a % b
+
+    def _alu(self, funct3: int, funct7: int, a: int, b: int,
+             imm_mode: bool) -> int:
+        if funct3 == 0b000:
+            if not imm_mode and funct7 == 0b0100000:
+                return (a - b) & 0xFFFFFFFF
+            return (a + b) & 0xFFFFFFFF
+        if funct3 == 0b001:
+            return (a << (b & 31)) & 0xFFFFFFFF
+        if funct3 == 0b010:
+            return int(to_signed(a, 32) < to_signed(b, 32))
+        if funct3 == 0b011:
+            return int(a < b)
+        if funct3 == 0b100:
+            return a ^ b
+        if funct3 == 0b101:
+            if funct7 == 0b0100000:
+                return truncate(to_signed(a, 32) >> (b & 31), 32)
+            return a >> (b & 31)
+        if funct3 == 0b110:
+            return a | b
+        return a & b
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run to completion; returns the value stored to ``TOHOST``."""
+        for _ in range(max_steps):
+            if self.halted:
+                assert self.result is not None
+                return self.result
+            self.step()
+        raise SimulationError(f"program did not halt within {max_steps} steps")

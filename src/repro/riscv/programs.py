@@ -1,0 +1,426 @@
+"""Benchmark programs for the RV32 cores (assembled in-repo).
+
+``primes`` is the paper's "simple integer arithmetic benchmark" role:
+integer-only trial division (RV32I has no divide, so modulo is computed by
+repeated subtraction — branchy, data-dependent work that exercises hazards
+and the branch predictor).  ``nops`` reproduces case study 3's workload.
+``branchy`` has patterned, predictable branches so the BTB+BHT variant
+shines (case study 4).  All programs end with a store to ``TOHOST``.
+"""
+
+from __future__ import annotations
+
+from .assembler import Program, assemble
+from .golden import OUTPUT_ADDR, TOHOST_ADDR
+
+
+def primes_source(limit: int = 100) -> str:
+    """Count primes strictly below ``limit``; result -> TOHOST."""
+    return f"""
+    # count primes < {limit} by trial division (mod via subtraction)
+        li   s0, 2            # candidate i
+        li   s1, {limit}      # limit
+        li   a0, 0            # prime count
+    outer:
+        bgeu s0, s1, done
+        li   t0, 2            # divisor j
+    inner:
+        bgeu t0, s0, is_prime # j >= i: no divisor found
+        mv   t1, s0           # t1 = i
+    mod_loop:                 # t1 = t1 mod t0 by repeated subtraction
+        bltu t1, t0, mod_done
+        sub  t1, t1, t0
+        j    mod_loop
+    mod_done:
+        beqz t1, not_prime    # divisible -> composite
+        addi t0, t0, 1
+        j    inner
+    is_prime:
+        addi a0, a0, 1
+    not_prime:
+        addi s0, s0, 1
+        j    outer
+    done:
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def nops_source(count: int = 100) -> str:
+    """``count`` NOPs then halt — case study 3's 1-IPC litmus test."""
+    body = "\n".join("        nop" for _ in range(count))
+    return f"""
+{body}
+        li   t2, {TOHOST_ADDR:#x}
+        li   a2, {count}
+        sw   a2, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def arithmetic_source(iterations: int = 64) -> str:
+    """A straight-line-heavy arithmetic mix in a short loop."""
+    return f"""
+        li   s0, 0            # i
+        li   s1, {iterations}
+        li   a0, 0x1234       # accumulator
+    loop:
+        slli t0, a0, 3
+        srli t1, a0, 5
+        xor  t0, t0, t1
+        add  a0, a0, t0
+        andi t2, a0, 0xFF
+        or   a0, a0, t2
+        sub  a2, a0, s0
+        sltu a3, s0, a2
+        add  a0, a0, a3
+        addi s0, s0, 1
+        bltu s0, s1, loop
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def fibonacci_source(n: int = 20) -> str:
+    """Iterative Fibonacci; fib(n) -> TOHOST."""
+    return f"""
+        li   s0, 0            # fib(0)
+        li   s1, 1            # fib(1)
+        li   t0, 0            # i
+        li   t1, {n}
+    loop:
+        bgeu t0, t1, done
+        add  t2, s0, s1
+        mv   s0, s1
+        mv   s1, t2
+        addi t0, t0, 1
+        j    loop
+    done:
+        li   t2, {TOHOST_ADDR:#x}
+        sw   s0, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def sort_source(values=(9, 4, 7, 1, 8, 3, 6, 2, 5, 0)) -> str:
+    """Bubble-sort an in-memory array; weighted checksum -> TOHOST."""
+    n = len(values)
+    words = ", ".join(str(v) for v in values)
+    return f"""
+        la   s0, data
+        li   s1, {n}
+    outer:
+        addi s1, s1, -1
+        blez s1, check
+        li   t0, 0            # index
+        mv   a5, s0
+    inner:
+        bge  t0, s1, outer
+        lw   t1, 0(a5)
+        lw   t2, 4(a5)
+        ble_ok:
+        bge  t2, t1, no_swap
+        sw   t2, 0(a5)
+        sw   t1, 4(a5)
+    no_swap:
+        addi t0, t0, 1
+        addi a5, a5, 4
+        j    inner
+    check:
+        li   a2, 0            # checksum
+        li   t0, 0
+        mv   a5, s0
+    sumloop:
+        lw   t1, 0(a5)
+        slli a3, t0, 2
+        add  a4, t1, a3
+        add  a2, a2, a4
+        addi t0, t0, 1
+        addi a5, a5, 4
+        li   a4, {n}
+        blt  t0, a4, sumloop
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a2, 0(t2)
+    halt:
+        j    halt
+    .org 0x400
+    data:
+        .word {words}
+    """
+
+
+def branchy_source(iterations: int = 200) -> str:
+    """Patterned branches (period-2 and period-4 loops plus a backward
+    loop branch) — the BTB + 2-bit BHT predicts these well, the
+    ``pc + 4`` baseline mispredicts constantly (case study 4)."""
+    return f"""
+        li   s0, 0            # i
+        li   s1, {iterations}
+        li   a0, 0            # acc
+    loop:
+        andi t0, s0, 1        # period-2 pattern
+        beqz t0, even
+        addi a0, a0, 3
+        j    joined
+    even:
+        addi a0, a0, 1
+    joined:
+        andi t1, s0, 3        # period-4 pattern
+        bnez t1, skip
+        slli a0, a0, 1
+    skip:
+        addi s0, s0, 1
+        bltu s0, s1, loop
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def stream_output_source(count: int = 10) -> str:
+    """Writes ``count`` squares to the OUTPUT port then halts (exercises
+    the MMIO output path end to end)."""
+    return f"""
+        li   s0, 0
+        li   s1, {count}
+        li   a1, {OUTPUT_ADDR:#x}
+    loop:
+        bgeu s0, s1, done
+        mv   t0, s0
+        li   t1, 0
+        mv   t2, s0
+    mulloop:                  # t1 = s0 * s0 by repeated addition
+        beqz t2, muldone
+        add  t1, t1, t0
+        addi t2, t2, -1
+        j    mulloop
+    muldone:
+        sw   t1, 0(a1)
+        addi s0, s0, 1
+        j    loop
+    done:
+        li   t2, {TOHOST_ADDR:#x}
+        sw   s0, 0(t2)
+    halt:
+        j    halt
+    """
+
+
+def assemble_program(source: str, max_reg: int = 32) -> Program:
+    return assemble(source, base=0, max_reg=max_reg)
+
+
+def crc32_source(words=(0xDEADBEEF, 0x12345678, 0xCAFEBABE, 0x0BADF00D)) -> str:
+    """Bit-serial CRC-32 (reflected, poly 0xEDB88320) over an in-memory
+    word array; the final CRC goes to TOHOST.  Load/store + branch heavy."""
+    n = len(words)
+    data = ", ".join(str(w) for w in words)
+    return f"""
+        la   s0, data
+        li   s1, {n}
+        li   a0, 0xFFFFFFFF    # crc
+        li   a1, 0xEDB88320    # polynomial
+    word_loop:
+        beqz s1, done
+        lw   t0, 0(s0)
+        xor  a0, a0, t0
+        li   t1, 32
+    bit_loop:
+        andi t2, a0, 1
+        srli a0, a0, 1
+        beqz t2, no_xor
+        xor  a0, a0, a1
+    no_xor:
+        addi t1, t1, -1
+        bnez t1, bit_loop
+        addi s0, s0, 4
+        addi s1, s1, -1
+        j    word_loop
+    done:
+        not  a0, a0
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    .org 0x400
+    data:
+        .word {data}
+    """
+
+
+def crc32_reference(words=(0xDEADBEEF, 0x12345678, 0xCAFEBABE, 0x0BADF00D)) -> int:
+    """Software model of :func:`crc32_source` (word-at-a-time variant)."""
+    crc = 0xFFFFFFFF
+    for word in words:
+        crc ^= word
+        for _ in range(32):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+def matmul_source(n: int = 3) -> str:
+    """Dense n x n integer matrix multiply using the M extension's ``mul``
+    (requires an rv32im core); the trace of the product goes to TOHOST."""
+    a = [[(i * n + j + 1) for j in range(n)] for i in range(n)]
+    b = [[((i + 2) * (j + 1)) % 17 for j in range(n)] for i in range(n)]
+    a_words = ", ".join(str(x) for row in a for x in row)
+    b_words = ", ".join(str(x) for row in b for x in row)
+    return f"""
+        li   s0, 0             # i
+        li   a5, 0             # trace accumulator
+    row_loop:
+        li   s1, 0             # j
+    col_loop:
+        li   a0, 0             # dot product
+        li   t0, 0             # k
+    dot_loop:
+        # a[i][k]
+        li   t1, {n}
+        mul  t2, s0, t1
+        add  t2, t2, t0
+        slli t2, t2, 2
+        la   t3, mat_a
+        add  t3, t3, t2
+        lw   t4, 0(t3)
+        # b[k][j]
+        mul  t2, t0, t1
+        add  t2, t2, s1
+        slli t2, t2, 2
+        la   t3, mat_b
+        add  t3, t3, t2
+        lw   t1, 0(t3)
+        mul  t4, t4, t1
+        add  a0, a0, t4
+        addi t0, t0, 1
+        li   t1, {n}
+        bltu t0, t1, dot_loop
+        # accumulate diagonal elements into the trace
+        bne  s0, s1, skip_trace
+        add  a5, a5, a0
+    skip_trace:
+        addi s1, s1, 1
+        li   t1, {n}
+        bltu s1, t1, col_loop
+        addi s0, s0, 1
+        li   t1, {n}
+        bltu s0, t1, row_loop
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a5, 0(t2)
+    halt:
+        j    halt
+    .org 0x400
+    mat_a:
+        .word {a_words}
+    .org 0x600
+    mat_b:
+        .word {b_words}
+    """
+
+
+def matmul_reference(n: int = 3) -> int:
+    """Trace of the product computed by :func:`matmul_source`."""
+    a = [[(i * n + j + 1) for j in range(n)] for i in range(n)]
+    b = [[((i + 2) * (j + 1)) % 17 for j in range(n)] for i in range(n)]
+    trace = 0
+    for i in range(n):
+        trace += sum(a[i][k] * b[k][i] for k in range(n))
+    return trace & 0xFFFFFFFF
+
+
+def gcd_chain_source(pairs=((270, 192), (1071, 462), (35, 64))) -> str:
+    """Euclid's algorithm (subtraction form) over several pairs; the sum
+    of the GCDs goes to TOHOST.  Data-dependent branches galore."""
+    flattened = ", ".join(f"{a}, {b}" for a, b in pairs)
+    return f"""
+        la   s0, data
+        li   s1, {len(pairs)}
+        li   a0, 0             # sum of gcds
+    pair_loop:
+        beqz s1, done
+        lw   t0, 0(s0)
+        lw   t1, 4(s0)
+    gcd_loop:
+        beq  t0, t1, gcd_done
+        bltu t0, t1, swap_sub
+        sub  t0, t0, t1
+        j    gcd_loop
+    swap_sub:
+        sub  t1, t1, t0
+        j    gcd_loop
+    gcd_done:
+        add  a0, a0, t0
+        addi s0, s0, 8
+        addi s1, s1, -1
+        j    pair_loop
+    done:
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    .org 0x400
+    data:
+        .word {flattened}
+    """
+
+
+def byte_ops_source() -> str:
+    """Byte/halfword loads and stores (lb/lbu/lh/lhu/sb/sh): copies a
+    packed string byte-by-byte, builds a checksum mixing signed and
+    unsigned sub-word loads; checksum -> TOHOST."""
+    return f"""
+        la   s0, src_data
+        la   s1, dst_data
+        li   t0, 12           # bytes to copy
+    copy_loop:
+        beqz t0, verify
+        lb   t1, 0(s0)        # signed byte load
+        sb   t1, 0(s1)
+        addi s0, s0, 1
+        addi s1, s1, 1
+        addi t0, t0, -1
+        j    copy_loop
+    verify:
+        la   s1, dst_data
+        li   a0, 0            # checksum
+        li   t0, 12
+        li   t2, 0
+    sum_loop:
+        beqz t0, halves
+        lbu  t1, 0(s1)        # unsigned reload of what we stored
+        add  a0, a0, t1
+        lb   t1, 0(s1)        # signed reload mixes in sign extension
+        xor  a0, a0, t1
+        addi s1, s1, 1
+        addi t0, t0, -1
+        j    sum_loop
+    halves:
+        la   s1, dst_data
+        lh   t1, 0(s1)        # signed halfword
+        add  a0, a0, t1
+        lhu  t1, 2(s1)        # unsigned halfword
+        add  a0, a0, t1
+        li   t1, 0xBEEF
+        sh   t1, 4(s1)        # halfword store
+        lhu  t1, 4(s1)
+        add  a0, a0, t1
+        li   t2, {TOHOST_ADDR:#x}
+        sw   a0, 0(t2)
+    halt:
+        j    halt
+    .org 0x400
+    src_data:
+        .word 0x818243C4, 0x7F80FF01, 0x00112233
+    .org 0x500
+    dst_data:
+        .word 0, 0, 0
+    """

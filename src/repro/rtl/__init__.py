@@ -1,0 +1,17 @@
+"""The synthesis path: circuit lowering, Verilog, and RTL-level simulators."""
+
+from .bluespec import compile_bluespec_sim, conflict_matrix, lower_design_bluespec
+from .circuit import Netlist
+from .cycle_sim import RtlSimBase, compile_cycle_sim, generate_cycle_sim
+from .event_sim import EventSim
+from .lower import lower_design
+from .stats import NetlistStats, analyze_netlist, compare_lowerings, stats_report
+from .verilog import generate_verilog, verilog_sloc
+
+__all__ = [
+    "Netlist", "RtlSimBase", "EventSim",
+    "compile_cycle_sim", "generate_cycle_sim", "lower_design",
+    "compile_bluespec_sim", "conflict_matrix", "lower_design_bluespec",
+    "generate_verilog", "verilog_sloc",
+    "NetlistStats", "analyze_netlist", "compare_lowerings", "stats_report",
+]

@@ -1,0 +1,282 @@
+"""Netlist IR for the synthesis path.
+
+A :class:`Netlist` is a pool of hash-consed, constant-folded combinational
+nodes plus, per design register, the node computing its next value.  Nodes
+are created bottom-up, so node-id order *is* a topological order — both
+simulators and the Verilog emitter rely on this.
+
+This mirrors the circuit representation of Kôika's verified compiler
+("The Essence of Bluespec", PLDI 2020): muxes, primitive operations,
+register reads, and external-function calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+from ..koika.types import mask, to_signed, truncate
+
+
+class Node:
+    __slots__ = ("nid", "width")
+
+    def __init__(self, nid: int, width: int):
+        self.nid = nid
+        self.width = width
+
+    def children(self) -> Tuple["Node", ...]:
+        return ()
+
+
+class NConst(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, width: int, value: int):
+        super().__init__(nid, width)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"n{self.nid}=const<{self.width}>({self.value})"
+
+
+class NReg(Node):
+    """The value of a design register at the beginning of the cycle."""
+
+    __slots__ = ("reg",)
+
+    def __init__(self, nid: int, width: int, reg: str):
+        super().__init__(nid, width)
+        self.reg = reg
+
+    def __repr__(self) -> str:
+        return f"n{self.nid}=reg({self.reg})"
+
+
+class NOp(Node):
+    __slots__ = ("op", "args", "param")
+
+    def __init__(self, nid: int, width: int, op: str,
+                 args: Tuple[Node, ...], param=None):
+        super().__init__(nid, width)
+        self.op = op
+        self.args = args
+        self.param = param
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        args = ",".join(f"n{a.nid}" for a in self.args)
+        return f"n{self.nid}={self.op}({args})"
+
+
+class NExt(Node):
+    """External-function call (cycle-pure, so calls with equal arguments
+    are hash-consed into a single node)."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, nid: int, width: int, fn: str, arg: Node):
+        super().__init__(nid, width)
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        return f"n{self.nid}=ext {self.fn}(n{self.arg.nid})"
+
+
+def eval_op(op: str, values: Sequence[int], width: int,
+            arg_widths: Sequence[int], param=None) -> int:
+    """Evaluate one combinational op.  Shared by constant folding and the
+    event-driven simulator (the compiled simulator emits inline code)."""
+    if op == "mux":
+        return values[1] if values[0] else values[2]
+    if op == "not":
+        return values[0] ^ mask(width)
+    if op == "neg":
+        return (-values[0]) & mask(width)
+    if op == "zextl":
+        return values[0]
+    if op == "sextl":
+        return truncate(to_signed(values[0], arg_widths[0]), width)
+    if op == "slice":
+        offset, slice_width = param
+        return (values[0] >> offset) & mask(slice_width)
+    a = values[0]
+    b = values[1] if len(values) > 1 else 0
+    in_width = arg_widths[0]
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "add":
+        return (a + b) & mask(width)
+    if op == "sub":
+        return (a - b) & mask(width)
+    if op == "mul":
+        return (a * b) & mask(width)
+    if op == "divu":
+        return a // b if b else mask(width)
+    if op == "remu":
+        return a % b if b else a
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "ltu":
+        return int(a < b)
+    if op == "leu":
+        return int(a <= b)
+    if op == "gtu":
+        return int(a > b)
+    if op == "geu":
+        return int(a >= b)
+    if op == "lts":
+        return int(to_signed(a, in_width) < to_signed(b, in_width))
+    if op == "les":
+        return int(to_signed(a, in_width) <= to_signed(b, in_width))
+    if op == "gts":
+        return int(to_signed(a, in_width) > to_signed(b, in_width))
+    if op == "ges":
+        return int(to_signed(a, in_width) >= to_signed(b, in_width))
+    if op == "sll":
+        return (a << b) & mask(in_width) if b < in_width else 0
+    if op == "srl":
+        return a >> b if b < in_width else 0
+    if op == "sra":
+        return truncate(to_signed(a, in_width) >> min(b, in_width), in_width)
+    if op == "concat":
+        return (a << arg_widths[1]) | b
+    if op == "sel":
+        return (a >> b) & 1 if b < in_width else 0
+    raise CompileError(f"unknown circuit op {op!r}")
+
+
+class Netlist:
+    """Hash-consing node pool with constant-folding smart constructors."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: List[Node] = []
+        self._interned: Dict[tuple, Node] = {}
+        #: reg name -> (width, init, NReg node)
+        self.registers: Dict[str, Tuple[int, int, NReg]] = {}
+        #: reg name -> node computing its next value
+        self.next_values: Dict[str, Node] = {}
+        #: rule name -> will-fire node (1-bit)
+        self.will_fire: Dict[str, Node] = {}
+
+    # -- construction --------------------------------------------------------
+    def _add(self, factory: Callable[[int], Node]) -> Node:
+        node = factory(len(self.nodes))
+        self.nodes.append(node)
+        return node
+
+    def _intern(self, key: tuple, factory: Callable[[int], Node]) -> Node:
+        node = self._interned.get(key)
+        if node is None:
+            node = self._add(factory)
+            self._interned[key] = node
+        return node
+
+    def const(self, value: int, width: int) -> Node:
+        value &= mask(width)
+        return self._intern(("const", width, value),
+                            lambda nid: NConst(nid, width, value))
+
+    def reg(self, name: str, width: int, init: int) -> NReg:
+        if name in self.registers:
+            return self.registers[name][2]
+        node = self._add(lambda nid: NReg(nid, width, name))
+        self.registers[name] = (width, init, node)
+        return node
+
+    def ext(self, fn: str, arg: Node, width: int) -> Node:
+        return self._intern(("ext", fn, arg.nid),
+                            lambda nid: NExt(nid, width, fn, arg))
+
+    def op(self, op: str, args: Sequence[Node], width: int, param=None) -> Node:
+        args = tuple(args)
+        # Constant folding.
+        if all(isinstance(a, NConst) for a in args):
+            value = eval_op(op, [a.value for a in args], width,
+                            [a.width for a in args], param)
+            return self.const(value, width)
+        key = ("op", op, param, tuple(a.nid for a in args))
+        return self._intern(key, lambda nid: NOp(nid, width, op, args, param))
+
+    # -- boolean smart constructors (heavily used by the scheduler logic) ----
+    def true(self) -> Node:
+        return self.const(1, 1)
+
+    def false(self) -> Node:
+        return self.const(0, 1)
+
+    def and_(self, a: Node, b: Node) -> Node:
+        if isinstance(a, NConst):
+            return b if a.value else self.false()
+        if isinstance(b, NConst):
+            return a if b.value else self.false()
+        if a.nid == b.nid:
+            return a
+        return self.op("and", (a, b), 1)
+
+    def or_(self, a: Node, b: Node) -> Node:
+        if isinstance(a, NConst):
+            return self.true() if a.value else b
+        if isinstance(b, NConst):
+            return self.true() if b.value else a
+        if a.nid == b.nid:
+            return a
+        return self.op("or", (a, b), 1)
+
+    def not_(self, a: Node) -> Node:
+        if isinstance(a, NConst):
+            return self.const(a.value ^ 1, 1)
+        return self.op("not", (a,), 1)
+
+    def mux(self, sel: Node, a: Node, b: Node) -> Node:
+        if isinstance(sel, NConst):
+            return a if sel.value else b
+        if a.nid == b.nid:
+            return a
+        if a.width == 1 and isinstance(a, NConst) and isinstance(b, NConst):
+            # mux(s, 1, 0) = s ; mux(s, 0, 1) = !s
+            if a.value == 1 and b.value == 0:
+                return sel
+            if a.value == 0 and b.value == 1:
+                return self.not_(sel)
+        return self.op("mux", (sel, a, b), a.width)
+
+    # -- queries -----------------------------------------------------------------
+    def reachable(self) -> List[Node]:
+        """Nodes reachable from the roots, in topological (id) order.
+
+        Roots are register next-values, will-fire signals, and every
+        external call: even a call whose result is unused drives a module
+        output the testbench may observe, so it is never eliminated."""
+        marked = [False] * len(self.nodes)
+        stack = [n for n in self.next_values.values()]
+        stack += [n for n in self.will_fire.values()]
+        stack += [n for n in self.nodes if isinstance(n, NExt)]
+        while stack:
+            node = stack.pop()
+            if marked[node.nid]:
+                continue
+            marked[node.nid] = True
+            stack.extend(node.children())
+        return [n for n in self.nodes if marked[n.nid]]
+
+    def stats(self) -> Dict[str, int]:
+        reachable = self.reachable()
+        kinds: Dict[str, int] = {}
+        for node in reachable:
+            kind = type(node).__name__
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {"total": len(reachable), **kinds}

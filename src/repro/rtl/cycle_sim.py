@@ -1,0 +1,303 @@
+"""Compiled cycle-accurate netlist simulation — the Verilator analogue.
+
+Like Verilator translating Verilog to C, this translates a lowered netlist
+to a single Python function that evaluates every reachable node once per
+cycle (in topological order) and then latches all registers.  No early
+exits, no skipped work: the cost model is exactly the one §2.3 analyzes —
+``|mux| + |st == A| + |fA| + |fB|`` per cycle, whether or not a rule fires.
+"""
+
+from __future__ import annotations
+
+import linecache
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import CompileError, SimulationError
+from ..harness.env import Environment
+from ..koika.design import Design
+from ..koika.types import mask
+from .circuit import NConst, NExt, NOp, NReg, Netlist, Node
+from .lower import lower_design
+
+
+class RtlSimBase:
+    """Base class of compiled RTL simulators (shared with the Bluespec-style
+    lowering's output)."""
+
+    DESIGN_NAME = "?"
+    BACKEND = "rtl-cycle"
+    REG_NAMES: Sequence[str] = ()
+    REG_INIT: Sequence[int] = ()
+    REG_IDS: Dict[str, int] = {}
+    RULE_NAMES: Sequence[str] = ()
+    SOURCE = ""
+
+    def __init__(self, env: Optional[Environment] = None):
+        self._env = env or Environment()
+        self.cycle = 0
+        self._bind_extfuns()
+        self.reset()
+
+    def _bind_extfuns(self) -> None:
+        pass
+
+    @property
+    def backend_name(self) -> str:
+        return self.BACKEND
+
+    def reset(self) -> None:
+        self.cycle = 0
+        self._state = list(self.REG_INIT)
+        self._wf = [0] * len(self.RULE_NAMES)
+
+    def peek(self, register: str) -> int:
+        index = self.REG_IDS.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        return int(self._state[index])
+
+    def poke(self, register: str, value: int) -> None:
+        index = self.REG_IDS.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        self._state[index] = int(value) & self.REG_MASKS[index]
+
+    REG_MASKS: Sequence[int] = ()
+
+    def run_cycle(self, order: Optional[Sequence[str]] = None):
+        if order is not None:
+            raise SimulationError(
+                "RTL simulators execute fixed hardware; rule order cannot be "
+                "overridden (use a Cuttlesim model for scheduler exploration)"
+            )
+        return self._cycle_report()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self._cycle()
+
+    def run_until(self, predicate: Callable[["RtlSimBase"], bool],
+                  max_cycles: int = 10_000_000) -> int:
+        for elapsed in range(max_cycles):
+            if predicate(self):
+                return elapsed
+            self._cycle()
+        raise SimulationError(f"predicate not reached within {max_cycles} cycles")
+
+    def _cycle(self) -> None:
+        raise NotImplementedError
+
+    def _cycle_report(self) -> List[str]:
+        self._cycle()
+        wf = self._wf
+        return [name for name, fired in zip(self.RULE_NAMES, wf) if fired]
+
+    def will_fire(self) -> Dict[str, bool]:
+        """Which rules fired in the last executed cycle."""
+        return {name: bool(fired)
+                for name, fired in zip(self.RULE_NAMES, self._wf)}
+
+    def snapshot(self):
+        return (self.cycle, list(self._state))
+
+    def restore(self, snapshot) -> None:
+        self.cycle, state = snapshot
+        self._state = list(state)
+
+    def state_dict(self) -> Dict[str, int]:
+        return {name: int(self._state[i])
+                for i, name in enumerate(self.REG_NAMES)}
+
+
+def _hex(value: int) -> str:
+    return str(value) if -10 < value < 10 else hex(value)
+
+
+def node_expr(node: Node, ref: Callable[[Node], str]) -> str:
+    """Python expression computing ``node`` given ``ref`` for children."""
+    if isinstance(node, NOp):
+        op = node.op
+        args = node.args
+        a = ref(args[0])
+        width = node.width
+        in_width = args[0].width
+        if op == "mux":
+            return f"({ref(args[1])} if {a} else {ref(args[2])})"
+        if op == "not":
+            return f"({a} ^ {_hex(mask(width))})"
+        if op == "neg":
+            return f"(-{a} & {_hex(mask(width))})"
+        if op == "zextl":
+            return a
+        if op == "sextl":
+            if in_width == 0:
+                return "0"
+            sign = _hex(1 << (in_width - 1))
+            high = _hex(mask(width) - mask(in_width))
+            return f"(({a} | {high}) if {a} & {sign} else {a})"
+        if op == "slice":
+            offset, slice_width = node.param
+            if offset == 0:
+                return f"({a} & {_hex(mask(slice_width))})"
+            return f"(({a} >> {offset}) & {_hex(mask(slice_width))})"
+        b = ref(args[1])
+        if op in ("and", "or", "xor"):
+            symbol = {"and": "&", "or": "|", "xor": "^"}[op]
+            return f"({a} {symbol} {b})"
+        if op == "add":
+            return f"(({a} + {b}) & {_hex(mask(width))})"
+        if op == "sub":
+            return f"(({a} - {b}) & {_hex(mask(width))})"
+        if op == "mul":
+            return f"(({a} * {b}) & {_hex(mask(width))})"
+        if op == "divu":
+            return f"(({a} // {b}) if {b} else {_hex(mask(width))})"
+        if op == "remu":
+            return f"(({a} % {b}) if {b} else {a})"
+        if op in ("eq", "ne", "ltu", "leu", "gtu", "geu"):
+            py = {"eq": "==", "ne": "!=", "ltu": "<",
+                  "leu": "<=", "gtu": ">", "geu": ">="}[op]
+            return f"+({a} {py} {b})"
+        if op in ("lts", "les", "gts", "ges"):
+            py = {"lts": "<", "les": "<=", "gts": ">", "ges": ">="}[op]
+            half, full = _hex(1 << (in_width - 1)), _hex(1 << in_width)
+            return (f"+(_sgn({a}, {half}, {full}) {py} "
+                    f"_sgn({b}, {half}, {full}))")
+        if op == "concat":
+            return f"(({a} << {args[1].width}) | {b})"
+        if op == "sll":
+            if isinstance(args[1], NConst):
+                shift = args[1].value
+                return "0" if shift >= in_width else \
+                    f"(({a} << {shift}) & {_hex(mask(in_width))})"
+            return (f"((({a} << {b}) & {_hex(mask(in_width))}) "
+                    f"if {b} < {in_width} else 0)")
+        if op == "srl":
+            if isinstance(args[1], NConst):
+                shift = args[1].value
+                return "0" if shift >= in_width else f"({a} >> {shift})"
+            return f"(({a} >> {b}) if {b} < {in_width} else 0)"
+        if op == "sra":
+            half, full = _hex(1 << (in_width - 1)), _hex(1 << in_width)
+            shift = (str(min(args[1].value, in_width))
+                     if isinstance(args[1], NConst)
+                     else f"({b} if {b} < {in_width} else {in_width})")
+            return (f"((_sgn({a}, {half}, {full}) >> {shift}) "
+                    f"& {_hex(mask(in_width))})")
+        if op == "sel":
+            if isinstance(args[1], NConst):
+                shift = args[1].value
+                return "0" if shift >= in_width else f"(({a} >> {shift}) & 1)"
+            return f"((({a} >> {b}) & 1) if {b} < {in_width} else 0)"
+        raise CompileError(f"unknown circuit op {op!r}")
+    raise CompileError(f"node_expr on {type(node).__name__}")
+
+
+_compile_counter = 0
+
+
+def generate_cycle_sim(netlist: Netlist, design: Design) -> str:
+    """Generate the Python source of a compiled cycle simulator."""
+    reg_names = list(netlist.registers)
+    reg_index = {name: i for i, name in enumerate(reg_names)}
+
+    def ref(node: Node) -> str:
+        if isinstance(node, NConst):
+            return _hex(node.value)
+        if isinstance(node, NReg):
+            return f"S[{reg_index[node.reg]}]"
+        return f"n{node.nid}"
+
+    lines: List[str] = []
+    add = lines.append
+    add(f'"""Compiled cycle-accurate RTL simulation of {netlist.name!r}.')
+    add("")
+    add("Verilator-style: every reachable netlist node is evaluated once per")
+    add("cycle in topological order, then all registers latch simultaneously.")
+    stats = netlist.stats()
+    add(f"Netlist: {stats}")
+    add('"""')
+    add("")
+    add("def _sgn(v, half, full):")
+    add("    return v - full if v >= half else v")
+    add("")
+    add("class Model(RtlSimBase):")
+    add(f"    DESIGN_NAME = {netlist.name!r}")
+    add(f"    REG_NAMES = {tuple(reg_names)!r}")
+    init = tuple(netlist.registers[r][1] for r in reg_names)
+    add(f"    REG_INIT = {init!r}")
+    add(f"    REG_IDS = {dict((n, i) for i, n in enumerate(reg_names))!r}")
+    masks_tuple = tuple(mask(netlist.registers[r][0]) for r in reg_names)
+    add(f"    REG_MASKS = {masks_tuple!r}")
+    add(f"    RULE_NAMES = {tuple(design.scheduler)!r}")
+    add("")
+    extfuns = sorted({n.fn for n in netlist.nodes if isinstance(n, NExt)})
+    if extfuns:
+        add("    def _bind_extfuns(self):")
+        for fn in extfuns:
+            add(f"        self._ext_{fn} = self._env.resolve({fn!r})")
+        add("")
+    add("    def _cycle(self):")
+    add("        env = self._env")
+    add("        env.before_cycle(self)")
+    add("        S = self._state")
+    for fn in extfuns:
+        add(f"        _ext_{fn} = self._ext_{fn}")
+    emitted = 0
+    for node in netlist.reachable():
+        if isinstance(node, (NConst, NReg)):
+            continue
+        if isinstance(node, NExt):
+            ret_mask = _hex(mask(node.width))
+            add(f"        n{node.nid} = _ext_{node.fn}({ref(node.arg)}) "
+                f"& {ret_mask}")
+        else:
+            add(f"        n{node.nid} = {node_expr(node, ref)}")
+        emitted += 1
+    add("        _wf = self._wf")
+    for i, rule in enumerate(design.scheduler):
+        add(f"        _wf[{i}] = {ref(netlist.will_fire[rule])}")
+    # Latch all registers simultaneously (Verilog's non-blocking `<=`):
+    # next values that reference S[...] directly must be read before any
+    # register is updated, so they are staged into temporaries first.
+    staged: Dict[str, str] = {}
+    for name in reg_names:
+        next_node = netlist.next_values[name]
+        expr = ref(next_node)
+        if isinstance(next_node, NReg):
+            if next_node.reg == name:
+                continue  # register keeps its value: no assignment at all
+            temp = f"_next{reg_index[name]}"
+            add(f"        {temp} = {expr}")
+            staged[name] = temp
+        else:
+            staged[name] = expr
+    for name, expr in staged.items():
+        add(f"        S[{reg_index[name]}] = {expr}")
+    add("        self.cycle += 1")
+    add("        env.after_cycle(self)")
+    add("")
+    return "\n".join(lines) + "\n"
+
+
+def compile_cycle_sim(design: Design, netlist: Optional[Netlist] = None,
+                      host_optimize: int = -1):
+    """Lower (if needed) and compile a design to an RTL cycle simulator.
+
+    ``host_optimize`` is forwarded to CPython's ``compile`` (the Figure 3
+    toolchain-sensitivity knob)."""
+    global _compile_counter
+    if netlist is None:
+        netlist = lower_design(design)
+    source = generate_cycle_sim(netlist, design)
+    _compile_counter += 1
+    filename = f"<rtl-cycle:{design.name}#{_compile_counter}>"
+    namespace: Dict[str, object] = {"RtlSimBase": RtlSimBase}
+    exec(compile(source, filename, "exec", optimize=host_optimize), namespace)
+    cls = namespace["Model"]
+    cls.SOURCE = source
+    cls.NETLIST = netlist
+    cls.DESIGN = design
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    return cls

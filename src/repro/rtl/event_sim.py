@@ -1,0 +1,144 @@
+"""Event-driven netlist simulation — the Icarus Verilog analogue.
+
+Instead of compiling the netlist to straight-line code, this simulator
+keeps the netlist as a graph and propagates value *changes* through it
+(activity-based evaluation), the classic approach of general-purpose
+event-driven Verilog simulators.  As §4.1 notes about Icarus and CVC, this
+is orders of magnitude slower than compiled cycle-based simulation —
+``benchmarks/bench_event_sim.py`` reproduces that observation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..harness.env import Environment
+from ..koika.design import Design
+from ..koika.types import mask
+from .circuit import NConst, NExt, NOp, NReg, Netlist, Node, eval_op
+from .lower import lower_design
+
+
+class EventSim:
+    """Event-driven simulator over a lowered netlist."""
+
+    backend_name = "rtl-event"
+
+    def __init__(self, design: Design, env: Optional[Environment] = None,
+                 netlist: Optional[Netlist] = None):
+        self.design = design
+        self.netlist = netlist or lower_design(design)
+        self._env = env or Environment()
+        self.cycle = 0
+        nl = self.netlist
+        self._order: List[Node] = nl.reachable()
+        self._reg_names = list(nl.registers)
+        self._reg_index = {name: i for i, name in enumerate(self._reg_names)}
+        self._reg_node = {name: nl.registers[name][2].nid
+                          for name in self._reg_names}
+        self._masks = [mask(nl.registers[name][0]) for name in self._reg_names]
+        total = len(nl.nodes)
+        self._values: List[int] = [0] * total
+        self._fresh = True
+        self.reset()
+
+    def reset(self) -> None:
+        self.cycle = 0
+        nl = self.netlist
+        self._state: List[int] = [nl.registers[name][1]
+                                  for name in self._reg_names]
+        self._fresh = True
+        self._wf: List[int] = [0] * len(self.design.scheduler)
+
+    # -- SimHandle ----------------------------------------------------------
+    def peek(self, register: str) -> int:
+        index = self._reg_index.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        return self._state[index]
+
+    def poke(self, register: str, value: int) -> None:
+        index = self._reg_index.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        self._state[index] = int(value) & self._masks[index]
+
+    # -- execution -----------------------------------------------------------
+    def _cycle(self) -> None:
+        env = self._env
+        env.before_cycle(self)
+        values = self._values
+        changed = bytearray(len(self.netlist.nodes))
+        force = self._fresh
+        self._fresh = False
+        for node in self._order:
+            nid = node.nid
+            if isinstance(node, NConst):
+                if force:
+                    values[nid] = node.value
+                    changed[nid] = 1
+                continue
+            if isinstance(node, NReg):
+                new = self._state[self._reg_index[node.reg]]
+                if force or values[nid] != new:
+                    values[nid] = new
+                    changed[nid] = 1
+                continue
+            if isinstance(node, NExt):
+                # The environment may answer differently each cycle, so
+                # external calls are always (re)scheduled — like testbench
+                # events in an event-driven simulator.
+                new = env.extcall(node.fn, values[node.arg.nid]) & mask(node.width)
+                if force or values[nid] != new:
+                    values[nid] = new
+                    changed[nid] = 1
+                continue
+            # Combinational op: only re-evaluate on input activity.
+            args = node.args
+            active = force
+            if not active:
+                for arg in args:
+                    if changed[arg.nid]:
+                        active = True
+                        break
+            if not active:
+                continue
+            new = eval_op(node.op, [values[a.nid] for a in args],
+                          node.width, [a.width for a in args], node.param)
+            if force or values[nid] != new:
+                values[nid] = new
+                changed[nid] = 1
+        nl = self.netlist
+        for i, rule in enumerate(self.design.scheduler):
+            self._wf[i] = values[nl.will_fire[rule].nid]
+        for i, name in enumerate(self._reg_names):
+            self._state[i] = values[nl.next_values[name].nid]
+        self.cycle += 1
+        env.after_cycle(self)
+
+    def _cycle_report(self) -> List[str]:
+        self._cycle()
+        return [name for name, fired in zip(self.design.scheduler, self._wf)
+                if fired]
+
+    def run_cycle(self, order: Optional[Sequence[str]] = None) -> List[str]:
+        if order is not None:
+            raise SimulationError("event-driven RTL simulation has a fixed "
+                                  "schedule")
+        return self._cycle_report()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self._cycle()
+
+    def run_until(self, predicate: Callable[["EventSim"], bool],
+                  max_cycles: int = 10_000_000) -> int:
+        for elapsed in range(max_cycles):
+            if predicate(self):
+                return elapsed
+            self._cycle()
+        raise SimulationError(f"predicate not reached within {max_cycles} cycles")
+
+    def state_dict(self) -> Dict[str, int]:
+        return dict(zip(self._reg_names, self._state))

@@ -1,0 +1,295 @@
+"""Lowering Kôika designs to circuits (the synthesis path).
+
+This transcribes the strategy of Kôika's verified compiler (§2.2): one
+circuit per rule, compiled in isolation against the incoming cycle-log
+signals, then wired together in scheduler order.  Every rule's circuit is
+computed *every* cycle; scheduling logic decides, a posteriori, whose
+results commit.  That is precisely the structure whose software-simulation
+cost the paper analyzes: the generated netlist contains the work of all
+rules plus read-write-set tracking circuitry, all evaluated uncondi-
+tionally.
+
+Failure flags are 1-bit nodes; aggressive constant folding in the netlist
+builder removes the tracking circuitry that is statically inert, just like
+Kôika's real compiler.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..errors import CompileError
+from ..koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from ..koika.design import Design
+from ..koika.types import StructType, mask
+from .circuit import Netlist, Node
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20000))
+
+
+class _Entry:
+    """Per-register log signals: four 1-bit flags plus two data wires."""
+
+    __slots__ = ("rd0", "rd1", "wr0", "wr1", "data0", "data1")
+
+    def __init__(self, rd0: Node, rd1: Node, wr0: Node, wr1: Node,
+                 data0: Node, data1: Node):
+        self.rd0 = rd0
+        self.rd1 = rd1
+        self.wr0 = wr0
+        self.wr1 = wr1
+        self.data0 = data0
+        self.data1 = data1
+
+
+class _Ctx:
+    """Mutable compilation context threaded through a rule body."""
+
+    __slots__ = ("log", "vars", "canfire")
+
+    def __init__(self, log: Dict[str, _Entry], vars: Dict[str, Node],
+                 canfire: Node):
+        self.log = log
+        self.vars = vars
+        self.canfire = canfire
+
+    def fork(self) -> "_Ctx":
+        return _Ctx(dict(self.log), dict(self.vars), self.canfire)
+
+
+class _RuleCompiler:
+    def __init__(self, netlist: Netlist, design: Design,
+                 cycle_log: Dict[str, _Entry]):
+        self.nl = netlist
+        self.design = design
+        self.cycle_log = cycle_log
+
+    def compile_rule(self, body: Action) -> Tuple[Dict[str, _Entry], Node]:
+        nl = self.nl
+        false = nl.false()
+        log = {}
+        for name, (width, init, regnode) in nl.registers.items():
+            log[name] = _Entry(false, false, false, false, regnode, regnode)
+        ctx = _Ctx(log, {}, nl.true())
+        self._compile(body, ctx)
+        return ctx.log, ctx.canfire
+
+    # ------------------------------------------------------------------
+    def _compile(self, node: Action, ctx: _Ctx) -> Node:
+        nl = self.nl
+        if isinstance(node, Const):
+            return nl.const(node.value, node.typ.width)
+        if isinstance(node, Var):
+            return ctx.vars[node.name]
+        if isinstance(node, Let):
+            value = self._compile(node.value, ctx)
+            saved = ctx.vars.get(node.name)
+            ctx.vars[node.name] = value
+            result = self._compile(node.body, ctx)
+            if saved is None:
+                ctx.vars.pop(node.name, None)
+            else:
+                ctx.vars[node.name] = saved
+            return result
+        if isinstance(node, Assign):
+            ctx.vars[node.name] = self._compile(node.value, ctx)
+            return nl.const(0, 0)
+        if isinstance(node, Seq):
+            result = nl.const(0, 0)
+            for action in node.actions:
+                result = self._compile(action, ctx)
+            return result
+        if isinstance(node, If):
+            return self._compile_if(node, ctx)
+        if isinstance(node, Abort):
+            ctx.canfire = nl.false()
+            return nl.const(0, node.typ.width)
+        if isinstance(node, Read):
+            return self._compile_read(node, ctx)
+        if isinstance(node, Write):
+            return self._compile_write(node, ctx)
+        if isinstance(node, Unop):
+            arg = self._compile(node.arg, ctx)
+            return nl.op(node.op, (arg,), node.typ.width, node.param)
+        if isinstance(node, Binop):
+            a = self._compile(node.a, ctx)
+            b = self._compile(node.b, ctx)
+            return nl.op(node.op, (a, b), node.typ.width)
+        if isinstance(node, GetField):
+            arg = self._compile(node.arg, ctx)
+            struct = node.arg.typ
+            assert isinstance(struct, StructType)
+            offset = struct.field_offset(node.field_name)
+            width = struct.field_type(node.field_name).width
+            return nl.op("slice", (arg,), width, (offset, width))
+        if isinstance(node, SubstField):
+            return self._compile_substfield(node, ctx)
+        if isinstance(node, ExtCall):
+            arg = self._compile(node.arg, ctx)
+            return nl.ext(node.fn, arg, node.typ.width)
+        if isinstance(node, Call):
+            fn = self.design.fns[node.fn]
+            args = [self._compile(a, ctx) for a in node.args]
+            saved_vars = ctx.vars
+            ctx.vars = {name: value for (name, _), value in zip(fn.args, args)}
+            result = self._compile(fn.body, ctx)
+            ctx.vars = saved_vars
+            return result
+        raise CompileError(f"cannot lower {type(node).__name__}")
+
+    def _compile_if(self, node: If, ctx: _Ctx) -> Node:
+        nl = self.nl
+        cond = self._compile(node.cond, ctx)
+        then_ctx = ctx.fork()
+        then_value = self._compile(node.then, then_ctx)
+        if node.orelse is None:
+            else_value = nl.const(0, 0)
+            else_ctx = ctx.fork()
+        else:
+            else_ctx = ctx.fork()
+            else_value = self._compile(node.orelse, else_ctx)
+        # Merge the two branch contexts with muxes.
+        for name, then_entry in then_ctx.log.items():
+            else_entry = else_ctx.log[name]
+            if then_entry is else_entry:
+                continue
+            ctx.log[name] = _Entry(
+                nl.mux(cond, then_entry.rd0, else_entry.rd0),
+                nl.mux(cond, then_entry.rd1, else_entry.rd1),
+                nl.mux(cond, then_entry.wr0, else_entry.wr0),
+                nl.mux(cond, then_entry.wr1, else_entry.wr1),
+                nl.mux(cond, then_entry.data0, else_entry.data0),
+                nl.mux(cond, then_entry.data1, else_entry.data1),
+            )
+        merged_vars = {}
+        for name, then_value_node in then_ctx.vars.items():
+            if name not in else_ctx.vars:
+                continue
+            else_value_node = else_ctx.vars[name]
+            if then_value_node is else_value_node:
+                merged_vars[name] = then_value_node
+            else:
+                merged_vars[name] = nl.mux(cond, then_value_node,
+                                           else_value_node)
+        ctx.vars = merged_vars
+        ctx.canfire = nl.mux(cond, then_ctx.canfire, else_ctx.canfire)
+        if node.typ is not None and node.typ.width == 0:
+            return nl.const(0, 0)
+        return nl.mux(cond, then_value, else_value)
+
+    def _compile_read(self, node: Read, ctx: _Ctx) -> Node:
+        nl = self.nl
+        name = node.reg
+        cycle_entry = self.cycle_log[name]
+        entry = ctx.log[name]
+        regnode = nl.registers[name][2]
+        if node.port == 0:
+            blocked = nl.or_(cycle_entry.wr0, cycle_entry.wr1)
+            ctx.canfire = nl.and_(ctx.canfire, nl.not_(blocked))
+            ctx.log[name] = _Entry(nl.true(), entry.rd1, entry.wr0,
+                                   entry.wr1, entry.data0, entry.data1)
+            return regnode
+        ctx.canfire = nl.and_(ctx.canfire, nl.not_(cycle_entry.wr1))
+        value = nl.mux(entry.wr0, entry.data0,
+                       nl.mux(cycle_entry.wr0, cycle_entry.data0, regnode))
+        ctx.log[name] = _Entry(entry.rd0, nl.true(), entry.wr0,
+                               entry.wr1, entry.data0, entry.data1)
+        return value
+
+    def _compile_write(self, node: Write, ctx: _Ctx) -> Node:
+        nl = self.nl
+        value = self._compile(node.value, ctx)
+        name = node.reg
+        cycle_entry = self.cycle_log[name]
+        entry = ctx.log[name]
+        if node.port == 0:
+            blocked = nl.or_(
+                nl.or_(nl.or_(entry.rd1, entry.wr0), entry.wr1),
+                nl.or_(nl.or_(cycle_entry.rd1, cycle_entry.wr0),
+                       cycle_entry.wr1),
+            )
+            ctx.canfire = nl.and_(ctx.canfire, nl.not_(blocked))
+            ctx.log[name] = _Entry(entry.rd0, entry.rd1, nl.true(),
+                                   entry.wr1, value, entry.data1)
+        else:
+            blocked = nl.or_(entry.wr1, cycle_entry.wr1)
+            ctx.canfire = nl.and_(ctx.canfire, nl.not_(blocked))
+            ctx.log[name] = _Entry(entry.rd0, entry.rd1, entry.wr0,
+                                   nl.true(), entry.data0, value)
+        return nl.const(0, 0)
+
+    def _compile_substfield(self, node: SubstField, ctx: _Ctx) -> Node:
+        nl = self.nl
+        arg = self._compile(node.arg, ctx)
+        value = self._compile(node.value, ctx)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(node.field_name)
+        width = struct.field_type(node.field_name).width
+        total = struct.width
+        clear = mask(total) ^ (mask(width) << offset)
+        cleared = nl.op("and", (arg, nl.const(clear, total)), total)
+        widened = nl.op("zextl", (value,), total)
+        if offset:
+            shift = nl.const(offset, max(1, offset.bit_length()))
+            widened = nl.op("sll", (widened, shift), total)
+        return nl.op("or", (cleared, widened), total)
+
+
+def lower_design(design: Design) -> Netlist:
+    """Compile a design into a netlist, Kôika style (dynamic read-write-set
+    tracking circuits, one circuit per rule, all evaluated every cycle)."""
+    if not design.finalized:
+        design.finalize()
+    nl = Netlist(design.name)
+    false = nl.false()
+    for name, register in design.registers.items():
+        nl.reg(name, register.typ.width, register.init)
+    # Empty incoming cycle log.
+    cycle_log: Dict[str, _Entry] = {}
+    for name, (width, init, regnode) in nl.registers.items():
+        cycle_log[name] = _Entry(false, false, false, false, regnode, regnode)
+
+    for rule in design.scheduled_rules():
+        compiler = _RuleCompiler(nl, design, cycle_log)
+        rule_log, canfire = compiler.compile_rule(rule.body)
+        nl.will_fire[rule.name] = canfire
+        merged: Dict[str, _Entry] = {}
+        for name, cycle_entry in cycle_log.items():
+            entry = rule_log[name]
+            committed_wr0 = nl.and_(canfire, entry.wr0)
+            committed_wr1 = nl.and_(canfire, entry.wr1)
+            merged[name] = _Entry(
+                nl.or_(cycle_entry.rd0, nl.and_(canfire, entry.rd0)),
+                nl.or_(cycle_entry.rd1, nl.and_(canfire, entry.rd1)),
+                nl.or_(cycle_entry.wr0, committed_wr0),
+                nl.or_(cycle_entry.wr1, committed_wr1),
+                nl.mux(committed_wr0, entry.data0, cycle_entry.data0),
+                nl.mux(committed_wr1, entry.data1, cycle_entry.data1),
+            )
+        cycle_log = merged
+
+    for name, (width, init, regnode) in nl.registers.items():
+        entry = cycle_log[name]
+        nl.next_values[name] = nl.mux(
+            entry.wr1, entry.data1, nl.mux(entry.wr0, entry.data0, regnode)
+        )
+    return nl

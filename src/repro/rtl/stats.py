@@ -1,0 +1,141 @@
+"""Netlist area and timing estimation.
+
+The paper notes (§4.1 Q2) that Kôika's circuits "tend to have critical
+paths and areas comparable to Bluespec-generated ones."  This module puts
+numbers on that for our two lowerings: a unit-delay critical-path estimate
+(logic depth, with per-op weights approximating relative gate delays) and
+an area estimate (weighted node counts).
+
+These are *estimates* over the netlist IR, not synthesis results; they
+are meant for comparing lowerings of the same design, which is exactly
+how the paper uses the claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..koika.design import Design
+from .circuit import NConst, NExt, NOp, NReg, Netlist, Node
+
+#: Relative delay weights per op (unit = one 2-input gate level).
+DELAY_WEIGHTS: Dict[str, float] = {
+    "not": 0.5, "and": 1.0, "or": 1.0, "xor": 1.2, "mux": 1.5,
+    "eq": 2.0, "ne": 2.0,
+    "ltu": 3.0, "leu": 3.0, "gtu": 3.0, "geu": 3.0,
+    "lts": 3.2, "les": 3.2, "gts": 3.2, "ges": 3.2,
+    "add": 3.0, "sub": 3.0, "neg": 3.0,
+    "mul": 8.0, "divu": 20.0, "remu": 20.0,
+    "sll": 2.5, "srl": 2.5, "sra": 2.5, "sel": 2.5,
+    "concat": 0.0, "slice": 0.0, "zextl": 0.0, "sextl": 0.1,
+}
+
+#: Relative area weights per op per result bit.
+AREA_WEIGHTS: Dict[str, float] = {
+    "not": 0.5, "and": 1.0, "or": 1.0, "xor": 1.5, "mux": 2.0,
+    "eq": 1.2, "ne": 1.2,
+    "ltu": 1.5, "leu": 1.5, "gtu": 1.5, "geu": 1.5,
+    "lts": 1.6, "les": 1.6, "gts": 1.6, "ges": 1.6,
+    "add": 3.0, "sub": 3.0, "neg": 3.0,
+    "mul": 20.0, "divu": 40.0, "remu": 40.0,
+    "sll": 4.0, "srl": 4.0, "sra": 4.0, "sel": 4.0,
+    "concat": 0.0, "slice": 0.0, "zextl": 0.0, "sextl": 0.0,
+}
+
+
+class NetlistStats:
+    """Timing/area summary of one netlist."""
+
+    def __init__(self, name: str, depth: float, area: float,
+                 node_count: int, register_bits: int,
+                 critical_path: List[str]):
+        self.name = name
+        self.depth = depth
+        self.area = area
+        self.node_count = node_count
+        self.register_bits = register_bits
+        self.critical_path = critical_path
+
+    def __repr__(self) -> str:
+        return (f"<{self.name}: depth {self.depth:.1f}, area {self.area:.0f}, "
+                f"{self.node_count} nodes, {self.register_bits} reg bits>")
+
+
+def analyze_netlist(netlist: Netlist) -> NetlistStats:
+    """Estimate critical path (to any register input or will-fire signal)
+    and total combinational area."""
+    reachable = netlist.reachable()
+    arrival: Dict[int, float] = {}
+    through: Dict[int, Optional[Node]] = {}
+    area = 0.0
+    for node in reachable:
+        if isinstance(node, (NConst, NReg)):
+            arrival[node.nid] = 0.0
+            through[node.nid] = None
+            continue
+        if isinstance(node, NExt):
+            # An external combinational function: charge one mux-ish delay.
+            arrival[node.nid] = arrival[node.arg.nid] + 1.5
+            through[node.nid] = node.arg
+            continue
+        assert isinstance(node, NOp)
+        weight = DELAY_WEIGHTS.get(node.op, 1.0)
+        best_child = max(node.args, key=lambda child: arrival[child.nid])
+        arrival[node.nid] = arrival[best_child.nid] + weight
+        through[node.nid] = best_child
+        area += AREA_WEIGHTS.get(node.op, 1.0) * max(node.width, 1)
+
+    endpoints = list(netlist.next_values.values()) + \
+        list(netlist.will_fire.values())
+    worst = max(endpoints, key=lambda node: arrival.get(node.nid, 0.0),
+                default=None)
+    path: List[str] = []
+    if worst is not None:
+        cursor: Optional[Node] = worst
+        while cursor is not None and len(path) < 64:
+            if isinstance(cursor, NOp):
+                path.append(cursor.op)
+            elif isinstance(cursor, NReg):
+                path.append(f"reg:{cursor.reg}")
+            elif isinstance(cursor, NExt):
+                path.append(f"ext:{cursor.fn}")
+            cursor = through.get(cursor.nid)
+        path.reverse()
+    register_bits = sum(width for width, _, _ in netlist.registers.values())
+    return NetlistStats(
+        name=netlist.name,
+        depth=arrival.get(worst.nid, 0.0) if worst is not None else 0.0,
+        area=area,
+        node_count=len(reachable),
+        register_bits=register_bits,
+        critical_path=path,
+    )
+
+
+def compare_lowerings(design: Design) -> Dict[str, NetlistStats]:
+    """Analyze both lowerings of a design (the Q2 comparison)."""
+    from .bluespec import lower_design_bluespec
+    from .lower import lower_design
+
+    return {
+        "koika": analyze_netlist(lower_design(design)),
+        "bluespec": analyze_netlist(lower_design_bluespec(design)),
+    }
+
+
+def stats_report(design: Design) -> str:
+    """Text report comparing the two lowerings of a design."""
+    stats = compare_lowerings(design)
+    lines = [f"Synthesis-side estimates for {design.name}",
+             f"{'lowering':<12}{'depth':>8}{'area':>10}{'nodes':>8}"
+             f"{'reg bits':>10}"]
+    for label, stat in stats.items():
+        lines.append(f"{label:<12}{stat.depth:>8.1f}{stat.area:>10.0f}"
+                     f"{stat.node_count:>8}{stat.register_bits:>10}")
+    koika, bluespec = stats["koika"], stats["bluespec"]
+    if bluespec.depth:
+        lines.append(f"depth ratio koika/bluespec: "
+                     f"{koika.depth / bluespec.depth:.2f}")
+    lines.append("critical path (koika): " + " -> ".join(
+        koika.critical_path[-12:]))
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Reference (specification-level) semantics of Kôika."""
+
+from .interp import CycleReport, Interpreter, Observer
+from .logs import Log, LogEntry, RuleAborted
+
+__all__ = ["CycleReport", "Interpreter", "Observer", "Log", "LogEntry", "RuleAborted"]

@@ -1,0 +1,358 @@
+"""The reference one-rule-at-a-time interpreter.
+
+This is the executable specification of Kôika: it walks the typed AST and
+maintains the naive rule/cycle logs from :mod:`repro.semantics.logs`.  It is
+slow and obviously correct; every compiled backend is differentially tested
+against it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..harness.env import Environment
+from ..koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from ..koika.design import Design
+from ..koika.types import StructType, mask, to_signed, truncate
+from .logs import (
+    Log,
+    RuleAborted,
+    commit_value,
+    may_read0,
+    may_read1,
+    may_write0,
+    may_write1,
+    read1_value,
+)
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20000))
+
+
+class Observer:
+    """Hook points for tools (tests, tracing).  All methods are optional."""
+
+    def on_rule_start(self, rule: str) -> None: ...
+
+    def on_rule_commit(self, rule: str) -> None: ...
+
+    def on_rule_abort(self, rule: str, aborted: RuleAborted) -> None: ...
+
+    def on_read(self, rule: str, register: str, port: int, value: int) -> None: ...
+
+    def on_write(self, rule: str, register: str, port: int, value: int) -> None: ...
+
+    def on_cycle_end(self, cycle: int) -> None: ...
+
+
+class CycleReport:
+    """Which rules committed/aborted during one interpreted cycle."""
+
+    def __init__(self) -> None:
+        self.committed: List[str] = []
+        self.aborted: Dict[str, RuleAborted] = {}
+
+    def fired(self, rule: str) -> bool:
+        return rule in self.committed
+
+
+class Interpreter:
+    """Cycle-accurate reference simulator for a finalized design."""
+
+    backend_name = "interp"
+
+    def __init__(self, design: Design, env: Optional[Environment] = None,
+                 observer: Optional[Observer] = None):
+        if not design.finalized:
+            design.finalize()
+        self.design = design
+        self.env = env or Environment()
+        self.observer = observer
+        self.state: Dict[str, int] = design.initial_state()
+        self.cycle = 0
+        self._cycle_log = Log(design.registers)
+        self._rule_log = Log(design.registers)
+        self._current_rule = ""
+
+    # -- SimHandle protocol -------------------------------------------------
+    def peek(self, register: str) -> int:
+        try:
+            return self.state[register]
+        except KeyError:
+            raise SimulationError(f"unknown register {register!r}")
+
+    def poke(self, register: str, value: int) -> None:
+        reg = self.design.registers.get(register)
+        if reg is None:
+            raise SimulationError(f"unknown register {register!r}")
+        self.state[register] = reg.typ.validate(truncate(value, reg.typ.width))
+
+    def state_dict(self) -> Dict[str, int]:
+        return dict(self.state)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.state)
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        self.state = dict(snapshot)
+
+    # -- execution ----------------------------------------------------------
+    def run_cycle(self, rule_order: Optional[List[str]] = None) -> CycleReport:
+        """Execute one cycle; optionally override the scheduler order."""
+        self.env.before_cycle(self)
+        report = CycleReport()
+        self._cycle_log.clear()
+        order = rule_order if rule_order is not None else self.design.scheduler
+        for rule_name in order:
+            rule = self.design.rules[rule_name]
+            self._rule_log.clear()
+            self._current_rule = rule_name
+            if self.observer:
+                self.observer.on_rule_start(rule_name)
+            try:
+                self._eval(rule.body, {})
+            except RuleAborted as aborted:
+                report.aborted[rule_name] = aborted
+                if self.observer:
+                    self.observer.on_rule_abort(rule_name, aborted)
+                continue
+            self._cycle_log.merge_rule_into_cycle(self._rule_log)
+            report.committed.append(rule_name)
+            if self.observer:
+                self.observer.on_rule_commit(rule_name)
+        for name in self.state:
+            self.state[name] = commit_value(self.state[name], self._cycle_log[name])
+        self.cycle += 1
+        if self.observer:
+            self.observer.on_cycle_end(self.cycle)
+        self.env.after_cycle(self)
+        return report
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.run_cycle()
+
+    def run_until(self, predicate: Callable[["Interpreter"], bool],
+                  max_cycles: int = 1_000_000) -> int:
+        """Run until ``predicate(self)`` holds; returns cycles executed."""
+        for elapsed in range(max_cycles):
+            if predicate(self):
+                return elapsed
+            self.run_cycle()
+        raise SimulationError(f"predicate not reached within {max_cycles} cycles")
+
+    # -- evaluation -----------------------------------------------------------
+    def _eval(self, node: Action, env: Dict[str, int]) -> int:
+        method = self._EVAL[type(node)]
+        return method(self, node, env)
+
+    def _eval_const(self, node: Const, env: Dict[str, int]) -> int:
+        return node.value
+
+    def _eval_var(self, node: Var, env: Dict[str, int]) -> int:
+        return env[node.name]
+
+    def _eval_let(self, node: Let, env: Dict[str, int]) -> int:
+        value = self._eval(node.value, env)
+        had = node.name in env
+        saved = env.get(node.name)
+        env[node.name] = value
+        try:
+            return self._eval(node.body, env)
+        finally:
+            if had:
+                env[node.name] = saved  # type: ignore[assignment]
+            else:
+                del env[node.name]
+
+    def _eval_assign(self, node: Assign, env: Dict[str, int]) -> int:
+        env[node.name] = self._eval(node.value, env)
+        return 0
+
+    def _eval_seq(self, node: Seq, env: Dict[str, int]) -> int:
+        result = 0
+        for action in node.actions:
+            result = self._eval(action, env)
+        return result
+
+    def _eval_if(self, node: If, env: Dict[str, int]) -> int:
+        if self._eval(node.cond, env):
+            return self._eval(node.then, env)
+        if node.orelse is None:
+            return 0
+        return self._eval(node.orelse, env)
+
+    def _eval_abort(self, node: Abort, env: Dict[str, int]) -> int:
+        raise RuleAborted("explicit-abort")
+
+    def _eval_read(self, node: Read, env: Dict[str, int]) -> int:
+        name = node.reg
+        cycle_entry = self._cycle_log[name]
+        rule_entry = self._rule_log[name]
+        if node.port == 0:
+            if not may_read0(cycle_entry):
+                raise RuleAborted("conflict", register=name, operation="rd0")
+            rule_entry.rd0 = True
+            value = self.state[name]
+        else:
+            if not may_read1(cycle_entry):
+                raise RuleAborted("conflict", register=name, operation="rd1")
+            rule_entry.rd1 = True
+            value = read1_value(self.state[name], cycle_entry, rule_entry)
+        if self.observer:
+            self.observer.on_read(self._current_rule, name, node.port, value)
+        return value
+
+    def _eval_write(self, node: Write, env: Dict[str, int]) -> int:
+        value = self._eval(node.value, env)
+        name = node.reg
+        cycle_entry = self._cycle_log[name]
+        rule_entry = self._rule_log[name]
+        if node.port == 0:
+            if not may_write0(cycle_entry, rule_entry):
+                raise RuleAborted("conflict", register=name, operation="wr0")
+            rule_entry.wr0 = True
+            rule_entry.data0 = value
+        else:
+            if not may_write1(cycle_entry, rule_entry):
+                raise RuleAborted("conflict", register=name, operation="wr1")
+            rule_entry.wr1 = True
+            rule_entry.data1 = value
+        if self.observer:
+            self.observer.on_write(self._current_rule, name, node.port, value)
+        return 0
+
+    def _eval_unop(self, node: Unop, env: Dict[str, int]) -> int:
+        value = self._eval(node.arg, env)
+        op = node.op
+        if op == "not":
+            return (~value) & mask(node.typ.width)
+        if op == "neg":
+            return (-value) & mask(node.typ.width)
+        if op == "zextl":
+            return value
+        if op == "sextl":
+            return truncate(to_signed(value, node.arg.typ.width), node.param)
+        offset, width = node.param
+        return (value >> offset) & mask(width)
+
+    def _eval_binop(self, node: Binop, env: Dict[str, int]) -> int:
+        a = self._eval(node.a, env)
+        b = self._eval(node.b, env)
+        op = node.op
+        if op == "add":
+            return (a + b) & mask(node.typ.width)
+        if op == "sub":
+            return (a - b) & mask(node.typ.width)
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "mul":
+            return (a * b) & mask(node.typ.width)
+        if op == "divu":
+            # RISC-V semantics: division by zero yields all ones.
+            return a // b if b else mask(node.typ.width)
+        if op == "remu":
+            # RISC-V semantics: remainder by zero yields the dividend.
+            return a % b if b else a
+        if op == "eq":
+            return int(a == b)
+        if op == "ne":
+            return int(a != b)
+        if op == "ltu":
+            return int(a < b)
+        if op == "leu":
+            return int(a <= b)
+        if op == "gtu":
+            return int(a > b)
+        if op == "geu":
+            return int(a >= b)
+        width = node.a.typ.width
+        if op == "lts":
+            return int(to_signed(a, width) < to_signed(b, width))
+        if op == "les":
+            return int(to_signed(a, width) <= to_signed(b, width))
+        if op == "gts":
+            return int(to_signed(a, width) > to_signed(b, width))
+        if op == "ges":
+            return int(to_signed(a, width) >= to_signed(b, width))
+        if op == "sll":
+            return (a << b) & mask(width) if b < width else 0
+        if op == "srl":
+            return a >> b if b < width else 0
+        if op == "sra":
+            shift = min(b, width)
+            return truncate(to_signed(a, width) >> shift, width)
+        if op == "concat":
+            return (a << node.b.typ.width) | b
+        if op == "sel":
+            return (a >> b) & 1 if b < width else 0
+        raise SimulationError(f"unknown binop {op!r}")
+
+    def _eval_getfield(self, node: GetField, env: Dict[str, int]) -> int:
+        value = self._eval(node.arg, env)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        return struct.extract(value, node.field_name)
+
+    def _eval_substfield(self, node: SubstField, env: Dict[str, int]) -> int:
+        value = self._eval(node.arg, env)
+        field_value = self._eval(node.value, env)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        return struct.subst(value, node.field_name, field_value)
+
+    def _eval_extcall(self, node: ExtCall, env: Dict[str, int]) -> int:
+        arg = self._eval(node.arg, env)
+        result = self.env.extcall(node.fn, arg)
+        return truncate(result, node.typ.width)
+
+    def _eval_call(self, node: Call, env: Dict[str, int]) -> int:
+        fn = self.design.fns[node.fn]
+        call_env = {
+            name: self._eval(actual, env)
+            for (name, _), actual in zip(fn.args, node.args)
+        }
+        return self._eval(fn.body, call_env)
+
+    _EVAL = {}  # filled in below
+
+
+Interpreter._EVAL = {
+    Const: Interpreter._eval_const,
+    Var: Interpreter._eval_var,
+    Let: Interpreter._eval_let,
+    Assign: Interpreter._eval_assign,
+    Seq: Interpreter._eval_seq,
+    If: Interpreter._eval_if,
+    Abort: Interpreter._eval_abort,
+    Read: Interpreter._eval_read,
+    Write: Interpreter._eval_write,
+    Unop: Interpreter._eval_unop,
+    Binop: Interpreter._eval_binop,
+    GetField: Interpreter._eval_getfield,
+    SubstField: Interpreter._eval_substfield,
+    ExtCall: Interpreter._eval_extcall,
+    Call: Interpreter._eval_call,
+}

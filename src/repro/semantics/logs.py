@@ -1,0 +1,153 @@
+"""Rule and cycle logs — the reference implementation of Kôika's semantics.
+
+This module transcribes §3.1 of the paper verbatim: a *rule log* records the
+reads and writes performed by the rule currently executing, and a *cycle
+log* records those of all rules committed so far this cycle.  The port
+rules are:
+
+* ``rd0`` — fails if the **cycle log** contains a write at *any* port;
+  returns the beginning-of-cycle value.
+* ``rd1`` — fails if the **cycle log** contains a write at port 1; returns
+  the most recent ``wr0`` value from the rule log, then the cycle log,
+  falling back to the beginning-of-cycle value.
+* ``wr0`` — fails if *either log* contains ``rd1``, ``wr0``, or ``wr1``.
+* ``wr1`` — fails if *either log* contains ``wr1``.
+
+At the end of a cycle each register takes its ``data1`` value if written at
+port 1, else its ``data0`` value if written at port 0, else keeps its value.
+
+This naive, allocation-happy implementation is deliberately the clearest
+possible rendition: it is the oracle every optimized backend is
+differentially tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class LogEntry:
+    """Per-register portion of a log: read-write set plus data fields."""
+
+    __slots__ = ("rd0", "rd1", "wr0", "wr1", "data0", "data1")
+
+    def __init__(self) -> None:
+        self.rd0 = False
+        self.rd1 = False
+        self.wr0 = False
+        self.wr1 = False
+        self.data0: Optional[int] = None
+        self.data1: Optional[int] = None
+
+    def clear(self) -> None:
+        self.rd0 = self.rd1 = self.wr0 = self.wr1 = False
+        self.data0 = self.data1 = None
+
+    def any_write(self) -> bool:
+        return self.wr0 or self.wr1
+
+    def copy_from(self, other: "LogEntry") -> None:
+        self.rd0 = other.rd0
+        self.rd1 = other.rd1
+        self.wr0 = other.wr0
+        self.wr1 = other.wr1
+        self.data0 = other.data0
+        self.data1 = other.data1
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            name for name, flag in
+            (("r0", self.rd0), ("r1", self.rd1), ("w0", self.wr0), ("w1", self.wr1))
+            if flag
+        )
+        return f"<{flags or 'empty'} d0={self.data0} d1={self.data1}>"
+
+
+class Log:
+    """A mapping from register name to :class:`LogEntry`."""
+
+    def __init__(self, registers: Iterable[str]):
+        self.entries: Dict[str, LogEntry] = {name: LogEntry() for name in registers}
+
+    def __getitem__(self, register: str) -> LogEntry:
+        return self.entries[register]
+
+    def clear(self) -> None:
+        for entry in self.entries.values():
+            entry.clear()
+
+    def copy_from(self, other: "Log") -> None:
+        for name, entry in self.entries.items():
+            entry.copy_from(other.entries[name])
+
+    def merge_rule_into_cycle(self, rule_log: "Log") -> None:
+        """Append a successful rule's log into this cycle log (§3.1)."""
+        for name, mine in self.entries.items():
+            theirs = rule_log.entries[name]
+            mine.rd0 |= theirs.rd0
+            mine.rd1 |= theirs.rd1
+            if theirs.wr0:
+                mine.wr0 = True
+                mine.data0 = theirs.data0
+            if theirs.wr1:
+                mine.wr1 = True
+                mine.data1 = theirs.data1
+
+
+class RuleAborted(Exception):
+    """Raised (and caught by the scheduler loop) when a rule cancels.
+
+    ``reason`` distinguishes explicit ``abort`` from port-rule conflicts,
+    which the debugger surfaces differently (paper §4.2, case study 1).
+    """
+
+    __slots__ = ("reason", "register", "operation")
+
+    def __init__(self, reason: str, register: Optional[str] = None,
+                 operation: Optional[str] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.register = register
+        self.operation = operation
+
+
+def may_read0(cycle_entry: LogEntry) -> bool:
+    return not (cycle_entry.wr0 or cycle_entry.wr1)
+
+
+def may_read1(cycle_entry: LogEntry) -> bool:
+    return not cycle_entry.wr1
+
+
+def may_write0(cycle_entry: LogEntry, rule_entry: LogEntry) -> bool:
+    return not (
+        cycle_entry.rd1 or cycle_entry.wr0 or cycle_entry.wr1
+        or rule_entry.rd1 or rule_entry.wr0 or rule_entry.wr1
+    )
+
+
+def may_write1(cycle_entry: LogEntry, rule_entry: LogEntry) -> bool:
+    return not (cycle_entry.wr1 or rule_entry.wr1)
+
+
+def read1_value(state_value: int, cycle_entry: LogEntry, rule_entry: LogEntry) -> int:
+    """The value observed by ``rd1``: latest ``wr0`` from either log, else
+    the beginning-of-cycle value."""
+    if rule_entry.wr0:
+        assert rule_entry.data0 is not None
+        return rule_entry.data0
+    if cycle_entry.wr0:
+        assert cycle_entry.data0 is not None
+        return cycle_entry.data0
+    return state_value
+
+
+def commit_value(state_value: int, cycle_entry: LogEntry) -> int:
+    """End-of-cycle register update (§3.1)."""
+    if cycle_entry.wr1:
+        assert cycle_entry.data1 is not None
+        return cycle_entry.data1
+    if cycle_entry.wr0:
+        assert cycle_entry.data0 is not None
+        return cycle_entry.data0
+    return state_value

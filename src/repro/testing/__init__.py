@@ -1,0 +1,12 @@
+"""Testing utilities: random design generation and differential running."""
+
+from .differential import DivergenceError, assert_backends_equal, backend_factories
+from .generators import random_design
+from .mutation import Mutation, enumerate_mutations, kill_rate, make_mutant, mutant_count
+
+__all__ = [
+    "DivergenceError", "assert_backends_equal", "backend_factories",
+    "random_design",
+    "Mutation", "enumerate_mutations", "kill_rate", "make_mutant",
+    "mutant_count",
+]

@@ -1,0 +1,76 @@
+"""Differential testing: run a design on several backends, compare states.
+
+Used throughout the test suite and usable by downstream designs: after any
+change, check that the reference interpreter, every Cuttlesim optimization
+level, and the RTL simulators agree cycle-by-cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..harness.env import Environment
+from ..koika.design import Design
+from ..semantics.interp import Interpreter
+
+
+class DivergenceError(AssertionError):
+    """Two backends disagreed on a register value or a commit set."""
+
+
+def backend_factories(design: Design, opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                      include_rtl: bool = True) -> Dict[str, Callable[[Environment], object]]:
+    """Build a name -> factory map over all available backends."""
+    from ..cuttlesim.codegen import compile_model
+
+    factories: Dict[str, Callable[[Environment], object]] = {}
+    for opt in opts:
+        cls = compile_model(design, opt=opt, warn_goldberg=False)
+        factories[f"cuttlesim-O{opt}"] = cls
+    if 5 in opts:
+        factories["cuttlesim-O5-simplified"] = compile_model(
+            design, opt=5, simplify=True, warn_goldberg=False)
+    if include_rtl:
+        try:
+            from ..rtl.cycle_sim import compile_cycle_sim
+
+            factories["rtl-cycle"] = compile_cycle_sim(design)
+        except ImportError:
+            pass
+    return factories
+
+
+def assert_backends_equal(design: Design, cycles: int = 8,
+                          env_factory: Optional[Callable[[], Environment]] = None,
+                          opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                          include_rtl: bool = True,
+                          check_commits: bool = True) -> None:
+    """Run ``design`` on the interpreter and every backend; raise
+    :class:`DivergenceError` on the first disagreement."""
+    make_env = env_factory or Environment
+    reference = Interpreter(design, env=make_env())
+    sims = {
+        name: factory(make_env())
+        for name, factory in backend_factories(design, opts, include_rtl).items()
+    }
+    for cycle in range(cycles):
+        report = reference.run_cycle()
+        expected_commits = set(report.committed)
+        for name, sim in sims.items():
+            committed = sim.run_cycle()
+            if check_commits and committed is not None:
+                got = set(committed)
+                if got != expected_commits:
+                    raise DivergenceError(
+                        f"{design.name}, cycle {cycle}: backend {name} committed "
+                        f"{sorted(got)} but the interpreter committed "
+                        f"{sorted(expected_commits)}"
+                    )
+            for register in design.registers:
+                expected = reference.peek(register)
+                actual = sim.peek(register)
+                if actual != expected:
+                    raise DivergenceError(
+                        f"{design.name}, cycle {cycle}: register {register!r} is "
+                        f"{actual} on {name} but {expected} on the interpreter"
+                    )

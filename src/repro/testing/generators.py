@@ -1,0 +1,163 @@
+"""Random Kôika design generation for differential testing.
+
+Generates small but gnarly designs — multiple rules contending for the same
+registers through every port combination, nested control flow, guards, and
+explicit aborts — so that differential tests exercise the conflict-handling
+machinery, not just the happy path.
+
+One deliberate restriction: no ``rd1`` is generated after a same-rule
+``wr1`` on the same register (the "Goldbergian contraption" of §3.2).
+Merged-data models (O4/O5) intentionally ignore that anti-pattern, so it
+would create expected divergences; dedicated unit tests cover it instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from ..koika.ast import (
+    Abort,
+    Action,
+    Binop,
+    C,
+    Const,
+    If,
+    Let,
+    Read,
+    Seq,
+    Unop,
+    V,
+    Write,
+    unit,
+)
+from ..koika.design import Design
+from ..koika.types import bits, mask
+
+
+class _RuleGen:
+    def __init__(self, rng: random.Random, design: Design, widths: List[int]):
+        self.rng = rng
+        self.design = design
+        self.regs = list(design.registers)
+        self.widths = widths
+        self.scope: List[tuple] = []  # (name, width)
+        self.wrote1: Set[str] = set()  # same-rule wr1'd registers
+        self.let_counter = 0
+
+    def expr(self, width: int, depth: int) -> Action:
+        rng = self.rng
+        choices = ["const", "const"]
+        if depth > 0:
+            choices += ["binop", "binop", "unop", "mux", "shift",
+                        "extend", "concat"]
+        if any(w == width for _, w in self.scope):
+            choices += ["var", "var"]
+        if any(w == width for w in self.widths):
+            choices += ["read", "read"]
+        kind = rng.choice(choices)
+        if kind == "var":
+            name = rng.choice([n for n, w in self.scope if w == width])
+            return V(name)
+        if kind == "read":
+            candidates = [r for r in self.regs
+                          if self.design.registers[r].typ.width == width]
+            reg = rng.choice(candidates)
+            port = rng.choice([0, 0, 1])
+            if port == 1 and reg in self.wrote1:
+                port = 0
+            return Read(reg, port)
+        if kind == "binop":
+            op = rng.choice(["add", "sub", "and", "or", "xor", "mul",
+                             "divu", "remu"])
+            return Binop(op, self.expr(width, depth - 1), self.expr(width, depth - 1))
+        if kind == "shift":
+            op = rng.choice(["sll", "srl", "sra"])
+            amount = C(rng.randint(0, width), max(1, width.bit_length()))
+            return Binop(op, self.expr(width, depth - 1), amount)
+        if kind == "extend":
+            # widen then slice back: exercises sextl/zextl + slice codegen
+            op = rng.choice(["sextl", "zextl"])
+            widened = Unop(op, self.expr(width, depth - 1), param=width * 2)
+            offset = rng.randint(0, width)
+            return Unop("slice", widened, param=(offset, width))
+        if kind == "concat":
+            # concat two halves then slice the target width back out
+            low_width = max(1, width // 2)
+            high_width = width - low_width if width > low_width else 1
+            joined = Binop("concat", self.expr(high_width, depth - 1),
+                           self.expr(low_width, depth - 1))
+            return Unop("slice", joined, param=(0, width)) \
+                if high_width + low_width > width else joined
+        if kind == "unop":
+            op = rng.choice(["not", "neg"])
+            return Unop(op, self.expr(width, depth - 1))
+        if kind == "mux":
+            return If(self.expr(1, depth - 1) if width != 1 else C(rng.getrandbits(1), 1),
+                      self.expr(width, depth - 1), self.expr(width, depth - 1))
+        return C(self.rng.getrandbits(width) & mask(width), width)
+
+    def action(self, depth: int) -> Action:
+        rng = self.rng
+        kind = rng.choice(
+            ["write", "write", "write", "if", "let", "guard"]
+            + (["abort"] if rng.random() < 0.5 else [])
+            + (["seq"] if depth > 0 else [])
+        )
+        if kind == "write":
+            reg = rng.choice(self.regs)
+            width = self.design.registers[reg].typ.width
+            port = rng.choice([0, 0, 0, 1])
+            if port == 1:
+                self.wrote1.add(reg)
+            return Write(reg, port, self.expr(width, 2))
+        if kind == "if":
+            cond = self.expr(1, 2)
+            saved = set(self.wrote1)
+            then = self.action(depth - 1) if depth > 0 else self._leaf()
+            orelse = self.action(depth - 1) if rng.random() < 0.6 else None
+            # wrote1 is kept conservative: union of both branches.
+            del saved  # both branches' wr1s stay in self.wrote1
+            if orelse is None:
+                return If(cond, Seq(then, unit()))
+            return If(cond, Seq(then, unit()), Seq(orelse, unit()))
+        if kind == "let":
+            width = rng.choice(self.widths)
+            self.let_counter += 1
+            name = f"g{self.let_counter}"
+            value = self.expr(width, 2)
+            self.scope.append((name, width))
+            body = self.action(depth - 1) if depth > 0 else self._leaf()
+            self.scope.pop()
+            return Let(name, value, Seq(body, unit()))
+        if kind == "guard":
+            return If(self.expr(1, 2), unit(), Abort())
+        if kind == "abort":
+            return If(self.expr(1, 1), Abort(), unit())
+        parts = [self.action(depth - 1) for _ in range(rng.randint(2, 3))]
+        return Seq(*[Seq(p, unit()) for p in parts])
+
+    def _leaf(self) -> Action:
+        reg = self.rng.choice(self.regs)
+        width = self.design.registers[reg].typ.width
+        return Write(reg, 0, self.expr(width, 1))
+
+
+def random_design(seed: int, n_registers: Optional[int] = None,
+                  n_rules: Optional[int] = None) -> Design:
+    """Generate a random, type-correct design from a seed."""
+    rng = random.Random(seed)
+    n_registers = n_registers or rng.randint(2, 5)
+    n_rules = n_rules or rng.randint(1, 4)
+    design = Design(f"random_{seed}")
+    widths = []
+    for i in range(n_registers):
+        width = rng.choice([1, 2, 4, 8])
+        widths.append(width)
+        design.reg(f"r{i}", bits(width), init=rng.getrandbits(width))
+    for j in range(n_rules):
+        gen = _RuleGen(rng, design, widths)
+        body = Seq(*[Seq(gen.action(2), unit()) for _ in range(rng.randint(1, 3))])
+        design.rule(f"rule{j}", Seq(body, unit()))
+    design.schedule(*design.rules.keys())
+    return design.finalize()

@@ -1,0 +1,247 @@
+"""Tests for AST construction, operator overloading, and DSL combinators."""
+
+import pytest
+
+from repro.errors import KoikaElaborationError, KoikaTypeError
+from repro.koika import (
+    Abort, Binop, C, Const, Design, If, Let, Read, Seq, Unop, V, Var, Write,
+    bits, guard, mux, seq, struct_init, switch, unit, when,
+)
+from repro.koika.ast import walk
+from repro.koika.dsl import BypassFifo1, Fifo1, RegArray, abort_when, let, ones, zero
+from repro.koika.types import StructType
+
+
+class TestOperatorOverloading:
+    def test_arithmetic_builds_binops(self):
+        node = V("a") + V("b")
+        assert isinstance(node, Binop) and node.op == "add"
+        assert (V("a") - 1).op == "sub"
+        assert (V("a") * 2).op == "mul"
+
+    def test_bitwise(self):
+        assert (V("a") & V("b")).op == "and"
+        assert (V("a") | V("b")).op == "or"
+        assert (V("a") ^ V("b")).op == "xor"
+        assert isinstance(~V("a"), Unop)
+
+    def test_shifts(self):
+        assert (V("a") << 3).op == "sll"
+        assert (V("a") >> 3).op == "srl"
+        assert V("a").sra(3).op == "sra"
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            V("a") << -1
+
+    def test_comparisons_unsigned_by_default(self):
+        assert (V("a") < V("b")).op == "ltu"
+        assert (V("a") <= V("b")).op == "leu"
+        assert (V("a") > V("b")).op == "gtu"
+        assert (V("a") >= V("b")).op == "geu"
+
+    def test_signed_comparisons(self):
+        assert V("a").slt(V("b")).op == "lts"
+        assert V("a").sle(V("b")).op == "les"
+        assert V("a").sgt(V("b")).op == "gts"
+        assert V("a").sge(V("b")).op == "ges"
+
+    def test_equality_builds_ast_not_bool(self):
+        node = V("a") == V("b")
+        assert isinstance(node, Binop) and node.op == "eq"
+        with pytest.raises(KoikaTypeError):
+            bool(node)  # comparisons have no Python truth value
+
+    def test_int_literal_coercion(self):
+        node = V("a") + 5
+        assert isinstance(node.b, Const) and node.b.value == 5
+        assert node.b.typ is None  # width inferred by the type checker
+
+    def test_bool_coercion_is_one_bit(self):
+        node = V("a") == True  # noqa: E712
+        assert node.b.typ == bits(1)
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            V("a") + "text"
+
+    def test_indexing_static_bit(self):
+        node = V("a")[3]
+        assert isinstance(node, Unop) and node.op == "slice"
+        assert node.param == (3, 1)
+
+    def test_indexing_slice(self):
+        node = V("a")[4:12]
+        assert node.param == (4, 8)
+
+    def test_indexing_dynamic(self):
+        node = V("a")[V("i")]
+        assert isinstance(node, Binop) and node.op == "sel"
+
+    def test_bad_slices_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            V("a")[4:2]
+        with pytest.raises(KoikaTypeError):
+            V("a")[::2]
+        with pytest.raises(KoikaTypeError):
+            V("a")[1:]
+
+    def test_concat_and_extensions(self):
+        assert V("a").concat(V("b")).op == "concat"
+        assert V("a").zext(16).param == 16
+        assert V("a").sext(16).op == "sextl"
+
+    def test_field_access(self):
+        node = V("s").field("x")
+        assert node.field_name == "x"
+        assert V("s").subst("x", C(1, 4)).field_name == "x"
+
+
+class TestAstNodes:
+    def test_uids_are_unique(self):
+        a, b = C(0, 1), C(0, 1)
+        assert a.uid != b.uid
+
+    def test_seq_flattens(self):
+        inner = Seq(C(0, 0), C(0, 0))
+        outer = Seq(inner, C(1, 1))
+        assert len(outer.actions) == 3
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            Seq()
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            Read("r", 2)
+        with pytest.raises(KoikaTypeError):
+            Write("r", -1, C(0, 1))
+
+    def test_walk_visits_all_nodes(self):
+        tree = If(V("c"), Let("x", C(1, 4), V("x")), Abort())
+        kinds = [type(n).__name__ for n in walk(tree)]
+        assert kinds == ["If", "Var", "Let", "Const", "Var", "Abort"]
+
+    def test_const_requires_int(self):
+        with pytest.raises(KoikaTypeError):
+            Const("5")
+
+    def test_negative_const_wraps_with_type(self):
+        assert Const(-1, bits(8)).value == 0xFF
+
+
+class TestDslCombinators:
+    def test_mux_coerces_ints(self):
+        node = mux(V("c"), 1, 2)
+        assert isinstance(node, If)
+        assert isinstance(node.then, Const)
+
+    def test_guard_structure(self):
+        node = guard(V("c"))
+        assert isinstance(node, If) and isinstance(node.orelse, Abort)
+
+    def test_abort_when(self):
+        node = abort_when(V("c"))
+        assert isinstance(node.then, Abort)
+
+    def test_when_has_no_else(self):
+        node = when(V("c"), Write("r", 0, C(1, 1)))
+        assert node.orelse is None
+
+    def test_let_chain(self):
+        node = let([("a", C(1, 4)), ("b", C(2, 4))], V("a") + V("b"))
+        assert isinstance(node, Let) and node.name == "a"
+        assert isinstance(node.body, Let) and node.body.name == "b"
+
+    def test_switch_builds_nested_ifs(self):
+        node = switch(V("x"), [(0, C(1, 8)), (1, C(2, 8))], default=C(0, 8))
+        assert isinstance(node, If)
+        assert isinstance(node.orelse, If)
+
+    def test_switch_empty_needs_default(self):
+        with pytest.raises(KoikaElaborationError):
+            switch(V("x"), [])
+        assert isinstance(switch(V("x"), [], default=C(0, 8)), Const)
+
+    def test_ones_zero(self):
+        assert ones(4).value == 0xF
+        assert zero(4).value == 0
+
+    def test_struct_init(self):
+        s = StructType("p", [("a", bits(4)), ("b", bits(4))])
+        node = struct_init(s, a=C(1, 4), b=3)
+        # two SubstFields over a zero constant
+        assert node.field_name == "b"
+        assert node.arg.field_name == "a"
+
+    def test_struct_init_unknown_field(self):
+        s = StructType("p", [("a", bits(4))])
+        with pytest.raises(KoikaTypeError):
+            struct_init(s, z=1)
+
+
+class TestRegArray:
+    def setup_method(self):
+        self.design = Design("arr")
+        self.arr = RegArray(self.design, "mem", 4, 8, init=[1, 2, 3, 4])
+
+    def test_creates_one_register_per_entry(self):
+        assert [r.name for r in self.arr.regs] == \
+            ["mem_0", "mem_1", "mem_2", "mem_3"]
+        assert self.design.registers["mem_2"].init == 3
+
+    def test_static_read_is_direct(self):
+        node = self.arr.read(0, 2)
+        assert isinstance(node, Read) and node.reg == "mem_2"
+
+    def test_dynamic_read_is_let_bound_mux_tree(self):
+        node = self.arr.read(0, V("i"))
+        assert isinstance(node, Let)
+        assert isinstance(node.body, If)
+
+    def test_dynamic_write_binds_value_once(self):
+        node = self.arr.write(0, V("i"), V("v") + 1)
+        assert isinstance(node, Let)          # index binding
+        assert isinstance(node.body, Let)     # value binding
+        writes = [n for n in walk(node) if isinstance(n, Write)]
+        assert len(writes) == 4
+        # every write targets the bound value variable, not the expression
+        assert all(isinstance(w.value, Var) for w in writes)
+
+    def test_out_of_range_static_index(self):
+        with pytest.raises(KoikaElaborationError):
+            self.arr.read(0, 4)
+
+    def test_bad_size(self):
+        with pytest.raises(KoikaElaborationError):
+            RegArray(self.design, "bad", 0, 8)
+
+    def test_init_list_length_checked(self):
+        with pytest.raises(KoikaElaborationError):
+            RegArray(self.design, "bad2", 4, 8, init=[1, 2])
+
+    def test_getitem(self):
+        assert self.arr[1].name == "mem_1"
+
+
+class TestFifos:
+    def test_fifo1_registers(self):
+        design = Design("f")
+        fifo = Fifo1(design, "q", 8)
+        assert "q_data" in design.registers and "q_valid" in design.registers
+
+    def test_fifo1_port_discipline(self):
+        design = Design("f")
+        fifo = Fifo1(design, "q", 8)
+        enq_writes = [n for n in walk(fifo.enq(C(1, 8)))
+                      if isinstance(n, Write)]
+        assert all(w.port == 1 for w in enq_writes)
+        deq_writes = [n for n in walk(fifo.deq()) if isinstance(n, Write)]
+        assert all(w.port == 0 for w in deq_writes)
+
+    def test_bypass_fifo_port_discipline(self):
+        design = Design("f")
+        fifo = BypassFifo1(design, "q", 8)
+        enq_writes = [n for n in walk(fifo.enq(C(1, 8)))
+                      if isinstance(n, Write)]
+        assert all(w.port == 0 for w in enq_writes)

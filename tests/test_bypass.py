@@ -1,0 +1,139 @@
+"""Tests for the EX->decode bypass variant (case study 4's follow-up)."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.cuttlesim import compile_model
+from repro.debug import CoverageReport
+from repro.designs import (build_rv32i, build_rv32i_bypass, make_core_env,
+                           run_program)
+from repro.harness import make_simulator
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import (arithmetic_source, branchy_source,
+                                  fibonacci_source, primes_source,
+                                  sort_source)
+
+BYPASS = build_rv32i_bypass()
+BYPASS_CLS = compile_model(BYPASS, opt=5, warn_goldberg=False)
+BASE_CLS = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+
+DEPENDENT_CHAIN = """
+    li   a0, 1
+    li   s1, 40
+    li   s0, 0
+loop:
+    addi a0, a0, 3
+    xori a0, a0, 5
+    addi a0, a0, 7
+    slli a1, a0, 1
+    add  a0, a0, a1
+    addi s0, s0, 1
+    bltu s0, s1, loop
+    li   t2, 0x40000000
+    sw   a0, 0(t2)
+halt:
+    j halt
+"""
+
+
+def run(cls, program, max_cycles=300_000):
+    env = make_core_env(program)
+    model = cls(env)
+    return run_program(model, env, max_cycles=max_cycles) + (model, env)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("source", [
+        primes_source(40), sort_source(), branchy_source(80),
+        fibonacci_source(15), arithmetic_source(48), DEPENDENT_CHAIN,
+    ], ids=["primes", "sort", "branchy", "fib", "arith", "chain"])
+    def test_matches_golden(self, source):
+        program = assemble(source)
+        expected = GoldenModel(program).run()
+        result, _cycles, _m, _e = run(BYPASS_CLS, program)
+        assert result == expected
+
+    def test_load_results_are_never_forwarded(self):
+        """Loads resolve at writeback; the wire must not short-circuit
+        them with the (stale) ALU output."""
+        program = assemble("""
+            li  a0, 0x100
+            li  a1, 1234
+            sw  a1, 0(a0)
+            lw  a2, 0(a0)
+            addi a3, a2, 1      # consumes the load immediately
+            li  t2, 0x40000000
+            sw  a3, 0(t2)
+        halt:
+            j halt
+        """)
+        result, _cycles, _m, _e = run(BYPASS_CLS, program)
+        assert result == 1235
+
+    def test_x0_is_never_forwarded(self):
+        program = assemble("""
+            addi x0, x0, 7      # wen, rd = x0
+            add  a0, x0, x0     # must read 0, not the 'forwarded' 7
+            li   t2, 0x40000000
+            sw   a0, 0(t2)
+        halt:
+            j halt
+        """)
+        result, _cycles, _m, _e = run(BYPASS_CLS, program)
+        assert result == 0
+
+    def test_cycle_exact_vs_rtl(self):
+        program = assemble(DEPENDENT_CHAIN)
+        env_a = make_core_env(program)
+        env_b = make_core_env(program)
+        cut = BYPASS_CLS(env_a)
+        rtl = make_simulator(BYPASS, backend="rtl-cycle", env=env_b)
+        result_a, cycles_a = run_program(cut, env_a)
+        result_b, cycles_b = run_program(rtl, env_b)
+        assert (result_a, cycles_a) == (result_b, cycles_b)
+
+
+class TestPerformance:
+    def test_dependent_chain_speedup(self):
+        program = assemble(DEPENDENT_CHAIN)
+        _r1, base_cycles, _m, _e = run(BASE_CLS, program)
+        _r2, bypass_cycles, _m, _e = run(BYPASS_CLS, program)
+        assert bypass_cycles < 0.75 * base_cycles
+
+    def test_stall_count_drops(self):
+        program = assemble(DEPENDENT_CHAIN)
+        base_cls = compile_model(build_rv32i(), opt=5, instrument=True,
+                                 warn_goldberg=False)
+        bypass_cls = compile_model(BYPASS, opt=5, instrument=True,
+                                   warn_goldberg=False)
+        _r, _c, base_model, _e = run(base_cls, program)
+        _r, _c, bypass_model, _e = run(bypass_cls, program)
+        base_stalls = CoverageReport(base_model).rule_failures("decode")
+        bypass_stalls = CoverageReport(bypass_model).rule_failures("decode")
+        assert bypass_stalls < base_stalls
+
+    def test_no_regression_on_independent_code(self):
+        program = assemble(primes_source(30))
+        _r1, base_cycles, _m, _e = run(BASE_CLS, program)
+        _r2, bypass_cycles, _m, _e = run(BYPASS_CLS, program)
+        assert bypass_cycles <= base_cycles * 1.02
+
+
+class TestStructure:
+    def test_bypass_wire_registers_exist(self):
+        assert "bypass_valid" in BYPASS.registers
+        assert "bypass_clear" in BYPASS.rules
+
+    def test_wire_never_leaks_across_cycles(self):
+        """The always-firing clear rule guarantees valid==0 at every
+        cycle boundary."""
+        program = assemble(DEPENDENT_CHAIN)
+        env = make_core_env(program)
+        model = BYPASS_CLS(env)
+        for _ in range(60):
+            model.run_cycle()
+            assert model.peek("bypass_valid") == 0
+
+    def test_design_remains_fully_safe(self):
+        analysis = analyze(BYPASS)
+        assert analysis.safe_registers == set(BYPASS.registers)

@@ -1,0 +1,169 @@
+"""Tests for the I-/D-cache designs in front of a slow memory."""
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.designs.rv32 import build_rv32i, make_core_env, run_program
+from repro.designs.rv32.cache import (CacheMemoryDevice, build_rv32i_cached,
+                                      make_cached_env)
+from repro.harness import make_simulator
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import (branchy_source, byte_ops_source,
+                                  primes_source, sort_source,
+                                  stream_output_source)
+from repro.testing import assert_backends_equal
+
+CACHED = build_rv32i_cached()
+CACHED_CLS = compile_model(CACHED, opt=5, warn_goldberg=False)
+PLAIN_CLS = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+
+
+def run_cached(program, latency=1, max_cycles=500_000):
+    env = make_cached_env(program, latency=latency)
+    device = env.devices[0]
+    model = CACHED_CLS(env)
+    model.run_until(lambda _s: device.halted, max_cycles=max_cycles)
+    return device.tohost, model.cycle, device
+
+
+def run_plain(program, latency=1):
+    env = make_core_env(program, latency=latency)
+    return run_program(PLAIN_CLS(env), env, max_cycles=500_000)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("source", [
+        primes_source(25), sort_source(), branchy_source(60),
+        byte_ops_source(),
+    ], ids=["primes", "sort", "branchy", "byteops"])
+    @pytest.mark.parametrize("latency", [1, 3])
+    def test_matches_golden(self, source, latency):
+        program = assemble(source)
+        expected = GoldenModel(program).run()
+        result, _cycles, _dev = run_cached(program, latency)
+        assert result == expected
+
+    def test_mmio_output_bypasses_the_cache(self):
+        program = assemble(stream_output_source(5))
+        _result, _cycles, device = run_cached(program, latency=2)
+        assert device.outputs == [i * i for i in range(5)]
+
+    def test_subword_stores_keep_cache_coherent(self):
+        """A cached word that is then byte-written must not serve stale
+        data (the write-through policy invalidates on sub-word stores)."""
+        program = assemble("""
+            li  a0, 0x100
+            li  a1, 0x11223344
+            sw  a1, 0(a0)
+            lw  a2, 0(a0)       # caches the line
+            li  a3, 0x99
+            sb  a3, 0(a0)       # sub-word store: invalidates
+            lw  a4, 0(a0)       # must see 0x11223399
+            li  t2, 0x40000000
+            sw  a4, 0(t2)
+        halt:
+            j halt
+        """)
+        expected = GoldenModel(program).run()
+        result, _cycles, _dev = run_cached(program, latency=3)
+        assert result == expected == 0x11223399
+
+    def test_word_stores_update_a_hit_line(self):
+        program = assemble("""
+            li  a0, 0x100
+            li  a1, 7
+            sw  a1, 0(a0)
+            lw  a2, 0(a0)       # fill
+            li  a1, 9
+            sw  a1, 0(a0)       # write-through + update
+            lw  a3, 0(a0)       # hit: must see 9
+            add a4, a2, a3
+            li  t2, 0x40000000
+            sw  a4, 0(t2)
+        halt:
+            j halt
+        """)
+        result, _cycles, _dev = run_cached(program, latency=4)
+        assert result == 16
+
+
+class TestPerformance:
+    @pytest.mark.parametrize("source", [primes_source(25), sort_source()],
+                             ids=["primes", "sort"])
+    def test_caches_win_under_slow_memory(self, source):
+        program = assemble(source)
+        _r, cached_cycles, _d = run_cached(program, latency=4)
+        _r, plain_cycles = run_plain(program, latency=4)
+        assert cached_cycles < plain_cycles
+
+    def test_icache_capacity_behaviour(self):
+        """With enough lines to hold the program, the I-cache fills each
+        word exactly once (compulsory misses only); with too few, the
+        direct-mapped geometry produces conflict misses — both classic
+        cache behaviours, observed without adding any counters."""
+        program = assemble(primes_source(25))
+        golden = GoldenModel(program)
+        golden.run()
+
+        big = compile_model(build_rv32i_cached(icache_lines=16), opt=5,
+                            warn_goldberg=False)
+        env = make_cached_env(program, latency=1)
+        device = env.devices[0]
+        model = big(env)
+        model.run_until(lambda _s: device.halted, max_cycles=100_000)
+        assert device.tohost == golden.result
+        assert device.fills == len(program.words)   # compulsory only
+
+        _r, _c, small_device = run_cached(program, latency=1)  # 8 lines
+        assert small_device.fills > 10 * len(program.words)    # conflicts
+
+    def test_costs_a_hop_at_unit_latency(self):
+        """With an ideal memory the extra cache stage is pure overhead —
+        an honest trade-off, not magic."""
+        program = assemble(primes_source(20))
+        _r, cached_cycles, _d = run_cached(program, latency=1)
+        _r, plain_cycles = run_plain(program, latency=1)
+        assert plain_cycles < cached_cycles < plain_cycles * 1.4
+
+
+class TestStructure:
+    def test_design_composes_core_and_caches(self):
+        assert CACHED.scheduler == [
+            "writeback", "execute", "decode", "fetch",
+            "ic_serve", "dc_serve",
+        ]
+        assert "ic_tag_0" in CACHED.registers
+        assert "dc_state" in CACHED.registers
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheMemoryDevice(assemble("nop"), latency=0)
+
+    def test_all_backends_agree(self):
+        program = assemble(primes_source(10))
+        assert_backends_equal(
+            CACHED, cycles=40,
+            env_factory=lambda: make_cached_env(program, latency=2))
+
+    def test_rtl_backend_end_to_end(self):
+        program = assemble(primes_source(12))
+        expected = GoldenModel(program).run()
+        env = make_cached_env(program, latency=2)
+        device = env.devices[0]
+        sim = make_simulator(CACHED, backend="rtl-cycle", env=env)
+        sim.run_until(lambda _s: device.halted, max_cycles=50_000)
+        assert device.tohost == expected
+
+
+class TestLockstepOnCachedCore:
+    def test_golden_lockstep_holds_through_the_caches(self):
+        """Retirement-level checking composes with the cache hierarchy:
+        same register names, same protocol, slower memory behind it."""
+        from repro.designs.rv32 import GoldenLockstep
+
+        program = assemble(primes_source(15))
+        env = make_cached_env(program, latency=3)
+        sim = make_simulator(CACHED, env=env)
+        lockstep = GoldenLockstep(sim, GoldenModel(program))
+        retired = lockstep.run(max_cycles=300_000)
+        assert retired == lockstep.golden.instructions_executed

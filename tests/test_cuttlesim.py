@@ -1,0 +1,307 @@
+"""Tests for the Cuttlesim compiler: all six optimization levels, the
+generated code's structure, instrumentation, and debug hooks."""
+
+import warnings
+
+import pytest
+
+from repro.cuttlesim import compile_model, generate_source
+from repro.designs import build_collatz, build_stm
+from repro.errors import SimulationError
+from repro.harness.env import Environment
+from repro.koika import (
+    Abort, C, Design, If, Let, Read, Seq, V, Write, guard, seq, unit, when,
+)
+from repro.semantics import Interpreter
+
+ALL_LEVELS = list(range(6))
+
+
+def counter_design():
+    design = Design("counter")
+    x = design.reg("x", 8)
+    design.rule("inc", x.wr0(x.rd0() + C(1, 8)))
+    design.schedule("inc")
+    return design.finalize()
+
+
+def contended_design():
+    """Two rules racing on one register plus an independent one."""
+    design = Design("contended")
+    r = design.reg("r", 8)
+    s = design.reg("s", 8)
+    design.rule("a", seq(guard(r.rd0() < C(10, 8)), r.wr0(r.rd0() + C(1, 8))))
+    design.rule("b", r.wr0(C(99, 8)))   # conflicts with a when a fires
+    design.rule("c", s.wr0(s.rd0() + C(2, 8)))
+    design.schedule("a", "b", "c")
+    return design.finalize()
+
+
+class TestAllLevels:
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_counter_runs(self, opt):
+        model = compile_model(counter_design(), opt=opt)()
+        model.run(7)
+        assert model.peek("x") == 7
+        assert model.cycle == 7
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_matches_interpreter_on_contention(self, opt):
+        design = contended_design()
+        reference = Interpreter(design)
+        model = compile_model(design, opt=opt)()
+        for cycle in range(20):
+            report = reference.run_cycle()
+            committed = model.run_cycle()
+            assert set(committed) == set(report.committed), cycle
+            assert model.peek("r") == reference.peek("r")
+            assert model.peek("s") == reference.peek("s")
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_peek_poke(self, opt):
+        model = compile_model(counter_design(), opt=opt)()
+        model.poke("x", 0x1F0)
+        assert model.peek("x") == 0xF0  # masked to 8 bits
+        model.run(1)
+        assert model.peek("x") == 0xF1
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_snapshot_restore(self, opt):
+        model = compile_model(counter_design(), opt=opt)()
+        model.run(3)
+        snap = model.snapshot()
+        model.run(4)
+        model.restore(snap)
+        assert model.peek("x") == 3 and model.cycle == 3
+        model.run(1)
+        assert model.peek("x") == 4
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_reset(self, opt):
+        model = compile_model(counter_design(), opt=opt)()
+        model.run(5)
+        model.reset()
+        assert model.peek("x") == 0 and model.cycle == 0
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_rule_order_override(self, opt):
+        design = contended_design()
+        model = compile_model(design, opt=opt,
+                              order_independent=True, warn_goldberg=False)()
+        committed = model.run_cycle(order=["b", "a", "c"])
+        # b fires first now, a conflicts on r
+        assert "b" in committed and "a" not in committed
+        assert model.peek("r") == 99
+
+    def test_order_override_unknown_rule(self):
+        model = compile_model(counter_design())()
+        with pytest.raises(SimulationError):
+            model.run_cycle(order=["nope"])
+
+
+class TestGeneratedCode:
+    def test_source_is_readable_and_attached(self):
+        cls = compile_model(build_collatz(), opt=5)
+        assert "def rule_rl_even(self):" in cls.SOURCE
+        assert "def _cycle(self):" in cls.SOURCE
+        assert cls.DESIGN_NAME == "collatz"
+
+    def test_o5_safe_design_has_no_flag_arrays(self):
+        src = generate_source(counter_design(), opt=5)[0]
+        # fully safe design: no conflict checks, no flag updates anywhere
+        assert "conflict" not in src and "|=" not in src
+
+    def test_o5_contending_rules_keep_minimal_checks(self):
+        # collatz's two guarded rules both touch x; the analysis cannot
+        # prove the guards exclusive, so x keeps (minimized) flags.
+        src = generate_source(build_collatz(), opt=5)[0]
+        assert "# x.rd0 conflict" in src
+        assert "# x.wr0 conflict" in src
+
+    def test_o5_guard_compiles_to_early_return(self):
+        src = generate_source(build_collatz(), opt=5)[0]
+        assert "return False" in src
+
+    def test_o0_keeps_interleaved_logs(self):
+        src = generate_source(build_collatz(), opt=0)[0]
+        assert "_clear_rule_log" in src and "_commit_cycle" in src
+
+    def test_o2_has_entry_copies(self):
+        src = generate_source(contended_design(), opt=2)[0]
+        assert "Arw[:] = Lrw" in src
+
+    def test_o3_has_rollback(self):
+        src = generate_source(contended_design(), opt=3)[0]
+        assert "_rollback" in src
+
+    def test_o4_has_no_state_array(self):
+        src = generate_source(contended_design(), opt=4)[0]
+        assert "self._state" not in src
+
+    def test_unsafe_design_tracks_minimized_flags(self):
+        src = generate_source(contended_design(), opt=5)[0]
+        assert "Af[" in src  # contended register needs flags
+
+    def test_register_op_comments(self):
+        src = generate_source(counter_design(), opt=5)[0]
+        assert "# x.wr0" in src
+
+    def test_internal_fns_become_functions(self):
+        src = generate_source(build_stm(), opt=5)[0]
+        assert "def fn_fA(" in src and "def fn_fB(" in src
+
+    def test_invalid_opt_level(self):
+        from repro.errors import CompileError
+
+        with pytest.raises(CompileError):
+            compile_model(counter_design(), opt=7)
+
+
+class TestGoldbergHandling:
+    def goldberg_design(self):
+        design = Design("goldberg")
+        design.reg("r", 8)
+        design.reg("out", 8)
+        design.rule("rl", Seq(
+            Write("r", 0, C(1, 8)),
+            Write("r", 1, C(2, 8)),
+            Write("out", 0, Read("r", 1)),
+        ))
+        design.schedule("rl")
+        return design.finalize()
+
+    def test_warning_issued(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compile_model(self.goldberg_design(), opt=5)
+        assert any("rd1(r)" in str(w.message) for w in caught)
+
+    @pytest.mark.parametrize("opt", [0, 1, 2, 3])
+    def test_separate_data_levels_are_exact(self, opt):
+        design = self.goldberg_design()
+        model = compile_model(design, opt=opt)()
+        model.run(1)
+        assert model.peek("out") == 1   # rd1 returns the wr0 value
+        assert model.peek("r") == 2
+
+    @pytest.mark.parametrize("opt", [4, 5])
+    def test_merged_data_levels_document_divergence(self, opt):
+        # The paper: "Cuttlesim ignores the issue and optionally warns".
+        design = self.goldberg_design()
+        model = compile_model(design, opt=opt, warn_goldberg=False)()
+        model.run(1)
+        assert model.peek("r") == 2     # commit value still right
+
+
+class TestExternalFunctions:
+    def test_call_order_and_count(self):
+        design = Design("io")
+        design.reg("r", 8)
+        src = design.extfun("src", 0, 8)
+        sink = design.extfun("sink", 8, 0)
+        design.rule("pump", Let("v", src(C(0, 0)),
+                                Seq(sink(V("v")), sink(V("v") + C(1, 8)))))
+        design.schedule("pump")
+        design.finalize()
+        for opt in ALL_LEVELS:
+            calls = []
+            env = Environment({
+                "src": lambda _: 10,
+                "sink": lambda v: calls.append(v) or 0,
+            })
+            compile_model(design, opt=opt)(env).run(2)
+            assert calls == [10, 11, 10, 11], f"O{opt}"
+
+    def test_aborted_rule_skips_extcall(self):
+        design = Design("io2")
+        c = design.reg("c", 1)
+        sink = design.extfun("sink", 8, 0)
+        design.rule("maybe", seq(guard(c.rd0() == C(1, 1)),
+                                 sink(C(5, 8))))
+        design.schedule("maybe")
+        design.finalize()
+        calls = []
+        env = Environment({"sink": lambda v: calls.append(v) or 0})
+        model = compile_model(design, opt=5)(env)
+        model.run(3)
+        assert calls == []             # guard fails: call skipped
+        model.poke("c", 1)
+        model.run(2)
+        assert calls == [5, 5]
+
+    def test_missing_extfun_reported(self):
+        design = Design("io3")
+        design.reg("r", 8)
+        sink = design.extfun("sink", 8, 0)
+        design.rule("pump", sink(C(1, 8)))
+        design.schedule("pump")
+        design.finalize()
+        with pytest.raises(SimulationError):
+            compile_model(design, opt=5)(Environment())
+
+
+class TestInstrumentation:
+    def test_counters_present_and_counting(self):
+        design = contended_design()
+        model = compile_model(design, opt=5, instrument=True,
+                              warn_goldberg=False)()
+        model.run(20)
+        counts = model.coverage_counts()
+        assert len(counts) == len(model.COV_BLOCKS) > 0
+        assert sum(counts) > 0
+
+    def test_reset_coverage(self):
+        model = compile_model(counter_design(), opt=5, instrument=True)()
+        model.run(5)
+        model.reset_coverage()
+        assert sum(model.coverage_counts()) == 0
+
+    def test_uninstrumented_has_no_counters(self):
+        model = compile_model(counter_design(), opt=5)()
+        assert model.coverage_counts() == []
+
+
+class TestDebugHooks:
+    def test_hooks_fire_in_order(self):
+        design = counter_design()
+        model = compile_model(design, opt=5, debug=True)()
+        events = []
+        model.set_hook(lambda kind, *args: events.append((kind, args)))
+        model.run(1)
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["rule", "read", "write", "commit"]
+        read_event = events[1][1]
+        assert read_event[1] == "x" and read_event[2] == 0
+
+    def test_fail_hook_carries_conflict_info(self):
+        design = contended_design()
+        model = compile_model(design, opt=5, debug=True,
+                              warn_goldberg=False)()
+        fails = []
+
+        def hook(kind, *args):
+            if kind == "fail":
+                fails.append(args)
+
+        model.set_hook(hook)
+        model.run(1)
+        # rule b conflicts on r with rule a
+        assert any(args[1] == "r" and args[2] == "wr0" and args[3] == "b"
+                   for args in fails)
+
+    def test_hookless_debug_model_still_runs(self):
+        model = compile_model(counter_design(), opt=5, debug=True)()
+        model.run(4)
+        assert model.peek("x") == 4
+
+
+class TestStmDesign:
+    def test_alternates_states(self):
+        env = Environment({"get_input": lambda _: 7,
+                           "put_output": lambda v: 0})
+        model = compile_model(build_stm(), opt=5)(env)
+        states = []
+        for _ in range(4):
+            model.run(1)
+            states.append(model.peek("st"))
+        assert states == [1, 0, 1, 0]

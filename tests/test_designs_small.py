@@ -1,0 +1,245 @@
+"""Tests for the small Table 1 designs: collatz, stm, fir, fft."""
+
+import pytest
+
+from repro.designs import (
+    DEFAULT_TAPS, build_collatz, build_fft, build_fir, build_stm,
+    fixed_point_fft_stage, reference_fir,
+)
+from repro.harness import Environment, make_simulator
+from repro.testing import assert_backends_equal
+
+
+def collatz_orbit(seed, steps):
+    orbit = [seed]
+    x = seed
+    for _ in range(steps):
+        x = x // 2 if x % 2 == 0 else 3 * x + 1
+        orbit.append(x)
+    return orbit
+
+
+class TestCollatz:
+    def test_orbit_matches_math(self):
+        sim = make_simulator(build_collatz(seed=27))
+        values = []
+        for _ in range(20):
+            values.append(sim.peek("x"))
+            sim.run(1)
+        assert values == collatz_orbit(27, 19)
+
+    def test_exactly_one_rule_commits_per_cycle(self):
+        sim = make_simulator(build_collatz())
+        for _ in range(15):
+            committed = sim.run_cycle()
+            assert len(committed) == 1
+
+    def test_reaches_fixed_cycle(self):
+        sim = make_simulator(build_collatz(seed=6))
+        sim.run_until(lambda s: s.peek("x") == 1, max_cycles=100)
+        sim.run(3)
+        assert sim.peek("x") == 1   # 1 -> 4 -> 2 -> 1
+
+    def test_all_backends(self):
+        assert_backends_equal(build_collatz(), cycles=25)
+
+
+class TestStm:
+    def make_env(self):
+        outputs = []
+        env = Environment({"get_input": lambda _: 0xDEAD,
+                           "put_output": lambda v: outputs.append(v) or 0})
+        env.outputs = outputs
+        return env
+
+    def test_rules_alternate(self):
+        env = self.make_env()
+        sim = make_simulator(build_stm(), env=env)
+        fired = [sim.run_cycle()[0] for _ in range(4)]
+        assert fired == ["rlA", "rlB", "rlA", "rlB"]
+
+    def test_output_stream(self):
+        env = self.make_env()
+        sim = make_simulator(build_stm(), env=env)
+        sim.run(3)
+        assert len(env.outputs) == 3
+        assert env.outputs[0] == (0 ^ 0xDEAD) + 0x9E3779B9 & 0xFFFFFFFF
+
+    def test_all_backends(self):
+        assert_backends_equal(build_stm(), cycles=16,
+                              env_factory=self.make_env)
+
+
+class TestFir:
+    def make_env(self, samples):
+        iterator = iter(samples)
+        outputs = []
+        env = Environment({"get_sample": lambda _: next(iterator),
+                           "put_result": lambda v: outputs.append(v) or 0})
+        env.outputs = outputs
+        return env
+
+    def test_impulse_response_is_the_kernel(self):
+        samples = [1] + [0] * (len(DEFAULT_TAPS) - 1)
+        env = self.make_env(samples)
+        sim = make_simulator(build_fir(), env=env)
+        sim.run(len(samples))
+        assert env.outputs == list(DEFAULT_TAPS)
+
+    def test_matches_reference_on_random_stream(self):
+        samples = [(i * 2654435761) & 0xFFFFFFFF for i in range(25)]
+        env = self.make_env(samples)
+        sim = make_simulator(build_fir(), env=env)
+        sim.run(len(samples))
+        assert env.outputs == reference_fir(samples)
+
+    def test_custom_taps(self):
+        taps = (2, 4)
+        samples = [1, 0, 0, 5]
+        env = self.make_env(samples)
+        sim = make_simulator(build_fir(taps=taps), env=env)
+        sim.run(4)
+        assert env.outputs == reference_fir(samples, taps)
+
+    def test_single_tap_has_no_delay_line(self):
+        design = build_fir(taps=(3,))
+        assert design.register_names() == []
+        samples = [5, 7]
+        env = self.make_env(samples)
+        sim = make_simulator(design, env=env)
+        sim.run(2)
+        assert env.outputs == [15, 21]
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            build_fir(taps=())
+
+    def test_all_backends(self):
+        samples = [(i * 977) & 0xFFFFFFFF for i in range(20)]
+        assert_backends_equal(build_fir(), cycles=12,
+                              env_factory=lambda: self.make_env(samples))
+
+
+class TestFft:
+    def make_env(self, values):
+        env = Environment({"get_sample": lambda k: values[k % len(values)],
+                           "put_result": lambda v: 0})
+        return env
+
+    def test_stages_match_bit_exact_model(self):
+        n = 8
+        values = [(i * 3141 + 17) & 0xFFFF for i in range(2 * n)]
+        sim = make_simulator(build_fft(n), env=self.make_env(values))
+        sim.run(1)   # load phase
+        reals = [sim.peek(f"re{i}") for i in range(n)]
+        imags = [sim.peek(f"im{i}") for i in range(n)]
+        assert reals == values[0::2]
+        assert imags == values[1::2]
+        for stage in range(3):
+            sim.run(1)
+            reals, imags = fixed_point_fft_stage(reals, imags, stage, n)
+            assert [sim.peek(f"re{i}") for i in range(n)] == reals, stage
+            assert [sim.peek(f"im{i}") for i in range(n)] == imags, stage
+
+    def test_phase_counter_wraps(self):
+        sim = make_simulator(build_fft(8), env=self.make_env([0]))
+        assert sim.peek("stage") == 3   # starts at the load phase
+        sim.run(1)
+        assert sim.peek("stage") == 0
+        sim.run(3)
+        assert sim.peek("stage") == 3   # back to load
+
+    def test_dc_input_transforms_to_impulse(self):
+        """An all-constant (DC) input concentrates into bin 0."""
+        n = 8
+        amplitude = 1 << 10
+        values = []
+        for i in range(n):
+            values += [amplitude, 0]
+        sim = make_simulator(build_fft(n), env=self.make_env(values))
+        sim.run(4)  # load + 3 stages
+        reals = [sim.peek(f"re{i}") for i in range(n)]
+        assert reals[0] == (n * amplitude) & 0xFFFF
+        # all other bins are (close to) zero
+        from repro.koika.types import to_signed
+
+        for value in reals[1:]:
+            assert abs(to_signed(value, 16)) <= n  # rounding residue only
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_fft(6)
+        with pytest.raises(ValueError):
+            build_fft(2)
+
+    def test_sixteen_point_variant(self):
+        sim = make_simulator(build_fft(16), env=self.make_env([1, 2, 3]))
+        sim.run(5)
+        assert sim.peek("stage") == 4
+
+    def test_all_backends(self):
+        values = [(i * 1234 + 77) & 0xFFFF for i in range(16)]
+        assert_backends_equal(build_fft(8), cycles=9,
+                              env_factory=lambda: self.make_env(values))
+
+
+class TestFftAgainstNumpy:
+    """End-to-end spectral correctness vs an independent FFT."""
+
+    @staticmethod
+    def bit_reverse_indices(n):
+        bits = n.bit_length() - 1
+        return [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_matches_numpy_within_quantization(self, n):
+        import numpy as np
+
+        from repro.designs.fft import FRAC_BITS, WIDTH
+        from repro.koika.types import to_signed
+
+        t = np.arange(n)
+        signal = (0.25 * np.cos(2 * np.pi * t / n)
+                  + 0.125 * np.sin(2 * np.pi * 2 * t / n)
+                  + 0.0625 * np.cos(2 * np.pi * 3 * t / n + 0.7))
+        fixed = [int(round(v * (1 << FRAC_BITS))) & 0xFFFF for v in signal]
+        order = self.bit_reverse_indices(n)
+        feed = {}
+        for i in range(n):
+            feed[2 * i] = fixed[order[i]]     # DIT wants bit-reversed input
+            feed[2 * i + 1] = 0
+        env = Environment({"get_sample": lambda k: feed.get(k, 0),
+                           "put_result": lambda _v: 0})
+        sim = make_simulator(build_fft(n), env=env)
+        sim.run(1 + n.bit_length() - 1)       # load + all stages
+        got = np.array([
+            complex(to_signed(sim.peek(f"re{i}"), WIDTH),
+                    to_signed(sim.peek(f"im{i}"), WIDTH))
+            for i in range(n)
+        ]) / (1 << FRAC_BITS)
+        expected = np.fft.fft(signal)
+        assert np.max(np.abs(got - expected)) < 0.02
+
+    def test_tone_lands_in_the_right_bin(self):
+        import numpy as np
+
+        from repro.designs.fft import FRAC_BITS, WIDTH
+        from repro.koika.types import to_signed
+
+        n = 8
+        t = np.arange(n)
+        signal = 0.5 * np.cos(2 * np.pi * 2 * t / n)   # pure bin-2 tone
+        fixed = [int(round(v * (1 << FRAC_BITS))) & 0xFFFF for v in signal]
+        order = self.bit_reverse_indices(n)
+        feed = {2 * i: fixed[order[i]] for i in range(n)}
+        env = Environment({"get_sample": lambda k: feed.get(k, 0),
+                           "put_result": lambda _v: 0})
+        sim = make_simulator(build_fft(n), env=env)
+        sim.run(4)
+        magnitudes = [
+            abs(complex(to_signed(sim.peek(f"re{i}"), WIDTH),
+                        to_signed(sim.peek(f"im{i}"), WIDTH)))
+            for i in range(n)
+        ]
+        assert magnitudes[2] == max(magnitudes)
+        assert magnitudes[2] > 5 * magnitudes[1]

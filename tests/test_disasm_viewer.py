@@ -1,0 +1,133 @@
+"""Tests for the disassembler (incl. assembler round-trips) and the
+pipeline viewer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs.rv32 import (PipelineViewer, build_rv32i, make_core_env)
+from repro.harness import make_simulator
+from repro.riscv import assemble, disassemble, disassemble_program
+from repro.riscv import encoding as enc
+from repro.riscv.programs import fibonacci_source, nops_source
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("source,expected", [
+        ("nop", "nop"),
+        ("add a0, a1, a2", "add a0, a1, a2"),
+        ("mul a0, a1, a2", "mul a0, a1, a2"),
+        ("addi t0, t1, -5", "addi t0, t1, -5"),
+        ("slli s0, s1, 7", "slli s0, s1, 7"),
+        ("srai s0, s1, 3", "srai s0, s1, 3"),
+        ("lw a0, 8(sp)", "lw a0, 8(sp)"),
+        ("sw a0, -4(sp)", "sw a0, -4(sp)"),
+        ("lui a0, 0x12345", "lui a0, 0x12345"),
+        ("ret", "ret"),
+        ("div t0, t1, t2", "div t0, t1, t2"),
+        ("remu t0, t1, t2", "remu t0, t1, t2"),
+    ])
+    def test_known_encodings(self, source, expected):
+        word = next(iter(assemble(source).words.values()))
+        assert disassemble(word) == expected
+
+    def test_branch_targets_are_absolute(self):
+        program = assemble("nop\nloop:\nbeq a0, a1, loop")
+        word = program.words[4]
+        assert disassemble(word, pc=4) == "beq a0, a1, 0x4"
+
+    def test_jump(self):
+        program = assemble("j target\nnop\ntarget:\nnop")
+        assert disassemble(program.words[0], pc=0) == "j 0x8"
+
+    def test_unknown_word(self):
+        assert disassemble(0xFFFFFFFF).startswith(".word")
+
+    def test_program_listing(self):
+        program = assemble(nops_source(3))
+        listing = disassemble_program(program.words)
+        assert listing.count("nop") == 3
+        assert "00000000:" in listing
+
+    def test_listing_limit(self):
+        program = assemble(nops_source(20))
+        listing = disassemble_program(program.words, limit=5)
+        assert listing.endswith("...")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(sorted(enc.INSTRUCTIONS)),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+           st.integers(-512, 511))
+    def test_roundtrip_through_assembler(self, mnemonic, rd, rs1, rs2, imm):
+        """disassemble(assemble(x)) re-assembles to the same word."""
+        fmt, opcode, funct3, funct7 = enc.INSTRUCTIONS[mnemonic]
+        if fmt == "R":
+            word = enc.encode_r(opcode, funct3, funct7, rd, rs1, rs2)
+        elif fmt == "Ishamt":
+            word = enc.encode_i(opcode, funct3, rd, rs1,
+                                (funct7 << 5) | (rs2 & 31))
+        elif fmt == "I":
+            word = enc.encode_i(opcode, funct3, rd, rs1, imm)
+        elif fmt == "S":
+            word = enc.encode_s(opcode, funct3, rs1, rs2, imm)
+        elif fmt == "B":
+            word = enc.encode_b(opcode, funct3, rs1, rs2, imm & ~1)
+        elif fmt == "U":
+            word = enc.encode_u(opcode, rd, abs(imm))
+        else:  # J
+            word = enc.encode_j(opcode, rd, imm & ~1)
+        text = disassemble(word, pc=0x1000)
+        if text.startswith(".word"):
+            return  # not representable (fine)
+        reassembled = assemble(text, base=0x1000)
+        assert reassembled.words[0x1000] == word, (mnemonic, text)
+
+
+class TestPipelineViewer:
+    def make(self, source):
+        program = assemble(source)
+        env = make_core_env(program)
+        sim = make_simulator(build_rv32i(), env=env)
+        return sim, PipelineViewer(sim, program.memory_image())
+
+    def test_stage_occupancy_after_fill(self):
+        sim, viewer = self.make(nops_source(20))
+        sim.run(4)
+        stages = {s.stage: s for s in viewer.snapshot()}
+        assert set(stages) == {"FETCH", "DECODE", "EXEC", "WB"}
+        assert stages["DECODE"].text == "nop"
+        assert "bubble" not in stages["FETCH"].text
+
+    def test_bubbles_on_empty_pipeline(self):
+        sim, viewer = self.make(nops_source(5))
+        stages = {s.stage: s for s in viewer.snapshot()}  # cycle 0
+        assert "bubble" in stages["DECODE"].text
+        assert "bubble" in stages["EXEC"].text
+
+    def test_render_and_timeline(self):
+        sim, viewer = self.make(fibonacci_source(4))
+        sim.run(5)
+        text = viewer.render()
+        assert "FETCH" in text and "DECODE" in text
+        timeline = viewer.timeline(6)
+        assert timeline.count("\n") == 5
+        assert "DECODE:" in timeline
+
+    def test_stalls_visible_as_repeated_decode(self):
+        """A load-use dependency parks the consumer in DECODE."""
+        sim, viewer = self.make("""
+            li  a0, 0x100
+            lw  a1, 0(a0)
+            addi a2, a1, 1
+            nop
+            nop
+            nop
+        halt:
+            j halt
+        """)
+        timeline = viewer.timeline(14)
+        decode_lines = [line.split("DECODE: ")[1]
+                        for line in timeline.splitlines()]
+        repeated = any(decode_lines[i] == decode_lines[i + 1] !=
+                       "--- bubble ---"
+                       for i in range(len(decode_lines) - 1))
+        assert repeated, timeline

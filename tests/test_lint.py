@@ -1,0 +1,121 @@
+"""Tests for the design linter."""
+
+import pytest
+
+from repro.analysis import lint_design, lint_report
+from repro.designs import (build_collatz, build_msi, build_rv32i,
+                           build_uart)
+from repro.koika import C, Design, Read, Seq, Write, guard, seq
+
+
+def kinds(findings):
+    return {finding.kind for finding in findings}
+
+
+class TestCleanDesigns:
+    def test_collatz_is_clean(self):
+        assert lint_design(build_collatz()) == []
+
+    def test_uart_only_testbench_warning(self):
+        findings = lint_design(build_uart())
+        assert kinds(findings) == {"write-only-register"}
+        # rx_fifo_data is indeed drained by the testbench, not the design
+        assert "rx_fifo_data" in findings[0].message
+
+    def test_rv32i_only_testbench_warnings(self):
+        findings = lint_design(build_rv32i())
+        assert all(f.severity == "warning" for f in findings)
+        assert kinds(findings) == {"write-only-register"}
+        named = {f.message.split("'")[1] for f in findings}
+        assert named == {"toIMem_addr", "toDMem_data"}
+
+    def test_msi_fixed_has_no_errors(self):
+        findings = lint_design(build_msi())
+        assert not any(f.severity == "error" for f in findings)
+
+
+class TestAlwaysFailingOps:
+    def test_rd0_after_unconditional_writer(self):
+        design = Design("bad")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd0()))
+        design.schedule("writer", "reader")
+        findings = lint_design(design.finalize())
+        assert "always-fails" in kinds(findings)
+        assert "never-fires" in kinds(findings)
+        message = next(f for f in findings if f.kind == "always-fails")
+        assert "r.rd0" in message.message and "reader" in message.message
+
+    def test_double_unconditional_wr1(self):
+        design = Design("bad2")
+        r = design.reg("r", 8)
+        design.rule("a", r.wr1(C(1, 8)))
+        design.rule("b", r.wr1(C(2, 8)))
+        design.schedule("a", "b")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "wr1" in f.message
+                   for f in findings)
+
+    def test_conditional_writer_is_not_flagged(self):
+        """MAYBE conflicts are legitimate dynamics, not lint errors."""
+        design = Design("ok")
+        r = design.reg("r", 8)
+        c = design.reg("c", 1)
+        out = design.reg("out", 8)
+        design.rule("writer", seq(guard(c.rd0() == C(1, 1)),
+                                  r.wr0(C(1, 8))))
+        design.rule("reader", out.wr0(r.rd0()))
+        design.schedule("writer", "reader")
+        findings = lint_design(design.finalize())
+        assert "always-fails" not in kinds(findings)
+        assert "never-fires" not in kinds(findings)
+
+
+class TestNeverFiringRules:
+    def test_constant_false_guard(self):
+        design = Design("dead")
+        x = design.reg("x", 8)
+        design.rule("never", seq(guard(C(0, 1) == C(1, 1)),
+                                 x.wr0(C(1, 8))))
+        design.schedule("never")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "never-fires" and "never" in f.message
+                   for f in findings)
+
+
+class TestRegisterUsage:
+    def test_unused_register(self):
+        design = Design("u")
+        design.reg("ghost", 8)
+        live = design.reg("live", 8)
+        design.rule("r", live.wr0(live.rd0() + C(1, 8)))
+        design.schedule("r")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "unused-register" and "ghost" in f.message
+                   for f in findings)
+
+    def test_errors_sort_before_warnings(self):
+        design = Design("mix")
+        design.reg("ghost", 8)
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd0()))
+        design.schedule("writer", "reader")
+        findings = lint_design(design.finalize())
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities,
+                                    key=lambda s: s != "error")
+
+
+class TestReportIntegration:
+    def test_lint_text(self):
+        text = lint_report(build_collatz())
+        assert text.endswith("clean")
+
+    def test_design_report_includes_lint(self):
+        from repro.analysis import design_report
+
+        assert "lint:" in design_report(build_rv32i())

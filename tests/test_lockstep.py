@@ -1,0 +1,107 @@
+"""Tests for retirement-level golden-model lockstep checking."""
+
+import pytest
+
+from repro.designs.rv32 import (GoldenLockstep, LockstepMismatch,
+                                build_rv32i, build_rv32i_bypass,
+                                build_rv32im, make_core_env)
+from repro.errors import SimulationError
+from repro.harness import make_simulator
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import (branchy_source, matmul_source,
+                                  primes_source, sort_source)
+from repro.testing import enumerate_mutations, make_mutant
+
+
+def lockstep_for(builder, source, backend="cuttlesim"):
+    program = assemble(source)
+    env = make_core_env(program)
+    sim = make_simulator(builder(), backend=backend, env=env)
+    return GoldenLockstep(sim, GoldenModel(program))
+
+
+class TestHealthyCores:
+    @pytest.mark.parametrize("source", [
+        primes_source(25), sort_source(), branchy_source(50),
+    ], ids=["primes", "sort", "branchy"])
+    def test_rv32i_retires_in_lockstep(self, source):
+        lockstep = lockstep_for(build_rv32i, source)
+        retired = lockstep.run(max_cycles=100_000)
+        assert retired == lockstep.golden.instructions_executed
+        assert retired > 100
+
+    def test_bypass_core_in_lockstep(self):
+        lockstep = lockstep_for(build_rv32i_bypass, branchy_source(40))
+        lockstep.run(max_cycles=100_000)
+
+    def test_rv32im_in_lockstep(self):
+        lockstep = lockstep_for(build_rv32im, matmul_source(2))
+        lockstep.run(max_cycles=100_000)
+
+    def test_works_on_rtl_backend(self):
+        lockstep = lockstep_for(build_rv32i, primes_source(12),
+                                backend="rtl-cycle")
+        lockstep.run(max_cycles=20_000)
+
+    def test_retirement_log_is_disassembled(self):
+        lockstep = lockstep_for(build_rv32i, primes_source(10))
+        lockstep.run(max_cycles=20_000)
+        assert lockstep.log[-1].startswith("sw ")
+
+    def test_timeout_raises(self):
+        lockstep = lockstep_for(build_rv32i, "halt:\n    j halt")
+        with pytest.raises(SimulationError):
+            lockstep.run(max_cycles=50)
+
+
+class TestBrokenCores:
+    def test_some_datapath_mutation_is_caught_as_mismatch(self):
+        """Planting datapath bugs in execute/decode: the lockstep checker
+        must catch at least some as explicit register mismatches (others
+        may hang the pipeline, which the timeout catches)."""
+        program_source = primes_source(15)
+        candidates = [
+            index for index, mutation
+            in enumerate(enumerate_mutations(build_rv32i()))
+            if mutation.kind in ("const", "binop")
+            and ("execute" in mutation.description
+                 or "decode" in mutation.description)
+        ]
+        mismatches = 0
+        hangs = 0
+        for index in candidates[:12]:
+            mutant_design, _ = make_mutant(build_rv32i, index)
+            program = assemble(program_source)
+            env = make_core_env(program)
+            sim = make_simulator(mutant_design, env=env)
+            lockstep = GoldenLockstep(sim, GoldenModel(program))
+            try:
+                lockstep.run(max_cycles=3_000)
+            except LockstepMismatch:
+                mismatches += 1
+            except SimulationError:
+                hangs += 1
+        assert mismatches >= 1
+        assert mismatches + hangs >= len(candidates[:12]) // 2
+
+    def test_mismatch_message_names_the_instruction(self):
+        """Find one value-corrupting mutant and check the diagnostics."""
+        for index, mutation in enumerate(
+                enumerate_mutations(build_rv32i())):
+            if mutation.kind != "const" or "execute" not in \
+                    mutation.description:
+                continue
+            mutant_design, _ = make_mutant(build_rv32i, index)
+            program = assemble(primes_source(15))
+            env = make_core_env(program)
+            sim = make_simulator(mutant_design, env=env)
+            lockstep = GoldenLockstep(sim, GoldenModel(program))
+            try:
+                lockstep.run(max_cycles=3_000)
+            except LockstepMismatch as mismatch:
+                text = str(mismatch)
+                assert "after retiring" in text and "0x" in text
+                return
+            except SimulationError:
+                continue
+        pytest.skip("no const mutation produced a clean mismatch")

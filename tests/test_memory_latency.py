@@ -1,0 +1,75 @@
+"""Tests for configurable memory latency (beyond the paper's idealized
+single-cycle memory)."""
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.designs.rv32 import (GoldenLockstep, RV32MemoryDevice,
+                                build_rv32i, make_core_env, run_program)
+from repro.harness import make_simulator
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import primes_source, sort_source, \
+    stream_output_source
+
+CLS = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+
+
+def run_at(source, latency, max_cycles=500_000):
+    program = assemble(source)
+    env = make_core_env(program, latency=latency)
+    result, cycles = run_program(CLS(env), env, max_cycles=max_cycles)
+    return result, cycles, env.devices[0]
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("latency", [1, 2, 3, 5])
+    def test_results_independent_of_latency(self, latency):
+        expected = GoldenModel(assemble(sort_source())).run()
+        result, _cycles, _dev = run_at(sort_source(), latency)
+        assert result == expected
+
+    @pytest.mark.parametrize("latency", [1, 3])
+    def test_output_stream_preserved(self, latency):
+        result, _cycles, device = run_at(stream_output_source(5), latency)
+        assert device.outputs == [i * i for i in range(5)]
+
+    def test_lockstep_holds_under_latency(self):
+        program = assemble(primes_source(15))
+        env = make_core_env(program, latency=4)
+        sim = make_simulator(build_rv32i(), env=env)
+        lockstep = GoldenLockstep(sim, GoldenModel(program))
+        retired = lockstep.run(max_cycles=200_000)
+        assert retired == lockstep.golden.instructions_executed
+
+
+class TestTiming:
+    def test_cycles_scale_with_latency(self):
+        _r, cycles_1, _d = run_at(primes_source(20), 1)
+        _r, cycles_2, _d = run_at(primes_source(20), 2)
+        _r, cycles_4, _d = run_at(primes_source(20), 4)
+        assert cycles_1 < cycles_2 < cycles_4
+        # fetch dominates: each instruction now waits ~latency cycles
+        assert cycles_4 > 3 * cycles_1
+
+    def test_latency_one_matches_the_default(self):
+        _r, cycles_default, _d = run_at(primes_source(15), 1)
+        program = assemble(primes_source(15))
+        env = make_core_env(program)  # default latency
+        _r2, cycles_plain = run_program(CLS(env), env)
+        assert cycles_default == cycles_plain
+
+    def test_deterministic(self):
+        a = run_at(sort_source(), 3)[1]
+        b = run_at(sort_source(), 3)[1]
+        assert a == b
+
+
+class TestValidation:
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            RV32MemoryDevice(assemble("nop"), latency=0)
+
+    def test_access_counters(self):
+        _r, _c, device = run_at(sort_source(), 2)
+        assert device.imem_reads > 100
+        assert device.dmem_accesses > 20

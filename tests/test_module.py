@@ -1,0 +1,138 @@
+"""Tests for design composition (clone_action / instantiate)."""
+
+import pytest
+
+from repro.designs import build_collatz, build_stm, build_uart
+from repro.designs.uart import make_uart_env
+from repro.errors import KoikaElaborationError
+from repro.harness import Environment, make_simulator
+from repro.koika import (C, Design, clone_action, instantiate,
+                         pretty_action, pretty_design)
+from repro.testing import assert_backends_equal
+
+
+class TestCloneAction:
+    def test_clone_is_structurally_identical(self):
+        design = build_collatz()
+        body = design.rules["rl_odd"].body
+        cloned = clone_action(body)
+        assert pretty_action(cloned) == pretty_action(body)
+        assert cloned is not body
+
+    def test_clone_gets_fresh_uids(self):
+        from repro.koika.ast import walk
+
+        body = build_collatz().rules["rl_even"].body
+        original_uids = {n.uid for n in walk(body)}
+        cloned_uids = {n.uid for n in walk(clone_action(body))}
+        assert original_uids.isdisjoint(cloned_uids)
+
+    def test_register_renaming(self):
+        from repro.koika.ast import Read, Write, walk
+
+        body = build_collatz().rules["rl_even"].body
+        cloned = clone_action(body, rename_regs={"x": "core0_x"})
+        for node in walk(cloned):
+            if isinstance(node, (Read, Write)):
+                assert node.reg == "core0_x"
+
+    def test_function_renaming(self):
+        design = build_stm()
+        body = design.rules["rlA"].body
+        cloned = clone_action(body, rename_fns={"fA": "inst_fA"})
+        assert "inst_fA(" in pretty_action(cloned)
+
+
+class TestInstantiate:
+    def test_two_collatz_instances_run_independently(self):
+        parent = Design("twin")
+        instantiate(parent, build_collatz(seed=19), "a_")
+        instantiate(parent, build_collatz(seed=27), "b_")
+        parent.finalize()
+        assert set(parent.registers) == {"a_x", "b_x"}
+        sim = make_simulator(parent)
+        sim.run(3)
+        # each instance follows its own orbit: 19->58->29->88, 27->82->41->124
+        assert sim.peek("a_x") == 88
+        assert sim.peek("b_x") == 124
+
+    def test_instance_handle_maps_names(self):
+        parent = Design("h")
+        instance = instantiate(parent, build_collatz(), "i0_")
+        assert instance.reg_name("x") == "i0_x"
+        assert instance.rule_name("rl_even") == "i0_rl_even"
+
+    def test_functions_are_renamed_and_work(self):
+        parent = Design("stm2")
+        instantiate(parent, build_stm(), "s0_")
+        instantiate(parent, build_stm(), "s1_")
+        parent.finalize()
+        assert "s0_fA" in parent.fns and "s1_fA" in parent.fns
+        env = Environment({"get_input": lambda _: 3,
+                           "put_output": lambda _v: 0})
+        sim = make_simulator(parent, env=env)
+        sim.run(4)
+        assert sim.peek("s0_x") == sim.peek("s1_x")  # identical dynamics
+
+    def test_extfuns_shared_not_duplicated(self):
+        parent = Design("shared")
+        instantiate(parent, build_stm(), "s0_")
+        instantiate(parent, build_stm(), "s1_")
+        assert set(parent.extfuns) == {"get_input", "put_output"}
+
+    def test_child_design_is_untouched(self):
+        child = build_collatz()
+        before = pretty_design(child)
+        parent = Design("p")
+        instantiate(parent, child, "i_")
+        assert pretty_design(child) == before
+
+    def test_same_child_twice_needs_distinct_prefixes(self):
+        parent = Design("dup")
+        child = build_collatz()
+        instantiate(parent, child, "i_")
+        with pytest.raises(KoikaElaborationError):
+            instantiate(parent, child, "i_")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(KoikaElaborationError):
+            instantiate(Design("p"), build_collatz(), "0-bad ")
+
+    def test_unscheduled_instantiation(self):
+        parent = Design("manual")
+        instance = instantiate(parent, build_collatz(), "i_",
+                               schedule=False)
+        assert parent.scheduler == []
+        parent.schedule(instance.rule_name("rl_odd"),
+                        instance.rule_name("rl_even"))
+        parent.finalize()
+        make_simulator(parent).run(3)
+
+    def test_composed_design_matches_on_all_backends(self):
+        parent = Design("twin2")
+        instantiate(parent, build_collatz(seed=7), "a_")
+        instantiate(parent, build_uart(divisor=2), "u_")
+        parent.finalize()
+
+        def env_factory():
+            env = make_uart_env([0x41])
+            # the uart driver pokes u_-prefixed registers
+            driver = env.devices[0]
+            original = driver.after_cycle
+
+            class Shim:
+                def peek(self, reg):
+                    return self._sim.peek(f"u_{reg}")
+
+                def poke(self, reg, value):
+                    self._sim.poke(f"u_{reg}", value)
+
+            def shimmed(sim):
+                shim = Shim()
+                shim._sim = sim
+                original(shim)
+
+            driver.after_cycle = shimmed
+            return env
+
+        assert_backends_equal(parent, cycles=40, env_factory=env_factory)

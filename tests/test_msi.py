@@ -1,0 +1,246 @@
+"""Tests for the MSI cache-coherence system (case study 1's subject)."""
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.designs.msi import (
+    MSHR, MSI, PSTATE, CoherenceDriver, build_msi, make_msi_env,
+)
+from repro.harness import make_simulator
+from repro.testing import assert_backends_equal
+
+FIXED = build_msi(bug=False)
+FIXED_CLS = compile_model(FIXED, opt=5, warn_goldberg=False)
+
+
+def run_script(script, max_cycles=5000, cls=FIXED_CLS):
+    env = make_msi_env(script)
+    driver = env.devices[0]
+    model = cls(env)
+    model.run_until(lambda s: driver.all_done, max_cycles=max_cycles)
+    return model, driver
+
+
+class TestProtocolBasics:
+    def test_cold_read_returns_memory_value(self):
+        model, driver = run_script([(0, "read", 1, 0)])
+        assert driver.reads[0] == [0]
+
+    def test_write_then_read_same_core(self):
+        model, driver = run_script([
+            (0, "write", 1, 0x42),
+            (0, "read", 1, 0),
+        ])
+        assert driver.reads[0] == [0x42]
+
+    def test_read_hit_after_fill_is_fast(self):
+        model, driver = run_script([(0, "read", 1, 0)])
+        first = model.cycle
+        model2, driver2 = run_script([(0, "read", 1, 0), (0, "read", 1, 0)])
+        # the second read hits in S: only a couple of extra cycles
+        assert model2.cycle - first < first
+
+    def test_cross_core_write_visibility(self):
+        model, driver = run_script([
+            (0, "write", 2, 0xCAFE),
+            (1, "read", 2, 0),
+        ])
+        assert driver.reads[1] == [0xCAFE]
+
+    def test_write_write_read_chain(self):
+        model, driver = run_script([
+            (0, "write", 3, 1),
+            (1, "write", 3, 2),
+            (0, "read", 3, 0),
+        ])
+        assert driver.reads[0] == [2]
+
+    def test_independent_lines_do_not_interfere(self):
+        model, driver = run_script([
+            (0, "write", 0, 10),
+            (1, "write", 1, 20),
+            (0, "read", 0, 0),
+            (1, "read", 1, 0),
+        ])
+        assert driver.reads[0] == [10]
+        assert driver.reads[1] == [20]
+
+
+class TestProtocolStates:
+    def test_modified_state_after_write(self):
+        model, _ = run_script([(0, "write", 2, 5)])
+        assert MSI.member_of(model.peek("c0_state_2")) == "M"
+        assert MSI.member_of(model.peek("dir_c0_2")) == "M"
+
+    def test_downgrade_to_shared_on_remote_read(self):
+        model, _ = run_script([
+            (0, "write", 2, 5),
+            (1, "read", 2, 0),
+        ])
+        assert MSI.member_of(model.peek("c0_state_2")) == "S"
+        assert MSI.member_of(model.peek("c1_state_2")) == "S"
+
+    def test_invalidation_on_remote_write(self):
+        model, _ = run_script([
+            (0, "write", 2, 5),
+            (1, "write", 2, 6),
+        ])
+        assert MSI.member_of(model.peek("c0_state_2")) == "I"
+        assert MSI.member_of(model.peek("c1_state_2")) == "M"
+
+    def test_writeback_reaches_parent_memory(self):
+        model, _ = run_script([
+            (0, "write", 2, 0xBEEF),
+            (1, "read", 2, 0),
+        ])
+        assert model.peek("pmem_2") == 0xBEEF
+
+    def test_parent_returns_to_idle(self):
+        model, _ = run_script([
+            (0, "write", 2, 5),
+            (1, "write", 2, 6),
+        ])
+        assert PSTATE.member_of(model.peek("p_state")) == "Idle"
+
+    def test_mshrs_ready_after_completion(self):
+        model, _ = run_script([
+            (0, "write", 2, 5),
+            (1, "read", 2, 0),
+        ])
+        assert MSHR.member_of(model.peek("c0_mshr")) == "Ready"
+        assert MSHR.member_of(model.peek("c1_mshr")) == "Ready"
+
+
+class TestConcurrentStress:
+    def test_concurrent_streams_complete(self):
+        script = []
+        for i in range(8):
+            script.append((0, "write" if i % 2 else "read", i % 4, i))
+            script.append((1, "read" if i % 2 else "write", (i + 1) % 4, i))
+        env = make_msi_env(script)
+        env.devices[0].sequential = False
+        env.devices[0].reset()
+        driver = env.devices[0]
+        model = FIXED_CLS(env)
+        model.run_until(lambda s: driver.all_done, max_cycles=5000)
+        assert driver.completed == [8, 8]
+
+    def test_single_owner_invariant(self):
+        """Protocol invariant: never two caches in M, never M beside S."""
+        script = [
+            (0, "write", 2, 1), (1, "write", 2, 2), (0, "read", 2, 0),
+            (1, "write", 2, 3), (0, "write", 2, 4), (1, "read", 2, 0),
+        ]
+        env = make_msi_env(script)
+        driver = env.devices[0]
+        model = FIXED_CLS(env)
+        for _ in range(400):
+            model.run_cycle()
+            for line in range(4):
+                states = {MSI.member_of(model.peek(f"c{i}_state_{line}"))
+                          for i in (0, 1)}
+                assert states != {"M"}, "both caches Modified"
+                if "M" in states:
+                    assert states == {"M", "I"}, states
+            if driver.all_done:
+                break
+        assert driver.all_done
+
+
+class TestDeadlockBug:
+    def test_buggy_variant_deadlocks_in_the_papers_states(self):
+        script = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB)]
+        buggy = compile_model(build_msi(bug=True), opt=5,
+                              warn_goldberg=False)
+        env = make_msi_env(script)
+        driver = env.devices[0]
+        model = buggy(env)
+        model.run(400)
+        assert not driver.all_done
+        assert MSHR.member_of(model.peek("c0_mshr")) == "WaitFillResp"
+        assert PSTATE.member_of(model.peek("p_state")) == "ConfirmDowngrades"
+
+    def test_fixed_variant_completes_same_script(self):
+        script = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB)]
+        model, driver = run_script(script)
+        assert driver.all_done
+
+    def test_confirm_rule_fails_every_cycle_in_buggy_variant(self):
+        script = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB)]
+        buggy = compile_model(build_msi(bug=True), opt=5,
+                              warn_goldberg=False)
+        env = make_msi_env(script)
+        model = buggy(env)
+        model.run(50)  # drive into the deadlock
+        for _ in range(10):
+            committed = model.run_cycle()
+            assert "parent_confirm_downgrades" not in committed
+            assert "c1_announce" in committed  # keeps re-announcing (wr1)
+
+
+class TestCrossBackend:
+    def test_fixed_design_matches_all_backends(self):
+        script = [
+            (1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB),
+            (1, "read", 2, 0), (0, "read", 1, 0),
+        ]
+        assert_backends_equal(FIXED, cycles=35,
+                              env_factory=lambda: make_msi_env(script))
+
+    def test_buggy_design_matches_all_backends(self):
+        # Even the deadlock must be bit-identical everywhere.
+        script = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB)]
+        assert_backends_equal(build_msi(bug=True), cycles=35,
+                              env_factory=lambda: make_msi_env(script))
+
+
+class TestRandomScripts:
+    """Property: any sequential access script is served coherently —
+    every read returns the most recent write to that line (sequential
+    consistency is trivial for one-at-a-time scripts), and the MSI
+    invariants hold throughout."""
+
+    from hypothesis import given, settings, strategies as st
+
+    script_strategy = st.lists(
+        st.tuples(st.integers(0, 1),                        # core
+                  st.sampled_from(["read", "write"]),
+                  st.integers(0, 3),                        # line
+                  st.integers(0, 0xFFFF)),                  # data
+        min_size=1, max_size=12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(script=script_strategy)
+    def test_reads_return_last_write(self, script):
+        env = make_msi_env(script)
+        driver = env.devices[0]
+        model = FIXED_CLS(env)
+        model.run_until(lambda _s: driver.all_done, max_cycles=20_000)
+
+        last_written = {}
+        expected_reads = [[], []]
+        for core, op, addr, data in script:
+            if op == "write":
+                last_written[addr] = data
+            else:
+                expected_reads[core].append(last_written.get(addr, 0))
+        assert driver.reads[0] == expected_reads[0]
+        assert driver.reads[1] == expected_reads[1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(script=script_strategy)
+    def test_msi_invariant_throughout(self, script):
+        env = make_msi_env(script)
+        driver = env.devices[0]
+        model = FIXED_CLS(env)
+        for _ in range(600):
+            model.run_cycle()
+            for line in range(4):
+                states = [MSI.member_of(model.peek(f"c{i}_state_{line}"))
+                          for i in (0, 1)]
+                if "M" in states:
+                    assert states.count("M") == 1
+                    assert "S" not in states
+            if driver.all_done:
+                break
+        assert driver.all_done

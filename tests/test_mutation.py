@@ -1,0 +1,116 @@
+"""Mutation testing: does the verification tooling catch planted bugs?"""
+
+import pytest
+
+from repro.designs import build_collatz
+from repro.designs.uart import build_uart, make_uart_env
+from repro.harness import Environment
+from repro.koika.ast import Read, Write, walk
+from repro.testing import (
+    enumerate_mutations, kill_rate, make_mutant, mutant_count,
+)
+
+
+class TestMutationMachinery:
+    def test_enumeration_covers_all_classes(self):
+        kinds = {m.kind for m in enumerate_mutations(build_collatz())}
+        assert kinds == {"write-port", "read-port", "const", "binop",
+                         "schedule"}
+
+    def test_make_mutant_actually_mutates(self):
+        original = build_collatz()
+        mutant, mutation = make_mutant(build_collatz, 0)
+        from repro.koika import pretty_design
+
+        assert pretty_design(mutant) != pretty_design(original) or \
+            mutation.kind == "schedule"
+
+    def test_mutant_still_typechecks_and_runs(self):
+        from repro.semantics import Interpreter
+
+        for index in range(mutant_count(build_collatz)):
+            mutant, _ = make_mutant(build_collatz, index)
+            Interpreter(mutant).run(3)   # must not raise
+
+    def test_mutations_are_independent(self):
+        """Each make_mutant call starts from a fresh design."""
+        a, _ = make_mutant(build_collatz, 0)
+        b, _ = make_mutant(build_collatz, 1)
+        from repro.koika import pretty_design
+
+        assert pretty_design(a) != pretty_design(b)
+
+
+class TestKillRates:
+    def test_collatz_kill_rate(self):
+        killed, tested, survivors = kill_rate(build_collatz, Environment,
+                                              cycles=40)
+        assert tested == mutant_count(build_collatz)
+        assert killed / tested >= 0.75
+        # The known-equivalent survivors: collatz is order-independent
+        # (case study 2's property!) and nothing reads x at port 1, so
+        # schedule swaps and wr0->wr1 flips are unobservable.
+        assert all(s.kind in ("schedule", "write-port") for s in survivors)
+
+    def test_uart_line_port_flips_are_equivalent(self):
+        """Instructive negative case: flipping the TX line write to port 1
+        is *equivalent* in this UART — nothing reads the line at port 1 in
+        the same cycle, and a lone wr1 commits the same value as a wr0.
+        (Case study 1's bug needs a same-cycle rd1, as in the MSI design.)
+        """
+        payload = [0x5A, 0xC3]
+        builder = lambda: build_uart()  # noqa: E731
+        targets = [
+            i for i, m in enumerate(enumerate_mutations(builder()))
+            if m.kind == "write-port" and "line.wr0" in m.description
+        ]
+        assert len(targets) == 3
+        from repro.semantics import Interpreter
+
+        for index in targets:
+            original = Interpreter(builder(), env=make_uart_env(list(payload)))
+            mutant_design, _ = make_mutant(builder, index)
+            mutant = Interpreter(mutant_design,
+                                 env=make_uart_env(list(payload)))
+            for _ in range(120):
+                a = original.run_cycle()
+                b = mutant.run_cycle()
+                assert set(a.committed) == set(b.committed)
+                assert original.state == mutant.state
+
+    def test_uart_bit_count_mutation_is_killed(self):
+        """An off-by-one in the TX bit counter breaks framing — must be
+        caught quickly."""
+        payload = [0x5A, 0xC3]
+        builder = lambda: build_uart()  # noqa: E731
+        targets = [
+            i for i, m in enumerate(enumerate_mutations(builder()))
+            if m.kind == "const" and "constant 7 -> 8" in m.description
+        ]
+        assert targets
+        from repro.semantics import Interpreter
+
+        index = targets[0]
+        original = Interpreter(builder(), env=make_uart_env(list(payload)))
+        mutant_design, _ = make_mutant(builder, index)
+        mutant = Interpreter(mutant_design, env=make_uart_env(list(payload)))
+        diverged = False
+        for _ in range(200):
+            a = original.run_cycle()
+            b = mutant.run_cycle()
+            if set(a.committed) != set(b.committed) or \
+                    original.state != mutant.state:
+                diverged = True
+                break
+        assert diverged, "bit-count off-by-one survived cosimulation"
+
+    def test_sampled_uart_kill_rate(self):
+        payload = [0x5A]
+
+        def env_factory():
+            return make_uart_env(list(payload))
+
+        killed, tested, _ = kill_rate(lambda: build_uart(), env_factory,
+                                      cycles=80, sample_every=7)
+        assert tested >= 8
+        assert killed / tested >= 0.6

@@ -1,0 +1,142 @@
+"""Tests for the perf monitor, netlist stats, and the debugger shell."""
+
+import pytest
+
+from repro.designs import (build_collatz, build_msi, build_rv32i,
+                           make_core_env, make_msi_env)
+from repro.harness import PerfMonitor, make_simulator
+from repro.debug import run_script
+from repro.riscv import assemble
+from repro.riscv.programs import nops_source, primes_source
+from repro.rtl import analyze_netlist, compare_lowerings, lower_design, \
+    stats_report
+
+
+class TestPerfMonitor:
+    def test_commit_counts_and_utilization(self):
+        sim = make_simulator(build_collatz())
+        monitor = PerfMonitor(sim)
+        monitor.run(20)
+        total = sum(monitor.commit_counts.values())
+        assert total == 20              # exactly one rule fires per cycle
+        assert 0 < monitor.utilization("rl_even") < 1
+        assert monitor.idle_cycles == 0
+
+    def test_ipc_on_the_pipeline(self):
+        program = assemble(nops_source(100))
+        env = make_core_env(program)
+        sim = make_simulator(build_rv32i(), env=env)
+        monitor = PerfMonitor(sim)
+        monitor.run_until(lambda _s: env.devices[0].halted,
+                          max_cycles=10_000)
+        assert monitor.ipc("writeback") > 0.85   # ~1 IPC on straight NOPs
+
+    def test_custom_events(self):
+        sim = make_simulator(build_collatz())
+        monitor = PerfMonitor(sim)
+        monitor.watch("x_is_odd", lambda s: s.peek("x") & 1)
+        monitor.run(20)
+        assert 0 < monitor.event_counts["x_is_odd"] < 20
+
+    def test_report_text(self):
+        sim = make_simulator(build_collatz())
+        monitor = PerfMonitor(sim)
+        monitor.run(5)
+        text = monitor.report()
+        assert "5 cycles" in text and "rl_even" in text
+
+    def test_works_on_rtl_backend(self):
+        sim = make_simulator(build_collatz(), backend="rtl-cycle")
+        monitor = PerfMonitor(sim)
+        monitor.run(10)
+        assert sum(monitor.commit_counts.values()) == 10
+
+
+class TestNetlistStats:
+    def test_collatz_critical_path_goes_through_the_multiplier(self):
+        stats = analyze_netlist(lower_design(build_collatz()))
+        assert "mul" in stats.critical_path
+        assert stats.critical_path[0].startswith("reg:")
+        assert stats.depth > 0 and stats.area > 0
+        assert stats.register_bits == 32
+
+    def test_lowerings_comparable_depth(self):
+        """The paper's Q2 premise: comparable critical paths and areas."""
+        for builder in (build_collatz, build_rv32i):
+            stats = compare_lowerings(builder())
+            ratio = stats["koika"].depth / stats["bluespec"].depth
+            assert 0.5 <= ratio <= 2.0
+            area_ratio = stats["koika"].area / stats["bluespec"].area
+            assert 0.5 <= area_ratio <= 2.0
+
+    def test_contention_adds_nodes_to_koika_lowering(self):
+        """Dynamic read-write-set circuits only exist where conflicts are
+        possible: the buggy MSI design needs more tracking than the
+        bsc-style static lowering."""
+        stats = compare_lowerings(build_msi(bug=True))
+        assert stats["koika"].node_count >= stats["bluespec"].node_count
+
+    def test_report_text(self):
+        text = stats_report(build_collatz())
+        assert "depth ratio" in text and "critical path" in text
+
+
+class TestDebugShell:
+    def test_case_study_script(self):
+        env = make_msi_env([(1, "write", 2, 0xAAAA),
+                            (0, "write", 2, 0xBBBB)])
+        transcript = run_script(build_msi(bug=True), env, [
+            "run 60",
+            "print c0_mshr",
+            "bfail parent_confirm_downgrades",
+            "continue",
+            "lastwrite c1_ack_valid",
+            "quit",
+        ])
+        assert "mshr_tag::WaitFillResp" in transcript
+        assert "conflict on c1_ack_valid.rd1" in transcript
+        assert "c1_ack_valid.wr1" in transcript
+
+    def test_step_and_where(self):
+        transcript = run_script(build_collatz(), None, [
+            "step", "step", "where", "quit",
+        ])
+        assert "rule" in transcript and "paused at" in transcript
+
+    def test_watch_and_print_spec(self):
+        transcript = run_script(build_collatz(), None, [
+            "watch x",
+            "continue",
+            "print x",
+            "print x spec",
+            "quit",
+        ])
+        assert "watchpoint on x" in transcript
+        assert "x = 0x00000013" in transcript      # committed: 19
+        assert "x = 0x0000003a" in transcript      # speculative: 58
+
+    def test_info_and_errors(self):
+        transcript = run_script(build_collatz(), None, [
+            "info breakpoints",
+            "break rl_even",
+            "info breakpoints",
+            "print nonexistent",
+            "frobnicate",
+            "quit",
+        ])
+        assert "no breakpoints" in transcript
+        assert "breakpoint 1: rule rl_even" in transcript
+        assert "no register named" in transcript
+        assert "unknown command" in transcript
+
+    def test_events_listing(self):
+        transcript = run_script(build_collatz(), None, [
+            "run 2",
+            "events 1",
+            "quit",
+        ])
+        assert "rule rl_even" in transcript or "rl_odd" in transcript
+
+    def test_prompt_tracks_cycle(self):
+        transcript = run_script(build_collatz(), None, ["run 7", "quit"])
+        assert "(collatz:7)" in transcript

@@ -1,0 +1,78 @@
+"""Tests for the pretty-printer (also Table 1's Kôika SLOC counter)."""
+
+from repro.designs import build_collatz, build_rv32i
+from repro.koika import (
+    Abort, C, Design, EnumType, If, Let, Read, Seq, StructType, V, Write,
+    bits, design_sloc, enum_const, pretty_action, pretty_design,
+)
+
+
+class TestPrettyAction:
+    def test_reads_and_writes(self):
+        assert pretty_action(Read("pc", 0)) == "pc.rd0()"
+        assert pretty_action(Write("pc", 1, C(4, 32))) == "pc.wr1(32'd4)"
+
+    def test_operators(self):
+        assert pretty_action(V("a") + V("b")) == "a + b"
+        assert pretty_action((V("a") + V("b")) * V("c")) == "(a + b) * c"
+        assert pretty_action(~V("a")) == "!a"
+
+    def test_slices(self):
+        assert pretty_action(V("a")[3]) == "a[3:4]"
+        assert pretty_action(V("a")[0:8]) == "a[0:8]"
+
+    def test_control_flow(self):
+        text = pretty_action(If(V("c"), Abort(), C(0, 0)))
+        assert text == "if (c) abort else ()"
+        assert pretty_action(Let("x", C(1, 4), V("x"))) == \
+            "let x := 4'd1 in x"
+        assert pretty_action(Seq(Write("r", 0, C(1, 1)), C(0, 0))) == \
+            "r.wr0(1'd1); ()"
+
+    def test_enum_constant(self):
+        e = EnumType("state", ["A", "B"])
+        assert pretty_action(enum_const(e, "B")) == "state::B"
+
+    def test_struct_ops(self):
+        assert pretty_action(V("s").field("x")) == "s.x"
+        assert pretty_action(V("s").subst("x", C(1, 4))) == \
+            "{s with x := 4'd1}"
+
+    def test_repr_uses_pretty(self):
+        assert repr(V("a") + V("b")) == "a + b"
+
+
+class TestPrettyDesign:
+    def test_collatz_rendering(self):
+        text = pretty_design(build_collatz())
+        assert "design collatz {" in text
+        assert "register x : bits<32> := 19;" in text
+        assert "rule rl_even {" in text
+        assert "scheduler: rl_even |> rl_odd;" in text
+
+    def test_enum_and_struct_declarations_printed(self):
+        e = EnumType("st", ["A", "B"])
+        s = StructType("pair", [("a", bits(4)), ("b", bits(4))])
+        design = Design("d")
+        design.reg("state", e)
+        design.reg("data", s)
+        design.rule("noop", C(0, 0))
+        design.finalize()
+        text = pretty_design(design)
+        assert "enum st { A, B }" in text
+        assert "struct pair" in text
+
+    def test_extfun_printed(self):
+        design = Design("d")
+        design.reg("r", 4)
+        design.extfun("io", 4, 4)
+        design.rule("noop", C(0, 0))
+        design.finalize()
+        assert "external io" in pretty_design(design)
+
+    def test_sloc_scales_with_design(self):
+        assert design_sloc(build_collatz()) < design_sloc(build_rv32i())
+
+    def test_sloc_counts_lines(self):
+        design = build_collatz()
+        assert design_sloc(design) == len(pretty_design(design).splitlines())

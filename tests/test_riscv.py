@@ -1,0 +1,329 @@
+"""Tests for the RISC-V substrate: encodings, assembler, golden model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError, SimulationError
+from repro.riscv import GoldenModel, assemble, decode
+from repro.riscv import encoding as enc
+from repro.riscv.golden import OUTPUT_ADDR, TOHOST_ADDR, load_from, store_to
+from repro.riscv.programs import (
+    arithmetic_source, branchy_source, fibonacci_source, nops_source,
+    primes_source, sort_source, stream_output_source,
+)
+
+
+class TestEncoding:
+    def test_nop_encoding(self):
+        assert enc.NOP == 0x00000013
+
+    def test_register_names(self):
+        assert enc.reg_number("zero") == 0
+        assert enc.reg_number("ra") == 1
+        assert enc.reg_number("x31") == 31
+        assert enc.reg_number("a0") == 10
+        assert enc.reg_number("fp") == 8
+
+    def test_rv32e_register_range(self):
+        assert enc.reg_number("a5", max_reg=16) == 15
+        with pytest.raises(AssemblerError):
+            enc.reg_number("s2", max_reg=16)
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            enc.reg_number("q7")
+
+    def test_immediate_range_checks(self):
+        with pytest.raises(AssemblerError):
+            enc.encode_i(enc.OP_IMM, 0, 1, 1, 5000)
+        with pytest.raises(AssemblerError):
+            enc.encode_b(enc.OP_BRANCH, 0, 1, 2, 3)  # odd offset
+
+    @given(st.integers(-2048, 2047), st.integers(0, 31), st.integers(0, 31))
+    def test_i_type_roundtrip(self, imm, rd, rs1):
+        word = enc.encode_i(enc.OP_IMM, 0b000, rd, rs1, imm)
+        decoded = decode(word)
+        assert decoded.imm_i == imm
+        assert decoded.rd == rd and decoded.rs1 == rs1
+
+    @given(st.integers(-2048, 2047))
+    def test_s_type_roundtrip(self, imm):
+        word = enc.encode_s(enc.OP_STORE, 0b010, 3, 4, imm)
+        assert decode(word).imm_s == imm
+
+    @given(st.integers(-2048, 2046).map(lambda v: v & ~1))
+    def test_b_type_roundtrip(self, offset):
+        word = enc.encode_b(enc.OP_BRANCH, 0b000, 1, 2, offset)
+        assert decode(word).imm_b == offset
+
+    @given(st.integers(-(2 ** 19), 2 ** 19 - 1).map(lambda v: (v * 2) & ~1))
+    def test_j_type_roundtrip(self, offset):
+        offset = max(min(offset, 2 ** 20 - 2), -(2 ** 20))
+        word = enc.encode_j(enc.OP_JAL, 1, offset)
+        assert decode(word).imm_j == offset
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        program = assemble("""
+        start:
+            addi x1, x0, 5
+        loop:
+            addi x1, x1, -1
+            bnez x1, loop
+            j    done
+            addi x1, x1, 100   # skipped
+        done:
+            nop
+        halt:
+            j halt
+        """)
+        golden = GoldenModel(program)
+        for _ in range(30):
+            golden.step()
+        assert golden.regs[1] == 0
+
+    def test_li_expands_to_two_instructions(self):
+        program = assemble("li a0, 0x12345678")
+        assert len(program.words) == 2
+        golden = GoldenModel(program)
+        golden.step()
+        golden.step()
+        assert golden.regs[10] == 0x12345678
+
+    def test_li_negative(self):
+        program = assemble("li a0, -5")
+        golden = GoldenModel(program)
+        golden.step()
+        golden.step()
+        assert golden.regs[10] == 0xFFFFFFFB
+
+    def test_memory_operands(self):
+        program = assemble("""
+            li   a0, 0x100
+            li   a1, 42
+            sw   a1, 4(a0)
+            lw   a2, 4(a0)
+        """)
+        golden = GoldenModel(program)
+        for _ in range(6):
+            golden.step()
+        assert golden.regs[12] == 42
+        assert golden.memory[0x104] == 42
+
+    def test_word_directive_and_org(self):
+        program = assemble("""
+            nop
+            .org 0x100
+        data:
+            .word 1, 2, 3
+        """)
+        assert program.words[0x100] == 1
+        assert program.words[0x108] == 3
+        assert program.labels["data"] == 0x100
+
+    def test_lo_hi_relocations(self):
+        program = assemble("""
+            lui  a0, %hi(target)
+            addi a0, a0, %lo(target)
+            .org 0xABCD0
+        target:
+            nop
+        """)
+        golden = GoldenModel(program)
+        golden.step()
+        golden.step()
+        assert golden.regs[10] == 0xABCD0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\nnop")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate x1, x2")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble("nop\nnop\naddi x1, x2, 99999")
+        assert "line 3" in str(info.value)
+
+    def test_pseudo_instructions(self):
+        program = assemble("""
+            li   a0, 10
+            mv   a1, a0
+            neg  a2, a0
+            not  a3, a0
+            seqz a4, x0
+            snez a5, a0
+        """)
+        golden = GoldenModel(program)
+        for _ in range(7):
+            golden.step()
+        assert golden.regs[11] == 10
+        assert golden.regs[12] == (-10) & 0xFFFFFFFF
+        assert golden.regs[13] == ~10 & 0xFFFFFFFF
+        assert golden.regs[14] == 1
+        assert golden.regs[15] == 1
+
+    def test_listing(self):
+        program = assemble("nop\nnop")
+        dump = program.dump()
+        assert "00000000: 00000013" in dump
+
+    def test_shift_amount_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("slli x1, x1, 32")
+
+
+class TestGoldenModel:
+    def test_alu_ops(self):
+        program = assemble("""
+            li  a0, 7
+            li  a1, 3
+            add a2, a0, a1
+            sub a3, a0, a1
+            xor a4, a0, a1
+            sltu a5, a1, a0
+            slt  t0, a1, a0
+            sll  t1, a1, a1
+            sra  t2, a0, a1
+        """)
+        golden = GoldenModel(program)
+        for _ in range(11):
+            golden.step()
+        assert golden.regs[12] == 10
+        assert golden.regs[13] == 4
+        assert golden.regs[14] == 4
+        assert golden.regs[15] == 1
+        assert golden.regs[5] == 1
+        assert golden.regs[6] == 24
+        assert golden.regs[7] == 0
+
+    def test_x0_is_hardwired(self):
+        program = assemble("addi x0, x0, 5\naddi x1, x0, 1")
+        golden = GoldenModel(program)
+        golden.step()
+        golden.step()
+        assert golden.regs[0] == 0 and golden.regs[1] == 1
+
+    def test_byte_and_half_memory(self):
+        program = assemble("""
+            li  a0, 0x200
+            li  a1, 0xFFFFFF85
+            sb  a1, 1(a0)
+            lb  a2, 1(a0)
+            lbu a3, 1(a0)
+            sh  a1, 2(a0)
+            lh  a4, 2(a0)
+            lhu a5, 2(a0)
+        """)
+        golden = GoldenModel(program)
+        for _ in range(10):
+            golden.step()
+        assert golden.regs[12] == 0xFFFFFF85  # sign extended
+        assert golden.regs[13] == 0x85
+        assert golden.regs[14] == 0xFFFFFF85
+        assert golden.regs[15] == 0xFF85
+
+    def test_jal_jalr_link(self):
+        program = assemble("""
+            call sub
+            j    end
+        sub:
+            ret
+        end:
+            nop
+        """)
+        golden = GoldenModel(program)
+        for _ in range(3):
+            golden.step()
+        assert golden.pc == 12  # at `end`
+
+    def test_tohost_halts(self):
+        golden = GoldenModel(assemble(f"""
+            li t0, {TOHOST_ADDR:#x}
+            li t1, 123
+            sw t1, 0(t0)
+        """))
+        assert golden.run() == 123
+        assert golden.halted
+
+    def test_output_stream(self):
+        golden = GoldenModel(assemble(stream_output_source(4)))
+        golden.run()
+        assert golden.outputs == [0, 1, 4, 9]
+
+    def test_illegal_instruction(self):
+        golden = GoldenModel(assemble(".word 0xFFFFFFFF"))
+        with pytest.raises(SimulationError):
+            golden.step()
+
+    def test_rv32e_write_above_x15_rejected(self):
+        golden = GoldenModel(assemble("addi x20, x0, 1"), nregs=16)
+        with pytest.raises(SimulationError):
+            golden.step()
+
+    def test_timeout(self):
+        golden = GoldenModel(assemble("loop:\nj loop"))
+        with pytest.raises(SimulationError):
+            golden.run(max_steps=10)
+
+
+class TestMemoryHelpers:
+    def test_load_store_roundtrip(self):
+        memory = {}
+        store_to(memory, 0x10, 0xDEADBEEF, 0b010)
+        assert load_from(memory, 0x10, 0b010) == 0xDEADBEEF
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(SimulationError):
+            load_from({}, 0x11, 0b010)
+        with pytest.raises(SimulationError):
+            store_to({}, 0x11, 0, 0b010)
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 3))
+    def test_byte_store_load_roundtrip(self, word, byte_index):
+        memory = {0: word}
+        value = (word >> (byte_index * 8)) & 0xFF
+        assert load_from(memory, byte_index, 0b100) == value
+
+
+class TestPrograms:
+    def sieve(self, n):
+        return sum(1 for i in range(2, n)
+                   if all(i % j for j in range(2, i)))
+
+    def test_primes(self):
+        golden = GoldenModel(assemble(primes_source(60)))
+        assert golden.run() == self.sieve(60)
+
+    def test_fibonacci(self):
+        golden = GoldenModel(assemble(fibonacci_source(15)))
+        assert golden.run() == 610
+
+    def test_nops(self):
+        golden = GoldenModel(assemble(nops_source(10)))
+        assert golden.run() == 10
+
+    def test_sort_checksum(self):
+        values = (9, 4, 7, 1, 8, 3, 6, 2, 5, 0)
+        golden = GoldenModel(assemble(sort_source(values)))
+        expected = sum(v + 4 * i for i, v in enumerate(sorted(values)))
+        assert golden.run() == expected
+
+    def test_arithmetic_deterministic(self):
+        a = GoldenModel(assemble(arithmetic_source(32))).run()
+        b = GoldenModel(assemble(arithmetic_source(32))).run()
+        assert a == b
+
+    def test_branchy_runs(self):
+        golden = GoldenModel(assemble(branchy_source(64)))
+        golden.run()
+        assert golden.instructions_executed > 300
+
+    def test_programs_are_rv32e_compatible(self):
+        for source in (primes_source(20), fibonacci_source(5),
+                       nops_source(5), arithmetic_source(8),
+                       branchy_source(8), stream_output_source(3)):
+            assemble(source, max_reg=16)  # must not raise

@@ -1,0 +1,272 @@
+"""Tests for the synthesis path: lowering, both simulators, Verilog, and
+the bsc-style static-scheduling lowering."""
+
+import pytest
+
+from repro.designs import build_collatz
+from repro.errors import SimulationError
+from repro.harness.env import Environment
+from repro.koika import C, Design, If, Read, Seq, V, Write, guard, seq, unit
+from repro.rtl import (
+    EventSim, compile_bluespec_sim, compile_cycle_sim, conflict_matrix,
+    generate_verilog, lower_design, lower_design_bluespec, verilog_sloc,
+)
+from repro.rtl.circuit import NConst, Netlist, eval_op
+from repro.semantics import Interpreter
+
+
+def counter_design():
+    design = Design("counter")
+    x = design.reg("x", 8)
+    design.rule("inc", x.wr0(x.rd0() + C(1, 8)))
+    design.schedule("inc")
+    return design.finalize()
+
+
+class TestNetlistBuilder:
+    def setup_method(self):
+        self.nl = Netlist("t")
+
+    def test_consts_are_interned(self):
+        a = self.nl.const(5, 8)
+        b = self.nl.const(5, 8)
+        assert a is b
+        assert self.nl.const(5, 4) is not a
+
+    def test_const_folding(self):
+        node = self.nl.op("add", (self.nl.const(200, 8),
+                                  self.nl.const(100, 8)), 8)
+        assert isinstance(node, NConst) and node.value == 44  # wrapped
+
+    def test_op_interning(self):
+        r = self.nl.reg("r", 8, 0)
+        a = self.nl.op("add", (r, self.nl.const(1, 8)), 8)
+        b = self.nl.op("add", (r, self.nl.const(1, 8)), 8)
+        assert a is b
+
+    def test_boolean_smart_constructors(self):
+        r = self.nl.reg("c", 1, 0)
+        assert self.nl.and_(self.nl.true(), r) is r
+        assert isinstance(self.nl.and_(self.nl.false(), r), NConst)
+        assert self.nl.or_(self.nl.false(), r) is r
+        assert self.nl.or_(r, r) is r
+        assert isinstance(self.nl.not_(self.nl.true()), NConst)
+
+    def test_mux_folding(self):
+        r = self.nl.reg("r", 8, 0)
+        s = self.nl.reg("s", 8, 0)
+        assert self.nl.mux(self.nl.true(), r, s) is r
+        assert self.nl.mux(self.nl.false(), r, s) is s
+        assert self.nl.mux(self.nl.reg("c", 1, 0), r, r) is r
+
+    def test_mux_of_bits_folds_to_selector(self):
+        c = self.nl.reg("c", 1, 0)
+        assert self.nl.mux(c, self.nl.const(1, 1), self.nl.const(0, 1)) is c
+
+    def test_node_id_order_is_topological(self):
+        r = self.nl.reg("r", 8, 0)
+        n = self.nl.op("add", (r, self.nl.const(1, 8)), 8)
+        assert all(child.nid < n.nid for child in n.children())
+
+
+class TestEvalOp:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 250, 10, 4), ("sub", 3, 5, 254), ("mul", 16, 16, 0),
+        ("and", 0b1100, 0b1010, 0b1000), ("or", 1, 2, 3), ("xor", 3, 1, 2),
+        ("eq", 5, 5, 1), ("ne", 5, 5, 0),
+        ("ltu", 200, 100, 0), ("lts", 200, 100, 1),  # 200 is negative
+        ("sll", 1, 3, 8), ("srl", 0x80, 7, 1),
+        ("sra", 0x80, 7, 0xFF),
+        ("sel", 0b100, 2, 1),
+    ])
+    def test_binops(self, op, a, b, expected):
+        assert eval_op(op, [a, b], 8, [8, 8]) == expected
+
+    def test_shift_overflow_is_zero(self):
+        assert eval_op("sll", [1, 9], 8, [8, 8]) == 0
+        assert eval_op("srl", [0xFF, 8], 8, [8, 8]) == 0
+
+    def test_sextl(self):
+        assert eval_op("sextl", [0x80], 16, [8]) == 0xFF80
+        assert eval_op("sextl", [0x7F], 16, [8]) == 0x7F
+
+    def test_concat(self):
+        assert eval_op("concat", [0xA, 0xB], 8, [4, 4]) == 0xAB
+
+    def test_slice(self):
+        assert eval_op("slice", [0xABCD], 4, [16], param=(4, 4)) == 0xC
+
+    def test_mux(self):
+        assert eval_op("mux", [1, 10, 20], 8, [1, 8, 8]) == 10
+        assert eval_op("mux", [0, 10, 20], 8, [1, 8, 8]) == 20
+
+
+class TestLowering:
+    def test_counter_next_value(self):
+        nl = lower_design(counter_design())
+        assert "x" in nl.next_values
+        assert nl.will_fire["inc"].width == 1
+
+    def test_all_rules_computed_every_cycle(self):
+        """The RTL cost model: both collatz rule bodies exist in the
+        netlist even though only one commits per cycle."""
+        nl = lower_design(build_collatz())
+        stats = nl.stats()
+        # the mul from rl_odd AND the shift from rl_even are both present
+        ops = {node.op for node in nl.reachable()
+               if hasattr(node, "op")}
+        assert "mul" in ops and "srl" in ops
+
+    def test_unconditional_rule_will_fire_is_constant(self):
+        nl = lower_design(counter_design())
+        assert isinstance(nl.will_fire["inc"], NConst)
+        assert nl.will_fire["inc"].value == 1
+
+
+class TestCycleSim:
+    def test_counter(self):
+        sim = compile_cycle_sim(counter_design())()
+        sim.run(5)
+        assert sim.peek("x") == 5
+
+    def test_simultaneous_latching(self):
+        """A swap design: a <-> b must exchange, not chain."""
+        design = Design("swap")
+        a = design.reg("a", 8, init=1)
+        b = design.reg("b", 8, init=2)
+        design.rule("swap", Seq(a.wr0(b.rd0()), b.wr0(a.rd0())))
+        design.schedule("swap")
+        sim = compile_cycle_sim(design.finalize())()
+        sim.run(1)
+        assert sim.peek("a") == 2 and sim.peek("b") == 1
+
+    def test_report_and_will_fire(self):
+        sim = compile_cycle_sim(build_collatz())()
+        committed = sim.run_cycle()
+        assert committed == ["rl_odd"]     # 19 is odd
+        assert sim.will_fire() == {"rl_even": False, "rl_odd": True}
+
+    def test_no_order_override(self):
+        sim = compile_cycle_sim(counter_design())()
+        with pytest.raises(SimulationError):
+            sim.run_cycle(order=["inc"])
+
+    def test_snapshot_restore(self):
+        sim = compile_cycle_sim(counter_design())()
+        sim.run(3)
+        snap = sim.snapshot()
+        sim.run(2)
+        sim.restore(snap)
+        assert sim.peek("x") == 3
+
+    def test_matches_interpreter_on_collatz(self):
+        design = build_collatz()
+        sim = compile_cycle_sim(design)()
+        ref = Interpreter(design)
+        for _ in range(40):
+            got = sim.run_cycle()
+            report = ref.run_cycle()
+            assert got == report.committed
+            assert sim.peek("x") == ref.peek("x")
+
+
+class TestEventSim:
+    def test_counter(self):
+        sim = EventSim(counter_design())
+        sim.run(5)
+        assert sim.peek("x") == 5
+
+    def test_matches_interpreter(self):
+        design = build_collatz()
+        sim = EventSim(design)
+        ref = Interpreter(design)
+        for _ in range(30):
+            assert set(sim.run_cycle()) == set(ref.run_cycle().committed)
+            assert sim.peek("x") == ref.peek("x")
+
+    def test_poke_propagates(self):
+        sim = EventSim(counter_design())
+        sim.poke("x", 100)
+        sim.run(1)
+        assert sim.peek("x") == 101
+
+    def test_reset(self):
+        sim = EventSim(counter_design())
+        sim.run(4)
+        sim.reset()
+        sim.run(1)
+        assert sim.peek("x") == 1
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        text = generate_verilog(build_collatz())
+        assert text.startswith("// Generated from Koika design 'collatz'")
+        assert "module collatz(" in text
+        assert "always @(posedge CLK) begin" in text
+        assert text.rstrip().endswith("endmodule")
+        assert "reg [31:0] r_x = 32'h13;" in text
+
+    def test_ext_functions_become_ports(self):
+        from repro.designs import build_fir
+
+        text = generate_verilog(build_fir())
+        assert "ext_get_sample" in text and "ext_put_result" in text
+
+    def test_will_fire_wires(self):
+        text = generate_verilog(build_collatz())
+        assert "wire wf_rl_even" in text and "wire wf_rl_odd" in text
+
+    def test_sloc(self):
+        design = build_collatz()
+        assert verilog_sloc(design) == \
+            len(generate_verilog(design).splitlines())
+
+
+class TestBluespecLowering:
+    def test_conflict_matrix_detects_contention(self):
+        design = Design("c")
+        r = design.reg("r", 8)
+        design.rule("a", r.wr0(C(1, 8)))
+        design.rule("b", r.wr0(C(2, 8)))
+        design.schedule("a", "b")
+        matrix = conflict_matrix(design.finalize())
+        assert matrix[("a", "b")] is True
+
+    def test_independent_rules_do_not_conflict(self):
+        design = Design("c2")
+        a = design.reg("a", 8)
+        b = design.reg("b", 8)
+        design.rule("ra", a.wr0(C(1, 8)))
+        design.rule("rb", b.wr0(C(2, 8)))
+        design.schedule("ra", "rb")
+        matrix = conflict_matrix(design.finalize())
+        assert matrix[("ra", "rb")] is False
+
+    def test_static_schedule_blocks_conflicting_pair(self):
+        design = Design("c3")
+        r = design.reg("r", 8)
+        design.rule("a", r.wr0(C(1, 8)))
+        design.rule("b", r.wr0(C(2, 8)))
+        design.schedule("a", "b")
+        sim = compile_bluespec_sim(design.finalize())()
+        committed = sim.run_cycle()
+        assert committed == ["a"]
+        assert sim.peek("r") == 1
+
+    def test_functionally_correct_on_collatz(self):
+        # collatz's rules are truly exclusive each cycle, so even the
+        # conservative static schedule preserves the exact orbit.
+        design = build_collatz()
+        sim = compile_bluespec_sim(design)()
+        ref = Interpreter(design)
+        for _ in range(30):
+            sim.run_cycle()
+            ref.run_cycle()
+            assert sim.peek("x") == ref.peek("x")
+
+    def test_netlist_is_leaner_than_koika(self):
+        design = build_collatz()
+        koika_nodes = lower_design(design).stats()["total"]
+        bsv_nodes = lower_design_bluespec(design).stats()["total"]
+        assert bsv_nodes <= koika_nodes

@@ -1,0 +1,206 @@
+"""Tests for the RV32M extension (divu/remu primitives, the golden model,
+and the rv32im core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuttlesim import compile_model
+from repro.designs import build_rv32i, build_rv32im, make_core_env, run_program
+from repro.harness import make_simulator
+from repro.koika import Binop, C, Design, seq
+from repro.koika.types import to_signed
+from repro.riscv import GoldenModel, assemble
+from repro.riscv.programs import (
+    crc32_reference, crc32_source, gcd_chain_source, matmul_reference,
+    matmul_source,
+)
+from repro.testing import assert_backends_equal
+
+RV32IM = build_rv32im()
+RV32IM_CLS = compile_model(RV32IM, opt=5, warn_goldberg=False)
+
+
+def run_im(program, max_cycles=300_000):
+    env = make_core_env(program)
+    model = RV32IM_CLS(env)
+    return run_program(model, env, max_cycles=max_cycles)
+
+
+class TestDivRemPrimitives:
+    def build(self, a_init, b_init, width=8):
+        design = Design("divrem")
+        a = design.reg("a", width, init=a_init)
+        b = design.reg("b", width, init=b_init)
+        q = design.reg("q", width)
+        r = design.reg("r", width)
+        design.rule("step", seq(
+            q.wr0(Binop("divu", a.rd0(), b.rd0())),
+            r.wr0(Binop("remu", a.rd0(), b.rd0())),
+        ))
+        design.schedule("step")
+        return design.finalize()
+
+    def test_basic_division(self):
+        sim = make_simulator(self.build(200, 7))
+        sim.run(1)
+        assert sim.peek("q") == 200 // 7
+        assert sim.peek("r") == 200 % 7
+
+    def test_divide_by_zero_conventions(self):
+        sim = make_simulator(self.build(123, 0))
+        sim.run(1)
+        assert sim.peek("q") == 0xFF   # all ones
+        assert sim.peek("r") == 123    # dividend
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_all_backends_agree(self, a, b):
+        assert_backends_equal(self.build(a, b), cycles=2)
+
+
+class TestGoldenMuldiv:
+    def run_asm(self, body, steps=30):
+        golden = GoldenModel(assemble(body + "\nhalt:\n    j halt"))
+        for _ in range(steps):
+            golden.step()
+        return golden
+
+    @pytest.mark.parametrize("a,b,product", [
+        (6, 7, 42),
+        (0xFFFFFFFF, 0xFFFFFFFF, 1),        # (-1)*(-1)
+        (0x80000000, 2, 0),                  # overflow wraps
+    ])
+    def test_mul(self, a, b, product):
+        golden = self.run_asm(f"""
+            li a0, {a}
+            li a1, {b}
+            mul a2, a0, a1
+        """)
+        assert golden.regs[12] == product
+
+    def test_mulh_variants(self):
+        golden = self.run_asm("""
+            li a0, -2
+            li a1, 3
+            mulh   a2, a0, a1    # signed*signed high = -1
+            mulhu  a3, a0, a1    # unsigned high of 0xFFFFFFFE * 3
+            mulhsu a4, a0, a1    # signed a * unsigned b
+        """)
+        assert golden.regs[12] == 0xFFFFFFFF
+        assert golden.regs[13] == ((0xFFFFFFFE * 3) >> 32)
+        assert golden.regs[14] == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("a,b,quotient,remainder", [
+        (7, 2, 3, 1),
+        (-7 & 0xFFFFFFFF, 2, -3 & 0xFFFFFFFF, -1 & 0xFFFFFFFF),
+        (7, -2 & 0xFFFFFFFF, -3 & 0xFFFFFFFF, 1),
+        (-7 & 0xFFFFFFFF, -2 & 0xFFFFFFFF, 3, -1 & 0xFFFFFFFF),
+        (5, 0, 0xFFFFFFFF, 5),                       # div by zero
+        (0x80000000, 0xFFFFFFFF, 0x80000000, 0),     # overflow
+    ])
+    def test_div_rem_signed(self, a, b, quotient, remainder):
+        golden = self.run_asm(f"""
+            li a0, {to_signed(a, 32)}
+            li a1, {to_signed(b, 32)}
+            div a2, a0, a1
+            rem a3, a0, a1
+        """)
+        assert golden.regs[12] == quotient
+        assert golden.regs[13] == remainder
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-(2 ** 31), 2 ** 31 - 1),
+           st.integers(-(2 ** 31), 2 ** 31 - 1))
+    def test_div_rem_identity(self, a, b):
+        """RISC-V invariant: a == div(a,b)*b + rem(a,b) (mod 2^32)."""
+        golden = self.run_asm(f"""
+            li a0, {a}
+            li a1, {b}
+            div a2, a0, a1
+            rem a3, a0, a1
+            mul a4, a2, a1
+            add a5, a4, a3
+        """)
+        assert golden.regs[15] == a & 0xFFFFFFFF
+
+
+class TestRv32imCore:
+    def test_matmul_matches_reference(self):
+        program = assemble(matmul_source(3))
+        expected = GoldenModel(program).run()
+        assert expected == matmul_reference(3)
+        result, cycles = run_im(program)
+        assert result == expected
+
+    def test_muldiv_corner_cases_on_the_pipeline(self):
+        program = assemble("""
+            li a0, -7
+            li a1, 0
+            div a2, a0, a1       # -1
+            rem a3, a0, a1       # -7
+            li a4, 0x80000000
+            li a5, -1
+            div s0, a4, a5       # INT_MIN
+            mulh s1, a4, a4      # 0x40000000
+            add  t0, a2, a3
+            add  t0, t0, s0
+            add  t0, t0, s1
+            li   t2, 0x40000000
+            sw   t0, 0(t2)
+        halt:
+            j halt
+        """)
+        expected = GoldenModel(program).run()
+        result, _ = run_im(program)
+        assert result == expected
+
+    def test_cycle_exact_vs_rtl(self):
+        program = assemble(matmul_source(2))
+        env_a = make_core_env(program)
+        env_b = make_core_env(program)
+        cut = RV32IM_CLS(env_a)
+        rtl = make_simulator(RV32IM, backend="rtl-cycle", env=env_b)
+        result_a, cycles_a = run_program(cut, env_a)
+        result_b, cycles_b = run_program(rtl, env_b)
+        assert (result_a, cycles_a) == (result_b, cycles_b)
+
+    def test_base_core_treats_m_encodings_as_plain_alu(self):
+        """Without the extension, funct7=1 falls through to the base ALU —
+        the rv32i core is not expected to run M programs correctly, but it
+        must not crash either."""
+        program = assemble("""
+            li a0, 6
+            li a1, 7
+            mul a2, a0, a1
+            li t2, 0x40000000
+            sw a2, 0(t2)
+        halt:
+            j halt
+        """)
+        cls = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+        env = make_core_env(program)
+        result, _ = run_program(cls(env), env)
+        assert result == (6 + 7)   # decoded as plain add (funct7 ignored)
+
+
+class TestNewPrograms:
+    def test_crc32_on_rv32i(self):
+        from repro.designs import build_rv32i
+
+        program = assemble(crc32_source())
+        expected = GoldenModel(program).run()
+        assert expected == crc32_reference()
+        cls = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+        env = make_core_env(program)
+        result, _ = run_program(cls(env), env)
+        assert result == expected
+
+    def test_gcd_chain_on_rv32i(self):
+        from repro.designs import build_rv32i
+
+        program = assemble(gcd_chain_source())
+        expected = GoldenModel(program).run()
+        cls = compile_model(build_rv32i(), opt=5, warn_goldberg=False)
+        env = make_core_env(program)
+        result, _ = run_program(cls(env), env)
+        assert result == expected == 28

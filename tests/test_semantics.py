@@ -1,0 +1,249 @@
+"""Tests for the reference semantics: the §3.1 port rules, verbatim."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.koika import (
+    Abort, C, Design, If, Let, Read, Seq, V, Write, guard, seq, unit, when,
+)
+from repro.semantics import Interpreter
+from repro.semantics.logs import (
+    Log, LogEntry, commit_value, may_read0, may_read1, may_write0,
+    may_write1, read1_value,
+)
+
+
+def run_rules(*rule_bodies, regs=(("r", 8, 0),), cycles=1, env=None):
+    """Build a one-off design, run it, return (interpreter, last report)."""
+    design = Design("t")
+    for name, width, init in regs:
+        design.reg(name, width, init=init)
+    for i, body in enumerate(rule_bodies):
+        design.rule(f"rule{i}", body)
+    design.schedule(*design.rules.keys())
+    design.finalize()
+    interp = Interpreter(design, env=env)
+    report = None
+    for _ in range(cycles):
+        report = interp.run_cycle()
+    return interp, report
+
+
+class TestPortRulesWithinOneRule:
+    def test_goldberg_contraption(self):
+        """The paper's example: wr0(1); wr1(2); rd0(); rd1() succeeds with
+        rd0 reading 0 and rd1 reading 1."""
+        body = Seq(
+            Write("r", 0, C(1, 8)),
+            Write("r", 1, C(2, 8)),
+            Write("probe0", 0, Read("r", 0)),
+            Write("probe1", 0, Read("r", 1)),
+        )
+        interp, report = run_rules(
+            body, regs=(("r", 8, 0), ("probe0", 8, 0), ("probe1", 8, 0)))
+        assert report.fired("rule0")
+        assert interp.peek("probe0") == 0   # rd0: beginning-of-cycle value
+        assert interp.peek("probe1") == 1   # rd1: latest wr0, NOT the wr1
+        assert interp.peek("r") == 2        # commit: wr1 wins
+
+    def test_rd1_sees_own_wr0(self):
+        body = Seq(Write("r", 0, C(7, 8)), Write("out", 0, Read("r", 1)))
+        interp, _ = run_rules(body, regs=(("r", 8, 0), ("out", 8, 0)))
+        assert interp.peek("out") == 7
+
+    def test_wr0_after_rd1_fails(self):
+        body = Seq(Let("x", Read("r", 1), unit()), Write("r", 0, C(1, 8)))
+        _, report = run_rules(body)
+        assert "rule0" in report.aborted
+        assert report.aborted["rule0"].operation == "wr0"
+
+    def test_double_wr0_fails(self):
+        body = Seq(Write("r", 0, C(1, 8)), Write("r", 0, C(2, 8)))
+        _, report = run_rules(body)
+        assert report.aborted["rule0"].operation == "wr0"
+
+    def test_double_wr1_fails(self):
+        body = Seq(Write("r", 1, C(1, 8)), Write("r", 1, C(2, 8)))
+        _, report = run_rules(body)
+        assert report.aborted["rule0"].operation == "wr1"
+
+    def test_wr0_after_wr1_fails(self):
+        body = Seq(Write("r", 1, C(1, 8)), Write("r", 0, C(2, 8)))
+        _, report = run_rules(body)
+        assert report.aborted["rule0"].operation == "wr0"
+
+    def test_wr1_after_wr0_ok(self):
+        body = Seq(Write("r", 0, C(1, 8)), Write("r", 1, C(2, 8)))
+        interp, report = run_rules(body)
+        assert report.fired("rule0")
+        assert interp.peek("r") == 2
+
+
+class TestPortRulesAcrossRules:
+    def test_rd0_after_committed_wr0_fails(self):
+        writer = Write("r", 0, C(1, 8))
+        reader = Write("out", 0, Read("r", 0))
+        interp, report = run_rules(writer, reader,
+                                   regs=(("r", 8, 0), ("out", 8, 0)))
+        assert report.fired("rule0")
+        assert report.aborted["rule1"].operation == "rd0"
+
+    def test_rd1_after_committed_wr0_sees_value(self):
+        writer = Write("r", 0, C(9, 8))
+        reader = Write("out", 0, Read("r", 1))
+        interp, report = run_rules(writer, reader,
+                                   regs=(("r", 8, 0), ("out", 8, 0)))
+        assert report.fired("rule1")
+        assert interp.peek("out") == 9
+
+    def test_rd1_after_committed_wr1_fails(self):
+        writer = Write("r", 1, C(9, 8))
+        reader = Write("out", 0, Read("r", 1))
+        _, report = run_rules(writer, reader,
+                              regs=(("r", 8, 0), ("out", 8, 0)))
+        assert report.aborted["rule1"].operation == "rd1"
+
+    def test_wr0_after_committed_rd1_fails(self):
+        reader = Let("x", Read("r", 1), unit())
+        writer = Write("r", 0, C(1, 8))
+        _, report = run_rules(reader, writer)
+        assert report.fired("rule0")
+        assert report.aborted["rule1"].operation == "wr0"
+
+    def test_aborted_rule_leaves_no_trace(self):
+        """A rule that writes then aborts must not affect later rules."""
+        aborter = Seq(Write("r", 0, C(5, 8)), Abort())
+        reader = Write("out", 0, Read("r", 0))
+        interp, report = run_rules(aborter, reader,
+                                   regs=(("r", 8, 0), ("out", 8, 0)))
+        assert "rule0" in report.aborted
+        assert report.fired("rule1")       # rd0 sees no write in cycle log
+        assert interp.peek("r") == 0
+        assert report.aborted["rule0"].reason == "explicit-abort"
+
+    def test_two_independent_rules_both_fire(self):
+        w1 = Write("a", 0, C(1, 8))
+        w2 = Write("b", 0, C(2, 8))
+        interp, report = run_rules(w1, w2, regs=(("a", 8, 0), ("b", 8, 0)))
+        assert report.committed == ["rule0", "rule1"]
+        assert interp.peek("a") == 1 and interp.peek("b") == 2
+
+
+class TestCommit:
+    def test_wr1_overrides_wr0_at_commit(self):
+        body = Seq(Write("r", 0, C(1, 8)), Write("r", 1, C(2, 8)))
+        interp, _ = run_rules(body)
+        assert interp.peek("r") == 2
+
+    def test_no_write_keeps_value(self):
+        interp, _ = run_rules(unit(), regs=(("r", 8, 42),))
+        assert interp.peek("r") == 42
+
+    def test_cross_rule_wr0_then_wr1(self):
+        w0 = Write("r", 0, C(1, 8))
+        w1 = Write("r", 1, C(2, 8))
+        interp, report = run_rules(w0, w1)
+        assert report.committed == ["rule0", "rule1"]
+        assert interp.peek("r") == 2
+
+
+class TestLogPrimitives:
+    def test_may_read0(self):
+        entry = LogEntry()
+        assert may_read0(entry)
+        entry.wr1 = True
+        assert not may_read0(entry)
+
+    def test_may_read1(self):
+        entry = LogEntry()
+        entry.wr0 = True
+        assert may_read1(entry)
+        entry.wr1 = True
+        assert not may_read1(entry)
+
+    def test_may_write0_blocked_by_rule_rd1(self):
+        cycle, rule = LogEntry(), LogEntry()
+        rule.rd1 = True
+        assert not may_write0(cycle, rule)
+
+    def test_may_write1(self):
+        cycle, rule = LogEntry(), LogEntry()
+        assert may_write1(cycle, rule)
+        cycle.wr1 = True
+        assert not may_write1(cycle, rule)
+
+    def test_read1_value_priority(self):
+        cycle, rule = LogEntry(), LogEntry()
+        assert read1_value(10, cycle, rule) == 10
+        cycle.wr0, cycle.data0 = True, 20
+        assert read1_value(10, cycle, rule) == 20
+        rule.wr0, rule.data0 = True, 30
+        assert read1_value(10, cycle, rule) == 30
+
+    def test_commit_value(self):
+        entry = LogEntry()
+        assert commit_value(5, entry) == 5
+        entry.wr0, entry.data0 = True, 6
+        assert commit_value(5, entry) == 6
+        entry.wr1, entry.data1 = True, 7
+        assert commit_value(5, entry) == 7
+
+    def test_log_merge(self):
+        cycle = Log(["r"])
+        rule = Log(["r"])
+        rule["r"].wr0 = True
+        rule["r"].data0 = 3
+        cycle.merge_rule_into_cycle(rule)
+        assert cycle["r"].wr0 and cycle["r"].data0 == 3
+
+
+class TestInterpreterApi:
+    def test_peek_poke(self):
+        interp, _ = run_rules(unit(), regs=(("r", 8, 0),))
+        interp.poke("r", 0x1FF)
+        assert interp.peek("r") == 0xFF  # masked
+
+    def test_unknown_register(self):
+        interp, _ = run_rules(unit())
+        with pytest.raises(SimulationError):
+            interp.peek("nope")
+        with pytest.raises(SimulationError):
+            interp.poke("nope", 1)
+
+    def test_run_until(self):
+        design = Design("c")
+        x = design.reg("x", 8)
+        design.rule("inc", x.wr0(x.rd0() + C(1, 8)))
+        design.schedule("inc")
+        interp = Interpreter(design)
+        elapsed = interp.run_until(lambda s: s.peek("x") == 5)
+        assert elapsed == 5
+
+    def test_run_until_timeout(self):
+        interp, _ = run_rules(unit())
+        with pytest.raises(SimulationError):
+            interp.run_until(lambda s: False, max_cycles=3)
+
+    def test_rule_order_override(self):
+        design = Design("o")
+        r = design.reg("r", 8)
+        design.rule("a", r.wr0(C(1, 8)))
+        design.rule("b", r.wr0(C(2, 8)))
+        design.schedule("a", "b")
+        design.finalize()
+        interp = Interpreter(design)
+        report = interp.run_cycle(rule_order=["b", "a"])
+        assert report.committed == ["b"]   # a then conflicts
+        assert interp.peek("r") == 2
+
+    def test_snapshot_restore(self):
+        design = Design("c")
+        x = design.reg("x", 8)
+        design.rule("inc", x.wr0(x.rd0() + C(1, 8)))
+        design.schedule("inc")
+        interp = Interpreter(design)
+        interp.run(3)
+        snap = interp.snapshot()
+        interp.run(5)
+        interp.restore(snap)
+        assert interp.peek("x") == 3

@@ -1,0 +1,200 @@
+"""Tests for the AST simplification pass."""
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.koika import (
+    Abort, Binop, C, Const, Design, If, Read, Seq, StructType, V, Write,
+    bits, pretty_action, seq, simplify_action, simplify_design, struct_init,
+    typecheck_action, when,
+)
+from repro.semantics import Interpreter
+from repro.testing import random_design
+
+
+def typed(design, action, expected=None):
+    typecheck_action(design, action, expected=expected)
+    return action
+
+
+def make_design():
+    design = Design("s")
+    design.reg("r", 8, init=3)
+    design.reg("out", 8)
+    return design
+
+
+class TestConstantFolding:
+    def test_binop_folding(self):
+        design = make_design()
+        node = typed(design, Binop("add", C(3, 8), C(250, 8)))
+        folded = simplify_action(design, node)
+        assert isinstance(folded, Const) and folded.value == 253
+
+    def test_folding_wraps(self):
+        design = make_design()
+        node = typed(design, Binop("add", C(200, 8), C(100, 8)))
+        assert simplify_action(design, node).value == 44
+
+    def test_unop_folding(self):
+        design = make_design()
+        node = typed(design, ~C(0b1010, 4))
+        assert simplify_action(design, node).value == 0b0101
+
+    def test_nested_folding(self):
+        design = make_design()
+        node = typed(design, (C(2, 8) + C(3, 8)) * C(4, 8))
+        assert simplify_action(design, node).value == 20
+
+    def test_struct_ops_fold(self):
+        struct = StructType("p", [("a", bits(4)), ("b", bits(4))])
+        design = make_design()
+        node = typed(design, struct_init(struct, a=C(3, 4), b=C(5, 4))
+                     .field("b"))
+        assert simplify_action(design, node).value == 5
+
+    def test_dynamic_operands_survive(self):
+        design = make_design()
+        node = typed(design, Read("r", 0) + C(1, 8))
+        simplified = simplify_action(design, node)
+        assert not isinstance(simplified, Const)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        design = make_design()
+        node = typed(design, Read("r", 0) + C(0, 8))
+        assert isinstance(simplify_action(design, node), Read)
+
+    def test_and_zero_is_zero(self):
+        design = make_design()
+        node = typed(design, V_read(design) & C(0, 8))
+        folded = simplify_action(design, node)
+        # reads are effectful in general (flags), so x & 0 with a read
+        # operand must NOT be dropped
+        assert not isinstance(folded, Const)
+
+    def test_and_zero_with_pure_operand(self):
+        design = make_design()
+        from repro.koika import Let, V
+
+        node = typed(design, Let("x", Read("r", 0), V("x") & C(0, 8)))
+        simplified = simplify_action(design, node)
+        # the Var is pure: the & folds inside the let body
+        assert isinstance(simplified.body, Const)
+        assert simplified.body.value == 0
+
+    def test_mul_one(self):
+        design = make_design()
+        node = typed(design, Read("r", 0) * C(1, 8))
+        assert isinstance(simplify_action(design, node), Read)
+
+    def test_and_all_ones(self):
+        design = make_design()
+        node = typed(design, Read("r", 0) & C(0xFF, 8))
+        assert isinstance(simplify_action(design, node), Read)
+
+
+def V_read(design):
+    return Read("r", 0)
+
+
+class TestBranchPruning:
+    def test_constant_true_keeps_then(self):
+        design = make_design()
+        node = typed(design, If(C(1, 1), Write("out", 0, C(1, 8)),
+                                Write("out", 0, C(2, 8))))
+        pruned = simplify_action(design, node)
+        assert isinstance(pruned, Write) and pruned.value.value == 1
+
+    def test_constant_false_keeps_else(self):
+        design = make_design()
+        node = typed(design, If(C(0, 1), Write("out", 0, C(1, 8)),
+                                Write("out", 0, C(2, 8))))
+        pruned = simplify_action(design, node)
+        assert pruned.value.value == 2
+
+    def test_pruned_branch_may_contain_abort(self):
+        design = make_design()
+        node = typed(design, If(C(1, 1), Write("out", 0, C(1, 8)),
+                                Abort()))
+        pruned = simplify_action(design, node)
+        assert isinstance(pruned, Write)
+
+    def test_equal_const_branches_collapse(self):
+        design = make_design()
+        from repro.koika import Let, V
+
+        node = typed(design, Let("x", Read("r", 0),
+                                 If(V("x")[0] == C(1, 1),
+                                    C(7, 8), C(7, 8))))
+        simplified = simplify_action(design, node)
+        assert isinstance(simplified.body, Const)
+
+    def test_effectful_cond_branches_not_collapsed(self):
+        design = make_design()
+        node = typed(design, If(Read("r", 0)[0] == C(1, 1),
+                                C(7, 8), C(7, 8)))
+        simplified = simplify_action(design, node)
+        assert isinstance(simplified, If)   # the read must still happen
+
+
+class TestSeqCleanup:
+    def test_pure_discards_removed(self):
+        design = make_design()
+        node = typed(design, Seq(C(5, 8), Write("out", 0, C(1, 8))))
+        simplified = simplify_action(design, node)
+        assert isinstance(simplified, Write)
+
+    def test_effectful_discards_kept(self):
+        design = make_design()
+        node = typed(design, Seq(Write("out", 0, C(1, 8)),
+                                 Write("r", 1, C(2, 8))))
+        simplified = simplify_action(design, node)
+        assert isinstance(simplified, Seq)
+        assert len(simplified.actions) == 2
+
+
+class TestWholeDesign:
+    def test_specialized_design_shrinks(self):
+        """A design with an elaboration-time constant mode: the dead mode's
+        logic disappears from the generated model."""
+        def build(mode_value):
+            design = Design("moded")
+            x = design.reg("x", 8, init=1)
+            mode = C(mode_value, 1)
+            design.rule("step", when(
+                mode == C(1, 1),
+                x.wr0((x.rd0() * C(3, 8)) ^ C(0x5A, 8))))
+            design.schedule("step")
+            return design.finalize()
+
+        active = compile_model(build(1), opt=5, simplify=True,
+                               warn_goldberg=False)
+        dead = compile_model(build(0), opt=5, simplify=True,
+                             warn_goldberg=False)
+        assert len(dead.SOURCE.splitlines()) < \
+            len(active.SOURCE.splitlines())
+        assert "0x5a" not in dead.SOURCE
+
+    def test_simplified_design_is_equivalent(self):
+        for seed in (1, 5, 9, 13):
+            design = random_design(seed)
+            slim = simplify_design(design)
+            reference = Interpreter(design)
+            simplified = Interpreter(slim)
+            for _ in range(8):
+                a = reference.run_cycle()
+                b = simplified.run_cycle()
+                assert set(a.committed) == set(b.committed)
+                assert reference.state == simplified.state
+
+    def test_compile_model_simplify_flag(self):
+        design = random_design(3)
+        model = compile_model(design, opt=5, simplify=True,
+                              warn_goldberg=False)()
+        reference = Interpreter(design)
+        for _ in range(6):
+            reference.run_cycle()
+            model.run_cycle()
+        assert model.state_dict() == reference.state_dict()

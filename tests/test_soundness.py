@@ -1,0 +1,147 @@
+"""Soundness properties of the static analysis and the optimization ladder.
+
+These are the properties the paper's correctness argument rests on:
+registers classified *safe* must never experience a dynamic conflict, the
+analysis's may-abort/footprint approximations must over-approximate
+reality, and merged-data models must agree with the naive semantics on
+everything except the (warned) Goldberg anti-pattern.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.semantics import Interpreter, Observer
+from repro.semantics.logs import RuleAborted
+from repro.testing import random_design
+
+
+class _ConflictRecorder(Observer):
+    """Records which registers dynamically caused conflicts, which rules
+    aborted, and which registers each rule actually wrote."""
+
+    def __init__(self):
+        self.conflict_registers = set()
+        self.aborted_rules = set()
+        self.writes_by_rule = {}
+        self.flagged_by_rule = {}
+
+    def on_rule_abort(self, rule, aborted: RuleAborted):
+        self.aborted_rules.add(rule)
+        if aborted.reason == "conflict":
+            self.conflict_registers.add(aborted.register)
+
+    def on_write(self, rule, register, port, value):
+        self.writes_by_rule.setdefault(rule, set()).add(register)
+
+    def on_read(self, rule, register, port, value):
+        if port == 1:
+            self.flagged_by_rule.setdefault(rule, set()).add(register)
+
+
+def _observe(design, cycles=8):
+    recorder = _ConflictRecorder()
+    interpreter = Interpreter(design, observer=recorder)
+    interpreter.run(cycles)
+    return recorder
+
+
+class TestSafeRegisterSoundness:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_safe_registers_never_conflict_dynamically(self, seed):
+        design = random_design(seed)
+        analysis = analyze(design)
+        recorder = _observe(design)
+        violations = recorder.conflict_registers & analysis.safe_registers
+        assert not violations, (
+            f"registers {violations} were proven safe but conflicted"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(200_000, 300_000))
+    def test_safe_registers_never_conflict_hypothesis(self, seed):
+        design = random_design(seed)
+        analysis = analyze(design)
+        recorder = _observe(design, cycles=6)
+        assert not (recorder.conflict_registers & analysis.safe_registers)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_may_abort_overapproximates(self, seed):
+        design = random_design(seed)
+        analysis = analyze(design)
+        recorder = _observe(design)
+        for rule in recorder.aborted_rules:
+            assert analysis.rules[rule].may_abort, (
+                f"rule {rule} aborted but the analysis said it never could"
+            )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_data_footprint_overapproximates(self, seed):
+        design = random_design(seed)
+        analysis = analyze(design)
+        recorder = _observe(design)
+        for rule, written in recorder.writes_by_rule.items():
+            footprint = analysis.rules[rule].data_footprint
+            assert written <= footprint, (
+                f"rule {rule} wrote {written - footprint} outside its "
+                f"static footprint"
+            )
+
+
+class TestOrderIndependentSoundness:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_safe_under_any_order(self, seed):
+        """order_independent analysis must stay sound when the interpreter
+        runs rules in unusual orders."""
+        import random as random_module
+
+        design = random_design(seed)
+        analysis = analyze(design, order_independent=True)
+        recorder = _ConflictRecorder()
+        interpreter = Interpreter(design, observer=recorder)
+        rng = random_module.Random(seed)
+        rules = list(design.scheduler)
+        for _ in range(8):
+            rng.shuffle(rules)
+            interpreter.run_cycle(rule_order=rules)
+        assert not (recorder.conflict_registers & analysis.safe_registers)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_any_order_is_subset_of_scheduled_safety(self, seed):
+        """Any-order safety is necessarily more conservative."""
+        design = random_design(seed)
+        scheduled = analyze(design).safe_registers
+        any_order = analyze(design, order_independent=True).safe_registers
+        assert any_order <= scheduled
+
+
+class TestLadderAgreement:
+    @pytest.mark.parametrize("seed", [3, 11, 19, 27])
+    def test_long_run_agreement_o0_vs_o5(self, seed):
+        """A longer differential run than the standard tests, to shake out
+        state that only corrupts after many commits/rollbacks."""
+        from repro.cuttlesim import compile_model
+
+        design = random_design(seed)
+        naive = compile_model(design, opt=0, warn_goldberg=False)()
+        analyzed = compile_model(design, opt=5, warn_goldberg=False)()
+        for cycle in range(60):
+            committed_naive = set(naive.run_cycle())
+            committed_analyzed = set(analyzed.run_cycle())
+            assert committed_naive == committed_analyzed, cycle
+            for register in design.registers:
+                assert naive.peek(register) == analyzed.peek(register), \
+                    (cycle, register)
+
+    def test_snapshot_restore_mid_contention(self):
+        """Snapshot/restore must capture log state, not just registers."""
+        from repro.cuttlesim import compile_model
+
+        design = random_design(7)
+        model = compile_model(design, opt=5, warn_goldberg=False)()
+        model.run(3)
+        snapshot = model.snapshot()
+        trace_a = [model.run_cycle() for _ in range(5)]
+        model.restore(snapshot)
+        trace_b = [model.run_cycle() for _ in range(5)]
+        assert trace_a == trace_b

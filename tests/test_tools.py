@@ -1,0 +1,195 @@
+"""Tests for the CLI, the analysis report, and the trace/cosim tooling."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.analysis import design_report
+from repro.cli import main as cli_main
+from repro.debug import Cosim, CycleTracer, diff_traces
+from repro.designs import build_collatz, build_msi, build_rv32i
+from repro.harness import make_simulator
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_list(self):
+        code, out = run_cli("list")
+        assert code == 0
+        for name in ("collatz", "rv32i", "msi", "rv32im"):
+            assert name in out
+
+    def test_pretty(self):
+        code, out = run_cli("pretty", "collatz")
+        assert code == 0 and "design collatz {" in out
+
+    def test_model(self):
+        code, out = run_cli("model", "collatz", "--opt", "4")
+        assert code == 0 and "optimization level O4" in out
+
+    def test_verilog(self):
+        code, out = run_cli("verilog", "fir")
+        assert code == 0 and "module fir(" in out
+
+    def test_report(self):
+        code, out = run_cli("report", "rv32i")
+        assert code == 0 and "register classes" in out
+
+    def test_asm_builtin(self):
+        code, out = run_cli("asm", "fib", "--arg", "5")
+        assert code == 0 and "labels:" in out
+
+    def test_asm_file(self, tmp_path):
+        source = tmp_path / "prog.s"
+        source.write_text("nop\nnop\n")
+        code, out = run_cli("asm", str(source))
+        assert code == 0 and "00000013" in out
+
+    def test_run_collatz(self):
+        code, out = run_cli("run", "collatz", "--cycles", "25")
+        assert code == 0 and "cycles/s" in out
+
+    def test_run_rv32_program(self):
+        code, out = run_cli("run", "rv32i", "--program", "fib",
+                            "--arg", "10", "--cycles", "5000")
+        assert code == 0 and "result = 55" in out
+
+    def test_run_rv32im_matmul_via_asm_error_free(self):
+        code, out = run_cli("run", "rv32im", "--program", "arith",
+                            "--arg", "16", "--cycles", "20000")
+        assert code == 0 and "result =" in out
+
+    def test_trace(self):
+        code, out = run_cli("trace", "collatz", "--cycles", "4")
+        assert code == 0
+        assert "cycle 0: fired [rl_odd]" in out
+        assert "commit counts" in out
+
+    def test_bench(self):
+        code, out = run_cli("bench", "collatz", "--cycles", "2000")
+        assert code == 0 and "speedup" in out
+
+    def test_unknown_design(self):
+        with pytest.raises(SystemExit):
+            run_cli("pretty", "nonexistent")
+
+    def test_unknown_program(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "rv32i", "--program", "quake")
+
+
+class TestDesignReport:
+    def test_rv32i_report_content(self):
+        report = design_report(build_rv32i())
+        assert "80 registers" in report.replace("registers:", "registers",)
+        assert "plain/safe" in report or "wire/safe" in report
+        assert "per-rule summary" in report
+        assert "decode" in report
+
+    def test_collapses_register_arrays(self):
+        report = design_report(build_rv32i())
+        assert "rf[32]" in report
+        assert "rf_17" not in report
+
+    def test_msi_report_shows_conflicts(self):
+        report = design_report(build_msi())
+        assert "static conflict pairs" in report
+
+    def test_buggy_msi_reports_tracked_flags(self):
+        report = design_report(build_msi(bug=True))
+        assert "tracked read-write-set flags" in report
+
+
+class TestTracer:
+    def test_records_commits_and_deltas(self):
+        tracer = CycleTracer(make_simulator(build_collatz()))
+        records = tracer.run(3)
+        assert records[0].committed == ("rl_odd",)
+        assert records[0].deltas == {"x": (19, 58)}
+        assert tracer.summary()["rl_odd"] >= 1
+
+    def test_quiet_cycles_have_empty_deltas(self):
+        from repro.koika import C, Design
+
+        design = Design("still")
+        design.reg("r", 8, init=5)
+        design.rule("noop", C(0, 0))
+        design.schedule("noop")
+        tracer = CycleTracer(make_simulator(design.finalize()))
+        records = tracer.run(2)
+        assert all(not r.deltas for r in records)
+
+    def test_diff_traces_detects_divergence(self):
+        t1 = CycleTracer(make_simulator(build_collatz(seed=27)))
+        t2 = CycleTracer(make_simulator(build_collatz(seed=28)))
+        problems = diff_traces(t1.run(5), t2.run(5))
+        assert problems
+
+    def test_diff_traces_clean_when_equal(self):
+        t1 = CycleTracer(make_simulator(build_collatz()))
+        t2 = CycleTracer(make_simulator(build_collatz(),
+                                        backend="rtl-cycle"))
+        assert diff_traces(t1.run(10), t2.run(10)) == []
+
+
+class TestCosim:
+    def test_agreement_returns_none(self):
+        design = build_collatz()
+        cosim = Cosim(make_simulator(design),
+                      make_simulator(design, backend="rtl-cycle"))
+        assert cosim.run(50) is None
+        assert cosim.cycles_run == 50
+
+    def test_divergence_reported_with_cycle(self):
+        left = make_simulator(build_collatz(seed=19))
+        right = make_simulator(build_collatz(seed=19))
+        right.poke("x", 20)  # corrupt one side
+        cosim = Cosim(left, right)
+        divergence = cosim.run(10)
+        assert divergence is not None and "cycle 0" in divergence
+        # the first observable difference is the committed-rule set
+        assert "committed sets differ" in divergence
+
+    def test_register_divergence_reported(self):
+        left = make_simulator(build_collatz(seed=19))
+        right = make_simulator(build_collatz(seed=19))
+        right.poke("x", 21)  # still odd: same rule fires, different value
+        cosim = Cosim(right, left)
+        divergence = cosim.run(10)
+        assert divergence is not None and "x = " in divergence
+
+
+class TestCliMoreCommands:
+    def test_synth(self):
+        code, out = run_cli("synth", "collatz")
+        assert code == 0
+        assert "depth ratio" in out and "critical path" in out
+
+    def test_run_uart(self):
+        code, out = run_cli("run", "uart", "--cycles", "300")
+        assert code == 0 and "cycles/s" in out
+
+    def test_run_soc(self):
+        code, out = run_cli("run", "soc", "--cycles", "3000",
+                            "--backend", "cuttlesim")
+        assert code == 0
+
+    def test_run_msi(self):
+        code, out = run_cli("run", "msi", "--cycles", "100")
+        assert code == 0
+
+    def test_model_simplify_flag(self):
+        code, out = run_cli("model", "fir", "--simplify")
+        assert code == 0 and "def rule_filter" in out
+
+    def test_bench_explicit_backends(self):
+        code, out = run_cli("bench", "collatz", "--cycles", "1000",
+                            "--backend", "cuttlesim,rtl-event")
+        assert code == 0 and "rtl-event" in out

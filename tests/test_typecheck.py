@@ -1,0 +1,237 @@
+"""Tests for the bidirectional type checker."""
+
+import pytest
+
+from repro.errors import KoikaElaborationError, KoikaTypeError
+from repro.koika import (
+    Abort, Assign, Binop, C, Call, Design, EnumType, If, Let, Read, Seq,
+    StructType, UNIT, Unop, V, Write, bits, typecheck_action, unit,
+)
+
+
+def make_design():
+    design = Design("t")
+    design.reg("r8", 8, init=3)
+    design.reg("r1", 1)
+    return design
+
+
+class TestInference:
+    def test_literal_width_from_context(self):
+        design = make_design()
+        r8 = design.registers["r8"]
+        action = Write("r8", 0, Read("r8", 0) + 1)
+        typ = typecheck_action(design, action)
+        assert typ == UNIT
+        # the bare `1` picked up bits<8>
+        add = action.value
+        assert add.b.typ == bits(8)
+
+    def test_literal_width_from_right_operand(self):
+        design = make_design()
+        node = Binop("add", C(1), Read("r8", 0))
+        assert typecheck_action(design, node) == bits(8)
+        assert node.a.typ == bits(8)
+
+    def test_uninferable_literal_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Binop("add", C(1), C(2)))
+
+    def test_abort_unifies_with_context(self):
+        design = make_design()
+        node = If(Read("r1", 0), Read("r8", 0), Abort())
+        assert typecheck_action(design, node) == bits(8)
+        assert node.orelse.typ == bits(8)
+
+    def test_abort_in_then_branch_infers_from_else(self):
+        design = make_design()
+        node = If(Read("r1", 0), Abort(), Read("r8", 0))
+        assert typecheck_action(design, node) == bits(8)
+
+    def test_if_without_else_must_be_unit(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, If(Read("r1", 0), Read("r8", 0)))
+
+    def test_width_mismatch_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Binop("add", Read("r8", 0),
+                                           Read("r1", 0)))
+
+    def test_branch_width_mismatch_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(
+                design, If(Read("r1", 0), Read("r8", 0), Read("r1", 0)))
+
+
+class TestScoping:
+    def test_unbound_variable(self):
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(make_design(), V("nope"))
+
+    def test_let_binds(self):
+        design = make_design()
+        node = Let("x", Read("r8", 0), V("x") + V("x"))
+        assert typecheck_action(design, node) == bits(8)
+
+    def test_let_shadowing(self):
+        design = make_design()
+        node = Let("x", Read("r8", 0),
+                   Let("x", Read("r1", 0), V("x")))
+        assert typecheck_action(design, node) == bits(1)
+
+    def test_let_scope_does_not_leak(self):
+        design = make_design()
+        node = Seq(Let("x", Read("r8", 0), unit()), V("x"))
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, node)
+
+    def test_assign_requires_binding(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Assign("x", C(1, 8)))
+
+    def test_assign_checks_width(self):
+        design = make_design()
+        node = Let("x", Read("r8", 0), Assign("x", Read("r1", 0)))
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, node)
+
+    def test_uninferable_let_value_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Let("x", C(5), V("x")))
+
+
+class TestRegistersAndCalls:
+    def test_unknown_register(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Read("nope", 0))
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Write("nope", 0, C(1, 1)))
+
+    def test_write_value_width_checked(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Write("r1", 0, Read("r8", 0)))
+
+    def test_fn_definition_and_call(self):
+        design = make_design()
+        fn = design.fn("double", [("x", 8)], V("x") + V("x"))
+        design.rule("r", Write("r8", 0, fn(Read("r8", 0))))
+        design.finalize()
+        assert fn.ret == bits(8)
+
+    def test_fn_must_be_pure(self):
+        design = make_design()
+        design.fn("impure", [("x", 8)], Seq(Read("r8", 0), V("x")))
+        with pytest.raises(KoikaTypeError):
+            design.finalize()
+
+    def test_fn_cannot_extcall(self):
+        design = make_design()
+        ext = design.extfun("io", 8, 8)
+        design.fn("impure", [("x", 8)], ext(V("x")))
+        with pytest.raises(KoikaTypeError):
+            design.finalize()
+
+    def test_call_arity_checked(self):
+        design = make_design()
+        design.fn("f", [("x", 8)], V("x"))
+        design.rule("r", Write("r8", 0, Call("f", [C(1, 8), C(2, 8)])))
+        with pytest.raises(KoikaTypeError):
+            design.finalize()
+
+    def test_unknown_fn(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Call("nope", []))
+
+    def test_extfun_types_checked(self):
+        design = make_design()
+        ext = design.extfun("io", 8, 1)
+        node = Write("r1", 0, ext(Read("r8", 0)))
+        assert typecheck_action(design, node) == UNIT
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Write("r8", 0, ext(Read("r8", 0))))
+
+
+class TestOps:
+    def test_slice_bounds_checked(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Read("r8", 0)[5:10])
+
+    def test_zext_narrowing_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Read("r8", 0).zext(4))
+
+    def test_concat_width_is_sum(self):
+        design = make_design()
+        node = Read("r8", 0).concat(Read("r1", 0))
+        assert typecheck_action(design, node) == bits(9)
+
+    def test_comparison_result_is_one_bit(self):
+        design = make_design()
+        node = Read("r8", 0) == Read("r8", 0)
+        assert typecheck_action(design, node) == bits(1)
+
+    def test_struct_field_ops(self):
+        s = StructType("p", [("a", bits(3)), ("b", bits(5))])
+        design = Design("t2")
+        design.reg("s", s)
+        node = Read("s", 0).field("b")
+        assert typecheck_action(design, node) == bits(5)
+        node2 = Read("s", 0).subst("a", C(1, 3))
+        assert typecheck_action(design, node2) == s
+
+    def test_field_on_non_struct_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaTypeError):
+            typecheck_action(design, Read("r8", 0).field("a"))
+
+
+class TestDesignStructure:
+    def test_duplicate_register_rejected(self):
+        design = make_design()
+        with pytest.raises(KoikaElaborationError):
+            design.reg("r8", 8)
+
+    def test_duplicate_rule_rejected(self):
+        design = make_design()
+        design.rule("r", unit())
+        with pytest.raises(KoikaElaborationError):
+            design.rule("r", unit())
+
+    def test_scheduler_unknown_rule(self):
+        design = make_design()
+        with pytest.raises(KoikaElaborationError):
+            design.schedule("nope")
+
+    def test_scheduler_duplicate(self):
+        design = make_design()
+        design.rule("r", unit())
+        design.schedule("r")
+        with pytest.raises(KoikaElaborationError):
+            design.schedule("r")
+
+    def test_default_schedule_is_declaration_order(self):
+        design = make_design()
+        design.rule("b", unit())
+        design.rule("a", unit())
+        design.finalize()
+        assert design.scheduler == ["b", "a"]
+
+    def test_bad_register_name(self):
+        design = make_design()
+        with pytest.raises(KoikaElaborationError):
+            design.reg("not an identifier", 4)
+
+    def test_initial_state(self):
+        design = make_design()
+        assert design.initial_state() == {"r8": 3, "r1": 0}

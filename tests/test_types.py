@@ -1,0 +1,207 @@
+"""Tests for the Kôika type universe (bits, enums, packed structs)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KoikaTypeError
+from repro.koika.types import (
+    BitsType, EnumType, StructType, UNIT, bits, from_signed, mask, maybe,
+    to_signed, truncate,
+)
+
+
+class TestScalarHelpers:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_truncate(self):
+        assert truncate(0x1FF, 8) == 0xFF
+        assert truncate(-1, 8) == 0xFF
+        assert truncate(5, 8) == 5
+
+    def test_to_signed_positive(self):
+        assert to_signed(5, 8) == 5
+        assert to_signed(127, 8) == 127
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+    def test_to_signed_zero_width(self):
+        assert to_signed(0, 0) == 0
+
+    def test_from_signed(self):
+        assert from_signed(-1, 8) == 0xFF
+        assert from_signed(-128, 8) == 0x80
+        assert from_signed(5, 8) == 5
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed(from_signed(value, 32), 32) == value
+
+
+class TestBitsType:
+    def test_width_and_repr(self):
+        t = bits(12)
+        assert t.width == 12
+        assert repr(t) == "bits<12>"
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            BitsType(-1)
+
+    def test_accepts(self):
+        t = bits(4)
+        assert t.accepts(0) and t.accepts(15)
+        assert not t.accepts(16)
+        assert not t.accepts(-1)
+        assert not t.accepts("x")
+
+    def test_validate_raises(self):
+        with pytest.raises(KoikaTypeError):
+            bits(4).validate(16)
+
+    def test_unit(self):
+        assert UNIT.width == 0
+        assert UNIT.accepts(0)
+        assert not UNIT.accepts(1)
+
+    def test_equality_and_hash(self):
+        assert bits(8) == bits(8)
+        assert bits(8) != bits(9)
+        assert hash(bits(8)) == hash(bits(8))
+
+    def test_format(self):
+        assert bits(8).format(0xAB) == "0xab"
+
+
+class TestEnumType:
+    def test_members_and_attribute_access(self):
+        state = EnumType("state", ["A", "B", "C"])
+        assert state.A == 0 and state.B == 1 and state.C == 2
+        assert state.width == 2
+
+    def test_explicit_values(self):
+        e = EnumType("e", ["X", "Y"], values=[3, 7])
+        assert e.X == 3 and e.Y == 7
+        assert e.width == 3
+
+    def test_explicit_width(self):
+        e = EnumType("e", ["X"], width=8)
+        assert e.width == 8
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            EnumType("e", ["X", "Y"], width=1, values=[0, 2])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            EnumType("e", ["A", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            EnumType("e", [])
+
+    def test_member_of(self):
+        e = EnumType("e", ["A", "B"])
+        assert e.member_of(0) == "A"
+        assert e.member_of(1) == "B"
+        assert e.member_of(3) is None
+
+    def test_format(self):
+        e = EnumType("msi", ["I", "S", "M"])
+        assert e.format(2) == "msi::M"
+        assert e.format(3) == "<msi:3>"
+
+    def test_unknown_attribute(self):
+        e = EnumType("e", ["A"])
+        with pytest.raises(AttributeError):
+            e.nonexistent
+
+    def test_value_of_unknown(self):
+        with pytest.raises(KoikaTypeError):
+            EnumType("e", ["A"]).value_of("B")
+
+
+class TestStructType:
+    def setup_method(self):
+        self.s = StructType("point", [("x", bits(8)), ("y", bits(4)),
+                                      ("flag", bits(1))])
+
+    def test_width_is_sum(self):
+        assert self.s.width == 13
+
+    def test_first_field_is_least_significant(self):
+        packed = self.s.pack(x=0xAB, y=0, flag=0)
+        assert packed == 0xAB
+
+    def test_pack_unpack_roundtrip(self):
+        packed = self.s.pack(x=0x12, y=0x3, flag=1)
+        assert self.s.unpack(packed) == {"x": 0x12, "y": 0x3, "flag": 1}
+
+    def test_pack_defaults_missing_to_zero(self):
+        assert self.s.unpack(self.s.pack(y=5))["x"] == 0
+
+    def test_pack_unknown_field_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            self.s.pack(z=1)
+
+    def test_extract(self):
+        packed = self.s.pack(x=1, y=2, flag=1)
+        assert self.s.extract(packed, "y") == 2
+        assert self.s.extract(packed, "flag") == 1
+
+    def test_subst(self):
+        packed = self.s.pack(x=1, y=2, flag=0)
+        updated = self.s.subst(packed, "y", 7)
+        assert self.s.unpack(updated) == {"x": 1, "y": 7, "flag": 0}
+
+    def test_subst_truncates(self):
+        packed = self.s.subst(0, "y", 0xFF)
+        assert self.s.extract(packed, "y") == 0xF
+        assert self.s.extract(packed, "x") == 0
+
+    def test_field_metadata(self):
+        assert self.s.field_names() == ["x", "y", "flag"]
+        assert self.s.has_field("x") and not self.s.has_field("z")
+        assert self.s.field_offset("y") == 8
+        assert self.s.field_type("y") == bits(4)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            self.s.field_type("nope")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(KoikaTypeError):
+            StructType("bad", [("a", bits(1)), ("a", bits(2))])
+
+    def test_format(self):
+        text = self.s.format(self.s.pack(x=255, y=1, flag=1))
+        assert "x=0xff" in text and "point{" in text
+
+    @given(st.integers(0, 255), st.integers(0, 15), st.integers(0, 1))
+    def test_pack_extract_agree(self, x, y, flag):
+        packed = self.s.pack(x=x, y=y, flag=flag)
+        assert self.s.extract(packed, "x") == x
+        assert self.s.extract(packed, "y") == y
+        assert self.s.extract(packed, "flag") == flag
+
+    @given(st.integers(0, 2 ** 13 - 1), st.integers(0, 15))
+    def test_subst_only_touches_field(self, packed, y):
+        updated = self.s.subst(packed, "y", y)
+        assert self.s.extract(updated, "y") == y
+        assert self.s.extract(updated, "x") == self.s.extract(packed, "x")
+        assert self.s.extract(updated, "flag") == self.s.extract(packed, "flag")
+
+
+class TestMaybe:
+    def test_shape(self):
+        m = maybe(bits(8))
+        assert m.field_names() == ["valid", "data"]
+        assert m.width == 9
+
+    def test_custom_name(self):
+        assert maybe(bits(8), "opt8").name == "opt8"
