@@ -9,7 +9,7 @@ keep dynamic checks).
 
 import pytest
 
-from conftest import CYCLES, WORKLOADS, get_design
+from conftest import CYCLES, MODEL_CACHE, WORKLOADS, get_design
 from repro.cuttlesim import compile_model
 
 DESIGNS = ["collatz", "rv32i-primes"]
@@ -28,7 +28,7 @@ def test_ablation(benchmark, name, opt):
     def setup():
         design = get_design(name)
         cls = compile_model(design, opt=level, simplify=simplify,
-                            warn_goldberg=False)
+                            warn_goldberg=False, cache=MODEL_CACHE)
         return (cls(WORKLOADS[name][1]()),), {}
 
     benchmark.pedantic(lambda sim: sim.run(cycles), setup=setup,

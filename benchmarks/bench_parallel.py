@@ -1,0 +1,101 @@
+"""Fleet + model-cache benchmarks: the PR's scaling substrate.
+
+Two questions, mirroring the acceptance criteria:
+
+* does a warm content-addressed cache make ``compile_model`` of an
+  unchanged design much (>= 5x) cheaper than a cold compile?
+* does fanning a randomized-schedule sweep across worker processes beat
+  the serial path while reproducing its observations exactly?
+
+Results land in ``extra_info`` (cycles/second, speedups, cache hit/miss
+counts), the same perf-trajectory numbers ``repro parallel --json`` emits.
+"""
+
+import pickle
+import tempfile
+
+import pytest
+
+from conftest import WORKLOADS
+from repro.cuttlesim import ModelCache, compile_model
+from repro.debug.randomize import randomized_sweep
+from repro.designs import build_rv32im
+
+TRIALS = 16
+CYCLES_PER_TRIAL = 2_000
+
+_SWEEPS = {}
+_CACHE = {}
+
+
+def _collatz_sweep(workers, cache):
+    builder, env_factory = WORKLOADS["collatz"]
+    report = randomized_sweep(
+        builder(), env_factory,
+        until=lambda model, env: model.cycle >= CYCLES_PER_TRIAL,
+        observe=lambda model, env: model.state_dict(),
+        trials=TRIALS, max_cycles=CYCLES_PER_TRIAL + 1,
+        workers=workers, cache=cache)
+    report.raise_on_failure()
+    return report
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_randomized_sweep_fleet(benchmark, workers):
+    """16-trial random-schedule sweep, serial vs 2 vs 4 workers."""
+    benchmark.group = "fleet:collatz-sweep"
+    cache = ModelCache(path=None)
+    reports = []
+    benchmark.pedantic(lambda: reports.append(_collatz_sweep(workers, cache)),
+                       rounds=3, iterations=1)
+    report = reports[-1]
+    total_cycles = TRIALS * CYCLES_PER_TRIAL
+    rate = round(total_cycles / benchmark.stats.stats.mean)
+    benchmark.extra_info.update({
+        "workers": workers, "trials": TRIALS,
+        "cycles_per_second": rate,
+        "cache": cache.stats.as_dict(),
+    })
+    _SWEEPS[workers] = (rate, pickle.dumps(report.observations))
+
+
+@pytest.mark.parametrize("state", ["cold", "warm"])
+def test_compile_model_cache(benchmark, state):
+    """Cold analysis+emission vs a warm disk hit for an unchanged rv32im."""
+    benchmark.group = "cache:rv32im-compile"
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    if state == "warm":  # populate once, then measure pure disk hits
+        compile_model(build_rv32im(), warn_goldberg=False,
+                      cache=ModelCache(tmp))
+
+    def compile_once():
+        # A fresh ModelCache instance per round defeats the in-memory LRU,
+        # so "warm" measures the disk layer, not a dict lookup; "cold"
+        # gets an empty directory per round so round 1 can't warm round 2.
+        path = tmp if state == "warm" else \
+            tempfile.mkdtemp(prefix="repro-bench-cache-cold-")
+        compile_model(build_rv32im(), warn_goldberg=False,
+                      cache=ModelCache(path))
+
+    benchmark.pedantic(compile_once, rounds=3, iterations=1)
+    _CACHE[state] = benchmark.stats.stats.mean
+    benchmark.extra_info.update({"state": state,
+                                 "seconds": benchmark.stats.stats.mean})
+
+
+def teardown_module(module):
+    if _SWEEPS:
+        print("\n\nFleet sweep — 16 randomized-schedule trials of collatz")
+        serial_rate, serial_obs = _SWEEPS.get(1, (None, None))
+        for workers in sorted(_SWEEPS):
+            rate, obs = _SWEEPS[workers]
+            line = f"  {workers} worker(s): {rate:>12,} cycles/s"
+            if serial_rate and workers != 1:
+                line += f"  ({rate / serial_rate:.2f}x vs serial)"
+                line += ("  observations identical" if obs == serial_obs
+                         else "  OBSERVATIONS DIVERGE")
+            print(line)
+    if len(_CACHE) == 2:
+        speedup = _CACHE["cold"] / _CACHE["warm"]
+        print(f"\nModel cache — rv32im compile: cold {_CACHE['cold']:.3f}s, "
+              f"warm {_CACHE['warm']:.3f}s ({speedup:.1f}x)")

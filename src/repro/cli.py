@@ -10,7 +10,9 @@ Gives the whole toolchain a front door:
 * ``asm PROGRAM``     — assemble a built-in program or .s file, dump the listing;
 * ``run DESIGN``      — simulate (any backend; rv32 designs take --program);
 * ``trace DESIGN``    — per-cycle commit/delta trace;
-* ``bench DESIGN``    — quick cycles/second measurement per backend.
+* ``bench DESIGN``    — quick cycles/second measurement per backend;
+* ``parallel DESIGN`` — randomized-schedule sweep on the worker fleet,
+  with the content-addressed model cache and a JSON perf report.
 """
 
 from __future__ import annotations
@@ -263,6 +265,70 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_parallel(args) -> int:
+    import json
+
+    from .debug.randomize import randomized_sweep
+
+    design = _get_design(args.design)
+    cache = None if args.no_cache else True
+    env_factory = lambda: _default_env(design, args.program, args.arg)  # noqa: E731
+
+    serial_seconds = None
+    if args.compare_serial:
+        started = time.perf_counter()
+        serial = randomized_sweep(
+            design, env_factory,
+            until=lambda model, env: model.cycle >= args.cycles,
+            observe=lambda model, env: model.state_dict(),
+            trials=args.trials, seed=args.seed, max_cycles=args.cycles + 1,
+            workers=1, cache=cache)
+        serial.raise_on_failure()
+        serial_seconds = time.perf_counter() - started
+
+    report = randomized_sweep(
+        design, env_factory,
+        until=lambda model, env: model.cycle >= args.cycles,
+        observe=lambda model, env: model.state_dict(),
+        trials=args.trials, seed=args.seed, max_cycles=args.cycles + 1,
+        workers=args.workers, timeout=args.timeout, cache=cache)
+    report.serial_seconds = serial_seconds
+
+    payload = report.as_dict()
+    payload["design"] = args.design
+    payload["cycles_per_trial"] = args.cycles
+    observations = report.observations
+    order_independent = bool(observations) and \
+        all(obs == observations[0] for obs in observations)
+    payload["order_independent"] = order_independent
+    if args.compare_serial:
+        identical = observations == serial.observations
+        payload["matches_serial"] = identical
+
+    for result in report.results:
+        rate = result.cycles_per_second
+        print(f"trial {result.index:>3}  {result.status:<8}"
+              f"{f'{rate:,.0f} cycles/s' if rate else '-':>20}")
+    print(f"{report.workers} worker(s), wall {report.wall_seconds:.3f}s"
+          + (f", serial {serial_seconds:.3f}s "
+             f"({report.speedup_vs_serial:.2f}x)" if serial_seconds else ""))
+    if payload.get("cache"):
+        cache_info = payload["cache"]
+        print(f"model cache: {cache_info['hits']} hit(s), "
+              f"{cache_info['misses']} miss(es)")
+    print("order-independent:", "yes" if order_independent else "NO")
+    if args.compare_serial:
+        print("parallel == serial:", "yes" if payload["matches_serial"]
+              else "NO")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+        print(f"report written to {args.json}")
+    if report.failures or not order_independent:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -301,6 +367,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--program", default=None)
     p.add_argument("--arg", type=int, default=100)
     p.set_defaults(fn=cmd_debug)
+
+    p = sub.add_parser("parallel", help="randomized-schedule sweep on the "
+                                        "parallel simulation fleet")
+    p.add_argument("design")
+    p.add_argument("--trials", type=int, default=16)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: all cores)")
+    p.add_argument("--cycles", type=int, default=2_000,
+                   help="cycles per trial")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-trial timeout in seconds")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the repro-fleet-v1 report (BENCH_*.json)")
+    p.add_argument("--compare-serial", action="store_true",
+                   help="also run serially; report speedup and equality")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed model cache")
+    p.add_argument("--program", default=None,
+                   help="built-in RISC-V program (rv32 designs)")
+    p.add_argument("--arg", type=int, default=100)
+    p.set_defaults(fn=cmd_parallel)
 
     for name, fn, default_cycles in (("run", cmd_run, 200_000),
                                      ("trace", cmd_trace, 30),

@@ -1,6 +1,9 @@
 """Cuttlesim: compilation of Koika designs to fast sequential models."""
 
-from .codegen import compile_model, generate_source
+from .cache import ModelCache, design_fingerprint, get_default_cache
+from .codegen import CODEGEN_VERSION, compile_model, generate_source
 from .model import ModelBase
 
-__all__ = ["compile_model", "generate_source", "ModelBase"]
+__all__ = ["CODEGEN_VERSION", "ModelCache", "compile_model",
+           "design_fingerprint", "generate_source", "get_default_cache",
+           "ModelBase"]

@@ -1,0 +1,260 @@
+"""Content-addressed model cache: compile a design once, load it forever.
+
+The paper's pitch is that compiled simulation is *cheap to rerun*; a sweep
+service makes that literal only if reruns skip the compiler.  Every
+``compile_model`` call normally re-runs static analysis, code emission and
+``compile()``/``exec`` from scratch — this module memoizes the expensive
+front half behind a stable content hash, in two layers:
+
+* an **in-process LRU** of finished model classes (a repeat
+  ``compile_model`` in the same process is a dict lookup);
+* an **on-disk store** of the generated source plus its metadata tables,
+  so fresh processes (sweep workers, repeat CLI invocations, CI shards)
+  skip analysis + emission and only ``compile()``/``exec`` the stored
+  text.
+
+Keys are ``sha256`` over the canonical pretty-printed design (plus
+register/extfun signature tables), the codegen flags that influence the
+generated source, and :data:`repro.cuttlesim.codegen.CODEGEN_VERSION` —
+so editing a design, changing a flag, or upgrading the emitter each miss
+cleanly instead of replaying stale code.
+
+Instrumented/debug builds are never cached: their metadata embeds AST-node
+uids that only mean something for the exact design object in hand.
+
+The default on-disk location is ``~/.cache/repro/models``, overridable
+with the ``REPRO_MODEL_CACHE`` environment variable (set it to ``0``,
+``off`` or the empty string to disable the disk layer of the shared
+default cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..koika.design import Design
+from ..koika.pretty import pretty_design
+from .codegen import CODEGEN_VERSION, _Meta
+
+#: On-disk entry format version (bump on layout changes).
+_DISK_FORMAT = 1
+
+
+def design_fingerprint(design: Design) -> str:
+    """Stable content hash of a design, independent of object identity.
+
+    Hashes the canonical pretty-printed text plus the signature tables the
+    printer does not fully capture (register widths/initial values and
+    external-function types), so two structurally identical designs built
+    in different processes agree and any semantic edit disagrees.
+    """
+    if not design.finalized:
+        design.finalize()
+    hasher = hashlib.sha256()
+    hasher.update(pretty_design(design).encode())
+    for register in design.registers.values():
+        hasher.update(
+            f"|reg {register.name}:{register.typ!r}={register.init}".encode())
+    for ext in design.extfuns.values():
+        hasher.update(
+            f"|ext {ext.name}:{ext.arg_type!r}->{ext.ret_type!r}".encode())
+    hasher.update(f"|sched {'|>'.join(design.scheduler)}".encode())
+    return hasher.hexdigest()
+
+
+class CacheStats:
+    """Hit/miss counters, reported in fleet JSON reports."""
+
+    def __init__(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(memory={self.memory_hits}, "
+                f"disk={self.disk_hits}, misses={self.misses})")
+
+
+class ModelCache:
+    """Two-layer (memory LRU + on-disk) content-addressed model cache.
+
+    ``path=None`` disables the disk layer (memory-only cache).  The class
+    is safe to share across threads; worker *processes* each get their own
+    memory layer but share the disk directory, which is what makes sweep
+    fleets warm-start.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 memory_slots: int = 64):
+        self.path = Path(path) if path is not None else None
+        self.memory_slots = memory_slots
+        self.stats = CacheStats()
+        self._classes: "OrderedDict[str, type]" = OrderedDict()
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    # -- keys -----------------------------------------------------------------
+    def key_for(self, design: Design, *, opt: int, order_independent: bool,
+                simplify: bool, inline_rules, host_optimize: int) -> str:
+        """Cache key for one (design, compile-flags) combination.
+
+        ``host_optimize`` only affects the host ``compile()`` step, but it
+        is keyed anyway so the class layer never conflates two builds.
+        """
+        flags = (f"O{opt};oi={int(bool(order_independent))}"
+                 f";simp={int(bool(simplify))};inline={inline_rules!r}"
+                 f";host={host_optimize};cg={CODEGEN_VERSION}")
+        return hashlib.sha256(
+            f"{design_fingerprint(design)};{flags}".encode()).hexdigest()
+
+    # -- memory layer ---------------------------------------------------------
+    def lookup_class(self, key: str) -> Optional[type]:
+        with self._lock:
+            cls = self._classes.get(key)
+            if cls is None:
+                return None
+            self._classes.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cls
+
+    def store_class(self, key: str, cls: type) -> None:
+        with self._lock:
+            self._classes[key] = cls
+            self._classes.move_to_end(key)
+            while len(self._classes) > self.memory_slots:
+                # Dropping the strong reference lets the class (and its
+                # linecache entry, via the finalizer) be collected.
+                self._classes.popitem(last=False)
+
+    # -- disk layer -----------------------------------------------------------
+    def _entry_path(self, key: str) -> Optional[Path]:
+        if self.path is None:
+            return None
+        return self.path / f"{key}.json"
+
+    def lookup_source(self, key: str) -> Optional[Tuple[str, _Meta]]:
+        """Load (source, meta) from disk; counts a miss when absent."""
+        entry_path = self._entry_path(key)
+        payload = None
+        if entry_path is not None and entry_path.exists():
+            try:
+                payload = json.loads(entry_path.read_text())
+            except (OSError, ValueError):
+                payload = None  # corrupt entry: treat as a miss, recompile
+        if payload is None or payload.get("format") != _DISK_FORMAT:
+            self.stats.misses += 1
+            return None
+        meta = _Meta()
+        meta.blocks = [tuple(block) for block in payload["blocks"]]
+        meta.uid_line = {int(uid): line
+                         for uid, line in payload["uid_line"].items()}
+        meta.line_block = payload["line_block"]
+        self.stats.disk_hits += 1
+        return payload["source"], meta
+
+    def store_source(self, key: str, source: str, meta: _Meta, *,
+                     design_name: str = "?", opt: int = -1) -> None:
+        entry_path = self._entry_path(key)
+        if entry_path is None:
+            return
+        payload = {
+            "format": _DISK_FORMAT,
+            "codegen_version": CODEGEN_VERSION,
+            "design": design_name,
+            "opt": opt,
+            "source": source,
+            "blocks": [list(block) for block in meta.blocks],
+            "uid_line": {str(uid): line for uid, line in meta.uid_line.items()},
+            "line_block": meta.line_block,
+        }
+        tmp_path = entry_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp_path.write_text(json.dumps(payload))
+            os.replace(tmp_path, entry_path)  # atomic vs racing workers
+        except OSError:
+            tmp_path.unlink(missing_ok=True)
+
+    # -- maintenance ----------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from both layers; True if anything was removed."""
+        removed = False
+        with self._lock:
+            if self._classes.pop(key, None) is not None:
+                removed = True
+        entry_path = self._entry_path(key)
+        if entry_path is not None and entry_path.exists():
+            entry_path.unlink()
+            removed = True
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry from both layers."""
+        with self._lock:
+            self._classes.clear()
+        if self.path is not None:
+            for entry in self.path.glob("*.json"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        disk = len(list(self.path.glob("*.json"))) if self.path else 0
+        return max(len(self._classes), disk)
+
+
+_default_cache: Optional[ModelCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Resolve the shared cache directory from ``REPRO_MODEL_CACHE``.
+
+    Returns ``None`` when the disk layer is disabled (value ``0``, ``off``
+    or empty)."""
+    value = os.environ.get("REPRO_MODEL_CACHE")
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "models"
+    if value.strip().lower() in ("", "0", "off", "none", "disabled"):
+        return None
+    return Path(value)
+
+
+def get_default_cache() -> ModelCache:
+    """The process-wide shared cache (``compile_model(..., cache=True)``)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = ModelCache(default_cache_dir())
+        return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Forget the shared cache instance (tests re-point REPRO_MODEL_CACHE)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None
+
+
+def resolve_cache(cache) -> ModelCache:
+    """Normalize ``compile_model``'s ``cache`` argument to a ModelCache."""
+    if cache is True:
+        return get_default_cache()
+    if isinstance(cache, ModelCache):
+        return cache
+    raise TypeError(f"cache must be a ModelCache or True, not {cache!r}")

@@ -33,6 +33,7 @@ Additional compile modes:
 from __future__ import annotations
 
 import linecache
+import weakref
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.abstract import DesignAnalysis, RD1, WR0, WR1, analyze
@@ -797,9 +798,18 @@ def _make_layout(design: Design, opt: int,
 # ----------------------------------------------------------------------
 
 def _is_atomic(expr: str) -> bool:
-    return expr.isidentifier() or expr.lstrip("-").isdigit() or (
-        expr.startswith("0x") and all(c in "0123456789abcdef" for c in expr[2:])
-    )
+    """True for expression texts that are free to duplicate: identifiers and
+    the literals ``_hex`` emits (small decimals like ``-5``, and lowercase
+    ``hex()`` output like ``0x1f`` / ``-0x1f``).  A bare ``0x``, an empty
+    string, or a doubled sign is not a literal and must not be treated as
+    one — misclassification here makes hoisting decisions unsound."""
+    if expr.isidentifier():
+        return True
+    body = expr[1:] if expr.startswith("-") else expr
+    if body.isdigit():
+        return True
+    return (len(body) > 2 and body.startswith("0x")
+            and all(c in "0123456789abcdef" for c in body[2:]))
 
 
 def _is_unit_const(node: Action) -> bool:
@@ -819,6 +829,18 @@ class _Emitter:
     def fresh(self, hint: str = "t") -> str:
         self._temps += 1
         return f"_{hint}{self._temps}"
+
+    def hoist(self, expr: str) -> str:
+        """Materialize a non-atomic operand in a temp so the emitted
+        template can mention it more than once.  Textual duplication would
+        re-evaluate the expression per mention — wasted work at best, and a
+        semantic bug when it contains an ``ExtCall`` (the environment must
+        see exactly one call, in sequential order)."""
+        if _is_atomic(expr):
+            return expr
+        temp = self.fresh()
+        self.line(f"{temp} = {expr}")
+        return temp
 
     def line(self, text: str) -> None:
         self.out.line(text)
@@ -946,10 +968,7 @@ class _Emitter:
                 return "0"
             sign_bit = _hex(1 << (in_width - 1))
             high = _hex(mask(node.param) - mask(in_width))
-            if not _is_atomic(arg):
-                temp = self.fresh()
-                self.line(f"{temp} = {arg}")
-                arg = temp
+            arg = self.hoist(arg)
             return f"(({arg} | {high}) if {arg} & {sign_bit} else {arg})"
         offset, width = node.param
         if offset == 0:
@@ -968,8 +987,11 @@ class _Emitter:
         if op == "mul":
             return f"(({a_expr} * {b_expr}) & {result_mask})"
         if op == "divu":
+            b_expr = self.hoist(b_expr)
             return f"(({a_expr} // {b_expr}) if {b_expr} else {result_mask})"
         if op == "remu":
+            a_expr = self.hoist(a_expr)
+            b_expr = self.hoist(b_expr)
             return f"(({a_expr} % {b_expr}) if {b_expr} else {a_expr})"
         if op == "and":
             return f"({a_expr} & {b_expr})"
@@ -993,17 +1015,21 @@ class _Emitter:
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} << {node.b.value}) & {result_mask})"
+            b_expr = self.hoist(b_expr)
             return (f"((({a_expr} << {b_expr}) & {result_mask}) "
                     f"if {b_expr} < {width} else 0)")
         if op == "srl":
             if isinstance(node.b, Const):
                 return "0" if node.b.value >= width else f"({a_expr} >> {node.b.value})"
+            b_expr = self.hoist(b_expr)
             return f"(({a_expr} >> {b_expr}) if {b_expr} < {width} else 0)"
         if op == "sra":
             half, full = _hex(1 << (width - 1)), _hex(1 << width)
-            shift = (f"{b_expr} if {b_expr} < {width} else {width}"
-                     if not isinstance(node.b, Const)
-                     else str(min(node.b.value, width)))
+            if isinstance(node.b, Const):
+                shift = str(min(node.b.value, width))
+            else:
+                b_expr = self.hoist(b_expr)
+                shift = f"{b_expr} if {b_expr} < {width} else {width}"
             return (f"((_sgn({a_expr}, {half}, {full}) >> ({shift})) "
                     f"& {result_mask})")
         if op == "sel":
@@ -1011,6 +1037,7 @@ class _Emitter:
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} >> {node.b.value}) & 1)"
+            b_expr = self.hoist(b_expr)
             return f"((({a_expr} >> {b_expr}) & 1) if {b_expr} < {width} else 0)"
         raise CompileError(f"unknown binop {op!r}")
 
@@ -1542,38 +1569,16 @@ def generate_source(design: Design, opt: int = 5, instrument: bool = False,
 
 _compile_counter = 0
 
+#: Bump whenever the emitter's output changes; part of every model-cache
+#: key so stale on-disk entries are never replayed by a newer compiler.
+CODEGEN_VERSION = 2
 
-def compile_model(design: Design, opt: int = 5, instrument: bool = False,
-                  debug: bool = False, order_independent: bool = False,
-                  warn_goldberg: bool = True, inline_rules=None,
-                  host_optimize: int = -1, simplify: bool = False):
-    """Compile a design into a Cuttlesim model class.
 
-    Returns the class; instantiate with an :class:`Environment` to simulate.
-    ``order_independent=True`` makes the O5 analysis sound for any rule
-    order (required before using ``run_cycle(order=...)`` with O5 models).
-    ``host_optimize`` is forwarded to the host compiler (CPython's
-    ``compile(optimize=...)``) — the knob Figure 3's toolchain-sensitivity
-    experiment turns, standing in for the paper's GCC-vs-Clang axis.
-    """
+def _finish_class(source: str, meta: _Meta, design: Design, opt: int,
+                  host_optimize: int, analysis: Optional[DesignAnalysis]):
+    """Compile + exec generated source into a model class and attach the
+    metadata tables.  Shared by the cold path and cache-hit loads."""
     global _compile_counter
-    if not design.finalized:
-        design.finalize()
-    if simplify:
-        from ..koika.simplify import simplify_design
-
-        design = simplify_design(design)
-    analysis = None
-    if opt >= 5:
-        analysis = analyze(design, order_independent=order_independent)
-        if warn_goldberg and opt >= 4:
-            for warning in analysis.goldberg_warnings:
-                import warnings
-
-                warnings.warn(warning, stacklevel=2)
-    source, meta = generate_source(design, opt=opt, instrument=instrument,
-                                   debug=debug, analysis=analysis,
-                                   inline_rules=inline_rules)
     _compile_counter += 1
     filename = f"<cuttlesim:{design.name}-O{opt}#{_compile_counter}>"
     namespace: Dict[str, object] = {"ModelBase": ModelBase}
@@ -1595,4 +1600,74 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
     cls.FILENAME = filename
     linecache.cache[filename] = (len(source), None,
                                  source.splitlines(True), filename)
+    # Long-running sweep services compile thousands of models; drop the
+    # linecache entry once nothing references the class any more, instead
+    # of accumulating pseudo-files forever.
+    weakref.finalize(cls, linecache.cache.pop, filename, None)
+    return cls
+
+
+def compile_model(design: Design, opt: int = 5, instrument: bool = False,
+                  debug: bool = False, order_independent: bool = False,
+                  warn_goldberg: bool = True, inline_rules=None,
+                  host_optimize: int = -1, simplify: bool = False,
+                  cache=None):
+    """Compile a design into a Cuttlesim model class.
+
+    Returns the class; instantiate with an :class:`Environment` to simulate.
+    ``order_independent=True`` makes the O5 analysis sound for any rule
+    order (required before using ``run_cycle(order=...)`` with O5 models).
+    ``host_optimize`` is forwarded to the host compiler (CPython's
+    ``compile(optimize=...)``) — the knob Figure 3's toolchain-sensitivity
+    experiment turns, standing in for the paper's GCC-vs-Clang axis.
+
+    ``cache`` enables the content-addressed model cache: pass a
+    :class:`repro.cuttlesim.cache.ModelCache`, or ``True`` for the shared
+    process-default cache.  Warm loads skip analysis and emission (and, on
+    in-process hits, ``compile``/``exec`` too).  Instrumented and debug
+    builds always compile cold — their metadata embeds AST-node uids that
+    are only meaningful for the exact design object they were generated
+    from.  On a cache hit ``warn_goldberg`` warnings are not re-issued and
+    ``cls.ANALYSIS`` is ``None``.
+    """
+    if not design.finalized:
+        design.finalize()
+    store = None
+    key = None
+    if cache is not None and not (instrument or debug):
+        from .cache import resolve_cache
+
+        store = resolve_cache(cache)
+        key = store.key_for(design, opt=opt, order_independent=order_independent,
+                            simplify=simplify, inline_rules=inline_rules,
+                            host_optimize=host_optimize)
+        cls = store.lookup_class(key)
+        if cls is not None:
+            return cls
+        entry = store.lookup_source(key)
+        if entry is not None:
+            source, meta = entry
+            cls = _finish_class(source, meta, design, opt, host_optimize,
+                                analysis=None)
+            store.store_class(key, cls)
+            return cls
+    if simplify:
+        from ..koika.simplify import simplify_design
+
+        design = simplify_design(design)
+    analysis = None
+    if opt >= 5:
+        analysis = analyze(design, order_independent=order_independent)
+        if warn_goldberg and opt >= 4:
+            for warning in analysis.goldberg_warnings:
+                import warnings
+
+                warnings.warn(warning, stacklevel=2)
+    source, meta = generate_source(design, opt=opt, instrument=instrument,
+                                   debug=debug, analysis=analysis,
+                                   inline_rules=inline_rules)
+    cls = _finish_class(source, meta, design, opt, host_optimize, analysis)
+    if store is not None:
+        store.store_source(key, source, meta, design_name=design.name, opt=opt)
+        store.store_class(key, cls)
     return cls

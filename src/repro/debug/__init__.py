@@ -3,7 +3,8 @@ debugger (gdb/rr analogue), scheduler randomization, VCD waveforms."""
 
 from .coverage import CoverageReport, annotate_source
 from .debugger import Breakpoint, Debugger, Event
-from .randomize import randomized_trials, run_with_random_schedule
+from .randomize import (randomized_sweep, randomized_trials,
+                        run_with_random_schedule)
 from .shell import DebugShell, run_script
 from .trace import Cosim, CycleRecord, CycleTracer, diff_traces
 from .waveform import VcdWriter, dump_vcd
@@ -11,7 +12,7 @@ from .waveform import VcdWriter, dump_vcd
 __all__ = [
     "CoverageReport", "annotate_source",
     "Breakpoint", "Debugger", "Event",
-    "randomized_trials", "run_with_random_schedule",
+    "randomized_sweep", "randomized_trials", "run_with_random_schedule",
     "Cosim", "CycleRecord", "CycleTracer", "diff_traces",
     "DebugShell", "run_script",
     "VcdWriter", "dump_vcd",

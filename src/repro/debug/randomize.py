@@ -9,15 +9,23 @@ observable outcome is order-independent.
 The model must be compiled with ``order_independent=True`` so the static
 analysis (check elision, safe registers) is sound under every order —
 :func:`randomized_trials` does this for you.
+
+Sweeps dispatch through the simulation fleet
+(:mod:`repro.harness.parallel`): the model is compiled once in the parent
+(optionally via the content-addressed model cache) and forked workers run
+trials concurrently, with per-trial timeouts and crash isolation.  A
+parallel sweep's observations are byte-identical to a serial one's — the
+per-trial RNG is seeded from the trial index, never from worker identity.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from ..errors import SimulationError
 from ..harness.env import Environment
+from ..harness.parallel import (FleetReport, Trial, TrialOutput, run_fleet)
 from ..koika.design import Design
 
 
@@ -35,27 +43,72 @@ def run_with_random_schedule(model, rng: random.Random,
     raise SimulationError(f"trial did not finish within {max_cycles} cycles")
 
 
+def randomized_sweep(design: Design,
+                     env_factory: Callable[[], Environment],
+                     until: Callable[[object, Environment], bool],
+                     observe: Callable[[object, Environment], object],
+                     trials: int = 10, seed: int = 0,
+                     max_cycles: int = 1_000_000,
+                     workers: Optional[int] = 1,
+                     timeout: Optional[float] = None,
+                     cache=None) -> FleetReport:
+    """Run ``trials`` random-schedule executions on the simulation fleet.
+
+    Returns the full :class:`~repro.harness.parallel.FleetReport` —
+    per-trial observations, cycle counts, cycles/second and any structured
+    failures.  ``workers=1`` (the default) runs serially in-process;
+    ``workers=None`` uses every core.  ``cache`` is forwarded to
+    :func:`~repro.cuttlesim.codegen.compile_model`.
+    """
+    from ..cuttlesim.codegen import compile_model
+
+    model_cls = compile_model(design, opt=5, order_independent=True,
+                              warn_goldberg=False, cache=cache)
+
+    def make_trial(trial: int) -> Trial:
+        trial_seed = seed * 7919 + trial
+
+        def fn():
+            rng = random.Random(trial_seed)
+            env = env_factory()
+            model = model_cls(env)
+            cycles = run_with_random_schedule(
+                model, rng, lambda m: until(m, env), max_cycles=max_cycles)
+            return TrialOutput(observation=observe(model, env), cycles=cycles)
+
+        return Trial(name=f"trial-{trial}", fn=fn,
+                     meta={"seed": trial_seed, "design": design.name})
+
+    cache_stats = None
+    if cache is not None:
+        from ..cuttlesim.cache import resolve_cache
+
+        cache_stats = resolve_cache(cache).stats.as_dict()
+    return run_fleet([make_trial(t) for t in range(trials)],
+                     workers=workers, timeout=timeout,
+                     cache_stats=cache_stats)
+
+
 def randomized_trials(design: Design,
                       env_factory: Callable[[], Environment],
                       until: Callable[[object, Environment], bool],
                       observe: Callable[[object, Environment], object],
                       trials: int = 10, seed: int = 0,
-                      max_cycles: int = 1_000_000) -> List[object]:
+                      max_cycles: int = 1_000_000,
+                      workers: Optional[int] = 1,
+                      cache=None) -> List[object]:
     """Run ``trials`` random-schedule executions; return the observations.
 
     The caller asserts the observations are all equal (and typically equal
     to the in-order run's) — that is the order-independence property.
+    ``workers`` > 1 fans the trials across the simulation fleet; the
+    returned observations are identical to a serial run's.  A failing
+    trial re-raises its original exception type when it ran in-process,
+    or a :class:`RuntimeError` carrying the structured record when it ran
+    on a worker.
     """
-    from ..cuttlesim.codegen import compile_model
-
-    model_cls = compile_model(design, opt=5, order_independent=True,
-                              warn_goldberg=False)
-    observations: List[object] = []
-    for trial in range(trials):
-        rng = random.Random(seed * 7919 + trial)
-        env = env_factory()
-        model = model_cls(env)
-        run_with_random_schedule(
-            model, rng, lambda m: until(m, env), max_cycles=max_cycles)
-        observations.append(observe(model, env))
-    return observations
+    report = randomized_sweep(design, env_factory, until, observe,
+                              trials=trials, seed=seed, max_cycles=max_cycles,
+                              workers=workers, cache=cache)
+    report.raise_on_failure()
+    return [result.observation for result in report.results]

@@ -1,8 +1,13 @@
-"""Simulation harness: environments, devices, and the unified simulator API."""
+"""Simulation harness: environments, devices, the unified simulator API,
+and the parallel simulation fleet."""
 
 from .env import Device, Environment, SimHandle
-from .perf import PerfMonitor
+from .parallel import (FleetReport, Trial, TrialOutput, TrialResult,
+                       fleet_available_workers, run_fleet)
+from .perf import PerfMonitor, measure_rate, perf_sweep
 from .sim import BACKENDS, make_simulator
 
 __all__ = ["Device", "Environment", "SimHandle", "BACKENDS",
-           "make_simulator", "PerfMonitor"]
+           "make_simulator", "PerfMonitor", "measure_rate", "perf_sweep",
+           "FleetReport", "Trial", "TrialOutput", "TrialResult",
+           "fleet_available_workers", "run_fleet"]

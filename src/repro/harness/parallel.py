@@ -1,0 +1,330 @@
+"""Parallel simulation fleet: fan a work-list of trials across processes.
+
+Randomized-schedule sweeps, differential comparisons and benchmark
+matrices all reduce to the same shape — many independent simulations whose
+results are compared or aggregated afterwards.  This module runs that
+shape on worker processes, the way bulk-synchronous RTL farms (Manticore,
+GSIM) scale simulation, while keeping the semantics a test suite needs:
+
+* **deterministic ordering** — results come back indexed by trial, never
+  by completion order, so a parallel sweep is byte-comparable with a
+  serial one;
+* **crash isolation** — a worker dying (segfault, ``os._exit``) fails
+  only its own trial, recorded as a structured error, and the fleet keeps
+  going;
+* **per-trial timeouts** — a hung simulation is terminated and reported,
+  not waited on forever;
+* **zero-pickle dispatch** — workers are forked, so trial closures may
+  capture compiled model classes, environments and lambdas freely (only
+  the *results* must be picklable).  On platforms without ``fork`` the
+  fleet transparently degrades to serial in-process execution.
+
+Reports serialize to the ``BENCH_*.json`` perf-trajectory format
+(``schema: repro-fleet-v1``): per-trial cycles/second plus fleet-level
+speedup and model-cache hit/miss counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Trial", "TrialOutput", "TrialResult", "FleetReport",
+           "run_fleet", "fleet_available_workers"]
+
+
+@dataclass
+class Trial:
+    """One unit of fleet work: a zero-argument callable plus a label.
+
+    ``fn`` runs inside a worker; it should return a :class:`TrialOutput`
+    (observation + cycle count) or any picklable object (cycles unknown).
+    ``meta`` is carried verbatim into the report (seed, schedule, config…).
+    """
+
+    name: str
+    fn: Callable[[], object]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TrialOutput:
+    """What a trial function returns when it knows its cycle count."""
+
+    observation: object
+    cycles: Optional[int] = None
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial, in work-list order."""
+
+    index: int
+    name: str
+    status: str                    # "ok" | "error" | "timeout" | "crash"
+    observation: object = None
+    cycles: Optional[int] = None
+    elapsed: float = 0.0
+    error: Optional[Dict[str, str]] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: The live exception object, only for trials that ran in-process
+    #: (worker-side exceptions cross the pipe as ``error`` records).
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def cycles_per_second(self) -> Optional[float]:
+        if self.cycles is None or not self.elapsed:
+            return None
+        return self.cycles / self.elapsed
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "index": self.index, "name": self.name, "status": self.status,
+            "elapsed_seconds": round(self.elapsed, 6),
+        }
+        if self.cycles is not None:
+            record["cycles"] = self.cycles
+            rate = self.cycles_per_second
+            record["cycles_per_second"] = round(rate) if rate else None
+        if self.error is not None:
+            record["error"] = self.error
+        if self.meta:
+            record["meta"] = self.meta
+        return record
+
+
+@dataclass
+class FleetReport:
+    """All trial results plus fleet-level aggregates."""
+
+    results: List[TrialResult]
+    workers: int
+    wall_seconds: float
+    serial_seconds: Optional[float] = None
+    cache_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def observations(self) -> List[object]:
+        """Observations of successful trials, in work-list order."""
+        return [r.observation for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> List[TrialResult]:
+        return [r for r in self.results if not r.ok]
+
+    def raise_on_failure(self) -> "FleetReport":
+        failed = self.failures
+        if failed:
+            first = failed[0]
+            if first.exception is not None:  # in-process trial: re-raise as-is
+                raise first.exception
+            detail = (first.error or {}).get("message", first.status)
+            raise RuntimeError(
+                f"{len(failed)}/{len(self.results)} trials failed; first: "
+                f"trial {first.index} ({first.name}) {first.status}: {detail}"
+            )
+        return self
+
+    @property
+    def speedup_vs_serial(self) -> Optional[float]:
+        if self.serial_seconds is None or not self.wall_seconds:
+            return None
+        return self.serial_seconds / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """The ``BENCH_*.json`` perf-trajectory payload (repro-fleet-v1)."""
+        total_cycles = sum(r.cycles or 0 for r in self.results if r.ok)
+        busy = sum(r.elapsed for r in self.results if r.ok)
+        report: Dict[str, object] = {
+            "schema": "repro-fleet-v1",
+            "workers": self.workers,
+            "trials": len(self.results),
+            "ok": sum(1 for r in self.results if r.ok),
+            "failed": len(self.failures),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "total_cycles": total_cycles,
+            "aggregate_cycles_per_second":
+                round(total_cycles / busy) if busy and total_cycles else None,
+            "results": [r.as_dict() for r in self.results],
+        }
+        if self.serial_seconds is not None:
+            report["serial_seconds"] = round(self.serial_seconds, 6)
+            speedup = self.speedup_vs_serial
+            report["speedup_vs_serial"] = \
+                round(speedup, 3) if speedup else None
+        if self.cache_stats is not None:
+            report["cache"] = dict(self.cache_stats)
+        return report
+
+
+def fleet_available_workers() -> int:
+    """Default worker count: every core, floor one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _structured_error(exc: BaseException) -> Dict[str, str]:
+    return {"type": type(exc).__name__, "message": str(exc),
+            "traceback": traceback.format_exc()}
+
+
+def _run_trial_inline(index: int, trial: Trial) -> TrialResult:
+    started = time.perf_counter()
+    try:
+        output = trial.fn()
+    except BaseException as exc:
+        return TrialResult(index=index, name=trial.name, status="error",
+                           elapsed=time.perf_counter() - started,
+                           error=_structured_error(exc), meta=trial.meta,
+                           exception=exc)
+    elapsed = time.perf_counter() - started
+    observation, cycles = output, None
+    if isinstance(output, TrialOutput):
+        observation, cycles = output.observation, output.cycles
+    return TrialResult(index=index, name=trial.name, status="ok",
+                       observation=observation, cycles=cycles,
+                       elapsed=elapsed, meta=trial.meta)
+
+
+def _worker_main(index: int, trial: Trial, conn) -> None:
+    """Worker-side entry: run the trial, ship a (status, payload) pair."""
+    result = _run_trial_inline(index, trial)
+    try:
+        conn.send((result.status, result.observation, result.cycles,
+                   result.elapsed, result.error))
+    except Exception as exc:  # unpicklable observation, broken pipe, ...
+        try:
+            conn.send(("error", None, result.cycles, result.elapsed,
+                       _structured_error(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _LiveTrial:
+    def __init__(self, index: int, trial: Trial, context) -> None:
+        self.index = index
+        self.trial = trial
+        self.recv, child = multiprocessing.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_worker_main, args=(index, trial, child), daemon=True)
+        self.started = time.perf_counter()
+        self.process.start()
+        child.close()  # the parent keeps only the read end
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def finish(self, status_override: Optional[str] = None) -> TrialResult:
+        """Join the worker and build its result record."""
+        payload = None
+        if status_override is None:
+            try:
+                if self.recv.poll(0):
+                    payload = self.recv.recv()
+            except (EOFError, OSError):
+                payload = None
+        self.process.join()
+        self.recv.close()
+        elapsed = self.elapsed()
+        trial = self.trial
+        if status_override == "timeout":
+            return TrialResult(
+                index=self.index, name=trial.name, status="timeout",
+                elapsed=elapsed, meta=trial.meta,
+                error={"type": "TimeoutError",
+                       "message": f"trial exceeded its deadline "
+                                  f"after {elapsed:.3f}s"})
+        if payload is None:  # died without reporting: crash isolation
+            code = self.process.exitcode
+            return TrialResult(
+                index=self.index, name=trial.name, status="crash",
+                elapsed=elapsed, meta=trial.meta,
+                error={"type": "WorkerCrash",
+                       "message": f"worker exited with code {code} before "
+                                  f"reporting a result"})
+        status, observation, cycles, worker_elapsed, error = payload
+        return TrialResult(index=self.index, name=trial.name, status=status,
+                           observation=observation, cycles=cycles,
+                           elapsed=worker_elapsed, error=error,
+                           meta=trial.meta)
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join()
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return None
+
+
+def run_fleet(trials: Sequence[Trial], workers: Optional[int] = None,
+              timeout: Optional[float] = None,
+              cache_stats: Optional[Dict[str, int]] = None,
+              serial_seconds: Optional[float] = None,
+              poll_interval: float = 0.005) -> FleetReport:
+    """Run ``trials`` on up to ``workers`` forked processes.
+
+    ``timeout`` is per trial (seconds).  ``workers=None`` uses every core;
+    ``workers <= 1``, a single trial, or a platform without ``fork`` runs
+    the trials serially in-process (same result structure, including
+    structured error records — only crash isolation needs real processes).
+    """
+    trials = list(trials)
+    if workers is None:
+        workers = fleet_available_workers()
+    wall_started = time.perf_counter()
+    context = _fork_context() if workers > 1 and len(trials) > 1 else None
+    if context is None:
+        results = [_run_trial_inline(i, t) for i, t in enumerate(trials)]
+        return FleetReport(results=results, workers=1,
+                           wall_seconds=time.perf_counter() - wall_started,
+                           serial_seconds=serial_seconds,
+                           cache_stats=cache_stats)
+
+    results: List[Optional[TrialResult]] = [None] * len(trials)
+    pending = list(enumerate(trials))
+    live: List[_LiveTrial] = []
+    try:
+        while pending or live:
+            while pending and len(live) < workers:
+                index, trial = pending.pop(0)
+                live.append(_LiveTrial(index, trial, context))
+            still_live: List[_LiveTrial] = []
+            for entry in live:
+                if not entry.process.is_alive() or entry.recv.poll(0):
+                    results[entry.index] = entry.finish()
+                elif timeout is not None and entry.elapsed() > timeout:
+                    entry.kill()
+                    results[entry.index] = entry.finish("timeout")
+                else:
+                    still_live.append(entry)
+            live = still_live
+            if live and (len(live) >= workers or not pending):
+                time.sleep(poll_interval)
+    finally:
+        for entry in live:  # interrupted: don't leak children
+            entry.kill()
+    final = [r if r is not None else
+             TrialResult(index=i, name=trials[i].name, status="crash",
+                         error={"type": "WorkerCrash",
+                                "message": "trial never completed"})
+             for i, r in enumerate(results)]
+    return FleetReport(results=final, workers=workers,
+                       wall_seconds=time.perf_counter() - wall_started,
+                       serial_seconds=serial_seconds, cache_stats=cache_stats)

@@ -5,11 +5,19 @@ is the expensive traditional route.  Coverage (``repro.debug.coverage``)
 is the zero-cost route for Cuttlesim models; this module is the *backend-
 agnostic* middle road — a device-free monitor built on ``run_cycle``'s
 committed-rule reporting, so it also works on RTL backends.
+
+:func:`perf_sweep` runs a whole matrix of such measurements on the
+simulation fleet (:mod:`repro.harness.parallel`), one worker per
+(design, backend, config) cell, reducing to the ``BENCH_*.json``
+perf-trajectory report.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .parallel import FleetReport, Trial, TrialOutput, run_fleet
 
 
 class PerfMonitor:
@@ -77,3 +85,51 @@ class PerfMonitor:
         for name in sorted(self.event_counts):
             lines.append(f"  event {name:<18} {self.event_counts[name]:>8}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet-based measurement sweeps.
+# ----------------------------------------------------------------------
+
+def measure_rate(sim_factory: Callable[[], object], cycles: int,
+                 warmup: int = 0) -> Dict[str, float]:
+    """Build a simulator and measure its raw simulation rate.
+
+    Times only the ``run(cycles)`` call (construction and warmup cycles
+    are excluded), so the number is comparable across backends regardless
+    of their compile cost."""
+    sim = sim_factory()
+    if warmup:
+        sim.run(warmup)
+    started = time.perf_counter()
+    sim.run(cycles)
+    seconds = time.perf_counter() - started
+    return {"cycles": cycles, "seconds": seconds,
+            "cycles_per_second": cycles / seconds if seconds else float("inf")}
+
+
+def perf_sweep(workloads: Dict[str, Callable[[], object]], cycles: int,
+               workers: Optional[int] = None, warmup: int = 0,
+               timeout: Optional[float] = None,
+               cache_stats: Optional[Dict[str, int]] = None) -> FleetReport:
+    """Measure every workload's simulation rate on the fleet.
+
+    ``workloads`` maps a label to a zero-argument simulator factory (the
+    factories may capture compiled model classes and lambdas — workers are
+    forked).  Each trial's observation is :func:`measure_rate`'s dict; the
+    report's per-trial ``cycles_per_second`` additionally reflects total
+    trial wall time (including construction), which is the end-to-end
+    number a sweep service pays."""
+
+    def make_trial(name: str, factory: Callable[[], object]) -> Trial:
+        def fn() -> TrialOutput:
+            return TrialOutput(observation=measure_rate(factory, cycles,
+                                                        warmup=warmup),
+                               cycles=cycles)
+
+        return Trial(name=name, fn=fn, meta={"workload": name})
+
+    return run_fleet([make_trial(name, factory)
+                      for name, factory in workloads.items()],
+                     workers=workers, timeout=timeout,
+                     cache_stats=cache_stats)

@@ -35,8 +35,12 @@ BACKENDS = ("interp", "cuttlesim", "rtl-cycle", "rtl-event", "rtl-bluespec")
 def make_simulator(design: Design, backend: str = "cuttlesim",
                    env: Optional[Environment] = None, opt: int = 5,
                    instrument: bool = False, debug: bool = False,
-                   order_independent: bool = False):
-    """Build a ready-to-run simulator for ``design`` on any backend."""
+                   order_independent: bool = False, cache=None):
+    """Build a ready-to-run simulator for ``design`` on any backend.
+
+    ``cache`` is forwarded to the Cuttlesim compiler (a
+    :class:`~repro.cuttlesim.cache.ModelCache` or ``True`` for the shared
+    default); other backends ignore it."""
     env = env or Environment()
     if backend == "interp":
         from ..semantics.interp import Interpreter
@@ -47,7 +51,7 @@ def make_simulator(design: Design, backend: str = "cuttlesim",
 
         cls = compile_model(design, opt=opt, instrument=instrument,
                             debug=debug, order_independent=order_independent,
-                            warn_goldberg=False)
+                            warn_goldberg=False, cache=cache)
         return cls(env)
     if backend == "rtl-cycle":
         from ..rtl.cycle_sim import compile_cycle_sim

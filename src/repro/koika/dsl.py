@@ -126,6 +126,7 @@ class RegArray:
                     f"register array {name!r}: {len(inits)} inits for size {size}"
                 )
         self.name = name
+        self.design = design
         self.size = size
         self.typ = typ
         self.index_width = max(1, (size - 1).bit_length())
@@ -144,12 +145,13 @@ class RegArray:
                 )
         return index
 
-    _fresh = 0
-
-    @classmethod
-    def _unique(cls, hint: str) -> str:
-        cls._fresh += 1
-        return f"_{hint}{cls._fresh}"
+    def _unique(self, hint: str) -> str:
+        # Per-design, not process-global: two builds of the same design must
+        # produce byte-identical ASTs (the model cache's content hash and
+        # cross-process cache hits depend on it).
+        counter = getattr(self.design, "_dsl_fresh_names", 0) + 1
+        self.design._dsl_fresh_names = counter
+        return f"_{hint}{counter}"
 
     def read(self, port: int, index: Union[int, Action]) -> Action:
         index = self._index(index)

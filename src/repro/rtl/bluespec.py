@@ -167,4 +167,7 @@ def compile_bluespec_sim(design: Design):
     cls.BACKEND = "rtl-bluespec"
     linecache.cache[filename] = (len(source), None,
                                  source.splitlines(True), filename)
+    import weakref
+
+    weakref.finalize(cls, linecache.cache.pop, filename, None)
     return cls

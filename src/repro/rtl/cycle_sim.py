@@ -10,6 +10,7 @@ exits, no skipped work: the cost model is exactly the one §2.3 analyzes —
 from __future__ import annotations
 
 import linecache
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import CompileError, SimulationError
@@ -300,4 +301,5 @@ def compile_cycle_sim(design: Design, netlist: Optional[Netlist] = None,
     cls.DESIGN = design
     linecache.cache[filename] = (len(source), None,
                                  source.splitlines(True), filename)
+    weakref.finalize(cls, linecache.cache.pop, filename, None)
     return cls

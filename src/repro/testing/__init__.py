@@ -1,12 +1,13 @@
 """Testing utilities: random design generation and differential running."""
 
-from .differential import DivergenceError, assert_backends_equal, backend_factories
+from .differential import (DivergenceError, assert_backends_equal,
+                           backend_factories, collect_trace)
 from .generators import random_design
 from .mutation import Mutation, enumerate_mutations, kill_rate, make_mutant, mutant_count
 
 __all__ = [
     "DivergenceError", "assert_backends_equal", "backend_factories",
-    "random_design",
+    "collect_trace", "random_design",
     "Mutation", "enumerate_mutations", "kill_rate", "make_mutant",
     "mutant_count",
 ]

@@ -3,15 +3,26 @@
 Used throughout the test suite and usable by downstream designs: after any
 change, check that the reference interpreter, every Cuttlesim optimization
 level, and the RTL simulators agree cycle-by-cycle.
+
+Backends are independent simulations, so the comparison parallelizes
+embarrassingly: with ``workers > 1`` each backend replays the design on a
+forked worker of the simulation fleet and returns its per-cycle trace
+(committed rules + register values), which the parent then diffs against
+the reference interpreter.  Serial and parallel runs see byte-identical
+traces.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..harness.env import Environment
+from ..harness.parallel import Trial, run_fleet
 from ..koika.design import Design
 from ..semantics.interp import Interpreter
+
+#: One backend's per-cycle observation: (committed rules or None, registers).
+Trace = List[Tuple[Optional[Tuple[str, ...]], Tuple[int, ...]]]
 
 
 class DivergenceError(AssertionError):
@@ -19,17 +30,18 @@ class DivergenceError(AssertionError):
 
 
 def backend_factories(design: Design, opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
-                      include_rtl: bool = True) -> Dict[str, Callable[[Environment], object]]:
+                      include_rtl: bool = True,
+                      cache=None) -> Dict[str, Callable[[Environment], object]]:
     """Build a name -> factory map over all available backends."""
     from ..cuttlesim.codegen import compile_model
 
     factories: Dict[str, Callable[[Environment], object]] = {}
     for opt in opts:
-        cls = compile_model(design, opt=opt, warn_goldberg=False)
+        cls = compile_model(design, opt=opt, warn_goldberg=False, cache=cache)
         factories[f"cuttlesim-O{opt}"] = cls
     if 5 in opts:
         factories["cuttlesim-O5-simplified"] = compile_model(
-            design, opt=5, simplify=True, warn_goldberg=False)
+            design, opt=5, simplify=True, warn_goldberg=False, cache=cache)
     if include_rtl:
         try:
             from ..rtl.cycle_sim import compile_cycle_sim
@@ -40,37 +52,71 @@ def backend_factories(design: Design, opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
     return factories
 
 
+def collect_trace(sim, registers: Sequence[str], cycles: int) -> Trace:
+    """Run ``cycles`` cycles, recording committed rules and register state."""
+    trace: Trace = []
+    for _ in range(cycles):
+        committed = sim.run_cycle()
+        state = tuple(int(sim.peek(register)) for register in registers)
+        trace.append((None if committed is None else tuple(committed), state))
+    return trace
+
+
+def _compare_against_reference(design: Design, name: str, trace: Trace,
+                               reference: Trace, registers: Sequence[str],
+                               check_commits: bool) -> None:
+    for cycle, ((committed, state), (ref_committed, ref_state)) \
+            in enumerate(zip(trace, reference)):
+        if check_commits and committed is not None:
+            got, expected = set(committed), set(ref_committed or ())
+            if got != expected:
+                raise DivergenceError(
+                    f"{design.name}, cycle {cycle}: backend {name} committed "
+                    f"{sorted(got)} but the interpreter committed "
+                    f"{sorted(expected)}"
+                )
+        for register, actual, expected in zip(registers, state, ref_state):
+            if actual != expected:
+                raise DivergenceError(
+                    f"{design.name}, cycle {cycle}: register {register!r} is "
+                    f"{actual} on {name} but {expected} on the interpreter"
+                )
+
+
 def assert_backends_equal(design: Design, cycles: int = 8,
                           env_factory: Optional[Callable[[], Environment]] = None,
                           opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
                           include_rtl: bool = True,
-                          check_commits: bool = True) -> None:
+                          check_commits: bool = True,
+                          workers: Optional[int] = 1,
+                          cache=None) -> None:
     """Run ``design`` on the interpreter and every backend; raise
-    :class:`DivergenceError` on the first disagreement."""
+    :class:`DivergenceError` on the first disagreement.
+
+    ``workers`` > 1 replays the backends concurrently on the simulation
+    fleet (``None`` = every core); ``cache`` is forwarded to the Cuttlesim
+    compiles."""
     make_env = env_factory or Environment
-    reference = Interpreter(design, env=make_env())
-    sims = {
-        name: factory(make_env())
-        for name, factory in backend_factories(design, opts, include_rtl).items()
-    }
-    for cycle in range(cycles):
-        report = reference.run_cycle()
-        expected_commits = set(report.committed)
-        for name, sim in sims.items():
-            committed = sim.run_cycle()
-            if check_commits and committed is not None:
-                got = set(committed)
-                if got != expected_commits:
-                    raise DivergenceError(
-                        f"{design.name}, cycle {cycle}: backend {name} committed "
-                        f"{sorted(got)} but the interpreter committed "
-                        f"{sorted(expected_commits)}"
-                    )
-            for register in design.registers:
-                expected = reference.peek(register)
-                actual = sim.peek(register)
-                if actual != expected:
-                    raise DivergenceError(
-                        f"{design.name}, cycle {cycle}: register {register!r} is "
-                        f"{actual} on {name} but {expected} on the interpreter"
-                    )
+    registers = list(design.registers)
+    reference_sim = Interpreter(design, env=make_env())
+    reference: Trace = []
+    for _ in range(cycles):
+        report = reference_sim.run_cycle()
+        state = tuple(int(reference_sim.peek(r)) for r in registers)
+        reference.append((tuple(report.committed), state))
+
+    factories = backend_factories(design, opts, include_rtl, cache=cache)
+
+    def make_trial(name: str, factory) -> Trial:
+        def fn() -> Trace:
+            return collect_trace(factory(make_env()), registers, cycles)
+
+        return Trial(name=name, fn=fn)
+
+    fleet = run_fleet([make_trial(name, factory)
+                       for name, factory in factories.items()],
+                      workers=workers)
+    fleet.raise_on_failure()
+    for result in fleet.results:
+        _compare_against_reference(design, result.name, result.observation,
+                                   reference, registers, check_commits)

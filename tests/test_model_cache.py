@@ -1,0 +1,229 @@
+"""Tests for the content-addressed model cache (repro.cuttlesim.cache)."""
+
+import gc
+import json
+import linecache
+import time
+
+import pytest
+
+from repro.cuttlesim import (
+    ModelCache, compile_model, design_fingerprint, get_default_cache,
+)
+from repro.cuttlesim.cache import default_cache_dir, reset_default_cache
+from repro.designs import build_collatz, build_rv32im
+from repro.harness import Environment
+from repro.koika import C, Design, seq
+
+
+def small_design(name="cached", init=3):
+    design = Design(name)
+    a = design.reg("a", 8, init=init)
+    b = design.reg("b", 8)
+    design.rule("step", seq(b.wr0(a.rd0() + C(1, 8)),
+                            a.wr0(a.rd0() + C(2, 8))))
+    design.schedule("step")
+    return design.finalize()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert design_fingerprint(small_design()) == \
+            design_fingerprint(small_design())
+        assert design_fingerprint(build_collatz()) == \
+            design_fingerprint(build_collatz())
+
+    def test_sensitive_to_semantic_edits(self):
+        base = design_fingerprint(small_design())
+        assert design_fingerprint(small_design(init=4)) != base
+        assert design_fingerprint(small_design(name="other")) != base
+
+    def test_large_design_source_is_deterministic(self):
+        """Byte-identical generated source across independent builds is
+        what makes cross-process disk hits sound."""
+        from repro.cuttlesim import generate_source
+
+        assert generate_source(build_rv32im(), opt=5)[0] == \
+            generate_source(build_rv32im(), opt=5)[0]
+
+
+class TestKeying:
+    def test_flags_separate_entries(self):
+        cache = ModelCache(path=None)
+        design = small_design()
+        base = dict(order_independent=False, simplify=False,
+                    inline_rules=None, host_optimize=-1)
+        keys = {
+            cache.key_for(design, opt=0, **base),
+            cache.key_for(design, opt=5, **base),
+            cache.key_for(design, opt=5, **{**base, "simplify": True}),
+            cache.key_for(design, opt=5, **{**base, "order_independent": True}),
+            cache.key_for(design, opt=5, **{**base, "host_optimize": 2}),
+        }
+        assert len(keys) == 5
+
+    def test_same_inputs_same_key(self):
+        cache = ModelCache(path=None)
+        kwargs = dict(opt=5, order_independent=False, simplify=False,
+                      inline_rules=None, host_optimize=-1)
+        assert cache.key_for(small_design(), **kwargs) == \
+            cache.key_for(small_design(), **kwargs)
+
+
+class TestMemoryLayer:
+    def test_hit_returns_same_class(self):
+        cache = ModelCache(path=None)
+        design = small_design()
+        first = compile_model(design, warn_goldberg=False, cache=cache)
+        second = compile_model(design, warn_goldberg=False, cache=cache)
+        assert first is second
+        assert cache.stats.memory_hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ModelCache(path=None, memory_slots=2)
+        for i in range(3):
+            compile_model(small_design(init=i), warn_goldberg=False,
+                          cache=cache)
+        assert len(cache) == 2
+        # init=0 was evicted; recompiling it is a miss, init=2 still hits.
+        compile_model(small_design(init=2), warn_goldberg=False, cache=cache)
+        assert cache.stats.memory_hits == 1
+        compile_model(small_design(init=0), warn_goldberg=False, cache=cache)
+        assert cache.stats.misses == 4
+
+    def test_instrument_and_debug_bypass(self):
+        cache = ModelCache(path=None)
+        design = small_design()
+        a = compile_model(design, instrument=True, warn_goldberg=False,
+                          cache=cache)
+        b = compile_model(design, instrument=True, warn_goldberg=False,
+                          cache=cache)
+        assert a is not b and len(cache) == 0
+        compile_model(design, debug=True, warn_goldberg=False, cache=cache)
+        assert len(cache) == 0
+
+
+class TestDiskLayer:
+    def test_roundtrip_identical_behavior(self, tmp_path):
+        design = build_collatz()
+        cold = compile_model(design, warn_goldberg=False,
+                             cache=ModelCache(tmp_path))
+        warm_cache = ModelCache(tmp_path)   # fresh memory layer: disk only
+        warm = compile_model(build_collatz(), warn_goldberg=False,
+                             cache=warm_cache)
+        assert warm is not cold
+        assert warm.SOURCE == cold.SOURCE
+        assert warm_cache.stats.disk_hits == 1
+        a, b = cold(Environment()), warm(Environment())
+        for _ in range(50):
+            a.run_cycle()
+            b.run_cycle()
+        assert a.state_dict() == b.state_dict()
+
+    def test_disk_hit_skips_analysis(self, tmp_path):
+        design = small_design()
+        compile_model(design, warn_goldberg=False, cache=ModelCache(tmp_path))
+        warm = compile_model(design, warn_goldberg=False,
+                             cache=ModelCache(tmp_path))
+        assert warm.ANALYSIS is None       # documented disk-hit trade-off
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ModelCache(tmp_path)
+        design = small_design()
+        compile_model(design, warn_goldberg=False, cache=cache)
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        recovered = compile_model(design, warn_goldberg=False,
+                                  cache=ModelCache(tmp_path))
+        model = recovered(Environment())
+        model.run(3)
+        assert model.peek("a") == 3 + 3 * 2
+        payload = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert payload["source"] == recovered.SOURCE   # entry rewritten
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ModelCache(tmp_path)
+        design = small_design()
+        key = cache.key_for(design, opt=5, order_independent=False,
+                            simplify=False, inline_rules=None,
+                            host_optimize=-1)
+        compile_model(design, warn_goldberg=False, cache=cache)
+        assert len(cache) == 1
+        assert cache.invalidate(key)
+        assert len(cache) == 0
+        assert not cache.invalidate(key)   # already gone
+        compile_model(design, warn_goldberg=False, cache=cache)
+        compile_model(small_design(init=9), warn_goldberg=False, cache=cache)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDefaultCache:
+    def test_env_var_points_disk_layer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "models"))
+        reset_default_cache()
+        try:
+            assert default_cache_dir() == tmp_path / "models"
+            compile_model(small_design(), warn_goldberg=False, cache=True)
+            assert list((tmp_path / "models").glob("*.json"))
+        finally:
+            reset_default_cache()
+
+    def test_env_var_disables_disk_layer(self, monkeypatch):
+        for value in ("", "0", "off", "none", "disabled", " OFF "):
+            monkeypatch.setenv("REPRO_MODEL_CACHE", value)
+            assert default_cache_dir() is None, repr(value)
+
+    def test_default_cache_is_shared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", "off")
+        reset_default_cache()
+        try:
+            assert get_default_cache() is get_default_cache()
+        finally:
+            reset_default_cache()
+
+    def test_bad_cache_argument_rejected(self):
+        with pytest.raises(TypeError):
+            compile_model(small_design(), warn_goldberg=False, cache="yes")
+
+
+class TestLinecacheLifetime:
+    def test_entry_evicted_when_class_collected(self):
+        cls = compile_model(small_design(name="ephemeral"),
+                            warn_goldberg=False)
+        filename = cls.FILENAME
+        assert filename in linecache.cache
+        del cls
+        gc.collect()
+        assert filename not in linecache.cache
+
+    def test_lru_eviction_releases_linecache(self):
+        cache = ModelCache(path=None, memory_slots=1)
+        first = compile_model(small_design(init=21), warn_goldberg=False,
+                              cache=cache)
+        filename = first.FILENAME
+        del first
+        compile_model(small_design(init=22), warn_goldberg=False, cache=cache)
+        gc.collect()
+        assert filename not in linecache.cache
+
+
+class TestWarmSpeedup:
+    def test_warm_compile_at_least_5x_faster(self, tmp_path):
+        """Acceptance criterion: a warm-cache ``compile_model`` of an
+        unchanged design is >= 5x faster than a cold compile.  Designs are
+        built outside the timed region — the criterion is about the
+        compiler, and each warm round still pays fingerprinting and
+        ``compile()``/``exec`` of the stored source."""
+        designs = [build_rv32im() for _ in range(4)]
+        cold = _timed_compile(designs[0], ModelCache(tmp_path))
+        warm = min(_timed_compile(design, ModelCache(tmp_path))
+                   for design in designs[1:])
+        assert warm * 5 <= cold, f"cold {cold:.3f}s vs warm {warm:.3f}s"
+
+
+def _timed_compile(design, cache):
+    start = time.perf_counter()
+    compile_model(design, warn_goldberg=False, cache=cache)
+    return time.perf_counter() - start

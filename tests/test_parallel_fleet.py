@@ -1,0 +1,222 @@
+"""Tests for the simulation fleet (repro.harness.parallel) and its users."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cuttlesim import ModelCache
+from repro.debug import randomized_sweep, randomized_trials
+from repro.designs import build_collatz
+from repro.errors import SimulationError
+from repro.harness import (
+    Environment, Trial, TrialOutput, run_fleet, fleet_available_workers,
+)
+from repro.testing import assert_backends_equal
+
+FORK = hasattr(os, "fork")
+needs_fork = pytest.mark.skipif(not FORK, reason="fleet needs fork()")
+
+
+def _trial(name, fn):
+    return Trial(name=name, fn=fn)
+
+
+class TestRunFleet:
+    def test_serial_and_parallel_agree(self):
+        trials = [_trial(f"t{i}", lambda i=i: TrialOutput(i * i, cycles=10))
+                  for i in range(8)]
+        serial = run_fleet(trials, workers=1)
+        parallel = run_fleet(trials, workers=4)
+        assert serial.observations == [i * i for i in range(8)]
+        assert parallel.observations == serial.observations
+        assert [r.name for r in parallel.results] == \
+            [r.name for r in serial.results]
+        assert serial.workers == 1
+        if FORK:
+            assert parallel.workers == 4
+
+    def test_plain_return_values_pass_through(self):
+        report = run_fleet([_trial("x", lambda: {"k": [1, 2]})], workers=1)
+        assert report.results[0].observation == {"k": [1, 2]}
+        assert report.results[0].cycles is None
+
+    @needs_fork
+    def test_crash_isolation(self):
+        trials = [_trial("ok-a", lambda: TrialOutput("a")),
+                  _trial("boom", lambda: os._exit(3)),
+                  _trial("ok-b", lambda: TrialOutput("b"))]
+        report = run_fleet(trials, workers=3)
+        assert [r.status for r in report.results] == ["ok", "crash", "ok"]
+        crash = report.results[1]
+        assert crash.error["type"] == "WorkerCrash"
+        assert "code 3" in crash.error["message"]
+        assert report.observations == ["a", "b"]
+        with pytest.raises(RuntimeError, match="boom.*crash"):
+            report.raise_on_failure()
+
+    @needs_fork
+    def test_per_trial_timeout(self):
+        import time
+
+        trials = [_trial("fast", lambda: TrialOutput(1)),
+                  _trial("hung", lambda: time.sleep(60))]
+        report = run_fleet(trials, workers=2, timeout=0.5)
+        assert report.results[0].status == "ok"
+        assert report.results[1].status == "timeout"
+        assert report.results[1].error["type"] == "TimeoutError"
+        assert report.wall_seconds < 30
+
+    @needs_fork
+    def test_worker_exception_is_structured(self):
+        def fail():
+            raise ValueError("deliberate")
+
+        report = run_fleet([_trial("f", fail), _trial("g", fail)], workers=2)
+        for result in report.results:
+            assert result.status == "error"
+            assert result.error["type"] == "ValueError"
+            assert "deliberate" in result.error["message"]
+            assert "traceback" in result.error
+            assert result.exception is None   # crossed a process boundary
+
+    def test_inline_exception_rethrown_verbatim(self):
+        def fail():
+            raise SimulationError("inline boom")
+
+        report = run_fleet([_trial("f", fail)], workers=1)
+        assert isinstance(report.results[0].exception, SimulationError)
+        with pytest.raises(SimulationError, match="inline boom"):
+            report.raise_on_failure()
+
+    @needs_fork
+    def test_large_observations_do_not_deadlock(self):
+        """Payloads larger than the pipe buffer must still drain."""
+        trials = [_trial(f"big{i}", lambda i=i: TrialOutput([i] * 200_000))
+                  for i in range(3)]
+        report = run_fleet(trials, workers=3, timeout=60)
+        assert [r.status for r in report.results] == ["ok"] * 3
+        assert report.observations[2][0] == 2
+
+    def test_report_json_schema(self):
+        report = run_fleet(
+            [_trial("t", lambda: TrialOutput("obs", cycles=1000))],
+            workers=1, cache_stats={"hits": 1, "misses": 2},
+            serial_seconds=2.0)
+        payload = report.as_dict()
+        assert payload["schema"] == "repro-fleet-v1"
+        assert payload["trials"] == payload["ok"] == 1
+        assert payload["failed"] == 0
+        assert payload["total_cycles"] == 1000
+        assert payload["aggregate_cycles_per_second"] > 0
+        assert payload["cache"] == {"hits": 1, "misses": 2}
+        assert payload["speedup_vs_serial"] == round(
+            2.0 / report.wall_seconds, 3)
+        record = payload["results"][0]
+        assert record["status"] == "ok" and record["cycles"] == 1000
+        json.dumps(payload)   # the whole report must be JSON-serializable
+
+    def test_default_worker_count(self):
+        assert fleet_available_workers() >= 1
+
+
+def _until(model, env):
+    return model.cycle >= 200
+
+
+def _observe(model, env):
+    return model.state_dict()
+
+
+class TestRandomizedSweep:
+    @needs_fork
+    def test_parallel_matches_serial_byte_for_byte(self):
+        """Acceptance criterion: a 16-trial randomized sweep on 4 workers
+        reproduces the serial observations exactly."""
+        kwargs = dict(env_factory=Environment, until=_until,
+                      observe=_observe, trials=16, seed=7, max_cycles=300)
+        serial = randomized_sweep(build_collatz(), workers=1, **kwargs)
+        parallel = randomized_sweep(build_collatz(), workers=4, **kwargs)
+        serial.raise_on_failure()
+        parallel.raise_on_failure()
+        assert parallel.observations == serial.observations
+        assert [r.cycles for r in parallel.results] == \
+            [r.cycles for r in serial.results]
+
+    def test_report_contents(self):
+        cache = ModelCache(path=None)
+        report = randomized_sweep(build_collatz(), Environment, _until,
+                                  _observe, trials=3, max_cycles=300,
+                                  cache=cache)
+        assert len(report.results) == 3
+        for result in report.results:
+            assert result.ok and result.cycles == 200
+            assert result.cycles_per_second > 0
+            assert result.meta["seed"] is not None
+        assert report.cache_stats is not None
+        assert report.cache_stats["misses"] == 1
+
+    def test_randomized_trials_wrapper_compatible(self):
+        observations = randomized_trials(build_collatz(), Environment,
+                                         until=_until, observe=_observe,
+                                         trials=4, max_cycles=300)
+        assert len(observations) == 4
+        assert all(o == observations[0] for o in observations)
+
+    def test_randomized_trials_raises_inline(self):
+        def never(model, env):
+            return False
+
+        with pytest.raises(SimulationError):
+            randomized_trials(build_collatz(), Environment, until=never,
+                              observe=_observe, trials=1, max_cycles=10)
+
+
+class TestParallelDifferential:
+    @needs_fork
+    def test_backends_agree_with_workers(self):
+        assert_backends_equal(build_collatz(), cycles=6, workers=2)
+
+    @needs_fork
+    def test_contentious_random_design_with_workers(self):
+        from repro.testing.generators import random_design
+
+        assert_backends_equal(random_design(3), cycles=4, workers=2)
+
+    @needs_fork
+    def test_divergence_detected_across_processes(self, monkeypatch):
+        """A backend that disagrees must fail even when its trace was
+        collected on a forked worker."""
+        from repro.testing import DivergenceError, differential
+
+        real_collect = differential.collect_trace
+
+        def lying_collect(sim, registers, cycles):
+            trace = real_collect(sim, registers, cycles)
+            committed, state = trace[-1]
+            trace[-1] = (committed, tuple(v + 1 for v in state))
+            return trace
+
+        monkeypatch.setattr(differential, "collect_trace", lying_collect)
+        with pytest.raises(DivergenceError):
+            assert_backends_equal(build_collatz(), cycles=4, workers=2,
+                                  include_rtl=False)
+
+
+class TestCliParallel:
+    def test_cli_parallel_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_parallel.json"
+        code = cli_main(["parallel", "collatz", "--trials", "4",
+                         "--workers", "2", "--cycles", "200",
+                         "--compare-serial", "--no-cache",
+                         "--json", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "order-independent" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-fleet-v1"
+        assert payload["trials"] == 4 and payload["failed"] == 0
+        assert payload["design"] == "collatz"
+        assert payload["matches_serial"] is True
+        assert all(r["cycles_per_second"] for r in payload["results"])
