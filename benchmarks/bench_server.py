@@ -1,0 +1,187 @@
+"""Server throughput benchmark: resident warm workers vs one-shot fleet.
+
+The question the daemon exists to answer: once models are compiled and
+workers are resident, what does a batch of jobs cost compared to the
+one-shot ``repro parallel`` path, which pays interpreter startup, module
+imports, and (at best) a disk-cache model load on every invocation?
+
+Emits ``BENCH_server.json`` — a ``repro-serve-v1`` BENCH record with
+jobs/second and cycles/second for both paths plus the speedup — and
+prints the comparison at teardown.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+JOBS = 12
+CYCLES = 2_000
+WORKERS = 2
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="server workers need fork()")
+
+_RESULTS = {}
+
+
+class _ServerFixture:
+    """One daemon for the whole module, started lazily on first use."""
+
+    instance = None
+
+    def __init__(self):
+        from repro.cuttlesim.cache import reset_default_cache
+        from repro.server import ServeDaemon
+
+        self.tmp = tempfile.mkdtemp(prefix="repro-bench-server-")
+        os.environ["REPRO_MODEL_CACHE"] = os.path.join(self.tmp, "cache")
+        reset_default_cache()
+        self.socket_path = os.path.join(self.tmp, "serve.sock")
+        self.daemon = ServeDaemon(self.socket_path, workers=WORKERS,
+                                  queue_limit=256, quiet=True)
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.run()), daemon=True)
+        self.thread.start()
+        self._wait_up()
+        self.run_batch()            # warmup: compile once, fill caches
+
+    def _wait_up(self):
+        from repro.server import ServeClient
+
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if os.path.exists(self.socket_path):
+                try:
+                    with ServeClient(self.socket_path, timeout=5) as client:
+                        client.ping()
+                    return
+                except OSError:
+                    pass
+            time.sleep(0.05)
+        raise RuntimeError("benchmark daemon did not come up")
+
+    @classmethod
+    def get(cls):
+        if cls.instance is None:
+            cls.instance = cls()
+        return cls.instance
+
+    def run_batch(self):
+        from repro.server import ServeClient
+
+        def submit(seed):
+            with ServeClient(self.socket_path) as client:
+                return client.submit("collatz", cycles=CYCLES, seed=seed)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            records = list(pool.map(submit, range(JOBS)))
+        assert all(record["status"] == "ok" for record in records)
+        return records
+
+    def stats(self):
+        from repro.server import ServeClient
+
+        with ServeClient(self.socket_path) as client:
+            return client.stats()["metrics"]
+
+    def stop(self):
+        from repro.server import ServeClient, ServeError
+
+        try:
+            with ServeClient(self.socket_path, timeout=10) as client:
+                client.shutdown(drain=True)
+        except (ServeError, OSError):
+            pass
+        self.thread.join(30)
+
+
+@needs_fork
+def test_server_batch_throughput(benchmark):
+    """A 12-job batch against the warm resident pool."""
+    benchmark.group = "server:collatz-batch"
+    server = _ServerFixture.get()
+    benchmark.pedantic(server.run_batch, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    metrics = server.stats()
+    benchmark.extra_info.update({
+        "jobs": JOBS, "cycles_per_job": CYCLES, "workers": WORKERS,
+        "jobs_per_second": round(JOBS / mean, 2),
+        "cache_hit_rate": metrics["cache_hit_rate"],
+    })
+    _RESULTS["server"] = {
+        "seconds_per_batch": mean,
+        "jobs_per_second": JOBS / mean,
+        "cycles_per_second": JOBS * CYCLES / mean,
+        "cache_hit_rate": metrics["cache_hit_rate"],
+    }
+
+
+@needs_fork
+def test_oneshot_parallel_throughput(benchmark):
+    """The same batch as a fresh ``repro parallel`` process each round —
+    the cost the daemon amortizes (startup + imports + model load)."""
+    benchmark.group = "server:collatz-batch"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env["REPRO_MODEL_CACHE"] = tempfile.mkdtemp(prefix="repro-bench-oneshot-")
+
+    def one_shot():
+        subprocess.run(
+            [sys.executable, "-m", "repro", "parallel", "collatz",
+             "--trials", str(JOBS), "--workers", str(WORKERS),
+             "--cycles", str(CYCLES)],
+            cwd=str(REPO_ROOT), env=env, check=True,
+            stdout=subprocess.DEVNULL)
+
+    benchmark.pedantic(one_shot, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update({
+        "jobs": JOBS, "cycles_per_job": CYCLES, "workers": WORKERS,
+        "jobs_per_second": round(JOBS / mean, 2),
+    })
+    _RESULTS["oneshot"] = {
+        "seconds_per_batch": mean,
+        "jobs_per_second": JOBS / mean,
+        "cycles_per_second": JOBS * CYCLES / mean,
+    }
+
+
+def teardown_module(module):
+    if _ServerFixture.instance is not None:
+        _ServerFixture.instance.stop()
+    if "server" not in _RESULTS:
+        return
+    payload = {
+        "schema": "repro-serve-v1",
+        "benchmark": "server-batch-throughput",
+        "jobs": JOBS, "cycles_per_job": CYCLES, "workers": WORKERS,
+        "server": {k: round(v, 4) for k, v in _RESULTS["server"].items()
+                   if v is not None},
+    }
+    line = (f"\n\nServer — {JOBS}x{CYCLES}-cycle jobs on {WORKERS} resident "
+            f"worker(s): {_RESULTS['server']['jobs_per_second']:.1f} jobs/s "
+            f"(cache hit rate "
+            f"{_RESULTS['server']['cache_hit_rate']:.0%})")
+    if "oneshot" in _RESULTS:
+        payload["oneshot"] = {k: round(v, 4)
+                              for k, v in _RESULTS["oneshot"].items()}
+        speedup = (_RESULTS["oneshot"]["seconds_per_batch"]
+                   / _RESULTS["server"]["seconds_per_batch"])
+        payload["speedup_vs_oneshot"] = round(speedup, 3)
+        line += (f"\n  one-shot `repro parallel`: "
+                 f"{_RESULTS['oneshot']['jobs_per_second']:.1f} jobs/s "
+                 f"→ resident server is {speedup:.2f}x")
+    with open("BENCH_server.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(line)
+    print("BENCH_server.json written")

@@ -12,7 +12,11 @@ Gives the whole toolchain a front door:
 * ``trace DESIGN``    — per-cycle commit/delta trace;
 * ``bench DESIGN``    — quick cycles/second measurement per backend;
 * ``parallel DESIGN`` — randomized-schedule sweep on the worker fleet,
-  with the content-addressed model cache and a JSON perf report.
+  with the content-addressed model cache and a JSON perf report;
+* ``serve``           — persistent batch-simulation daemon (job queue,
+  resident warm-cache workers, the ``repro-serve-v1`` socket protocol);
+* ``submit DESIGN``   — send one job to a running daemon, print its record;
+* ``stats``           — scrape a running daemon's Prometheus metrics.
 """
 
 from __future__ import annotations
@@ -329,10 +333,75 @@ def cmd_parallel(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.tcp if args.tcp else args.socket,
+        workers=args.workers, queue_limit=args.queue_limit,
+        batch_max=args.batch_max, default_timeout=args.timeout,
+        max_attempts=args.max_attempts, drain_timeout=args.drain_timeout,
+        allow_pickle=args.allow_pickle, cache_dir=args.cache_dir,
+        quiet=args.quiet)
+    return asyncio.run(daemon.run())
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .server import ServeClient, ServeError, ServerDraining, \
+        ServerOverloaded
+
+    try:
+        with ServeClient(args.tcp if args.tcp else args.socket) as client:
+            record = client.submit(
+                args.design, opt=args.opt, cycles=args.cycles,
+                seed=args.seed, priority=args.priority,
+                timeout=args.timeout, program=args.program,
+                program_arg=args.arg)
+    except ServerOverloaded as exc:
+        print(f"overloaded: {exc}", file=sys.stderr)
+        return 2
+    except (ServerDraining, ServeError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2))
+    return 0 if record.get("status") == "ok" else 1
+
+
+def cmd_stats(args) -> int:
+    from .server import ServeClient, ServeError
+
+    try:
+        with ServeClient(args.tcp if args.tcp else args.socket) as client:
+            response = client.stats()
+    except (ServeError, OSError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 1
+    print(response["text"], end="")
+    return 0
+
+
+def _add_server_address(parser) -> None:
+    from .server.protocol import default_socket_path
+
+    parser.add_argument("--socket", default=default_socket_path(),
+                        metavar="PATH", help="Unix socket path "
+                        "(default: %(default)s)")
+    parser.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="TCP address instead of a Unix socket")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cuttlesim reproduction toolchain (ASPLOS 2021)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list built-in designs").set_defaults(
@@ -389,6 +458,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="built-in RISC-V program (rv32 designs)")
     p.add_argument("--arg", type=int, default=100)
     p.set_defaults(fn=cmd_parallel)
+
+    p = sub.add_parser("serve", help="persistent batch-simulation daemon "
+                                     "(repro-serve-v1)")
+    _add_server_address(p)
+    p.add_argument("--workers", type=int, default=2,
+                   help="resident worker processes (default: %(default)s)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="queue depth before 'overloaded' backpressure")
+    p.add_argument("--batch-max", type=int, default=4,
+                   help="max compatible jobs dispatched to a worker at once")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-job timeout in seconds")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="attempts per job before a crash is final")
+    p.add_argument("--drain-timeout", type=float, default=120.0,
+                   help="max seconds to finish jobs on SIGTERM")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="model-cache directory (sets REPRO_MODEL_CACHE)")
+    p.add_argument("--allow-pickle", action="store_true",
+                   help="accept pickled designs (trusted clients only)")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one job to a running daemon")
+    p.add_argument("design")
+    _add_server_address(p)
+    p.add_argument("--opt", type=int, default=5, choices=range(6))
+    p.add_argument("--cycles", type=int, default=1_000)
+    p.add_argument("--seed", type=int, default=None,
+                   help="randomized-schedule seed (omit for in-order)")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--program", default=None,
+                   help="built-in RISC-V program (rv32 designs)")
+    p.add_argument("--arg", type=int, default=100)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("stats", help="print a running daemon's Prometheus "
+                                     "metrics")
+    _add_server_address(p)
+    p.set_defaults(fn=cmd_stats)
 
     for name, fn, default_cycles in (("run", cmd_run, 200_000),
                                      ("trace", cmd_trace, 30),

@@ -1,9 +1,10 @@
 """Cuttlesim: compilation of Koika designs to fast sequential models."""
 
-from .cache import ModelCache, design_fingerprint, get_default_cache
+from .cache import (CacheStats, ModelCache, design_fingerprint,
+                    get_default_cache, reset_default_cache)
 from .codegen import CODEGEN_VERSION, compile_model, generate_source
 from .model import ModelBase
 
-__all__ = ["CODEGEN_VERSION", "ModelCache", "compile_model",
+__all__ = ["CODEGEN_VERSION", "CacheStats", "ModelCache", "compile_model",
            "design_fingerprint", "generate_source", "get_default_cache",
-           "ModelBase"]
+           "reset_default_cache", "ModelBase"]

@@ -84,6 +84,20 @@ class CacheStats:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
                 "hits": self.hits, "misses": self.misses}
 
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of the counters (pair with :meth:`since`)."""
+        return self.as_dict()
+
+    def since(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Long-lived processes (the ``repro serve`` workers) report the
+        hits/misses *each job* contributed, not lifetime totals, so an
+        aggregator can sum deltas from many workers without double
+        counting."""
+        current = self.as_dict()
+        return {key: current[key] - baseline.get(key, 0) for key in current}
+
     def __repr__(self) -> str:
         return (f"CacheStats(memory={self.memory_hits}, "
                 f"disk={self.disk_hits}, misses={self.misses})")

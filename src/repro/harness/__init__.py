@@ -3,11 +3,11 @@ and the parallel simulation fleet."""
 
 from .env import Device, Environment, SimHandle
 from .parallel import (FleetReport, Trial, TrialOutput, TrialResult,
-                       fleet_available_workers, run_fleet)
+                       execute_trial, fleet_available_workers, run_fleet)
 from .perf import PerfMonitor, measure_rate, perf_sweep
 from .sim import BACKENDS, make_simulator
 
 __all__ = ["Device", "Environment", "SimHandle", "BACKENDS",
            "make_simulator", "PerfMonitor", "measure_rate", "perf_sweep",
            "FleetReport", "Trial", "TrialOutput", "TrialResult",
-           "fleet_available_workers", "run_fleet"]
+           "execute_trial", "fleet_available_workers", "run_fleet"]

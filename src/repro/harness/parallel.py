@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = ["Trial", "TrialOutput", "TrialResult", "FleetReport",
-           "run_fleet", "fleet_available_workers"]
+           "run_fleet", "execute_trial", "fleet_available_workers"]
 
 
 @dataclass
@@ -166,7 +166,17 @@ class FleetReport:
 
 
 def fleet_available_workers() -> int:
-    """Default worker count: every core, floor one."""
+    """Default worker count: every core this process may run on, floor one.
+
+    Prefers the scheduling affinity mask over the raw core count so
+    containerized/CI runs pinned to a CPU subset (cgroups, taskset) don't
+    oversubscribe the cores they actually have.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -175,7 +185,14 @@ def _structured_error(exc: BaseException) -> Dict[str, str]:
             "traceback": traceback.format_exc()}
 
 
-def _run_trial_inline(index: int, trial: Trial) -> TrialResult:
+def execute_trial(index: int, trial: Trial) -> TrialResult:
+    """Run one trial in the calling process and record its outcome.
+
+    This is the fleet's innermost step, exposed so other executors — the
+    serial fallback here, and the resident workers of ``repro serve`` —
+    share one definition of "run a trial" (timing, error structuring,
+    :class:`TrialOutput` unwrapping) and stay byte-comparable.
+    """
     started = time.perf_counter()
     try:
         output = trial.fn()
@@ -195,7 +212,7 @@ def _run_trial_inline(index: int, trial: Trial) -> TrialResult:
 
 def _worker_main(index: int, trial: Trial, conn) -> None:
     """Worker-side entry: run the trial, ship a (status, payload) pair."""
-    result = _run_trial_inline(index, trial)
+    result = execute_trial(index, trial)
     try:
         conn.send((result.status, result.observation, result.cycles,
                    result.elapsed, result.error))
@@ -291,7 +308,7 @@ def run_fleet(trials: Sequence[Trial], workers: Optional[int] = None,
     wall_started = time.perf_counter()
     context = _fork_context() if workers > 1 and len(trials) > 1 else None
     if context is None:
-        results = [_run_trial_inline(i, t) for i, t in enumerate(trials)]
+        results = [execute_trial(i, t) for i, t in enumerate(trials)]
         return FleetReport(results=results, workers=1,
                            wall_seconds=time.perf_counter() - wall_started,
                            serial_seconds=serial_seconds,

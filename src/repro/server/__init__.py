@@ -1,0 +1,28 @@
+"""repro.server: a persistent batch-simulation service.
+
+The one-shot CLI pays model compilation (or at best a disk-cache load)
+and a process fork on every invocation.  ``repro serve`` keeps a daemon
+resident instead: a bounded priority queue feeds pre-forked workers
+whose in-process model caches stay warm across jobs, so the steady-state
+hot path is a pipe write, a dict lookup, and the simulation itself.
+Speaks the newline-delimited-JSON ``repro-serve-v1`` protocol over a
+Unix or TCP socket; see :mod:`repro.server.protocol` for the frames and
+``docs/api.md`` for the operational story (backpressure, timeouts,
+crash isolation, SIGTERM drain, Prometheus ``stats``).
+"""
+
+from .client import ServeClient, ServeError, ServerDraining, ServerOverloaded
+from .daemon import ServeDaemon
+from .metrics import ServerMetrics
+from .protocol import (PROTOCOL, JobSpec, ProtocolError, default_socket_path,
+                       parse_address)
+from .queue import JobQueue, QueueFull
+from .workers import ResidentWorker, build_trial, execute_job, job_record
+
+__all__ = [
+    "PROTOCOL", "JobSpec", "ProtocolError", "default_socket_path",
+    "parse_address", "JobQueue", "QueueFull", "ServerMetrics",
+    "ResidentWorker", "build_trial", "execute_job", "job_record",
+    "ServeDaemon", "ServeClient", "ServeError", "ServerDraining",
+    "ServerOverloaded",
+]

@@ -1,0 +1,166 @@
+"""Synchronous client for the ``repro-serve-v1`` protocol.
+
+A thin blocking wrapper over one socket: ``submit`` sends a job and
+waits for its result frame, ``stats`` fetches the metrics snapshot plus
+the Prometheus text, ``shutdown`` asks the daemon to drain or abort.
+Unhappy responses raise *typed* exceptions (:class:`ServerOverloaded`,
+:class:`ServerDraining`, :class:`ServeError`) so callers can tell
+backpressure from failure without string-matching.
+
+Thread-safe usage: one :class:`ServeClient` per thread (each owns its
+socket); the daemon happily serves many concurrent connections.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional
+
+from .protocol import PROTOCOL, JobSpec, encode, decode, parse_address
+
+__all__ = ["ServeClient", "ServeError", "ServerOverloaded", "ServerDraining"]
+
+
+class ServeError(RuntimeError):
+    """The server answered with a typed failure frame."""
+
+    def __init__(self, message: str,
+                 response: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        self.response = response or {}
+
+
+class ServerOverloaded(ServeError):
+    """Backpressure: the job queue is at capacity; retry later."""
+
+
+class ServerDraining(ServeError):
+    """The daemon is shutting down and no longer accepts jobs."""
+
+
+class ServeClient:
+    """One blocking connection to a ``repro serve`` daemon."""
+
+    def __init__(self, address, timeout: Optional[float] = 300.0) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection -----------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        kind, target = self.address
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(target)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- framing --------------------------------------------------------------
+
+    def send(self, message: Dict[str, object]) -> None:
+        self.connect()
+        self._sock.sendall(encode(message))
+
+    def read(self) -> Dict[str, object]:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return decode(line)
+
+    def _raise_for(self, response: Dict[str, object]) -> None:
+        kind = response.get("type")
+        if kind == "overloaded":
+            raise ServerOverloaded(
+                f"queue at capacity "
+                f"({response.get('queue_depth')}/"
+                f"{response.get('queue_limit')})", response)
+        if kind == "draining":
+            raise ServerDraining("server is draining", response)
+        if kind == "error":
+            error = response.get("error") or {}
+            raise ServeError(f"{error.get('type', 'Error')}: "
+                             f"{error.get('message', '?')}", response)
+
+    def request(self, message: Dict[str, object],
+                expect: str) -> Dict[str, object]:
+        """Send one frame and read until the expected response type."""
+        self.send(message)
+        while True:
+            response = self.read()
+            self._raise_for(response)
+            if response.get("type") == expect:
+                return response
+
+    # -- the protocol ---------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        response = self.request({"type": "ping"}, expect="pong")
+        if response.get("protocol") != PROTOCOL:
+            raise ServeError(f"protocol mismatch: {response!r}", response)
+        return response
+
+    def stats(self) -> Dict[str, object]:
+        """The metrics snapshot; ``["text"]`` is the Prometheus page."""
+        return self.request({"type": "stats"}, expect="stats")
+
+    def shutdown(self, drain: bool = True) -> Dict[str, object]:
+        return self.request({"type": "shutdown", "drain": drain},
+                            expect="shutting_down")
+
+    def submit(self, design: Optional[str] = None, *, spec: JobSpec = None,
+               wait: bool = True, tag=None,
+               **job_fields) -> Dict[str, object]:
+        """Submit one job; block until its record arrives (``wait=True``).
+
+        Either pass a prebuilt :class:`JobSpec` or keyword fields
+        (``cycles=``, ``seed=``, ``priority=``, ...).  Returns the per-job
+        ``repro-serve-v1`` record, or the ``accepted`` frame when
+        ``wait=False`` (read results later with :meth:`read`).
+        """
+        if spec is None:
+            payload = dict(job_fields)
+            payload["design"] = design
+            spec = JobSpec.from_payload(payload, allow_pickle=True)
+        message: Dict[str, object] = {"type": "submit",
+                                      "job": spec.as_payload()}
+        if tag is not None:
+            message["id"] = tag
+        self.send(message)
+        accepted = None
+        while True:
+            response = self.read()
+            self._raise_for(response)
+            if response.get("type") == "accepted":
+                accepted = response
+                if not wait:
+                    return accepted
+            elif response.get("type") == "result":
+                return response["record"]

@@ -1,0 +1,579 @@
+"""The ``repro serve`` daemon: one asyncio process, many warm workers.
+
+Layout::
+
+    clients ──NDJSON──▶ asyncio server ──▶ JobQueue (bounded, priority)
+                                              │  pop_batch (compile-key)
+                                              ▼
+                                 resident fork workers (warm caches)
+                                              │  one record per job
+                                              ▼
+                               futures resolved ──▶ result frames + metrics
+
+Unhappy paths are features, not afterthoughts:
+
+* **backpressure** — a full queue answers a typed ``overloaded`` frame
+  immediately instead of queueing unboundedly or hanging the socket;
+* **per-job timeouts** — a job past its deadline gets its worker killed,
+  a ``timeout`` record, and a fresh worker in the slot;
+* **crash isolation** — a dying worker fails (or retries, once) only the
+  job it was running; the rest of its batch silently requeues.  Respawns
+  are bounded so a poisoned environment cannot fork-bomb the host;
+* **graceful drain** — SIGTERM stops intake (typed ``draining`` frames),
+  finishes accepted jobs, reaps every child, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .metrics import ServerMetrics
+from .protocol import (MAX_LINE, PROTOCOL, JobSpec, ProtocolError, decode,
+                       encode, parse_address)
+from .queue import JobQueue, QueueFull
+from .workers import ResidentWorker, execute_job
+
+__all__ = ["ServeDaemon"]
+
+
+@dataclass
+class _Job:
+    id: int
+    spec: JobSpec
+    future: asyncio.Future
+    attempt: int = 0
+    queue_seq: Optional[int] = field(default=None)
+
+
+def _failure_record(job: _Job, status: str, error_type: str, message: str, *,
+                    elapsed: float = 0.0,
+                    worker_pid: Optional[int] = None) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "schema": PROTOCOL, "job_id": job.id, "design": job.spec.design,
+        "opt": job.spec.opt, "seed": job.spec.seed,
+        "priority": job.spec.priority,
+        "cycles_requested": job.spec.cycles, "status": status,
+        "cycles": None, "elapsed_seconds": round(elapsed, 6),
+        "cycles_per_second": None, "attempt": max(job.attempt, 1),
+        "error": {"type": error_type, "message": message},
+    }
+    if worker_pid is not None:
+        record["worker"] = worker_pid
+    if job.spec.meta:
+        record["meta"] = job.spec.meta
+    return record
+
+
+class _WorkerDied(Exception):
+    def __init__(self, exitcode) -> None:
+        super().__init__(f"worker exited with code {exitcode}")
+        self.exitcode = exitcode
+
+
+class _WorkerHandle:
+    """Asyncio-side view of one worker slot: readers, result queue, state."""
+
+    def __init__(self, daemon: "ServeDaemon", index: int) -> None:
+        self.daemon = daemon
+        self.index = index
+        self.worker: Optional[ResidentWorker] = None
+        self.results: Optional[asyncio.Queue] = None
+        self.busy = False
+        self.disabled = False
+        self.task: Optional[asyncio.Task] = None
+        self._reader_fds: List[int] = []
+
+    # Inline (fork-less) handles never get a worker process.
+    @property
+    def inline(self) -> bool:
+        return self.daemon._context is None
+
+    def spawn(self) -> None:
+        self.worker = ResidentWorker(self.index, self.daemon._context)
+        self._attach()
+
+    def respawn(self) -> None:
+        self._detach()
+        self.worker.respawn()
+        self._attach()
+
+    def shutdown(self) -> None:
+        self._detach()
+        if self.worker is not None:
+            self.worker.stop()
+
+    def _attach(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.results = asyncio.Queue()
+        conn_fd = self.worker.conn.fileno()
+        sentinel = self.worker.process.sentinel
+        loop.add_reader(conn_fd, self._on_results)
+        loop.add_reader(sentinel, self._on_death)
+        self._reader_fds = [conn_fd, sentinel]
+
+    def _detach(self) -> None:
+        loop = asyncio.get_running_loop()
+        for fd in self._reader_fds:
+            try:
+                loop.remove_reader(fd)
+            except (OSError, ValueError):  # pragma: no cover - closed fd
+                pass
+        self._reader_fds = []
+
+    def _on_results(self) -> None:
+        try:
+            while self.worker.conn.poll(0):
+                self.results.put_nowait(self.worker.conn.recv())
+        except (EOFError, OSError):
+            pass  # the sentinel reader reports death authoritatively
+
+    def _on_death(self) -> None:
+        # Harvest anything the worker managed to send, then flag the death
+        # exactly once (the sentinel stays readable forever, so detach).
+        self._detach()
+        try:
+            while self.worker.conn.poll(0):
+                self.results.put_nowait(self.worker.conn.recv())
+        except (EOFError, OSError):
+            pass
+        self.results.put_nowait(("dead", self.worker.process.exitcode))
+
+
+class ServeDaemon:
+    """The batch-simulation service behind ``repro serve``."""
+
+    def __init__(self, address, *, workers: int = 2, queue_limit: int = 64,
+                 batch_max: int = 4, default_timeout: Optional[float] = None,
+                 max_attempts: int = 2, max_respawns: Optional[int] = None,
+                 drain_timeout: Optional[float] = 120.0,
+                 allow_pickle: bool = False, cache_dir=None,
+                 quiet: bool = False) -> None:
+        self.address = address
+        self.workers = max(1, int(workers))
+        self.batch_max = max(1, int(batch_max))
+        self.default_timeout = default_timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.max_respawns = self.workers * 5 if max_respawns is None \
+            else int(max_respawns)
+        self.drain_timeout = drain_timeout
+        self.allow_pickle = allow_pickle
+        self.cache_dir = cache_dir
+        self.quiet = quiet
+
+        self.queue = JobQueue(limit=queue_limit)
+        self.metrics = ServerMetrics()
+        self.draining = False
+        self.bound_address = None
+
+        self._handles: List[_WorkerHandle] = []
+        self._context = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._unix_path: Optional[str] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._drain_mode = True
+        self._stopping_workers = False
+        self._inflight = 0
+        self._total_respawns = 0
+        self._next_job_id = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.cache_dir is not None:
+            from ..cuttlesim.cache import reset_default_cache
+
+            os.environ["REPRO_MODEL_CACHE"] = str(self.cache_dir)
+            reset_default_cache()
+        self._shutdown = asyncio.Event()
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._context = None
+        # Fork the pool *before* binding the socket so workers never
+        # inherit the listening fd.
+        for index in range(self.workers):
+            handle = _WorkerHandle(self, index)
+            if not handle.inline:
+                handle.spawn()
+            self._handles.append(handle)
+        kind, target = parse_address(self.address)
+        if kind == "unix":
+            if os.path.exists(target):
+                os.unlink(target)  # stale socket from a crashed daemon
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=target, limit=MAX_LINE)
+            self._unix_path = target
+            self.bound_address = ("unix", target)
+        else:
+            host, port = target
+            self._server = await asyncio.start_server(
+                self._handle_client, host, port, limit=MAX_LINE)
+            port = self._server.sockets[0].getsockname()[1]
+            self.bound_address = ("tcp", (host, port))
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_shutdown, True)
+            except (NotImplementedError, ValueError, RuntimeError):
+                break  # non-main thread or platform without signal support
+        self._log(f"serving {PROTOCOL} on {self.bound_address[1]!r} with "
+                  f"{len(self._handles)} worker(s)"
+                  + (" [inline]" if self._context is None else ""))
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Begin shutdown; idempotent, callable from a signal handler."""
+        if self._shutdown is None or self._shutdown.is_set():
+            return
+        self._drain_mode = drain
+        self.draining = True
+        self._shutdown.set()
+
+    async def run(self) -> int:
+        """Serve until shutdown is requested; returns the exit code."""
+        await self.start()
+        await self._shutdown.wait()
+        await self._finish(self._drain_mode)
+        return 0
+
+    async def _finish(self, drain: bool) -> None:
+        self.draining = True
+        if drain:
+            deadline = None if self.drain_timeout is None else \
+                time.monotonic() + self.drain_timeout
+            while self.queue or self._inflight:
+                if deadline is not None and time.monotonic() > deadline:
+                    self._log("drain timeout: aborting remaining jobs")
+                    break
+                self._pump()
+                await asyncio.sleep(0.02)
+        await self._abort_remaining()
+        await self._reap_workers()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._unix_path and os.path.exists(self._unix_path):
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        self._log("drained and stopped" if drain else "aborted and stopped")
+
+    async def _abort_remaining(self) -> None:
+        for job in self.queue.drain():
+            self._resolve(None, job, _failure_record(
+                job, "aborted", "ServerShutdown",
+                "daemon shut down before the job ran"))
+        for handle in self._handles:
+            if handle.task is not None:
+                handle.task.cancel()
+        tasks = [h.task for h in self._handles if h.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _reap_workers(self) -> None:
+        self._stopping_workers = True
+        for handle in self._handles:
+            handle.shutdown()
+        deadline = time.monotonic() + 3.0
+        while any(h.worker is not None and h.worker.alive
+                  for h in self._handles):
+            if time.monotonic() > deadline:
+                break
+            await asyncio.sleep(0.02)
+        for handle in self._handles:
+            if handle.worker is not None:
+                handle.worker.kill()
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[repro-serve] {message}", flush=True)
+
+    # -- client protocol ------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    message: Dict[str, object]) -> None:
+        async with lock:
+            if writer.is_closing():
+                return
+            writer.write(encode(message))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, lock, {
+                        "type": "error",
+                        "error": {"type": "ProtocolError",
+                                  "message": "frame too long"}})
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode(line)
+                except ProtocolError as exc:
+                    await self._send(writer, lock, {
+                        "type": "error",
+                        "error": {"type": "ProtocolError",
+                                  "message": str(exc)}})
+                    continue
+                await self._dispatch_request(message, writer, lock)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_request(self, message, writer, lock) -> None:
+        kind = message["type"]
+        tag = message.get("id")
+        reply = {"id": tag} if tag is not None else {}
+        if kind == "ping":
+            await self._send(writer, lock, {
+                **reply, "type": "pong", "protocol": PROTOCOL,
+                "pid": os.getpid()})
+        elif kind == "stats":
+            snapshot = self._stats_snapshot()
+            await self._send(writer, lock, {**reply, "type": "stats",
+                                            **snapshot})
+        elif kind == "shutdown":
+            drain = bool(message.get("drain", True))
+            await self._send(writer, lock, {**reply, "type": "shutting_down",
+                                            "drain": drain})
+            self.request_shutdown(drain)
+        elif kind == "submit":
+            await self._handle_submit(message, writer, lock, reply)
+        else:
+            await self._send(writer, lock, {
+                **reply, "type": "error",
+                "error": {"type": "ProtocolError",
+                          "message": f"unknown request type {kind!r}"}})
+
+    async def _handle_submit(self, message, writer, lock, reply) -> None:
+        if self.draining:
+            self.metrics.bump("jobs_rejected_draining")
+            await self._send(writer, lock, {**reply, "type": "draining"})
+            return
+        try:
+            spec = JobSpec.from_payload(message.get("job"),
+                                        allow_pickle=self.allow_pickle)
+            if spec.design_pickle is None:
+                from ..cli import DESIGNS
+
+                if spec.design not in DESIGNS:
+                    raise ProtocolError(
+                        f"unknown design {spec.design!r}; try: "
+                        f"{', '.join(sorted(DESIGNS))}")
+        except ProtocolError as exc:
+            await self._send(writer, lock, {
+                **reply, "type": "error",
+                "error": {"type": "ProtocolError", "message": str(exc)}})
+            return
+        self._next_job_id += 1
+        job = _Job(id=self._next_job_id, spec=spec,
+                   future=asyncio.get_running_loop().create_future())
+        try:
+            self.queue.push(job)
+        except QueueFull as exc:
+            self.metrics.bump("jobs_rejected_overloaded")
+            await self._send(writer, lock, {
+                **reply, "type": "overloaded",
+                "queue_depth": exc.depth, "queue_limit": exc.limit})
+            return
+        self.metrics.bump("jobs_accepted")
+        await self._send(writer, lock, {
+            **reply, "type": "accepted", "job_id": job.id,
+            "queue_depth": len(self.queue)})
+        self._pump()
+        asyncio.get_running_loop().create_task(
+            self._deliver(job, writer, lock, reply))
+
+    async def _deliver(self, job, writer, lock, reply) -> None:
+        record = await job.future
+        await self._send(writer, lock, {**reply, "type": "result",
+                                        "job_id": job.id, "record": record})
+
+    def _stats_snapshot(self) -> Dict[str, object]:
+        for handle in self._handles:
+            stats = self.metrics.worker(handle.index)
+            if handle.worker is not None:
+                stats.pid = handle.worker.pid
+                stats.alive = handle.worker.alive
+            elif handle.inline:
+                stats.pid = os.getpid()
+                stats.alive = not handle.disabled
+        gauges = dict(queue_depth=len(self.queue),
+                      queue_limit=self.queue.limit, inflight=self._inflight)
+        return {"metrics": self.metrics.as_dict(**gauges),
+                "text": self.metrics.render_prometheus(**gauges)}
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Hand queued jobs to idle workers; called on every state change."""
+        if self._stopping_workers:
+            return
+        for handle in self._handles:
+            if not self.queue:
+                break
+            if handle.busy or handle.disabled:
+                continue
+            if not handle.inline and not handle.worker.alive:
+                if not self._try_respawn(handle):
+                    continue
+            batch = self.queue.pop_batch(self.batch_max)
+            self._inflight += len(batch)
+            self.metrics.bump("batches_dispatched")
+            handle.busy = True
+            runner = self._run_batch_inline if handle.inline \
+                else self._run_batch
+            handle.task = asyncio.get_running_loop().create_task(
+                runner(handle, batch))
+
+    def _resolve(self, handle: Optional[_WorkerHandle], job: _Job,
+                 record: Dict[str, object]) -> None:
+        index = handle.index if handle is not None else 0
+        self.metrics.observe_record(index, record)
+        if not job.future.done():
+            job.future.set_result(record)
+
+    def _finish_job(self, handle, job, record) -> None:
+        self._inflight -= 1
+        self._resolve(handle, job, record)
+
+    def _requeue(self, jobs: List[_Job]) -> None:
+        self._inflight -= len(jobs)
+        for job in jobs:
+            self.queue.push(job, force=True, seq=job.queue_seq)
+
+    def _try_respawn(self, handle: _WorkerHandle) -> bool:
+        if self._stopping_workers:
+            return False
+        if self._total_respawns >= self.max_respawns:
+            handle.disabled = True
+            self._log(f"worker {handle.index} disabled: respawn budget "
+                      f"({self.max_respawns}) exhausted")
+            if all(h.disabled for h in self._handles):
+                for job in self.queue.drain():
+                    self._resolve(None, job, _failure_record(
+                        job, "error", "NoLiveWorkers",
+                        "every worker slot exhausted its respawn budget"))
+            return False
+        self._total_respawns += 1
+        self.metrics.bump("worker_respawns")
+        handle.respawn()
+        return True
+
+    async def _run_batch(self, handle: _WorkerHandle,
+                         jobs: List[_Job]) -> None:
+        worker = handle.worker
+        pending = list(jobs)
+        current: Optional[_Job] = None
+        try:
+            items = [(job.id, job.spec.as_payload(), job.attempt + 1)
+                     for job in pending]
+            try:
+                worker.send_batch(items)
+            except (OSError, ValueError):
+                raise _WorkerDied(worker.process.exitcode) from None
+            for position, job in enumerate(list(pending)):
+                current = job
+                job.attempt += 1
+                timeout = job.spec.timeout if job.spec.timeout is not None \
+                    else self.default_timeout
+                try:
+                    message = await asyncio.wait_for(handle.results.get(),
+                                                     timeout)
+                except asyncio.TimeoutError:
+                    self._finish_job(handle, job, _failure_record(
+                        job, "timeout", "TimeoutError",
+                        f"job exceeded its {timeout:.3f}s deadline; worker "
+                        f"killed", elapsed=timeout, worker_pid=worker.pid))
+                    self._requeue(pending[position + 1:])
+                    handle._detach()
+                    worker.kill()
+                    self._try_respawn(handle)
+                    return
+                if message[0] == "dead":
+                    raise _WorkerDied(message[1])
+                _, job_id, record = message
+                self._finish_job(handle, job, record)
+                pending[position] = None
+            current = None
+        except _WorkerDied as died:
+            survivors = [job for job in pending
+                         if job is not None and job is not current]
+            if current is not None:
+                if current.attempt < self.max_attempts:
+                    self.metrics.bump("jobs_retried")
+                    self._requeue([current])
+                else:
+                    self._finish_job(handle, current, _failure_record(
+                        current, "crash", "WorkerCrash",
+                        f"worker exited with code {died.exitcode} "
+                        f"(attempt {current.attempt}/{self.max_attempts})",
+                        worker_pid=worker.pid))
+            self._requeue(survivors)
+            self._try_respawn(handle)
+        except asyncio.CancelledError:
+            for job in pending:
+                if job is not None and not job.future.done():
+                    self._finish_job(handle, job, _failure_record(
+                        job, "aborted", "ServerShutdown",
+                        "daemon aborted before the job finished"))
+        finally:
+            handle.busy = False
+            handle.task = None
+            self._pump()
+
+    async def _run_batch_inline(self, handle: _WorkerHandle,
+                                jobs: List[_Job]) -> None:
+        """Fork-less fallback: run jobs on executor threads (no crash
+        isolation, timeouts are advisory — the thread finishes in the
+        background)."""
+        loop = asyncio.get_running_loop()
+        try:
+            for job in jobs:
+                job.attempt += 1
+                timeout = job.spec.timeout if job.spec.timeout is not None \
+                    else self.default_timeout
+                work = loop.run_in_executor(None, execute_job, job.spec,
+                                            job.id)
+                try:
+                    record = await asyncio.wait_for(
+                        asyncio.shield(work), timeout)
+                except asyncio.TimeoutError:
+                    record = _failure_record(
+                        job, "timeout", "TimeoutError",
+                        f"job exceeded its {timeout:.3f}s deadline",
+                        elapsed=timeout)
+                self._finish_job(handle, job, record)
+        except asyncio.CancelledError:
+            for job in jobs:
+                if not job.future.done():
+                    self._finish_job(handle, job, _failure_record(
+                        job, "aborted", "ServerShutdown",
+                        "daemon aborted before the job finished"))
+        finally:
+            handle.busy = False
+            handle.task = None
+            self._pump()

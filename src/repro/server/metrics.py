@@ -1,0 +1,159 @@
+"""Server observability: counters, per-worker rates, Prometheus text.
+
+The daemon is the long-lived half of the toolchain, so it gets the
+observability surface the one-shot CLI never needed: monotonic counters
+for every job outcome, queue/worker gauges, aggregated model-cache
+hit/miss totals (summed from the per-job deltas each worker reports),
+and per-worker cycles/second.  ``render_prometheus`` emits the standard
+text exposition format so the ``stats`` request can be scraped directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .protocol import PROTOCOL
+
+_COUNTER_HELP = {
+    "jobs_accepted": "Jobs validated and enqueued.",
+    "jobs_completed": "Jobs finished with status ok.",
+    "jobs_failed": "Jobs finished with an error or crash status.",
+    "jobs_timed_out": "Jobs killed for exceeding their deadline.",
+    "jobs_rejected_overloaded": "Submissions bounced by queue backpressure.",
+    "jobs_rejected_draining": "Submissions bounced during graceful drain.",
+    "jobs_retried": "Jobs requeued after a worker crash.",
+    "worker_respawns": "Crashed or killed workers replaced by fresh forks.",
+    "batches_dispatched": "Compatible-job batches sent to workers.",
+}
+
+
+class WorkerStats:
+    """Cumulative per-worker accounting (survives respawns of the slot)."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pid: Optional[int] = None
+        self.alive = False
+        self.jobs = 0
+        self.cycles = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def cycles_per_second(self) -> Optional[float]:
+        if not self.busy_seconds or not self.cycles:
+            return None
+        return self.cycles / self.busy_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        rate = self.cycles_per_second
+        return {"index": self.index, "pid": self.pid, "alive": self.alive,
+                "jobs": self.jobs, "cycles": self.cycles,
+                "busy_seconds": round(self.busy_seconds, 6),
+                "cycles_per_second": round(rate) if rate else None}
+
+
+class ServerMetrics:
+    """All daemon counters; the source for ``stats`` responses."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_HELP}
+        self.cache: Dict[str, int] = {"memory_hits": 0, "disk_hits": 0,
+                                      "hits": 0, "misses": 0}
+        self.workers: Dict[int, WorkerStats] = {}
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] += amount
+
+    def worker(self, index: int) -> WorkerStats:
+        if index not in self.workers:
+            self.workers[index] = WorkerStats(index)
+        return self.workers[index]
+
+    def observe_record(self, worker_index: int,
+                       record: Dict[str, object]) -> None:
+        """Fold one finished job record into the totals."""
+        status = record.get("status")
+        if status == "ok":
+            self.bump("jobs_completed")
+        elif status == "timeout":
+            self.bump("jobs_timed_out")
+        else:
+            self.bump("jobs_failed")
+        stats = self.worker(worker_index)
+        stats.jobs += 1
+        stats.cycles += record.get("cycles") or 0
+        stats.busy_seconds += record.get("elapsed_seconds") or 0.0
+        for layer, count in (record.get("cache") or {}).items():
+            if layer in self.cache and isinstance(count, int):
+                self.cache[layer] += count
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        seen = self.cache["hits"] + self.cache["misses"]
+        return self.cache["hits"] / seen if seen else None
+
+    def as_dict(self, *, queue_depth: int = 0, queue_limit: int = 0,
+                inflight: int = 0) -> Dict[str, object]:
+        rate = self.cache_hit_rate
+        return {
+            "protocol": PROTOCOL,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "counters": dict(self.counters),
+            "queue_depth": queue_depth,
+            "queue_limit": queue_limit,
+            "inflight": inflight,
+            "cache": dict(self.cache),
+            "cache_hit_rate": round(rate, 4) if rate is not None else None,
+            "workers": [self.workers[i].as_dict()
+                        for i in sorted(self.workers)],
+        }
+
+    def render_prometheus(self, *, queue_depth: int = 0, queue_limit: int = 0,
+                          inflight: int = 0) -> str:
+        """The Prometheus text exposition of every counter and gauge."""
+        lines: List[str] = []
+
+        def metric(name: str, help_text: str, kind: str, samples) -> None:
+            lines.append(f"# HELP repro_serve_{name} {help_text}")
+            lines.append(f"# TYPE repro_serve_{name} {kind}")
+            for labels, value in samples:
+                label_text = "" if not labels else \
+                    "{" + ",".join(f'{k}="{v}"'
+                                   for k, v in sorted(labels.items())) + "}"
+                lines.append(f"repro_serve_{name}{label_text} {value}")
+
+        for name, help_text in _COUNTER_HELP.items():
+            metric(f"{name}_total", help_text, "counter",
+                   [({}, self.counters[name])])
+        metric("uptime_seconds", "Daemon uptime.", "gauge",
+               [({}, round(time.monotonic() - self.started, 3))])
+        metric("queue_depth", "Jobs waiting in the priority queue.", "gauge",
+               [({}, queue_depth)])
+        metric("queue_limit", "Queue depth that triggers backpressure.",
+               "gauge", [({}, queue_limit)])
+        metric("inflight_jobs", "Jobs currently running on workers.", "gauge",
+               [({}, inflight)])
+        metric("cache_hits_total", "Model-cache hits across workers.",
+               "counter", [({"layer": "memory"}, self.cache["memory_hits"]),
+                           ({"layer": "disk"}, self.cache["disk_hits"])])
+        metric("cache_misses_total", "Model-cache misses across workers.",
+               "counter", [({}, self.cache["misses"])])
+        workers = [self.workers[i] for i in sorted(self.workers)]
+        metric("worker_alive", "1 when the worker slot has a live process.",
+               "gauge", [({"worker": str(w.index)}, int(w.alive))
+                         for w in workers])
+        metric("worker_jobs_total", "Jobs finished per worker slot.",
+               "counter", [({"worker": str(w.index)}, w.jobs)
+                           for w in workers])
+        metric("worker_cycles_total", "Simulated cycles per worker slot.",
+               "counter", [({"worker": str(w.index)}, w.cycles)
+                           for w in workers])
+        metric("worker_busy_seconds_total", "Seconds spent running jobs.",
+               "counter", [({"worker": str(w.index)},
+                            round(w.busy_seconds, 6)) for w in workers])
+        metric("worker_cycles_per_second", "Throughput per worker slot.",
+               "gauge", [({"worker": str(w.index)},
+                          round(w.cycles_per_second or 0)) for w in workers])
+        return "\n".join(lines) + "\n"

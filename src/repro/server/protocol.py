@@ -1,0 +1,192 @@
+"""The ``repro-serve-v1`` wire protocol: newline-delimited JSON messages.
+
+One message per line, UTF-8 JSON objects with a ``type`` field.  Client
+requests and their server responses:
+
+* ``{"type": "ping"}`` → ``{"type": "pong", "protocol": ...}``;
+* ``{"type": "submit", "id": TAG?, "job": {...}}`` →
+  ``{"type": "accepted", "job_id": N}`` immediately, then
+  ``{"type": "result", "job_id": N, "record": {...}}`` when the job
+  finishes.  Unhappy paths are *typed*, never silent: ``overloaded``
+  (queue at capacity), ``draining`` (server is shutting down),
+  ``error`` (validation failure).  ``id`` tags, when given, are echoed
+  on every response so clients may pipeline submissions on one socket;
+* ``{"type": "stats"}`` → ``{"type": "stats", "metrics": {...},
+  "text": "<prometheus exposition>"}``;
+* ``{"type": "shutdown", "drain": true|false}`` →
+  ``{"type": "shutting_down"}``; ``drain=true`` finishes in-flight and
+  queued jobs first, ``drain=false`` aborts them.
+
+The per-job ``record`` is the ``repro-serve-v1`` BENCH JSON payload
+(schema, design/opt/seed, status, cycles, cycles/second, observation,
+per-job model-cache delta, worker pid, attempt count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+PROTOCOL = "repro-serve-v1"
+
+#: Upper bounds enforced on submitted jobs (a daemon serving a shared
+#: socket must not let one request monopolize a worker forever).
+MAX_CYCLES = 50_000_000
+MAX_PRIORITY = 1_000_000
+MAX_LINE = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request that is syntactically JSON but semantically invalid."""
+
+
+def default_socket_path() -> str:
+    """Per-user default Unix socket path for ``repro serve``."""
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-serve-{uid}.sock")
+
+
+def parse_address(value) -> Tuple[str, object]:
+    """Normalize an address to ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepts ``unix:/path``, ``tcp:host:port``, a bare ``host:port``, a
+    filesystem path, or an already-split ``(host, port)`` tuple.
+    """
+    if isinstance(value, tuple):
+        host, port = value
+        return ("tcp", (host, int(port)))
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"bad address {value!r}")
+    if value.startswith("unix:"):
+        return ("unix", value[len("unix:"):])
+    if value.startswith("tcp:"):
+        value = value[len("tcp:"):]
+        host, _, port = value.rpartition(":")
+        if not host or not port.isdigit():
+            raise ProtocolError(f"bad tcp address {value!r}")
+        return ("tcp", (host, int(port)))
+    if os.sep in value or value.startswith("."):
+        return ("unix", value)
+    host, _, port = value.rpartition(":")
+    if host and port.isdigit():
+        return ("tcp", (host, int(port)))
+    return ("unix", value)
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return json.dumps(message, separators=(",", ":"),
+                      default=repr).encode() + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, object]:
+    try:
+        message = json.loads(line.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict) or not isinstance(message.get("type"),
+                                                       str):
+        raise ProtocolError("frame must be a JSON object with a 'type'")
+    return message
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ProtocolError(what)
+
+
+@dataclass
+class JobSpec:
+    """A validated simulation job, as carried by ``submit`` requests.
+
+    ``seed=None`` runs the design's in-order schedule for ``cycles``
+    cycles; an integer seed runs a per-cycle randomized schedule (the
+    case-study-2 workload) seeded deterministically, so equal specs give
+    byte-identical observations on any worker.  ``design_pickle`` (a
+    base64 pickle of a :class:`~repro.koika.design.Design`) is only
+    honored when the daemon was started with ``allow_pickle`` — never
+    accept pickles from sockets you do not trust.
+    """
+
+    design: str
+    opt: int = 5
+    cycles: int = 1_000
+    seed: Optional[int] = None
+    priority: int = 0
+    timeout: Optional[float] = None
+    program: Optional[str] = None
+    program_arg: int = 100
+    design_pickle: Optional[str] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def compile_key(self) -> Tuple[str, int, bool]:
+        """Jobs sharing this key reuse one compiled model: batch them."""
+        return (self.design, self.opt, self.seed is not None)
+
+    @classmethod
+    def from_payload(cls, payload, *, allow_pickle: bool = False) -> "JobSpec":
+        _require(isinstance(payload, dict), "submit needs a 'job' object")
+        known = {"design", "opt", "cycles", "seed", "priority", "timeout",
+                 "program", "program_arg", "design_pickle", "meta"}
+        unknown = set(payload) - known
+        _require(not unknown, f"unknown job fields: {sorted(unknown)}")
+        design = payload.get("design")
+        _require(isinstance(design, str) and design != "",
+                 "job.design must be a non-empty string")
+        opt = payload.get("opt", 5)
+        _require(isinstance(opt, int) and 0 <= opt <= 5,
+                 "job.opt must be an integer in 0..5")
+        cycles = payload.get("cycles", 1_000)
+        _require(isinstance(cycles, int) and 1 <= cycles <= MAX_CYCLES,
+                 f"job.cycles must be an integer in 1..{MAX_CYCLES}")
+        seed = payload.get("seed")
+        _require(seed is None or isinstance(seed, int),
+                 "job.seed must be an integer or null")
+        priority = payload.get("priority", 0)
+        _require(isinstance(priority, int)
+                 and abs(priority) <= MAX_PRIORITY,
+                 "job.priority must be a small integer")
+        timeout = payload.get("timeout")
+        _require(timeout is None
+                 or (isinstance(timeout, (int, float)) and timeout > 0),
+                 "job.timeout must be a positive number of seconds")
+        program = payload.get("program")
+        _require(program is None or isinstance(program, str),
+                 "job.program must be a string")
+        program_arg = payload.get("program_arg", 100)
+        _require(isinstance(program_arg, int), "job.program_arg: integer")
+        design_pickle = payload.get("design_pickle")
+        if design_pickle is not None:
+            _require(allow_pickle,
+                     "design_pickle rejected: daemon runs without "
+                     "--allow-pickle")
+            _require(isinstance(design_pickle, str),
+                     "job.design_pickle must be a base64 string")
+        meta = payload.get("meta", {})
+        _require(isinstance(meta, dict), "job.meta must be an object")
+        return cls(design=design, opt=opt, cycles=cycles, seed=seed,
+                   priority=priority,
+                   timeout=float(timeout) if timeout is not None else None,
+                   program=program, program_arg=program_arg,
+                   design_pickle=design_pickle, meta=dict(meta))
+
+    def as_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "design": self.design, "opt": self.opt, "cycles": self.cycles,
+            "priority": self.priority, "program_arg": self.program_arg,
+        }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        if self.program is not None:
+            payload["program"] = self.program
+        if self.design_pickle is not None:
+            payload["design_pickle"] = self.design_pickle
+        if self.meta:
+            payload["meta"] = self.meta
+        return payload

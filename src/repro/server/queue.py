@@ -1,0 +1,84 @@
+"""Bounded priority job queue with compatible-job batching.
+
+Higher ``priority`` runs first; within a priority level jobs run in
+submission order.  The queue is *bounded*: pushing past ``limit`` raises
+:class:`QueueFull`, which the daemon turns into a typed ``overloaded``
+response — backpressure is an answer, not a hang.
+
+``pop_batch`` pops the frontmost job plus up to ``max_batch - 1`` later
+jobs sharing its :attr:`~repro.server.protocol.JobSpec.compile_key`, so a
+resident worker runs a streak of jobs against one warm compiled model.
+Batching never reorders across priorities for the *lead* job — it only
+pulls compatible followers forward, which is exactly the cache-locality
+trade the server exists to make.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List
+
+
+class QueueFull(Exception):
+    """Typed backpressure: the queue is at its depth limit."""
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(f"job queue at capacity ({depth}/{limit})")
+        self.depth = depth
+        self.limit = limit
+
+
+class JobQueue:
+    """Priority queue of daemon jobs (anything with ``.spec`` giving
+    ``priority`` and ``compile_key``)."""
+
+    def __init__(self, limit: int = 64) -> None:
+        self.limit = max(1, int(limit))
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, job, *, force: bool = False, seq: int = None) -> None:
+        """Enqueue ``job``; :class:`QueueFull` when at capacity.
+
+        ``force`` bypasses the limit (requeues of already-accepted jobs
+        must never bounce).  ``seq`` reuses an earlier submission ticket
+        so a requeued job keeps its original FIFO position.
+        """
+        if not force and len(self._heap) >= self.limit:
+            raise QueueFull(len(self._heap), self.limit)
+        if seq is None:
+            seq = next(self._seq)
+        job.queue_seq = seq
+        heapq.heappush(self._heap, (-job.spec.priority, seq, job))
+
+    def pop(self):
+        return heapq.heappop(self._heap)[2]
+
+    def pop_batch(self, max_batch: int = 1) -> List:
+        """Pop the front job plus compatible followers (same compile key)."""
+        lead = self.pop()
+        if max_batch <= 1 or not self._heap:
+            return [lead]
+        batch, keep = [lead], []
+        for entry in sorted(self._heap):
+            if len(batch) < max_batch and \
+                    entry[2].spec.compile_key == lead.spec.compile_key:
+                batch.append(entry[2])
+            else:
+                keep.append(entry)
+        heapq.heapify(keep)
+        self._heap = keep
+        return batch
+
+    def drain(self) -> List:
+        """Remove and return every queued job, front first (abort path)."""
+        drained = [entry[2] for entry in sorted(self._heap)]
+        self._heap = []
+        return drained

@@ -1,0 +1,247 @@
+"""Resident fleet workers: pre-forked processes with warm model caches.
+
+A one-shot ``run_fleet`` forks, runs, and exits — every invocation pays
+model compilation again (or at best a disk-cache read).  A *resident*
+worker forks once at daemon start and then loops over job batches from a
+duplex pipe, so its in-process model-cache LRU stays warm: the steady
+state is a dict lookup, a fork-free ``model(env)`` construction, and the
+simulation itself.
+
+Job execution reuses :func:`repro.harness.parallel.execute_trial` — the
+exact code path the fleet runs — so a job record's observation is
+byte-identical to a serial ``run_fleet`` of the same spec.  Each record
+also carries the worker's model-cache hit/miss *delta* for the job,
+which the daemon aggregates into the served metrics.
+
+Wire format on the pipe (picklable tuples, parent ↔ child):
+
+* parent → child: ``("jobs", [(job_id, spec_payload, attempt), ...])``
+  or ``("stop",)``;
+* child → parent: ``("result", job_id, record)`` — one per job, in batch
+  order.  Crashes send nothing; the parent watches the process sentinel.
+"""
+
+from __future__ import annotations
+
+import base64
+import multiprocessing
+import os
+import pickle
+import random
+from typing import Dict, Optional
+
+from ..harness.parallel import Trial, TrialOutput, TrialResult, execute_trial
+from .protocol import PROTOCOL, JobSpec
+
+__all__ = ["build_trial", "execute_job", "job_record", "worker_loop",
+           "ResidentWorker"]
+
+
+def _materialize_design(spec: JobSpec):
+    if spec.design_pickle is not None:
+        return pickle.loads(base64.b64decode(spec.design_pickle))
+    from ..cli import DESIGNS
+
+    builder = DESIGNS.get(spec.design)
+    if builder is None:
+        raise ValueError(f"unknown design {spec.design!r}; try: "
+                         f"{', '.join(sorted(DESIGNS))}")
+    return builder()
+
+
+def build_trial(spec: JobSpec) -> Trial:
+    """The canonical fleet trial for a job spec.
+
+    This is *the* definition of a job's semantics: the daemon's workers
+    and any serial reference run (``run_fleet([build_trial(s)], workers=1)``)
+    execute this same closure, which is what makes server results
+    byte-comparable to one-shot fleet results.
+    """
+
+    def fn():
+        from ..cli import _default_env
+        from ..cuttlesim.codegen import compile_model
+
+        design = _materialize_design(spec)
+        model_cls = compile_model(design, opt=spec.opt,
+                                  order_independent=spec.seed is not None,
+                                  warn_goldberg=False, cache=True)
+        env = _default_env(design, spec.program, spec.program_arg)
+        model = model_cls(env)
+        if spec.seed is None:
+            model.run(spec.cycles)
+        else:
+            from ..debug.randomize import run_with_random_schedule
+
+            rng = random.Random(spec.seed)
+            run_with_random_schedule(model, rng,
+                                     lambda m: m.cycle >= spec.cycles,
+                                     max_cycles=spec.cycles + 1)
+        return TrialOutput(observation=model.state_dict(),
+                           cycles=model.cycle)
+
+    return Trial(name=f"{spec.design}@O{spec.opt}", fn=fn,
+                 meta={"design": spec.design, "opt": spec.opt,
+                       "seed": spec.seed})
+
+
+def job_record(spec: JobSpec, job_id: int, result: TrialResult, *,
+               attempt: int = 1, worker_pid: Optional[int] = None,
+               cache_delta: Optional[Dict[str, int]] = None
+               ) -> Dict[str, object]:
+    """The per-job ``repro-serve-v1`` BENCH JSON record."""
+    record: Dict[str, object] = {
+        "schema": PROTOCOL,
+        "job_id": job_id,
+        "design": spec.design,
+        "opt": spec.opt,
+        "seed": spec.seed,
+        "priority": spec.priority,
+        "cycles_requested": spec.cycles,
+        "status": result.status,
+        "cycles": result.cycles,
+        "elapsed_seconds": round(result.elapsed, 6),
+        "attempt": attempt,
+    }
+    rate = result.cycles_per_second
+    record["cycles_per_second"] = round(rate) if rate else None
+    if result.ok:
+        record["observation"] = result.observation
+    if result.error is not None:
+        record["error"] = result.error
+    if worker_pid is not None:
+        record["worker"] = worker_pid
+    if cache_delta is not None:
+        record["cache"] = cache_delta
+    if spec.meta:
+        record["meta"] = spec.meta
+    return record
+
+
+def execute_job(spec: JobSpec, job_id: int, *,
+                attempt: int = 1) -> Dict[str, object]:
+    """Run one job in this process and build its record (worker hot path;
+    also the daemon's no-``fork`` fallback)."""
+    from ..cuttlesim.cache import get_default_cache
+
+    stats = get_default_cache().stats
+    before = stats.snapshot()
+    result = execute_trial(job_id, build_trial(spec))
+    return job_record(spec, job_id, result, attempt=attempt,
+                      worker_pid=os.getpid(), cache_delta=stats.since(before))
+
+
+def worker_loop(conn) -> None:
+    """Child entry point: serve job batches until ``("stop",)`` or EOF."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(message, tuple) or not message or \
+                message[0] == "stop":
+            break
+        _, items = message
+        for job_id, payload, attempt in items:
+            try:
+                spec = JobSpec.from_payload(payload, allow_pickle=True)
+                record = execute_job(spec, job_id, attempt=attempt)
+            except BaseException as exc:  # never let one job kill the loop
+                record = {"schema": PROTOCOL, "job_id": job_id,
+                          "status": "error", "attempt": attempt,
+                          "worker": os.getpid(),
+                          "error": {"type": type(exc).__name__,
+                                    "message": str(exc)}}
+            try:
+                conn.send(("result", job_id, record))
+            except (OSError, ValueError, TypeError):
+                try:
+                    slim = {k: v for k, v in record.items()
+                            if k != "observation"}
+                    slim["status"] = "error"
+                    slim.setdefault("error", {
+                        "type": "SerializationError",
+                        "message": "observation could not be sent"})
+                    conn.send(("result", job_id, slim))
+                except OSError:
+                    return
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class ResidentWorker:
+    """Parent-side handle on one worker slot: process + pipe + respawns.
+
+    The *slot* (index) is stable; the process behind it is replaced by
+    :meth:`respawn` after a crash or a timeout kill.  Respawning is
+    bounded by the pool (see the daemon) so a poisoned environment can't
+    fork-bomb the host.
+    """
+
+    def __init__(self, index: int, context=None) -> None:
+        self.index = index
+        self.context = context or multiprocessing.get_context("fork")
+        self.respawns = -1    # first spawn is not a respawn
+        self.conn = None
+        self.process = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        self.respawns += 1
+        self.conn, child = self.context.Pipe(duplex=True)
+        self.process = self.context.Process(
+            target=worker_loop, args=(child,),
+            name=f"repro-serve-worker-{self.index}", daemon=True)
+        self.process.start()
+        child.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send_batch(self, items) -> None:
+        self.conn.send(("jobs", items))
+
+    def stop(self) -> None:
+        """Ask the loop to exit; harmless if the process already died."""
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for a clean exit; True when the process is gone."""
+        if self.process is None:
+            return True
+        self.process.join(timeout)
+        if self.process.is_alive():
+            return False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        return True
+
+    def respawn(self) -> None:
+        self.kill()
+        self.spawn()

@@ -227,3 +227,104 @@ def _timed_compile(design, cache):
     start = time.perf_counter()
     compile_model(design, warn_goldberg=False, cache=cache)
     return time.perf_counter() - start
+
+
+class TestConcurrentWriters:
+    """Two processes racing to store one fingerprint must both succeed,
+    leave exactly one valid entry, and never serve a torn read."""
+
+    @staticmethod
+    def _writer(path, key, tag, barrier, rounds=40):
+        from repro.cuttlesim.codegen import _Meta
+
+        cache = ModelCache(path)
+        meta = _Meta()
+        meta.blocks = [(0, "step", "rule", None)]
+        meta.uid_line = {1: 2}
+        meta.line_block = [None, 0]
+        source = f"# payload {tag}\n" + ("x = 0\n" * 200)
+        barrier.wait()
+        for _ in range(rounds):
+            cache.store_source(key, source, meta,
+                               design_name="race", opt=5)
+
+    @staticmethod
+    def _reader(path, key, barrier, failures, rounds=200):
+        cache = ModelCache(path)
+        barrier.wait()
+        for _ in range(rounds):
+            loaded = cache.lookup_source(key)
+            if loaded is None:
+                continue   # not written yet: a miss, never a torn read
+            source, meta = loaded
+            if not (source.startswith("# payload ")
+                    and source.count("x = 0\n") == 200
+                    and meta.blocks == [(0, "step", "rule", None)]):
+                failures.put(source[:60])
+
+    def test_racing_writers_one_valid_entry(self, tmp_path):
+        import multiprocessing
+
+        if not hasattr(__import__("os"), "fork"):
+            pytest.skip("needs fork")
+        context = multiprocessing.get_context("fork")
+        key = "f" * 64
+        barrier = context.Barrier(3)
+        failures = context.Queue()
+        writers = [context.Process(target=self._writer,
+                                   args=(tmp_path, key, tag, barrier))
+                   for tag in ("a", "b")]
+        reader = context.Process(target=self._reader,
+                                 args=(tmp_path, key, barrier, failures))
+        for proc in writers + [reader]:
+            proc.start()
+        for proc in writers + [reader]:
+            proc.join(60)
+            assert proc.exitcode == 0
+        assert failures.empty(), f"torn read: {failures.get()!r}"
+        entries = list(tmp_path.glob("*.json"))
+        assert [entry.name for entry in entries] == [f"{key}.json"]
+        payload = json.loads(entries[0].read_text())   # fully valid JSON
+        assert payload["design"] == "race"
+        assert ModelCache(tmp_path).lookup_source(key) is not None
+        assert not list(tmp_path.glob("*.tmp.*"))      # no litter left
+
+    def test_racing_real_compiles_share_one_entry(self, tmp_path):
+        """Two processes compiling the same design into one cache dir."""
+        import multiprocessing
+
+        if not hasattr(__import__("os"), "fork"):
+            pytest.skip("needs fork")
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+
+        def compile_racing():
+            barrier.wait()
+            compile_model(build_collatz(), warn_goldberg=False,
+                          cache=ModelCache(tmp_path))
+
+        procs = [context.Process(target=compile_racing) for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(120)
+            assert proc.exitcode == 0
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        warm = ModelCache(tmp_path)
+        compile_model(build_collatz(), warn_goldberg=False, cache=warm)
+        assert warm.stats.disk_hits == 1
+
+
+class TestStatsSnapshots:
+    def test_snapshot_and_since_deltas(self):
+        cache = ModelCache(path=None)
+        design = small_design(name="delta")
+        compile_model(design, warn_goldberg=False, cache=cache)
+        baseline = cache.stats.snapshot()
+        compile_model(small_design(name="delta"), warn_goldberg=False,
+                      cache=cache)
+        delta = cache.stats.since(baseline)
+        assert delta["memory_hits"] == 1 and delta["misses"] == 0
+        assert cache.stats.since(cache.stats.snapshot()) == \
+            {"memory_hits": 0, "disk_hits": 0, "hits": 0, "misses": 0}

@@ -120,6 +120,24 @@ class TestRunFleet:
     def test_default_worker_count(self):
         assert fleet_available_workers() >= 1
 
+    def test_worker_count_prefers_affinity_mask(self, monkeypatch):
+        """A container pinned to 2 of 64 cores must get 2 workers, not 64."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        if hasattr(os, "sched_getaffinity"):
+            monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {3, 7})
+            assert fleet_available_workers() == 2
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert fleet_available_workers() == 64   # fallback: cpu_count
+
+    def test_execute_trial_is_public(self):
+        """repro.server's resident workers reuse the fleet's trial step."""
+        from repro.harness import execute_trial
+
+        result = execute_trial(4, _trial("t", lambda: TrialOutput(9,
+                                                                  cycles=3)))
+        assert (result.index, result.status, result.observation,
+                result.cycles) == (4, "ok", 9, 3)
+
 
 def _until(model, env):
     return model.cycle >= 200

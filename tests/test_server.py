@@ -1,0 +1,484 @@
+"""Tests for the batch-simulation service (repro.server)."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cli import DESIGNS, main as cli_main
+from repro.cuttlesim.cache import reset_default_cache
+from repro.harness import run_fleet
+from repro.server import (
+    JobQueue, JobSpec, ProtocolError, QueueFull, ServeClient, ServeDaemon,
+    ServeError, ServerDraining, ServerMetrics, ServerOverloaded, build_trial,
+    execute_job, parse_address,
+)
+from repro.server.protocol import PROTOCOL, decode, encode
+
+FORK = hasattr(os, "fork")
+needs_fork = pytest.mark.skipif(not FORK, reason="server workers need fork()")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Collatz runs at roughly 2M cycles/s here; these budgets keep "slow"
+#: jobs observably in flight without making the suite crawl.
+SLOW_CYCLES = 2_000_000
+HUNG_CYCLES = 50_000_000
+
+
+# ----------------------------------------------------------------------
+# Protocol layer.
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_address_forms(self):
+        assert parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("unix:relative.sock") == \
+            ("unix", "relative.sock")
+        assert parse_address("./serve.sock") == ("unix", "./serve.sock")
+        assert parse_address("tcp:127.0.0.1:9000") == \
+            ("tcp", ("127.0.0.1", 9000))
+        assert parse_address("localhost:80") == ("tcp", ("localhost", 80))
+        assert parse_address(("::1", 81)) == ("tcp", ("::1", 81))
+        with pytest.raises(ProtocolError):
+            parse_address("")
+
+    def test_frame_roundtrip(self):
+        frame = encode({"type": "submit", "job": {"design": "collatz"}})
+        assert frame.endswith(b"\n")
+        assert decode(frame)["job"]["design"] == "collatz"
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")  # no 'type'
+
+    def test_job_spec_validation(self):
+        spec = JobSpec.from_payload({"design": "collatz", "cycles": 5,
+                                     "seed": 3, "priority": 2})
+        assert (spec.design, spec.cycles, spec.seed) == ("collatz", 5, 3)
+        assert spec.compile_key == ("collatz", 5, True)
+        for bad in ({"design": ""}, {"design": 3},
+                    {"design": "d", "cycles": 0},
+                    {"design": "d", "opt": 9},
+                    {"design": "d", "timeout": -1},
+                    {"design": "d", "bogus_field": 1},
+                    "not a dict", None):
+            with pytest.raises(ProtocolError):
+                JobSpec.from_payload(bad)
+
+    def test_design_pickle_gated(self):
+        payload = {"design": "x", "design_pickle": "aGk="}
+        with pytest.raises(ProtocolError, match="allow-pickle"):
+            JobSpec.from_payload(payload)
+        assert JobSpec.from_payload(payload, allow_pickle=True) \
+            .design_pickle == "aGk="
+
+    def test_payload_roundtrip(self):
+        spec = JobSpec(design="fir", opt=3, cycles=7, seed=1, priority=-2,
+                       timeout=1.5, meta={"k": "v"})
+        again = JobSpec.from_payload(spec.as_payload())
+        assert again == spec
+
+
+class TestJobQueue:
+    def _job(self, priority=0, design="collatz", opt=5):
+        class _J:
+            pass
+
+        job = _J()
+        job.spec = JobSpec(design=design, opt=opt, priority=priority)
+        return job
+
+    def test_priority_then_fifo(self):
+        queue = JobQueue(limit=10)
+        first, low, high = self._job(0), self._job(0), self._job(5)
+        for job in (first, low, high):
+            queue.push(job)
+        assert queue.pop() is high
+        assert queue.pop() is first
+        assert queue.pop() is low
+
+    def test_backpressure_and_force(self):
+        queue = JobQueue(limit=2)
+        queue.push(self._job())
+        queue.push(self._job())
+        with pytest.raises(QueueFull) as info:
+            queue.push(self._job())
+        assert info.value.depth == 2 and info.value.limit == 2
+        queue.push(self._job(), force=True)  # requeues never bounce
+        assert len(queue) == 3
+
+    def test_pop_batch_groups_compatible_jobs(self):
+        queue = JobQueue(limit=10)
+        a1 = self._job(design="collatz")
+        other = self._job(design="fir")
+        a2 = self._job(design="collatz")
+        for job in (a1, other, a2):
+            queue.push(job)
+        batch = queue.pop_batch(max_batch=3)
+        assert batch == [a1, a2]       # same compile key, FIFO preserved
+        assert queue.pop() is other
+
+    def test_pop_batch_respects_lead_priority(self):
+        queue = JobQueue(limit=10)
+        low = self._job(priority=0, design="fir")
+        high = self._job(priority=9, design="collatz")
+        queue.push(low)
+        queue.push(high)
+        assert queue.pop_batch(max_batch=2) == [high]
+
+    def test_drain_returns_everything_in_order(self):
+        queue = JobQueue(limit=10)
+        jobs = [self._job(priority=p) for p in (0, 5, 0)]
+        for job in jobs:
+            queue.push(job)
+        assert queue.drain() == [jobs[1], jobs[0], jobs[2]]
+        assert not queue
+
+
+class TestMetrics:
+    def test_record_accounting_and_prometheus(self):
+        metrics = ServerMetrics()
+        metrics.bump("jobs_accepted", 3)
+        metrics.observe_record(0, {"status": "ok", "cycles": 1000,
+                                   "elapsed_seconds": 0.5,
+                                   "cache": {"memory_hits": 2, "misses": 1,
+                                             "hits": 2, "disk_hits": 0}})
+        metrics.observe_record(0, {"status": "timeout"})
+        metrics.observe_record(1, {"status": "crash"})
+        assert metrics.counters["jobs_completed"] == 1
+        assert metrics.counters["jobs_timed_out"] == 1
+        assert metrics.counters["jobs_failed"] == 1
+        assert metrics.cache["hits"] == 2 and metrics.cache["misses"] == 1
+        assert metrics.cache_hit_rate == pytest.approx(2 / 3)
+        assert metrics.worker(0).cycles_per_second == pytest.approx(2000)
+        text = metrics.render_prometheus(queue_depth=4, queue_limit=8,
+                                         inflight=2)
+        assert "repro_serve_jobs_accepted_total 3" in text
+        assert "repro_serve_queue_depth 4" in text
+        assert 'repro_serve_cache_hits_total{layer="memory"} 2' in text
+        assert 'repro_serve_worker_cycles_total{worker="0"} 1000' in text
+        snapshot = metrics.as_dict(queue_depth=4, queue_limit=8, inflight=2)
+        json.dumps(snapshot)
+        assert snapshot["queue_depth"] == 4
+
+
+# ----------------------------------------------------------------------
+# Job execution (no daemon needed).
+# ----------------------------------------------------------------------
+
+class TestExecuteJob:
+    def test_record_matches_serial_fleet(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        reset_default_cache()
+        spec = JobSpec(design="collatz", cycles=300, seed=11)
+        record = execute_job(spec, job_id=7)
+        reference = run_fleet([build_trial(spec)], workers=1)
+        assert record["schema"] == PROTOCOL
+        assert record["status"] == "ok"
+        assert record["cycles"] == 300
+        assert record["observation"] == reference.observations[0]
+        assert record["cache"]["misses"] + record["cache"]["hits"] >= 1
+        reset_default_cache()
+
+    def test_unknown_design_is_structured_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        reset_default_cache()
+        record = execute_job(JobSpec(design="no-such-design"), job_id=1)
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "ValueError"
+        assert "no-such-design" in record["error"]["message"]
+        reset_default_cache()
+
+
+# ----------------------------------------------------------------------
+# The daemon, in-process (workers fork from the test process).
+# ----------------------------------------------------------------------
+
+class DaemonThread:
+    """Run a ServeDaemon on a background thread; workers still fork."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.socket_path = str(tmp_path / "serve.sock")
+        kwargs.setdefault("quiet", True)
+        self.daemon = ServeDaemon(self.socket_path, **kwargs)
+        self.exit_code = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.exit_code = asyncio.run(self.daemon.run())
+
+    def __enter__(self):
+        self.thread.start()
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if os.path.exists(self.socket_path):
+                try:
+                    with ServeClient(self.socket_path, timeout=5) as client:
+                        client.ping()
+                    return self
+                except OSError:
+                    pass
+            time.sleep(0.02)
+        raise RuntimeError("daemon did not come up")
+
+    def client(self, timeout=120.0):
+        return ServeClient(self.socket_path, timeout=timeout)
+
+    def stop(self, drain=True):
+        if self.thread.is_alive():
+            try:
+                with self.client(timeout=10) as client:
+                    client.shutdown(drain=drain)
+            except (ServeError, OSError):
+                pass
+        self.thread.join(30)
+
+    def __exit__(self, *_exc):
+        self.stop(drain=False)
+
+
+@pytest.fixture
+def serve_cache(tmp_path, monkeypatch):
+    """Point the shared model cache at a fresh directory for the test."""
+    monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "model-cache"))
+    reset_default_cache()
+    yield tmp_path
+    reset_default_cache()
+
+
+@needs_fork
+class TestDaemonEndToEnd:
+    def test_concurrent_submissions_match_serial_fleet(self, serve_cache):
+        """Acceptance criterion: 2 resident workers, 8 concurrent clients,
+        24 jobs — every record byte-identical to a serial run_fleet of the
+        same specs, steady-state cache hit rate above 90%."""
+        specs = [JobSpec(design="collatz", cycles=400, seed=seed)
+                 for seed in range(24)]
+        with DaemonThread(serve_cache, workers=2, queue_limit=64) as server:
+            def submit(spec):
+                with server.client() as client:
+                    return client.submit(spec=spec)
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                records = list(pool.map(submit, specs))
+            with server.client() as client:
+                stats = client.stats()
+            server.stop(drain=True)
+        assert server.exit_code == 0
+
+        reference = run_fleet([build_trial(spec) for spec in specs],
+                              workers=1)
+        assert [r["status"] for r in records] == ["ok"] * 24
+        assert [r["observation"] for r in records] == reference.observations
+        assert [r["cycles"] for r in records] == \
+            [r.cycles for r in reference.results]
+
+        metrics = stats["metrics"]
+        assert metrics["counters"]["jobs_accepted"] == 24
+        assert metrics["counters"]["jobs_completed"] == 24
+        assert metrics["cache_hit_rate"] > 0.9
+        workers = {w["index"]: w for w in metrics["workers"]}
+        assert len(workers) == 2
+        assert sum(w["jobs"] for w in workers.values()) == 24
+        assert "repro_serve_jobs_completed_total 24" in stats["text"]
+
+    def test_overloaded_backpressure(self, serve_cache):
+        """A full queue answers a typed overloaded frame immediately."""
+        with DaemonThread(serve_cache, workers=1, queue_limit=1,
+                          batch_max=1) as server:
+            blocker = server.client()
+            blocker.connect()
+            blocker.send({"type": "submit", "id": "blocker",
+                          "job": {"design": "collatz",
+                                  "cycles": SLOW_CYCLES}})
+            assert blocker.read()["type"] == "accepted"
+            # Worker busy; one job fits in the queue, the next must bounce.
+            with server.client() as client:
+                accepted = client.submit("collatz", cycles=100, wait=False)
+                assert accepted["type"] == "accepted"
+                with pytest.raises(ServerOverloaded) as info:
+                    client.submit("collatz", cycles=100)
+                assert info.value.response["queue_limit"] == 1
+            blocker.close()
+            with server.client() as client:
+                counters = client.stats()["metrics"]["counters"]
+            assert counters["jobs_rejected_overloaded"] == 1
+            server.stop(drain=False)   # abort: don't wait out the blocker
+        assert server.exit_code == 0
+
+    def test_timeout_kills_and_respawns_worker(self, serve_cache):
+        with DaemonThread(serve_cache, workers=1) as server:
+            with server.client() as client:
+                record = client.submit("collatz", cycles=HUNG_CYCLES,
+                                       timeout=0.4)
+                assert record["status"] == "timeout"
+                assert record["error"]["type"] == "TimeoutError"
+                # The slot got a fresh worker and still serves jobs.
+                again = client.submit("collatz", cycles=200)
+                assert again["status"] == "ok"
+                counters = client.stats()["metrics"]["counters"]
+            assert counters["jobs_timed_out"] == 1
+            assert counters["worker_respawns"] >= 1
+            server.stop()
+        assert server.exit_code == 0
+
+    def test_worker_crash_retries_then_fails_job_only(self, serve_cache,
+                                                      monkeypatch):
+        # Registered before the daemon starts, so forked workers see it.
+        monkeypatch.setitem(DESIGNS, "crashme",
+                            lambda: os._exit(3))
+        with DaemonThread(serve_cache, workers=2) as server:
+            with server.client() as client:
+                record = client.submit("crashme", cycles=10)
+                assert record["status"] == "crash"
+                assert record["attempt"] == 2     # one bounded retry
+                assert "code 3" in record["error"]["message"]
+                healthy = client.submit("collatz", cycles=200)
+                assert healthy["status"] == "ok"
+                counters = client.stats()["metrics"]["counters"]
+            assert counters["jobs_retried"] == 1
+            assert counters["worker_respawns"] >= 2
+            server.stop()
+        assert server.exit_code == 0
+
+    def test_draining_rejects_new_jobs_but_finishes_inflight(self,
+                                                             serve_cache):
+        with DaemonThread(serve_cache, workers=1) as server:
+            results = {}
+
+            def slow_submit():
+                with server.client() as client:
+                    results["slow"] = client.submit("collatz",
+                                                    cycles=SLOW_CYCLES)
+
+            submitter = threading.Thread(target=slow_submit, daemon=True)
+            submitter.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:   # wait until it's in flight
+                with server.client(timeout=10) as client:
+                    if client.stats()["metrics"]["inflight"]:
+                        break
+                time.sleep(0.02)
+            with server.client(timeout=10) as client:
+                client.shutdown(drain=True)
+            with pytest.raises((ServerDraining, ServeError, OSError)):
+                with server.client(timeout=10) as client:
+                    client.submit("collatz", cycles=10)
+            submitter.join(60)
+            server.thread.join(60)
+        assert results["slow"]["status"] == "ok"
+        assert server.exit_code == 0
+
+    def test_rejects_unknown_design_and_type(self, serve_cache):
+        with DaemonThread(serve_cache, workers=1) as server:
+            with server.client() as client:
+                with pytest.raises(ServeError, match="unknown design"):
+                    client.submit("not-a-design", cycles=10)
+                client.send({"type": "frobnicate"})
+                assert client.read()["type"] == "error"
+            server.stop()
+        assert server.exit_code == 0
+
+
+@needs_fork
+class TestSigtermDrain:
+    def test_sigterm_finishes_inflight_and_leaves_no_orphans(self, tmp_path):
+        """Acceptance criterion: SIGTERM drain completes in-flight jobs,
+        exits 0, and leaves zero orphan worker processes."""
+        sock = str(tmp_path / "serve.sock")
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_MODEL_CACHE=str(tmp_path / "cache"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--workers", "2", "--quiet"],
+            cwd=str(REPO_ROOT), env=env)
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if os.path.exists(sock):
+                    try:
+                        with ServeClient(sock, timeout=5) as client:
+                            client.ping()
+                        break
+                    except OSError:
+                        pass
+                time.sleep(0.05)
+            else:
+                raise RuntimeError("daemon subprocess did not come up")
+
+            with ServeClient(sock, timeout=10) as client:
+                worker_pids = [w["pid"] for w in
+                               client.stats()["metrics"]["workers"]]
+            assert len(worker_pids) == 2 and all(worker_pids)
+
+            results = {}
+
+            def submit_slow():
+                with ServeClient(sock, timeout=120) as client:
+                    results["record"] = client.submit("collatz",
+                                                      cycles=SLOW_CYCLES)
+
+            submitter = threading.Thread(target=submit_slow, daemon=True)
+            submitter.start()
+            time.sleep(0.4)          # let the job reach a worker
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+            submitter.join(60)
+            assert results["record"]["status"] == "ok"
+            for pid in worker_pids:   # every child reaped, none orphaned
+                with pytest.raises(ProcessLookupError):
+                    os.kill(pid, 0)
+            assert not os.path.exists(sock)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+# ----------------------------------------------------------------------
+# CLI surface.
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            cli_main(["--version"])
+        assert info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    @needs_fork
+    def test_submit_and_stats_subcommands(self, serve_cache, capsys):
+        with DaemonThread(serve_cache, workers=1) as server:
+            code = cli_main(["submit", "collatz", "--socket",
+                             server.socket_path, "--cycles", "200",
+                             "--seed", "5"])
+            out = capsys.readouterr().out
+            assert code == 0
+            record = json.loads(out)
+            assert record["status"] == "ok" and record["seed"] == 5
+
+            code = cli_main(["stats", "--socket", server.socket_path])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "repro_serve_jobs_completed_total 1" in out
+            server.stop()
+        assert server.exit_code == 0
+
+    def test_submit_against_dead_socket_fails_cleanly(self, tmp_path,
+                                                      capsys):
+        code = cli_main(["submit", "collatz", "--socket",
+                         str(tmp_path / "nope.sock")])
+        assert code == 1
+        assert "submit failed" in capsys.readouterr().err
