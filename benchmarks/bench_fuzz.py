@@ -1,0 +1,60 @@
+"""Fuzz campaign throughput benchmark (``repro-fuzz-v1``).
+
+Runs a bounded, fixed-seed campaign through the real engine and records
+the numbers the campaign exists to maximize: seeds/second (how fast the
+differential oracle chews through the input space) and cumulative rule
+coverage (how much distinct design structure the corpus has exercised).
+On a clean toolchain the bucket count must be zero — a nonzero count
+here means the benchmark found a real divergence, which is a test
+failure, not a perf data point.
+
+Emits ``BENCH_fuzz.json``: the campaign's own BENCH payload plus the
+coverage trajectory (features after each batch), so successive runs can
+be compared point-for-point.
+"""
+
+import json
+import tempfile
+
+SEED_STOP = 24
+CYCLES = 16
+
+_RESULTS = {}
+
+
+def test_campaign_throughput():
+    from repro.fuzz import CampaignStore, run_campaign
+
+    root = tempfile.mkdtemp(prefix="repro-bench-fuzz-")
+    store = CampaignStore.create(root, {
+        "seed_start": 0, "seed_stop": SEED_STOP, "cycles": CYCLES,
+        "opts": [0, 2, 5], "include_rtl": True, "include_simplified": True,
+        "schedule_seeds": 1, "mutate": 1, "mutation_depth": 1,
+    })
+    trajectory = []
+    report = run_campaign(
+        store, batch=4,
+        progress=lambda _line: trajectory.append(
+            len(store.state["coverage"])))
+    payload = report.as_dict()
+    assert payload["buckets"] == 0, \
+        "the benchmark campaign found a real divergence — investigate!"
+    assert payload["executed_total"] >= SEED_STOP
+    payload["coverage_trajectory"] = trajectory
+    payload["config"] = {"seed_stop": SEED_STOP, "cycles": CYCLES}
+    _RESULTS["campaign"] = payload
+
+
+def teardown_module(module):
+    if "campaign" not in _RESULTS:
+        return
+    payload = _RESULTS["campaign"]
+    with open("BENCH_fuzz.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\n\nFuzz — {payload['executed_total']} jobs over "
+          f"{SEED_STOP} seeds: "
+          f"{payload['seeds_per_second'] or 0:.2f} seeds/s, "
+          f"{payload['coverage_features']} coverage feature(s) over "
+          f"{payload['rules_covered']} rule structure(s), "
+          f"{payload['buckets']} bucket(s)")
+    print("BENCH_fuzz.json written")

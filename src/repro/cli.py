@@ -333,6 +333,114 @@ def cmd_parallel(args) -> int:
     return 0
 
 
+def _fuzz_report(report, args) -> None:
+    import json
+
+    payload = report.as_dict()
+    rate = payload["seeds_per_second"]
+    print(f"[{payload['dispatch']}] executed {payload['executed_this_run']} "
+          f"job(s) in {payload['wall_seconds']:.3f}s"
+          + (f" ({rate:.2f} seeds/s)" if rate else ""))
+    print(f"coverage: {payload['coverage_features']} feature(s) over "
+          f"{payload['rules_covered']} rule structure(s); "
+          f"corpus {payload['corpus_entries']} entr(ies)")
+    print(f"buckets: {payload['buckets']} "
+          f"({payload['unreduced_buckets']} unreduced), "
+          f"divergences {payload['divergences']}, errors {payload['errors']}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+
+
+def _parse_seed_range(value: str):
+    start, _, stop = value.partition(":")
+    try:
+        return int(start or 0), int(stop)
+    except ValueError:
+        raise SystemExit(f"bad --seeds {value!r}; expected START:STOP")
+
+
+def cmd_fuzz_run(args) -> int:
+    from .fuzz import CampaignStore, run_campaign
+
+    start, stop = _parse_seed_range(args.seeds)
+    config = {
+        "seed_start": start, "seed_stop": stop, "cycles": args.cycles,
+        "opts": [int(o) for o in args.opts.split(",")],
+        "include_rtl": not args.no_rtl,
+        "include_simplified": not args.no_simplified,
+        "schedule_seeds": args.schedule_seeds,
+        "mutate": args.mutate, "mutation_depth": args.mutation_depth,
+    }
+    try:
+        store = CampaignStore.create(args.state, config, force=args.force)
+    except FileExistsError as exc:
+        raise SystemExit(str(exc))
+    report = run_campaign(store, workers=args.workers, server=args.server,
+                          batch=args.batch,
+                          progress=None if args.quiet else print)
+    _fuzz_report(report, args)
+    return 1 if store.bucket_slugs() else 0
+
+
+def cmd_fuzz_resume(args) -> int:
+    from .fuzz import CampaignStore, run_campaign
+
+    store = CampaignStore.open(args.state)
+    if args.seeds:
+        _, stop = _parse_seed_range(args.seeds)
+        store.config["seed_stop"] = max(stop,
+                                        int(store.config["seed_stop"]))
+        import json as _json
+        import os as _os
+
+        with open(_os.path.join(store.root, "config.json"), "w") as handle:
+            _json.dump(store.config, handle, indent=2, sort_keys=True)
+    report = run_campaign(store, workers=args.workers, server=args.server,
+                          batch=args.batch,
+                          progress=None if args.quiet else print)
+    _fuzz_report(report, args)
+    return 1 if store.bucket_slugs() else 0
+
+
+def cmd_fuzz_triage(args) -> int:
+    import json
+
+    from .fuzz import CampaignStore, triage_table
+
+    rows = triage_table(CampaignStore.open(args.state))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    if not rows:
+        print("no buckets: the campaign found no divergences or crashes")
+        return 0
+    print(f"{'count':>6}  {'reduced':<8}{'signature'}")
+    for row in rows:
+        print(f"{row['count']:>6}  "
+              f"{'yes' if row['reduced'] else 'no':<8}{row['signature']}")
+    return 0
+
+
+def cmd_fuzz_reduce(args) -> int:
+    from .fuzz import CampaignStore, reduce_buckets
+
+    store = CampaignStore.open(args.state)
+    done = reduce_buckets(store, budget=args.budget, only=args.bucket,
+                          progress=None if args.quiet else print)
+    if not done:
+        print("nothing to reduce: no unreduced buckets")
+    for slug, bucket in done:
+        print(f"{slug}: {bucket['n_rules']} rule(s), "
+              f"repro at {bucket['repro']}")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    return args.fuzz_fn(args)
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -458,6 +566,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="built-in RISC-V program (rv32 designs)")
     p.add_argument("--arg", type=int, default=100)
     p.set_defaults(fn=cmd_parallel)
+
+    p = sub.add_parser("fuzz", help="coverage-guided differential fuzzing "
+                                    "campaigns with triage and reduction")
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    def _fuzz_common(fp, dispatch: bool = True) -> None:
+        fp.add_argument("--state", default="fuzz-state", metavar="DIR",
+                        help="campaign state directory "
+                             "(default: %(default)s)")
+        fp.add_argument("--quiet", action="store_true")
+        if dispatch:
+            fp.add_argument("--workers", type=int, default=1,
+                            help="1 = serial in-process; >1 = simulation "
+                                 "fleet (default: %(default)s)")
+            fp.add_argument("--server", default=None, metavar="ADDR",
+                            help="dispatch batches to a running `repro "
+                                 "serve` daemon at this address")
+            fp.add_argument("--batch", type=int, default=None,
+                            help="jobs per persisted batch")
+            fp.add_argument("--json", default=None, metavar="PATH",
+                            help="write the repro-fuzz-v1 BENCH report")
+
+    fp = fuzz_sub.add_parser("run", help="start a new campaign")
+    _fuzz_common(fp)
+    fp.add_argument("--seeds", default="0:50", metavar="START:STOP",
+                    help="generator seed range (default: %(default)s)")
+    fp.add_argument("--cycles", type=int, default=32,
+                    help="cycles per differential check")
+    fp.add_argument("--opts", default="0,1,2,3,4,5",
+                    help="Cuttlesim opt levels to diff (comma-separated)")
+    fp.add_argument("--no-rtl", action="store_true",
+                    help="skip the RTL cycle simulator backend")
+    fp.add_argument("--no-simplified", action="store_true",
+                    help="skip the simplified-O5 backend")
+    fp.add_argument("--schedule-seeds", type=int, default=2,
+                    help="randomized-schedule trials per design")
+    fp.add_argument("--mutate", type=int, default=2,
+                    help="mutants queued per interesting corpus entry")
+    fp.add_argument("--mutation-depth", type=int, default=2,
+                    help="max mutation chain length")
+    fp.add_argument("--force", action="store_true",
+                    help="overwrite an existing campaign directory")
+    fp.set_defaults(fn=cmd_fuzz, fuzz_fn=cmd_fuzz_run)
+
+    fp = fuzz_sub.add_parser("resume", help="continue a campaign from its "
+                                            "saved RNG cursor")
+    _fuzz_common(fp)
+    fp.add_argument("--seeds", default=None, metavar="START:STOP",
+                    help="extend the campaign's seed range")
+    fp.set_defaults(fn=cmd_fuzz, fuzz_fn=cmd_fuzz_resume)
+
+    fp = fuzz_sub.add_parser("triage", help="list deduplicated failure "
+                                            "buckets")
+    _fuzz_common(fp, dispatch=False)
+    fp.add_argument("--json", default=None, metavar="PATH")
+    fp.set_defaults(fn=cmd_fuzz, fuzz_fn=cmd_fuzz_triage)
+
+    fp = fuzz_sub.add_parser("reduce", help="delta-debug each bucket to a "
+                                            "minimal repro script")
+    _fuzz_common(fp, dispatch=False)
+    fp.add_argument("--bucket", default=None, metavar="SLUG",
+                    help="reduce one bucket instead of all unreduced ones")
+    fp.add_argument("--budget", type=int, default=400,
+                    help="max reduction check runs per bucket")
+    fp.set_defaults(fn=cmd_fuzz, fuzz_fn=cmd_fuzz_reduce)
 
     p = sub.add_parser("serve", help="persistent batch-simulation daemon "
                                      "(repro-serve-v1)")

@@ -1,0 +1,34 @@
+"""Coverage-guided differential fuzzing campaigns (``repro fuzz``).
+
+The paper's §4.2 debugging methodology — coverage counters as free
+architectural statistics, scheduler randomization as a bug-finding tool —
+scaled from one-shot checks into a persistent campaign:
+
+* :mod:`repro.fuzz.executor` — the per-seed work unit: generate a design,
+  run every backend differentially (all opt levels + RTL + randomized
+  schedules), and collect structural coverage features from the
+  instrumented model;
+* :mod:`repro.fuzz.store` — the resumable on-disk campaign state (corpus,
+  coverage map, triage buckets, RNG cursor);
+* :mod:`repro.fuzz.campaign` — the engine: draws seeds, mutates
+  interesting corpus entries, dispatches batches serially, on the
+  simulation fleet, or through a running ``repro serve`` daemon;
+* :mod:`repro.fuzz.reduce` — delta-debugging reducer that shrinks a
+  failing design (drop rules, truncate schedules, shrink register widths,
+  prune expressions, lower cycle counts) while re-checking that the
+  divergence still reproduces;
+* :mod:`repro.fuzz.emit` — emits each reduced bucket as a minimal
+  standalone ``repro.py`` script.
+"""
+
+from .campaign import (CampaignReport, reduce_buckets, run_campaign,
+                       triage_table)
+from .executor import SeedJob, build_design, run_seed_job, verify_design
+from .reduce import reduce_bucket
+from .store import CampaignStore
+
+__all__ = [
+    "CampaignReport", "CampaignStore", "SeedJob", "build_design",
+    "reduce_bucket", "reduce_buckets", "run_campaign", "run_seed_job",
+    "triage_table", "verify_design",
+]

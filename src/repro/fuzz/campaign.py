@@ -1,0 +1,266 @@
+"""The campaign engine: batches of seed jobs, three dispatch paths.
+
+One loop drives every mode: take the next batch from the store (queued
+mutants first, then fresh generator seeds), execute it, fold the
+outcomes back in deterministic job order, persist, repeat.  Execution is
+pluggable:
+
+* **serial** (``workers=1``) — in-process, the reference semantics;
+* **fleet** (``workers>1``) — forked workers via
+  :func:`repro.harness.parallel.run_fleet`, crash-isolated;
+* **server** (``server=ADDR``) — jobs become ``mode="fuzz"`` specs
+  pipelined over one socket to a running ``repro serve`` daemon, whose
+  resident warm-cache workers absorb the compile cost.
+
+All three record the exact same outcomes for the same seed list — the
+per-seed work unit is one function (:func:`repro.fuzz.executor.run_seed_job`)
+and outcomes are JSON-safe, so the store contents are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .executor import SeedJob, run_seed_job
+from .store import CampaignStore, slugify
+
+__all__ = ["CampaignReport", "run_campaign", "reduce_buckets",
+           "triage_table"]
+
+BENCH_SCHEMA = "repro-fuzz-v1"
+
+
+@dataclass
+class CampaignReport:
+    """One ``run``/``resume`` invocation's results + campaign aggregates."""
+
+    store: CampaignStore
+    executed: int = 0
+    wall_seconds: float = 0.0
+    dispatch: str = "serial"
+    outcomes: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def seeds_per_second(self) -> Optional[float]:
+        if not self.wall_seconds or not self.executed:
+            return None
+        return self.executed / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """The ``BENCH_fuzz.json`` perf-trajectory payload."""
+        state = self.store.state
+        stats = state["stats"]
+        rules_covered = {feature.split(":")[1]
+                         for feature in state["coverage"]}
+        rate = self.seeds_per_second
+        return {
+            "schema": BENCH_SCHEMA,
+            "dispatch": self.dispatch,
+            "seeds_requested": int(self.store.config["seed_stop"])
+            - int(self.store.config["seed_start"]),
+            "executed_this_run": self.executed,
+            "executed_total": state["executed"],
+            "wall_seconds": round(self.wall_seconds, 6),
+            "seeds_per_second": round(rate, 3) if rate else None,
+            "coverage_features": len(state["coverage"]),
+            "rules_covered": len(rules_covered),
+            "corpus_entries": len(state["corpus"]),
+            "buckets": len(self.store.bucket_slugs()),
+            "unreduced_buckets": len(self.store.unreduced_buckets()),
+            "ok": stats.get("ok", 0),
+            "divergences": stats.get("divergence", 0),
+            "errors": stats.get("error", 0),
+        }
+
+
+# ----------------------------------------------------------------------
+# Batch executors.
+# ----------------------------------------------------------------------
+
+def _execute_serial(jobs: Sequence[SeedJob]) -> List[Dict[str, object]]:
+    return [run_seed_job(job) for job in jobs]
+
+
+def _execute_fleet(jobs: Sequence[SeedJob],
+                   workers: Optional[int]) -> List[Dict[str, object]]:
+    from ..harness.parallel import Trial, run_fleet
+
+    def make_trial(job: SeedJob) -> Trial:
+        return Trial(name=f"fuzz-{job.seed}-{'.'.join(map(str, job.mutations))}",
+                     fn=lambda job=job: run_seed_job(job))
+
+    fleet = run_fleet([make_trial(job) for job in jobs], workers=workers)
+    outcomes: List[Dict[str, object]] = []
+    for job, result in zip(jobs, fleet.results):
+        if result.ok:
+            outcomes.append(result.observation)
+        else:
+            # A crashed/hung worker is itself a campaign finding.
+            error = result.error or {"type": result.status, "message": "?"}
+            outcomes.append({
+                "seed": job.seed, "mutations": list(job.mutations),
+                "status": "error", "divergence": None, "coverage": [],
+                "n_rules": None, "cycles": job.cycles,
+                "error": {"type": error.get("type", result.status),
+                          "message": error.get("message", "")},
+                "signature": f"worker:@{result.status}:"
+                             f"{error.get('type', result.status)}",
+            })
+    return outcomes
+
+
+def _execute_server(jobs: Sequence[SeedJob],
+                    server: str) -> List[Dict[str, object]]:
+    """Pipeline the batch over one socket to a ``repro serve`` daemon."""
+    from ..server.client import ServeClient
+    from ..server.protocol import JobSpec
+
+    with ServeClient(server) as client:
+        for index, job in enumerate(jobs):
+            spec = JobSpec(design=f"fuzz-{job.seed}", cycles=job.cycles,
+                           mode="fuzz", fuzz=job.as_dict())
+            client.send({"type": "submit", "id": index,
+                         "job": spec.as_payload()})
+        records: Dict[int, Dict[str, object]] = {}
+        while len(records) < len(jobs):
+            response = client.read()
+            client._raise_for(response)
+            if response.get("type") == "result":
+                records[int(response["id"])] = response["record"]
+    outcomes = []
+    for index, job in enumerate(jobs):
+        record = records[index]
+        if record.get("status") == "ok":
+            outcomes.append(record["observation"])
+        else:
+            error = record.get("error") or {}
+            outcomes.append({
+                "seed": job.seed, "mutations": list(job.mutations),
+                "status": "error", "divergence": None, "coverage": [],
+                "n_rules": None, "cycles": job.cycles,
+                "error": {"type": error.get("type", record.get("status")),
+                          "message": error.get("message", "")},
+                "signature": f"worker:@{record.get('status')}:"
+                             f"{error.get('type', record.get('status'))}",
+            })
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# The campaign loop.
+# ----------------------------------------------------------------------
+
+def run_campaign(store: CampaignStore, workers: int = 1,
+                 server: Optional[str] = None, batch: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignReport:
+    """Run (or continue) a campaign until its seed space is exhausted.
+
+    State is persisted after every batch, so interrupting and resuming
+    never re-runs a completed job and never skips an issued one.
+    """
+    dispatch = "server" if server else ("fleet" if workers and workers != 1
+                                        else "serial")
+    if batch is None:
+        batch = 8 if dispatch == "serial" else max(8, (workers or 8) * 2)
+    report = CampaignReport(store=store, dispatch=dispatch)
+    started = time.perf_counter()
+    while not store.exhausted:
+        jobs = store.next_jobs(batch)
+        if server:
+            outcomes = _execute_server(jobs, server)
+        elif dispatch == "fleet":
+            outcomes = _execute_fleet(jobs, workers)
+        else:
+            outcomes = _execute_serial(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            store.record_outcome(job, outcome)
+            report.outcomes.append(outcome)
+        report.executed += len(jobs)
+        report.wall_seconds = time.perf_counter() - started
+        store.save()
+        if progress is not None:
+            state = store.state
+            progress(f"cursor {state['cursor']}/{store.config['seed_stop']}"
+                     f"  pending {len(state['pending'])}"
+                     f"  coverage {len(state['coverage'])}"
+                     f"  buckets {len(store.bucket_slugs())}")
+    report.wall_seconds = time.perf_counter() - started
+    store.state["wall_seconds"] = round(
+        store.state.get("wall_seconds", 0.0) + report.wall_seconds, 3)
+    store.save()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Triage and reduction.
+# ----------------------------------------------------------------------
+
+def triage_table(store: CampaignStore) -> List[Dict[str, object]]:
+    """One row per bucket: signature, hit count, reduction status."""
+    rows = []
+    for slug in store.bucket_slugs():
+        bucket = store.load_bucket(slug) or {}
+        divergence = (bucket.get("first_outcome") or {}).get("divergence") \
+            or {}
+        rows.append({
+            "slug": slug,
+            "signature": bucket.get("signature"),
+            "count": bucket.get("count", 0),
+            "reduced": bool(bucket.get("reduced")),
+            "repro": bucket.get("repro"),
+            "cycle": divergence.get("cycle"),
+            "backend": divergence.get("backend"),
+            "register": divergence.get("register"),
+        })
+    return rows
+
+
+def reduce_buckets(store: CampaignStore, budget: int = 400,
+                   only: Optional[str] = None,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> List[Tuple[str, Dict[str, object]]]:
+    """Reduce every unreduced bucket; emit ``corpus/<slug>/repro.py``."""
+    from .emit import repro_script
+    from .reduce import reduce_bucket
+
+    done: List[Tuple[str, Dict[str, object]]] = []
+    slugs = [only] if only else store.unreduced_buckets()
+    for slug in slugs:
+        bucket = store.load_bucket(slug)
+        if bucket is None:
+            raise FileNotFoundError(f"no bucket {slug!r} in {store.root}")
+        job = SeedJob.from_dict(bucket["first_job"])
+        signature = bucket["signature"]
+        if progress is not None:
+            progress(f"reducing {slug} (signature {signature})")
+        reduced = reduce_bucket(job, signature, budget=budget)
+        final = reduced.job
+        script = repro_script(
+            reduced.design, signature=signature, cycles=final.cycles,
+            opts=final.opts, include_rtl=final.include_rtl,
+            include_simplified=final.include_simplified,
+            schedule_seeds=final.schedule_seeds,
+            name=f"repro_{slugify(signature)[:40]}",
+            provenance={"seed": final.seed,
+                        "mutations": list(final.mutations),
+                        "reductions": len(final.reductions),
+                        "checks": reduced.checks})
+        path = store.write_repro(slug, script)
+        bucket.update({
+            "reduced": True,
+            "reduced_job": final.as_dict(),
+            "repro": os.path.relpath(path, store.root),
+            "checks": reduced.checks,
+            "n_rules": len(reduced.design.rules),
+        })
+        store.save_bucket(slug, bucket)
+        done.append((slug, bucket))
+        if progress is not None:
+            progress(f"  -> {len(reduced.design.rules)} rule(s), "
+                     f"{final.cycles} cycle(s), {reduced.checks} checks, "
+                     f"{bucket['repro']}")
+    return done

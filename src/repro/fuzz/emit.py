@@ -1,0 +1,149 @@
+"""Emit a design as a minimal standalone Python repro script.
+
+The reducer's output must outlive the campaign that found it: a bucket's
+``repro.py`` rebuilds the (reduced) design from first principles with the
+public DSL — no generator seed, mutation chain, or reduction replay
+required — and re-runs exactly the differential check that diverged.
+Checked into ``tests/corpus/`` it becomes a permanent regression test.
+
+Only the node kinds the fuzzer generates are supported (constants,
+variables, lets, sequences, conditionals, aborts, reads, writes, unops,
+binops); designs with structs, internal functions, or external calls are
+rejected rather than mis-emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CompileError
+from ..koika.ast import (Abort, Action, Assign, Binop, Const, If, Let,
+                         Read, Seq, Unop, Var, Write)
+from ..koika.design import Design
+
+__all__ = ["design_to_python", "repro_script"]
+
+
+def _emit_action(node: Action) -> str:
+    if isinstance(node, Const):
+        if node.typ is not None and node.typ.width == 0:
+            return "unit()"
+        width = node.typ.width if node.typ is not None else None
+        return f"C({node.value}, {width})" if width is not None \
+            else f"C({node.value})"
+    if isinstance(node, Var):
+        return f"V({node.name!r})"
+    if isinstance(node, Let):
+        return (f"Let({node.name!r}, {_emit_action(node.value)}, "
+                f"{_emit_action(node.body)}"
+                + (", mutable=True" if node.mutable else "") + ")")
+    if isinstance(node, Assign):
+        return f"Assign({node.name!r}, {_emit_action(node.value)})"
+    if isinstance(node, Seq):
+        return "Seq(" + ", ".join(_emit_action(a) for a in node.actions) + ")"
+    if isinstance(node, If):
+        parts = [_emit_action(node.cond), _emit_action(node.then)]
+        if node.orelse is not None:
+            parts.append(_emit_action(node.orelse))
+        return "If(" + ", ".join(parts) + ")"
+    if isinstance(node, Abort):
+        return "Abort()"
+    if isinstance(node, Read):
+        return f"Read({node.reg!r}, {node.port})"
+    if isinstance(node, Write):
+        return f"Write({node.reg!r}, {node.port}, {_emit_action(node.value)})"
+    if isinstance(node, Unop):
+        param = "" if node.param is None else f", param={node.param!r}"
+        return f"Unop({node.op!r}, {_emit_action(node.arg)}{param})"
+    if isinstance(node, Binop):
+        return (f"Binop({node.op!r}, {_emit_action(node.a)}, "
+                f"{_emit_action(node.b)})")
+    raise CompileError(
+        f"cannot emit {node.kind!r} nodes as a standalone repro script")
+
+
+def design_to_python(design: Design, name: Optional[str] = None,
+                     indent: str = "    ") -> str:
+    """The body of a ``build_design()`` function rebuilding ``design``."""
+    if design.fns or design.extfuns:
+        raise CompileError("cannot emit designs with functions or extfuns")
+    lines: List[str] = [f"d = Design({(name or design.name)!r})"]
+    for register in design.registers.values():
+        lines.append(f"d.reg({register.name!r}, bits({register.typ.width}), "
+                     f"init={register.init})")
+    for rule in design.rules.values():
+        lines.append(f"d.rule({rule.name!r}, {_emit_action(rule.body)})")
+    schedule = ", ".join(repr(r) for r in design.scheduler)
+    lines.append(f"d.schedule({schedule})")
+    lines.append("return d.finalize()")
+    return "\n".join(indent + line for line in lines)
+
+
+def repro_script(design: Design, *, signature: str, cycles: int,
+                 opts=(), include_rtl: bool = False,
+                 include_simplified: bool = False, schedule_seeds=(),
+                 provenance: Optional[Dict[str, object]] = None,
+                 name: Optional[str] = None) -> str:
+    """A standalone, executable repro module for a reduced bucket.
+
+    Run directly it re-checks the divergence (exits loudly while the bug
+    is live, quietly once fixed); imported by the regression-corpus hook
+    it exposes ``build_design()`` and ``CHECK_KWARGS``.
+    """
+    header = [
+        '"""Minimal repro emitted by `repro fuzz reduce`.',
+        "",
+        f"bucket signature: {signature}",
+    ]
+    if provenance:
+        for key in sorted(provenance):
+            header.append(f"{key}: {provenance[key]}")
+    header += [
+        "",
+        "Standalone: `python repro.py` re-runs the differential check that",
+        "diverged (raises DivergenceError while the bug is present).  The",
+        "tests/corpus/ hook imports it and asserts the check passes.",
+        '"""',
+    ]
+    body = design_to_python(design, name=name)
+    check_kwargs = (f"dict(cycles={cycles}, opts={tuple(opts)!r}, "
+                    f"include_rtl={include_rtl}, "
+                    f"include_simplified={include_simplified}, "
+                    f"schedule_seeds={tuple(schedule_seeds)!r})")
+    return "\n".join(header + [
+        "",
+        "import os as _os, sys as _sys",
+        "",
+        "# The script is conventionally named repro.py, which would shadow",
+        "# the repro package when run directly — drop its own directory.",
+        "_here = _os.path.dirname(_os.path.abspath(__file__))",
+        "_sys.path[:] = [p for p in _sys.path",
+        "                if _os.path.abspath(p or _os.getcwd()) != _here]",
+        "",
+        "from repro.koika.ast import (Abort, Assign, Binop, C, If, Let, "
+        "Read, Seq,",
+        "                             Unop, V, Write, unit)",
+        "from repro.koika.design import Design",
+        "from repro.koika.types import bits",
+        "",
+        f"SIGNATURE = {signature!r}",
+        f"CYCLES = {cycles}",
+        f"CHECK_KWARGS = {check_kwargs}",
+        "",
+        "",
+        "def build_design():",
+        body,
+        "",
+        "",
+        "def check():",
+        "    from repro.fuzz.executor import verify_design",
+        "",
+        "    verify_design(build_design(), **CHECK_KWARGS)",
+        "",
+        "",
+        'if __name__ == "__main__":',
+        "    check()",
+        '    print("no divergence: the bug this repro was reduced from is '
+        'fixed")',
+        "",
+    ])

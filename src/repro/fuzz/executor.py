@@ -1,0 +1,298 @@
+"""The fuzz campaign's per-seed work unit.
+
+A :class:`SeedJob` is a *recipe*, not a design: a generator seed, an
+optional chain of mutation indices (:mod:`repro.testing.mutation`), and an
+optional chain of reduction operations (:mod:`repro.fuzz.reduce`).
+Rebuilding the design from the recipe is deterministic, which is what
+makes the campaign store tiny (a few integers per corpus entry), resume
+exact, and server-dispatched jobs byte-comparable with serial ones.
+
+:func:`run_seed_job` executes one job end to end — build the design, run
+the reference interpreter, diff every requested backend against it
+(Cuttlesim opt levels, the simplified O5 variant, the RTL cycle
+simulator, and per-cycle randomized schedules replayed in lockstep on the
+interpreter), and collect coverage features from an instrumented model —
+and returns a JSON-safe outcome dict.  All failures are captured, never
+raised: a divergence becomes ``status="divergence"`` with the structured
+:class:`~repro.testing.differential.DivergenceError` fields, any other
+exception becomes ``status="error"``; both carry a stable triage
+signature (backend pair + first divergent register + exception type).
+
+Coverage features are *structural*: each feature names a rule by a hash
+of its pretty-printed body (not by its generated name), so two designs —
+or a design and its mutant — that share a rule body share that rule's
+features, and "new coverage" is meaningful across the whole campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..debug.coverage import CoverageReport
+from ..koika.design import Design
+from ..koika.pretty import pretty_action
+from ..testing.differential import (DivergenceError, collect_trace,
+                                    compare_traces, interpreter_trace)
+from ..testing.generators import random_design
+from ..testing.mutation import enumerate_mutations
+
+#: Opt level used for the instrumented coverage build (kept fixed so a
+#: campaign's coverage map is comparable regardless of which opt levels a
+#: particular job diffed).
+COVERAGE_OPT = 2
+
+#: Hit-count buckets, AFL-style: a count maps to its bit length, capped —
+#: a rule fired 5 times vs 6 times is the same feature, 5 vs 500 is not.
+_BUCKET_CAP = 8
+
+
+@dataclass(frozen=True)
+class SeedJob:
+    """One unit of campaign work, fully described by plain data."""
+
+    seed: int
+    mutations: Tuple[int, ...] = ()
+    reductions: Tuple[Tuple, ...] = ()
+    cycles: int = 32
+    opts: Tuple[int, ...] = (0, 1, 2, 3, 4, 5)
+    include_rtl: bool = True
+    include_simplified: bool = True
+    schedule_seeds: Tuple[int, ...] = (0, 1)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "mutations": list(self.mutations),
+            "reductions": [list(op) for op in self.reductions],
+            "cycles": self.cycles,
+            "opts": list(self.opts),
+            "include_rtl": self.include_rtl,
+            "include_simplified": self.include_simplified,
+            "schedule_seeds": list(self.schedule_seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SeedJob":
+        return cls(
+            seed=int(payload["seed"]),
+            mutations=tuple(payload.get("mutations", ())),
+            reductions=tuple(tuple(op) for op
+                             in payload.get("reductions", ())),
+            cycles=int(payload.get("cycles", 32)),
+            opts=tuple(payload.get("opts", (0, 1, 2, 3, 4, 5))),
+            include_rtl=bool(payload.get("include_rtl", True)),
+            include_simplified=bool(payload.get("include_simplified", True)),
+            schedule_seeds=tuple(payload.get("schedule_seeds", (0, 1))),
+        )
+
+    def narrowed(self, **changes) -> "SeedJob":
+        return replace(self, **changes)
+
+
+def build_design(job: SeedJob) -> Design:
+    """Deterministically rebuild a job's design from its recipe."""
+    from ..koika.typecheck import typecheck_design
+
+    design = random_design(job.seed)
+    for index in job.mutations:
+        mutations = enumerate_mutations(design)
+        mutations[index % len(mutations)].apply()
+        typecheck_design(design)
+        design.finalized = True
+    if job.reductions:
+        from .reduce import apply_reductions
+
+        design = apply_reductions(design, job.reductions)
+    return design
+
+
+# ----------------------------------------------------------------------
+# Coverage features.
+# ----------------------------------------------------------------------
+
+def rule_structure_hash(design: Design, rule_name: str) -> str:
+    """A short hash of a rule's pretty-printed body — stable across
+    regenerations, generated rule names, and unrelated designs."""
+    body = pretty_action(design.rules[rule_name].body)
+    return hashlib.sha1(body.encode()).hexdigest()[:10]
+
+
+def _bucket(count: int) -> int:
+    return min(count.bit_length(), _BUCKET_CAP)
+
+
+def coverage_features(design: Design, cycles: int) -> List[str]:
+    """Run an instrumented build and distill its counters into features.
+
+    Two feature families, both keyed by structural rule hash:
+
+    * ``rule:<hash>:{entries,commits,failures}:<bucket>`` — the
+      :class:`CoverageReport` per-rule counters (the paper's free
+      architectural statistics);
+    * ``block:<hash>:<kind><ordinal>:<bucket>`` — per-basic-block hit
+      buckets (branch-level feedback inside each rule).
+    """
+    from ..cuttlesim.codegen import compile_model
+
+    model_cls = compile_model(design, opt=COVERAGE_OPT, instrument=True,
+                              warn_goldberg=False)
+    model = model_cls()
+    model.run(cycles)
+    report = CoverageReport(model)
+    hashes = {rule: rule_structure_hash(design, rule)
+              for rule in design.rules}
+    features = set()
+    for rule, counters in report.summary().items():
+        rhash = hashes[rule]
+        for kind, count in counters.items():
+            features.add(f"rule:{rhash}:{kind}:{_bucket(count)}")
+    ordinals: Dict[str, int] = {}
+    for block_id, rule, kind, _uid in report.blocks:
+        ordinal = ordinals.get(rule, 0)
+        ordinals[rule] = ordinal + 1
+        count = report.counts[block_id]
+        if count:
+            features.add(f"block:{hashes[rule]}:{kind}{ordinal}:"
+                         f"{_bucket(count)}")
+    return sorted(features)
+
+
+# ----------------------------------------------------------------------
+# Differential verification.
+# ----------------------------------------------------------------------
+
+def _schedule_orders(design: Design, schedule_seed: int,
+                     cycles: int) -> List[List[str]]:
+    """The per-cycle rule orders for one randomized-schedule trial,
+    derived only from the schedule seed and the rule list."""
+    rng = random.Random(0x5EED ^ (schedule_seed * 2654435761))
+    rules = list(design.scheduler)
+    orders = []
+    for _ in range(cycles):
+        rng.shuffle(rules)
+        orders.append(list(rules))
+    return orders
+
+
+def verify_design(design: Design, cycles: int = 32,
+                  opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                  include_rtl: bool = True,
+                  include_simplified: bool = True,
+                  schedule_seeds: Sequence[int] = (0, 1),
+                  cache=None) -> None:
+    """Differentially verify ``design``; raise on the first disagreement.
+
+    This is the campaign's check function *and* what emitted repro
+    scripts call: interpreter vs every requested Cuttlesim level, the
+    simplified O5 variant, the RTL cycle simulator, and — for each
+    schedule seed — a per-cycle random rule order replayed in lockstep on
+    the interpreter (case study 2 as a fuzzing oracle).  Raises a
+    structured :class:`DivergenceError` or the backend's own exception.
+    """
+    from ..cuttlesim.codegen import compile_model
+
+    registers = list(design.registers)
+    reference = interpreter_trace(design, cycles)
+
+    def check(backend: str, sim) -> None:
+        compare_traces(design.name, backend, collect_trace(sim, registers,
+                                                           cycles),
+                       reference, registers)
+
+    for opt in opts:
+        cls = compile_model(design, opt=opt, warn_goldberg=False,
+                            cache=cache)
+        check(f"cuttlesim-O{opt}", cls())
+    if include_simplified and 5 in opts:
+        cls = compile_model(design, opt=5, simplify=True,
+                            warn_goldberg=False, cache=cache)
+        check("cuttlesim-O5-simplified", cls())
+    if include_rtl:
+        from ..rtl.cycle_sim import compile_cycle_sim
+
+        check("rtl-cycle", compile_cycle_sim(design)())
+
+    if schedule_seeds:
+        from ..semantics.interp import Interpreter
+
+        sched_cls = compile_model(design, opt=5, order_independent=True,
+                                  warn_goldberg=False, cache=cache)
+        for schedule_seed in schedule_seeds:
+            orders = _schedule_orders(design, schedule_seed, cycles)
+            backend = f"cuttlesim-O5-sched{schedule_seed}"
+            interp = Interpreter(design)
+            model = sched_cls()
+            trace, ref = [], []
+            for order in orders:
+                committed = model.run_cycle(order=order)
+                trace.append((None if committed is None
+                              else tuple(committed),
+                              tuple(int(model.peek(r))
+                                    for r in registers)))
+                report = interp.run_cycle(rule_order=order)
+                ref.append((tuple(report.committed),
+                            tuple(int(interp.peek(r)) for r in registers)))
+            compare_traces(design.name, backend, trace, ref, registers,
+                           reference_name="interpreter (same order)")
+
+
+# ----------------------------------------------------------------------
+# Signatures and outcomes.
+# ----------------------------------------------------------------------
+
+def signature_for(backend: Optional[str], register: Optional[str],
+                  exc_type: str) -> str:
+    """The stable triage bucket key: backend pair + first divergent
+    register + exception type (commit divergences use ``@commits``)."""
+    return f"{backend or 'generate'}:{register or '@commits'}:{exc_type}"
+
+
+def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
+    """Execute one campaign job; return its JSON-safe outcome record."""
+    outcome: Dict[str, object] = {
+        "seed": job.seed,
+        "mutations": list(job.mutations),
+        "status": "ok",
+        "signature": None,
+        "divergence": None,
+        "error": None,
+        "coverage": [],
+        "n_rules": None,
+        "cycles": job.cycles,
+    }
+    try:
+        design = build_design(job)
+    except Exception as exc:
+        outcome["status"] = "error"
+        outcome["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        outcome["signature"] = signature_for(None, None, type(exc).__name__)
+        return outcome
+    outcome["n_rules"] = len(design.rules)
+
+    try:
+        outcome["coverage"] = coverage_features(design, job.cycles)
+    except Exception as exc:
+        # Coverage is feedback, not an oracle: a crashing instrumented
+        # build surfaces as a normal backend failure below.
+        outcome["coverage"] = []
+        del exc
+
+    try:
+        verify_design(design, cycles=job.cycles, opts=job.opts,
+                      include_rtl=job.include_rtl,
+                      include_simplified=job.include_simplified,
+                      schedule_seeds=job.schedule_seeds, cache=cache)
+    except DivergenceError as exc:
+        outcome["status"] = "divergence"
+        outcome["divergence"] = exc.as_dict()
+        outcome["signature"] = signature_for(exc.backend, exc.register,
+                                             "DivergenceError")
+    except Exception as exc:
+        outcome["status"] = "error"
+        outcome["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        outcome["signature"] = signature_for("backend", None,
+                                             type(exc).__name__)
+    return outcome

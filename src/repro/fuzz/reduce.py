@@ -1,0 +1,311 @@
+"""Delta-debugging reducer for failing fuzz jobs.
+
+A reduction is a list of serializable operations applied, in order, to
+the design rebuilt from a job's recipe (seed + mutations).  Each
+operation either shrinks the design or is rejected because the shrunk
+candidate no longer reproduces the bucket's divergence signature:
+
+* ``["drop-rule", name]`` — delete a rule and its scheduler entry;
+* ``["truncate-schedule", k]`` — keep only the first ``k`` scheduler
+  entries (the dropped rules become dead and fall to ``drop-rule``);
+* ``["shrink-reg", name, width]`` — narrow a register: reads are
+  zero-extended back to the old width and written values truncated, so
+  the design still typechecks while the state space shrinks;
+* ``["prune", rule, index, mode]`` — replace the ``index``-th node (in
+  pre-order) of a rule body with a constant zero (``mode="zero"``) or
+  collapse an ``If`` to one branch (``mode="then"`` / ``mode="else"``).
+
+Cycle counts and the backend matrix are narrowed on the job itself
+(``cycles=``, ``opts=``, ``schedule_seeds=``), not as design operations.
+
+:func:`reduce_bucket` runs the standard greedy loop: narrow the backend
+matrix to the diverging pair, drop the cycle count to just past the
+divergence, then iterate rule dropping, schedule truncation, register
+shrinking, and expression pruning to a fixpoint (or until the check
+budget runs out).  Every accepted candidate must reproduce the *same*
+signature — shrinking must never wander onto a different bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..koika.ast import (Action, Assign, Binop, Call, Const, ExtCall,
+                         GetField, If, Let, Read, Seq, SubstField, Unop,
+                         Write, walk)
+from ..koika.design import Design
+from ..koika.types import bits, mask
+from .executor import SeedJob, build_design, run_seed_job
+
+__all__ = ["apply_reductions", "reduce_bucket", "rewrite", "ReducedBucket"]
+
+
+# ----------------------------------------------------------------------
+# AST rewriting.
+# ----------------------------------------------------------------------
+
+def rewrite(node: Action, fn: Callable[[Action], Optional[Action]]) -> Action:
+    """Post-order rewrite: rebuild children in place, then let ``fn``
+    replace the node itself (return ``None`` to keep it)."""
+    if isinstance(node, Let):
+        node.value = rewrite(node.value, fn)
+        node.body = rewrite(node.body, fn)
+    elif isinstance(node, (Assign, Write)):
+        node.value = rewrite(node.value, fn)
+    elif isinstance(node, Seq):
+        node.actions = tuple(rewrite(a, fn) for a in node.actions)
+    elif isinstance(node, If):
+        node.cond = rewrite(node.cond, fn)
+        node.then = rewrite(node.then, fn)
+        if node.orelse is not None:
+            node.orelse = rewrite(node.orelse, fn)
+    elif isinstance(node, Unop):
+        node.arg = rewrite(node.arg, fn)
+    elif isinstance(node, Binop):
+        node.a = rewrite(node.a, fn)
+        node.b = rewrite(node.b, fn)
+    elif isinstance(node, GetField):
+        node.arg = rewrite(node.arg, fn)
+    elif isinstance(node, SubstField):
+        node.arg = rewrite(node.arg, fn)
+        node.value = rewrite(node.value, fn)
+    elif isinstance(node, ExtCall):
+        node.arg = rewrite(node.arg, fn)
+    elif isinstance(node, Call):
+        node.args = tuple(rewrite(a, fn) for a in node.args)
+    replacement = fn(node)
+    return node if replacement is None else replacement
+
+
+# ----------------------------------------------------------------------
+# Reduction operations.
+# ----------------------------------------------------------------------
+
+def _drop_rule(design: Design, name: str) -> None:
+    if name not in design.rules or len(design.rules) <= 1:
+        raise ValueError(f"cannot drop rule {name!r}")
+    del design.rules[name]
+    design.scheduler = [r for r in design.scheduler if r != name]
+
+
+def _truncate_schedule(design: Design, keep: int) -> None:
+    if not 1 <= keep < len(design.scheduler):
+        raise ValueError(f"cannot truncate schedule to {keep}")
+    dropped = design.scheduler[keep:]
+    design.scheduler = design.scheduler[:keep]
+    for name in dropped:  # unscheduled rules are dead weight: delete them
+        if len(design.rules) > 1:
+            del design.rules[name]
+
+
+def _shrink_register(design: Design, name: str, new_width: int) -> None:
+    register = design.registers[name]
+    old_width = register.typ.width
+    if not 1 <= new_width < old_width:
+        raise ValueError(f"cannot shrink {name} from {old_width} to "
+                         f"{new_width}")
+    register.typ = bits(new_width)
+    register.init = register.init & mask(new_width)
+
+    def fn(node: Action) -> Optional[Action]:
+        if isinstance(node, Read) and node.reg == name:
+            return Unop("zextl", Read(node.reg, node.port), param=old_width)
+        if isinstance(node, Write) and node.reg == name:
+            node.value = Unop("slice", node.value, param=(0, new_width))
+        return None
+
+    for rule in design.rules.values():
+        rule.body = rewrite(rule.body, fn)
+
+
+def _prune(design: Design, rule_name: str, index: int, mode: str) -> None:
+    rule = design.rules[rule_name]
+    nodes = list(walk(rule.body))
+    target = nodes[index]
+    if mode == "zero":
+        if target.typ is None:
+            raise ValueError("cannot zero an untyped node")
+        replacement: Action = Const(0, target.typ)
+    elif mode in ("then", "else"):
+        if not isinstance(target, If):
+            raise ValueError(f"prune mode {mode!r} needs an If node")
+        branch = target.then if mode == "then" else target.orelse
+        if branch is None:
+            raise ValueError("If has no else branch")
+        replacement = branch
+    else:
+        raise ValueError(f"unknown prune mode {mode!r}")
+
+    def fn(node: Action) -> Optional[Action]:
+        return replacement if node is target else None
+
+    rule.body = rewrite(rule.body, fn)
+
+
+def apply_reductions(design: Design, reductions: Sequence[Sequence]) -> Design:
+    """Apply a reduction chain in place; re-typecheck after each step.
+
+    Raises (``ValueError``, ``KoikaTypeError``, ...) when a step does not
+    apply — the reducer treats that as a rejected candidate.
+    """
+    from ..koika.typecheck import typecheck_design
+
+    for op in reductions:
+        kind, args = op[0], list(op[1:])
+        if kind == "drop-rule":
+            _drop_rule(design, args[0])
+        elif kind == "truncate-schedule":
+            _truncate_schedule(design, int(args[0]))
+        elif kind == "shrink-reg":
+            _shrink_register(design, args[0], int(args[1]))
+        elif kind == "prune":
+            _prune(design, args[0], int(args[1]), args[2])
+        else:
+            raise ValueError(f"unknown reduction {kind!r}")
+        typecheck_design(design)
+        design.finalized = True
+    return design
+
+
+# ----------------------------------------------------------------------
+# The reducer.
+# ----------------------------------------------------------------------
+
+@dataclass
+class ReducedBucket:
+    """What the reducer hands back: the minimized recipe and its design."""
+
+    job: SeedJob
+    design: Design
+    signature: str
+    checks: int
+    converged: bool
+
+
+def _default_check(signature: str, cache=None):
+    def check(job: SeedJob) -> bool:
+        return run_seed_job(job, cache=cache)["signature"] == signature
+
+    return check
+
+
+def reduce_bucket(job: SeedJob, signature: str,
+                  check: Optional[Callable[[SeedJob], bool]] = None,
+                  budget: int = 400) -> ReducedBucket:
+    """Shrink ``job`` while its outcome keeps the same triage signature.
+
+    ``check(job) -> bool`` defaults to re-running the executor; tests
+    inject cheaper or instrumented checks.  ``budget`` bounds the number
+    of candidate evaluations, so reduction time is predictable even for
+    stubborn buckets.
+    """
+    check = check or _default_check(signature)
+    checks = 0
+
+    def attempt(candidate: SeedJob) -> bool:
+        nonlocal checks, job
+        if checks >= budget:
+            return False
+        checks += 1
+        try:
+            ok = check(candidate)
+        except Exception:
+            ok = False
+        if ok:
+            job = candidate
+        return ok
+
+    # 1. Narrow the backend matrix to the diverging pair.
+    backend = signature.split(":", 1)[0]
+    narrowed = dict(opts=(), include_rtl=False, include_simplified=False,
+                    schedule_seeds=())
+    if backend.startswith("cuttlesim-O5-sched"):
+        narrowed["schedule_seeds"] = (int(backend[len("cuttlesim-O5-sched"):]),)
+    elif backend == "cuttlesim-O5-simplified":
+        narrowed["include_simplified"] = True
+        narrowed["opts"] = (5,)
+    elif backend == "rtl-cycle":
+        narrowed["include_rtl"] = True
+    elif backend.startswith("cuttlesim-O"):
+        narrowed["opts"] = (int(backend[len("cuttlesim-O"):]),)
+    else:
+        narrowed = None
+    if narrowed is not None:
+        attempt(job.narrowed(**narrowed))
+
+    # 2. Lower the cycle count to just past the divergence.
+    outcome = run_seed_job(job)
+    divergence = outcome.get("divergence") or {}
+    cycle = divergence.get("cycle")
+    if isinstance(cycle, int) and cycle + 1 < job.cycles:
+        attempt(job.narrowed(cycles=cycle + 1))
+    while job.cycles > 1 and attempt(job.narrowed(cycles=job.cycles // 2)):
+        pass
+
+    def current_design() -> Design:
+        return build_design(job)
+
+    # 3-6. Structural shrinking to a fixpoint.
+    progress = True
+    while progress and checks < budget:
+        progress = False
+        design = current_design()
+
+        for name in list(design.rules):
+            if len(build_design(job).rules) <= 1:
+                break
+            if attempt(job.narrowed(
+                    reductions=job.reductions + (("drop-rule", name),))):
+                progress = True
+        design = current_design()
+
+        keep = len(design.scheduler) - 1
+        while keep >= 1 and attempt(job.narrowed(
+                reductions=job.reductions + (("truncate-schedule", keep),))):
+            progress = True
+            keep = len(current_design().scheduler) - 1
+
+        design = current_design()
+        for name, register in list(design.registers.items()):
+            width = register.typ.width
+            while width > 1 and attempt(job.narrowed(
+                    reductions=job.reductions
+                    + (("shrink-reg", name, width // 2),))):
+                progress = True
+                width = width // 2
+
+        # Expression pruning: node indices shift whenever a prune lands,
+        # so restart from a freshly rebuilt design after each acceptance.
+        pruned = True
+        while pruned and checks < budget:
+            pruned = False
+            design = current_design()
+            for rule_name in list(design.rules):
+                nodes = list(walk(design.rules[rule_name].body))
+                # Largest subtrees first; skip leaves (nothing to gain).
+                sized = sorted(
+                    ((len(list(walk(node))), index)
+                     for index, node in enumerate(nodes)
+                     if node.children()),
+                    reverse=True)
+                for _size, index in sized:
+                    if checks >= budget:
+                        break
+                    node = nodes[index]
+                    modes = ["then", "else", "zero"] \
+                        if isinstance(node, If) else ["zero"]
+                    for mode in modes:
+                        if attempt(job.narrowed(
+                                reductions=job.reductions
+                                + (("prune", rule_name, index, mode),))):
+                            pruned = progress = True
+                            break
+                    if pruned:
+                        break
+                if pruned:
+                    break
+
+    return ReducedBucket(job=job, design=build_design(job),
+                         signature=signature, checks=checks,
+                         converged=checks < budget)

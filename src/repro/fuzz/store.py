@@ -1,0 +1,239 @@
+"""Resumable on-disk campaign state.
+
+Layout of a campaign directory::
+
+    <state>/
+      config.json            # immutable campaign configuration
+      state.json             # cursor, pending mutants, coverage, corpus, stats
+      buckets/<slug>/bucket.json   # one per unique crash signature
+      corpus/<slug>/repro.py       # minimized repro (after `fuzz reduce`)
+
+Everything is plain JSON written atomically (temp file + rename), so a
+campaign killed at any point resumes from its last completed batch:
+``state.json`` records the RNG cursor (the next fresh generator seed) and
+the queue of not-yet-executed mutants, and the engine only advances them
+after a batch's outcomes are recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Dict, List, Optional
+
+from .executor import SeedJob
+
+__all__ = ["CampaignStore", "slugify"]
+
+_DEFAULT_CONFIG = {
+    "seed_start": 0,
+    "seed_stop": 50,
+    "cycles": 32,
+    "opts": [0, 1, 2, 3, 4, 5],
+    "include_rtl": True,
+    "include_simplified": True,
+    "schedule_seeds": 2,
+    "mutate": 2,
+    "mutation_depth": 2,
+}
+
+
+def slugify(signature: str) -> str:
+    """A filesystem-safe bucket directory name."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", signature).strip("-") or "bucket"
+
+
+def _write_json(path: str, payload: object) -> None:
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignStore:
+    """One campaign's persistent state."""
+
+    def __init__(self, root: str, config: Dict[str, object],
+                 state: Dict[str, object]) -> None:
+        self.root = root
+        self.config = config
+        self.state = state
+
+    # -- creation / loading ------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str, config: Optional[Dict[str, object]] = None,
+               force: bool = False) -> "CampaignStore":
+        if os.path.exists(os.path.join(root, "state.json")) and not force:
+            raise FileExistsError(
+                f"{root} already holds a campaign; use `repro fuzz resume` "
+                f"or --force")
+        merged = dict(_DEFAULT_CONFIG)
+        merged.update(config or {})
+        state = {
+            "cursor": merged["seed_start"],
+            "pending": [],          # queued mutant jobs (recipe dicts)
+            "executed": 0,          # jobs run over the campaign's lifetime
+            "coverage": [],         # sorted global coverage feature list
+            "corpus": [],           # interesting entries (recipe + stats)
+            "wall_seconds": 0.0,
+            "stats": {"ok": 0, "divergence": 0, "error": 0,
+                      "interesting": 0},
+        }
+        store = cls(root, merged, state)
+        _write_json(os.path.join(root, "config.json"), merged)
+        store.save()
+        return store
+
+    @classmethod
+    def open(cls, root: str) -> "CampaignStore":
+        with open(os.path.join(root, "config.json")) as handle:
+            config = json.load(handle)
+        with open(os.path.join(root, "state.json")) as handle:
+            state = json.load(handle)
+        return cls(root, config, state)
+
+    @classmethod
+    def open_or_create(cls, root: str,
+                       config: Optional[Dict[str, object]] = None
+                       ) -> "CampaignStore":
+        if os.path.exists(os.path.join(root, "state.json")):
+            return cls.open(root)
+        return cls.create(root, config)
+
+    def save(self) -> None:
+        _write_json(os.path.join(self.root, "state.json"), self.state)
+
+    # -- job scheduling ----------------------------------------------------
+
+    def job_for(self, seed: int, mutations=()) -> SeedJob:
+        config = self.config
+        return SeedJob(
+            seed=seed, mutations=tuple(mutations),
+            cycles=int(config["cycles"]),
+            opts=tuple(config["opts"]),
+            include_rtl=bool(config["include_rtl"]),
+            include_simplified=bool(config["include_simplified"]),
+            schedule_seeds=tuple(range(int(config["schedule_seeds"]))),
+        )
+
+    def next_jobs(self, limit: int) -> List[SeedJob]:
+        """The next batch: queued mutants first, then fresh seeds.  Does
+        NOT advance the cursor — :meth:`record_outcome` does, once the
+        job's result is durable."""
+        jobs: List[SeedJob] = []
+        for recipe in self.state["pending"][:limit]:
+            jobs.append(self.job_for(recipe["seed"], recipe["mutations"]))
+        cursor = self.state["cursor"]
+        while len(jobs) < limit and cursor < self.config["seed_stop"]:
+            jobs.append(self.job_for(cursor))
+            cursor += 1
+        return jobs
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.state["pending"] and \
+            self.state["cursor"] >= self.config["seed_stop"]
+
+    # -- recording ---------------------------------------------------------
+
+    def record_outcome(self, job: SeedJob, outcome: Dict[str, object]) -> None:
+        """Fold one executed job back into the campaign state."""
+        state = self.state
+        # Retire the job from whichever queue issued it.
+        if job.mutations:
+            recipe = {"seed": job.seed, "mutations": list(job.mutations)}
+            if recipe in state["pending"]:
+                state["pending"].remove(recipe)
+        elif job.seed == state["cursor"]:
+            state["cursor"] += 1
+        state["executed"] += 1
+        state["stats"][outcome["status"]] = \
+            state["stats"].get(outcome["status"], 0) + 1
+
+        if outcome["status"] != "ok":
+            self._record_bucket(job, outcome)
+            return
+
+        known = set(state["coverage"])
+        fresh = [f for f in outcome.get("coverage", ()) if f not in known]
+        if not fresh:
+            return  # saturated: retire the entry, no mutants queued
+        state["coverage"] = sorted(known.union(fresh))
+        state["stats"]["interesting"] += 1
+        depth = len(job.mutations)
+        entry = {"seed": job.seed, "mutations": list(job.mutations),
+                 "new_features": len(fresh), "depth": depth}
+        state["corpus"].append(entry)
+        if depth < int(self.config["mutation_depth"]):
+            n_rules = outcome.get("n_rules") or 1
+            # Deterministic mutant picks: consecutive mutation indices,
+            # offset by the seed so siblings explore different regions.
+            base = (job.seed * 31 + depth * 7) % max(1, n_rules * 8)
+            for k in range(int(self.config["mutate"])):
+                state["pending"].append({
+                    "seed": job.seed,
+                    "mutations": list(job.mutations) + [base + k],
+                })
+
+    def _record_bucket(self, job: SeedJob, outcome: Dict[str, object]) -> None:
+        signature = outcome.get("signature") or "unknown"
+        slug = slugify(signature)
+        path = os.path.join(self.root, "buckets", slug, "bucket.json")
+        bucket = self.load_bucket(slug)
+        if bucket is None:
+            bucket = {"signature": signature, "count": 0,
+                      "first_job": job.as_dict(), "first_outcome": outcome,
+                      "reduced": False, "reduced_job": None,
+                      "repro": None, "checks": None}
+        bucket["count"] += 1
+        _write_json(path, bucket)
+
+    # -- buckets / corpus --------------------------------------------------
+
+    def bucket_slugs(self) -> List[str]:
+        directory = os.path.join(self.root, "buckets")
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            entry for entry in os.listdir(directory)
+            if os.path.isfile(os.path.join(directory, entry, "bucket.json")))
+
+    def load_bucket(self, slug: str) -> Optional[Dict[str, object]]:
+        path = os.path.join(self.root, "buckets", slug, "bucket.json")
+        if not os.path.isfile(path):
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def save_bucket(self, slug: str, bucket: Dict[str, object]) -> None:
+        _write_json(os.path.join(self.root, "buckets", slug, "bucket.json"),
+                    bucket)
+
+    def repro_path(self, slug: str) -> str:
+        return os.path.join(self.root, "corpus", slug, "repro.py")
+
+    def write_repro(self, slug: str, script: str) -> str:
+        path = self.repro_path(slug)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(script)
+        os.replace(tmp, path)
+        return path
+
+    def unreduced_buckets(self) -> List[str]:
+        return [slug for slug in self.bucket_slugs()
+                if not (self.load_bucket(slug) or {}).get("reduced")]

@@ -376,7 +376,7 @@ class ServeDaemon:
         try:
             spec = JobSpec.from_payload(message.get("job"),
                                         allow_pickle=self.allow_pickle)
-            if spec.design_pickle is None:
+            if spec.design_pickle is None and spec.mode == "sim":
                 from ..cli import DESIGNS
 
                 if spec.design not in DESIGNS:

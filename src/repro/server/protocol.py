@@ -109,6 +109,12 @@ class JobSpec:
     base64 pickle of a :class:`~repro.koika.design.Design`) is only
     honored when the daemon was started with ``allow_pickle`` — never
     accept pickles from sockets you do not trust.
+
+    ``mode="fuzz"`` carries a fuzz-campaign work unit instead of a plain
+    simulation: ``fuzz`` is a :class:`repro.fuzz.executor.SeedJob` recipe
+    dict, and the job's observation is the executor's JSON outcome record
+    (so ``repro fuzz run --server`` results are byte-identical to serial
+    campaign results).
     """
 
     design: str
@@ -120,18 +126,25 @@ class JobSpec:
     program: Optional[str] = None
     program_arg: int = 100
     design_pickle: Optional[str] = None
+    mode: str = "sim"
+    fuzz: Optional[Dict[str, object]] = None
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property
-    def compile_key(self) -> Tuple[str, int, bool]:
+    def compile_key(self) -> Tuple[str, int, object]:
         """Jobs sharing this key reuse one compiled model: batch them."""
+        if self.mode == "fuzz":
+            # Every fuzz job compiles its own generated design; batching
+            # only pays off for byte-identical recipes.
+            return (self.design, -1, repr(sorted((self.fuzz or {}).items())))
         return (self.design, self.opt, self.seed is not None)
 
     @classmethod
     def from_payload(cls, payload, *, allow_pickle: bool = False) -> "JobSpec":
         _require(isinstance(payload, dict), "submit needs a 'job' object")
         known = {"design", "opt", "cycles", "seed", "priority", "timeout",
-                 "program", "program_arg", "design_pickle", "meta"}
+                 "program", "program_arg", "design_pickle", "mode", "fuzz",
+                 "meta"}
         unknown = set(payload) - known
         _require(not unknown, f"unknown job fields: {sorted(unknown)}")
         design = payload.get("design")
@@ -166,13 +179,25 @@ class JobSpec:
                      "--allow-pickle")
             _require(isinstance(design_pickle, str),
                      "job.design_pickle must be a base64 string")
+        mode = payload.get("mode", "sim")
+        _require(mode in ("sim", "fuzz"),
+                 "job.mode must be 'sim' or 'fuzz'")
+        fuzz = payload.get("fuzz")
+        if mode == "fuzz":
+            _require(isinstance(fuzz, dict)
+                     and isinstance(fuzz.get("seed"), int),
+                 "fuzz jobs need a job.fuzz object with an integer seed")
+        else:
+            _require(fuzz is None, "job.fuzz requires job.mode = 'fuzz'")
         meta = payload.get("meta", {})
         _require(isinstance(meta, dict), "job.meta must be an object")
         return cls(design=design, opt=opt, cycles=cycles, seed=seed,
                    priority=priority,
                    timeout=float(timeout) if timeout is not None else None,
                    program=program, program_arg=program_arg,
-                   design_pickle=design_pickle, meta=dict(meta))
+                   design_pickle=design_pickle, mode=mode,
+                   fuzz=dict(fuzz) if fuzz is not None else None,
+                   meta=dict(meta))
 
     def as_payload(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -187,6 +212,10 @@ class JobSpec:
             payload["program"] = self.program
         if self.design_pickle is not None:
             payload["design_pickle"] = self.design_pickle
+        if self.mode != "sim":
+            payload["mode"] = self.mode
+        if self.fuzz is not None:
+            payload["fuzz"] = self.fuzz
         if self.meta:
             payload["meta"] = self.meta
         return payload

@@ -56,7 +56,26 @@ def build_trial(spec: JobSpec) -> Trial:
     and any serial reference run (``run_fleet([build_trial(s)], workers=1)``)
     execute this same closure, which is what makes server results
     byte-comparable to one-shot fleet results.
+
+    ``mode="fuzz"`` jobs delegate to the fuzz campaign's executor: the
+    observation is the JSON outcome record of
+    :func:`repro.fuzz.executor.run_seed_job`, the same function the
+    serial campaign path calls.
     """
+
+    if spec.mode == "fuzz":
+        from ..fuzz.executor import SeedJob, run_seed_job
+
+        seed_job = SeedJob.from_dict(spec.fuzz)
+
+        def fuzz_fn():
+            outcome = run_seed_job(seed_job)
+            return TrialOutput(observation=outcome,
+                               cycles=seed_job.cycles)
+
+        return Trial(name=f"fuzz-{seed_job.seed}", fn=fuzz_fn,
+                     meta={"design": spec.design, "mode": "fuzz",
+                           "seed": seed_job.seed})
 
     def fn():
         from ..cli import _default_env

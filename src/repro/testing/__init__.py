@@ -1,13 +1,14 @@
 """Testing utilities: random design generation and differential running."""
 
 from .differential import (DivergenceError, assert_backends_equal,
-                           backend_factories, collect_trace)
+                           backend_factories, collect_trace, compare_traces,
+                           interpreter_trace)
 from .generators import random_design
 from .mutation import Mutation, enumerate_mutations, kill_rate, make_mutant, mutant_count
 
 __all__ = [
     "DivergenceError", "assert_backends_equal", "backend_factories",
-    "collect_trace", "random_design",
+    "collect_trace", "compare_traces", "interpreter_trace", "random_design",
     "Mutation", "enumerate_mutations", "kill_rate", "make_mutant",
     "mutant_count",
 ]

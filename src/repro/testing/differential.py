@@ -26,7 +26,61 @@ Trace = List[Tuple[Optional[Tuple[str, ...]], Tuple[int, ...]]]
 
 
 class DivergenceError(AssertionError):
-    """Two backends disagreed on a register value or a commit set."""
+    """Two backends disagreed on a register value or a commit set.
+
+    Carries the disagreement as structured fields — the fuzzing campaign's
+    triage bucketing and the delta-debugging reducer key off them, and the
+    rendered message is derived from them so humans and tools read the
+    same facts:
+
+    * ``design`` — name of the diverging design;
+    * ``backend`` / ``reference`` — the two simulations that disagreed;
+    * ``cycle`` — the first cycle at which they disagreed;
+    * ``kind`` — ``"register"`` (a register value differs) or
+      ``"commits"`` (the committed-rule sets differ);
+    * ``register`` — the first divergent register (``None`` for commit
+      divergences);
+    * ``expected`` — the reference's value (or sorted commit list);
+    * ``actual`` — the backend's value (or sorted commit list).
+    """
+
+    def __init__(self, message: Optional[str] = None, *,
+                 design: Optional[str] = None,
+                 backend: Optional[str] = None,
+                 reference: str = "interpreter",
+                 cycle: Optional[int] = None,
+                 kind: str = "register",
+                 register: Optional[str] = None,
+                 expected: object = None,
+                 actual: object = None) -> None:
+        self.design = design
+        self.backend = backend
+        self.reference = reference
+        self.cycle = cycle
+        self.kind = kind
+        self.register = register
+        self.expected = expected
+        self.actual = actual
+        super().__init__(message if message is not None else self.render())
+
+    def render(self) -> str:
+        where = f"{self.design}, cycle {self.cycle}"
+        if self.kind == "commits":
+            return (f"{where}: backend {self.backend} committed "
+                    f"{self.actual} but the {self.reference} committed "
+                    f"{self.expected}")
+        return (f"{where}: register {self.register!r} is {self.actual} on "
+                f"{self.backend} but {self.expected} on the "
+                f"{self.reference}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe record of the structured fields (triage format)."""
+        return {
+            "design": self.design, "backend": self.backend,
+            "reference": self.reference, "cycle": self.cycle,
+            "kind": self.kind, "register": self.register,
+            "expected": self.expected, "actual": self.actual,
+        }
 
 
 def backend_factories(design: Design, opts: Sequence[int] = (0, 1, 2, 3, 4, 5),
@@ -62,25 +116,41 @@ def collect_trace(sim, registers: Sequence[str], cycles: int) -> Trace:
     return trace
 
 
-def _compare_against_reference(design: Design, name: str, trace: Trace,
-                               reference: Trace, registers: Sequence[str],
-                               check_commits: bool) -> None:
+def interpreter_trace(design: Design, cycles: int,
+                      env_factory: Optional[Callable[[], Environment]] = None
+                      ) -> Trace:
+    """The reference interpreter's per-cycle trace for ``design``."""
+    sim = Interpreter(design, env=(env_factory or Environment)())
+    registers = list(design.registers)
+    reference: Trace = []
+    for _ in range(cycles):
+        report = sim.run_cycle()
+        state = tuple(int(sim.peek(r)) for r in registers)
+        reference.append((tuple(report.committed), state))
+    return reference
+
+
+def compare_traces(design_name: str, backend: str, trace: Trace,
+                   reference: Trace, registers: Sequence[str],
+                   check_commits: bool = True,
+                   reference_name: str = "interpreter") -> None:
+    """Diff one backend's trace against a reference trace; raise a
+    structured :class:`DivergenceError` at the first disagreement."""
     for cycle, ((committed, state), (ref_committed, ref_state)) \
             in enumerate(zip(trace, reference)):
         if check_commits and committed is not None:
             got, expected = set(committed), set(ref_committed or ())
             if got != expected:
                 raise DivergenceError(
-                    f"{design.name}, cycle {cycle}: backend {name} committed "
-                    f"{sorted(got)} but the interpreter committed "
-                    f"{sorted(expected)}"
-                )
+                    design=design_name, backend=backend,
+                    reference=reference_name, cycle=cycle, kind="commits",
+                    expected=sorted(expected), actual=sorted(got))
         for register, actual, expected in zip(registers, state, ref_state):
             if actual != expected:
                 raise DivergenceError(
-                    f"{design.name}, cycle {cycle}: register {register!r} is "
-                    f"{actual} on {name} but {expected} on the interpreter"
-                )
+                    design=design_name, backend=backend,
+                    reference=reference_name, cycle=cycle, kind="register",
+                    register=register, expected=expected, actual=actual)
 
 
 def assert_backends_equal(design: Design, cycles: int = 8,
@@ -98,12 +168,7 @@ def assert_backends_equal(design: Design, cycles: int = 8,
     compiles."""
     make_env = env_factory or Environment
     registers = list(design.registers)
-    reference_sim = Interpreter(design, env=make_env())
-    reference: Trace = []
-    for _ in range(cycles):
-        report = reference_sim.run_cycle()
-        state = tuple(int(reference_sim.peek(r)) for r in registers)
-        reference.append((tuple(report.committed), state))
+    reference = interpreter_trace(design, cycles, make_env)
 
     factories = backend_factories(design, opts, include_rtl, cache=cache)
 
@@ -118,5 +183,5 @@ def assert_backends_equal(design: Design, cycles: int = 8,
                       workers=workers)
     fleet.raise_on_failure()
     for result in fleet.results:
-        _compare_against_reference(design, result.name, result.observation,
-                                   reference, registers, check_commits)
+        compare_traces(design.name, result.name, result.observation,
+                       reference, registers, check_commits)

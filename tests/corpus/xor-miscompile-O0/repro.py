@@ -1,0 +1,56 @@
+"""Minimal repro emitted by `repro fuzz reduce`.
+
+bucket signature: cuttlesim-O0:r4:DivergenceError
+provenance: reduced from an xor-miscompilation injected into the O0
+emitter (regression sample for the corpus hook; the check matrix was
+widened to every backend after the reduction)
+checks: 30
+mutations: []
+reductions: 11
+seed: 27
+
+Standalone: `python repro.py` re-runs the differential check that
+diverged (raises DivergenceError while the bug is present).  The
+tests/corpus/ hook imports it and asserts the check passes.
+"""
+
+import os as _os, sys as _sys
+
+# The script is conventionally named repro.py, which would shadow
+# the repro package when run directly — drop its own directory.
+_here = _os.path.dirname(_os.path.abspath(__file__))
+_sys.path[:] = [p for p in _sys.path
+                if _os.path.abspath(p or _os.getcwd()) != _here]
+
+from repro.koika.ast import (Abort, Assign, Binop, C, If, Let, Read, Seq,
+                             Unop, V, Write, unit)
+from repro.koika.design import Design
+from repro.koika.types import bits
+
+SIGNATURE = 'cuttlesim-O0:r4:DivergenceError'
+CYCLES = 1
+CHECK_KWARGS = dict(cycles=4, opts=(0, 1, 2, 3, 4, 5), include_rtl=True,
+                    include_simplified=True, schedule_seeds=(0,))
+
+
+def build_design():
+    d = Design('repro_cuttlesim-O0-r4-DivergenceError')
+    d.reg('r0', bits(1), init=1)
+    d.reg('r1', bits(1), init=0)
+    d.reg('r2', bits(1), init=1)
+    d.reg('r3', bits(1), init=0)
+    d.reg('r4', bits(1), init=1)
+    d.rule('rule2', Seq(Write('r4', 0, Unop('slice', Unop('slice', Binop('sub', C(0, 4), Unop('not', C(1, 4))), param=(0, 2)), param=(0, 1))), unit(), unit()))
+    d.schedule('rule2')
+    return d.finalize()
+
+
+def check():
+    from repro.fuzz.executor import verify_design
+
+    verify_design(build_design(), **CHECK_KWARGS)
+
+
+if __name__ == "__main__":
+    check()
+    print("no divergence: the bug this repro was reduced from is fixed")

@@ -1,0 +1,376 @@
+"""Tests for the campaign engine: store resumability, triage bucketing,
+end-to-end reduction of an injected bug, and dispatch-path equivalence."""
+
+import json
+import os
+import runpy
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fuzz import (
+    CampaignStore, reduce_buckets, run_campaign, triage_table,
+)
+from repro.fuzz.campaign import BENCH_SCHEMA
+from repro.fuzz.store import slugify
+from repro.testing.differential import DivergenceError
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="fleet/server dispatch needs fork()")
+
+#: A small, fast campaign configuration shared by most tests.
+FAST_CONFIG = {
+    "seed_start": 0, "seed_stop": 3, "cycles": 8, "opts": [0, 5],
+    "include_rtl": True, "include_simplified": False, "schedule_seeds": 1,
+    "mutate": 1, "mutation_depth": 1,
+}
+
+
+def state_fingerprint(root):
+    with open(os.path.join(root, "state.json")) as handle:
+        state = json.load(handle)
+    state.pop("wall_seconds", None)
+    return state
+
+
+@pytest.fixture
+def xor_becomes_or(monkeypatch):
+    """Inject a miscompilation: xor emits as or at every opt level."""
+    from repro.cuttlesim import codegen
+
+    original = codegen._Emitter._emit_binop
+
+    def buggy(self, node):
+        return original(self, node).replace("^", "|")
+
+    monkeypatch.setattr(codegen._Emitter, "_emit_binop", buggy)
+
+
+def find_diverging_seed(limit=40):
+    from repro.fuzz.executor import SeedJob, run_seed_job
+
+    for seed in range(limit):
+        outcome = run_seed_job(SeedJob(seed=seed, cycles=8, opts=(0,),
+                                       include_rtl=False,
+                                       include_simplified=False,
+                                       schedule_seeds=()))
+        if outcome["status"] == "divergence":
+            return seed
+    pytest.fail(f"no diverging seed in 0:{limit} under the injected bug")
+
+
+# ----------------------------------------------------------------------
+# The store.
+# ----------------------------------------------------------------------
+
+class TestStore:
+    def test_create_refuses_to_clobber(self, tmp_path):
+        root = str(tmp_path / "camp")
+        CampaignStore.create(root, dict(FAST_CONFIG))
+        with pytest.raises(FileExistsError):
+            CampaignStore.create(root, dict(FAST_CONFIG))
+        CampaignStore.create(root, dict(FAST_CONFIG), force=True)
+
+    def test_open_roundtrips_config_and_state(self, tmp_path):
+        root = str(tmp_path / "camp")
+        store = CampaignStore.create(root, dict(FAST_CONFIG))
+        store.state["cursor"] = 2
+        store.save()
+        reopened = CampaignStore.open(root)
+        assert reopened.config == store.config
+        assert reopened.state["cursor"] == 2
+
+    def test_slugify(self):
+        assert slugify("cuttlesim-O3:r2:DivergenceError") == \
+            "cuttlesim-O3-r2-DivergenceError"
+        assert slugify("::") == "bucket"
+
+    def test_next_jobs_does_not_advance_cursor(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "camp"),
+                                     dict(FAST_CONFIG))
+        jobs = store.next_jobs(2)
+        assert [job.seed for job in jobs] == [0, 1]
+        assert store.state["cursor"] == 0
+        assert [job.seed for job in store.next_jobs(2)] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# The campaign loop.
+# ----------------------------------------------------------------------
+
+class TestCampaign:
+    def test_clean_campaign_finds_no_buckets(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "camp"),
+                                     dict(FAST_CONFIG))
+        report = run_campaign(store)
+        assert store.exhausted
+        assert store.bucket_slugs() == []
+        assert report.executed == store.state["executed"]
+        assert store.state["stats"]["divergence"] == 0
+        assert store.state["coverage"]  # feedback accumulated
+        assert store.state["corpus"]    # fresh seeds were interesting
+        payload = report.as_dict()
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["buckets"] == 0
+        assert payload["executed_total"] >= FAST_CONFIG["seed_stop"]
+        json.dumps(payload)
+
+    def test_resume_continues_without_rerunning(self, tmp_path, monkeypatch):
+        """Acceptance criterion: `resume` picks up from the RNG cursor and
+        never re-executes a completed job."""
+        import repro.fuzz.campaign as campaign_mod
+
+        executed = []
+        real = campaign_mod.run_seed_job
+
+        def counting(job, cache=None):
+            executed.append((job.seed, job.mutations))
+            return real(job, cache=cache)
+
+        monkeypatch.setattr(campaign_mod, "run_seed_job", counting)
+
+        root = str(tmp_path / "camp")
+        store = CampaignStore.create(root, dict(FAST_CONFIG))
+        run_campaign(store)
+        first_run = list(executed)
+        assert len(first_run) == len(set(first_run)) == \
+            store.state["executed"]
+
+        # Resume with the seed space extended by two fresh seeds.
+        executed.clear()
+        resumed = CampaignStore.open(root)
+        resumed.config["seed_stop"] = FAST_CONFIG["seed_stop"] + 2
+        run_campaign(resumed)
+        assert resumed.exhausted
+        # Nothing from the first run was repeated, and the fresh seeds
+        # start exactly at the saved cursor.
+        assert not set(first_run) & set(executed)
+        fresh = [seed for seed, mutations in executed if not mutations]
+        assert fresh == [FAST_CONFIG["seed_stop"],
+                         FAST_CONFIG["seed_stop"] + 1]
+
+    def test_interrupted_batch_is_reissued(self, tmp_path, monkeypatch):
+        """A crash mid-campaign loses at most the unpersisted batch: the
+        next run re-issues exactly the jobs whose outcomes never landed."""
+        import repro.fuzz.campaign as campaign_mod
+
+        real = campaign_mod.run_seed_job
+        calls = []
+
+        def exploding(job, cache=None):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append((job.seed, job.mutations))
+            return real(job, cache=cache)
+
+        monkeypatch.setattr(campaign_mod, "run_seed_job", exploding)
+        root = str(tmp_path / "camp")
+        store = CampaignStore.create(root, dict(FAST_CONFIG))
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(store, batch=1)
+
+        monkeypatch.setattr(campaign_mod, "run_seed_job", real)
+        resumed = CampaignStore.open(root)
+        # Two single-job batches persisted (seed 0 and its mutant) before
+        # the crash; only seed 0 is a fresh seed, so the cursor sits at 1.
+        assert resumed.state["cursor"] == 1
+        assert resumed.state["executed"] == 2
+        run_campaign(resumed)
+        assert resumed.exhausted
+
+    def test_triage_table_empty(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "camp"),
+                                     dict(FAST_CONFIG))
+        assert triage_table(store) == []
+
+
+# ----------------------------------------------------------------------
+# Injected bug: exactly one bucket, reduced to a tiny repro.
+# ----------------------------------------------------------------------
+
+class TestInjectedBugEndToEnd:
+    def test_bucket_reduce_and_repro(self, tmp_path, xor_becomes_or,
+                                     monkeypatch):
+        """Acceptance criterion: a monkeypatched codegen bug yields exactly
+        one bucket whose reduced repro has <= 3 rules and still
+        reproduces."""
+        seed = find_diverging_seed()
+        store = CampaignStore.create(str(tmp_path / "camp"), {
+            "seed_start": seed, "seed_stop": seed + 1, "cycles": 8,
+            "opts": [0], "include_rtl": False, "include_simplified": False,
+            "schedule_seeds": 0, "mutate": 0, "mutation_depth": 0,
+        })
+        run_campaign(store)
+        slugs = store.bucket_slugs()
+        assert len(slugs) == 1, slugs
+        bucket = store.load_bucket(slugs[0])
+        assert bucket["count"] == 1
+        assert not bucket["reduced"]
+        assert bucket["first_outcome"]["divergence"]["backend"] == \
+            "cuttlesim-O0"
+
+        rows = triage_table(store)
+        assert rows[0]["signature"] == bucket["signature"]
+        assert rows[0]["reduced"] is False
+
+        done = reduce_buckets(store, budget=300)
+        assert len(done) == 1
+        slug, bucket = done[0]
+        assert bucket["reduced"]
+        assert bucket["n_rules"] <= 3
+        path = os.path.join(store.root, bucket["repro"])
+        assert path == store.repro_path(slug)
+
+        # The emitted script reproduces the same failure while the bug
+        # is live...
+        namespace = runpy.run_path(path)
+        assert namespace["SIGNATURE"] == bucket["signature"]
+        with pytest.raises(DivergenceError):
+            namespace["check"]()
+
+        # ...and passes once the bug is gone.
+        monkeypatch.undo()
+        clean = runpy.run_path(path)
+        clean["check"]()
+
+    def test_same_signature_deduplicates(self, tmp_path, xor_becomes_or):
+        """Two jobs hitting the same signature share one bucket."""
+        seed = find_diverging_seed()
+        store = CampaignStore.create(str(tmp_path / "camp"), {
+            "seed_start": seed, "seed_stop": seed + 1, "cycles": 8,
+            "opts": [0], "include_rtl": False, "include_simplified": False,
+            "schedule_seeds": 0, "mutate": 0, "mutation_depth": 0,
+        })
+        job = store.next_jobs(1)[0]
+        from repro.fuzz.executor import run_seed_job
+
+        outcome = run_seed_job(job)
+        store.record_outcome(job, outcome)
+        store.record_outcome(job, dict(outcome))
+        slugs = store.bucket_slugs()
+        assert len(slugs) == 1
+        assert store.load_bucket(slugs[0])["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# Dispatch equivalence: serial == fleet == server.
+# ----------------------------------------------------------------------
+
+@needs_fork
+class TestDispatchEquivalence:
+    def test_fleet_matches_serial(self, tmp_path):
+        serial = CampaignStore.create(str(tmp_path / "serial"),
+                                      dict(FAST_CONFIG))
+        run_campaign(serial)
+        fleet = CampaignStore.create(str(tmp_path / "fleet"),
+                                     dict(FAST_CONFIG))
+        report = run_campaign(fleet, workers=2)
+        assert report.dispatch == "fleet"
+        assert state_fingerprint(str(tmp_path / "serial")) == \
+            state_fingerprint(str(tmp_path / "fleet"))
+
+    def test_server_matches_serial(self, tmp_path, monkeypatch):
+        """Acceptance criterion: `fuzz run --server` records the same
+        outcomes as a serial run of the same seed list."""
+        from tests.test_server import DaemonThread
+
+        monkeypatch.setenv("REPRO_MODEL_CACHE",
+                           str(tmp_path / "model-cache"))
+        from repro.cuttlesim.cache import reset_default_cache
+
+        reset_default_cache()
+        serial = CampaignStore.create(str(tmp_path / "serial"),
+                                      dict(FAST_CONFIG))
+        run_campaign(serial)
+        with DaemonThread(tmp_path, workers=2) as server:
+            served = CampaignStore.create(str(tmp_path / "server"),
+                                          dict(FAST_CONFIG))
+            report = run_campaign(served, server=server.socket_path)
+        assert report.dispatch == "server"
+        assert state_fingerprint(str(tmp_path / "serial")) == \
+            state_fingerprint(str(tmp_path / "server"))
+        reset_default_cache()
+
+
+# ----------------------------------------------------------------------
+# The CLI.
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def run_cli(self, *argv):
+        return cli_main(list(argv))
+
+    def test_run_resume_triage_reduce(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        bench = str(tmp_path / "bench.json")
+        code = self.run_cli("fuzz", "run", "--state", root,
+                            "--seeds", "0:2", "--cycles", "8",
+                            "--opts", "0,5", "--no-simplified",
+                            "--schedule-seeds", "1", "--mutate", "1",
+                            "--mutation-depth", "1", "--json", bench)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed" in out
+        payload = json.load(open(bench))
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["dispatch"] == "serial"
+        assert payload["seeds_per_second"] is not None
+
+        # Resume with a wider seed range continues from the cursor.
+        code = self.run_cli("fuzz", "resume", "--state", root,
+                            "--seeds", "0:3")
+        assert code == 0
+        state = state_fingerprint(root)
+        assert state["cursor"] == 3
+
+        code = self.run_cli("fuzz", "triage", "--state", root)
+        assert code == 0
+        assert "no buckets" in capsys.readouterr().out
+
+        code = self.run_cli("fuzz", "reduce", "--state", root)
+        assert code == 0
+        assert "nothing to reduce" in capsys.readouterr().out
+
+    def test_run_refuses_existing_state(self, tmp_path, capsys):
+        root = str(tmp_path / "camp")
+        assert self.run_cli("fuzz", "run", "--state", root, "--seeds",
+                            "0:1", "--cycles", "4", "--opts", "0",
+                            "--no-rtl", "--no-simplified",
+                            "--schedule-seeds", "0", "--mutate", "0") == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            self.run_cli("fuzz", "run", "--state", root, "--seeds", "0:1")
+
+    def test_bad_seed_range_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.run_cli("fuzz", "run", "--state", str(tmp_path / "c"),
+                         "--seeds", "nope")
+
+    def test_run_exits_nonzero_on_buckets(self, tmp_path, xor_becomes_or,
+                                          capsys):
+        seed = find_diverging_seed()
+        code = self.run_cli("fuzz", "run", "--state",
+                            str(tmp_path / "camp"), "--seeds",
+                            f"{seed}:{seed + 1}", "--cycles", "8",
+                            "--opts", "0", "--no-rtl", "--no-simplified",
+                            "--schedule-seeds", "0", "--mutate", "0")
+        assert code == 1
+        assert "bucket" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Long campaign (excluded from tier-1; `pytest -m slow` runs it).
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestLongCampaign:
+    def test_fifty_seed_campaign(self, tmp_path):
+        """Acceptance criterion: `repro fuzz run --seeds 0:50 --cycles 32`
+        completes with zero buckets on a clean toolchain."""
+        store = CampaignStore.create(str(tmp_path / "camp"), {
+            "seed_start": 0, "seed_stop": 50, "cycles": 32,
+        })
+        report = run_campaign(store)
+        assert store.exhausted
+        assert store.bucket_slugs() == []
+        assert report.as_dict()["executed_total"] >= 50

@@ -1,0 +1,224 @@
+"""Tests for the fuzz campaign's per-seed work unit (repro.fuzz.executor)
+and the structured DivergenceError it reports through."""
+
+import pytest
+
+from repro.fuzz.executor import (
+    COVERAGE_OPT, SeedJob, build_design, coverage_features, run_seed_job,
+    rule_structure_hash, signature_for, verify_design,
+)
+from repro.koika.pretty import pretty_action
+from repro.testing.differential import (
+    DivergenceError, compare_traces, interpreter_trace,
+)
+from repro.testing.generators import random_design
+
+#: A small, fast check matrix for unit tests (full matrix is the default).
+FAST = dict(cycles=8, opts=(0, 5), include_rtl=True,
+            include_simplified=False, schedule_seeds=(0,))
+
+
+# ----------------------------------------------------------------------
+# SeedJob: the recipe.
+# ----------------------------------------------------------------------
+
+class TestSeedJob:
+    def test_roundtrips_through_json_safe_dict(self):
+        job = SeedJob(seed=7, mutations=(3, 9), cycles=16, opts=(0, 2, 5),
+                      include_rtl=False, include_simplified=True,
+                      schedule_seeds=(0,),
+                      reductions=(("drop-rule", "r1"), ("shrink-reg",
+                                                        "r0", 4)))
+        assert SeedJob.from_dict(job.as_dict()) == job
+
+    def test_from_dict_defaults(self):
+        job = SeedJob.from_dict({"seed": 3})
+        assert job == SeedJob(seed=3)
+
+    def test_narrowed_is_pure(self):
+        job = SeedJob(seed=1)
+        narrow = job.narrowed(cycles=4, opts=(0,))
+        assert narrow.cycles == 4 and narrow.opts == (0,)
+        assert job.cycles == 32  # the original is untouched
+
+    def test_build_design_is_deterministic(self):
+        def fingerprint(job):
+            design = build_design(job)
+            return [(name, pretty_action(rule.body))
+                    for name, rule in design.rules.items()]
+
+        job = SeedJob(seed=11, mutations=(2,))
+        assert fingerprint(job) == fingerprint(job)
+
+    def test_mutated_design_differs_and_typechecks(self):
+        base = build_design(SeedJob(seed=5))
+        mutant = build_design(SeedJob(seed=5, mutations=(0,)))
+        assert mutant.finalized
+        base_fp = [pretty_action(r.body) for r in base.rules.values()]
+        mutant_fp = [pretty_action(r.body) for r in mutant.rules.values()]
+        assert base_fp != mutant_fp
+
+
+# ----------------------------------------------------------------------
+# Coverage features.
+# ----------------------------------------------------------------------
+
+class TestCoverage:
+    def test_features_are_structural(self):
+        """Identical rule bodies hash identically even across designs."""
+        design = random_design(4)
+        other = random_design(4)
+        for rule in design.rules:
+            assert rule_structure_hash(design, rule) == \
+                rule_structure_hash(other, rule)
+
+    def test_features_nonempty_and_sorted(self):
+        design = random_design(2)
+        features = coverage_features(design, cycles=8)
+        assert features and features == sorted(features)
+        assert all(f.startswith(("rule:", "block:")) for f in features)
+        # Every rule contributes at least its entry counter.
+        kinds = {f.split(":")[2] for f in features if f.startswith("rule:")}
+        assert "entries" in kinds
+
+    def test_coverage_opt_is_stable(self):
+        # Campaign-wide comparability depends on this staying fixed.
+        assert COVERAGE_OPT == 2
+
+
+# ----------------------------------------------------------------------
+# Differential verification + outcomes.
+# ----------------------------------------------------------------------
+
+class TestVerify:
+    def test_clean_designs_verify(self):
+        for seed in (0, 1, 2):
+            verify_design(random_design(seed), **FAST)
+
+    def test_run_seed_job_ok_outcome(self):
+        outcome = run_seed_job(SeedJob(seed=0, **FAST))
+        assert outcome["status"] == "ok"
+        assert outcome["signature"] is None
+        assert outcome["coverage"]
+        assert outcome["n_rules"] >= 1
+        assert outcome["cycles"] == FAST["cycles"]
+
+    def test_run_seed_job_never_raises_on_bad_recipe(self):
+        # A mutation index is always taken modulo the menu, so even wild
+        # indices build; a failure must still come back as a record.
+        outcome = run_seed_job(SeedJob(seed=0, mutations=(10**9,), **FAST))
+        assert outcome["status"] in ("ok", "divergence", "error")
+
+    def test_signature_format(self):
+        assert signature_for("cuttlesim-O3", "r2", "DivergenceError") == \
+            "cuttlesim-O3:r2:DivergenceError"
+        assert signature_for(None, None, "ValueError") == \
+            "generate:@commits:ValueError"
+        assert signature_for("rtl-cycle", None, "DivergenceError") == \
+            "rtl-cycle:@commits:DivergenceError"
+
+
+class TestInjectedBug:
+    """Monkeypatched codegen must surface as a structured divergence."""
+
+    @pytest.fixture
+    def xor_becomes_or(self, monkeypatch):
+        from repro.cuttlesim import codegen
+
+        original = codegen._Emitter._emit_binop
+
+        def buggy(self, node):
+            return original(self, node).replace("^", "|")
+
+        monkeypatch.setattr(codegen._Emitter, "_emit_binop", buggy)
+
+    def diverging_outcome(self):
+        for seed in range(40):
+            outcome = run_seed_job(SeedJob(seed=seed, cycles=8,
+                                           opts=(0,), include_rtl=False,
+                                           include_simplified=False,
+                                           schedule_seeds=()))
+            if outcome["status"] == "divergence":
+                return outcome
+        pytest.fail("no diverging seed in 0:40 under the injected bug")
+
+    def test_divergence_outcome_is_structured(self, xor_becomes_or):
+        outcome = self.diverging_outcome()
+        divergence = outcome["divergence"]
+        assert divergence["backend"].startswith("cuttlesim-O")
+        assert divergence["cycle"] is not None
+        assert divergence["kind"] in ("register", "commits")
+        assert outcome["signature"] == signature_for(
+            divergence["backend"], divergence.get("register"),
+            "DivergenceError")
+        if divergence["kind"] == "register":
+            assert divergence["expected"] != divergence["actual"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: structured DivergenceError.
+# ----------------------------------------------------------------------
+
+class TestDivergenceError:
+    def test_fields_render_into_message(self):
+        exc = DivergenceError(design="collatz", backend="cuttlesim-O3",
+                              cycle=7, register="value", expected=12,
+                              actual=13)
+        text = str(exc)
+        for fragment in ("collatz", "cuttlesim-O3", "cycle 7", "value",
+                         "12", "13"):
+            assert fragment in text
+        assert exc.backend == "cuttlesim-O3"
+        assert exc.cycle == 7
+        assert exc.register == "value"
+        assert exc.expected == 12 and exc.actual == 13
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        exc = DivergenceError(design="d", backend="rtl-cycle", cycle=0,
+                              kind="commits", expected=["r0"], actual=[])
+        payload = exc.as_dict()
+        json.dumps(payload)
+        assert payload["kind"] == "commits"
+        assert payload["backend"] == "rtl-cycle"
+
+    def test_is_an_assertion_error(self):
+        # Existing differential tests catch AssertionError; keep that.
+        assert issubclass(DivergenceError, AssertionError)
+
+    def test_compare_traces_register_divergence(self):
+        design = random_design(0)
+        registers = list(design.registers)
+        reference = interpreter_trace(design, 4)
+        trace = [list(step) for step in reference]
+        commits, values = trace[2]
+        values = list(values)
+        values[0] ^= 1
+        trace[2] = (commits, tuple(values))
+        with pytest.raises(DivergenceError) as info:
+            compare_traces(design.name, "fake-backend", trace, reference,
+                           registers)
+        exc = info.value
+        assert exc.backend == "fake-backend"
+        assert exc.cycle == 2
+        assert exc.kind == "register"
+        assert exc.register == registers[0]
+        assert exc.actual == exc.expected ^ 1
+
+    def test_compare_traces_commit_divergence(self):
+        design = random_design(0)
+        registers = list(design.registers)
+        reference = interpreter_trace(design, 8)
+        cycle = next(i for i, (committed, _) in enumerate(reference)
+                     if committed)
+        trace = [list(step) for step in reference]
+        trace[cycle] = ((), trace[cycle][1])
+        with pytest.raises(DivergenceError) as info:
+            compare_traces(design.name, "fake-backend", trace, reference,
+                           registers)
+        exc = info.value
+        assert exc.kind == "commits"
+        assert exc.cycle == cycle
+        assert exc.register is None
+        assert exc.actual == [] and exc.expected

@@ -1,0 +1,240 @@
+"""Tests for the delta-debugging reducer (repro.fuzz.reduce) and the
+standalone repro-script emitter (repro.fuzz.emit)."""
+
+import runpy
+
+import pytest
+
+from repro.errors import KoikaTypeError
+from repro.fuzz.emit import design_to_python, repro_script
+from repro.fuzz.executor import SeedJob, build_design
+from repro.fuzz.reduce import ReducedBucket, apply_reductions, reduce_bucket
+from repro.koika.ast import C, Read, Seq, Write, unit
+from repro.koika.design import Design
+from repro.koika.pretty import pretty_action
+from repro.koika.types import bits
+from repro.semantics.interp import Interpreter
+from repro.testing.differential import interpreter_trace
+from repro.testing.generators import random_design
+
+
+def counter_design(width=8, rules=3):
+    """``rules`` independent single-write rules over disjoint registers."""
+    d = Design("red")
+    for i in range(rules):
+        d.reg(f"x{i}", bits(width), init=i)
+        d.rule(f"r{i}", Write(f"x{i}", 0, C(1, width)))
+    d.schedule(*[f"r{i}" for i in range(rules)])
+    return d.finalize()
+
+
+# ----------------------------------------------------------------------
+# Individual reduction operations (via the serialized interface).
+# ----------------------------------------------------------------------
+
+class TestOperations:
+    def test_drop_rule(self):
+        design = counter_design()
+        apply_reductions(design, [("drop-rule", "r1")])
+        assert "r1" not in design.rules
+        assert design.scheduler == ["r0", "r2"]
+
+    def test_drop_rule_refuses_the_last_rule(self):
+        design = counter_design(rules=1)
+        with pytest.raises(ValueError):
+            apply_reductions(design, [("drop-rule", "r0")])
+
+    def test_truncate_schedule_deletes_dead_rules(self):
+        design = counter_design()
+        apply_reductions(design, [("truncate-schedule", 1)])
+        assert design.scheduler == ["r0"]
+        assert list(design.rules) == ["r0"]
+
+    def test_truncate_schedule_bounds(self):
+        design = counter_design()
+        with pytest.raises(ValueError):
+            apply_reductions(design, [("truncate-schedule", 3)])
+        with pytest.raises(ValueError):
+            apply_reductions(design, [("truncate-schedule", 0)])
+
+    def test_shrink_register_still_typechecks_and_runs(self):
+        d = Design("shrink")
+        d.reg("acc", bits(8), init=200)
+        from repro.koika.ast import Binop
+
+        d.rule("inc", Write("acc", 0, Binop("add", Read("acc", 0), C(3, 8))))
+        d.schedule("inc")
+        design = d.finalize()
+        apply_reductions(design, [("shrink-reg", "acc", 4)])
+        assert design.registers["acc"].typ.width == 4
+        assert design.registers["acc"].init == 200 & 0xF
+        sim = Interpreter(design)
+        for _ in range(4):
+            sim.run_cycle()
+        # (8 + 4*3) mod 16 — arithmetic now wraps at the shrunk width.
+        assert int(sim.peek("acc")) == (8 + 12) % 16
+
+    def test_shrink_register_composes(self):
+        d = Design("shrink2")
+        d.reg("acc", bits(16), init=0xBEEF)
+        from repro.koika.ast import Binop
+
+        d.rule("inc", Write("acc", 0, Binop("add", Read("acc", 0), C(1, 16))))
+        d.schedule("inc")
+        design = d.finalize()
+        apply_reductions(design, [("shrink-reg", "acc", 8),
+                                  ("shrink-reg", "acc", 4)])
+        assert design.registers["acc"].typ.width == 4
+
+    def test_prune_zero(self):
+        d = Design("prune")
+        d.reg("x", bits(8), init=0)
+        from repro.koika.ast import Binop
+
+        d.rule("r", Write("x", 0, Binop("add", Read("x", 0), C(5, 8))))
+        d.schedule("r")
+        design = d.finalize()
+        # Node 0 is the Write; node 1 is the Binop — zero the whole value.
+        apply_reductions(design, [("prune", "r", 1, "zero")])
+        sim = Interpreter(design)
+        sim.run_cycle()
+        assert int(sim.peek("x")) == 0
+
+    def test_prune_collapses_if(self):
+        from repro.koika.ast import If
+
+        d = Design("pruneif")
+        d.reg("x", bits(4), init=0)
+        d.rule("r", If(C(1, 1), Write("x", 0, C(3, 4)),
+                       Write("x", 0, C(9, 4))))
+        d.schedule("r")
+        design = d.finalize()
+        nodes_before = pretty_action(design.rules["r"].body)
+        apply_reductions(design, [("prune", "r", 0, "else")])
+        assert pretty_action(design.rules["r"].body) != nodes_before
+        sim = Interpreter(design)
+        sim.run_cycle()
+        assert int(sim.peek("x")) == 9
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            apply_reductions(counter_design(), [("explode", "r0")])
+
+    def test_each_step_is_retypechecked(self):
+        # Shrinking below a constant's width would break typing — the
+        # rewrite wraps reads/writes, so this must still typecheck.
+        design = counter_design(width=2)
+        apply_reductions(design, [("shrink-reg", "x0", 1)])
+        from repro.koika.typecheck import typecheck_design
+
+        typecheck_design(design)
+
+    def test_apply_reductions_is_deterministic(self):
+        chain = [("drop-rule", list(random_design(3).rules)[0])]
+
+        def fingerprint():
+            design = apply_reductions(random_design(3), chain)
+            return [(n, pretty_action(r.body))
+                    for n, r in design.rules.items()]
+
+        assert fingerprint() == fingerprint()
+
+
+# ----------------------------------------------------------------------
+# The greedy reducer.
+# ----------------------------------------------------------------------
+
+class TestReduceBucket:
+    def test_reduces_to_the_checks_minimum(self):
+        """With a check that only demands one named rule survive, the
+        reducer must strip everything else."""
+        job = SeedJob(seed=3, cycles=4, opts=(0,), include_rtl=False,
+                      include_simplified=False, schedule_seeds=())
+        keep = sorted(build_design(job).rules)[0]
+
+        def check(candidate):
+            design = build_design(candidate)
+            return keep in design.rules
+
+        reduced = reduce_bucket(job, f"cuttlesim-O0:{keep}:DivergenceError",
+                                check=check, budget=300)
+        assert isinstance(reduced, ReducedBucket)
+        assert list(reduced.design.rules) == [keep]
+        assert reduced.design.scheduler == [keep]
+        assert reduced.job.cycles == 1
+        assert reduced.converged
+        # The reduced recipe replays from plain data.
+        replay = build_design(SeedJob.from_dict(reduced.job.as_dict()))
+        assert list(replay.rules) == [keep]
+
+    def test_budget_bounds_checks(self):
+        job = SeedJob(seed=3, cycles=4, opts=(0,), include_rtl=False,
+                      include_simplified=False, schedule_seeds=())
+
+        def check(_candidate):
+            return True
+
+        reduced = reduce_bucket(job, "cuttlesim-O0:x:DivergenceError",
+                                check=check, budget=5)
+        assert reduced.checks <= 5
+
+    def test_rejected_candidates_leave_job_untouched(self):
+        job = SeedJob(seed=3, cycles=4, opts=(0,), include_rtl=False,
+                      include_simplified=False, schedule_seeds=())
+        baseline = build_design(job)
+
+        def check(candidate):
+            return candidate == job  # refuse every shrink
+
+        reduced = reduce_bucket(job, "cuttlesim-O0:x:DivergenceError",
+                                check=check, budget=100)
+        assert reduced.job == job
+        assert sorted(reduced.design.rules) == sorted(baseline.rules)
+
+
+# ----------------------------------------------------------------------
+# Script emission.
+# ----------------------------------------------------------------------
+
+class TestEmit:
+    def test_design_roundtrips_through_emitted_source(self):
+        design = random_design(6)
+        source = ("from repro.koika.ast import (Abort, Assign, Binop, C, "
+                  "If, Let, Read, Seq,\n"
+                  "                             Unop, V, Write, unit)\n"
+                  "from repro.koika.design import Design\n"
+                  "from repro.koika.types import bits\n"
+                  "def build_design():\n"
+                  + design_to_python(design) + "\n")
+        namespace = {}
+        exec(source, namespace)
+        rebuilt = namespace["build_design"]()
+        assert list(rebuilt.registers) == list(design.registers)
+        assert interpreter_trace(rebuilt, 8) == interpreter_trace(design, 8)
+
+    def test_repro_script_is_standalone_and_passes_when_clean(self, tmp_path):
+        design = random_design(1)
+        script = repro_script(design, signature="cuttlesim-O0:x:Demo",
+                              cycles=4, opts=(0,), include_rtl=False,
+                              include_simplified=False, schedule_seeds=(),
+                              provenance={"seed": 1})
+        path = tmp_path / "repro.py"
+        path.write_text(script)
+        namespace = runpy.run_path(str(path))
+        assert namespace["SIGNATURE"] == "cuttlesim-O0:x:Demo"
+        assert namespace["CYCLES"] == 4
+        namespace["check"]()  # no divergence on a clean toolchain
+
+    def test_repro_script_rejects_unsupported_designs(self):
+        from repro.errors import CompileError
+
+        d = Design("ext")
+        d.reg("x", bits(4), init=0)
+        d.extfun("probe", bits(4), bits(4))
+        from repro.koika.ast import ExtCall
+
+        d.rule("r", Write("x", 0, ExtCall("probe", Read("x", 0))))
+        d.schedule("r")
+        design = d.finalize()
+        with pytest.raises(CompileError):
+            design_to_python(design)
