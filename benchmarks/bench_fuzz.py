@@ -45,10 +45,36 @@ def test_campaign_throughput():
     _RESULTS["campaign"] = payload
 
 
+def test_campaign_throughput_batched():
+    """The same campaign with the 8-lane batched oracle in the check
+    matrix: every seed also diffs a width-8 lockstep model against the
+    scalar O2 reference, lane by lane.  Buckets must stay at zero —
+    this is the standing differential smoke test for the batch tier."""
+    from repro.fuzz import CampaignStore, run_campaign
+
+    root = tempfile.mkdtemp(prefix="repro-bench-fuzz-batched-")
+    store = CampaignStore.create(root, {
+        "seed_start": 0, "seed_stop": SEED_STOP, "cycles": CYCLES,
+        "opts": [0, 2, 5], "include_rtl": True, "include_simplified": True,
+        "schedule_seeds": 1, "mutate": 1, "mutation_depth": 1,
+        "batch": 8, "batch_backend": "auto",
+    })
+    report = run_campaign(store, batch=4)
+    payload = report.as_dict()
+    assert payload["buckets"] == 0, \
+        "the batched oracle found a real divergence — investigate!"
+    assert payload["executed_total"] >= SEED_STOP
+    payload["config"] = {"seed_stop": SEED_STOP, "cycles": CYCLES,
+                         "batch": 8, "batch_backend": "auto"}
+    _RESULTS["campaign_batched"] = payload
+
+
 def teardown_module(module):
     if "campaign" not in _RESULTS:
         return
     payload = _RESULTS["campaign"]
+    if "campaign_batched" in _RESULTS:
+        payload = dict(payload, batched=_RESULTS["campaign_batched"])
     with open("BENCH_fuzz.json", "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"\n\nFuzz — {payload['executed_total']} jobs over "
@@ -57,4 +83,9 @@ def teardown_module(module):
           f"{payload['coverage_features']} coverage feature(s) over "
           f"{payload['rules_covered']} rule structure(s), "
           f"{payload['buckets']} bucket(s)")
+    batched = payload.get("batched")
+    if batched:
+        print(f"  with 8-lane batched oracle: "
+              f"{batched['seeds_per_second'] or 0:.2f} seeds/s, "
+              f"{batched['buckets']} bucket(s)")
     print("BENCH_fuzz.json written")

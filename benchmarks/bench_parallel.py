@@ -6,11 +6,16 @@ Two questions, mirroring the acceptance criteria:
   unchanged design much (>= 5x) cheaper than a cold compile?
 * does fanning a randomized-schedule sweep across worker processes beat
   the serial path while reproducing its observations exactly?
+* does the batched lockstep tier (one process, width-B lanes) beat the
+  per-process fleet on a pure design, byte-identically lane by lane?
 
 Results land in ``extra_info`` (cycles/second, speedups, cache hit/miss
-counts), the same perf-trajectory numbers ``repro parallel --json`` emits.
+counts), the same perf-trajectory numbers ``repro parallel --json`` emits,
+and the lockstep-vs-fleet comparison is written to ``BENCH_parallel.json``
+(``repro-fleet-v1`` with a ``batch`` section).
 """
 
+import json
 import pickle
 import tempfile
 
@@ -19,13 +24,21 @@ import pytest
 from conftest import WORKLOADS
 from repro.cuttlesim import ModelCache, compile_model
 from repro.debug.randomize import randomized_sweep
-from repro.designs import build_rv32im
+from repro.designs import build_collatz, build_rv32im
+from repro.harness.lockstep import lockstep_sweep, per_process_baseline
 
 TRIALS = 16
 CYCLES_PER_TRIAL = 2_000
 
+#: The lockstep comparison: one seed per lane, a real forking fleet as the
+#: baseline (workers=2 forces the fork path even on a 1-CPU runner).
+LOCKSTEP_TRIALS = 128
+LOCKSTEP_CYCLES = 2_000
+FLEET_WORKERS = 2
+
 _SWEEPS = {}
 _CACHE = {}
+_LOCKSTEP = {}
 
 
 def _collatz_sweep(workers, cache):
@@ -57,6 +70,44 @@ def test_randomized_sweep_fleet(benchmark, workers):
         "cache": cache.stats.as_dict(),
     })
     _SWEEPS[workers] = (rate, pickle.dumps(report.observations))
+
+
+@pytest.mark.parametrize("mode", ["fleet", "batch32", "batch128"])
+def test_lockstep_vs_fleet(benchmark, mode):
+    """Same 128 seeded collatz trials: per-process fleet vs width-B lanes.
+
+    Collatz is the pure-rule showcase — no extcalls, so no scalar drain;
+    the whole cycle vectorizes.  Observations must be byte-identical
+    across all three modes (that's the tier's contract, not a perf knob).
+    """
+    benchmark.group = "lockstep:collatz-128-trials"
+    cache = ModelCache(path=None)
+    design = build_collatz()
+    reports = []
+
+    if mode == "fleet":
+        run = lambda: reports.append(per_process_baseline(  # noqa: E731
+            design, LOCKSTEP_TRIALS, LOCKSTEP_CYCLES,
+            workers=FLEET_WORKERS, cache=cache))
+    else:
+        lanes = int(mode[len("batch"):])
+        run = lambda: reports.append(lockstep_sweep(  # noqa: E731
+            design, LOCKSTEP_TRIALS, LOCKSTEP_CYCLES,
+            batch=lanes, cache=cache))
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    report = reports[-1]
+    report.raise_on_failure()
+    mean = benchmark.stats.stats.mean
+    payload = report.as_dict()
+    payload.pop("results", None)  # keep BENCH_parallel.json small
+    payload["seeds_per_second"] = round(LOCKSTEP_TRIALS / mean, 3)
+    payload["mean_seconds"] = round(mean, 6)
+    if mode != "fleet":
+        payload["batch"] = {"lanes": lanes,
+                            "backend": report.results[0].meta.get("backend")}
+    benchmark.extra_info.update(payload)
+    _LOCKSTEP[mode] = (payload, pickle.dumps(
+        [r.observation for r in report.results]))
 
 
 @pytest.mark.parametrize("state", ["cold", "warm"])
@@ -99,3 +150,30 @@ def teardown_module(module):
         speedup = _CACHE["cold"] / _CACHE["warm"]
         print(f"\nModel cache — rv32im compile: cold {_CACHE['cold']:.3f}s, "
               f"warm {_CACHE['warm']:.3f}s ({speedup:.1f}x)")
+    if "fleet" in _LOCKSTEP:
+        fleet_payload, fleet_obs = _LOCKSTEP["fleet"]
+        fleet_rate = fleet_payload["seeds_per_second"]
+        print(f"\nLockstep — {LOCKSTEP_TRIALS} collatz trials x "
+              f"{LOCKSTEP_CYCLES} cycles")
+        print(f"  per-process fleet ({FLEET_WORKERS} workers): "
+              f"{fleet_rate:>8.1f} seeds/s")
+        bench = {"schema": "repro-fleet-v1", "design": "collatz",
+                 "trials": LOCKSTEP_TRIALS, "cycles": LOCKSTEP_CYCLES,
+                 "fleet": fleet_payload, "batch": {}}
+        for mode in sorted(_LOCKSTEP):
+            if mode == "fleet":
+                continue
+            payload, obs = _LOCKSTEP[mode]
+            rate = payload["seeds_per_second"]
+            speedup = rate / fleet_rate
+            identical = obs == fleet_obs
+            assert identical, \
+                f"{mode} observations diverge from the per-process fleet!"
+            payload["speedup_vs_fleet"] = round(speedup, 2)
+            bench["batch"][str(payload["batch"]["lanes"])] = payload
+            print(f"  {mode:<17} ({payload['batch']['backend']}): "
+                  f"{rate:>8.1f} seeds/s  ({speedup:.2f}x vs fleet)  "
+                  "observations identical")
+        with open("BENCH_parallel.json", "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+        print("BENCH_parallel.json written")

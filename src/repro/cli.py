@@ -269,10 +269,68 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_parallel_lockstep(args) -> int:
+    """``repro parallel --batch B``: trials as lanes of one vectorized
+    model instead of one process each (poke sweep, not schedule sweep)."""
+    import json
+
+    from .harness.lockstep import lockstep_sweep, per_process_baseline
+
+    design = _get_design(args.design)
+    cache = None if args.no_cache else True
+    env_factory = lambda: _default_env(design, args.program, args.arg)  # noqa: E731
+
+    baseline = None
+    if args.compare_serial:
+        baseline = per_process_baseline(
+            design, args.trials, args.cycles, seed=args.seed,
+            env_factory=env_factory, workers=args.workers,
+            timeout=args.timeout, cache=cache)
+        baseline.raise_on_failure()
+
+    report = lockstep_sweep(
+        design, args.trials, args.cycles, batch=args.batch, seed=args.seed,
+        env_factory=env_factory, backend=args.batch_backend, cache=cache)
+    if baseline is not None:
+        report.serial_seconds = baseline.wall_seconds
+
+    payload = report.as_dict()
+    payload["design"] = args.design
+    payload["cycles_per_trial"] = args.cycles
+    payload["batch"] = {"lanes": args.batch, "backend": args.batch_backend,
+                        "model": report.results[0].meta.get("backend")}
+    matches = None
+    if baseline is not None:
+        matches = report.observations == baseline.observations
+        payload["matches_fleet"] = matches
+
+    backend = payload["batch"]["model"]
+    print(f"{args.trials} trial(s) on {backend}, "
+          f"wall {report.wall_seconds:.3f}s"
+          + (f"; fleet baseline {baseline.wall_seconds:.3f}s "
+             f"({report.speedup_vs_serial:.2f}x)" if baseline else ""))
+    if payload.get("cache"):
+        cache_info = payload["cache"]
+        print(f"model cache: {cache_info['hits']} hit(s), "
+              f"{cache_info['misses']} miss(es)")
+    if matches is not None:
+        print("batched == per-process fleet:", "yes" if matches else "NO")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+        print(f"report written to {args.json}")
+    if report.failures or matches is False:
+        return 1
+    return 0
+
+
 def cmd_parallel(args) -> int:
     import json
 
     from .debug.randomize import randomized_sweep
+
+    if args.batch:
+        return _cmd_parallel_lockstep(args)
 
     design = _get_design(args.design)
     cache = None if args.no_cache else True
@@ -372,13 +430,14 @@ def cmd_fuzz_run(args) -> int:
         "include_simplified": not args.no_simplified,
         "schedule_seeds": args.schedule_seeds,
         "mutate": args.mutate, "mutation_depth": args.mutation_depth,
+        "batch": args.batch, "batch_backend": args.batch_backend,
     }
     try:
         store = CampaignStore.create(args.state, config, force=args.force)
     except FileExistsError as exc:
         raise SystemExit(str(exc))
     report = run_campaign(store, workers=args.workers, server=args.server,
-                          batch=args.batch,
+                          batch=args.jobs_per_batch,
                           progress=None if args.quiet else print)
     _fuzz_report(report, args)
     return 1 if store.bucket_slugs() else 0
@@ -398,7 +457,7 @@ def cmd_fuzz_resume(args) -> int:
         with open(_os.path.join(store.root, "config.json"), "w") as handle:
             _json.dump(store.config, handle, indent=2, sort_keys=True)
     report = run_campaign(store, workers=args.workers, server=args.server,
-                          batch=args.batch,
+                          batch=args.jobs_per_batch,
                           progress=None if args.quiet else print)
     _fuzz_report(report, args)
     return 1 if store.bucket_slugs() else 0
@@ -559,9 +618,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the repro-fleet-v1 report (BENCH_*.json)")
     p.add_argument("--compare-serial", action="store_true",
-                   help="also run serially; report speedup and equality")
+                   help="also run serially; report speedup and equality "
+                        "(with --batch: per-process fleet baseline)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed model cache")
+    p.add_argument("--batch", type=int, default=0, metavar="B",
+                   help="run trials as B lanes of one batched lockstep "
+                        "model (poke sweep) instead of one process each")
+    p.add_argument("--batch-backend", default="auto",
+                   choices=("auto", "numpy", "list"),
+                   help="lane storage for --batch (default: %(default)s)")
     p.add_argument("--program", default=None,
                    help="built-in RISC-V program (rv32 designs)")
     p.add_argument("--arg", type=int, default=100)
@@ -583,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
             fp.add_argument("--server", default=None, metavar="ADDR",
                             help="dispatch batches to a running `repro "
                                  "serve` daemon at this address")
-            fp.add_argument("--batch", type=int, default=None,
+            fp.add_argument("--jobs-per-batch", type=int, default=None,
                             help="jobs per persisted batch")
             fp.add_argument("--json", default=None, metavar="PATH",
                             help="write the repro-fuzz-v1 BENCH report")
@@ -602,6 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the simplified-O5 backend")
     fp.add_argument("--schedule-seeds", type=int, default=2,
                     help="randomized-schedule trials per design")
+    fp.add_argument("--batch", type=int, default=0, metavar="B",
+                    help="also diff a B-lane batched lockstep backend "
+                         "against scalar O2 (0 = off)")
+    fp.add_argument("--batch-backend", default="auto",
+                    choices=("auto", "numpy", "list"),
+                    help="lane storage for --batch (default: %(default)s)")
     fp.add_argument("--mutate", type=int, default=2,
                     help="mutants queued per interesting corpus entry")
     fp.add_argument("--mutation-depth", type=int, default=2,

@@ -1,0 +1,927 @@
+"""Batched lockstep execution: simulate B independent trials in one model.
+
+The per-process fleet pays one interpreter start-up, one model compile (or
+cache load) and one process per trial.  Most sweep/fuzz workloads run the
+*same design* many times with different initial states, so the marginal
+cost of a trial should be a handful of vector operations, not a process.
+This module compiles a design into a **width-B lockstep model**: every
+register becomes a length-B lane vector, rule bodies are vectorized, and
+the early-exit control flow of the sequential model (``return False`` on a
+conflict) becomes per-lane *activity masks* — the bulk-synchronous
+execution style of Manticore, grafted onto Cuttlesim's O2 log layout.
+
+Two backends share one semantics:
+
+* ``numpy`` — lanes are ``uint64`` arrays; rule bodies lower to masked
+  vector ops (``_np.where`` for conditionals, masked stores for the
+  rwset/log updates).  Chosen automatically when NumPy is importable and
+  every value in the design fits :data:`NUMPY_MAX_WIDTH` bits (so all
+  arithmetic is exact in ``uint64`` without multi-word emulation).
+* ``list`` — lanes are plain Python lists; each rule reuses the scalar O2
+  emitter per lane (``rule_r_lane(self, _k)``) under a thin lockstep
+  wrapper.  Always available; also the fallback for wide designs.
+
+Data-dependent external calls cannot be vectorized (each lane's
+environment must observe exactly one call, in order), so they take a
+**scalar drain**: the argument vector is materialized and the still-active
+lanes are drained one by one through their own environment's callable.
+
+Lane-by-lane, a batched run is byte-identical to B serial runs — that is
+checked by the differential fuzz oracle, which registers the batched tier
+as another backend (see ``repro.fuzz.executor.verify_design``).
+"""
+
+from __future__ import annotations
+
+import linecache
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend="list"
+    _np = None
+
+from ..errors import CompileError
+from ..koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Const,
+    ExtCall,
+    If,
+    Read,
+    Write,
+    walk,
+)
+from ..koika.design import Design, Rule
+from ..koika.types import mask
+from .codegen import (
+    _Builder,
+    _Emitter,
+    _FnEmitter,
+    _hex,
+    _Layout,
+    _Meta,
+    _RuleEmitter,
+)
+from .model import BatchModelBase
+
+#: Bump whenever the batched emitters' output changes; folded into model
+#: cache keys (alongside CODEGEN_VERSION) so stale entries never replay.
+BATCH_CODEGEN_VERSION = 1
+
+#: Widest value (register or intermediate) the NumPy backend accepts: all
+#: lane arithmetic happens in uint64, and products/concats of two
+#: ``<= 32``-bit values are exact without multi-word carries.
+NUMPY_MAX_WIDTH = 32
+
+
+# ----------------------------------------------------------------------
+# NumPy lane runtime (injected into the generated module's namespace).
+# ----------------------------------------------------------------------
+#
+# Every helper is *total*: the vector model evaluates both sides of every
+# branch and keeps computing for aborted lanes, so a division by zero or
+# an oversized shift amount in a dead/untaken lane must produce garbage,
+# not an exception.  All values are uint64; subtraction and negation go
+# through the two's complement within the result width so no intermediate
+# ever wraps at 64 bits (inputs are < 2**NUMPY_MAX_WIDTH).
+
+if _np is not None:
+    _DT = _np.uint64
+
+    def _u(x):
+        """Coerce a lane value (array, bool array or Python int) to uint64."""
+        return _np.asarray(x, _DT)
+
+    def _bv(x, n):
+        """Coerce a condition to a length-``n`` boolean lane vector."""
+        a = _np.asarray(x)
+        if a.ndim == 0:
+            return _np.full(n, bool(a))
+        return a != 0
+
+    def _vsub(a, b, m):
+        return (_u(a) + ((_u(b) ^ _DT(m)) + _DT(1))) & _DT(m)
+
+    def _vneg(a, m):
+        return ((_u(a) ^ _DT(m)) + _DT(1)) & _DT(m)
+
+    def _vsxt(a, sign, high):
+        aa = _u(a)
+        return _np.where((aa & _DT(sign)) != 0, aa | _DT(high), aa)
+
+    def _vdiv(a, b, m):
+        bb = _u(b)
+        return _np.where(bb != 0, _u(a) // _np.maximum(bb, _DT(1)), _DT(m))
+
+    def _vrem(a, b):
+        aa, bb = _u(a), _u(b)
+        return _np.where(bb != 0, aa % _np.maximum(bb, _DT(1)), aa)
+
+    def _veq(a, b):
+        return (_u(a) == _u(b)).astype(_DT)
+
+    def _vne(a, b):
+        return (_u(a) != _u(b)).astype(_DT)
+
+    def _vltu(a, b):
+        return (_u(a) < _u(b)).astype(_DT)
+
+    def _vleu(a, b):
+        return (_u(a) <= _u(b)).astype(_DT)
+
+    def _vgtu(a, b):
+        return (_u(a) > _u(b)).astype(_DT)
+
+    def _vgeu(a, b):
+        return (_u(a) >= _u(b)).astype(_DT)
+
+    # Signed comparisons: xor-ing the sign bit maps two's complement order
+    # onto unsigned order.
+    def _vlts(a, b, half):
+        return ((_u(a) ^ _DT(half)) < (_u(b) ^ _DT(half))).astype(_DT)
+
+    def _vles(a, b, half):
+        return ((_u(a) ^ _DT(half)) <= (_u(b) ^ _DT(half))).astype(_DT)
+
+    def _vgts(a, b, half):
+        return ((_u(a) ^ _DT(half)) > (_u(b) ^ _DT(half))).astype(_DT)
+
+    def _vges(a, b, half):
+        return ((_u(a) ^ _DT(half)) >= (_u(b) ^ _DT(half))).astype(_DT)
+
+    def _vshl(a, b, w, m):
+        bb = _u(b)
+        return _np.where(bb < _DT(w),
+                         (_u(a) << _np.minimum(bb, _DT(63))) & _DT(m),
+                         _DT(0))
+
+    def _vshr(a, b, w):
+        bb = _u(b)
+        return _np.where(bb < _DT(w),
+                         _u(a) >> _np.minimum(bb, _DT(63)),
+                         _DT(0))
+
+    def _vsar(a, b, w, sign, m):
+        aa = _u(a)
+        bb = _np.minimum(_u(b), _DT(w))
+        shifted = aa >> bb
+        fill = (_DT(m) >> bb) ^ _DT(m)
+        return _np.where((aa & _DT(sign)) != 0, shifted | fill, shifted)
+
+    def _vselbit(a, b, w):
+        bb = _u(b)
+        return _np.where(bb < _DT(w),
+                         (_u(a) >> _np.minimum(bb, _DT(63))) & _DT(1),
+                         _DT(0))
+
+    def _ow(dst, bits, m):
+        """Masked flag update: ``dst[m] |= bits`` without fancy indexing."""
+        _np.bitwise_or(dst, _np.uint8(bits), out=dst, where=m)
+
+    def _st(dst, value, m):
+        """Masked store of a lane value into a uint64 row."""
+        _np.copyto(dst, _u(value), where=m)
+
+    _NUMPY_RUNTIME: Dict[str, object] = {
+        "_np": _np, "_DT": _DT, "_u": _u, "_bv": _bv,
+        "_vsub": _vsub, "_vneg": _vneg, "_vsxt": _vsxt,
+        "_vdiv": _vdiv, "_vrem": _vrem,
+        "_veq": _veq, "_vne": _vne, "_vltu": _vltu, "_vleu": _vleu,
+        "_vgtu": _vgtu, "_vgeu": _vgeu, "_vlts": _vlts, "_vles": _vles,
+        "_vgts": _vgts, "_vges": _vges,
+        "_vshl": _vshl, "_vshr": _vshr, "_vsar": _vsar,
+        "_vselbit": _vselbit, "_ow": _ow, "_st": _st,
+    }
+else:  # pragma: no cover - numpy present in the dev/CI toolchain
+    _NUMPY_RUNTIME = {}
+
+
+def max_value_width(design: Design) -> int:
+    """Widest register or intermediate value anywhere in ``design``."""
+    width = 0
+    for register in design.registers.values():
+        width = max(width, register.typ.width)
+    for ext in design.extfuns.values():
+        width = max(width, ext.arg_type.width, ext.ret_type.width)
+    bodies = [rule.body for rule in design.rules.values()]
+    bodies += [fn.body for fn in design.fns.values()]
+    for body in bodies:
+        for node in walk(body):
+            if node.typ is not None:
+                width = max(width, node.typ.width)
+    return width
+
+
+def resolve_batch_backend(design: Design, backend: str = "auto") -> str:
+    """Pick the lane backend: ``numpy`` when importable and every value in
+    the design fits uint64 arithmetic, else the ``list`` fallback."""
+    if backend not in ("auto", "numpy", "list"):
+        raise CompileError(f"unknown batch backend {backend!r} "
+                           f"(expected 'auto', 'numpy' or 'list')")
+    if backend == "list":
+        return "list"
+    feasible = _np is not None and max_value_width(design) <= NUMPY_MAX_WIDTH
+    if backend == "numpy":
+        if _np is None:
+            raise CompileError("batch backend 'numpy' requested but numpy "
+                               "is not importable")
+        if not feasible:
+            raise CompileError(
+                f"batch backend 'numpy' requires every value to fit "
+                f"{NUMPY_MAX_WIDTH} bits; design {design.name!r} has wider "
+                f"values (use backend='list' or 'auto')")
+        return "numpy"
+    return "numpy" if feasible else "list"
+
+
+def _rule_footprint(rule: Rule, reg_id: Dict[str, int]) -> List[int]:
+    """Register rows the rule touches (reads or writes).  Entry copies and
+    commits are restricted to these rows: the accumulated (A) rows are
+    only ever consulted for registers the rule itself references, and the
+    cycle-log (L) rows are authoritative at all times."""
+    regs = set()
+    for node in walk(rule.body):
+        if isinstance(node, (Read, Write)):
+            regs.add(node.reg)
+    return sorted(reg_id[name] for name in regs)
+
+
+# ----------------------------------------------------------------------
+# NumPy backend: masked-vector emitters.
+# ----------------------------------------------------------------------
+
+class _VectorOps:
+    """Expression lowering shared by the vector rule and fn emitters.
+
+    ``self._conj`` is the boolean lane vector of the enclosing branch
+    conditions (``None`` at rule top level): conditionals execute *both*
+    branches with complementary conjunctions instead of branching, and
+    local assignments under a conjunction become masked merges."""
+
+    _conj: Optional[str] = None
+    lanes: int = 0
+
+    def emit(self, node: Action) -> str:
+        if isinstance(node, Assign) and self._conj is not None:
+            self.meta.uid_line.setdefault(node.uid, self.out.lineno())
+            expr = self.emit(node.value)
+            target = self.scope[node.name]
+            self.line(f"{target} = _np.where({self._conj}, _u({expr}), "
+                      f"_u({target}))")
+            return "0"
+        return super().emit(node)
+
+    def _fresh_and(self, a: str, b: str) -> str:
+        temp = self.fresh("m")
+        self.line(f"{temp} = {a} & {b}")
+        return temp
+
+    def _emit_unop(self, node):
+        op = node.op
+        if op == "neg":
+            arg = self.emit(node.arg)
+            return f"_vneg({arg}, {_hex(mask(node.typ.width))})"
+        if op == "sextl":
+            in_width = node.arg.typ.width
+            if in_width == 0:
+                return "0"
+            arg = self.emit(node.arg)
+            sign_bit = _hex(1 << (in_width - 1))
+            high = _hex(mask(node.param) - mask(in_width))
+            return f"_vsxt({arg}, {sign_bit}, {high})"
+        # not / zextl / bit slices are mask-and-shift by constants, which
+        # operate elementwise on lane vectors unchanged.
+        return super()._emit_unop(node)
+
+    def _emit_binop(self, node):
+        op = node.op
+        a_expr, b_expr = self.emit_ordered((node.a, node.b))
+        width = node.a.typ.width
+        result_mask = _hex(mask(node.typ.width))
+        if op == "add":
+            return f"(({a_expr} + {b_expr}) & {result_mask})"
+        if op == "sub":
+            return f"_vsub({a_expr}, {b_expr}, {result_mask})"
+        if op == "mul":
+            return f"(({a_expr} * {b_expr}) & {result_mask})"
+        if op == "divu":
+            return f"_vdiv({a_expr}, {b_expr}, {result_mask})"
+        if op == "remu":
+            return f"_vrem({a_expr}, {b_expr})"
+        if op == "and":
+            return f"({a_expr} & {b_expr})"
+        if op == "or":
+            return f"({a_expr} | {b_expr})"
+        if op == "xor":
+            return f"({a_expr} ^ {b_expr})"
+        if op in ("eq", "ne", "ltu", "leu", "gtu", "geu"):
+            fn = {"eq": "_veq", "ne": "_vne", "ltu": "_vltu",
+                  "leu": "_vleu", "gtu": "_vgtu", "geu": "_vgeu"}[op]
+            return f"{fn}({a_expr}, {b_expr})"
+        if op in ("lts", "les", "gts", "ges"):
+            fn = {"lts": "_vlts", "les": "_vles",
+                  "gts": "_vgts", "ges": "_vges"}[op]
+            half = _hex(1 << (width - 1))
+            return f"{fn}({a_expr}, {b_expr}, {half})"
+        if op == "concat":
+            return f"(({a_expr} << {node.b.typ.width}) | {b_expr})"
+        if op == "sll":
+            if isinstance(node.b, Const):
+                if node.b.value >= width:
+                    return "0"
+                return f"(({a_expr} << {node.b.value}) & {result_mask})"
+            return f"_vshl({a_expr}, {b_expr}, {width}, {result_mask})"
+        if op == "srl":
+            if isinstance(node.b, Const):
+                if node.b.value >= width:
+                    return "0"
+                return f"({a_expr} >> {node.b.value})"
+            return f"_vshr({a_expr}, {b_expr}, {width})"
+        if op == "sra":
+            sign_bit = _hex(1 << (width - 1))
+            if isinstance(node.b, Const):
+                shift = _hex(min(node.b.value, width))
+                return (f"_vsar({a_expr}, {shift}, {width}, {sign_bit}, "
+                        f"{result_mask})")
+            return (f"_vsar({a_expr}, {b_expr}, {width}, {sign_bit}, "
+                    f"{result_mask})")
+        if op == "sel":
+            if isinstance(node.b, Const):
+                if node.b.value >= width:
+                    return "0"
+                return f"(({a_expr} >> {node.b.value}) & 1)"
+            return f"_vselbit({a_expr}, {b_expr}, {width})"
+        raise CompileError(f"unknown binop {op!r}")
+
+    def _emit_if(self, node: If) -> str:
+        if node.orelse is not None and self._is_pure(node):
+            # Both branches are effect-free (helpers are total), so an
+            # eager elementwise select is exact.
+            cond = self.emit(node.cond)
+            then = self.emit(node.then)
+            orelse = self.emit(node.orelse)
+            return (f"_np.where(_bv({cond}, {self.lanes}), "
+                    f"_u({then}), _u({orelse}))")
+        if node.typ is not None and node.typ.width == 0:
+            self._emit_if_stmt(node)
+            return "0"
+        cond = self.emit(node.cond)
+        cvar = self.fresh("c")
+        self.line(f"{cvar} = _bv({cond}, {self.lanes})")
+        saved = self._conj
+        self._conj = cvar if saved is None else self._fresh_and(cvar, saved)
+        # Hoist the then-value before the else branch runs: its effects are
+        # masked to the complementary lanes, but evaluating the expression
+        # early keeps the values independent of later statements.
+        then = self.hoist(self.emit(node.then))
+        assert node.orelse is not None
+        nvar = self.fresh("c")
+        if saved is None:
+            self.line(f"{nvar} = ~{cvar}")
+        else:
+            self.line(f"{nvar} = ~{cvar} & {saved}")
+        self._conj = nvar
+        orelse = self.emit(node.orelse)
+        self._conj = saved
+        temp = self.fresh()
+        self.line(f"{temp} = _np.where({cvar}, _u({then}), _u({orelse}))")
+        return temp
+
+    def _emit_if_stmt(self, node: If) -> None:
+        cond = self.emit(node.cond)
+        then_live = not self._is_pure(node.then)
+        else_live = node.orelse is not None and not self._is_pure(node.orelse)
+        if not (then_live or else_live):
+            return
+        cvar = self.fresh("c")
+        self.line(f"{cvar} = _bv({cond}, {self.lanes})")
+        saved = self._conj
+        if then_live:
+            self._conj = cvar if saved is None \
+                else self._fresh_and(cvar, saved)
+            self.emit_discard(node.then)
+        if else_live:
+            nvar = self.fresh("c")
+            if saved is None:
+                self.line(f"{nvar} = ~{cvar}")
+            else:
+                self.line(f"{nvar} = ~{cvar} & {saved}")
+            self._conj = nvar
+            self.emit_discard(node.orelse)
+        self._conj = saved
+
+
+class _VectorFnEmitter(_VectorOps, _FnEmitter):
+    """Vectorized module-level function for a pure design fn."""
+
+    def __init__(self, out: _Builder, meta: _Meta, lanes: int):
+        super().__init__(out, meta)
+        self.lanes = lanes
+
+
+class _VectorRuleEmitter(_VectorOps, _Emitter):
+    """Emits one rule as a masked straight-line lane method.
+
+    The method mirrors the O2 layout: accumulated (A) rows are entered
+    from the cycle-log (L) rows for the rule's footprint, the body updates
+    A under per-lane masks, and the commit copies A back to L for lanes
+    still active.  ``_act`` (length-B bool) replaces ``return False``."""
+
+    def __init__(self, out: _Builder, meta: _Meta, design: Design,
+                 rule: Rule, lanes: int, reg_id: Dict[str, int],
+                 footprint: Sequence[int]):
+        super().__init__(out, meta)
+        self.design = design
+        self.rule = rule
+        self.lanes = lanes
+        self.reg_id = reg_id
+        self.footprint = list(footprint)
+        self._reads_checked: set = set()
+
+    def effmask(self) -> str:
+        """Lanes for which the current statement's effects are live."""
+        if self._conj is None:
+            return "_act"
+        return f"({self._conj} & _act)"
+
+    def _read_is_pure(self, node: Read) -> bool:
+        return False
+
+    def emit_discard(self, node: Action) -> None:
+        # Unlike the scalar emitter, every side effect (including external
+        # calls) is already emitted as statements by emit(); the returned
+        # expression is always pure and can be dropped.
+        if self._is_pure(node):
+            return
+        if isinstance(node, If):
+            self._emit_if_stmt(node)
+            return
+        self.emit(node)
+
+    def _emit_effect(self, node: Action) -> str:
+        if isinstance(node, Read):
+            return self._emit_read(node)
+        if isinstance(node, Write):
+            return self._emit_write(node)
+        if isinstance(node, Abort):
+            return self._emit_abort(node)
+        if isinstance(node, ExtCall):
+            return self._emit_extcall(node)
+        raise CompileError(f"cannot emit {type(node).__name__}")
+
+    def _kill(self, fail: str, comment: str) -> None:
+        """Deactivate lanes for which ``fail`` holds (under the current
+        branch conjunction)."""
+        if self._conj is None:
+            self.line(f"_act &= ~({fail})  # {comment}")
+        else:
+            self.line(f"_act &= ~(({fail}) & {self._conj})  # {comment}")
+
+    def _emit_read(self, node: Read) -> str:
+        name = node.reg
+        i = self.reg_id[name]
+        bits = 12 if node.port == 0 else 8
+        key = (name, node.port)
+        if self._conj is None:
+            # The cycle log is constant for the whole rule, so an
+            # unconditional check never needs repeating.
+            if key not in self._reads_checked:
+                self._kill(f"(Lrw[{i}] & {bits}) != 0",
+                           f"{name}.rd{node.port} conflict")
+                self._reads_checked.add(key)
+        else:
+            self._kill(f"(Lrw[{i}] & {bits}) != 0",
+                       f"{name}.rd{node.port} conflict")
+        flag = 1 if node.port == 0 else 2
+        self.line(f"_ow(Arw[{i}], {flag}, {self.effmask()})")
+        self.effects = True
+        if node.port == 0:
+            return f"S[{i}]"
+        return f"_np.where((Arw[{i}] & 4) != 0, Ad0[{i}], S[{i}])"
+
+    def _emit_write(self, node: Write) -> str:
+        # The reference interpreter evaluates the written value *before*
+        # the conflict check; external calls in the value must fire in
+        # that order, so emit the value first.
+        value_expr = self.emit(node.value)
+        name = node.reg
+        i = self.reg_id[name]
+        bits = 14 if node.port == 0 else 8
+        self._kill(f"(Arw[{i}] & {bits}) != 0",
+                   f"{name}.wr{node.port} conflict")
+        mm = self.fresh("w")
+        self.line(f"{mm} = {self.effmask()}")
+        self.line(f"_ow(Arw[{i}], {4 if node.port == 0 else 8}, {mm})")
+        self.line(f"_st(Ad{node.port}[{i}], {value_expr}, {mm})"
+                  f"  # {name}.wr{node.port}")
+        self.effects = True
+        return "0"
+
+    def _emit_abort(self, node: Abort) -> str:
+        if self._conj is None:
+            self.line("_act[:] = False")
+        else:
+            self.line(f"_act &= ~{self._conj}")
+        self.effects = True
+        return "0"
+
+    def _emit_extcall(self, node: ExtCall) -> str:
+        # Scalar drain: external calls are per-lane observable effects
+        # (each lane has its own environment), so the active lanes are
+        # drained one at a time through their own callable, in lane order.
+        arg = self.emit(node.arg)
+        ret_mask = _hex(mask(node.typ.width))
+        avar = self.fresh("a")
+        self.line(f"{avar} = _np.broadcast_to(_u({arg}), ({self.lanes},))")
+        rvar = self.fresh("x")
+        self.line(f"{rvar} = _np.zeros({self.lanes}, _DT)")
+        self.line(f"for _k in _np.nonzero({self.effmask()})[0]:")
+        self.out.indent += 1
+        self.line(f"{rvar}[_k] = "
+                  f"self._ext_{node.fn}[_k](int({avar}[_k])) & {ret_mask}")
+        self.out.indent -= 1
+        self.effects = True
+        return rvar
+
+    def emit_rule(self) -> None:
+        rule = self.rule
+        self.line(f"def rule_{rule.name}(self):")
+        self.out.indent += 1
+        self.line("S = self._S")
+        self.line("Lrw = self._Lrw")
+        self.line("Ld0 = self._Ld0")
+        self.line("Ld1 = self._Ld1")
+        self.line("Arw = self._Arw")
+        self.line("Ad0 = self._Ad0")
+        self.line("Ad1 = self._Ad1")
+        self.line("_act = self._act")
+        self.line("_act[:] = True")
+        for i in self.footprint:
+            self.line(f"_np.copyto(Arw[{i}], Lrw[{i}])")
+            self.line(f"_np.copyto(Ad0[{i}], Ld0[{i}])")
+            self.line(f"_np.copyto(Ad1[{i}], Ld1[{i}])")
+        self.emit_discard(rule.body)
+        for i in self.footprint:
+            self.line(f"_np.copyto(Lrw[{i}], Arw[{i}], where=_act)")
+            self.line(f"_np.copyto(Ld0[{i}], Ad0[{i}], where=_act)")
+            self.line(f"_np.copyto(Ld1[{i}], Ad1[{i}], where=_act)")
+        self.line("return _act")
+        self.out.indent -= 1
+        self.line("")
+
+
+# ----------------------------------------------------------------------
+# List backend: the scalar O2 emitter per lane, under a lockstep wrapper.
+# ----------------------------------------------------------------------
+
+class _LaneLayout(_Layout):
+    """O2 log layout with every slot widened to a lane column: state and
+    log entries are indexed ``row[i][_k]`` for register ``i``, lane
+    ``_k``.  Entry copies and commits live in the lockstep wrapper, so
+    per-lane rules only check/update their own column."""
+
+    def read_check(self, i, port):
+        if port == 0:
+            return f"Lrw[{i}][_k] & 12"
+        return f"Lrw[{i}][_k] & 8"
+
+    def read_flag_stmts(self, i, port):
+        return [f"Arw[{i}][_k] |= {1 if port == 0 else 2}"]
+
+    def read_value(self, i, port):
+        if port == 0:
+            return f"S[{i}][_k]"
+        return f"(Ad0[{i}][_k] if Arw[{i}][_k] & 4 else S[{i}][_k])"
+
+    def write_check(self, i, port):
+        if port == 0:
+            return f"Arw[{i}][_k] & 14"
+        return f"Arw[{i}][_k] & 8"
+
+    def write_stmts(self, i, port, value):
+        if port == 0:
+            return [f"Arw[{i}][_k] |= 4", f"Ad0[{i}][_k] = {value}"]
+        return [f"Arw[{i}][_k] |= 8", f"Ad1[{i}][_k] = {value}"]
+
+    def rule_locals(self, rule):
+        return [
+            "S = self._S",
+            "Lrw = self._Lrw", "Ld0 = self._Ld0", "Ld1 = self._Ld1",
+            "Arw = self._Arw", "Ad0 = self._Ad0", "Ad1 = self._Ad1",
+        ]
+
+    def rule_commit(self, rule):
+        return ["return True"]
+
+    def fail_stmt(self, rule, effects_so_far):
+        return "return False"
+
+
+class _LaneRuleEmitter(_RuleEmitter):
+    """Scalar O2 rule body specialized to one lane (``rule_r_lane``)."""
+
+    def emit_rule(self) -> None:
+        rule = self.rule
+        self.line(f"def rule_{rule.name}_lane(self, _k):")
+        self.out.indent += 1
+        for alias in self.layout.rule_locals(rule.name):
+            self.line(alias)
+        self.emit_discard(rule.body)
+        for stmt in self.layout.rule_commit(rule.name):
+            self.line(stmt)
+        self.out.indent -= 1
+        self.line("")
+
+    def _emit_extcall(self, node: ExtCall) -> str:
+        arg = self.emit(node.arg)
+        ret_mask = _hex(mask(node.typ.width))
+        return f"(self._ext_{node.fn}[_k]({arg}) & {ret_mask})"
+
+
+# ----------------------------------------------------------------------
+# Whole-module generation.
+# ----------------------------------------------------------------------
+
+def generate_batch_source(design: Design, lanes: int,
+                          backend: str) -> Tuple[str, _Meta]:
+    """Generate the Python source of a width-``lanes`` lockstep model."""
+    if not design.finalized:
+        design.finalize()
+    regs = list(design.registers)
+    n = len(regs)
+    reg_id = {name: i for i, name in enumerate(regs)}
+    out = _Builder()
+    meta = _Meta()
+
+    out.line(f'"""Batched lockstep Cuttlesim model for design '
+             f'{design.name!r} ({lanes} lanes, {backend} backend).')
+    out.line("")
+    out.line("Auto-generated; every register is a width-B lane vector and")
+    out.line("per-lane activity masks replace early-exit control flow.")
+    out.line('"""')
+    out.line("")
+    if backend == "list":
+        out.line("def _sgn(v, half, full):")
+        out.line("    return v - full if v >= half else v")
+        out.line("")
+    masks = ", ".join(_hex(mask(r.typ.width))
+                      for r in design.registers.values())
+    out.line(f"_RM = ({masks}{',' if n == 1 else ''})")
+    if backend == "list":
+        out.line(f"_BZ = (0,) * {lanes}")
+    out.line("")
+
+    for fn in design.fns.values():
+        if backend == "numpy":
+            _VectorFnEmitter(out, meta, lanes).emit_fn(fn)
+        else:
+            _FnEmitter(out, meta).emit_fn(fn)
+
+    out.line("class Model(BatchModelBase):")
+    out.indent += 1
+    out.line(f"DESIGN_NAME = {design.name!r}")
+    out.line(f"BATCH = {lanes}")
+    out.line(f"BACKEND = {backend!r}")
+    out.line("OPT_LEVEL = 2")
+    reg_names = tuple(regs)
+    out.line(f"REG_NAMES = {reg_names!r}")
+    out.line(f"REG_INIT = "
+             f"{tuple(r.init for r in design.registers.values())!r}")
+    out.line(f"REG_IDS = {dict((name, i) for i, name in enumerate(regs))!r}")
+    out.line("REG_MASKS = _RM")
+    out.line(f"RULE_NAMES = {tuple(design.scheduler)!r}")
+    out.line("")
+
+    extfuns = sorted(design.extfuns)
+    if extfuns:
+        out.line("def _bind_extfuns(self):")
+        out.indent += 1
+        for name in extfuns:
+            out.line(f"self._ext_{name} = "
+                     f"[env.resolve({name!r}) for env in self._envs]")
+        out.indent -= 1
+        out.line("")
+
+    # reset --------------------------------------------------------------
+    out.line("def reset(self):")
+    out.indent += 1
+    out.line("self.cycle = 0")
+    if backend == "numpy":
+        out.line(f"self._S = [_np.full({lanes}, init, _DT) "
+                 f"for init in self.REG_INIT]")
+        out.line(f"self._Lrw = [_np.zeros({lanes}, _np.uint8) "
+                 f"for _ in range({n})]")
+        out.line("self._Ld0 = [row.copy() for row in self._S]")
+        out.line("self._Ld1 = [row.copy() for row in self._S]")
+        out.line(f"self._Arw = [_np.zeros({lanes}, _np.uint8) "
+                 f"for _ in range({n})]")
+        out.line("self._Ad0 = [row.copy() for row in self._S]")
+        out.line("self._Ad1 = [row.copy() for row in self._S]")
+        out.line(f"self._act = _np.ones({lanes}, bool)")
+    else:
+        out.line(f"self._S = [[init] * {lanes} for init in self.REG_INIT]")
+        out.line(f"self._Lrw = [[0] * {lanes} for _ in range({n})]")
+        out.line("self._Ld0 = [row[:] for row in self._S]")
+        out.line("self._Ld1 = [row[:] for row in self._S]")
+        out.line(f"self._Arw = [[0] * {lanes} for _ in range({n})]")
+        out.line("self._Ad0 = [row[:] for row in self._S]")
+        out.line("self._Ad1 = [row[:] for row in self._S]")
+        out.line(f"self._act = [True] * {lanes}")
+    out.indent -= 1
+    out.line("")
+
+    # rules --------------------------------------------------------------
+    for rule in design.scheduled_rules():
+        footprint = _rule_footprint(rule, reg_id)
+        if backend == "numpy":
+            emitter = _VectorRuleEmitter(out, meta, design, rule, lanes,
+                                         reg_id, footprint)
+            emitter.emit_rule()
+        else:
+            layout = _LaneLayout(design, None)
+            emitter = _LaneRuleEmitter(out, meta, design, layout, rule,
+                                       instrument=False, debug=False)
+            emitter.emit_rule()
+            out.line(f"def rule_{rule.name}(self):")
+            out.indent += 1
+            out.line("Lrw = self._Lrw")
+            out.line("Ld0 = self._Ld0")
+            out.line("Ld1 = self._Ld1")
+            out.line("Arw = self._Arw")
+            out.line("Ad0 = self._Ad0")
+            out.line("Ad1 = self._Ad1")
+            for i in footprint:
+                out.line(f"Arw[{i}][:] = Lrw[{i}]")
+                out.line(f"Ad0[{i}][:] = Ld0[{i}]")
+                out.line(f"Ad1[{i}][:] = Ld1[{i}]")
+            out.line("act = self._act")
+            out.line(f"lane = self.rule_{rule.name}_lane")
+            out.line(f"for _k in range({lanes}):")
+            out.line("    act[_k] = lane(_k)")
+            for i in footprint:
+                out.line(f"_L, _A = Lrw[{i}], Arw[{i}]")
+                out.line(f"_D0, _A0 = Ld0[{i}], Ad0[{i}]")
+                out.line(f"_D1, _A1 = Ld1[{i}], Ad1[{i}]")
+                out.line(f"for _k in range({lanes}):")
+                out.line("    if act[_k]:")
+                out.line("        _L[_k] = _A[_k]")
+                out.line("        _D0[_k] = _A0[_k]")
+                out.line("        _D1[_k] = _A1[_k]")
+            out.line("return act")
+            out.indent -= 1
+            out.line("")
+
+    # cycle methods ------------------------------------------------------
+    def emit_clear() -> None:
+        out.line("Lrw = self._Lrw")
+        out.line(f"for _i in range({n}):")
+        if backend == "numpy":
+            out.line("    Lrw[_i][:] = 0")
+        else:
+            out.line("    Lrw[_i][:] = _BZ")
+
+    def emit_commit() -> None:
+        out.line("S = self._S")
+        out.line("Ld0 = self._Ld0")
+        out.line("Ld1 = self._Ld1")
+        if backend == "numpy":
+            out.line(f"for _i in range({n}):")
+            out.line("    _m = Lrw[_i]")
+            out.line("    _np.copyto(S[_i], Ld1[_i], where=(_m & 8) != 0)")
+            out.line("    _np.copyto(S[_i], Ld0[_i], where=(_m & 12) == 4)")
+        else:
+            out.line(f"for _i in range({n}):")
+            out.line("    _m, _s = Lrw[_i], S[_i]")
+            out.line("    _d0, _d1 = Ld0[_i], Ld1[_i]")
+            out.line(f"    for _k in range({lanes}):")
+            out.line("        _mk = _m[_k]")
+            out.line("        if _mk & 8:")
+            out.line("            _s[_k] = _d1[_k]")
+            out.line("        elif _mk & 4:")
+            out.line("            _s[_k] = _d0[_k]")
+
+    copy_call = ".copy()" if backend == "numpy" else "[:]"
+
+    out.line("def _cycle(self):")
+    out.indent += 1
+    out.line("self._before_hooks()")
+    emit_clear()
+    for rule_name in design.scheduler:
+        out.line(f"self.rule_{rule_name}()")
+    emit_commit()
+    out.line("self.cycle += 1")
+    out.line("self._after_hooks()")
+    out.indent -= 1
+    out.line("")
+
+    out.line("def _cycle_report(self):")
+    out.indent += 1
+    out.line("self._before_hooks()")
+    emit_clear()
+    out.line("masks = []")
+    for rule_name in design.scheduler:
+        out.line(f"masks.append(self.rule_{rule_name}(){copy_call})")
+    emit_commit()
+    out.line("self.cycle += 1")
+    out.line("self._after_hooks()")
+    out.line("return self._commit_tuples(masks)")
+    out.indent -= 1
+    out.line("")
+
+    out.line("def _cycle_ordered(self, methods):")
+    out.indent += 1
+    out.line("self._before_hooks()")
+    emit_clear()
+    out.line("masks = []")
+    out.line("names = []")
+    out.line("for _name, _method in methods:")
+    out.line("    names.append(_name)")
+    out.line(f"    masks.append(_method(){copy_call})")
+    emit_commit()
+    out.line("self.cycle += 1")
+    out.line("self._after_hooks()")
+    out.line("return self._commit_tuples(masks, names)")
+    out.indent -= 1
+    out.indent -= 1
+
+    meta.line_block = list(out.line_block)
+    return out.source(), meta
+
+
+_batch_counter = 0
+
+
+def _finish_batch_class(source: str, meta: _Meta, design: Design,
+                        lanes: int, backend: str, host_optimize: int):
+    """Compile + exec a generated batched model into a class."""
+    global _batch_counter
+    _batch_counter += 1
+    filename = (f"<cuttlesim-batch:{design.name}-B{lanes}"
+                f"-{backend}#{_batch_counter}>")
+    namespace: Dict[str, object] = {"BatchModelBase": BatchModelBase}
+    if backend == "numpy":
+        namespace.update(_NUMPY_RUNTIME)
+    try:
+        code = compile(source, filename, "exec", optimize=host_optimize)
+    except SyntaxError as exc:  # pragma: no cover - compiler bug guard
+        raise CompileError(
+            f"generated batched model failed to parse ({exc}); "
+            f"source:\n{source}") from exc
+    exec(code, namespace)
+    cls = namespace["Model"]
+    cls.SOURCE = source
+    cls.META = meta
+    cls.DESIGN = design
+    cls.REG_TYPES = tuple(r.typ for r in design.registers.values())
+    cls.FILENAME = filename
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    weakref.finalize(cls, linecache.cache.pop, filename, None)
+    return cls
+
+
+def compile_batch_model(design: Design, lanes: int, backend: str = "auto",
+                        cache=None, host_optimize: int = -1):
+    """Compile ``design`` into a width-``lanes`` lockstep model class.
+
+    Instantiate with a list of per-lane :class:`Environment` objects (or
+    an ``env_factory``); see :class:`repro.cuttlesim.model.BatchModelBase`.
+    ``backend`` is ``"auto"`` (NumPy when feasible), ``"numpy"`` or
+    ``"list"``.  ``cache`` works like :func:`compile_model`'s: the batch
+    width and resolved backend are folded into the content-addressed key.
+    """
+    if lanes < 1:
+        raise CompileError(f"batch width must be >= 1, got {lanes}")
+    if not design.finalized:
+        design.finalize()
+    resolved = resolve_batch_backend(design, backend)
+    store = None
+    key = None
+    if cache is not None:
+        from .cache import resolve_cache
+
+        store = resolve_cache(cache)
+        key = store.key_for(design, opt=2, order_independent=False,
+                            simplify=False, inline_rules=None,
+                            host_optimize=host_optimize,
+                            batch=lanes, batch_backend=resolved)
+        cls = store.lookup_class(key)
+        if cls is not None:
+            return cls
+        entry = store.lookup_source(key)
+        if entry is not None:
+            source, meta = entry
+            cls = _finish_batch_class(source, meta, design, lanes, resolved,
+                                      host_optimize)
+            store.store_class(key, cls)
+            return cls
+    source, meta = generate_batch_source(design, lanes, resolved)
+    cls = _finish_batch_class(source, meta, design, lanes, resolved,
+                              host_optimize)
+    if store is not None:
+        store.store_source(key, source, meta, design_name=design.name, opt=2)
+        store.store_class(key, cls)
+    return cls

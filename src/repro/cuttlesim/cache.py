@@ -46,6 +46,21 @@ from .codegen import CODEGEN_VERSION, _Meta
 _DISK_FORMAT = 1
 
 
+def _pid_alive(pid: int) -> bool:
+    """True if ``pid`` names a process this user can see/signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:  # pragma: no cover - e.g. platforms without kill(pid, 0)
+        return False
+    return True
+
+
 def design_fingerprint(design: Design) -> str:
     """Stable content hash of a design, independent of object identity.
 
@@ -121,18 +136,46 @@ class ModelCache:
         self._lock = threading.Lock()
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp.<pid>`` leftovers from writers that died between
+        ``write_text`` and ``os.replace``.  Files belonging to a live
+        process are left alone (it may still be mid-write); everything
+        else is an orphan no future rename will ever consume."""
+        if self.path is None:
+            return
+        for orphan in self.path.glob("*.tmp.*"):
+            pid = orphan.suffix.lstrip(".")
+            if pid.isdigit() and _pid_alive(int(pid)):
+                continue
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
 
     # -- keys -----------------------------------------------------------------
     def key_for(self, design: Design, *, opt: int, order_independent: bool,
-                simplify: bool, inline_rules, host_optimize: int) -> str:
+                simplify: bool, inline_rules, host_optimize: int,
+                batch: int = 0, batch_backend: str = "") -> str:
         """Cache key for one (design, compile-flags) combination.
 
         ``host_optimize`` only affects the host ``compile()`` step, but it
         is keyed anyway so the class layer never conflates two builds.
+        ``batch``/``batch_backend`` are nonzero/nonempty for batched
+        lockstep compiles; they fold the lane width, lane backend and the
+        batch emitter version into the key, so scalar and batched builds
+        of the same design coexist and a batch emitter upgrade misses
+        cleanly.
         """
         flags = (f"O{opt};oi={int(bool(order_independent))}"
                  f";simp={int(bool(simplify))};inline={inline_rules!r}"
                  f";host={host_optimize};cg={CODEGEN_VERSION}")
+        if batch:
+            from .batch import BATCH_CODEGEN_VERSION
+
+            flags += (f";batch={int(batch)};bk={batch_backend}"
+                      f";bcg={BATCH_CODEGEN_VERSION}")
         return hashlib.sha256(
             f"{design_fingerprint(design)};{flags}".encode()).hexdigest()
 
@@ -221,11 +264,12 @@ class ModelCache:
         with self._lock:
             self._classes.clear()
         if self.path is not None:
-            for entry in self.path.glob("*.json"):
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.json", "*.tmp.*"):
+                for entry in self.path.glob(pattern):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
 
     def __len__(self) -> int:
         disk = len(list(self.path.glob("*.json"))) if self.path else 0

@@ -1295,6 +1295,11 @@ class _RuleEmitter(_Emitter):
 
     def _emit_write(self, node: Write) -> str:
         value_expr = self.emit(node.value)
+        if self.debug:
+            # The debug hook below mentions the value a second time; an
+            # impure value (ExtCall) must still reach the environment
+            # exactly once.
+            value_expr = self.hoist(value_expr)
         layout = self.layout
         name = node.reg
         i = layout.reg_id[name]
@@ -1611,7 +1616,7 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
                   debug: bool = False, order_independent: bool = False,
                   warn_goldberg: bool = True, inline_rules=None,
                   host_optimize: int = -1, simplify: bool = False,
-                  cache=None):
+                  cache=None, batch: int = 0, batch_backend: str = "auto"):
     """Compile a design into a Cuttlesim model class.
 
     Returns the class; instantiate with an :class:`Environment` to simulate.
@@ -1629,9 +1634,26 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
     are only meaningful for the exact design object they were generated
     from.  On a cache hit ``warn_goldberg`` warnings are not re-issued and
     ``cls.ANALYSIS`` is ``None``.
+
+    ``batch=B`` (B >= 1) compiles a width-B **lockstep** model instead: B
+    independent trials simulated by one class deriving from
+    :class:`repro.cuttlesim.model.BatchModelBase` (see
+    :mod:`repro.cuttlesim.batch`).  ``batch_backend`` selects the lane
+    representation (``"auto"``, ``"numpy"`` or ``"list"``).  Batched
+    builds follow the O2 semantics family and reject ``instrument``,
+    ``debug``, ``simplify`` and ``inline_rules``.
     """
     if not design.finalized:
         design.finalize()
+    if batch:
+        if instrument or debug or simplify or inline_rules:
+            raise CompileError(
+                "batched lockstep models do not support instrument/debug/"
+                "simplify/inline_rules; compile a scalar model for those")
+        from .batch import compile_batch_model
+
+        return compile_batch_model(design, batch, backend=batch_backend,
+                                   cache=cache, host_optimize=host_optimize)
     store = None
     key = None
     if cache is not None and not (instrument or debug):

@@ -151,3 +151,198 @@ class ModelBase:
 
     def state_dict(self) -> Dict[str, int]:
         return {name: int(self._get_reg(i)) for i, name in enumerate(self.REG_NAMES)}
+
+
+class LaneView:
+    """SimHandle facade over one lane of a batched model.
+
+    Devices attached to a lane's environment see this object, so
+    backend-agnostic peripherals (memories, testbench drivers) work
+    unchanged under lockstep execution: they peek/poke their own lane
+    between cycles and never observe the other lanes.
+    """
+
+    __slots__ = ("_model", "lane")
+
+    def __init__(self, model: "BatchModelBase", lane: int):
+        self._model = model
+        self.lane = lane
+
+    @property
+    def cycle(self) -> int:
+        return self._model.cycle
+
+    def peek(self, register: str) -> int:
+        return self._model.peek_lane(register, self.lane)
+
+    def poke(self, register: str, value: int) -> None:
+        self._model.poke_lane(register, self.lane, value)
+
+    def state_dict(self) -> Dict[str, int]:
+        return self._model.lane_state_dict(self.lane)
+
+
+class BatchModelBase:
+    """Base class of generated width-B lockstep models.
+
+    One instance simulates ``BATCH`` independent trials of the same design
+    in lockstep: registers are length-B lane vectors, each lane has its
+    own :class:`Environment` (external calls and devices are per-lane
+    observable effects), and ``run_cycle`` reports commits per lane.
+
+    Construct with ``envs`` (a length-B sequence of environments) or an
+    ``env_factory`` callable; both omitted builds B empty environments.
+    Snapshot/restore is not supported — lanes are meant for bulk sweeps,
+    not interactive debugging (use a scalar model for that).
+    """
+
+    # Filled in by the generated subclass / the compiler:
+    DESIGN_NAME: str = "?"
+    BATCH: int = 0
+    BACKEND: str = "?"
+    OPT_LEVEL: int = 2
+    REG_NAMES: Sequence[str] = ()
+    REG_INIT: Sequence[int] = ()
+    REG_IDS: Dict[str, int] = {}
+    REG_MASKS: Sequence[int] = ()
+    RULE_NAMES: Sequence[str] = ()
+    SOURCE: str = ""
+
+    def __init__(self, envs: Optional[Sequence[Environment]] = None,
+                 env_factory: Optional[Callable[[], Environment]] = None):
+        if envs is not None:
+            envs = list(envs)
+            if len(envs) != self.BATCH:
+                raise SimulationError(
+                    f"batched model {self.DESIGN_NAME!r} has {self.BATCH} "
+                    f"lanes but {len(envs)} environments were provided")
+        else:
+            factory = env_factory or Environment
+            envs = [factory() for _ in range(self.BATCH)]
+        self._envs = envs
+        self._lanes = [LaneView(self, k) for k in range(self.BATCH)]
+        self._hooks = any(env.devices for env in envs)
+        self.cycle = 0
+        self._bind_extfuns()
+        self.reset()
+
+    def _bind_extfuns(self) -> None:
+        """Generated subclasses override to prebind per-lane extfuns."""
+
+    @property
+    def backend_name(self) -> str:
+        suffix = "np" if self.BACKEND == "numpy" else "py"
+        return f"cuttlesim-batch{self.BATCH}-{suffix}"
+
+    def lanes(self) -> List[LaneView]:
+        """Per-lane SimHandle views (what devices see)."""
+        return list(self._lanes)
+
+    # -- per-lane state access -------------------------------------------------
+    def _reg_index(self, register: str) -> int:
+        index = self.REG_IDS.get(register)
+        if index is None:
+            raise SimulationError(f"unknown register {register!r}")
+        return index
+
+    def peek_lane(self, register: str, lane: int) -> int:
+        return int(self._S[self._reg_index(register)][lane])
+
+    def poke_lane(self, register: str, lane: int, value: int) -> None:
+        index = self._reg_index(register)
+        self._S[index][lane] = int(value) & self.REG_MASKS[index]
+
+    def peek(self, register: str) -> List[int]:
+        """All lanes' committed values of ``register``."""
+        row = self._S[self._reg_index(register)]
+        return [int(row[k]) for k in range(self.BATCH)]
+
+    def poke(self, register: str, value) -> None:
+        """Set ``register`` in every lane: an int broadcasts, a sequence
+        sets lanes elementwise."""
+        index = self._reg_index(register)
+        row = self._S[index]
+        reg_mask = self.REG_MASKS[index]
+        if isinstance(value, int):
+            masked = value & reg_mask
+            for k in range(self.BATCH):
+                row[k] = masked
+            return
+        values = list(value)
+        if len(values) != self.BATCH:
+            raise SimulationError(
+                f"poke of {register!r} got {len(values)} values for "
+                f"{self.BATCH} lanes")
+        for k, item in enumerate(values):
+            row[k] = int(item) & reg_mask
+
+    def lane_state_dict(self, lane: int) -> Dict[str, int]:
+        return {name: int(self._S[i][lane])
+                for i, name in enumerate(self.REG_NAMES)}
+
+    def state_dict(self) -> Dict[str, List[int]]:
+        """Register name -> per-lane value lists."""
+        return {name: [int(self._S[i][k]) for k in range(self.BATCH)]
+                for i, name in enumerate(self.REG_NAMES)}
+
+    # -- execution -----------------------------------------------------------
+    def run_cycle(self, order: Optional[Sequence[str]] = None) -> List[tuple]:
+        """Run one lockstep cycle.  Returns one tuple of committed rule
+        names per lane (index = lane)."""
+        if order is None:
+            return self._cycle_report()
+        methods = []
+        for name in order:
+            method = getattr(self, f"rule_{name}", None)
+            if method is None:
+                raise SimulationError(f"unknown rule {name!r}")
+            methods.append((name, method))
+        return self._cycle_ordered(methods)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self._cycle()
+
+    # -- hooks ---------------------------------------------------------------
+    def _before_hooks(self) -> None:
+        if not self._hooks:
+            return
+        for env, lane in zip(self._envs, self._lanes):
+            env.before_cycle(lane)
+
+    def _after_hooks(self) -> None:
+        if not self._hooks:
+            return
+        for env, lane in zip(self._envs, self._lanes):
+            env.after_cycle(lane)
+
+    def _commit_tuples(self, masks,
+                       names: Optional[Sequence[str]] = None) -> List[tuple]:
+        rule_names = self.RULE_NAMES if names is None else names
+        return [tuple(name for name, fired in zip(rule_names, masks)
+                      if fired[k])
+                for k in range(self.BATCH)]
+
+    # -- state (generated subclasses implement) --------------------------------
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def _cycle(self):
+        raise NotImplementedError
+
+    def _cycle_report(self):
+        raise NotImplementedError
+
+    def _cycle_ordered(self, methods):
+        raise NotImplementedError
+
+    # -- unsupported tooling ---------------------------------------------------
+    def snapshot(self):
+        raise SimulationError(
+            "batched lockstep models do not support snapshot/restore; "
+            "use a scalar compile_model() build for debugging")
+
+    def restore(self, snapshot) -> None:
+        raise SimulationError(
+            "batched lockstep models do not support snapshot/restore; "
+            "use a scalar compile_model() build for debugging")

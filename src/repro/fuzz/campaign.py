@@ -244,6 +244,7 @@ def reduce_buckets(store: CampaignStore, budget: int = 400,
             opts=final.opts, include_rtl=final.include_rtl,
             include_simplified=final.include_simplified,
             schedule_seeds=final.schedule_seeds,
+            batch=final.batch, batch_backend=final.batch_backend,
             name=f"repro_{slugify(signature)[:40]}",
             provenance={"seed": final.seed,
                         "mutations": list(final.mutations),

@@ -82,6 +82,7 @@ def design_to_python(design: Design, name: Optional[str] = None,
 def repro_script(design: Design, *, signature: str, cycles: int,
                  opts=(), include_rtl: bool = False,
                  include_simplified: bool = False, schedule_seeds=(),
+                 batch: int = 0, batch_backend: str = "auto",
                  provenance: Optional[Dict[str, object]] = None,
                  name: Optional[str] = None) -> str:
     """A standalone, executable repro module for a reduced bucket.
@@ -109,7 +110,8 @@ def repro_script(design: Design, *, signature: str, cycles: int,
     check_kwargs = (f"dict(cycles={cycles}, opts={tuple(opts)!r}, "
                     f"include_rtl={include_rtl}, "
                     f"include_simplified={include_simplified}, "
-                    f"schedule_seeds={tuple(schedule_seeds)!r})")
+                    f"schedule_seeds={tuple(schedule_seeds)!r}, "
+                    f"batch={batch}, batch_backend={batch_backend!r})")
     return "\n".join(header + [
         "",
         "import os as _os, sys as _sys",

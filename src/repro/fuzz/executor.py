@@ -34,8 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..debug.coverage import CoverageReport
 from ..koika.design import Design
 from ..koika.pretty import pretty_action
-from ..testing.differential import (DivergenceError, collect_trace,
-                                    compare_traces, interpreter_trace)
+from ..testing.differential import (DivergenceError, collect_batch_traces,
+                                    collect_trace, compare_traces,
+                                    interpreter_trace)
 from ..testing.generators import random_design
 from ..testing.mutation import enumerate_mutations
 
@@ -61,6 +62,9 @@ class SeedJob:
     include_rtl: bool = True
     include_simplified: bool = True
     schedule_seeds: Tuple[int, ...] = (0, 1)
+    #: Lanes of the batched lockstep backend to diff (0 disables it).
+    batch: int = 0
+    batch_backend: str = "auto"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -72,6 +76,8 @@ class SeedJob:
             "include_rtl": self.include_rtl,
             "include_simplified": self.include_simplified,
             "schedule_seeds": list(self.schedule_seeds),
+            "batch": self.batch,
+            "batch_backend": self.batch_backend,
         }
 
     @classmethod
@@ -86,6 +92,8 @@ class SeedJob:
             include_rtl=bool(payload.get("include_rtl", True)),
             include_simplified=bool(payload.get("include_simplified", True)),
             schedule_seeds=tuple(payload.get("schedule_seeds", (0, 1))),
+            batch=int(payload.get("batch", 0)),
+            batch_backend=str(payload.get("batch_backend", "auto")),
         )
 
     def narrowed(self, **changes) -> "SeedJob":
@@ -182,7 +190,8 @@ def verify_design(design: Design, cycles: int = 32,
                   include_rtl: bool = True,
                   include_simplified: bool = True,
                   schedule_seeds: Sequence[int] = (0, 1),
-                  cache=None) -> None:
+                  cache=None, batch: int = 0,
+                  batch_backend: str = "auto") -> None:
     """Differentially verify ``design``; raise on the first disagreement.
 
     This is the campaign's check function *and* what emitted repro
@@ -191,6 +200,12 @@ def verify_design(design: Design, cycles: int = 32,
     schedule seed — a per-cycle random rule order replayed in lockstep on
     the interpreter (case study 2 as a fuzzing oracle).  Raises a
     structured :class:`DivergenceError` or the backend's own exception.
+
+    ``batch > 0`` adds the batched lockstep tier as another backend: a
+    ``batch``-lane model where lane 0 starts from power-on state and
+    every other lane from a distinct deterministic poke set, each lane
+    diffed cycle-by-cycle against a fresh scalar O2 model started from
+    the identical state (``batch_backend`` picks numpy/list/auto).
     """
     from ..cuttlesim.codegen import compile_model
 
@@ -214,6 +229,29 @@ def verify_design(design: Design, cycles: int = 32,
         from ..rtl.cycle_sim import compile_cycle_sim
 
         check("rtl-cycle", compile_cycle_sim(design)())
+
+    if batch:
+        from ..cuttlesim.batch import compile_batch_model
+        from ..harness.lockstep import lane_pokes
+
+        batch_cls = compile_batch_model(design, batch,
+                                        backend=batch_backend, cache=cache)
+        scalar_cls = compile_model(design, opt=2, warn_goldberg=False,
+                                   cache=cache)
+        pokes = [{} if lane == 0 else lane_pokes(design, lane)
+                 for lane in range(batch)]
+        model = batch_cls()
+        for lane, lane_set in enumerate(pokes):
+            for name, value in lane_set.items():
+                model.poke_lane(name, lane, value)
+        lane_traces = collect_batch_traces(model, registers, cycles)
+        for lane, (trace, lane_set) in enumerate(zip(lane_traces, pokes)):
+            scalar = scalar_cls()
+            for name, value in lane_set.items():
+                scalar.poke(name, value)
+            compare_traces(design.name, f"{model.backend_name}-lane{lane}",
+                           trace, collect_trace(scalar, registers, cycles),
+                           registers, reference_name="cuttlesim-O2")
 
     if schedule_seeds:
         from ..semantics.interp import Interpreter
@@ -284,7 +322,8 @@ def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
         verify_design(design, cycles=job.cycles, opts=job.opts,
                       include_rtl=job.include_rtl,
                       include_simplified=job.include_simplified,
-                      schedule_seeds=job.schedule_seeds, cache=cache)
+                      schedule_seeds=job.schedule_seeds, cache=cache,
+                      batch=job.batch, batch_backend=job.batch_backend)
     except DivergenceError as exc:
         outcome["status"] = "divergence"
         outcome["divergence"] = exc.as_dict()

@@ -219,8 +219,13 @@ def reduce_bucket(job: SeedJob, signature: str,
     # 1. Narrow the backend matrix to the diverging pair.
     backend = signature.split(":", 1)[0]
     narrowed = dict(opts=(), include_rtl=False, include_simplified=False,
-                    schedule_seeds=())
-    if backend.startswith("cuttlesim-O5-sched"):
+                    schedule_seeds=(), batch=0)
+    if backend.startswith("cuttlesim-batch"):
+        # Batched-tier divergence: keep the lockstep check (and its lane
+        # width — lane state depends on it), drop every other backend.
+        narrowed["batch"] = job.batch
+        narrowed["batch_backend"] = job.batch_backend
+    elif backend.startswith("cuttlesim-O5-sched"):
         narrowed["schedule_seeds"] = (int(backend[len("cuttlesim-O5-sched"):]),)
     elif backend == "cuttlesim-O5-simplified":
         narrowed["include_simplified"] = True

@@ -37,6 +37,8 @@ _DEFAULT_CONFIG = {
     "schedule_seeds": 2,
     "mutate": 2,
     "mutation_depth": 2,
+    "batch": 0,             # lanes of the batched lockstep oracle (0 = off)
+    "batch_backend": "auto",
 }
 
 
@@ -53,6 +55,13 @@ def _write_json(path: str, payload: object) -> None:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+            # Flush to disk *before* the rename: os.replace is atomic
+            # against racing writers, but without the fsync a power loss
+            # (or container kill) can leave the rename durable while the
+            # data is not — i.e. a truncated state.json that breaks
+            # resume, the exact failure atomic-write exists to prevent.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -127,6 +136,8 @@ class CampaignStore:
             include_rtl=bool(config["include_rtl"]),
             include_simplified=bool(config["include_simplified"]),
             schedule_seeds=tuple(range(int(config["schedule_seeds"]))),
+            batch=int(config.get("batch", 0)),
+            batch_backend=str(config.get("batch_backend", "auto")),
         )
 
     def next_jobs(self, limit: int) -> List[SeedJob]:
@@ -229,9 +240,18 @@ class CampaignStore:
         path = self.repro_path(slug)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        with os.fdopen(fd, "w") as handle:
-            handle.write(script)
-        os.replace(tmp, path)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(script)
+                handle.flush()
+                os.fsync(handle.fileno())  # durable before the rename
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     def unreduced_buckets(self) -> List[str]:

@@ -1,0 +1,147 @@
+"""Batched lockstep sweeps: many independent trials, one vectorized model.
+
+The per-process fleet (:mod:`repro.harness.parallel`) scales sweeps by
+*processes* — one interpreter, one model, one trial each.  For small
+designs that is mostly overhead: every process pays interpreter startup,
+model construction and Python dispatch per simulated cycle.  The batched
+lockstep tier amortizes all three by compiling the design once with
+``batch=B`` lanes (:func:`repro.cuttlesim.compile_batch_model`) and
+running B trials inside a single process, one vectorized rule body per
+rule per cycle instead of B scalar ones.
+
+Trials are made *independent* the same way the fleet makes them
+independent — distinct initial states.  :func:`lane_pokes` derives a
+deterministic register assignment from a trial seed alone, so the batched
+sweep, the per-process baseline and a hand-run serial check all start
+trial *t* from byte-identical state and must produce byte-identical
+observations.  :func:`lockstep_sweep` returns the same
+:class:`~repro.harness.parallel.FleetReport` shape the fleet returns
+(``repro-fleet-v1``), so reports, CLIs and benchmarks compare the two
+tiers without adapters.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..koika.design import Design
+from .env import Environment
+from .parallel import (FleetReport, Trial, TrialOutput, TrialResult,
+                       run_fleet)
+
+__all__ = ["lane_pokes", "lockstep_sweep", "per_process_baseline"]
+
+#: Salt for the per-trial poke RNG (distinct from the schedule RNG's
+#: 0x5EED so a trial's initial state never correlates with its schedule).
+LANE_POKE_SALT = 0x10C5
+
+
+def lane_pokes(design: Design, trial_seed: int) -> Dict[str, int]:
+    """Deterministic initial register values for one trial.
+
+    Derived only from the trial seed and the register declaration order,
+    so every tier (batched lane, fleet worker, serial model, reference
+    interpreter) can reconstruct trial *t*'s starting state independently.
+    """
+    rng = random.Random(LANE_POKE_SALT ^ (trial_seed * 2654435761))
+    return {name: rng.getrandbits(register.typ.width)
+            for name, register in design.registers.items()}
+
+
+def lockstep_sweep(design: Design, trials: int, cycles: int, *,
+                   batch: int = 32, seed: int = 0,
+                   env_factory: Optional[Callable[[], Environment]] = None,
+                   backend: str = "auto",
+                   cache=None) -> FleetReport:
+    """Run ``trials`` independent trials on batched lockstep models.
+
+    Trials are chunked into groups of ``batch`` lanes (the final chunk
+    compiles a narrower model when ``trials % batch != 0``); trial ``t``
+    starts from :func:`lane_pokes(design, seed + t) <lane_pokes>` and runs
+    ``cycles`` cycles.  Observations are per-trial final ``state_dict``\\ s
+    — byte-comparable with :func:`per_process_baseline` over the same
+    arguments.  Per-trial ``elapsed`` is the chunk's wall time divided by
+    its lane count (lanes run in lockstep; there is no per-lane clock).
+    """
+    from ..cuttlesim.batch import compile_batch_model
+
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, not {trials}")
+    wall_started = time.perf_counter()
+    results: List[TrialResult] = []
+    classes: Dict[int, type] = {}
+    for chunk_start in range(0, trials, batch):
+        lanes = min(batch, trials - chunk_start)
+        cls = classes.get(lanes)
+        if cls is None:
+            cls = compile_batch_model(design, lanes, backend=backend,
+                                      cache=cache)
+            classes[lanes] = cls
+        envs = ([env_factory() for _ in range(lanes)]
+                if env_factory is not None else None)
+        model = cls(envs=envs)
+        for lane in range(lanes):
+            for name, value in lane_pokes(design,
+                                          seed + chunk_start + lane).items():
+                model.poke_lane(name, lane, value)
+        chunk_started = time.perf_counter()
+        model.run(cycles)
+        chunk_elapsed = time.perf_counter() - chunk_started
+        for lane in range(lanes):
+            index = chunk_start + lane
+            results.append(TrialResult(
+                index=index, name=f"trial-{index}", status="ok",
+                observation=model.lane_state_dict(lane), cycles=cycles,
+                elapsed=chunk_elapsed / lanes,
+                meta={"lane": lane, "batch": lanes,
+                      "backend": model.backend_name}))
+    cache_stats = None
+    if cache is not None:
+        from ..cuttlesim.cache import resolve_cache
+
+        cache_stats = resolve_cache(cache).stats.as_dict()
+    return FleetReport(results=results, workers=1,
+                       wall_seconds=time.perf_counter() - wall_started,
+                       cache_stats=cache_stats)
+
+
+def per_process_baseline(design: Design, trials: int, cycles: int, *,
+                         seed: int = 0,
+                         env_factory: Optional[Callable[[], Environment]]
+                         = None,
+                         workers: Optional[int] = None,
+                         timeout: Optional[float] = None,
+                         cache=None) -> FleetReport:
+    """The fleet equivalent of :func:`lockstep_sweep`: one scalar O2 model
+    per trial on forked workers, same pokes, same observations.
+
+    This is both the speedup baseline for benchmarks and the equality
+    oracle for the batched tier — ``lockstep_sweep(...).observations``
+    must equal ``per_process_baseline(...).observations`` byte for byte.
+    """
+    from ..cuttlesim.codegen import compile_model
+
+    cls = compile_model(design, opt=2, warn_goldberg=False, cache=cache)
+
+    def make_trial(index: int) -> Trial:
+        pokes = lane_pokes(design, seed + index)
+
+        def fn() -> TrialOutput:
+            model = cls(env_factory() if env_factory is not None else None)
+            for name, value in pokes.items():
+                model.poke(name, value)
+            model.run(cycles)
+            return TrialOutput(model.state_dict(), cycles)
+
+        return Trial(name=f"trial-{index}", fn=fn)
+
+    cache_stats = None
+    if cache is not None:
+        from ..cuttlesim.cache import resolve_cache
+
+        cache_stats = resolve_cache(cache).stats.as_dict()
+    return run_fleet([make_trial(index) for index in range(trials)],
+                     workers=workers, timeout=timeout,
+                     cache_stats=cache_stats)

@@ -226,6 +226,11 @@ def _worker_main(index: int, trial: Trial, conn) -> None:
         conn.close()
 
 
+#: Seconds to wait for a worker to exit on its own before escalating
+#: (terminate, then SIGKILL — which cannot be ignored).
+_REAP_GRACE = 1.0
+
+
 class _LiveTrial:
     def __init__(self, index: int, trial: Trial, context) -> None:
         self.index = index
@@ -240,8 +245,21 @@ class _LiveTrial:
     def elapsed(self) -> float:
         return time.perf_counter() - self.started
 
+    def _close_recv(self) -> None:
+        try:
+            self.recv.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def finish(self, status_override: Optional[str] = None) -> TrialResult:
-        """Join the worker and build its result record."""
+        """Reap the worker and build its result record.
+
+        The join is bounded: a worker that already shipped its payload but
+        then wedges in teardown (a lingering non-daemon thread, an atexit
+        hook that blocks, a SIGTERM handler that swallows the signal) must
+        not stall the whole fleet — after the grace period it is escalated
+        through terminate/SIGKILL like a timed-out trial.
+        """
         payload = None
         if status_override is None:
             try:
@@ -249,8 +267,10 @@ class _LiveTrial:
                     payload = self.recv.recv()
             except (EOFError, OSError):
                 payload = None
-        self.process.join()
-        self.recv.close()
+        self.process.join(_REAP_GRACE)
+        if self.process.is_alive():
+            self.kill()
+        self._close_recv()
         elapsed = self.elapsed()
         trial = self.trial
         if status_override == "timeout":
@@ -275,12 +295,22 @@ class _LiveTrial:
                            meta=trial.meta)
 
     def kill(self) -> None:
+        """Stop the worker for good and release the result pipe.
+
+        SIGTERM first (lets a cooperative child clean up), then SIGKILL
+        after the grace join — a child that installed a SIGTERM handler
+        (or simply ignores it) cannot survive the escalation.  Closing the
+        read end here, not just in :meth:`finish`, keeps interrupted
+        fleets (KeyboardInterrupt through ``run_fleet``'s cleanup path)
+        from leaking one fd per live trial.
+        """
         if self.process.is_alive():
             self.process.terminate()
-            self.process.join(1.0)
-            if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.join(_REAP_GRACE)
+            if self.process.is_alive():  # SIGTERM ignored: escalate
                 self.process.kill()
                 self.process.join()
+        self._close_recv()
 
 
 def _fork_context():

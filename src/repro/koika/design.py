@@ -170,9 +170,49 @@ class Design:
         """Type check the whole design.  Idempotent."""
         from .typecheck import typecheck_design
 
+        self._reject_aliased_nodes()
         typecheck_design(self)
         self.finalized = True
         return self
+
+    def _reject_aliased_nodes(self) -> None:
+        """Refuse designs whose action trees share node *objects*.
+
+        Analyses attach results by node ``uid`` (may-fail flags, coverage
+        counts, hoisting decisions), so one node object appearing in two
+        positions makes the later visit silently clobber the earlier one —
+        e.g. a ``Read`` shared between an aborting rule and a pure one can
+        lose its may-fail flag and elide the O5 conflict checks.  Failing
+        loudly at elaboration turns that unsoundness into an error.
+
+        Sharing *within* one body is allowed — reusing a bound
+        ``rd_idx = reg_index(w.field("rd"))`` subtree (or even a ``rd0()``
+        node) across a single rule is an established idiom, and each
+        re-visit happens in that same rule's analysis context.  What is
+        rejected is a node shared between two *bodies*: per-node info then
+        reflects whichever rule was visited last, which is how the silent
+        miscompile above arises.  ``Var`` and ``Const`` leaves are exempt
+        even across bodies — they cannot fail and carry no port state.
+        """
+        from .ast import Const, Var, walk
+
+        seen: Dict[int, str] = {}
+        bodies = [(f"rule {name!r}", rule.body)
+                  for name, rule in self.rules.items()]
+        bodies += [(f"function {name!r}", fn.body)
+                   for name, fn in self.fns.items()]
+        for owner, body in bodies:
+            for node in walk(body):
+                if isinstance(node, (Var, Const)):
+                    continue
+                holder = seen.setdefault(node.uid, owner)
+                if holder is owner:
+                    continue  # first sighting, or within-body sharing
+                raise KoikaElaborationError(
+                    f"AST node {node!r} appears in both {holder} and "
+                    f"{owner}; node objects must not be reused across "
+                    f"bodies — build a fresh node per use, since analysis "
+                    f"results are keyed by node identity")
 
     # -- convenience ---------------------------------------------------------
     def scheduled_rules(self) -> List[Rule]:

@@ -116,6 +116,26 @@ def collect_trace(sim, registers: Sequence[str], cycles: int) -> Trace:
     return trace
 
 
+def collect_batch_traces(model, registers: Sequence[str],
+                         cycles: int) -> List[Trace]:
+    """Per-lane traces from one batched lockstep model (index = lane).
+
+    The batched tier's oracle shape: each lane's trace has exactly the
+    :func:`collect_trace` structure, so every lane can be diffed with
+    :func:`compare_traces` against a scalar run from the same initial
+    state — byte-identical lane-by-lane is the correctness contract.
+    """
+    lanes = model.BATCH
+    traces: List[Trace] = [[] for _ in range(lanes)]
+    for _ in range(cycles):
+        committed = model.run_cycle()
+        for lane in range(lanes):
+            state = tuple(int(model.peek_lane(register, lane))
+                          for register in registers)
+            traces[lane].append((committed[lane], state))
+    return traces
+
+
 def interpreter_trace(design: Design, cycles: int,
                       env_factory: Optional[Callable[[], Environment]] = None
                       ) -> Trace:

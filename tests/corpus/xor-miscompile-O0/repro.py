@@ -30,7 +30,8 @@ from repro.koika.types import bits
 SIGNATURE = 'cuttlesim-O0:r4:DivergenceError'
 CYCLES = 1
 CHECK_KWARGS = dict(cycles=4, opts=(0, 1, 2, 3, 4, 5), include_rtl=True,
-                    include_simplified=True, schedule_seeds=(0,))
+                    include_simplified=True, schedule_seeds=(0,),
+                    batch=8, batch_backend='auto')
 
 
 def build_design():

@@ -245,3 +245,63 @@ class TestFifos:
         enq_writes = [n for n in walk(fifo.enq(C(1, 8)))
                       if isinstance(n, Write)]
         assert all(w.port == 0 for w in enq_writes)
+
+
+class TestAliasedNodeGuard:
+    """``finalize()`` rejects node objects shared across rule/fn bodies.
+
+    Analyses key per-node results (may-fail flags, coverage counts) by
+    ``node.uid``; a node reused across two rules has its info silently
+    clobbered by whichever rule is visited last — observed as the O5
+    scheduler eliding rd0 conflict checks.  Elaboration fails loudly
+    instead.
+    """
+
+    def test_read_shared_across_rules_rejected(self):
+        design = Design("aliased")
+        design.reg("x", 8)
+        design.reg("y", 8)
+        shared = Read("x", 0)
+        design.rule("risky", If(shared[0:1], Write("y", 0, shared), Abort()))
+        design.rule("pure", Write("y", 1, shared))
+        design.schedule("risky", "pure")
+        with pytest.raises(KoikaElaborationError, match="appears in both"):
+            design.finalize()
+
+    def test_subtree_shared_across_rules_rejected(self):
+        design = Design("aliased-subtree")
+        design.reg("x", 8)
+        design.reg("y", 8)
+        shared = Read("x", 0) + C(1, 8)
+        design.rule("a", Write("y", 0, shared))
+        design.rule("b", Write("x", 0, shared))
+        design.schedule("a", "b")
+        with pytest.raises(KoikaElaborationError, match="reused across"):
+            design.finalize()
+
+    def test_sharing_within_one_rule_allowed(self):
+        design = Design("within")
+        x = design.reg("x", 8)
+        design.reg("y", 8)
+        bound = x.rd0() + C(3, 8)
+        design.rule("r", Seq(Write("y", 0, bound), Write("x", 0, bound)))
+        design.schedule("r")
+        design.finalize()  # does not raise
+
+    def test_var_and_const_leaves_exempt_across_bodies(self):
+        design = Design("leaves")
+        design.reg("x", 8)
+        arg = V("v")
+        design.fn("fA", [("v", 8)], arg + C(1, 8))
+        design.fn("fB", [("v", 8)], arg ^ C(2, 8))
+        fA, fB = design.fns["fA"], design.fns["fB"]
+        design.rule("r", Write("x", 0, fA(fB(Read("x", 0)))))
+        design.schedule("r")
+        design.finalize()  # does not raise
+
+    def test_finalize_stays_idempotent(self):
+        design = Design("idem")
+        x = design.reg("x", 8)
+        design.rule("r", x.wr0(x.rd0() + C(1, 8)))
+        design.schedule("r")
+        assert design.finalize() is design.finalize()

@@ -1,0 +1,426 @@
+"""Tests for the batched lockstep (width-B vectorized) simulation tier.
+
+The tier's whole contract is *byte-identical lane-by-lane to serial*:
+a ``batch=B`` model runs B independent trials in one process, and each
+lane's per-cycle commits and register values must equal a scalar O2 model
+started from the same state.  These tests pin that contract on both lane
+backends (NumPy vectors and the pure-Python list fallback), plus the
+mask-lowering corner cases — per-lane aborts, per-lane conflicts, the
+scalar extcall drain — and the cache/CLI plumbing around the tier.
+"""
+
+import os
+
+import pytest
+
+from repro.cuttlesim import (ModelCache, compile_batch_model, compile_model,
+                             generate_batch_source, resolve_batch_backend)
+from repro.errors import CompileError, SimulationError
+from repro.harness import Environment
+from repro.harness.lockstep import (lane_pokes, lockstep_sweep,
+                                    per_process_baseline)
+from repro.koika import C, Design, Seq
+from repro.koika.ast import Abort, Binop, If
+from repro.testing.differential import (collect_batch_traces, collect_trace,
+                                        compare_traces)
+from repro.testing.generators import random_design
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+BACKENDS = ("list", "numpy") if HAVE_NUMPY else ("list",)
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+
+
+def _abortive_design():
+    """``risky`` aborts in lanes where ``x`` is even, else bumps ``y``;
+    ``tick`` always advances ``x`` — so lanes constantly disagree about
+    which rules commit."""
+    design = Design("abortive")
+    x = design.reg("x", 8, init=1)
+    y = design.reg("y", 8)
+    design.rule("risky", If(x.rd0()[0:1],
+                            y.wr0(y.rd0() + C(1, 8)),
+                            Abort()))
+    design.rule("tick", x.wr0(x.rd0() + C(3, 8)))
+    design.schedule("risky", "tick")
+    return design.finalize()
+
+
+def _extcall_design():
+    """One extcall per committed cycle, argument = current ``x``."""
+    design = Design("extish")
+    x = design.reg("x", 8, init=0)
+    y = design.reg("y", 8)
+    ext = design.extfun("ext", 8, 8)
+    design.rule("step", Seq(y.wr0(ext(x.rd0())),
+                            x.wr0(x.rd0() + C(1, 8))))
+    design.schedule("step")
+    return design.finalize()
+
+
+def _scalar_reference(design, pokes, cycles, registers, order=None):
+    model = compile_model(design, opt=2, warn_goldberg=False)()
+    for name, value in pokes.items():
+        model.poke(name, value)
+    trace = []
+    for _ in range(cycles):
+        committed = model.run_cycle(order=order)
+        trace.append((tuple(committed),
+                      tuple(int(model.peek(r)) for r in registers)))
+    return trace
+
+
+class TestLaneMaskLowering:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_abort_in_one_lane_leaves_others_untouched(self, backend):
+        design = _abortive_design()
+        cls = compile_batch_model(design, 4, backend=backend)
+        model = cls()
+        model.poke("x", [0, 1, 2, 3])
+        committed = model.run_cycle()
+        # Odd-x lanes commit both rules; even-x lanes abort `risky`.
+        assert committed == [("tick",), ("risky", "tick"),
+                             ("tick",), ("risky", "tick")]
+        assert model.peek("y") == [0, 1, 0, 1]
+        assert model.peek("x") == [3, 4, 5, 6]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_lane_matches_scalar_trace(self, backend):
+        design = _abortive_design()
+        registers = list(design.registers)
+        model = compile_batch_model(design, 5, backend=backend)()
+        pokes = [{"x": value} for value in (0, 1, 7, 128, 255)]
+        for lane, lane_set in enumerate(pokes):
+            model.poke_lane("x", lane, lane_set["x"])
+        traces = collect_batch_traces(model, registers, 20)
+        for lane, trace in enumerate(traces):
+            compare_traces(design.name, f"lane{lane}", trace,
+                           _scalar_reference(design, pokes[lane], 20,
+                                             registers),
+                           registers, reference_name="cuttlesim-O2")
+
+
+class TestBatchedVsSerialProperty:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", (2, 9, 13))
+    def test_random_designs_byte_identical(self, seed, backend):
+        design = random_design(seed)
+        registers = list(design.registers)
+        lanes = 6
+        model = compile_batch_model(design, lanes, backend=backend)()
+        pokes = [lane_pokes(design, seed * 100 + lane)
+                 for lane in range(lanes)]
+        for lane, lane_set in enumerate(pokes):
+            for name, value in lane_set.items():
+                model.poke_lane(name, lane, value)
+        traces = collect_batch_traces(model, registers, 16)
+        for lane, trace in enumerate(traces):
+            compare_traces(design.name, f"{model.backend_name}-lane{lane}",
+                           trace,
+                           _scalar_reference(design, pokes[lane], 16,
+                                             registers),
+                           registers, reference_name="cuttlesim-O2")
+
+    @pytest.mark.parametrize("opt", range(6))
+    def test_final_state_matches_every_opt_level(self, opt):
+        design = random_design(4)
+        lanes = 4
+        model = compile_batch_model(design, lanes)()
+        pokes = [lane_pokes(design, lane) for lane in range(lanes)]
+        for lane, lane_set in enumerate(pokes):
+            for name, value in lane_set.items():
+                model.poke_lane(name, lane, value)
+        model.run(24)
+        scalar_cls = compile_model(design, opt=opt, warn_goldberg=False)
+        for lane in range(lanes):
+            scalar = scalar_cls()
+            for name, value in pokes[lane].items():
+                scalar.poke(name, value)
+            scalar.run(24)
+            assert model.lane_state_dict(lane) == scalar.state_dict(), \
+                f"lane {lane} diverges from O{opt}"
+
+
+class TestExtcallDrain:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_each_lane_env_sees_its_own_calls_in_order(self, backend):
+        design = _extcall_design()
+        lanes = 3
+        logs = [[] for _ in range(lanes)]
+
+        def env_for(lane):
+            return Environment(
+                {"ext": lambda arg, lane=lane:
+                    logs[lane].append(arg) or (arg * 2 + lane) & 0xFF})
+
+        cls = compile_batch_model(design, lanes, backend=backend)
+        model = cls(envs=[env_for(k) for k in range(lanes)])
+        model.poke("x", [0, 10, 20])
+        model.run(5)
+        assert logs[0] == [0, 1, 2, 3, 4]
+        assert logs[1] == [10, 11, 12, 13, 14]
+        assert logs[2] == [20, 21, 22, 23, 24]
+        # And each lane's state equals a scalar run with the same env.
+        for lane, start in enumerate((0, 10, 20)):
+            ref_log = []
+            env = Environment({"ext": lambda arg, lane=lane:
+                               ref_log.append(arg) or (arg * 2 + lane)
+                               & 0xFF})
+            scalar = compile_model(design, opt=2, warn_goldberg=False)(env)
+            scalar.poke("x", start)
+            scalar.run(5)
+            assert scalar.state_dict() == model.lane_state_dict(lane)
+            assert ref_log == logs[lane]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_aborted_lanes_do_not_call(self, backend):
+        """The drain loop must skip dead lanes: an abort *before* the
+        extcall suppresses that lane's environment call entirely."""
+        design = Design("gated")
+        x = design.reg("x", 8, init=0)
+        y = design.reg("y", 8)
+        ext = design.extfun("ext", 8, 8)
+        design.rule("step", Seq(If(x.rd0()[0:1], Abort()),
+                                y.wr0(ext(x.rd0())),
+                                x.wr0(x.rd0() + C(2, 8))))
+        design.schedule("step")
+        design.finalize()
+        calls = [[], []]
+        envs = [Environment({"ext": lambda a, k=k: calls[k].append(a) or a})
+                for k in range(2)]
+        model = compile_batch_model(design, 2, backend=backend)(envs=envs)
+        model.poke("x", [0, 1])   # lane 1 starts stuck on an odd value
+        model.run(4)
+        assert calls[0] == [0, 2, 4, 6] and calls[1] == []
+
+
+class TestScheduleOverride:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ordered_cycles_match_scalar(self, backend):
+        design = _abortive_design()
+        registers = list(design.registers)
+        order = ["tick", "risky"]
+        model = compile_batch_model(design, 3, backend=backend)()
+        model.poke("x", [0, 1, 2])
+        trace = [[] for _ in range(3)]
+        for _ in range(8):
+            committed = model.run_cycle(order=order)
+            for lane in range(3):
+                trace[lane].append(
+                    (committed[lane],
+                     tuple(int(model.peek_lane(r, lane))
+                           for r in registers)))
+        for lane, start in enumerate((0, 1, 2)):
+            reference = _scalar_reference(design, {"x": start}, 8,
+                                          registers, order=order)
+            compare_traces(design.name, f"lane{lane}", trace[lane],
+                           reference, registers,
+                           reference_name="cuttlesim-O2 (same order)")
+
+    def test_unknown_rule_rejected(self):
+        model = compile_batch_model(_abortive_design(), 2)()
+        with pytest.raises(SimulationError, match="unknown rule"):
+            model.run_cycle(order=["nope"])
+
+
+class TestBackendResolution:
+    def test_wide_registers_fall_back_to_list(self):
+        design = Design("wide")
+        acc = design.reg("acc", 64, init=5)
+        design.rule("step", acc.wr0(acc.rd0() + C(1, 64)))
+        design.schedule("step")
+        design.finalize()
+        assert resolve_batch_backend(design, "auto") == "list"
+        if HAVE_NUMPY:
+            with pytest.raises(CompileError, match="wider"):
+                compile_batch_model(design, 2, backend="numpy")
+        model = compile_batch_model(design, 2)()
+        model.run(3)
+        assert model.peek("acc") == [8, 8]
+
+    @needs_numpy
+    def test_narrow_designs_prefer_numpy(self):
+        assert resolve_batch_backend(_abortive_design(), "auto") == "numpy"
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(CompileError, match="backend"):
+            resolve_batch_backend(_abortive_design(), "cuda")
+
+    def test_bad_lane_count_rejected(self):
+        with pytest.raises(CompileError):
+            compile_batch_model(_abortive_design(), 0)
+
+    def test_incompatible_flags_rejected(self):
+        design = _abortive_design()
+        for flags in ({"instrument": True}, {"debug": True},
+                      {"simplify": True}):
+            with pytest.raises(CompileError, match="batch"):
+                compile_model(design, opt=2, batch=4, warn_goldberg=False,
+                              **flags)
+
+    def test_generated_source_names_the_tier(self):
+        source, _meta = generate_batch_source(_abortive_design(), 4, "list")
+        assert "BATCH = 4" in source and "BatchModelBase" in source
+
+
+class TestBatchModelSurface:
+    def test_poke_broadcast_and_elementwise(self):
+        model = compile_batch_model(_abortive_design(), 3)()
+        model.poke("x", 7)
+        assert model.peek("x") == [7, 7, 7]
+        model.poke("x", [1, 2, 3])
+        assert model.peek("x") == [1, 2, 3]
+        assert model.lane_state_dict(1) == {"x": 2, "y": 0}
+        assert model.state_dict()["x"] == [1, 2, 3]
+        with pytest.raises(SimulationError, match="3 lanes"):
+            model.poke("x", [1, 2])
+        with pytest.raises(SimulationError, match="unknown register"):
+            model.poke("nope", 0)
+
+    def test_poke_masks_to_register_width(self):
+        model = compile_batch_model(_abortive_design(), 2)()
+        model.poke_lane("x", 0, 0x1FF)
+        assert model.peek_lane("x", 0) == 0xFF
+
+    def test_env_count_must_match_lanes(self):
+        cls = compile_batch_model(_abortive_design(), 3)
+        with pytest.raises(SimulationError, match="3 lanes"):
+            cls(envs=[Environment()])
+
+    def test_snapshot_not_supported(self):
+        model = compile_batch_model(_abortive_design(), 2)()
+        with pytest.raises(SimulationError, match="scalar"):
+            model.snapshot()
+        with pytest.raises(SimulationError, match="scalar"):
+            model.restore(None)
+
+    def test_backend_name_encodes_lane_count(self):
+        model = compile_batch_model(_abortive_design(), 4, backend="list")()
+        assert model.backend_name == "cuttlesim-batch4-py"
+
+    def test_lane_view_devices_observe_only_their_lane(self):
+        from repro.harness.env import Device
+
+        design = _abortive_design()
+        seen = [[] for _ in range(2)]
+
+        class Probe(Device):
+            def __init__(self, lane):
+                self.lane = lane
+
+            def after_cycle(self, sim):
+                seen[self.lane].append(sim.peek("x"))
+
+        envs = []
+        for lane in range(2):
+            env = Environment()
+            env.add_device(Probe(lane))
+            envs.append(env)
+        model = compile_batch_model(design, 2)(envs=envs)
+        model.poke("x", [0, 1])
+        model.run(3)
+        assert seen[0] == [3, 6, 9] and seen[1] == [4, 7, 10]
+
+
+class TestLockstepSweep:
+    def test_matches_per_process_baseline(self):
+        design = random_design(6)
+        sweep = lockstep_sweep(design, trials=7, cycles=12, batch=3, seed=5)
+        baseline = per_process_baseline(design, trials=7, cycles=12, seed=5,
+                                        workers=2)
+        baseline.raise_on_failure()
+        assert sweep.observations == baseline.observations
+        assert [r.index for r in sweep.results] == list(range(7))
+        assert sweep.results[0].meta["batch"] == 3
+        assert sweep.results[6].meta["batch"] == 1  # remainder chunk
+
+    def test_report_schema(self):
+        report = lockstep_sweep(random_design(6), trials=2, cycles=4,
+                                batch=2)
+        payload = report.as_dict()
+        assert payload["schema"] == "repro-fleet-v1"
+        assert payload["ok"] == 2 and payload["failed"] == 0
+
+    def test_lane_pokes_deterministic_and_width_masked(self):
+        design = _abortive_design()
+        assert lane_pokes(design, 3) == lane_pokes(design, 3)
+        assert lane_pokes(design, 3) != lane_pokes(design, 4)
+        for value in lane_pokes(design, 9).values():
+            assert 0 <= value <= 0xFF
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            lockstep_sweep(_abortive_design(), trials=0, cycles=1)
+
+
+class TestBatchCaching:
+    def test_cache_roundtrip_and_key_separation(self, tmp_path):
+        design = _abortive_design()
+        cache = ModelCache(tmp_path)
+        cls1 = compile_batch_model(design, 4, cache=cache)
+        assert cache.stats.misses == 1
+        cls2 = compile_batch_model(design, 4, cache=cache)
+        assert cls2 is cls1 and cache.stats.memory_hits == 1
+        # Different lane counts / scalar builds are separate entries.
+        compile_batch_model(design, 8, cache=cache)
+        compile_model(design, opt=2, cache=cache, warn_goldberg=False)
+        assert cache.stats.misses == 3
+
+        # A fresh process (new memory layer, same directory) loads the
+        # stored source and behaves identically.
+        warm = ModelCache(tmp_path)
+        cls3 = compile_batch_model(design, 4, cache=warm)
+        assert warm.stats.disk_hits == 1 and cls3 is not cls1
+        m1, m3 = cls1(), cls3()
+        m1.poke("x", [0, 1, 2, 3])
+        m3.poke("x", [0, 1, 2, 3])
+        for _ in range(6):
+            assert m1.run_cycle() == m3.run_cycle()
+        assert m1.state_dict() == m3.state_dict()
+
+    def test_backend_choice_is_part_of_the_key(self, tmp_path):
+        if not HAVE_NUMPY:
+            pytest.skip("needs both backends available")
+        design = _abortive_design()
+        cache = ModelCache(tmp_path)
+        a = compile_batch_model(design, 4, backend="numpy", cache=cache)
+        b = compile_batch_model(design, 4, backend="list", cache=cache)
+        assert a is not b and cache.stats.misses == 2
+
+
+class TestVerifyDesignBatchOracle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clean_designs_pass(self, backend):
+        from repro.fuzz.executor import verify_design
+
+        verify_design(random_design(3), cycles=10, opts=(2,),
+                      include_rtl=False, include_simplified=False,
+                      schedule_seeds=(), batch=4, batch_backend=backend)
+
+    def test_divergence_names_the_lane(self, monkeypatch):
+        """A batched-tier bug must triage as its lane's backend name."""
+        from repro.fuzz import executor
+        from repro.testing.differential import DivergenceError
+
+        design = random_design(3)
+        original = collect_batch_traces
+
+        def corrupted(model, registers, cycles):
+            traces = original(model, registers, cycles)
+            committed, state = traces[2][-1]
+            traces[2][-1] = (committed,
+                             tuple(v ^ 1 for v in state))
+            return traces
+
+        monkeypatch.setattr(executor, "collect_batch_traces", corrupted)
+        with pytest.raises(DivergenceError) as info:
+            executor.verify_design(design, cycles=6, opts=(),
+                                   include_rtl=False,
+                                   include_simplified=False,
+                                   schedule_seeds=(), batch=4)
+        assert info.value.backend.endswith("-lane2")
+        assert info.value.reference == "cuttlesim-O2"

@@ -93,6 +93,39 @@ class TestStore:
         assert store.state["cursor"] == 0
         assert [job.seed for job in store.next_jobs(2)] == [0, 1]
 
+    def test_writes_fsync_before_rename(self, tmp_path, monkeypatch):
+        """Atomic writes must be *durable* writes: without an fsync
+        before ``os.replace``, a crash can leave the rename on disk but
+        the data truncated — exactly the broken-resume failure the temp
+        file + rename dance exists to prevent."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: synced.append(fd) or real_fsync(fd))
+        store = CampaignStore.create(str(tmp_path / "camp"),
+                                     dict(FAST_CONFIG))
+        assert synced, "config/state writes must fsync before rename"
+        synced.clear()
+        store.write_repro("some-bucket", "print('hi')\n")
+        assert synced, "repro scripts must fsync before rename"
+        # And neither path leaves a temp file behind.
+        leftovers = [p for p in tmp_path.rglob("*")
+                     if p.is_file() and ".tmp" in p.name]
+        assert not leftovers
+
+    def test_batch_config_reaches_jobs(self, tmp_path):
+        config = dict(FAST_CONFIG)
+        config.update(batch=8, batch_backend="list")
+        store = CampaignStore.create(str(tmp_path / "camp"), config)
+        job = store.next_jobs(1)[0]
+        assert job.batch == 8 and job.batch_backend == "list"
+        # Default configs (and pre-existing campaign dirs without the
+        # key) disable the batched tier.
+        old = CampaignStore.create(str(tmp_path / "camp2"),
+                                   dict(FAST_CONFIG))
+        old.config.pop("batch", None)
+        assert old.next_jobs(1)[0].batch == 0
+
 
 # ----------------------------------------------------------------------
 # The campaign loop.

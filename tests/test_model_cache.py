@@ -328,3 +328,42 @@ class TestStatsSnapshots:
         assert delta["memory_hits"] == 1 and delta["misses"] == 0
         assert cache.stats.since(cache.stats.snapshot()) == \
             {"memory_hits": 0, "disk_hits": 0, "hits": 0, "misses": 0}
+
+
+class TestStaleTmpSweep:
+    """A writer that dies between ``write_text`` and ``os.replace`` leaves
+    a ``*.tmp.<pid>`` orphan no rename will ever consume; opening the
+    store must sweep them — but never a live writer's file."""
+
+    def test_dead_writer_tmp_removed_on_open(self, tmp_path):
+        import multiprocessing
+        import os
+
+        child = multiprocessing.Process(target=lambda: None)
+        child.start()
+        child.join()
+        dead_pid = child.pid
+        orphan = tmp_path / f"{'0' * 64}.json.tmp.{dead_pid}"
+        orphan.write_text("{}")
+        live = tmp_path / f"{'1' * 64}.json.tmp.{os.getpid()}"
+        live.write_text("{}")
+        odd = tmp_path / "entry.json.tmp.notapid"
+        odd.write_text("{}")
+        ModelCache(tmp_path)
+        assert not orphan.exists(), "dead writer's tmp must be swept"
+        assert live.exists(), "a live writer's tmp must be left alone"
+        assert not odd.exists(), "unparseable pid suffixes are orphans too"
+
+    def test_sweep_does_not_touch_entries(self, tmp_path):
+        cache = ModelCache(tmp_path)
+        compile_model(small_design(), opt=2, cache=cache,
+                      warn_goldberg=False)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        ModelCache(tmp_path)  # reopen: sweep runs, entry survives
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_clear_removes_tmp_files_too(self, tmp_path):
+        cache = ModelCache(tmp_path)
+        (tmp_path / f"{'2' * 64}.json.tmp.999999").write_text("{}")
+        cache.clear()
+        assert not list(tmp_path.glob("*.tmp.*"))

@@ -100,6 +100,27 @@ class TestSingleEvaluation:
         assert model.peek("out") == 0xFF   # divu by 0 saturates
 
 
+class TestDebugHookSingleEvaluation:
+    """``debug=True`` splices the written value into both the hook call
+    and the write itself; before the value was hoisted, an impure value
+    expression (an extcall) ran once per splice — the debugger observed a
+    *different* execution than the model it was debugging."""
+
+    @pytest.mark.parametrize("opt", ALL_LEVELS)
+    def test_written_extcall_fires_once_under_debug(self, opt):
+        design = _extcall_operand_design(lambda a, b: b)
+        env, calls = _counting_env(9)
+        model = compile_model(design, opt=opt, debug=True,
+                              warn_goldberg=False)(env)
+        events = []
+        model.set_hook(lambda kind, *rest: events.append(kind))
+        model.run(1)
+        assert calls == [0], \
+            f"O{opt}/debug: env saw {len(calls)} calls for one write"
+        assert "write" in events  # the hook did observe the write
+        assert model.peek("out") == 9
+
+
 class TestDifferentialOnHoistedOps:
     @pytest.mark.parametrize("op", sorted(BINOPS))
     def test_all_backends_agree(self, op):

@@ -238,3 +238,61 @@ class TestCliParallel:
         assert payload["design"] == "collatz"
         assert payload["matches_serial"] is True
         assert all(r["cycles_per_second"] for r in payload["results"])
+
+
+@needs_fork
+class TestWorkerReaping:
+    """Regressions for fleet-reaping hangs and fd leaks: a worker must be
+    reaped within the grace period no matter how it misbehaves, and every
+    reap path must close the parent's end of the result pipe."""
+
+    def test_sigterm_ignoring_worker_is_killed(self):
+        import signal
+        import time
+
+        def stubborn():
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            time.sleep(60)
+
+        started = time.perf_counter()
+        report = run_fleet([_trial("stubborn", stubborn),
+                            _trial("ok", lambda: 1)],
+                           workers=2, timeout=0.2)
+        elapsed = time.perf_counter() - started
+        assert [r.status for r in report.results] == ["timeout", "ok"]
+        assert elapsed < 10, f"SIGKILL escalation took {elapsed:.1f}s"
+
+    def test_lingering_nondaemon_thread_does_not_stall_fleet(self):
+        """A worker whose payload is already on the pipe but whose
+        interpreter is wedged joining a non-daemon thread used to hang
+        ``finish()`` forever — the join must be bounded."""
+        import threading
+        import time
+
+        def lingering():
+            threading.Thread(target=time.sleep, args=(120,),
+                             daemon=False).start()
+            return 42
+
+        started = time.perf_counter()
+        report = run_fleet([_trial("linger", lingering),
+                            _trial("ok", lambda: 1)], workers=2)
+        elapsed = time.perf_counter() - started
+        assert report.observations == [42, 1]
+        assert elapsed < 10, f"fleet stalled {elapsed:.1f}s on teardown"
+
+    def test_reap_paths_close_result_pipes(self):
+        """Repeated fleets (including timeout kills) must not accumulate
+        open pipe fds in the parent."""
+        import time
+
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc fd accounting")
+        run_fleet([_trial(f"t{i}", lambda: 1) for i in range(4)], workers=2)
+        baseline = len(os.listdir("/proc/self/fd"))
+        for _ in range(4):
+            run_fleet([_trial("slow", lambda: time.sleep(30)),
+                       _trial("ok", lambda: 1)], workers=2, timeout=0.1)
+            run_fleet([_trial(f"t{i}", lambda: 1) for i in range(4)],
+                      workers=2)
+        assert len(os.listdir("/proc/self/fd")) <= baseline + 1
