@@ -157,7 +157,20 @@ def cmd_pretty(args) -> int:
 def cmd_model(args) -> int:
     from .cuttlesim import compile_model
 
-    cls = compile_model(_get_design(args.design), opt=args.opt,
+    design = _get_design(args.design)
+    if args.ir:
+        from .cuttlesim.passes import dump_ir
+
+        print(dump_ir(design, opt=args.opt, stop_after=args.stop_after))
+        return 0
+    if args.stop_after is not None:
+        from .cuttlesim.codegen import compile_model_prefix
+
+        cls = compile_model_prefix(design, opt=args.opt,
+                                   stop_after=args.stop_after)
+        print(cls.SOURCE)
+        return 0
+    cls = compile_model(design, opt=args.opt,
                         instrument=args.instrument, simplify=args.simplify,
                         warn_goldberg=False)
     print(cls.SOURCE)
@@ -431,6 +444,7 @@ def cmd_fuzz_run(args) -> int:
         "schedule_seeds": args.schedule_seeds,
         "mutate": args.mutate, "mutation_depth": args.mutation_depth,
         "batch": args.batch, "batch_backend": args.batch_backend,
+        "pass_prefixes": args.pass_oracle,
     }
     try:
         store = CampaignStore.create(args.state, config, force=args.force)
@@ -590,6 +604,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instrument", action="store_true")
     p.add_argument("--simplify", action="store_true",
                    help="run the AST simplifier before codegen")
+    p.add_argument("--stop-after", default=None, metavar="PASS",
+                   help="stop the pass pipeline after PASS and print the "
+                        "Python emitted from the prefix (with --ir: the IR "
+                        "at that point)")
+    p.add_argument("--ir", action="store_true",
+                   help="print the mid-level IR instead of Python source")
     p.set_defaults(fn=cmd_model)
 
     p = sub.add_parser("asm", help="assemble a program, print the listing")
@@ -637,6 +657,20 @@ def build_parser() -> argparse.ArgumentParser:
                                     "campaigns with triage and reduction")
     fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
 
+    class _RenamedBatchAction(argparse.Action):
+        """``--batch`` once meant "jobs per persisted checkpoint batch" and
+        was silently repurposed as the lockstep lane width when the batched
+        tier landed.  On subcommands where the lane-width meaning does not
+        exist, old-style usage is unambiguous — fail with a pointer to the
+        renamed flag instead of an "unrecognized arguments" surprise."""
+
+        def __call__(self, parser, namespace, values, option_string=None):
+            parser.error(
+                "--batch changed meaning: it now sets the batched lockstep "
+                "lane width and only applies to `repro fuzz run`.  For jobs "
+                "per persisted checkpoint batch (the old meaning of "
+                "--batch), use --jobs-per-batch N.")
+
     def _fuzz_common(fp, dispatch: bool = True) -> None:
         fp.add_argument("--state", default="fuzz-state", metavar="DIR",
                         help="campaign state directory "
@@ -670,10 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="randomized-schedule trials per design")
     fp.add_argument("--batch", type=int, default=0, metavar="B",
                     help="also diff a B-lane batched lockstep backend "
-                         "against scalar O2 (0 = off)")
+                         "against scalar O2 (0 = off; this flag previously "
+                         "meant jobs per checkpoint — that is now "
+                         "--jobs-per-batch)")
     fp.add_argument("--batch-backend", default="auto",
                     choices=("auto", "numpy", "list"),
                     help="lane storage for --batch (default: %(default)s)")
+    fp.add_argument("--pass-oracle", action="store_true",
+                    help="also diff every pass-pipeline prefix "
+                         "(--stop-after each pass), localizing a "
+                         "miscompile to the pass that introduced it")
     fp.add_argument("--mutate", type=int, default=2,
                     help="mutants queued per interesting corpus entry")
     fp.add_argument("--mutation-depth", type=int, default=2,
@@ -687,6 +727,8 @@ def build_parser() -> argparse.ArgumentParser:
     _fuzz_common(fp)
     fp.add_argument("--seeds", default=None, metavar="START:STOP",
                     help="extend the campaign's seed range")
+    fp.add_argument("--batch", action=_RenamedBatchAction, metavar="N",
+                    help=argparse.SUPPRESS)
     fp.set_defaults(fn=cmd_fuzz, fuzz_fn=cmd_fuzz_resume)
 
     fp = fuzz_sub.add_parser("triage", help="list deduplicated failure "

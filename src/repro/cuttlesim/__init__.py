@@ -4,11 +4,13 @@ from .batch import (BATCH_CODEGEN_VERSION, compile_batch_model,
                     generate_batch_source, resolve_batch_backend)
 from .cache import (CacheStats, ModelCache, design_fingerprint,
                     get_default_cache, reset_default_cache)
-from .codegen import CODEGEN_VERSION, compile_model, generate_source
+from .codegen import (CODEGEN_VERSION, compile_model, compile_model_prefix,
+                      generate_source)
 from .model import BatchModelBase, LaneView, ModelBase
 
 __all__ = ["BATCH_CODEGEN_VERSION", "CODEGEN_VERSION", "CacheStats",
            "ModelCache", "compile_batch_model", "compile_model",
-           "design_fingerprint", "generate_batch_source", "generate_source",
-           "get_default_cache", "reset_default_cache", "resolve_batch_backend",
+           "compile_model_prefix", "design_fingerprint",
+           "generate_batch_source", "generate_source", "get_default_cache",
+           "reset_default_cache", "resolve_batch_backend",
            "BatchModelBase", "LaneView", "ModelBase"]

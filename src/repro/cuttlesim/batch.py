@@ -10,6 +10,13 @@ the early-exit control flow of the sequential model (``return False`` on a
 conflict) becomes per-lane *activity masks* — the bulk-synchronous
 execution style of Manticore, grafted onto Cuttlesim's O2 log layout.
 
+Both backends consume the same mid-level IR as the scalar compiler: the
+design is lowered once through :func:`~.passes.batch_pipeline` (lowering
+plus read-check dedup; the O2 layout decision lives in the emitters here)
+and the resulting module drives either emitter.  No lowering decision —
+evaluation order, struct offsets, shadowed-name spelling — is re-derived
+in this file.
+
 Two backends share one semantics:
 
 * ``numpy`` — lanes are ``uint64`` arrays; rule bodies lower to masked
@@ -17,7 +24,7 @@ Two backends share one semantics:
   rwset/log updates).  Chosen automatically when NumPy is importable and
   every value in the design fits :data:`NUMPY_MAX_WIDTH` bits (so all
   arithmetic is exact in ``uint64`` without multi-word emulation).
-* ``list`` — lanes are plain Python lists; each rule reuses the scalar O2
+* ``list`` — lanes are plain Python lists; each rule reuses the scalar
   emitter per lane (``rule_r_lane(self, _k)``) under a thin lockstep
   wrapper.  Always available; also the fallback for wide designs.
 
@@ -43,19 +50,10 @@ except ImportError:  # pragma: no cover - exercised via backend="list"
     _np = None
 
 from ..errors import CompileError
-from ..koika.ast import (
-    Abort,
-    Action,
-    Assign,
-    Const,
-    ExtCall,
-    If,
-    Read,
-    Write,
-    walk,
-)
-from ..koika.design import Design, Rule
+from ..koika.ast import walk
+from ..koika.design import Design
 from ..koika.types import mask
+from . import ir
 from .codegen import (
     _Builder,
     _Emitter,
@@ -66,10 +64,11 @@ from .codegen import (
     _RuleEmitter,
 )
 from .model import BatchModelBase
+from .passes import batch_pipeline, run_pipeline
 
 #: Bump whenever the batched emitters' output changes; folded into model
 #: cache keys (alongside CODEGEN_VERSION) so stale entries never replay.
-BATCH_CODEGEN_VERSION = 1
+BATCH_CODEGEN_VERSION = 2
 
 #: Widest value (register or intermediate) the NumPy backend accepts: all
 #: lane arithmetic happens in uint64, and products/concats of two
@@ -237,15 +236,15 @@ def resolve_batch_backend(design: Design, backend: str = "auto") -> str:
     return "numpy" if feasible else "list"
 
 
-def _rule_footprint(rule: Rule, reg_id: Dict[str, int]) -> List[int]:
+def _rule_footprint(rule: ir.RuleIR, reg_id: Dict[str, int]) -> List[int]:
     """Register rows the rule touches (reads or writes).  Entry copies and
     commits are restricted to these rows: the accumulated (A) rows are
     only ever consulted for registers the rule itself references, and the
     cycle-log (L) rows are authoritative at all times."""
     regs = set()
-    for node in walk(rule.body):
-        if isinstance(node, (Read, Write)):
-            regs.add(node.reg)
+    for stmt in ir.walk_stmts(rule.body):
+        if isinstance(stmt, (ir.SRead, ir.SWrite)):
+            regs.add(stmt.reg)
     return sorted(reg_id[name] for name in regs)
 
 
@@ -254,53 +253,47 @@ def _rule_footprint(rule: Rule, reg_id: Dict[str, int]) -> List[int]:
 # ----------------------------------------------------------------------
 
 class _VectorOps:
-    """Expression lowering shared by the vector rule and fn emitters.
+    """IR spelling shared by the vector rule and fn emitters.
 
     ``self._conj`` is the boolean lane vector of the enclosing branch
-    conditions (``None`` at rule top level): conditionals execute *both*
+    conditions (``None`` at body top level): conditionals execute *both*
     branches with complementary conjunctions instead of branching, and
-    local assignments under a conjunction become masked merges."""
+    local assignments under a conjunction become masked merges.  The
+    pending-fusion machinery of the scalar :class:`~.codegen._Emitter` is
+    inherited unchanged — the barriers' correctness argument carries over
+    because masked execution is straight-line (arms always execute, so a
+    materialization inside an "arm" is still evaluated exactly once)."""
 
     _conj: Optional[str] = None
     lanes: int = 0
-
-    def emit(self, node: Action) -> str:
-        if isinstance(node, Assign) and self._conj is not None:
-            self.meta.uid_line.setdefault(node.uid, self.out.lineno())
-            expr = self.emit(node.value)
-            target = self.scope[node.name]
-            self.line(f"{target} = _np.where({self._conj}, _u({expr}), "
-                      f"_u({target}))")
-            return "0"
-        return super().emit(node)
 
     def _fresh_and(self, a: str, b: str) -> str:
         temp = self.fresh("m")
         self.line(f"{temp} = {a} & {b}")
         return temp
 
-    def _emit_unop(self, node):
+    # -- operators -------------------------------------------------------
+    def _emit_unop(self, node: ir.IUn) -> str:
         op = node.op
         if op == "neg":
-            arg = self.emit(node.arg)
-            return f"_vneg({arg}, {_hex(mask(node.typ.width))})"
+            arg = self.use(node.a)
+            return f"_vneg({arg}, {_hex(mask(node.width))})"
         if op == "sextl":
-            in_width = node.arg.typ.width
-            if in_width == 0:
-                return "0"
-            arg = self.emit(node.arg)
+            arg = self.use(node.a)
+            in_width = node.a_width
             sign_bit = _hex(1 << (in_width - 1))
             high = _hex(mask(node.param) - mask(in_width))
             return f"_vsxt({arg}, {sign_bit}, {high})"
-        # not / zextl / bit slices are mask-and-shift by constants, which
-        # operate elementwise on lane vectors unchanged.
+        # not / bit slices are mask-and-shift by constants, which operate
+        # elementwise on lane vectors unchanged.
         return super()._emit_unop(node)
 
-    def _emit_binop(self, node):
+    def _emit_binop(self, node: ir.IBin) -> str:
         op = node.op
-        a_expr, b_expr = self.emit_ordered((node.a, node.b))
-        width = node.a.typ.width
-        result_mask = _hex(mask(node.typ.width))
+        a_expr = self.use(node.a)
+        b_expr = self.use(node.b)
+        width = node.a_width
+        result_mask = _hex(mask(node.width))
         if op == "add":
             return f"(({a_expr} + {b_expr}) & {result_mask})"
         if op == "sub":
@@ -327,91 +320,123 @@ class _VectorOps:
             half = _hex(1 << (width - 1))
             return f"{fn}({a_expr}, {b_expr}, {half})"
         if op == "concat":
-            return f"(({a_expr} << {node.b.typ.width}) | {b_expr})"
+            return f"(({a_expr} << {node.b_width}) | {b_expr})"
         if op == "sll":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} << {node.b.value}) & {result_mask})"
             return f"_vshl({a_expr}, {b_expr}, {width}, {result_mask})"
         if op == "srl":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 if node.b.value >= width:
                     return "0"
                 return f"({a_expr} >> {node.b.value})"
             return f"_vshr({a_expr}, {b_expr}, {width})"
         if op == "sra":
             sign_bit = _hex(1 << (width - 1))
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 shift = _hex(min(node.b.value, width))
                 return (f"_vsar({a_expr}, {shift}, {width}, {sign_bit}, "
                         f"{result_mask})")
             return (f"_vsar({a_expr}, {b_expr}, {width}, {sign_bit}, "
                     f"{result_mask})")
         if op == "sel":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} >> {node.b.value}) & 1)"
             return f"_vselbit({a_expr}, {b_expr}, {width})"
         raise CompileError(f"unknown binop {op!r}")
 
-    def _emit_if(self, node: If) -> str:
-        if node.orelse is not None and self._is_pure(node):
-            # Both branches are effect-free (helpers are total), so an
-            # eager elementwise select is exact.
-            cond = self.emit(node.cond)
-            then = self.emit(node.then)
-            orelse = self.emit(node.orelse)
-            return (f"_np.where(_bv({cond}, {self.lanes}), "
-                    f"_u({then}), _u({orelse}))")
-        if node.typ is not None and node.typ.width == 0:
-            self._emit_if_stmt(node)
-            return "0"
-        cond = self.emit(node.cond)
+    # -- local assignment (masked merge under a conjunction) -------------
+    def emit_sset(self, stmt: ir.SSet) -> None:
+        if isinstance(stmt.target, ir.Temp):
+            # Only reachable through the base statement-form If, which the
+            # vector emitters never produce — joins happen in emit_sif.
+            self.line(f"{self._names[stmt.target.id]} = "
+                      f"{self.use(stmt.value)}")
+            return
+        name = stmt.target.name
+        value = self.use(stmt.value)
+        self._barrier_local(name)
+        if stmt.init or self._conj is None:
+            # A Let binding is the name's first assignment: lanes outside
+            # the conjunction hold garbage that no masked use observes.
+            self.line(f"{name} = {value}")
+            return
+        self.line(f"{name} = _np.where({self._conj}, _u({value}), "
+                  f"_u({name}))")
+
+    # -- conditionals -----------------------------------------------------
+    def _select_expr(self, cond: str, then: str, orelse: str) -> str:
+        # Both arms are pure and total, so an eager elementwise select is
+        # exact.
+        return (f"_np.where(_bv({cond}, {self.lanes}), "
+                f"_u({then}), _u({orelse}))")
+
+    def emit_sif(self, stmt: ir.SIf) -> None:
+        pure = self._stmts_pure(stmt.then) and (
+            stmt.orelse is None or self._stmts_pure(stmt.orelse))
+        if pure:
+            if stmt.result is not None:
+                self._emit_select(stmt)
+            else:
+                self.drop(stmt.cond)
+            return
+        self._barrier_branch()
+        cond = self.use(stmt.cond)
         cvar = self.fresh("c")
         self.line(f"{cvar} = _bv({cond}, {self.lanes})")
         saved = self._conj
-        self._conj = cvar if saved is None else self._fresh_and(cvar, saved)
-        # Hoist the then-value before the else branch runs: its effects are
-        # masked to the complementary lanes, but evaluating the expression
-        # early keeps the values independent of later statements.
-        then = self.hoist(self.emit(node.then))
-        assert node.orelse is not None
+        if stmt.result is not None:
+            # Value join: run both arms under complementary conjunctions,
+            # then select.  The then-value is hoisted before the else arm
+            # so its evaluation cannot observe the else arm's (masked)
+            # effects.
+            self._conj = (cvar if saved is None
+                          else self._fresh_and(cvar, saved))
+            then = self.hoist(self._arm_value(stmt.then))
+            self._conj = self._negated(cvar, saved)
+            orelse = self._arm_value(stmt.orelse)
+            self._conj = saved
+            temp = self.fresh()
+            self.line(f"{temp} = _np.where({cvar}, _u({then}), "
+                      f"_u({orelse}))")
+            self._names[stmt.result.id] = temp
+            return
+        # Discarded value: emit only the arms that have effects.
+        if not self._stmts_pure(stmt.then):
+            self._conj = (cvar if saved is None
+                          else self._fresh_and(cvar, saved))
+            self._enter_frame()
+            self.emit_stmts(stmt.then)
+            self._exit_frame()
+        if stmt.orelse is not None and not self._stmts_pure(stmt.orelse):
+            self._conj = self._negated(cvar, saved)
+            self._enter_frame()
+            self.emit_stmts(stmt.orelse)
+            self._exit_frame()
+        self._conj = saved
+
+    def _negated(self, cvar: str, saved: Optional[str]) -> str:
         nvar = self.fresh("c")
         if saved is None:
             self.line(f"{nvar} = ~{cvar}")
         else:
             self.line(f"{nvar} = ~{cvar} & {saved}")
-        self._conj = nvar
-        orelse = self.emit(node.orelse)
-        self._conj = saved
-        temp = self.fresh()
-        self.line(f"{temp} = _np.where({cvar}, _u({then}), _u({orelse}))")
-        return temp
+        return nvar
 
-    def _emit_if_stmt(self, node: If) -> None:
-        cond = self.emit(node.cond)
-        then_live = not self._is_pure(node.then)
-        else_live = node.orelse is not None and not self._is_pure(node.orelse)
-        if not (then_live or else_live):
-            return
-        cvar = self.fresh("c")
-        self.line(f"{cvar} = _bv({cond}, {self.lanes})")
-        saved = self._conj
-        if then_live:
-            self._conj = cvar if saved is None \
-                else self._fresh_and(cvar, saved)
-            self.emit_discard(node.then)
-        if else_live:
-            nvar = self.fresh("c")
-            if saved is None:
-                self.line(f"{nvar} = ~{cvar}")
-            else:
-                self.line(f"{nvar} = ~{cvar} & {saved}")
-            self._conj = nvar
-            self.emit_discard(node.orelse)
-        self._conj = saved
+    def _arm_value(self, stmts) -> str:
+        """Emit one join arm (its final statement is the SSet of the join
+        temp) and return the arm's value expression."""
+        self._enter_frame()
+        self.emit_stmts(stmts[:-1])
+        last = stmts[-1]
+        assert isinstance(last, ir.SSet) and isinstance(last.target, ir.Temp)
+        value = self.use(last.value)
+        self._exit_frame()
+        return value
 
 
 class _VectorFnEmitter(_VectorOps, _FnEmitter):
@@ -431,7 +456,7 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
     still active.  ``_act`` (length-B bool) replaces ``return False``."""
 
     def __init__(self, out: _Builder, meta: _Meta, design: Design,
-                 rule: Rule, lanes: int, reg_id: Dict[str, int],
+                 rule: ir.RuleIR, lanes: int, reg_id: Dict[str, int],
                  footprint: Sequence[int]):
         super().__init__(out, meta)
         self.design = design
@@ -439,38 +464,12 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
         self.lanes = lanes
         self.reg_id = reg_id
         self.footprint = list(footprint)
-        self._reads_checked: set = set()
 
     def effmask(self) -> str:
         """Lanes for which the current statement's effects are live."""
         if self._conj is None:
             return "_act"
         return f"({self._conj} & _act)"
-
-    def _read_is_pure(self, node: Read) -> bool:
-        return False
-
-    def emit_discard(self, node: Action) -> None:
-        # Unlike the scalar emitter, every side effect (including external
-        # calls) is already emitted as statements by emit(); the returned
-        # expression is always pure and can be dropped.
-        if self._is_pure(node):
-            return
-        if isinstance(node, If):
-            self._emit_if_stmt(node)
-            return
-        self.emit(node)
-
-    def _emit_effect(self, node: Action) -> str:
-        if isinstance(node, Read):
-            return self._emit_read(node)
-        if isinstance(node, Write):
-            return self._emit_write(node)
-        if isinstance(node, Abort):
-            return self._emit_abort(node)
-        if isinstance(node, ExtCall):
-            return self._emit_extcall(node)
-        raise CompileError(f"cannot emit {type(node).__name__}")
 
     def _kill(self, fail: str, comment: str) -> None:
         """Deactivate lanes for which ``fail`` holds (under the current
@@ -480,60 +479,66 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
         else:
             self.line(f"_act &= ~(({fail}) & {self._conj})  # {comment}")
 
-    def _emit_read(self, node: Read) -> str:
-        name = node.reg
+    # -- effectful statements --------------------------------------------
+    def emit_sread(self, stmt: ir.SRead) -> None:
+        name = stmt.reg
         i = self.reg_id[name]
-        bits = 12 if node.port == 0 else 8
-        key = (name, node.port)
-        if self._conj is None:
-            # The cycle log is constant for the whole rule, so an
-            # unconditional check never needs repeating.
-            if key not in self._reads_checked:
-                self._kill(f"(Lrw[{i}] & {bits}) != 0",
-                           f"{name}.rd{node.port} conflict")
-                self._reads_checked.add(key)
-        else:
+        if stmt.check:
+            bits = 12 if stmt.port == 0 else 8
             self._kill(f"(Lrw[{i}] & {bits}) != 0",
-                       f"{name}.rd{node.port} conflict")
-        flag = 1 if node.port == 0 else 2
-        self.line(f"_ow(Arw[{i}], {flag}, {self.effmask()})")
-        self.effects = True
-        if node.port == 0:
-            return f"S[{i}]"
-        return f"_np.where((Arw[{i}] & 4) != 0, Ad0[{i}], S[{i}])"
+                       f"{name}.rd{stmt.port} conflict")
+        if stmt.track:
+            flag = 1 if stmt.port == 0 else 2
+            self._barrier_state()
+            self.line(f"_ow(Arw[{i}], {flag}, {self.effmask()})")
+        if stmt.port == 0:
+            value = f"S[{i}]"
+        else:
+            value = f"_np.where((Arw[{i}] & 4) != 0, Ad0[{i}], S[{i}])"
+        uses = self._uses.get(stmt.temp.id, 0)
+        if uses <= 0:
+            return
+        if uses == 1:
+            self._defer(stmt.temp.id, value, stmt.port == 1, set())
+            return
+        temp = self.fresh()
+        self.line(f"{temp} = {value}")
+        self._names[stmt.temp.id] = temp
 
-    def _emit_write(self, node: Write) -> str:
-        # The reference interpreter evaluates the written value *before*
-        # the conflict check; external calls in the value must fire in
-        # that order, so emit the value first.
-        value_expr = self.emit(node.value)
-        name = node.reg
+    def emit_swrite(self, stmt: ir.SWrite) -> None:
+        # The value operand was lowered before this statement (interpreter
+        # order: value first, conflict check second).  Splicing a deferred
+        # value past this statement's own flag update is safe: a same-
+        # register rd1-then-wr0 kills every lane the rd1 flagged, and a
+        # wr1 flag/store never feeds the rd1 forwarding expression.
+        value_expr = self.use(stmt.value)
+        name = stmt.reg
         i = self.reg_id[name]
-        bits = 14 if node.port == 0 else 8
-        self._kill(f"(Arw[{i}] & {bits}) != 0",
-                   f"{name}.wr{node.port} conflict")
+        if stmt.check:
+            bits = 14 if stmt.port == 0 else 8
+            self._kill(f"(Arw[{i}] & {bits}) != 0",
+                       f"{name}.wr{stmt.port} conflict")
+        self._barrier_state()
         mm = self.fresh("w")
         self.line(f"{mm} = {self.effmask()}")
-        self.line(f"_ow(Arw[{i}], {4 if node.port == 0 else 8}, {mm})")
-        self.line(f"_st(Ad{node.port}[{i}], {value_expr}, {mm})"
-                  f"  # {name}.wr{node.port}")
-        self.effects = True
-        return "0"
+        if stmt.track:
+            self.line(f"_ow(Arw[{i}], {4 if stmt.port == 0 else 8}, {mm})")
+        self.line(f"_st(Ad{stmt.port}[{i}], {value_expr}, {mm})"
+                  f"  # {name}.wr{stmt.port}")
 
-    def _emit_abort(self, node: Abort) -> str:
+    def emit_sabort(self, stmt: ir.SAbort) -> None:
         if self._conj is None:
             self.line("_act[:] = False")
         else:
             self.line(f"_act &= ~{self._conj}")
-        self.effects = True
-        return "0"
 
-    def _emit_extcall(self, node: ExtCall) -> str:
+    def _emit_ext_bind(self, stmt: ir.Bind, uses: int) -> None:
         # Scalar drain: external calls are per-lane observable effects
         # (each lane has its own environment), so the active lanes are
         # drained one at a time through their own callable, in lane order.
-        arg = self.emit(node.arg)
-        ret_mask = _hex(mask(node.typ.width))
+        op = stmt.op
+        arg = self.use(op.a)
+        ret_mask = _hex(mask(op.width))
         avar = self.fresh("a")
         self.line(f"{avar} = _np.broadcast_to(_u({arg}), ({self.lanes},))")
         rvar = self.fresh("x")
@@ -541,13 +546,14 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
         self.line(f"for _k in _np.nonzero({self.effmask()})[0]:")
         self.out.indent += 1
         self.line(f"{rvar}[_k] = "
-                  f"self._ext_{node.fn}[_k](int({avar}[_k])) & {ret_mask}")
+                  f"self._ext_{op.fn}[_k](int({avar}[_k])) & {ret_mask}")
         self.out.indent -= 1
-        self.effects = True
-        return rvar
+        self._names[stmt.temp.id] = rvar
 
+    # -- whole rule --------------------------------------------------------
     def emit_rule(self) -> None:
         rule = self.rule
+        self.setup(rule.body)
         self.line(f"def rule_{rule.name}(self):")
         self.out.indent += 1
         self.line("S = self._S")
@@ -563,7 +569,7 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
             self.line(f"_np.copyto(Arw[{i}], Lrw[{i}])")
             self.line(f"_np.copyto(Ad0[{i}], Ld0[{i}])")
             self.line(f"_np.copyto(Ad1[{i}], Ld1[{i}])")
-        self.emit_discard(rule.body)
+        self.emit_stmts(rule.body)
         for i in self.footprint:
             self.line(f"_np.copyto(Lrw[{i}], Arw[{i}], where=_act)")
             self.line(f"_np.copyto(Ld0[{i}], Ad0[{i}], where=_act)")
@@ -574,7 +580,7 @@ class _VectorRuleEmitter(_VectorOps, _Emitter):
 
 
 # ----------------------------------------------------------------------
-# List backend: the scalar O2 emitter per lane, under a lockstep wrapper.
+# List backend: the scalar emitter per lane, under a lockstep wrapper.
 # ----------------------------------------------------------------------
 
 class _LaneLayout(_Layout):
@@ -601,10 +607,12 @@ class _LaneLayout(_Layout):
             return f"Arw[{i}][_k] & 14"
         return f"Arw[{i}][_k] & 8"
 
-    def write_stmts(self, i, port, value):
-        if port == 0:
-            return [f"Arw[{i}][_k] |= 4", f"Ad0[{i}][_k] = {value}"]
-        return [f"Arw[{i}][_k] |= 8", f"Ad1[{i}][_k] = {value}"]
+    def write_stmts(self, i, port, value, track=True):
+        stmts = []
+        if track:
+            stmts.append(f"Arw[{i}][_k] |= {4 if port == 0 else 8}")
+        stmts.append(f"Ad{port}[{i}][_k] = {value}")
+        return stmts
 
     def rule_locals(self, rule):
         return [
@@ -621,24 +629,23 @@ class _LaneLayout(_Layout):
 
 
 class _LaneRuleEmitter(_RuleEmitter):
-    """Scalar O2 rule body specialized to one lane (``rule_r_lane``)."""
+    """Scalar rule body specialized to one lane (``rule_r_lane``)."""
 
     def emit_rule(self) -> None:
         rule = self.rule
+        self.setup(rule.body)
         self.line(f"def rule_{rule.name}_lane(self, _k):")
         self.out.indent += 1
         for alias in self.layout.rule_locals(rule.name):
             self.line(alias)
-        self.emit_discard(rule.body)
+        self.emit_stmts(rule.body)
         for stmt in self.layout.rule_commit(rule.name):
             self.line(stmt)
         self.out.indent -= 1
         self.line("")
 
-    def _emit_extcall(self, node: ExtCall) -> str:
-        arg = self.emit(node.arg)
-        ret_mask = _hex(mask(node.typ.width))
-        return f"(self._ext_{node.fn}[_k]({arg}) & {ret_mask})"
+    def _ext_call_expr(self, fn: str, arg: str, ret_mask: str) -> str:
+        return f"(self._ext_{fn}[_k]({arg}) & {ret_mask})"
 
 
 # ----------------------------------------------------------------------
@@ -650,6 +657,9 @@ def generate_batch_source(design: Design, lanes: int,
     """Generate the Python source of a width-``lanes`` lockstep model."""
     if not design.finalized:
         design.finalize()
+    # One lowering feeds both backends: the batched tier follows the O2
+    # semantics family, so only lowering + read-check dedup apply here.
+    module = run_pipeline(design, 2, pipeline=batch_pipeline())
     regs = list(design.registers)
     n = len(regs)
     reg_id = {name: i for i, name in enumerate(regs)}
@@ -674,7 +684,7 @@ def generate_batch_source(design: Design, lanes: int,
         out.line(f"_BZ = (0,) * {lanes}")
     out.line("")
 
-    for fn in design.fns.values():
+    for fn in module.fns:
         if backend == "numpy":
             _VectorFnEmitter(out, meta, lanes).emit_fn(fn)
         else:
@@ -734,7 +744,7 @@ def generate_batch_source(design: Design, lanes: int,
     out.line("")
 
     # rules --------------------------------------------------------------
-    for rule in design.scheduled_rules():
+    for rule in module.rules:
         footprint = _rule_footprint(rule, reg_id)
         if backend == "numpy":
             emitter = _VectorRuleEmitter(out, meta, design, rule, lanes,

@@ -167,10 +167,19 @@ class ModelCache:
         batch emitter version into the key, so scalar and batched builds
         of the same design coexist and a batch emitter upgrade misses
         cleanly.
+
+        The key also embeds the *pass-list fingerprint* (pass names and
+        versions, :func:`~.passes.pipeline_fingerprint`): reordering the
+        pipeline or bumping one pass's version misses cleanly without a
+        global ``CODEGEN_VERSION`` bump.
         """
+        from .passes import batch_pipeline, pipeline_fingerprint, pipeline_for
+
+        pipeline = batch_pipeline() if batch else pipeline_for(opt)
         flags = (f"O{opt};oi={int(bool(order_independent))}"
                  f";simp={int(bool(simplify))};inline={inline_rules!r}"
-                 f";host={host_optimize};cg={CODEGEN_VERSION}")
+                 f";host={host_optimize};cg={CODEGEN_VERSION}"
+                 f";pl={pipeline_fingerprint(pipeline)}")
         if batch:
             from .batch import BATCH_CODEGEN_VERSION
 

@@ -4,7 +4,15 @@ This is the paper's core contribution, transposed from C++ to Python: each
 design becomes a generated class with one method per rule, the scheduler
 becomes a ``_cycle`` method calling the rules in turn, and the transaction
 machinery is specialized per design.  The optimization ladder of §3.2–§3.3
-is implemented as six distinct layouts so each refinement is measurable:
+is implemented as an explicit *pass pipeline* over the mid-level IR
+(:mod:`repro.cuttlesim.ir`, :mod:`repro.cuttlesim.passes`): lowering fixes
+evaluation order once, each pass refines the module's layout/policy, and
+this emitter spells the result as Python.  Because IR operands are temps
+bound exactly once, the "value spliced into two sites, evaluated twice"
+bug family is unrepresentable here by construction.
+
+The storage layouts (one per optimization level) remain in this file —
+they are spelling, not semantics:
 
 ======  =====================================================================
 ``O0``  Naive: beginning-of-cycle state + interleaved rule/cycle logs
@@ -27,40 +35,24 @@ Additional compile modes:
 * ``instrument=True`` — insert per-block execution counters (the Gcov
   analogue used by case study 4);
 * ``debug=True`` — insert ``self._hook(...)`` calls at rule entry, reads,
-  writes, failures, and commits (what ``-g`` plus a debugger gives you).
+  writes, failures, and commits (what ``-g`` plus a debugger gives you);
+* ``stop_after=<pass>`` — stop the pass pipeline after the named pass and
+  emit whatever the prefix produced (the pass-equivalence debug hook).
 """
 
 from __future__ import annotations
 
 import linecache
 import weakref
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.abstract import DesignAnalysis, RD1, WR0, WR1, analyze
 from ..errors import CompileError
-from ..harness.env import Environment
-from ..koika.ast import (
-    Abort,
-    Action,
-    Assign,
-    Binop,
-    Call,
-    Const,
-    ExtCall,
-    GetField,
-    If,
-    Let,
-    Read,
-    Seq,
-    SubstField,
-    Unop,
-    Var,
-    Write,
-    walk,
-)
-from ..koika.design import Design, Fn, Rule
-from ..koika.types import StructType, mask
+from ..koika.design import Design
+from ..koika.types import mask
+from . import ir
 from .model import ModelBase
+from .passes import run_pipeline
 
 # Read-write set bitmask layout for O1-O4 (one int per register).
 _M_RD0, _M_RD1, _M_WR0, _M_WR1 = 1, 2, 4, 8
@@ -117,7 +109,9 @@ class _Layout:
     """How one optimization level stores logs and implements §3.1's rules.
 
     Statements returned by ``read_*``/``write_*`` assume the local aliases
-    from :meth:`rule_locals` are in scope.
+    from :meth:`rule_locals` are in scope.  The emitter consults the IR's
+    policy bits (``check``/``track``) before asking for checks/flags, so
+    layouts only answer "how", never "whether".
     """
 
     uses_analysis = False
@@ -130,7 +124,7 @@ class _Layout:
         self.n = len(self.regs)
 
     # Every (check, flag set, value) below implements §3.1 for its layout.
-    def read_check(self, i: int, port: int) -> Optional[str]:
+    def read_check(self, i: int, port: int) -> str:
         raise NotImplementedError
 
     def read_flag_stmts(self, i: int, port: int) -> List[str]:
@@ -139,10 +133,17 @@ class _Layout:
     def read_value(self, i: int, port: int) -> str:
         raise NotImplementedError
 
-    def write_check(self, i: int, port: int) -> Optional[str]:
+    def read_value_volatile(self, port: int) -> bool:
+        """Whether :meth:`read_value` reads mutable log state (``rd1``
+        forwards pending writes), so the emitter must not defer it past a
+        log mutation."""
+        return port == 1
+
+    def write_check(self, i: int, port: int) -> str:
         raise NotImplementedError
 
-    def write_stmts(self, i: int, port: int, value: str) -> List[str]:
+    def write_stmts(self, i: int, port: int, value: str,
+                    track: bool = True) -> List[str]:
         raise NotImplementedError
 
     def rule_locals(self, rule: str) -> List[str]:
@@ -223,7 +224,7 @@ class _LayoutO0(_Layout):
                     f"or l[{i}][1] or l[{i}][2] or l[{i}][3]")
         return f"L[{i}][3] or l[{i}][3]"
 
-    def write_stmts(self, i, port, value):
+    def write_stmts(self, i, port, value, track=True):
         if port == 0:
             return [f"l[{i}][2] = True", f"l[{i}][4] = {value}"]
         return [f"l[{i}][3] = True", f"l[{i}][5] = {value}"]
@@ -335,7 +336,7 @@ class _LayoutO1(_Layout):
             return f"(Lrw[{i}] | lrw[{i}]) & 14"
         return f"(Lrw[{i}] | lrw[{i}]) & 8"
 
-    def write_stmts(self, i, port, value):
+    def write_stmts(self, i, port, value, track=True):
         if port == 0:
             return [f"lrw[{i}] |= 4", f"ld0[{i}] = {value}"]
         return [f"lrw[{i}] |= 8", f"ld1[{i}] = {value}"]
@@ -449,7 +450,7 @@ class _LayoutO23(_Layout):
     def write_check(self, i, port):
         return f"Arw[{i}] & 14" if port == 0 else f"Arw[{i}] & 8"
 
-    def write_stmts(self, i, port, value):
+    def write_stmts(self, i, port, value, track=True):
         if port == 0:
             return [f"Arw[{i}] |= 4", f"Ad0[{i}] = {value}"]
         return [f"Arw[{i}] |= 8", f"Ad1[{i}] = {value}"]
@@ -563,7 +564,7 @@ class _LayoutO4(_Layout):
     def write_check(self, i, port):
         return f"Arw[{i}] & 14" if port == 0 else f"Arw[{i}] & 8"
 
-    def write_stmts(self, i, port, value):
+    def write_stmts(self, i, port, value, track=True):
         return [f"Arw[{i}] |= {4 if port == 0 else 8}", f"Ad[{i}] = {value}"]
 
     def rule_locals(self, rule):
@@ -631,7 +632,13 @@ class _LayoutO4(_Layout):
 
 
 class _LayoutO5(_LayoutO4):
-    """O4 plus the design-specific optimizations of §3.3."""
+    """O4 plus the design-specific optimizations of §3.3.
+
+    Whether a check/flag survives is decided by the register-classification
+    pass (the IR's ``check``/``track`` bits); this layout only answers the
+    positional "how" for registers that kept them.  Tracked or may-fail
+    registers are never in ``analysis.safe_registers``, so every slot
+    lookup below is total."""
 
     uses_analysis = True
 
@@ -643,47 +650,32 @@ class _LayoutO5(_LayoutO4):
         self.flag_slot = {r: s for s, r in enumerate(unsafe)}
         self.m = len(unsafe)
 
-    def _info(self, node):
-        return self.analysis.node_info.get(node.uid)
-
-    # Node-aware variants (the emitter calls these with the AST node).
-    def node_read_check(self, node: Read) -> Optional[str]:
-        info = self._info(node)
-        if info is None or not info.may_fail:
-            return None
-        slot = self.flag_slot[node.reg]
-        if node.port == 0:
+    def read_check(self, i, port):
+        slot = self.flag_slot[self.regs[i]]
+        if port == 0:
             return f"Lf[{slot}] & {_F_WR0 | _F_WR1}"
         return f"Lf[{slot}] & {_F_WR1}"
 
-    def node_read_flag_stmts(self, node: Read) -> List[str]:
-        if node.port == 0:
+    def read_flag_stmts(self, i, port):
+        if port == 0:
             return []  # rd0 is never tracked in a sequential model.
-        tracked = self.analysis.tracked_flags.get(node.reg, set())
-        if RD1 not in tracked:
-            return []
-        return [f"Af[{self.flag_slot[node.reg]}] |= {_F_RD1}"]
+        return [f"Af[{self.flag_slot[self.regs[i]]}] |= {_F_RD1}"]
 
-    def node_read_value(self, node: Read) -> str:
-        i = self.reg_id[node.reg]
-        return f"Ld[{i}]" if node.port == 0 else f"Ad[{i}]"
+    def read_value(self, i, port):
+        return f"Ld[{i}]" if port == 0 else f"Ad[{i}]"
 
-    def node_write_check(self, node: Write) -> Optional[str]:
-        info = self._info(node)
-        if info is None or not info.may_fail:
-            return None
-        slot = self.flag_slot[node.reg]
-        if node.port == 0:
+    def write_check(self, i, port):
+        slot = self.flag_slot[self.regs[i]]
+        if port == 0:
             return f"Af[{slot}] & {_F_RD1 | _F_WR0 | _F_WR1}"
         return f"Af[{slot}] & {_F_WR1}"
 
-    def node_write_stmts(self, node: Write, value: str) -> List[str]:
+    def write_stmts(self, i, port, value, track=True):
         stmts = []
-        tracked = self.analysis.tracked_flags.get(node.reg, set())
-        flag = WR0 if node.port == 0 else WR1
-        if flag in tracked:
-            stmts.append(f"Af[{self.flag_slot[node.reg]}] |= {_F_BIT[flag]}")
-        stmts.append(f"Ad[{self.reg_id[node.reg]}] = {value}")
+        if track:
+            flag = _F_WR0 if port == 0 else _F_WR1
+            stmts.append(f"Af[{self.flag_slot[self.regs[i]]}] |= {flag}")
+        stmts.append(f"Ad[{i}] = {value}")
         return stmts
 
     def rule_locals(self, rule):
@@ -712,6 +704,9 @@ class _LayoutO5(_LayoutO4):
     def fail_stmt(self, rule, effects_so_far):
         if not effects_so_far:
             return "return False"  # early failure: nothing to roll back
+        info = self.analysis.rules[rule]
+        if not (info.data_footprint or info.flag_footprint):
+            return "return False"  # empty footprint: nothing to roll back
         return f"return self._fail_{rule}()"
 
     def needs_fail_helper(self, rule):
@@ -776,25 +771,25 @@ class _LayoutO5(_LayoutO4):
         ]
 
 
-def _make_layout(design: Design, opt: int,
-                 analysis: Optional[DesignAnalysis]) -> _Layout:
-    if opt == 0:
+def _layout_for(module: ir.ModuleIR) -> _Layout:
+    """Instantiate the storage layout the pass pipeline decided on."""
+    design, analysis = module.design, module.analysis
+    if module.layout == "interleaved":
         return _LayoutO0(design, analysis)
-    if opt == 1:
+    if module.layout == "rwsets":
         return _LayoutO1(design, analysis)
-    if opt == 2:
-        return _LayoutO23(design, analysis, reset_on_failure=False)
-    if opt == 3:
-        return _LayoutO23(design, analysis, reset_on_failure=True)
-    if opt == 4:
+    if module.layout == "accumulated":
+        return _LayoutO23(design, analysis,
+                          reset_on_failure=module.reset_on_failure)
+    if module.layout == "merged":
         return _LayoutO4(design, analysis)
-    if opt == 5:
+    if module.layout == "classified":
         return _LayoutO5(design, analysis)
-    raise CompileError(f"unknown optimization level O{opt}")
+    raise CompileError(f"unknown IR layout {module.layout!r}")
 
 
 # ----------------------------------------------------------------------
-# Expression/action emission.
+# Expression emission (IR -> Python expression strings).
 # ----------------------------------------------------------------------
 
 def _is_atomic(expr: str) -> bool:
@@ -812,23 +807,63 @@ def _is_atomic(expr: str) -> bool:
             and all(c in "0123456789abcdef" for c in body[2:]))
 
 
-def _is_unit_const(node: Action) -> bool:
-    return isinstance(node, Const) and node.typ is not None and node.typ.width == 0
+class _Pending:
+    """A single-use expression waiting for its one consumer.
+
+    The emitter *fuses* pure single-use temps into their consumer instead
+    of materializing a Python assignment per IR statement — that is what
+    keeps the generated models readable (and fast: fewer bytecode stores).
+    ``volatile`` marks expressions reading mutable log state; ``locals``
+    names the Python locals the expression mentions.  Barriers flush
+    pendings whose captured state could change (see ``_barrier_*``)."""
+
+    __slots__ = ("expr", "volatile", "locals")
+
+    def __init__(self, expr: str, volatile: bool, locals_: Set[str]) -> None:
+        self.expr = expr
+        self.volatile = volatile
+        self.locals = locals_
 
 
 class _Emitter:
-    """Shared expression emitter.  Subclasses handle effectful nodes."""
+    """Shared IR statement emitter.  Subclasses spell the effectful
+    statements (reads/writes/aborts); this base handles pure computation,
+    conditionals, and the pending-fusion machinery.
+
+    The correctness argument for fusion: a pending is created at its
+    binding site and consumed at most once, downstream.  It may cross
+    other statements only if nothing in between can change its value —
+    enforced by ``_barrier_state`` (before any log/flag mutation, flushes
+    volatile pendings), ``_barrier_local`` (before a local reassignment,
+    flushes pendings mentioning it) and ``_barrier_branch`` (before any
+    statement-form ``if``, flushes both kinds so no pending is evaluated
+    under a different condition than it was created under).  Impure ops
+    (external calls) never become pendings at all."""
 
     def __init__(self, out: _Builder, meta: _Meta):
         self.out = out
         self.meta = meta
         self._temps = 0
-        self.scope: Dict[str, str] = {}
-        self._mutates_cache: Dict[int, bool] = {}
+        self._uses: Dict[int, int] = {}
+        self._names: Dict[int, str] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self._acc: List[list] = []
+        self._frames: List[Set[int]] = []
+
+    def setup(self, stmts, extra=()) -> None:
+        """Reset per-body state and count temp uses for ``stmts``."""
+        self._uses = ir.count_uses(stmts, extra)
+        self._names = {}
+        self._pending = {}
+        self._acc = []
+        self._frames = []
 
     def fresh(self, hint: str = "t") -> str:
         self._temps += 1
         return f"_{hint}{self._temps}"
+
+    def line(self, text: str) -> None:
+        self.out.line(text)
 
     def hoist(self, expr: str) -> str:
         """Materialize a non-atomic operand in a temp so the emitted
@@ -842,144 +877,166 @@ class _Emitter:
         self.line(f"{temp} = {expr}")
         return temp
 
-    def line(self, text: str) -> None:
-        self.out.line(text)
+    # -- operand consumption ---------------------------------------------
+    def use(self, value: ir.Value) -> str:
+        """The Python spelling of an operand.  Consuming a pending temp
+        splices its expression here (its one and only evaluation site) and
+        propagates its volatility/locals to the enclosing accumulator."""
+        if isinstance(value, ir.IConst):
+            return _hex(value.value)
+        if isinstance(value, ir.LocalRef):
+            if self._acc:
+                self._acc[-1][1].add(value.name)
+            return value.name
+        pending = self._pending.pop(value.id, None)
+        if pending is not None:
+            if self._acc:
+                acc = self._acc[-1]
+                acc[0] = acc[0] or pending.volatile
+                acc[1] |= pending.locals
+            return pending.expr
+        return self._names[value.id]
 
-    def _mutates(self, node: Action) -> bool:
-        # ExtCall counts: external calls must keep their exact sequential
-        # call order (the environment may observe them, e.g. output sinks).
-        cached = self._mutates_cache.get(node.uid)
-        if cached is None:
-            cached = any(isinstance(n, (Read, Write, ExtCall))
-                         for n in walk(node))
-            self._mutates_cache[node.uid] = cached
-        return cached
+    def drop(self, value: ir.Value) -> None:
+        """Discard an operand that will never be evaluated."""
+        if isinstance(value, ir.Temp):
+            self._pending.pop(value.id, None)
 
-    def _is_pure(self, node: Action) -> bool:
-        """Pure enough to inline as a single Python expression (and to drop
-        when the value is discarded)."""
-        for n in walk(node):
-            if isinstance(n, (Write, Abort, Let, Assign, Seq, ExtCall)):
-                return False
-            if isinstance(n, Read) and not self._read_is_pure(n):
-                return False
-        return True
+    def _push_acc(self) -> None:
+        self._acc.append([False, set()])
 
-    def _read_is_pure(self, node: Read) -> bool:
-        return False  # overridden by the rule emitter for O5 / fn emitter
+    def _pop_acc(self) -> Tuple[bool, Set[str]]:
+        volatile, locals_ = self._acc.pop()
+        return volatile, locals_
 
-    def emit_ordered(self, children: Sequence[Action]) -> List[str]:
-        """Emit children left-to-right, hoisting earlier results to temps
-        whenever a later child mutates log state (order preservation)."""
-        mutates_after = [False] * (len(children) + 1)
-        for i in range(len(children) - 1, -1, -1):
-            mutates_after[i] = mutates_after[i + 1] or self._mutates(children[i])
-        exprs = []
-        for i, child in enumerate(children):
-            expr = self.emit(child)
-            if mutates_after[i + 1] and not _is_atomic(expr):
-                temp = self.fresh()
-                self.line(f"{temp} = {expr}")
-                expr = temp
-            exprs.append(expr)
-        return exprs
+    def _defer(self, tid: int, expr: str, volatile: bool,
+               locals_: Set[str]) -> None:
+        self._pending[tid] = _Pending(expr, volatile, locals_)
 
-    # -- dispatch ------------------------------------------------------------
-    def emit(self, node: Action) -> str:
-        self.meta.uid_line.setdefault(node.uid, self.out.lineno())
-        if isinstance(node, Const):
-            return _hex(node.value)
-        if isinstance(node, Var):
-            return self.scope[node.name]
-        if isinstance(node, Unop):
-            return self._emit_unop(node)
-        if isinstance(node, Binop):
-            return self._emit_binop(node)
-        if isinstance(node, GetField):
-            return self._emit_getfield(node)
-        if isinstance(node, SubstField):
-            return self._emit_substfield(node)
-        if isinstance(node, Call):
-            exprs = self.emit_ordered(node.args)
-            return f"fn_{node.fn}({', '.join(exprs)})"
-        if isinstance(node, Let):
-            return self._emit_let(node)
-        if isinstance(node, Assign):
-            expr = self.emit(node.value)
-            self.line(f"{self.scope[node.name]} = {expr}")
-            return "0"
-        if isinstance(node, Seq):
-            for action in node.actions[:-1]:
-                self.emit_discard(action)
-            return self.emit(node.actions[-1])
-        if isinstance(node, If):
-            return self._emit_if(node)
-        if isinstance(node, (Read, Write, Abort, ExtCall)):
-            return self._emit_effect(node)
-        raise CompileError(f"cannot emit {type(node).__name__}")
+    # -- barriers ----------------------------------------------------------
+    def _flush(self, pred) -> None:
+        for tid in [t for t, p in self._pending.items() if pred(p)]:
+            pending = self._pending.pop(tid)
+            name = self.fresh()
+            self.line(f"{name} = {pending.expr}")
+            self._names[tid] = name
 
-    def emit_discard(self, node: Action) -> None:
-        """Emit a node whose value is unused."""
-        if self._is_pure(node):
-            return  # a pure value computed for nothing: drop it entirely
-        if isinstance(node, If):
-            self._emit_if_stmt(node)
+    def _barrier_state(self) -> None:
+        """Before any log/flag/data mutation: volatile pendings must read
+        the pre-mutation state they were created under."""
+        self._flush(lambda p: p.volatile)
+
+    def _barrier_local(self, name: str) -> None:
+        """Before reassigning a Python local: pendings mentioning it must
+        capture the old value."""
+        self._flush(lambda p: name in p.locals)
+
+    def _barrier_branch(self) -> None:
+        """Before any statement-form ``if``: an arm may mutate state or
+        locals, and a pending crossing the join would then evaluate under
+        the wrong condition."""
+        self._flush(lambda p: p.volatile or p.locals)
+
+    # -- branch frames -----------------------------------------------------
+    def _enter_frame(self) -> None:
+        self._frames.append(set(self._pending))
+
+    def _exit_frame(self) -> None:
+        saved = self._frames.pop()
+        for tid in [t for t in self._pending if t not in saved]:
+            del self._pending[tid]
+
+    # -- statement dispatch ------------------------------------------------
+    def emit_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self.emit_stmt(stmt)
+
+    def emit_stmt(self, stmt: ir.Stmt) -> None:
+        if stmt.uid is not None:
+            self.meta.uid_line.setdefault(stmt.uid, self.out.lineno())
+        if isinstance(stmt, ir.Bind):
+            self.emit_bind(stmt)
+        elif isinstance(stmt, ir.SSet):
+            self.emit_sset(stmt)
+        elif isinstance(stmt, ir.SIf):
+            self.emit_sif(stmt)
+        elif isinstance(stmt, ir.SRead):
+            self.emit_sread(stmt)
+        elif isinstance(stmt, ir.SWrite):
+            self.emit_swrite(stmt)
+        elif isinstance(stmt, ir.SAbort):
+            self.emit_sabort(stmt)
+        else:
+            raise CompileError(f"cannot emit {type(stmt).__name__}")
+
+    # -- pure statements ---------------------------------------------------
+    def emit_bind(self, stmt: ir.Bind) -> None:
+        op = stmt.op
+        uses = self._uses.get(stmt.temp.id, 0)
+        if op.impure:
+            self._barrier_state()
+            self._emit_ext_bind(stmt, uses)
             return
-        expr = self.emit(node)
-        if any(isinstance(n, ExtCall) for n in walk(node)):
-            # The returned expression performs the external call(s); emit it
-            # as an expression statement so they actually run.
-            self.line(expr)
+        self._push_acc()
+        expr = self._op_expr(op)
+        volatile, locals_ = self._pop_acc()
+        if uses <= 0:
+            return  # a pure value computed for nothing: drop it entirely
+        if uses == 1:
+            self._defer(stmt.temp.id, expr, volatile, locals_)
+            return
+        name = self.fresh()
+        self.line(f"{name} = {expr}")
+        self._names[stmt.temp.id] = name
 
-    def _emit_effect(self, node: Action) -> str:
-        raise CompileError(
-            f"{node.kind} is not allowed in this context (pure function?)"
-        )
+    def emit_sset(self, stmt: ir.SSet) -> None:
+        value = self.use(stmt.value)
+        if isinstance(stmt.target, ir.Temp):
+            # Branch-join temp: its Python name is pre-registered by the
+            # enclosing SIf emission.
+            self.line(f"{self._names[stmt.target.id]} = {value}")
+            return
+        name = stmt.target.name
+        self._barrier_local(name)
+        self.line(f"{name} = {value}")
 
-    def _emit_let(self, node: Let) -> str:
-        expr = self.emit(node.value)
-        pyname = self._bind(node.name)
-        self.line(f"{pyname} = {expr}")
-        saved = self.scope.get(node.name)
-        self.scope[node.name] = pyname
-        result = self.emit(node.body)
-        if saved is not None and saved != pyname:
-            self.scope[node.name] = saved
-        return result
+    # -- operators ---------------------------------------------------------
+    def _op_expr(self, op: ir.Op) -> str:
+        if isinstance(op, ir.IBin):
+            return self._emit_binop(op)
+        if isinstance(op, ir.IUn):
+            return self._emit_unop(op)
+        if isinstance(op, ir.ISubst):
+            return self._emit_subst(op)
+        if isinstance(op, ir.ICall):
+            args = ", ".join(self.use(a) for a in op.args)
+            return f"fn_{op.fn}({args})"
+        raise CompileError(f"cannot emit operator {type(op).__name__}")
 
-    def _bind(self, name: str) -> str:
-        base = f"v_{name}"
-        if self.scope.get(name) == base or base in self.scope.values():
-            self._temps += 1
-            return f"{base}_{self._temps}"
-        return base
-
-    def _emit_unop(self, node: Unop) -> str:
-        arg = self.emit(node.arg)
+    def _emit_unop(self, node: ir.IUn) -> str:
+        arg = self.use(node.a)
         if node.op == "not":
-            return f"({arg} ^ {_hex(mask(node.typ.width))})"
+            return f"({arg} ^ {_hex(mask(node.width))})"
         if node.op == "neg":
-            return f"(-{arg} & {_hex(mask(node.typ.width))})"
-        if node.op == "zextl":
-            return arg
+            return f"(-{arg} & {_hex(mask(node.width))})"
         if node.op == "sextl":
-            in_width = node.arg.typ.width
-            if in_width == 0:
-                return "0"
+            in_width = node.a_width
             sign_bit = _hex(1 << (in_width - 1))
             high = _hex(mask(node.param) - mask(in_width))
             arg = self.hoist(arg)
             return f"(({arg} | {high}) if {arg} & {sign_bit} else {arg})"
+        # ``slice`` (zextl and zero-width sextl fold away at lowering).
         offset, width = node.param
         if offset == 0:
             return f"({arg} & {_hex(mask(width))})"
         return f"(({arg} >> {offset}) & {_hex(mask(width))})"
 
-    def _emit_binop(self, node: Binop) -> str:
+    def _emit_binop(self, node: ir.IBin) -> str:
         op = node.op
-        a_expr, b_expr = self.emit_ordered((node.a, node.b))
-        width = node.a.typ.width
-        result_mask = _hex(mask(node.typ.width))
+        a_expr = self.use(node.a)
+        b_expr = self.use(node.b)
+        width = node.a_width
+        result_mask = _hex(mask(node.width))
         if op == "add":
             return f"(({a_expr} + {b_expr}) & {result_mask})"
         if op == "sub":
@@ -1009,9 +1066,9 @@ class _Emitter:
             return (f"(_sgn({a_expr}, {half}, {full}) {py} "
                     f"_sgn({b_expr}, {half}, {full}))")
         if op == "concat":
-            return f"(({a_expr} << {node.b.typ.width}) | {b_expr})"
+            return f"(({a_expr} << {node.b_width}) | {b_expr})"
         if op == "sll":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} << {node.b.value}) & {result_mask})"
@@ -1019,13 +1076,13 @@ class _Emitter:
             return (f"((({a_expr} << {b_expr}) & {result_mask}) "
                     f"if {b_expr} < {width} else 0)")
         if op == "srl":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 return "0" if node.b.value >= width else f"({a_expr} >> {node.b.value})"
             b_expr = self.hoist(b_expr)
             return f"(({a_expr} >> {b_expr}) if {b_expr} < {width} else 0)"
         if op == "sra":
             half, full = _hex(1 << (width - 1)), _hex(1 << width)
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 shift = str(min(node.b.value, width))
             else:
                 b_expr = self.hoist(b_expr)
@@ -1033,7 +1090,7 @@ class _Emitter:
             return (f"((_sgn({a_expr}, {half}, {full}) >> ({shift})) "
                     f"& {result_mask})")
         if op == "sel":
-            if isinstance(node.b, Const):
+            if isinstance(node.b, ir.IConst):
                 if node.b.value >= width:
                     return "0"
                 return f"(({a_expr} >> {node.b.value}) & 1)"
@@ -1041,102 +1098,176 @@ class _Emitter:
             return f"((({a_expr} >> {b_expr}) & 1) if {b_expr} < {width} else 0)"
         raise CompileError(f"unknown binop {op!r}")
 
-    def _emit_getfield(self, node: GetField) -> str:
-        arg = self.emit(node.arg)
-        struct = node.arg.typ
-        assert isinstance(struct, StructType)
-        offset = struct.field_offset(node.field_name)
-        width = struct.field_type(node.field_name).width
-        if offset == 0:
-            return f"({arg} & {_hex(mask(width))})"
-        return f"(({arg} >> {offset}) & {_hex(mask(width))})"
-
-    def _emit_substfield(self, node: SubstField) -> str:
-        arg_expr, value_expr = self.emit_ordered((node.arg, node.value))
-        struct = node.arg.typ
-        assert isinstance(struct, StructType)
-        offset = struct.field_offset(node.field_name)
-        width = struct.field_type(node.field_name).width
-        clear = _hex(mask(struct.width) ^ (mask(width) << offset))
-        if offset == 0:
+    def _emit_subst(self, node: ir.ISubst) -> str:
+        arg_expr = self.use(node.a)
+        value_expr = self.use(node.value)
+        clear = _hex(mask(node.struct_width) ^ (mask(node.width) << node.offset))
+        if node.offset == 0:
             return f"(({arg_expr} & {clear}) | {value_expr})"
-        return f"(({arg_expr} & {clear}) | ({value_expr} << {offset}))"
+        return f"(({arg_expr} & {clear}) | ({value_expr} << {node.offset}))"
 
-    def _emit_if(self, node: If) -> str:
-        if node.orelse is not None and self._is_pure(node):
-            cond = self.emit(node.cond)
-            then = self.emit(node.then)
-            orelse = self.emit(node.orelse)
-            return f"({then} if {cond} else {orelse})"
-        if node.typ is not None and node.typ.width == 0:
-            self._emit_if_stmt(node)
-            return "0"
-        # Statement form with a result temp.
-        temp = self.fresh()
-        cond = self.emit(node.cond)
-        self.line(f"if {cond}:")
-        self._branch(node.then, temp, node, "then")
-        self.line("else:")
-        assert node.orelse is not None
-        self._branch(node.orelse, temp, node, "else")
-        return temp
+    # -- external calls (impure: materialized at the binding site) ---------
+    def _emit_ext_bind(self, stmt: ir.Bind, uses: int) -> None:
+        op = stmt.op
+        arg = self.use(op.a)
+        call = self._ext_call_expr(op.fn, arg, _hex(mask(op.width)))
+        if uses <= 0:
+            # The environment still observes the call; only the result dies.
+            self.line(call)
+            return
+        name = self.fresh()
+        self.line(f"{name} = {call}")
+        self._names[stmt.temp.id] = name
 
-    def _branch(self, body: Action, temp: Optional[str], node: If,
-                kind: str) -> None:
-        self.out.indent += 1
-        self._branch_depth = getattr(self, "_branch_depth", 0) + 1
-        self._enter_block(kind, node.uid)
-        if temp is None:
-            before = len(self.out.lines)
-            self.emit_discard(body)
-            if len(self.out.lines) == before and not self._block_marks():
-                self.line("pass")
-        else:
-            expr = self.emit(body)
-            self.line(f"{temp} = {expr}")
-        self.out.indent -= 1
-        self._branch_depth -= 1
-        self._exit_block()
+    def _ext_call_expr(self, fn: str, arg: str, ret_mask: str) -> str:
+        return f"(self._ext_{fn}({arg}) & {ret_mask})"
 
-    def _emit_if_stmt(self, node: If) -> None:
-        """If whose value is unit/discarded, emitted as a statement."""
-        then_trivial = _is_unit_const(node.then) or (
-            self._is_pure(node.then) and not isinstance(node.then, Abort))
-        orelse_trivial = node.orelse is None or _is_unit_const(node.orelse) or (
-            self._is_pure(node.orelse) and not isinstance(node.orelse, Abort))
+    # -- conditionals ------------------------------------------------------
+    def _stmts_pure(self, stmts) -> bool:
+        """True when a statement list has no observable effect, so it can
+        become (part of) a single Python expression or be dropped."""
+        for stmt in ir.walk_stmts(stmts):
+            if isinstance(stmt, ir.Bind):
+                if stmt.op.impure:
+                    return False
+            elif isinstance(stmt, ir.SSet):
+                if not isinstance(stmt.target, ir.Temp):
+                    return False
+            elif isinstance(stmt, ir.SRead):
+                if not self._read_is_pure(stmt):
+                    return False
+            elif isinstance(stmt, (ir.SWrite, ir.SAbort)):
+                return False
+        return True
+
+    def _read_is_pure(self, stmt: ir.SRead) -> bool:
+        return False  # overridden by the rule emitter for O5 / fn emitter
+
+    def emit_sif(self, stmt: ir.SIf) -> None:
+        pure = self._stmts_pure(stmt.then) and (
+            stmt.orelse is None or self._stmts_pure(stmt.orelse))
+        if stmt.result is not None:
+            if pure:
+                self._emit_select(stmt)
+                return
+            # Statement form with a result temp.  The condition is
+            # consumed before the barrier: it evaluates at the `if` line
+            # itself, before either arm can mutate state or locals, so it
+            # is always safe to fuse even when it reads locals.
+            name = self.fresh()
+            self._names[stmt.result.id] = name
+            cond = self.use(stmt.cond)
+            self._barrier_branch()
+            self.line(f"if {cond}:")
+            self._branch(stmt.then, stmt, "then")
+            self.line("else:")
+            assert stmt.orelse is not None
+            self._branch(stmt.orelse, stmt, "else")
+            return
+        if pure:
+            self.drop(stmt.cond)
+            return  # both arms pure and the value discarded: nothing to do
+        self._emit_sif_discard(stmt)
+
+    def _emit_select(self, stmt: ir.SIf) -> None:
+        """Both arms pure: emit a conditional expression."""
+        self._push_acc()
+        cond = self.use(stmt.cond)
+        then = self._arm_expr(stmt.then)
+        orelse = self._arm_expr(stmt.orelse)
+        expr = self._select_expr(cond, then, orelse)
+        volatile, locals_ = self._pop_acc()
+        uses = self._uses.get(stmt.result.id, 0)
+        if uses <= 0:
+            return
+        if uses == 1:
+            self._defer(stmt.result.id, expr, volatile, locals_)
+            return
+        name = self.fresh()
+        self.line(f"{name} = {expr}")
+        self._names[stmt.result.id] = name
+
+    def _arm_expr(self, stmts) -> str:
+        """The value of a pure SIf arm: its final statement is the SSet of
+        the join temp; everything before it is pure computation."""
+        self.emit_stmts(stmts[:-1])
+        last = stmts[-1]
+        assert isinstance(last, ir.SSet)
+        return self.use(last.value)
+
+    def _select_expr(self, cond: str, then: str, orelse: str) -> str:
+        return f"({then} if {cond} else {orelse})"
+
+    def _emit_sif_discard(self, stmt: ir.SIf) -> None:
+        """Discarded-value If with at least one impure arm."""
+        then, orelse = stmt.then, stmt.orelse
+        then_pure = self._stmts_pure(then)
+        else_pure = orelse is None or self._stmts_pure(orelse)
         # Peepholes for guards: `if (!cond) abort` reads like the paper's
         # models (`if (READ0(st) != A) return false;`).
-        if isinstance(node.orelse, Abort) and then_trivial:
-            cond = self.emit(node.cond)
+        # The condition is consumed before each barrier below: it
+        # evaluates at the `if` line itself, before either arm can mutate
+        # state or locals, so fusing it is always safe.
+        if (orelse is not None and len(orelse) == 1
+                and isinstance(orelse[0], ir.SAbort) and then_pure):
+            cond = self.use(stmt.cond)
+            self._barrier_branch()
             self.line(f"if not {cond}:")
-            self._abort_branch(node.orelse)
-            self._reblock(node.uid)
+            self._abort_branch(orelse[0])
+            self._reblock(stmt.uid)
             return
-        if isinstance(node.then, Abort) and orelse_trivial:
-            cond = self.emit(node.cond)
+        if len(then) == 1 and isinstance(then[0], ir.SAbort) and else_pure:
+            cond = self.use(stmt.cond)
+            self._barrier_branch()
             self.line(f"if {cond}:")
-            self._abort_branch(node.then)
-            self._reblock(node.uid)
+            self._abort_branch(then[0])
+            self._reblock(stmt.uid)
             return
-        cond = self.emit(node.cond)
-        if then_trivial and not orelse_trivial:
+        cond = self.use(stmt.cond)
+        self._barrier_branch()
+        if then_pure and not else_pure:
             self.line(f"if not {cond}:")
-            self._branch(node.orelse, None, node, "else")
-            self._reblock(node.uid)
+            self._branch(orelse, stmt, "else")
+            self._reblock(stmt.uid)
             return
         self.line(f"if {cond}:")
-        self._branch(node.then, None, node, "then")
-        if not orelse_trivial:
+        self._branch(then, stmt, "then")
+        if not else_pure:
             self.line("else:")
-            self._branch(node.orelse, None, node, "else")
-        self._reblock(node.uid)
+            self._branch(orelse, stmt, "else")
+        self._reblock(stmt.uid)
 
-    def _abort_branch(self, node: Abort) -> None:
+    def _branch(self, stmts, stmt: ir.SIf, kind: str) -> None:
         self.out.indent += 1
-        self._enter_block("fail", node.uid)
-        self.emit(node)
+        self._enter_block(kind, stmt.uid)
+        self._enter_frame()
+        before = len(self.out.lines)
+        self.emit_stmts(stmts)
+        if len(self.out.lines) == before and not self._block_marks():
+            self.line("pass")
+        self._exit_frame()
         self.out.indent -= 1
         self._exit_block()
+
+    def _abort_branch(self, sabort: ir.SAbort) -> None:
+        self.out.indent += 1
+        self._enter_block("fail", sabort.uid)
+        self.emit_stmt(sabort)
+        self.out.indent -= 1
+        self._exit_block()
+
+    # -- effectful statements (rule context only) --------------------------
+    def emit_sread(self, stmt: ir.SRead) -> None:
+        raise CompileError(
+            "read is not allowed in this context (pure function?)")
+
+    def emit_swrite(self, stmt: ir.SWrite) -> None:
+        raise CompileError(
+            "write is not allowed in this context (pure function?)")
+
+    def emit_sabort(self, stmt: ir.SAbort) -> None:
+        raise CompileError(
+            "fail is not allowed in this context (pure function?)")
 
     # Block hooks (only the rule emitter implements coverage counters).
     def _enter_block(self, kind: str, uid: Optional[int]) -> None:
@@ -1155,16 +1286,15 @@ class _Emitter:
 class _FnEmitter(_Emitter):
     """Emits a pure design function as a module-level Python function."""
 
-    def _read_is_pure(self, node: Read) -> bool:  # pragma: no cover
+    def _read_is_pure(self, stmt: ir.SRead) -> bool:  # pragma: no cover
         return True
 
-    def emit_fn(self, fn: Fn) -> None:
-        args = ", ".join(f"v_{name}" for name, _ in fn.args)
-        self.line(f"def fn_{fn.name}({args}):")
+    def emit_fn(self, fn: ir.FnIR) -> None:
+        self.setup(fn.body, extra=(fn.result,))
+        self.line(f"def fn_{fn.name}({', '.join(fn.args)}):")
         self.out.indent += 1
-        self.scope = {name: f"v_{name}" for name, _ in fn.args}
-        expr = self.emit(fn.body)
-        self.line(f"return {expr}")
+        self.emit_stmts(fn.body)
+        self.line(f"return {self.use(fn.result)}")
         self.out.indent -= 1
         self.line("")
 
@@ -1173,8 +1303,8 @@ class _RuleEmitter(_Emitter):
     """Emits one rule as a model method returning True (commit) / False."""
 
     def __init__(self, out: _Builder, meta: _Meta, design: Design,
-                 layout: _Layout, rule: Rule, instrument: bool, debug: bool,
-                 inline: bool = False):
+                 layout: _Layout, rule: ir.RuleIR, instrument: bool,
+                 debug: bool, inline: bool = False):
         super().__init__(out, meta)
         self.design = design
         self.layout = layout
@@ -1185,14 +1315,8 @@ class _RuleEmitter(_Emitter):
         #: in ``while True:``; returns become breaks (what a C++ compiler's
         #: inlining does to the paper's models for free).
         self.inline = inline
-        self.effects = False
         self._block_stack: List[Optional[int]] = []
         self._marked = False
-        #: Read checks consult only the cycle log, which is constant for
-        #: the whole rule, so a check that already ran unconditionally (at
-        #: branch depth 0) never needs repeating.
-        self._branch_depth = 0
-        self._reads_checked: set = set()
 
     def _emit_exit(self, return_stmt: str) -> None:
         """Emit a rule exit: verbatim in method mode, translated to
@@ -1207,7 +1331,7 @@ class _RuleEmitter(_Emitter):
         self.line(return_stmt[len("return "):])
         self.line("break")
 
-    # -- coverage blocks -------------------------------------------------------
+    # -- coverage blocks ---------------------------------------------------
     def _new_block(self, kind: str, uid: Optional[int]) -> int:
         block_id = len(self.meta.blocks)
         self.meta.blocks.append((block_id, self.rule.name, kind, uid))
@@ -1243,112 +1367,96 @@ class _RuleEmitter(_Emitter):
             return True
         return False
 
-    # -- effectful nodes ---------------------------------------------------------
-    def _read_is_pure(self, node: Read) -> bool:
-        if self.debug:
-            return False
-        layout = self.layout
-        if isinstance(layout, _LayoutO5):
-            return (layout.node_read_check(node) is None
-                    and not layout.node_read_flag_stmts(node))
-        return False
+    # -- effectful statements ----------------------------------------------
+    def _read_is_pure(self, stmt: ir.SRead) -> bool:
+        return not self.debug and not stmt.check and not stmt.track
 
-    def _emit_effect(self, node: Action) -> str:
-        if isinstance(node, Read):
-            return self._emit_read(node)
-        if isinstance(node, Write):
-            return self._emit_write(node)
-        if isinstance(node, Abort):
-            return self._emit_abort(node)
-        if isinstance(node, ExtCall):
-            return self._emit_extcall(node)
-        raise CompileError(f"cannot emit {type(node).__name__}")
-
-    def _emit_read(self, node: Read) -> str:
+    def emit_sread(self, stmt: ir.SRead) -> None:
         layout = self.layout
-        name = node.reg
+        name = stmt.reg
         i = layout.reg_id[name]
-        if isinstance(layout, _LayoutO5):
-            check = layout.node_read_check(node)
-            flag_stmts = layout.node_read_flag_stmts(node)
-            value = layout.node_read_value(node)
-        else:
-            check = layout.read_check(i, node.port)
-            flag_stmts = layout.read_flag_stmts(i, node.port)
-            value = layout.read_value(i, node.port)
-        if check is not None and (name, node.port) not in self._reads_checked:
-            self.line(f"if {check}:  # {name}.rd{node.port} conflict")
-            self._emit_fail_body(node.uid, name, f"rd{node.port}")
-            self._reblock(node.uid)
-            if self._branch_depth == 0:
-                self._reads_checked.add((name, node.port))
-        for stmt in flag_stmts:
-            self.line(stmt)
-            self.effects = True
+        if stmt.check:
+            check = layout.read_check(i, stmt.port)
+            self.line(f"if {check}:  # {name}.rd{stmt.port} conflict")
+            self._emit_fail_body(stmt.uid, name, f"rd{stmt.port}",
+                                 stmt.effects_before)
+            self._reblock(stmt.uid)
+        if stmt.track:
+            flag_stmts = layout.read_flag_stmts(i, stmt.port)
+            if flag_stmts:
+                self._barrier_state()
+            for flag_stmt in flag_stmts:
+                self.line(flag_stmt)
+        value = layout.read_value(i, stmt.port)
         if self.debug:
             temp = self.fresh("r")
-            self.line(f"{temp} = {value}  # {name}.rd{node.port}")
-            self.line(f"if _h: _h('read', {node.uid}, {name!r}, "
-                      f"{node.port}, {temp})")
-            return temp
-        return value
+            self.line(f"{temp} = {value}  # {name}.rd{stmt.port}")
+            self.line(f"if _h: _h('read', {stmt.uid}, {name!r}, "
+                      f"{stmt.port}, {temp})")
+            self._names[stmt.temp.id] = temp
+            return
+        uses = self._uses.get(stmt.temp.id, 0)
+        if uses <= 0:
+            return
+        if uses == 1:
+            self._defer(stmt.temp.id, value,
+                        layout.read_value_volatile(stmt.port), set())
+            return
+        temp = self.fresh()
+        self.line(f"{temp} = {value}")
+        self._names[stmt.temp.id] = temp
 
-    def _emit_write(self, node: Write) -> str:
-        value_expr = self.emit(node.value)
-        if self.debug:
-            # The debug hook below mentions the value a second time; an
-            # impure value (ExtCall) must still reach the environment
-            # exactly once.
-            value_expr = self.hoist(value_expr)
+    def emit_swrite(self, stmt: ir.SWrite) -> None:
         layout = self.layout
-        name = node.reg
+        name = stmt.reg
         i = layout.reg_id[name]
-        if isinstance(layout, _LayoutO5):
-            check = layout.node_write_check(node)
-            stmts = layout.node_write_stmts(node, value_expr)
-        else:
-            check = layout.write_check(i, node.port)
-            stmts = layout.write_stmts(i, node.port, value_expr)
-        if check is not None:
-            self.line(f"if {check}:  # {name}.wr{node.port} conflict")
-            self._emit_fail_body(node.uid, name, f"wr{node.port}")
-            self._reblock(node.uid)
-        for index, stmt in enumerate(stmts):
-            comment = f"  # {name}.wr{node.port}" if index == len(stmts) - 1 else ""
-            self.line(stmt + comment)
-        self.effects = True
+        # The value operand was lowered (and any impure part materialized)
+        # before this statement — the interpreter's evaluation order.
+        value_expr = self.use(stmt.value)
         if self.debug:
-            self.line(f"if _h: _h('write', {node.uid}, {name!r}, "
-                      f"{node.port}, {value_expr})")
-        return "0"
+            # The debug hook below mentions the value a second time; it
+            # must still be evaluated exactly once.
+            value_expr = self.hoist(value_expr)
+        if stmt.check:
+            check = layout.write_check(i, stmt.port)
+            self.line(f"if {check}:  # {name}.wr{stmt.port} conflict")
+            self._emit_fail_body(stmt.uid, name, f"wr{stmt.port}",
+                                 stmt.effects_before)
+            self._reblock(stmt.uid)
+        self._barrier_state()
+        stmts = layout.write_stmts(i, stmt.port, value_expr,
+                                   track=stmt.track)
+        for index, text in enumerate(stmts):
+            comment = (f"  # {name}.wr{stmt.port}"
+                       if index == len(stmts) - 1 else "")
+            self.line(text + comment)
+        if self.debug:
+            self.line(f"if _h: _h('write', {stmt.uid}, {name!r}, "
+                      f"{stmt.port}, {value_expr})")
 
-    def _emit_abort(self, node: Abort) -> str:
-        if self.instrument and self.out.current_block is not None:
-            pass  # fail blocks are created by the caller via _abort_branch
+    def emit_sabort(self, stmt: ir.SAbort) -> None:
         if self.debug:
-            self.line(f"if _h: _h('fail', {node.uid}, None, 'abort', "
+            self.line(f"if _h: _h('fail', {stmt.uid}, None, 'abort', "
                       f"{self.rule.name!r})")
-        self._emit_exit(self.layout.fail_stmt(self.rule.name, self.effects))
-        return "0"
+        self._emit_exit(self.layout.fail_stmt(self.rule.name,
+                                              stmt.effects_before))
 
-    def _emit_fail_body(self, uid: int, register: str, operation: str) -> None:
+    def _emit_fail_body(self, uid: Optional[int], register: str,
+                        operation: str, effects_before: bool) -> None:
         self.out.indent += 1
         self._enter_block("fail", uid)
         if self.debug:
             self.line(f"if _h: _h('fail', {uid}, {register!r}, "
                       f"{operation!r}, {self.rule.name!r})")
-        self._emit_exit(self.layout.fail_stmt(self.rule.name, self.effects))
+        self._emit_exit(self.layout.fail_stmt(self.rule.name,
+                                              effects_before))
         self.out.indent -= 1
         self._exit_block()
 
-    def _emit_extcall(self, node: ExtCall) -> str:
-        arg = self.emit(node.arg)
-        ret_mask = _hex(mask(node.typ.width))
-        return f"(self._ext_{node.fn}({arg}) & {ret_mask})"
-
-    # -- whole rule ---------------------------------------------------------------
+    # -- whole rule --------------------------------------------------------
     def emit_rule(self) -> None:
         rule = self.rule
+        self.setup(rule.body)
         if self.inline:
             self.line(f"# rule {rule.name}")
             self.line("while True:")
@@ -1366,7 +1474,7 @@ class _RuleEmitter(_Emitter):
         self._enter_block("rule", None)
         for stmt in self.layout.rule_entry(rule.name):
             self.line(stmt)
-        self.emit_discard(rule.body)
+        self.emit_stmts(rule.body)
         self._enter_block("commit", None)
         if self.debug:
             self.line(f"if _h: _h('commit', {rule.name!r})")
@@ -1396,21 +1504,24 @@ class _RuleEmitter(_Emitter):
 def generate_source(design: Design, opt: int = 5, instrument: bool = False,
                     debug: bool = False,
                     analysis: Optional[DesignAnalysis] = None,
-                    inline_rules: Optional[bool] = None) -> Tuple[str, _Meta]:
+                    inline_rules: Optional[bool] = None,
+                    stop_after: Optional[str] = None) -> Tuple[str, _Meta]:
     """Generate the Python source of a Cuttlesim model for ``design``.
 
     ``inline_rules`` controls whether the fast-path ``_cycle`` inlines
     every rule body (the Python analogue of the C++ compiler inlining the
     paper's models rely on).  Defaults to on, except for instrumented or
     debug builds, where per-rule methods keep the tooling simple.
+
+    ``stop_after`` stops the pass pipeline after the named pass and emits
+    the prefix's module — the pass-equivalence debugging hook.
     """
     if inline_rules is None:
         inline_rules = not (instrument or debug)
-    if not design.finalized:
-        design.finalize()
-    if opt >= 5 and analysis is None:
-        analysis = analyze(design)
-    layout = _make_layout(design, opt, analysis)
+    module = run_pipeline(design, opt, analysis=analysis,
+                          stop_after=stop_after)
+    analysis = module.analysis
+    layout = _layout_for(module)
     out = _Builder()
     meta = _Meta()
 
@@ -1420,7 +1531,11 @@ def generate_source(design: Design, opt: int = 5, instrument: bool = False,
     out.line("Auto-generated; one method per rule, `_cycle` is the scheduler.")
     out.line("Reads/writes follow Koika's port semantics; `return False`")
     out.line("aborts the current rule (early exit), `return True` commits.")
-    if analysis is not None and opt >= 5:
+    if stop_after is not None:
+        out.line("")
+        out.line(f"Pass pipeline stopped after {stop_after!r}: "
+                 f"[{', '.join(module.applied)}]")
+    if module.layout == "classified" and analysis is not None:
         out.line("")
         out.line(f"Static analysis: {analysis.summary()}")
     out.line('"""')
@@ -1434,7 +1549,7 @@ def generate_source(design: Design, opt: int = 5, instrument: bool = False,
         out.line(const)
     out.line("")
 
-    for fn in design.fns.values():
+    for fn in module.fns:
         emitter = _FnEmitter(out, meta)
         emitter.emit_fn(fn)
 
@@ -1466,8 +1581,9 @@ def generate_source(design: Design, opt: int = 5, instrument: bool = False,
     out.indent -= 1
     out.line("")
 
-    for rule in design.scheduled_rules():
-        emitter = _RuleEmitter(out, meta, design, layout, rule, instrument, debug)
+    for rule in module.rules:
+        emitter = _RuleEmitter(out, meta, design, layout, rule, instrument,
+                               debug)
         emitter.emit_rule()
         if layout.needs_fail_helper(rule.name):
             out.line(f"def _fail_{rule.name}(self):")
@@ -1504,7 +1620,7 @@ def generate_source(design: Design, opt: int = 5, instrument: bool = False,
                 out.line(alias)
             for stmt in layout.cycle_start_inline():
                 out.line(stmt)
-            for rule in design.scheduled_rules():
+            for rule in module.rules:
                 emitter = _RuleEmitter(out, meta, design, layout, rule,
                                        instrument=False, debug=False,
                                        inline=True)
@@ -1576,7 +1692,7 @@ _compile_counter = 0
 
 #: Bump whenever the emitter's output changes; part of every model-cache
 #: key so stale on-disk entries are never replayed by a newer compiler.
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 3
 
 
 def _finish_class(source: str, meta: _Meta, design: Design, opt: int,
@@ -1693,3 +1809,16 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
         store.store_source(key, source, meta, design_name=design.name, opt=opt)
         store.store_class(key, cls)
     return cls
+
+
+def compile_model_prefix(design: Design, opt: int = 5,
+                         stop_after: Optional[str] = None,
+                         host_optimize: int = -1):
+    """Compile ``design`` with the pass pipeline stopped after the named
+    pass — the entry point for pass-equivalence testing and ``--stop-after``
+    debugging.  Never cached, never instrumented."""
+    if not design.finalized:
+        design.finalize()
+    source, meta = generate_source(design, opt=opt, stop_after=stop_after)
+    return _finish_class(source, meta, design, opt, host_optimize,
+                         analysis=None)

@@ -1,0 +1,478 @@
+"""Cuttlesim's mid-level IR: the contract between lowering and backends.
+
+Kôika rule bodies arrive as expression trees (``repro.koika.ast``); code
+generators used to walk those trees directly, splicing Python expression
+*strings* into per-optimization templates.  Every miscompile the project
+has fixed (operand re-evaluation, debug-hook re-splice, conflict-checked
+writes skipping external calls) came from that splicing: a string pasted
+into two template slots is *evaluated* twice, and a string pasted after a
+mutation observes the wrong state.
+
+This module defines the replacement: a small three-address IR where
+
+* every operator result is a :class:`Temp` **bound exactly once** (by one
+  :class:`Bind`/:class:`SRead` statement) and consumed at most once, so
+  "value spliced into two sites" is unrepresentable by construction;
+* reads, writes, guards and aborts are explicit statements
+  (:class:`SRead`/:class:`SWrite`/:class:`SIf`/:class:`SAbort`) carrying
+  the policy bits the optimization passes refine (``check``, ``track``,
+  ``effects_before``);
+* no node holds a Python expression string — backends (the scalar emitter
+  in ``codegen.py`` and the batched lane emitters in ``batch.py``) decide
+  spelling, fusion and materialization themselves.
+
+The passes in :mod:`repro.cuttlesim.passes` transform modules of this IR;
+:func:`format_module` renders it for the ``--stop-after`` debug flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+# ----------------------------------------------------------------------
+# Values.
+# ----------------------------------------------------------------------
+
+
+class Value:
+    """An operand: a temp, a constant, or a named Python local."""
+
+    __slots__ = ()
+
+
+class Temp(Value):
+    """The result of exactly one defining statement (SSA-style)."""
+
+    __slots__ = ("id",)
+
+    def __init__(self, id: int) -> None:
+        self.id = id
+
+    def __repr__(self) -> str:
+        return f"%{self.id}"
+
+
+class IConst(Value):
+    """An integer literal (already masked to its width by the typechecker)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return str(self.value) if -10 < self.value < 10 else hex(self.value)
+
+
+class LocalRef(Value):
+    """A named, mutable Python local (Kôika ``Let``/``Assign`` variables
+    and design-function arguments).  Unlike temps these may be reassigned
+    (:class:`SSet`), so backends treat assignments as barriers."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# Operators (right-hand sides of Bind).  Pure unless noted.
+# ----------------------------------------------------------------------
+
+
+class Op:
+    __slots__ = ()
+
+    #: Impure ops must be materialized at their binding site, in order.
+    impure = False
+
+
+class IBin(Op):
+    """Binary operator; ``op`` is one of ``repro.koika.ast.BINOPS``."""
+
+    __slots__ = ("op", "a", "b", "width", "a_width", "b_width")
+
+    def __init__(self, op: str, a: Value, b: Value, width: int,
+                 a_width: int, b_width: int) -> None:
+        self.op = op
+        self.a = a
+        self.b = b
+        self.width = width        # result width in bits
+        self.a_width = a_width
+        self.b_width = b_width
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"{self.op}:{self.width} {self.a!r}, {self.b!r}"
+
+
+class IUn(Op):
+    """Unary operator (``not``/``neg``/``zextl``/``sextl``/``slice``).
+
+    ``param`` is the target width for the extensions and an
+    ``(offset, width)`` pair for ``slice`` — struct field projections
+    lower to ``slice`` so backends never see field names."""
+
+    __slots__ = ("op", "a", "width", "a_width", "param")
+
+    def __init__(self, op: str, a: Value, width: int, a_width: int,
+                 param: object = None) -> None:
+        self.op = op
+        self.a = a
+        self.width = width
+        self.a_width = a_width
+        self.param = param
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.a,)
+
+    def __repr__(self) -> str:
+        extra = f"[{self.param}]" if self.param is not None else ""
+        return f"{self.op}{extra}:{self.width} {self.a!r}"
+
+
+class ISubst(Op):
+    """Replace one field of a struct value (``offset``/``width`` resolved
+    at lowering time; ``struct_width`` is the full value's width)."""
+
+    __slots__ = ("a", "value", "offset", "width", "struct_width")
+
+    def __init__(self, a: Value, value: Value, offset: int, width: int,
+                 struct_width: int) -> None:
+        self.a = a
+        self.value = value
+        self.offset = offset
+        self.width = width
+        self.struct_width = struct_width
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.a, self.value)
+
+    def __repr__(self) -> str:
+        return (f"subst[{self.offset}+:{self.width}] "
+                f"{self.a!r}, {self.value!r}")
+
+
+class ICall(Op):
+    """Call of a pure design function (emitted as ``fn_<name>``)."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: str, args: Sequence[Value]) -> None:
+        self.fn = fn
+        self.args = tuple(args)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"call {self.fn}({', '.join(map(repr, self.args))})"
+
+
+class IExt(Op):
+    """External function call — impure: the environment observes exactly
+    one call, in program order, so backends emit it at the binding site
+    (never deferred, never duplicated)."""
+
+    __slots__ = ("fn", "a", "width")
+
+    impure = True
+
+    def __init__(self, fn: str, a: Value, width: int) -> None:
+        self.fn = fn
+        self.a = a
+        self.width = width
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.a,)
+
+    def __repr__(self) -> str:
+        return f"ext {self.fn}({self.a!r}):{self.width}"
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+
+
+class Stmt:
+    __slots__ = ("uid",)
+
+    def __init__(self, uid: Optional[int]) -> None:
+        self.uid = uid
+
+
+class Bind(Stmt):
+    """Bind ``temp`` to the result of ``op`` (the only definition)."""
+
+    __slots__ = ("temp", "op")
+
+    def __init__(self, temp: Temp, op: Op, uid: Optional[int]) -> None:
+        super().__init__(uid)
+        self.temp = temp
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"{self.temp!r} = {self.op!r}"
+
+
+class SSet(Stmt):
+    """Assign ``value`` to a local (``Let``/``Assign``) or to a branch
+    join temp (the final statement of each :class:`SIf` arm).  ``init``
+    is True when this introduces the local (a ``Let``), False when it
+    reassigns an existing one (an ``Assign``) — the batched vector
+    backend must mask reassignments under a branch conjunction but not
+    initial bindings."""
+
+    __slots__ = ("target", "value", "init")
+
+    def __init__(self, target: Union[Temp, LocalRef], value: Value,
+                 uid: Optional[int], init: bool = False) -> None:
+        super().__init__(uid)
+        self.target = target
+        self.value = value
+        self.init = init
+
+    def __repr__(self) -> str:
+        eq = ":=" if self.init else "="
+        return f"{self.target!r} {eq} {self.value!r}"
+
+
+class SRead(Stmt):
+    """Read a register port into ``temp``.
+
+    ``check`` — emit the conflict check (may fail the rule);
+    ``track`` — record the read in the log/flag state.
+    Both default True; the O5 classification pass and the read-check
+    deduplication pass clear them where the static analysis proves them
+    unnecessary.  ``effects_before`` is True unless the early-fail pass
+    proves no effect precedes this statement (so a failure needs no
+    rollback)."""
+
+    __slots__ = ("temp", "reg", "port", "check", "track", "effects_before")
+
+    def __init__(self, temp: Temp, reg: str, port: int, uid: int,
+                 check: bool = True, track: bool = True,
+                 effects_before: bool = True) -> None:
+        super().__init__(uid)
+        self.temp = temp
+        self.reg = reg
+        self.port = port
+        self.check = check
+        self.track = track
+        self.effects_before = effects_before
+
+    def __repr__(self) -> str:
+        bits = "".join(b for b, on in (("c", self.check), ("t", self.track))
+                       if on)
+        return (f"{self.temp!r} = rd{self.port}({self.reg})"
+                f"{('.' + bits) if bits else ''}")
+
+
+class SWrite(Stmt):
+    """Write ``value`` to a register port.  Flags as for :class:`SRead`.
+    The value operand is evaluated *before* the conflict check (the
+    reference interpreter's order) — backends must materialize impure
+    values ahead of the check, which the bind-exactly-once discipline
+    gives them for free."""
+
+    __slots__ = ("reg", "port", "value", "check", "track", "effects_before")
+
+    def __init__(self, reg: str, port: int, value: Value, uid: int,
+                 check: bool = True, track: bool = True,
+                 effects_before: bool = True) -> None:
+        super().__init__(uid)
+        self.reg = reg
+        self.port = port
+        self.value = value
+        self.check = check
+        self.track = track
+        self.effects_before = effects_before
+
+    def __repr__(self) -> str:
+        bits = "".join(b for b, on in (("c", self.check), ("t", self.track))
+                       if on)
+        return (f"wr{self.port}({self.reg}, {self.value!r})"
+                f"{('.' + bits) if bits else ''}")
+
+
+class SAbort(Stmt):
+    """Explicit rule failure (Kôika ``fail``/failed guard)."""
+
+    __slots__ = ("effects_before",)
+
+    def __init__(self, uid: int, effects_before: bool = True) -> None:
+        super().__init__(uid)
+        self.effects_before = effects_before
+
+    def __repr__(self) -> str:
+        return "abort" + ("" if self.effects_before else ".early")
+
+
+class SIf(Stmt):
+    """Structured conditional.  When the If produces a value, ``result``
+    names the join temp and each arm's final statement is an
+    :class:`SSet` to it; unit-valued or discarded Ifs have
+    ``result=None``.  ``orelse`` is None when the else arm is trivial."""
+
+    __slots__ = ("cond", "then", "orelse", "result")
+
+    def __init__(self, cond: Value, then: List[Stmt],
+                 orelse: Optional[List[Stmt]], uid: int,
+                 result: Optional[Temp] = None) -> None:
+        super().__init__(uid)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+        self.result = result
+
+    def __repr__(self) -> str:
+        res = f"{self.result!r} = " if self.result is not None else ""
+        return f"{res}if {self.cond!r} ..."
+
+
+# ----------------------------------------------------------------------
+# Containers.
+# ----------------------------------------------------------------------
+
+
+class RuleIR:
+    """One rule's lowered body."""
+
+    __slots__ = ("name", "body", "n_temps")
+
+    def __init__(self, name: str, body: List[Stmt], n_temps: int) -> None:
+        self.name = name
+        self.body = body
+        self.n_temps = n_temps
+
+
+class FnIR:
+    """A pure design function: body statements plus the result value."""
+
+    __slots__ = ("name", "args", "body", "result", "n_temps")
+
+    def __init__(self, name: str, args: List[str], body: List[Stmt],
+                 result: Value, n_temps: int) -> None:
+        self.name = name
+        self.args = args          # python argument names (``v_<name>``)
+        self.body = body
+        self.result = result
+        self.n_temps = n_temps
+
+
+class ModuleIR:
+    """A whole design lowered: functions, rules, and the pass-refined
+    compilation policy (log layout, rollback mode, analysis results)."""
+
+    __slots__ = ("design", "opt", "layout", "reset_on_failure", "analysis",
+                 "fns", "rules", "applied")
+
+    def __init__(self, design, opt: int) -> None:
+        self.design = design
+        self.opt = opt
+        #: Storage layout the emitter instantiates: ``interleaved`` (O0),
+        #: ``rwsets`` (O1), ``accumulated`` (O2/O3), ``merged`` (O4) or
+        #: ``classified`` (O5).  Layout passes advance this.
+        self.layout = "interleaved"
+        self.reset_on_failure = False
+        self.analysis = None
+        self.fns: List[FnIR] = []
+        self.rules: List[RuleIR] = []
+        #: Names of the passes already run (in order), for dumps.
+        self.applied: List[str] = []
+
+
+# ----------------------------------------------------------------------
+# Traversal helpers.
+# ----------------------------------------------------------------------
+
+
+def stmt_operands(stmt: Stmt) -> Tuple[Value, ...]:
+    """The values a statement consumes (not including nested blocks)."""
+    if isinstance(stmt, Bind):
+        return stmt.op.operands()
+    if isinstance(stmt, SSet):
+        return (stmt.value,)
+    if isinstance(stmt, SWrite):
+        return (stmt.value,)
+    if isinstance(stmt, SIf):
+        return (stmt.cond,)
+    return ()
+
+
+def walk_stmts(stmts: Iterable[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement, descending into SIf arms, in program order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, SIf):
+            yield from walk_stmts(stmt.then)
+            if stmt.orelse is not None:
+                yield from walk_stmts(stmt.orelse)
+
+
+def count_uses(stmts: Iterable[Stmt],
+               extra: Sequence[Value] = ()) -> Dict[int, int]:
+    """Count how many times each temp is consumed.  Lowering produces at
+    most one use per temp (the tree structure of the source); backends
+    materialize any temp whose count exceeds one, so the invariant is
+    enforced rather than assumed."""
+    uses: Dict[int, int] = {}
+    for stmt in walk_stmts(stmts):
+        for value in stmt_operands(stmt):
+            if isinstance(value, Temp):
+                uses[value.id] = uses.get(value.id, 0) + 1
+    for value in extra:
+        if isinstance(value, Temp):
+            uses[value.id] = uses.get(value.id, 0) + 1
+    return uses
+
+
+# ----------------------------------------------------------------------
+# Pretty printer (the --stop-after dump format).
+# ----------------------------------------------------------------------
+
+
+def _format_stmts(stmts: Sequence[Stmt], indent: int,
+                  lines: List[str]) -> None:
+    pad = "  " * indent
+    for stmt in stmts:
+        if isinstance(stmt, SIf):
+            res = f"{stmt.result!r} = " if stmt.result is not None else ""
+            lines.append(f"{pad}{res}if {stmt.cond!r}:")
+            _format_stmts(stmt.then, indent + 1, lines)
+            if stmt.orelse is not None:
+                lines.append(f"{pad}else:")
+                _format_stmts(stmt.orelse, indent + 1, lines)
+        else:
+            lines.append(f"{pad}{stmt!r}")
+        if not isinstance(stmt, SIf) and isinstance(stmt, (SRead, SWrite,
+                                                           SAbort)):
+            if not stmt.effects_before:
+                lines[-1] += "  ; no-effects-yet"
+
+
+def format_module(module: ModuleIR) -> str:
+    """Render a module for human inspection (``--stop-after`` dumps)."""
+    lines: List[str] = []
+    lines.append(f"module {module.design.name!r} (target O{module.opt})")
+    lines.append(f"  layout = {module.layout}"
+                 f"{', reset-on-failure' if module.reset_on_failure else ''}")
+    lines.append(f"  passes = [{', '.join(module.applied)}]")
+    if module.analysis is not None:
+        lines.append(f"  analysis: {module.analysis.summary()}")
+    for fn in module.fns:
+        lines.append("")
+        lines.append(f"fn {fn.name}({', '.join(fn.args)}):")
+        _format_stmts(fn.body, 1, lines)
+        lines.append(f"  return {fn.result!r}")
+    for rule in module.rules:
+        lines.append("")
+        lines.append(f"rule {rule.name}:")
+        _format_stmts(rule.body, 1, lines)
+    return "\n".join(lines) + "\n"

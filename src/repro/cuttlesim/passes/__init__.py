@@ -1,0 +1,154 @@
+"""The pass pipeline: opt levels O0–O5 as explicit IR transformations.
+
+``compile_model(opt=N)`` maps to a *pass list* over the mid-level IR
+(:mod:`repro.cuttlesim.ir`): lowering first, then one pass per paper
+optimization, read-check deduplication last.  Backends (the scalar
+emitter in ``codegen.py``, the batched lane emitters in ``batch.py``)
+consume the resulting :class:`~..ir.ModuleIR` without re-deriving any
+lowering decision.
+
+Debugging contract: every *prefix* of every pipeline yields an
+emittable, semantics-preserving module — ``run_pipeline(stop_after=p)``
+stops after pass ``p``, and :func:`dump_ir` renders the result (the CLI
+``--stop-after`` flag).  The differential fuzzer uses the same hook as a
+pass-equivalence oracle.
+
+Cache keys incorporate :func:`pipeline_fingerprint` (pass names and
+versions), so reordering passes or bumping a pass version can never
+replay stale generated code from the on-disk model cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...errors import CompileError
+from .. import ir
+from . import opt as _opt
+from .lower import lower_design
+
+
+class Pass:
+    """A named, versioned module transformation.  Bump ``version`` on any
+    change that can alter generated code — the version is part of every
+    model-cache key via :func:`pipeline_fingerprint`."""
+
+    def __init__(self, name: str, version: int,
+                 fn: Callable[[ir.ModuleIR], None], doc: str) -> None:
+        self.name = name
+        self.version = version
+        self.fn = fn
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}@v{self.version}>"
+
+
+#: Lowering is listed like a pass (it has a version and appears in every
+#: pipeline and fingerprint) but is special-cased by ``run_pipeline``:
+#: it *creates* the module rather than transforming one.
+LOWER = "lower"
+
+PASSES: Dict[str, Pass] = {}
+
+
+def _register(name: str, version: int, fn, doc: str) -> None:
+    PASSES[name] = Pass(name, version, fn, doc)
+
+
+_register(LOWER, 1, None,
+          "flatten Kôika actions into bind-once three-address IR")
+_register("rwset-separation", 1, _opt.rwset_separation,
+          "O1: read-write sets as int bitmasks separate from data")
+_register("log-accumulation", 1, _opt.log_accumulation,
+          "O2: one accumulated log; commits become plain copies")
+_register("reset-on-failure", 1, _opt.reset_on_failure,
+          "O3: reset the accumulated log on failure, not on entry")
+_register("state-merge", 1, _opt.state_merge,
+          "O4: merged data ports, logs are the state")
+_register("register-classification", 1, _opt.register_classification,
+          "O5: static analysis drops provably-safe checks and flags")
+_register("early-fail", 1, _opt.early_fail,
+          "O5: failures before any effect return without rollback")
+_register("read-check-dedup", 1, _opt.read_check_dedup,
+          "suppress re-checking reads already checked unconditionally")
+
+
+#: Pass list per optimization level.  Each level is the previous plus
+#: one paper optimization; dedup always runs last.
+PIPELINES: Dict[int, List[str]] = {
+    0: [LOWER, "read-check-dedup"],
+    1: [LOWER, "rwset-separation", "read-check-dedup"],
+    2: [LOWER, "rwset-separation", "log-accumulation", "read-check-dedup"],
+    3: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
+        "read-check-dedup"],
+    4: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
+        "state-merge", "read-check-dedup"],
+    5: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
+        "state-merge", "register-classification", "early-fail",
+        "read-check-dedup"],
+}
+
+
+def pipeline_for(opt: int) -> List[str]:
+    try:
+        return list(PIPELINES[opt])
+    except KeyError:
+        raise CompileError(f"unknown optimization level O{opt}") from None
+
+
+def batch_pipeline() -> List[str]:
+    """The batched lockstep tier follows the O2 semantics family; its
+    layouts live in ``batch.py`` so only lowering and dedup apply."""
+    return [LOWER, "read-check-dedup"]
+
+
+def pipeline_fingerprint(names: Sequence[str]) -> str:
+    """Stable digest of a pass list (names + versions) for cache keys."""
+    tags = "|".join(f"{name}@v{PASSES[name].version}" for name in names)
+    return hashlib.sha256(tags.encode()).hexdigest()[:16]
+
+
+def run_pipeline(design, opt: int, analysis=None,
+                 stop_after: Optional[str] = None,
+                 pipeline: Optional[Sequence[str]] = None) -> ir.ModuleIR:
+    """Lower ``design`` and run the pass list for ``opt`` (or an explicit
+    ``pipeline``), optionally stopping after the named pass.
+
+    Every prefix is emittable: the returned module always carries enough
+    policy for the backends, just less optimized."""
+    names = list(pipeline) if pipeline is not None else pipeline_for(opt)
+    if stop_after is not None and stop_after not in names:
+        raise CompileError(
+            f"--stop-after pass {stop_after!r} is not in the O{opt} "
+            f"pipeline {names}")
+    module = None
+    for name in names:
+        if name == LOWER:
+            module = lower_design(design, opt)
+            module.analysis = analysis
+        else:
+            if module is None:
+                raise CompileError(
+                    f"pipeline {names} does not start with {LOWER!r}")
+            PASSES[name].fn(module)
+        module.applied.append(name)
+        if name == stop_after:
+            break
+    if module is None:
+        raise CompileError("empty pass pipeline")
+    return module
+
+
+def dump_ir(design, opt: int = 5, stop_after: Optional[str] = None) -> str:
+    """Render the IR after ``stop_after`` (or the full pipeline) — the
+    implementation of the CLI ``--stop-after`` debug flag."""
+    module = run_pipeline(design, opt, stop_after=stop_after)
+    return ir.format_module(module)
+
+
+__all__ = [
+    "LOWER", "PASSES", "PIPELINES", "Pass", "batch_pipeline", "dump_ir",
+    "lower_design", "pipeline_fingerprint", "pipeline_for", "run_pipeline",
+]

@@ -1,0 +1,250 @@
+"""AST → IR lowering (the pipeline's mandatory first step).
+
+Kôika actions are expression trees; this pass flattens them into the
+three-address statements of :mod:`repro.cuttlesim.ir`.  Lowering fixes
+the *evaluation order* once and for all — operands become temps bound at
+their source position, so no later pass or backend can accidentally
+re-evaluate or reorder an effect (the template-splice bug family).
+
+What lowering decides (so backends don't have to):
+
+* ``zextl`` disappears (values are already zero-extended integers);
+* ``sextl`` of a zero-width value folds to the constant 0;
+* struct field projections become ``slice`` ops with resolved offsets —
+  backends never see field names;
+* written values are lowered *before* their :class:`~..ir.SWrite`, which
+  is the reference interpreter's order (value first, conflict check
+  second): an impure value expression runs even when the write aborts.
+
+Policy flags (``check``/``track``/``effects_before``) start maximally
+conservative here; the optimization passes in :mod:`.opt` refine them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import CompileError
+from ...koika.ast import (
+    Abort,
+    Action,
+    Assign,
+    Binop,
+    Call,
+    Const,
+    ExtCall,
+    GetField,
+    If,
+    Let,
+    Read,
+    Seq,
+    SubstField,
+    Unop,
+    Var,
+    Write,
+)
+from ...koika.design import Design, Fn, Rule
+from ...koika.types import StructType
+from .. import ir
+
+
+class _Lowerer:
+    """Lowers one rule or function body (fresh temp/name space each)."""
+
+    def __init__(self, allow_effects: bool) -> None:
+        self.allow_effects = allow_effects
+        self.stmts: List[ir.Stmt] = []
+        self.scope: Dict[str, str] = {}
+        self._counter = 0
+
+    # -- temps and local names ------------------------------------------
+    def fresh(self) -> ir.Temp:
+        temp = ir.Temp(self._counter)
+        self._counter += 1
+        return temp
+
+    def bind_local(self, name: str) -> str:
+        """Pick the Python name for a ``Let``; shadowed names get a
+        uniquifying suffix (same policy for every backend)."""
+        base = f"v_{name}"
+        if self.scope.get(name) == base or base in self.scope.values():
+            self._counter += 1
+            return f"{base}_{self._counter}"
+        return base
+
+    # -- nested blocks (If arms) ----------------------------------------
+    def block_value(self, node: Action,
+                    result: ir.Temp, uid: int) -> List[ir.Stmt]:
+        """Lower ``node`` into a fresh statement list ending with an
+        ``SSet`` of its value to the branch join temp."""
+        saved, self.stmts = self.stmts, []
+        value = self.value(node)
+        self.stmts.append(ir.SSet(result, value, uid))
+        block, self.stmts = self.stmts, saved
+        return block
+
+    def block_discard(self, node: Action) -> List[ir.Stmt]:
+        saved, self.stmts = self.stmts, []
+        self.discard(node)
+        block, self.stmts = self.stmts, saved
+        return block
+
+    # -- statements ------------------------------------------------------
+    def discard(self, node: Action) -> None:
+        """Lower a node whose value is unused."""
+        if isinstance(node, Seq):
+            for action in node.actions:
+                self.discard(action)
+            return
+        if isinstance(node, If):
+            cond = self.value(node.cond)
+            then = self.block_discard(node.then)
+            orelse = (None if node.orelse is None
+                      else self.block_discard(node.orelse))
+            self.stmts.append(ir.SIf(cond, then, orelse, node.uid))
+            return
+        if isinstance(node, Let):
+            self._lower_let(node, tail=self.discard)
+            return
+        self.value(node)  # effects materialize; unused pure temps die
+
+    def _lower_let(self, node: Let, tail):
+        value = self.value(node.value)
+        pyname = self.bind_local(node.name)
+        self.stmts.append(
+            ir.SSet(ir.LocalRef(pyname), value, node.uid, init=True))
+        saved = self.scope.get(node.name)
+        self.scope[node.name] = pyname
+        result = tail(node.body)
+        if saved is not None and saved != pyname:
+            self.scope[node.name] = saved
+        return result
+
+    # -- values ----------------------------------------------------------
+    def value(self, node: Action) -> ir.Value:
+        if isinstance(node, Const):
+            return ir.IConst(node.value)
+        if isinstance(node, Var):
+            return ir.LocalRef(self.scope[node.name])
+        if isinstance(node, Unop):
+            return self._lower_unop(node)
+        if isinstance(node, Binop):
+            return self._bind_op(node, ir.IBin(
+                node.op, self.value(node.a), self.value(node.b),
+                node.typ.width, node.a.typ.width, node.b.typ.width))
+        if isinstance(node, GetField):
+            return self._lower_getfield(node)
+        if isinstance(node, SubstField):
+            return self._lower_substfield(node)
+        if isinstance(node, Call):
+            args = [self.value(arg) for arg in node.args]
+            return self._bind_op(node, ir.ICall(node.fn, args))
+        if isinstance(node, Let):
+            return self._lower_let(node, tail=self.value)
+        if isinstance(node, Assign):
+            value = self.value(node.value)
+            self.stmts.append(
+                ir.SSet(ir.LocalRef(self.scope[node.name]), value, node.uid))
+            return ir.IConst(0)
+        if isinstance(node, Seq):
+            for action in node.actions[:-1]:
+                self.discard(action)
+            return self.value(node.actions[-1])
+        if isinstance(node, If):
+            return self._lower_if(node)
+        if isinstance(node, (Read, Write, Abort, ExtCall)):
+            return self._lower_effect(node)
+        raise CompileError(f"cannot lower {type(node).__name__}")
+
+    def _bind_op(self, node: Action, op: ir.Op) -> ir.Temp:
+        temp = self.fresh()
+        self.stmts.append(ir.Bind(temp, op, node.uid))
+        return temp
+
+    def _lower_unop(self, node: Unop) -> ir.Value:
+        arg = self.value(node.arg)
+        in_width = node.arg.typ.width
+        if node.op == "zextl":
+            return arg  # already a zero-extended integer
+        if node.op == "sextl" and in_width == 0:
+            return ir.IConst(0)
+        return self._bind_op(node, ir.IUn(
+            node.op, arg, node.typ.width, in_width, node.param))
+
+    def _lower_getfield(self, node: GetField) -> ir.Value:
+        arg = self.value(node.arg)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(node.field_name)
+        width = struct.field_type(node.field_name).width
+        return self._bind_op(node, ir.IUn(
+            "slice", arg, width, struct.width, (offset, width)))
+
+    def _lower_substfield(self, node: SubstField) -> ir.Value:
+        arg = self.value(node.arg)
+        value = self.value(node.value)
+        struct = node.arg.typ
+        assert isinstance(struct, StructType)
+        offset = struct.field_offset(node.field_name)
+        width = struct.field_type(node.field_name).width
+        return self._bind_op(node, ir.ISubst(
+            arg, value, offset, width, struct.width))
+
+    def _lower_if(self, node: If) -> ir.Value:
+        if node.typ is not None and node.typ.width == 0:
+            self.discard(node)
+            return ir.IConst(0)
+        cond = self.value(node.cond)
+        result = self.fresh()
+        assert node.orelse is not None  # value-producing Ifs are total
+        then = self.block_value(node.then, result, node.uid)
+        orelse = self.block_value(node.orelse, result, node.uid)
+        self.stmts.append(ir.SIf(cond, then, orelse, node.uid, result=result))
+        return result
+
+    def _lower_effect(self, node: Action) -> ir.Value:
+        if not self.allow_effects:
+            raise CompileError(
+                f"{node.kind} is not allowed in this context (pure function?)"
+            )
+        if isinstance(node, Read):
+            temp = self.fresh()
+            self.stmts.append(ir.SRead(temp, node.reg, node.port, node.uid))
+            return temp
+        if isinstance(node, Write):
+            # Interpreter order: the value is evaluated before the
+            # conflict check, so it is lowered before the SWrite.
+            value = self.value(node.value)
+            self.stmts.append(
+                ir.SWrite(node.reg, node.port, value, node.uid))
+            return ir.IConst(0)
+        if isinstance(node, Abort):
+            self.stmts.append(ir.SAbort(node.uid))
+            return ir.IConst(0)
+        assert isinstance(node, ExtCall)
+        arg = self.value(node.arg)
+        return self._bind_op(node, ir.IExt(node.fn, arg, node.typ.width))
+
+
+def lower_fn(fn: Fn) -> ir.FnIR:
+    lowerer = _Lowerer(allow_effects=False)
+    lowerer.scope = {name: f"v_{name}" for name, _ in fn.args}
+    result = lowerer.value(fn.body)
+    return ir.FnIR(fn.name, [f"v_{name}" for name, _ in fn.args],
+                   lowerer.stmts, result, lowerer._counter)
+
+
+def lower_rule(rule: Rule) -> ir.RuleIR:
+    lowerer = _Lowerer(allow_effects=True)
+    lowerer.discard(rule.body)
+    return ir.RuleIR(rule.name, lowerer.stmts, lowerer._counter)
+
+
+def lower_design(design: Design, opt: int) -> ir.ModuleIR:
+    """Lower every function and scheduled rule of a finalized design."""
+    if not design.finalized:
+        design.finalize()
+    module = ir.ModuleIR(design, opt)
+    module.fns = [lower_fn(fn) for fn in design.fns.values()]
+    module.rules = [lower_rule(rule) for rule in design.scheduled_rules()]
+    return module

@@ -1,0 +1,132 @@
+"""The optimization passes: one per paper optimization (§3.2–§3.3).
+
+Each pass takes a :class:`~..ir.ModuleIR` and refines either the storage
+*layout* the emitter will instantiate (rwset separation, log
+accumulation, state merge, register classification) or the per-statement
+*policy bits* the IR carries (``check``/``track``/``effects_before``).
+Layout passes are one-liners on purpose: the layouts themselves live
+next to the emitters (they are spelling, not semantics), and what the
+pass records is the *decision*.  Policy passes do real work here, on the
+IR, where it is checkable — the emitters just obey the bits.
+
+Every pass is idempotent and total: running a prefix of a pipeline
+always yields an emittable module (the ``--stop-after`` contract).
+"""
+
+from __future__ import annotations
+
+from ...analysis.abstract import RD1, WR0, WR1, analyze
+from .. import ir
+
+# -- layout refinements (§3.2) -----------------------------------------
+
+
+def rwset_separation(module: ir.ModuleIR) -> None:
+    """O1: split read-write sets (int bitmasks) from the data arrays, so
+    set resets become cache-friendly slice copies."""
+    module.layout = "rwsets"
+
+
+def log_accumulation(module: ir.ModuleIR) -> None:
+    """O2: keep one accumulated log (``L ++ l``) instead of separate
+    rule/cycle logs; write checks consult one mask, commits are copies."""
+    module.layout = "accumulated"
+
+
+def reset_on_failure(module: ir.ModuleIR) -> None:
+    """O3: reset the accumulated log when a rule *fails* instead of on
+    every entry — successful rules skip the reset entirely."""
+    module.reset_on_failure = True
+
+
+def state_merge(module: ir.ModuleIR) -> None:
+    """O4: merge ``data0``/``data1`` and drop the beginning-of-cycle
+    state array — the logs *are* the state."""
+    module.layout = "merged"
+
+
+# -- register classification (§3.3) ------------------------------------
+
+
+def register_classification(module: ir.ModuleIR) -> None:
+    """O5: use the abstract-interpretation results to drop conflict
+    checks that can never fire and log updates nobody reads.
+
+    ``check`` survives only where the analysis says the operation may
+    fail; ``track`` survives only where a *later* check in some rule
+    consults the flag (``rd0`` is never tracked in a sequential model).
+    """
+    if module.analysis is None:
+        module.analysis = analyze(module.design)
+    analysis = module.analysis
+    module.layout = "classified"
+    for rule in module.rules:
+        for stmt in ir.walk_stmts(rule.body):
+            if isinstance(stmt, ir.SRead):
+                info = analysis.node_info.get(stmt.uid)
+                stmt.check = info is not None and info.may_fail
+                stmt.track = (stmt.port == 1 and RD1 in
+                              analysis.tracked_flags.get(stmt.reg, set()))
+            elif isinstance(stmt, ir.SWrite):
+                info = analysis.node_info.get(stmt.uid)
+                stmt.check = info is not None and info.may_fail
+                flag = WR0 if stmt.port == 0 else WR1
+                stmt.track = flag in analysis.tracked_flags.get(
+                    stmt.reg, set())
+
+
+# -- early-fail fast paths (§3.3) --------------------------------------
+
+
+def _walk_effects(stmts, effects: bool) -> bool:
+    """Propagate "has any effect happened yet" through a statement list
+    in *emission* order (then-arm before else-arm, linearly — a failure
+    in the else arm still needs rollback if the then arm had effects)."""
+    for stmt in stmts:
+        if isinstance(stmt, ir.SRead):
+            stmt.effects_before = effects
+            if stmt.track and stmt.port == 1:
+                effects = True
+        elif isinstance(stmt, ir.SWrite):
+            stmt.effects_before = effects
+            effects = True
+        elif isinstance(stmt, ir.SAbort):
+            stmt.effects_before = effects
+        elif isinstance(stmt, ir.SIf):
+            effects = _walk_effects(stmt.then, effects)
+            if stmt.orelse is not None:
+                effects = _walk_effects(stmt.orelse, effects)
+    return effects
+
+
+def early_fail(module: ir.ModuleIR) -> None:
+    """O5: failure sites reached before any effect return ``False``
+    directly — no rollback helper call."""
+    for rule in module.rules:
+        _walk_effects(rule.body, False)
+
+
+# -- read-check deduplication ------------------------------------------
+
+
+def _dedup(stmts, checked, depth: int) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ir.SRead) and stmt.check:
+            key = (stmt.reg, stmt.port)
+            if key in checked:
+                stmt.check = False
+            elif depth == 0:
+                checked.add(key)
+        elif isinstance(stmt, ir.SIf):
+            _dedup(stmt.then, checked, depth + 1)
+            if stmt.orelse is not None:
+                _dedup(stmt.orelse, checked, depth + 1)
+
+
+def read_check_dedup(module: ir.ModuleIR) -> None:
+    """Read checks consult only the cycle log, which is constant for the
+    whole rule, so a check that already ran unconditionally never needs
+    repeating.  (Only unconditional checks — branch depth 0 — suppress
+    later ones; a check inside a branch may not have run.)"""
+    for rule in module.rules:
+        _dedup(rule.body, set(), 0)

@@ -65,6 +65,9 @@ class SeedJob:
     #: Lanes of the batched lockstep backend to diff (0 disables it).
     batch: int = 0
     batch_backend: str = "auto"
+    #: Per-pass oracle: also diff every pipeline prefix (``--stop-after``
+    #: each pass in turn), localizing a miscompile to the pass at fault.
+    pass_prefixes: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -78,6 +81,7 @@ class SeedJob:
             "schedule_seeds": list(self.schedule_seeds),
             "batch": self.batch,
             "batch_backend": self.batch_backend,
+            "pass_prefixes": self.pass_prefixes,
         }
 
     @classmethod
@@ -94,6 +98,7 @@ class SeedJob:
             schedule_seeds=tuple(payload.get("schedule_seeds", (0, 1))),
             batch=int(payload.get("batch", 0)),
             batch_backend=str(payload.get("batch_backend", "auto")),
+            pass_prefixes=bool(payload.get("pass_prefixes", False)),
         )
 
     def narrowed(self, **changes) -> "SeedJob":
@@ -191,7 +196,8 @@ def verify_design(design: Design, cycles: int = 32,
                   include_simplified: bool = True,
                   schedule_seeds: Sequence[int] = (0, 1),
                   cache=None, batch: int = 0,
-                  batch_backend: str = "auto") -> None:
+                  batch_backend: str = "auto",
+                  pass_prefixes: bool = False) -> None:
     """Differentially verify ``design``; raise on the first disagreement.
 
     This is the campaign's check function *and* what emitted repro
@@ -221,6 +227,18 @@ def verify_design(design: Design, cycles: int = 32,
         cls = compile_model(design, opt=opt, warn_goldberg=False,
                             cache=cache)
         check(f"cuttlesim-O{opt}", cls())
+    if pass_prefixes and opts:
+        # Per-pass oracle: run every prefix of the deepest requested
+        # pipeline, so a miscompile names the pass that introduced it
+        # (the first prefix whose trace diverges).
+        from ..cuttlesim.codegen import compile_model_prefix
+        from ..cuttlesim.passes import pipeline_for
+
+        top = max(opts)
+        for pass_name in pipeline_for(top):
+            cls = compile_model_prefix(design, opt=top,
+                                       stop_after=pass_name)
+            check(f"cuttlesim-O{top}-after-{pass_name}", cls())
     if include_simplified and 5 in opts:
         cls = compile_model(design, opt=5, simplify=True,
                             warn_goldberg=False, cache=cache)
@@ -323,7 +341,8 @@ def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
                       include_rtl=job.include_rtl,
                       include_simplified=job.include_simplified,
                       schedule_seeds=job.schedule_seeds, cache=cache,
-                      batch=job.batch, batch_backend=job.batch_backend)
+                      batch=job.batch, batch_backend=job.batch_backend,
+                      pass_prefixes=job.pass_prefixes)
     except DivergenceError as exc:
         outcome["status"] = "divergence"
         outcome["divergence"] = exc.as_dict()

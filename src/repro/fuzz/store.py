@@ -38,6 +38,7 @@ _DEFAULT_CONFIG = {
     "mutate": 2,
     "mutation_depth": 2,
     "batch": 0,             # lanes of the batched lockstep oracle (0 = off)
+    "pass_prefixes": False,  # per-pass oracle: diff every pipeline prefix
     "batch_backend": "auto",
 }
 
@@ -138,6 +139,7 @@ class CampaignStore:
             schedule_seeds=tuple(range(int(config["schedule_seeds"]))),
             batch=int(config.get("batch", 0)),
             batch_backend=str(config.get("batch_backend", "auto")),
+            pass_prefixes=bool(config.get("pass_prefixes", False)),
         )
 
     def next_jobs(self, limit: int) -> List[SeedJob]:

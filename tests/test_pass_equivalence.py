@@ -1,0 +1,394 @@
+"""Pass-pipeline equivalence: every prefix of every pipeline is correct.
+
+The IR pass pipeline's debugging contract is that ``--stop-after`` any
+pass yields a runnable model whose per-register, per-cycle trace is
+byte-identical to the reference interpreter.  That is what makes the
+pipeline *bisectable*: a miscompile is localized to the first prefix
+whose trace diverges.  These tests pin the contract for every design in
+the registry and every distinct pipeline prefix, pin the cache-key
+pass-list fingerprint (satellite: a pass-list change must miss the
+cache), pin the batched-backend width boundary lane-by-lane, and pin the
+extcall-before-conflict-check ordering the IR refactor fixed at the
+root.
+"""
+
+import pytest
+
+from repro.cli import DESIGNS, _default_env
+from repro.cuttlesim import (ModelCache, compile_batch_model, compile_model,
+                             compile_model_prefix, resolve_batch_backend)
+from repro.cuttlesim.passes import PASSES, PIPELINES, pipeline_for
+from repro.errors import CompileError
+from repro.harness import Environment
+from repro.koika import C, Design, Seq
+from repro.testing.differential import (DivergenceError, collect_batch_traces,
+                                        collect_trace, compare_traces,
+                                        interpreter_trace)
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+CYCLES = 16
+
+
+def _env_factory(design):
+    """A deterministic environment for any registry design."""
+    return lambda: _default_env(design, None, 100)
+
+
+def _prefix_points():
+    """All distinct (opt, stop_after) pipeline prefixes.
+
+    A prefix shared by several opt levels (``[lower]`` starts all six) is
+    emitted identically regardless of the target level — the emitter keys
+    off the module's layout, not the requested opt — so each distinct
+    prefix is tested once, at the lowest opt level that contains it.
+    """
+    seen, points = set(), []
+    for opt in sorted(PIPELINES):
+        names = pipeline_for(opt)
+        for index, stop in enumerate(names):
+            prefix = tuple(names[:index + 1])
+            if prefix in seen:
+                continue
+            seen.add(prefix)
+            points.append(pytest.param(opt, stop, id=f"O{opt}-{stop}"))
+    return points
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Per-design interpreter traces, computed once per test session."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            design = DESIGNS[name]()
+            cache[name] = (design, list(design.registers),
+                           interpreter_trace(design, CYCLES,
+                                             _env_factory(design)))
+        return cache[name]
+
+    return get
+
+
+class TestEveryPrefixMatchesInterpreter:
+    @pytest.mark.parametrize("opt,stop", _prefix_points())
+    @pytest.mark.parametrize("name", sorted(DESIGNS))
+    def test_prefix_trace_byte_identical(self, name, opt, stop, references):
+        design, registers, reference = references(name)
+        cls = compile_model_prefix(design, opt=opt, stop_after=stop)
+        sim = cls(_env_factory(design)())
+        compare_traces(design.name, f"O{opt}-after-{stop}",
+                       collect_trace(sim, registers, CYCLES),
+                       reference, registers)
+
+    def test_stop_after_unknown_pass_rejected(self):
+        design = DESIGNS["collatz"]()
+        with pytest.raises(CompileError, match="stop-after"):
+            compile_model_prefix(design, opt=0, stop_after="state-merge")
+
+
+class TestPrefixLocalizesMiscompile:
+    """A corrupted pass is caught exactly at its own prefix: the prefix
+    *before* it still matches the interpreter, the prefix *after* it
+    diverges — the bisection property the per-pass oracle relies on."""
+
+    @pytest.fixture
+    def corrupt_state_merge(self, monkeypatch):
+        from repro.cuttlesim import ir
+        from repro.cuttlesim.passes import opt as _opt
+
+        real = _opt.state_merge
+
+        def corrupted(module):
+            real(module)
+            for rule in module.rules:
+                for stmt in ir.walk_stmts(rule.body):
+                    if isinstance(stmt, ir.Bind) and \
+                            isinstance(stmt.op, ir.IBin) and \
+                            stmt.op.op == "srl":
+                        stmt.op.op = "sll"
+                        return
+
+        monkeypatch.setattr(PASSES["state-merge"], "fn", corrupted)
+
+    def test_prefix_before_matches_prefix_after_diverges(
+            self, corrupt_state_merge):
+        design = DESIGNS["collatz"]()
+        registers = list(design.registers)
+        reference = interpreter_trace(design, CYCLES)
+
+        good = compile_model_prefix(design, opt=5,
+                                    stop_after="reset-on-failure")
+        compare_traces(design.name, "before-corrupt-pass",
+                       collect_trace(good(), registers, CYCLES),
+                       reference, registers)
+
+        bad = compile_model_prefix(design, opt=5, stop_after="state-merge")
+        with pytest.raises(DivergenceError):
+            compare_traces(design.name, "after-corrupt-pass",
+                           collect_trace(bad(), registers, CYCLES),
+                           reference, registers)
+
+    def test_verify_design_pass_oracle_catches_it(self, corrupt_state_merge):
+        from repro.fuzz.executor import verify_design
+
+        design = DESIGNS["collatz"]()
+        with pytest.raises(DivergenceError):
+            verify_design(design, cycles=CYCLES, opts=(0, 5),
+                          include_rtl=False, include_simplified=False,
+                          schedule_seeds=(), pass_prefixes=True)
+
+    def test_verify_design_pass_oracle_green_on_clean_toolchain(self):
+        from repro.fuzz.executor import verify_design
+
+        design = DESIGNS["collatz"]()
+        verify_design(design, cycles=CYCLES, opts=(0, 2, 5),
+                      include_rtl=False, include_simplified=False,
+                      schedule_seeds=(), pass_prefixes=True)
+
+
+class TestPassFingerprintInCacheKey:
+    """Satellite: cache keys incorporate the pass-list fingerprint, so a
+    pass version bump (or pipeline edit) misses instead of replaying
+    stale generated code."""
+
+    def _key(self, cache, design, opt=2):
+        return cache.key_for(design, opt=opt, order_independent=False,
+                             simplify=False, inline_rules=None,
+                             host_optimize=-1)
+
+    def test_key_stable_for_same_pipeline(self, tmp_path):
+        cache = ModelCache(tmp_path)
+        design = DESIGNS["collatz"]()
+        assert self._key(cache, design) == self._key(cache, design)
+
+    def test_pass_version_bump_changes_key(self, tmp_path, monkeypatch):
+        cache = ModelCache(tmp_path)
+        design = DESIGNS["collatz"]()
+        before = self._key(cache, design)
+        monkeypatch.setattr(PASSES["read-check-dedup"], "version",
+                            PASSES["read-check-dedup"].version + 1)
+        assert self._key(cache, design) != before
+
+    def test_pass_version_bump_misses_disk_cache(self, tmp_path,
+                                                 monkeypatch):
+        cache = ModelCache(tmp_path)
+        design = DESIGNS["collatz"]()
+        compile_model(design, opt=2, warn_goldberg=False, cache=cache)
+        assert cache.stats.misses == 1
+
+        # Same pipeline: a fresh cache over the same directory hits disk.
+        warm = ModelCache(tmp_path)
+        compile_model(design, opt=2, warn_goldberg=False, cache=warm)
+        assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+
+        # Bumped pass version: the same directory no longer has the entry.
+        monkeypatch.setattr(PASSES["read-check-dedup"], "version",
+                            PASSES["read-check-dedup"].version + 1)
+        bumped = ModelCache(tmp_path)
+        compile_model(design, opt=2, warn_goldberg=False, cache=bumped)
+        assert bumped.stats.misses == 1 and bumped.stats.disk_hits == 0
+
+    def test_batch_key_uses_batch_pipeline_fingerprint(self, tmp_path,
+                                                       monkeypatch):
+        cache = ModelCache(tmp_path)
+        design = DESIGNS["collatz"]()
+
+        def key():
+            return cache.key_for(design, opt=2, order_independent=False,
+                                 simplify=False, inline_rules=None,
+                                 host_optimize=-1, batch=4,
+                                 batch_backend="list")
+
+        before = key()
+        # A pass outside the batch pipeline must not disturb batch keys...
+        monkeypatch.setattr(PASSES["state-merge"], "version", 99)
+        assert key() == before
+        # ...but one inside it must.
+        monkeypatch.setattr(PASSES["read-check-dedup"], "version", 99)
+        assert key() != before
+
+
+# ----------------------------------------------------------------------
+# Batched-backend width boundary (satellite: 31/32/33/63/64 lane parity).
+# ----------------------------------------------------------------------
+
+def _wide_design(width):
+    """A multiply/shift/add mill that exercises full-width wraparound:
+    products of two ``width``-bit values overflow uint64 for any width
+    above 32, which is exactly the numpy-backend feasibility boundary."""
+    design = Design(f"wide{width}")
+    mask = (1 << width) - 1
+    x = design.reg("x", width, init=1)
+    acc = design.reg("acc", width, init=0)
+    design.rule("mill", Seq(
+        acc.wr0(acc.rd0() + x.rd0() * C(0x9E3779B1 & mask, width)),
+        x.wr0((x.rd0() << C(3, width)) + C(0x1234567 & mask, width)),
+    ))
+    design.schedule("mill")
+    return design.finalize()
+
+
+class TestWidthBoundary:
+    WIDTHS = (31, 32, 33, 63, 64)
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_auto_backend_resolution(self, width):
+        design = _wide_design(width)
+        resolved = resolve_batch_backend(design, "auto")
+        if width <= 32 and HAVE_NUMPY:
+            assert resolved == "numpy"
+        else:
+            assert resolved == "list"
+
+    @pytest.mark.parametrize("width", (33, 63, 64))
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_explicit_numpy_rejected_above_32(self, width):
+        with pytest.raises(CompileError, match="32 bits"):
+            compile_batch_model(_wide_design(width), 4, backend="numpy")
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("backend", ("list", "auto"))
+    def test_lane_parity_at_boundary(self, width, backend):
+        design = _wide_design(width)
+        registers = list(design.registers)
+        mask = (1 << width) - 1
+        lanes = 5
+        model = compile_batch_model(design, lanes, backend=backend)()
+        pokes = [1, 2, mask - 1, mask, 0x7FFFFFFF & mask]
+        for lane, value in enumerate(pokes):
+            model.poke_lane("x", lane, value)
+        traces = collect_batch_traces(model, registers, CYCLES)
+        for lane, trace in enumerate(traces):
+            scalar = compile_model(design, opt=2, warn_goldberg=False)()
+            scalar.poke("x", pokes[lane])
+            compare_traces(design.name, f"{model.backend_name}-lane{lane}",
+                           trace,
+                           collect_trace(scalar, registers, CYCLES),
+                           registers, reference_name="cuttlesim-O2")
+
+
+# ----------------------------------------------------------------------
+# Extcall ordering: the bug class the IR refactor fixes at the root.
+# ----------------------------------------------------------------------
+
+def _conflicting_extcall_design():
+    """``second``'s write always loses the port-0 conflict, but the
+    extcall computing its value must still fire first — Koika evaluates
+    a write's value before the write itself can fail."""
+    design = Design("extconflict")
+    x = design.reg("x", 8, init=0)
+    tick = design.reg("tick", 8, init=0)
+    probe = design.extfun("probe", 8, 8)
+    design.rule("first", x.wr0(C(1, 8)))
+    design.rule("second", x.wr0(probe(tick.rd0() + C(2, 8))))
+    design.rule("clock", tick.wr0(tick.rd0() + C(1, 8)))
+    design.schedule("first", "second", "clock")
+    return design.finalize()
+
+
+class TestExtcallBeforeConflictCheck:
+    REGISTERS = ["x", "tick"]
+
+    def _run(self, sim_factory, cycles=8):
+        calls = []
+        env = Environment({"probe": lambda v: calls.append(v) or v})
+        sim = sim_factory(env)
+        trace = collect_trace(sim, self.REGISTERS, cycles)
+        return trace, calls
+
+    def _interp_run(self, design, cycles=8):
+        from repro.semantics.interp import Interpreter
+
+        calls = []
+        env = Environment({"probe": lambda v: calls.append(v) or v})
+        interp = Interpreter(design, env=env)
+        trace = []
+        for _ in range(cycles):
+            report = interp.run_cycle()
+            trace.append((tuple(report.committed),
+                          tuple(int(interp.peek(r))
+                                for r in self.REGISTERS)))
+        return trace, calls
+
+    @pytest.mark.parametrize("opt", (0, 1, 2, 3, 4, 5))
+    def test_compiled_fires_extcall_like_interpreter(self, opt):
+        design = _conflicting_extcall_design()
+        ref_trace, ref_calls = self._interp_run(design)
+        assert ref_calls, "interpreter must fire the losing write's extcall"
+
+        cls = compile_model(design, opt=opt, warn_goldberg=False)
+        trace, calls = self._run(cls)
+        assert calls == ref_calls
+        compare_traces(design.name, f"cuttlesim-O{opt}", trace,
+                       ref_trace, self.REGISTERS)
+
+    @pytest.mark.parametrize("opt,stop", _prefix_points())
+    def test_every_prefix_fires_extcall(self, opt, stop):
+        design = _conflicting_extcall_design()
+        _, ref_calls = self._interp_run(design)
+        cls = compile_model_prefix(design, opt=opt, stop_after=stop)
+        _, calls = self._run(cls)
+        assert calls == ref_calls
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces: --stop-after/--ir, and the renamed fuzz --batch flag.
+# ----------------------------------------------------------------------
+
+class TestCLI:
+    def test_model_ir_dump(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "collatz", "--ir", "--stop-after",
+                     "lower"]) == 0
+        out = capsys.readouterr().out
+        assert "passes = [lower]" in out and "rd0(x)" in out
+
+    def test_model_stop_after_prints_prefix_source(self, capsys):
+        from repro.cli import main
+
+        assert main(["model", "collatz", "--stop-after",
+                     "rwset-separation"]) == 0
+        out = capsys.readouterr().out
+        assert "Pass pipeline stopped after 'rwset-separation'" in out
+
+    def test_model_stop_after_unknown_pass_errors(self, capsys):
+        from repro.cli import main
+        from repro.errors import CompileError
+
+        with pytest.raises((SystemExit, CompileError)):
+            main(["model", "collatz", "--stop-after", "no-such-pass"])
+
+    def test_fuzz_resume_old_style_batch_errors(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "resume", "--batch", "8"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs-per-batch" in err and "changed meaning" in err
+
+
+# ----------------------------------------------------------------------
+# Slow: a fuzz campaign with the per-pass oracle (run with -m slow).
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestPassOracleCampaign:
+    def test_campaign_with_pass_oracle_is_clean(self, tmp_path):
+        from repro.fuzz import CampaignStore, run_campaign
+
+        store = CampaignStore.create(str(tmp_path / "camp"), {
+            "seed_start": 0, "seed_stop": 25, "cycles": 24,
+            "include_rtl": False, "schedule_seeds": 1, "mutate": 1,
+            "pass_prefixes": True,
+        })
+        run_campaign(store)
+        assert store.exhausted
+        assert store.bucket_slugs() == []
