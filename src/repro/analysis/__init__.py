@@ -1,14 +1,41 @@
-"""Static analysis of Koika designs (paper §3.3)."""
+"""Static analysis of Koika designs (paper §3.3).
 
-from .lint import LintFinding, lint_design, lint_report
-from .report import design_report
+Three layers: the port-state abstract interpretation
+(:mod:`.abstract`), the value dataflow over the mid-level IR
+(:mod:`.dataflow`), and the consumers built on both — the lint suite
+(:mod:`.lint`), the rule-conflict graph (:mod:`.conflicts`), the design
+report (:mod:`.report`) and the runtime lint-soundness oracle
+(:mod:`.oracle`).
+"""
+
 from .abstract import (
     MAYBE, NO, YES, RD0, RD1, WR0, WR1, AbstractLog, DesignAnalysis,
     NodeInfo, RuleAnalysis, analyze,
 )
+from .conflicts import ConflictGraph, conflict_graph
+from .dataflow import (
+    AbsVal, ModuleDataflow, RuleFacts, analyze_module, analyze_rule,
+    register_invariants,
+)
+from .findings import (
+    Finding, apply_suppressions, render_json, render_sarif, render_text,
+    worst_severity,
+)
+from .lint import LintFinding, lint_design, lint_report
+from .oracle import (
+    LintClaims, LintUnsoundError, Violation, build_claims, check_design,
+)
+from .report import design_report
 
 __all__ = [
     "MAYBE", "NO", "YES", "RD0", "RD1", "WR0", "WR1", "AbstractLog",
     "DesignAnalysis", "NodeInfo", "RuleAnalysis", "analyze", "design_report",
+    "AbsVal", "ModuleDataflow", "RuleFacts", "analyze_module",
+    "analyze_rule", "register_invariants",
+    "ConflictGraph", "conflict_graph",
+    "Finding", "apply_suppressions", "render_json", "render_sarif",
+    "render_text", "worst_severity",
     "LintFinding", "lint_design", "lint_report",
+    "LintClaims", "LintUnsoundError", "Violation", "build_claims",
+    "check_design",
 ]

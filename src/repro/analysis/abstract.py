@@ -105,9 +105,19 @@ class AbstractLog:
 
 @dataclass
 class NodeInfo:
-    """Per read/write node facts recorded by the pass."""
+    """Per read/write node facts recorded by the pass.
+
+    ``may_fail``/``always_fail`` bracket the port check: the check may
+    be elided when ``may_fail`` is False, and the operation is a static
+    design error when ``always_fail`` is True.  A node object reused
+    within one body is visited more than once; ``may_fail`` ORs over
+    visits (any execution may fail) while ``always_fail`` ANDs (*every*
+    execution must fail — the lint's claim quantifies over all of them).
+    ``always_fail`` is ``None`` until the first visit.
+    """
 
     may_fail: bool = False
+    always_fail: Optional[bool] = None
     goldberg: bool = False
 
 
@@ -224,23 +234,34 @@ class _RulePass:
             return
         raise TypeError(f"unexpected AST node {type(node).__name__}")
 
+    def _record(self, info: NodeInfo, blockers) -> bool:
+        """Fold one visit's blocker flags into the node info; returns
+        whether this visit may fail."""
+        may_fail = any(flag != NO for flag in blockers)
+        certain = any(flag == YES for flag in blockers)
+        info.may_fail = info.may_fail or may_fail
+        info.always_fail = certain if info.always_fail is None \
+            else (info.always_fail and certain)
+        return may_fail
+
     def _visit_read(self, node: Read) -> None:
         info = self.analysis.info(node)
         register = node.reg
         entry = self.rule_log.entries[register]
         if node.port == 0:
             # rd0 fails iff the cycle log has a write at any port.
-            info.may_fail = (
-                self.cycle.get(register, WR0) != NO
-                or self.cycle.get(register, WR1) != NO
-            )
-            if info.may_fail:
+            may_fail = self._record(info, (
+                self.cycle.get(register, WR0),
+                self.cycle.get(register, WR1),
+            ))
+            if may_fail:
                 self.failing_checks.append((register, RD0))
             entry[RD0] = tri_or(entry[RD0], YES)
         else:
             # rd1 fails iff the cycle log has a write at port 1.
-            info.may_fail = self.cycle.get(register, WR1) != NO
-            if info.may_fail:
+            may_fail = self._record(info,
+                                    (self.cycle.get(register, WR1),))
+            if may_fail:
                 self.failing_checks.append((register, RD1))
             # Goldberg pattern: a same-rule wr1 before this rd1 means a
             # merged-data model would return the wrong value.
@@ -252,7 +273,7 @@ class _RulePass:
                     f"(anti-pattern, see paper §3.2)"
                 )
             entry[RD1] = tri_or(entry[RD1], YES)
-        if info.may_fail:
+        if may_fail:
             self.may_abort = True
 
     def _visit_write(self, node: Write) -> None:
@@ -260,22 +281,24 @@ class _RulePass:
         register = node.reg
         entry = self.rule_log.entries[register]
         if node.port == 0:
-            blockers = (
+            # wr0 is blocked by earlier rules' rd1/wr0/wr1 *and* by the
+            # same rule's own flags (a same-rule wr1-then-wr0 or double
+            # wr0 always fails, with an empty cycle log).
+            may_fail = self._record(info, (
                 self.cycle.get(register, RD1), self.cycle.get(register, WR0),
                 self.cycle.get(register, WR1),
                 entry[RD1], entry[WR0], entry[WR1],
-            )
-            info.may_fail = any(flag != NO for flag in blockers)
-            if info.may_fail:
+            ))
+            if may_fail:
                 self.failing_checks.append((register, WR0))
             entry[WR0] = tri_or(entry[WR0], YES)
         else:
-            blockers = (self.cycle.get(register, WR1), entry[WR1])
-            info.may_fail = any(flag != NO for flag in blockers)
-            if info.may_fail:
+            may_fail = self._record(
+                info, (self.cycle.get(register, WR1), entry[WR1]))
+            if may_fail:
                 self.failing_checks.append((register, WR1))
             entry[WR1] = tri_or(entry[WR1], YES)
-        if info.may_fail:
+        if may_fail:
             self.may_abort = True
 
 

@@ -1,0 +1,133 @@
+"""The static rule-conflict graph (the sharding tier's prerequisite).
+
+Two rules *conflict* when executing them in the same cycle can make the
+later one fail a port check because of flags the earlier one set: a
+``rd0`` after any write, a ``rd1`` after a ``wr1``, a ``wr0`` after a
+``rd1``/``wr0``/``wr1``, a ``wr1`` after a ``wr1`` — the EHR port rules
+of the paper's §2.
+
+:func:`conflict_graph` computes the *order-independent* over-
+approximation: each rule's possible port footprint is derived in
+isolation (so the result is sound under any scheduler permutation, which
+is what both the randomized-schedule fuzzer leg and a future sharded
+executor need), and every ordered pair is checked both ways.  An edge
+means "these two rules cannot safely run in the same cycle without the
+one-rule-at-a-time conflict machinery"; rules with no edge between them
+touch disjoint port state and can be executed on different shards
+without communicating within the cycle.
+
+The runtime lint oracle checks the other direction: every *observed*
+dynamic conflict abort must be explained by an edge (or by the rule
+conflicting with itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..koika.design import Design
+from .abstract import (
+    FLAG_NAMES, NO, RD0, RD1, WR0, WR1, AbstractLog, DesignAnalysis,
+    _RulePass,
+)
+
+__all__ = ["ConflictGraph", "conflict_graph"]
+
+#: For each operation a later rule performs, the flags an earlier rule
+#: may have set that block it (the dynamic port checks, §2).
+_BLOCKED_BY: Dict[int, Tuple[int, ...]] = {
+    RD0: (WR0, WR1),
+    RD1: (WR1,),
+    WR0: (RD1, WR0, WR1),
+    WR1: (WR1,),
+}
+
+
+@dataclass
+class ConflictGraph:
+    """Symmetric conflict relation over a design's rules."""
+
+    design_name: str
+    rules: List[str]
+    #: Unordered pair -> human-readable reasons (one per register/port
+    #: combination that can block).
+    edges: Dict[FrozenSet[str], List[str]] = field(default_factory=dict)
+
+    def conflicts(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self.edges
+
+    def neighbors(self, rule: str) -> Set[str]:
+        out: Set[str] = set()
+        for pair in self.edges:
+            if rule in pair:
+                out.update(pair - {rule})
+        return out
+
+    def independent_pairs(self) -> List[Tuple[str, str]]:
+        """Rule pairs with no edge — safely co-schedulable on shards."""
+        pairs = []
+        for i, a in enumerate(self.rules):
+            for b in self.rules[i + 1:]:
+                if not self.conflicts(a, b):
+                    pairs.append((a, b))
+        return pairs
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design_name,
+            "rules": list(self.rules),
+            "edges": [
+                {"rules": sorted(pair), "reasons": reasons}
+                for pair, reasons in sorted(
+                    self.edges.items(), key=lambda kv: sorted(kv[0]))
+            ],
+        }
+
+
+def _isolated_logs(design: Design) -> Dict[str, AbstractLog]:
+    """Each rule's possible port footprint, analyzed in isolation."""
+    analysis = DesignAnalysis(design)
+    registers = list(design.registers)
+    logs: Dict[str, AbstractLog] = {}
+    for name in design.scheduler:
+        rule_pass = _RulePass(analysis, AbstractLog(registers), name)
+        rule_pass.run(design.rules[name].body)
+        logs[name] = rule_pass.rule_log
+    return logs
+
+
+def conflict_graph(design: Design) -> ConflictGraph:
+    """The order-independent static conflict graph of a design."""
+    if not design.finalized:
+        design.finalize()
+    logs = _isolated_logs(design)
+    rules = list(design.scheduler)
+    graph = ConflictGraph(design.name, rules)
+    for earlier in rules:
+        earlier_log = logs[earlier]
+        for later in rules:
+            if later == earlier:
+                continue
+            later_log = logs[later]
+            for register in design.registers:
+                performed = later_log.entries[register]
+                set_by_earlier = earlier_log.entries[register]
+                for op, blockers in _BLOCKED_BY.items():
+                    if performed[op] == NO:
+                        continue
+                    hits = [flag for flag in blockers
+                            if set_by_earlier[flag] != NO]
+                    if not hits:
+                        continue
+                    pair = frozenset((earlier, later))
+                    reason = (f"{later}.{FLAG_NAMES[op]}({register}) "
+                              f"blocked by {earlier}."
+                              f"{'/'.join(FLAG_NAMES[f] for f in hits)}"
+                              f"({register})")
+                    graph.edges.setdefault(pair, [])
+                    if reason not in graph.edges[pair]:
+                        graph.edges[pair].append(reason)
+    for reasons in graph.edges.values():
+        reasons.sort()
+    return graph

@@ -1,0 +1,754 @@
+"""Forward dataflow over the mid-level IR (the lint/optimizer substrate).
+
+The abstract interpretation in :mod:`repro.analysis.abstract` tracks *port
+state* (which rd/wr flags a rule may set); this module tracks *values*.
+Every :class:`~repro.cuttlesim.ir.Temp` and local is mapped to an
+:class:`AbsVal` — the product of two abstract domains over one bit vector:
+
+* **known bits** — ``kmask``/``kval``: bit positions proven constant and
+  their values (``v & kmask == kval`` for every concrete ``v``);
+* **unsigned interval** — ``[lo, hi]`` bounds on the integer value.
+
+The two reduce against each other on construction (a value whose high
+bits are known zero gets a tighter ``hi``; an interval collapsing to one
+point makes every bit known), so a constant is simply an ``AbsVal`` whose
+interval is a single point.
+
+Transfer functions mirror the reference interpreter's operator semantics
+*exactly* (``divu`` by zero yields all-ones, ``remu`` by zero yields the
+dividend, shifts test the shift count against the operand width, signed
+compares go through two's complement) and fall back to ⊤ of the result
+width whenever precision would require more than the product domain can
+express.  Soundness contract: for every concrete execution from a state
+described by the register environment, every concrete value is contained
+in its ``AbsVal``.
+
+Two register environments matter:
+
+* :func:`register_invariants` — a fixpoint over cycles from the power-on
+  state: join of the initial value and every value any rule may write,
+  with interval widening after :data:`WIDEN_AFTER` rounds.  Sound for
+  *un-poked* runs only (the debugger and the batch harness can force any
+  register to any value), so these facts feed lints and the runtime lint
+  oracle, never code generation.
+* ``⊤`` everywhere (``assume_state=False``) — sound for arbitrary poked
+  states; this is what the ``const-guard-prune`` pass uses, restricting
+  it to literal-constant propagation through temps and locals.
+
+:func:`analyze_rule` evaluates one rule body against either environment,
+recording per-statement facts (SIf condition values, proven-unreachable
+statements, written abstract values, whether every path aborts) keyed by
+statement object identity; :func:`analyze_module` packages the whole
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Dict, Optional, Sequence, Set, Tuple
+
+from ..koika.types import mask, to_signed, truncate
+from ..cuttlesim import ir
+
+__all__ = [
+    "AbsVal", "RuleFacts", "ModuleDataflow", "WIDEN_AFTER",
+    "abs_binop", "abs_unop", "abs_subst",
+    "concrete_binop", "concrete_unop",
+    "analyze_rule", "analyze_module", "register_invariants",
+]
+
+#: Fixpoint rounds before unstable intervals are widened to full range.
+WIDEN_AFTER = 8
+
+
+class AbsVal:
+    """One abstract bit-vector value (known bits × unsigned interval)."""
+
+    __slots__ = ("width", "lo", "hi", "kmask", "kval")
+
+    def __init__(self, width: int, lo: int, hi: int,
+                 kmask: int, kval: int) -> None:
+        m = mask(width)
+        lo, hi = max(0, lo), min(hi, m)
+        kmask &= m
+        kval &= kmask
+        # Reduction, bits -> interval: the smallest value consistent with
+        # the known bits sets every unknown bit to 0 (i.e. kval itself),
+        # the largest sets them all to 1.
+        lo = max(lo, kval)
+        hi = min(hi, kval | (m & ~kmask))
+        if lo > hi:
+            # The two domains contradict: no concrete value exists (the
+            # program point is dead).  Weakening to full range keeps the
+            # invariant "every concrete value is contained" vacuously.
+            lo, hi, kmask, kval = 0, m, 0, 0
+        # Reduction, interval -> bits: bits above hi's highest set bit
+        # are zero in every value of the interval.
+        if hi < m:
+            kmask |= m & ~mask(hi.bit_length())
+        if lo == hi:
+            kmask, kval = m, lo
+        self.width = width
+        self.lo = lo
+        self.hi = hi
+        self.kmask = kmask
+        self.kval = kval & kmask
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def top(cls, width: int) -> "AbsVal":
+        return cls(width, 0, mask(width), 0, 0)
+
+    @classmethod
+    def const(cls, value: int, width: int) -> "AbsVal":
+        value &= mask(width)
+        return cls(width, value, value, mask(width), value)
+
+    @classmethod
+    def range(cls, lo: int, hi: int, width: int) -> "AbsVal":
+        return cls(width, lo, hi, 0, 0)
+
+    @classmethod
+    def bits(cls, kmask: int, kval: int, width: int) -> "AbsVal":
+        return cls(width, 0, mask(width), kmask, kval)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def value(self) -> int:
+        assert self.lo == self.hi
+        return self.lo
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == mask(self.width) \
+            and self.kmask == 0
+
+    def contains(self, value: int) -> bool:
+        """Does this abstraction admit the concrete ``value``?"""
+        return (self.lo <= value <= self.hi
+                and (value & self.kmask) == self.kval)
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        if self.width != other.width:
+            # IR values are zero-extended integers; widths are context.
+            # An IConst's natural width can be narrower than its typed
+            # consumer, so join at the wider interpretation.
+            w = max(self.width, other.width)
+            return self.resize(w).join(other.resize(w))
+        agree = ~(self.kval ^ other.kval)
+        kmask = self.kmask & other.kmask & agree
+        return AbsVal(self.width, min(self.lo, other.lo),
+                      max(self.hi, other.hi), kmask, self.kval & kmask)
+
+    def widen_from(self, old: "AbsVal") -> "AbsVal":
+        """Standard interval widening: any bound that moved goes to its
+        extreme (known bits descend finitely and need no widening)."""
+        lo = self.lo if self.lo == old.lo else 0
+        hi = self.hi if self.hi == old.hi else mask(self.width)
+        return AbsVal(self.width, lo, hi, self.kmask, self.kval)
+
+    def resize(self, width: int) -> "AbsVal":
+        """Reinterpret at another width (zero-extension / truncation)."""
+        if width == self.width:
+            return self
+        if width > self.width:
+            return AbsVal(width, self.lo, self.hi,
+                          self.kmask | (mask(width) & ~mask(self.width)),
+                          self.kval)
+        return AbsVal(width, 0, mask(width),
+                      self.kmask & mask(width), self.kval & mask(width))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AbsVal) and self.width == other.width
+                and self.lo == other.lo and self.hi == other.hi
+                and self.kmask == other.kmask and self.kval == other.kval)
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.lo, self.hi, self.kmask, self.kval))
+
+    def __repr__(self) -> str:
+        if self.is_const:
+            return f"const({self.lo}:{self.width})"
+        if self.is_top:
+            return f"top:{self.width}"
+        bits = ""
+        if self.kmask:
+            bits = f" bits={self.kval:#x}/{self.kmask:#x}"
+        return f"[{self.lo},{self.hi}]:{self.width}{bits}"
+
+
+# ----------------------------------------------------------------------
+# Concrete operator semantics (must match semantics/interp.py exactly).
+# ----------------------------------------------------------------------
+
+
+def concrete_binop(op: str, a: int, b: int, width: int,
+                   a_width: int, b_width: int) -> int:
+    """The interpreter's ``_eval_binop`` with widths passed explicitly."""
+    if op == "add":
+        return (a + b) & mask(width)
+    if op == "sub":
+        return (a - b) & mask(width)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "mul":
+        return (a * b) & mask(width)
+    if op == "divu":
+        return a // b if b else mask(width)
+    if op == "remu":
+        return a % b if b else a
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "ltu":
+        return int(a < b)
+    if op == "leu":
+        return int(a <= b)
+    if op == "gtu":
+        return int(a > b)
+    if op == "geu":
+        return int(a >= b)
+    if op == "lts":
+        return int(to_signed(a, a_width) < to_signed(b, a_width))
+    if op == "les":
+        return int(to_signed(a, a_width) <= to_signed(b, a_width))
+    if op == "gts":
+        return int(to_signed(a, a_width) > to_signed(b, a_width))
+    if op == "ges":
+        return int(to_signed(a, a_width) >= to_signed(b, a_width))
+    if op == "sll":
+        return (a << b) & mask(a_width) if b < a_width else 0
+    if op == "srl":
+        return a >> b if b < a_width else 0
+    if op == "sra":
+        shift = min(b, a_width)
+        return truncate(to_signed(a, a_width) >> shift, a_width)
+    if op == "concat":
+        return (a << b_width) | b
+    if op == "sel":
+        return (a >> b) & 1 if b < a_width else 0
+    raise ValueError(f"unknown binop {op!r}")
+
+
+def concrete_unop(op: str, a: int, width: int, a_width: int,
+                  param: object) -> int:
+    """The interpreter's ``_eval_unop`` with widths passed explicitly."""
+    if op == "not":
+        return (~a) & mask(width)
+    if op == "neg":
+        return (-a) & mask(width)
+    if op == "zextl":
+        return a
+    if op == "sextl":
+        return truncate(to_signed(a, a_width), param)
+    if op == "slice":
+        offset, w = param
+        return (a >> offset) & mask(w)
+    raise ValueError(f"unknown unop {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Abstract transfer functions.
+# ----------------------------------------------------------------------
+
+
+def _trailing_known(v: AbsVal) -> int:
+    """How many bits, from bit 0 up, are known constant."""
+    t = 0
+    while t < v.width and (v.kmask >> t) & 1:
+        t += 1
+    return t
+
+
+def _signed_range(v: AbsVal, width: int) -> Tuple[int, int]:
+    sign = 1 << (width - 1) if width else 1
+    if v.hi < sign:
+        return v.lo, v.hi
+    if v.lo >= sign:
+        return v.lo - 2 * sign, v.hi - 2 * sign
+    return -sign, sign - 1
+
+
+def abs_binop(op: str, a: AbsVal, b: AbsVal, width: int,
+              a_width: int, b_width: int) -> AbsVal:
+    if a.is_const and b.is_const:
+        return AbsVal.const(
+            concrete_binop(op, a.value, b.value, width, a_width, b_width),
+            width)
+    m = mask(width)
+    if op == "and":
+        known0 = (a.kmask & ~a.kval) | (b.kmask & ~b.kval)
+        known1 = (a.kmask & a.kval) & (b.kmask & b.kval)
+        return AbsVal(width, 0, min(a.hi, b.hi), known0 | known1, known1)
+    if op == "or":
+        known1 = (a.kmask & a.kval) | (b.kmask & b.kval)
+        known0 = (a.kmask & ~a.kval) & (b.kmask & ~b.kval)
+        hi = min(m, mask(max(a.hi.bit_length(), b.hi.bit_length())))
+        return AbsVal(width, max(a.lo, b.lo), hi, known0 | known1, known1)
+    if op == "xor":
+        kmask = a.kmask & b.kmask
+        hi = min(m, mask(max(a.hi.bit_length(), b.hi.bit_length())))
+        return AbsVal(width, 0, hi, kmask, (a.kval ^ b.kval) & kmask)
+    if op in ("add", "sub", "mul"):
+        # Low bits of these depend only on equally-low operand bits, so a
+        # shared run of known low bits survives through carries.
+        t = min(_trailing_known(a), _trailing_known(b))
+        kmask = mask(min(t, width))
+        low = concrete_binop(op, a.kval & kmask, b.kval & kmask,
+                             width, a_width, b_width) & kmask
+        if op == "add" and a.hi + b.hi <= m:
+            return AbsVal(width, a.lo + b.lo, a.hi + b.hi, kmask, low)
+        if op == "sub" and a.lo >= b.hi:
+            return AbsVal(width, a.lo - b.hi, a.hi - b.lo, kmask, low)
+        if op == "mul" and a.hi * b.hi <= m:
+            return AbsVal(width, a.lo * b.lo, a.hi * b.hi, kmask, low)
+        return AbsVal(width, 0, m, kmask, low)
+    if op == "divu":
+        if b.lo >= 1:
+            return AbsVal.range(a.lo // b.hi, a.hi // b.lo, width)
+        return AbsVal.top(width)  # divide-by-zero yields all-ones
+    if op == "remu":
+        if b.lo >= 1:
+            return AbsVal.range(0, min(a.hi, b.hi - 1), width)
+        return AbsVal.range(0, max(a.hi, b.hi - 1 if b.hi else 0), width)
+    if op in ("eq", "ne"):
+        disagree = (a.kval ^ b.kval) & a.kmask & b.kmask
+        disjoint = a.hi < b.lo or b.hi < a.lo
+        if disagree or disjoint:
+            return AbsVal.const(0 if op == "eq" else 1, 1)
+        return AbsVal.top(1)
+    if op in ("ltu", "leu", "gtu", "geu"):
+        return _abs_compare(op, (a.lo, a.hi), (b.lo, b.hi))
+    if op in ("lts", "les", "gts", "ges"):
+        return _abs_compare(op[:2] + "u", _signed_range(a, a_width),
+                            _signed_range(b, a_width))
+    if op == "sll":
+        if b.is_const:
+            s = b.value
+            if s >= a_width:
+                return AbsVal.const(0, width)
+            kmask = ((a.kmask << s) | mask(s)) & m
+            kval = (a.kval << s) & m
+            if a.hi << s <= m:
+                return AbsVal(width, a.lo << s, a.hi << s, kmask, kval)
+            return AbsVal(width, 0, m, kmask, kval)
+        return AbsVal.top(width)
+    if op == "srl":
+        if b.is_const:
+            s = b.value
+            if s >= a_width:
+                return AbsVal.const(0, width)
+            return AbsVal(width, a.lo >> s, a.hi >> s,
+                          (a.kmask >> s) | (m & ~(m >> s)), a.kval >> s)
+        return AbsVal.range(0, a.hi, width)
+    if op == "sra":
+        sign = 1 << (a_width - 1) if a_width else 1
+        if a.hi < sign:  # sign bit provably 0: behaves like srl
+            if b.is_const:
+                s = min(b.value, a_width)
+                return AbsVal.range(a.lo >> s, a.hi >> s, width)
+            return AbsVal.range(0, a.hi, width)
+        return AbsVal.top(width)
+    if op == "concat":
+        # (a << b_width) | b == a * 2^b_width + b: monotone in both.
+        return AbsVal(width, (a.lo << b_width) + b.lo,
+                      (a.hi << b_width) + b.hi,
+                      (a.kmask << b_width) | b.kmask,
+                      (a.kval << b_width) | b.kval)
+    if op == "sel":
+        if b.is_const:
+            s = b.value
+            if s >= a_width or a.hi < (1 << s):
+                return AbsVal.const(0, 1)
+            if (a.kmask >> s) & 1:
+                return AbsVal.const((a.kval >> s) & 1, 1)
+        return AbsVal.top(1)
+    return AbsVal.top(width)
+
+
+def _abs_compare(op: str, a: Tuple[int, int], b: Tuple[int, int]) -> AbsVal:
+    """Decide an (unsigned-shaped) comparison from two integer ranges."""
+    alo, ahi = a
+    blo, bhi = b
+    if op == "ltu":
+        verdict = True if ahi < blo else (False if alo >= bhi else None)
+    elif op == "leu":
+        verdict = True if ahi <= blo else (False if alo > bhi else None)
+    elif op == "gtu":
+        verdict = True if alo > bhi else (False if ahi <= blo else None)
+    else:  # geu
+        verdict = True if alo >= bhi else (False if ahi < blo else None)
+    if verdict is None:
+        return AbsVal.top(1)
+    return AbsVal.const(int(verdict), 1)
+
+
+def abs_unop(op: str, a: AbsVal, width: int, a_width: int,
+             param: object) -> AbsVal:
+    if a.is_const:
+        return AbsVal.const(
+            concrete_unop(op, a.value, width, a_width, param), width)
+    m = mask(width)
+    if op == "not":
+        return AbsVal(width, m - a.hi, m - a.lo, a.kmask,
+                      ~a.kval & a.kmask)
+    if op == "neg":
+        if a.lo > 0:
+            return AbsVal.range((1 << width) - a.hi, (1 << width) - a.lo,
+                                width)
+        return AbsVal.top(width)
+    if op == "zextl":
+        return a.resize(width)
+    if op == "sextl":
+        sign = 1 << (a_width - 1) if a_width else 1
+        high = m & ~mask(a_width)
+        if a.hi < sign:  # sign provably 0: value unchanged
+            return AbsVal(width, a.lo, a.hi, a.kmask | high, a.kval)
+        if a.lo >= sign:  # sign provably 1: high bits fill with ones
+            return AbsVal(width, a.lo + (m - mask(a_width)),
+                          a.hi + (m - mask(a_width)),
+                          a.kmask | high, a.kval | high)
+        keep = mask(max(a_width - 1, 0))
+        return AbsVal(width, 0, m, a.kmask & keep, a.kval & keep)
+    if op == "slice":
+        offset, w = param
+        kmask = (a.kmask >> offset) & mask(w)
+        kval = (a.kval >> offset) & mask(w)
+        if a.hi < (1 << (offset + w)):  # no high truncation: monotone
+            return AbsVal(w, a.lo >> offset, a.hi >> offset, kmask, kval)
+        return AbsVal(w, 0, mask(w), kmask, kval)
+    return AbsVal.top(width)
+
+
+def abs_subst(a: AbsVal, value: AbsVal, offset: int, width: int,
+              struct_width: int) -> AbsVal:
+    field_mask = mask(width) << offset
+    kmask = (a.kmask & ~field_mask) | \
+        ((value.kmask & mask(width)) << offset)
+    kval = (a.kval & ~field_mask) | ((value.kval & mask(width)) << offset)
+    return AbsVal.bits(kmask, kval, struct_width)
+
+
+# ----------------------------------------------------------------------
+# Rule-body evaluation.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RuleFacts:
+    """Per-statement dataflow facts for one rule body.
+
+    Facts are keyed by ``id(stmt)`` — statement objects, unlike AST
+    ``uid``s, are unique within a module even for the SSet pairs an SIf
+    join duplicates.  The ``rule`` reference pins the statement objects
+    alive for as long as the facts are."""
+
+    rule: ir.RuleIR
+    #: Abstract value of every evaluated Bind, keyed by id(stmt).
+    values: Dict[int, AbsVal] = field(default_factory=dict)
+    #: Abstract (a, b) operands of every evaluated IBin Bind, keyed by
+    #: id(stmt) — the width lint proves wraps from these.
+    operand_values: Dict[int, Tuple[AbsVal, AbsVal]] = \
+        field(default_factory=dict)
+    #: Abstract condition of every evaluated SIf, keyed by id(stmt).
+    cond_values: Dict[int, AbsVal] = field(default_factory=dict)
+    #: Abstract written value of every evaluated SWrite, keyed by id(stmt).
+    write_values: Dict[int, AbsVal] = field(default_factory=dict)
+    #: Statements proven unreachable (untaken constant arms, code after
+    #: an unconditional abort), keyed by id(stmt).
+    unreachable: Set[int] = field(default_factory=set)
+    #: True when every path through the body hits an SAbort.
+    always_aborts: bool = False
+
+    def cond_const(self, stmt: ir.SIf) -> Optional[int]:
+        """0/1 when the branch condition is statically decided."""
+        cond = self.cond_values.get(id(stmt))
+        if cond is not None and cond.is_const:
+            return int(cond.value != 0)
+        return None
+
+
+class _AbsEnv:
+    __slots__ = ("temps", "locals")
+
+    def __init__(self) -> None:
+        self.temps: Dict[int, AbsVal] = {}
+        self.locals: Dict[str, AbsVal] = {}
+
+    def copy(self) -> "_AbsEnv":
+        env = _AbsEnv()
+        env.temps = dict(self.temps)
+        env.locals = dict(self.locals)
+        return env
+
+    def join_with(self, other: "_AbsEnv") -> None:
+        """Keep only bindings live on both paths, joined (a binding made
+        on one arm only is dropped; later lookups fall back to ⊤)."""
+        self.temps = {tid: val.join(other.temps[tid])
+                      for tid, val in self.temps.items()
+                      if tid in other.temps}
+        self.locals = {name: val.join(other.locals[name])
+                       for name, val in self.locals.items()
+                       if name in other.locals}
+
+
+class _Evaluator:
+    """One abstract pass over a statement list."""
+
+    def __init__(self, design, fns: Dict[str, ir.FnIR],
+                 regs: Optional[Dict[str, AbsVal]],
+                 facts: RuleFacts) -> None:
+        self.design = design
+        self.fns = fns
+        self.regs = regs          # None = every register reads as top
+        self.facts = facts
+
+    # -- operand lookup --------------------------------------------------
+
+    def value_of(self, value: ir.Value, env: _AbsEnv,
+                 width: Optional[int]) -> AbsVal:
+        if isinstance(value, ir.IConst):
+            w = width if width is not None \
+                else max(1, value.value.bit_length())
+            return AbsVal.const(value.value, w)
+        if isinstance(value, ir.Temp):
+            known = env.temps.get(value.id)
+        else:
+            assert isinstance(value, ir.LocalRef)
+            known = env.locals.get(value.name)
+        if known is None:
+            return AbsVal.top(width if width is not None else 1)
+        if width is not None and known.width != width:
+            return known.resize(width)
+        return known
+
+    # -- ops -------------------------------------------------------------
+
+    def eval_op(self, op: ir.Op, env: _AbsEnv,
+                record_id: Optional[int] = None) -> AbsVal:
+        if isinstance(op, ir.IBin):
+            a = self.value_of(op.a, env, op.a_width)
+            b = self.value_of(op.b, env, op.b_width)
+            if record_id is not None:
+                self.facts.operand_values[record_id] = (a, b)
+            return abs_binop(op.op, a, b, op.width, op.a_width, op.b_width)
+        if isinstance(op, ir.IUn):
+            a = self.value_of(op.a, env, op.a_width)
+            return abs_unop(op.op, a, op.width, op.a_width, op.param)
+        if isinstance(op, ir.ISubst):
+            a = self.value_of(op.a, env, op.struct_width)
+            v = self.value_of(op.value, env, op.width)
+            return abs_subst(a, v, op.offset, op.width, op.struct_width)
+        if isinstance(op, ir.ICall):
+            return self.eval_call(op, env)
+        assert isinstance(op, ir.IExt)
+        # External calls are opaque: the environment may return anything
+        # of the declared width.
+        return AbsVal.top(op.width)
+
+    def eval_call(self, op: ir.ICall, env: _AbsEnv) -> AbsVal:
+        fn_ir = self.fns.get(op.fn)
+        design_fn = self.design.fns.get(op.fn) if self.design else None
+        if fn_ir is None or design_fn is None:
+            return AbsVal.top(1)
+        ret_width = design_fn.ret.width if design_fn.ret else 1
+        call_env = _AbsEnv()
+        for (pyname, (_, typ)), actual in zip(
+                zip(fn_ir.args, design_fn.args), op.args):
+            call_env.locals[pyname] = self.value_of(actual, env, typ.width)
+        exit_env = self.eval_block(fn_ir.body, call_env)
+        if exit_env is None:  # pure bodies cannot abort
+            return AbsVal.top(ret_width)
+        return self.value_of(fn_ir.result, exit_env, ret_width)
+
+    # -- statements ------------------------------------------------------
+
+    def eval_block(self, stmts: Sequence[ir.Stmt],
+                   env: _AbsEnv) -> Optional[_AbsEnv]:
+        """Evaluate a block; ``None`` means every path aborts."""
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ir.Bind):
+                value = self.eval_op(stmt.op, env, record_id=id(stmt))
+                env.temps[stmt.temp.id] = value
+                self.facts.values[id(stmt)] = value
+            elif isinstance(stmt, ir.SSet):
+                # SSet carries no width; an IConst value inherits the
+                # target's current width when one is known.
+                hint = None
+                if isinstance(stmt.target, ir.Temp):
+                    prior = env.temps.get(stmt.target.id)
+                    hint = prior.width if prior is not None else None
+                    env.temps[stmt.target.id] = \
+                        self.value_of(stmt.value, env, hint)
+                else:
+                    prior = env.locals.get(stmt.target.name)
+                    hint = prior.width if prior is not None else None
+                    env.locals[stmt.target.name] = \
+                        self.value_of(stmt.value, env, hint)
+            elif isinstance(stmt, ir.SRead):
+                width = self.design.registers[stmt.reg].typ.width \
+                    if self.design else 1
+                if self.regs is None:
+                    value = AbsVal.top(width)
+                else:
+                    value = self.regs.get(stmt.reg, AbsVal.top(width))
+                env.temps[stmt.temp.id] = value
+            elif isinstance(stmt, ir.SWrite):
+                # Recorded at the value's natural width so the width lint
+                # can compare it against the register declaration.
+                self.facts.write_values[id(stmt)] = \
+                    self.value_of(stmt.value, env, None)
+            elif isinstance(stmt, ir.SAbort):
+                self._mark_unreachable(stmts[index + 1:])
+                return None
+            elif isinstance(stmt, ir.SIf):
+                env = self._eval_if(stmt, env)
+                if env is None:
+                    self._mark_unreachable(stmts[index + 1:])
+                    return None
+        return env
+
+    def _eval_if(self, stmt: ir.SIf, env: _AbsEnv) -> Optional[_AbsEnv]:
+        cond = self.value_of(stmt.cond, env, None)
+        self.facts.cond_values[id(stmt)] = cond
+        orelse = stmt.orelse if stmt.orelse is not None else []
+        if cond.is_const:
+            taken, dead = (stmt.then, orelse) if cond.value \
+                else (orelse, stmt.then)
+            self._mark_unreachable(dead)
+            return self.eval_block(taken, env)
+        then_env = self.eval_block(stmt.then, env.copy())
+        else_env = self.eval_block(orelse, env.copy())
+        if then_env is None:
+            return else_env
+        if else_env is None:
+            return then_env
+        then_env.join_with(else_env)
+        return then_env
+
+    def _mark_unreachable(self, stmts: Sequence[ir.Stmt]) -> None:
+        for stmt in ir.walk_stmts(stmts):
+            self.facts.unreachable.add(id(stmt))
+
+
+def analyze_rule(rule: ir.RuleIR, design,
+                 fns: Dict[str, ir.FnIR],
+                 regs: Optional[Dict[str, AbsVal]]) -> RuleFacts:
+    """Evaluate one rule body against a register environment.
+
+    ``regs=None`` assumes nothing about register contents (sound for
+    poked states); a mapping assumes each register stays inside its
+    ``AbsVal`` at rule entry (sound for power-on runs when the mapping
+    is a :func:`register_invariants` fixpoint).
+    """
+    facts = RuleFacts(rule)
+    evaluator = _Evaluator(design, fns, regs, facts)
+    exit_env = evaluator.eval_block(rule.body, _AbsEnv())
+    facts.always_aborts = exit_env is None
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Whole-module analysis.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ModuleDataflow:
+    """Dataflow results for every rule of a lowered module."""
+
+    module: ir.ModuleIR
+    #: Per-register sound value approximation over all cycles from the
+    #: power-on state (empty when computed with ``assume_state=False``).
+    invariants: Dict[str, AbsVal]
+    #: Per-rule facts, keyed by rule name.
+    rules: Dict[str, RuleFacts]
+
+
+def _fn_map(module: ir.ModuleIR) -> Dict[str, ir.FnIR]:
+    return {fn.name: fn for fn in module.fns}
+
+
+def register_invariants(module: ir.ModuleIR,
+                        inputs: Optional[Collection[str]] = (),
+                        max_rounds: int = 64) -> Dict[str, AbsVal]:
+    """Fixpoint of register contents over cycles from power-on.
+
+    Starts from the initial values and joins in every value any rule may
+    write on any reachable path, iterating until stable.  Intervals are
+    widened to full range once a register is still unstable after
+    :data:`WIDEN_AFTER` rounds (known bits descend monotonically and
+    terminate on their own).
+
+    ``inputs`` names the registers the environment may poke between
+    cycles (``Environment.poked_registers()``); they are pinned at ⊤.
+    ``inputs=None`` means an undeclared poke footprint: *every* register
+    is pinned at ⊤.  The result is sound only for runs whose pokes stay
+    within ``inputs`` — the debugger and the batch harness can poke
+    anything, which is why code generation never uses these facts.
+    """
+    design = module.design
+    fns = _fn_map(module)
+    if inputs is None:
+        inputs = set(design.registers)
+    else:
+        inputs = set(inputs) & set(design.registers)
+    regs = {name: (AbsVal.top(reg.typ.width) if name in inputs
+                   else AbsVal.const(reg.init, reg.typ.width))
+            for name, reg in design.registers.items()}
+    for round_index in range(max_rounds):
+        new = dict(regs)
+        for rule in module.rules:
+            facts = analyze_rule(rule, design, fns, regs)
+            for stmt in ir.walk_stmts(rule.body):
+                if not isinstance(stmt, ir.SWrite):
+                    continue
+                if id(stmt) in facts.unreachable:
+                    continue
+                if stmt.reg in inputs:
+                    continue  # pinned at top anyway
+                written = facts.write_values.get(id(stmt))
+                if written is None:
+                    continue
+                width = design.registers[stmt.reg].typ.width
+                new[stmt.reg] = new[stmt.reg].join(written.resize(width))
+        if round_index >= WIDEN_AFTER:
+            new = {name: (val if val == regs[name]
+                          else val.widen_from(regs[name]))
+                   for name, val in new.items()}
+        if new == regs:
+            return regs
+        regs = new
+    # Out of rounds: give up on the intervals entirely (sound).
+    return {name: AbsVal.bits(val.kmask, val.kval, val.width)
+            for name, val in regs.items()}
+
+
+def analyze_module(module: ir.ModuleIR, assume_state: bool = True,
+                   inputs: Optional[Collection[str]] = ()
+                   ) -> ModuleDataflow:
+    """Dataflow facts for every rule of a lowered module.
+
+    ``assume_state=True`` computes and uses the power-on register
+    invariants (lint/oracle mode), treating the ``inputs`` registers as
+    externally driven; ``assume_state=False`` treats every register as ⊤
+    (the only mode sound for code generation, since models can be poked
+    to arbitrary states).
+    """
+    fns = _fn_map(module)
+    invariants = register_invariants(module, inputs) if assume_state else {}
+    regs = invariants if assume_state else None
+    rules = {rule.name: analyze_rule(rule, module.design, fns, regs)
+             for rule in module.rules}
+    return ModuleDataflow(module, invariants, rules)

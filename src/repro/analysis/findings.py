@@ -1,0 +1,238 @@
+"""The structured finding model every analyzer reports through.
+
+A :class:`Finding` is one diagnostic: a severity (``error`` — the design
+is certainly wrong; ``warning`` — almost certainly unintended; ``note``
+— worth a look), a stable kebab-case ``kind`` (the lint rule id), the
+human message, and the location (rule name, register, IR ``uid``, and
+the ``file:line`` of the ``design.rule(...)`` call when known).
+
+``data`` carries machine-readable detail; the lint soundness oracle
+(:mod:`repro.analysis.oracle`) rebuilds its runtime claims from it, so
+findings serialize losslessly through :meth:`Finding.as_dict`.
+
+Three emitters share the model: :func:`render_text` (the CLI default),
+:func:`render_json` (``repro lint --format json`` and ``repro report
+--format json``), and :func:`render_sarif` (SARIF 2.1.0, for CI upload).
+
+Suppression happens in :func:`apply_suppressions`:
+
+* ``design.lint_disable("kind", rule="name")`` — programmatic;
+* a ``# lint: disable=kind1,kind2`` comment on (or directly above) the
+  ``design.rule(...)`` source line — for findings attached to a rule.
+  ``disable=all`` drops every finding on that rule.
+"""
+
+from __future__ import annotations
+
+import json
+import linecache
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SEVERITIES", "Finding", "apply_suppressions",
+    "render_text", "render_json", "render_sarif", "worst_severity",
+]
+
+#: Ordered most to least severe (the sort key for reports).
+SEVERITIES = ("error", "warning", "note")
+
+_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass
+class Finding:
+    """One diagnostic produced by the static analysis."""
+
+    severity: str                    # "error" | "warning" | "note"
+    kind: str                        # stable kebab-case lint-rule id
+    message: str
+    rule: Optional[str] = None       # rule name the finding is about
+    register: Optional[str] = None
+    uid: Optional[int] = None        # AST/IR uid of the offending node
+    source: Optional[str] = None     # "file:line" of the rule definition
+    #: Machine-readable detail (the oracle's claim payload).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        assert self.severity in SEVERITIES, self.severity
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+        }
+        for key in ("rule", "register", "uid", "source"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.data:
+            payload["data"] = self.data
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            severity=str(payload["severity"]),
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+            rule=payload.get("rule"),
+            register=payload.get("register"),
+            uid=payload.get("uid"),
+            source=payload.get("source"),
+            data=dict(payload.get("data", {})),
+        )
+
+    def sort_key(self):
+        return (SEVERITIES.index(self.severity), self.kind,
+                self.rule or "", self.register or "", self.message)
+
+
+# ----------------------------------------------------------------------
+# Suppression.
+# ----------------------------------------------------------------------
+
+
+def _pragma_kinds(src) -> List[str]:
+    """Kinds disabled by a pragma on or directly above ``(file, line)``."""
+    if not src:
+        return []
+    filename, lineno = src
+    kinds: List[str] = []
+    for line_index in (lineno, lineno - 1):
+        if line_index < 1:
+            continue
+        match = _PRAGMA.search(linecache.getline(filename, line_index))
+        if match:
+            kinds += [k.strip() for k in match.group(1).split(",")
+                      if k.strip()]
+    return kinds
+
+
+def apply_suppressions(findings: Sequence[Finding],
+                       design) -> List[Finding]:
+    """Drop findings suppressed by pragmas or ``design.lint_disable``."""
+    programmatic = list(getattr(design, "lint_disabled", ()))
+    pragma_cache: Dict[str, List[str]] = {}
+    kept: List[Finding] = []
+    for finding in findings:
+        disabled = False
+        for rule_name, kind in programmatic:
+            if rule_name is not None and rule_name != finding.rule:
+                continue
+            if kind in ("all", finding.kind):
+                disabled = True
+                break
+        if not disabled and finding.rule is not None:
+            if finding.rule not in pragma_cache:
+                rule = design.rules.get(finding.rule)
+                pragma_cache[finding.rule] = \
+                    _pragma_kinds(getattr(rule, "src", None))
+            kinds = pragma_cache[finding.rule]
+            disabled = "all" in kinds or finding.kind in kinds
+        if not disabled:
+            kept.append(finding)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Emitters.
+# ----------------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding], design_name: str) -> str:
+    if not findings:
+        return f"lint: {design_name}: clean"
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    summary = ", ".join(f"{count} {severity}{'s' if count != 1 else ''}"
+                        for severity, count in counts.items() if count)
+    lines = [f"lint: {design_name}: {len(findings)} finding(s) ({summary})"]
+    for finding in findings:
+        lines.append(f"  {finding}")
+        if finding.source:
+            lines.append(f"      at {finding.source}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], design_name: str) -> str:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] += 1
+    payload = {
+        "schema": "repro-lint-v1",
+        "design": design_name,
+        "counts": counts,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: Finding severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_sarif(findings: Sequence[Finding], design_name: str) -> str:
+    """A minimal SARIF 2.1.0 log (one run, one result per finding)."""
+    rules: Dict[str, Dict[str, object]] = {}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        rules.setdefault(finding.kind, {
+            "id": finding.kind,
+            "shortDescription": {"text": finding.kind.replace("-", " ")},
+        })
+        result: Dict[str, object] = {
+            "ruleId": finding.kind,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+        }
+        properties: Dict[str, object] = {"design": design_name}
+        for key in ("rule", "register", "uid"):
+            value = getattr(finding, key)
+            if value is not None:
+                properties[key] = value
+        result["properties"] = properties
+        if finding.source and ":" in finding.source:
+            filename, _, line = finding.source.rpartition(":")
+            try:
+                region = {"startLine": max(1, int(line))}
+            except ValueError:
+                region = None
+            if region is not None:
+                result["locations"] = [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": filename},
+                        "region": region,
+                    },
+                }]
+        results.append(result)
+    log = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro",
+                "rules": sorted(rules.values(),
+                                key=lambda rule: rule["id"]),
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def worst_severity(findings: Iterable[Finding]) -> Optional[str]:
+    """The most severe level present, or None for a clean run."""
+    present = {finding.severity for finding in findings}
+    for severity in SEVERITIES:
+        if severity in present:
+            return severity
+    return None

@@ -1,102 +1,290 @@
 """Design lint: statically detectable design mistakes.
 
-Combines the abstract interpretation (§3.3) with the RTL lowering's
-constant folding to flag things that are *certainly* wrong, not merely
-tracked:
+Three analyses feed one report:
 
-* an operation that **always** fails its port check (its blocking flags
-  are statically ``YES``) — e.g. ``rd0`` of a register an earlier rule
-  unconditionally writes;
-* a rule whose ``will_fire`` folds to constant 0 — it can never commit;
-* registers that are written but never read, or never accessed at all;
-* Goldberg patterns (``rd1`` after a same-rule ``wr1``).
+* the **abstract interpretation** of §3.3 (:mod:`.abstract`) — port
+  checks that *always* fail, Goldberg patterns;
+* the **RTL lowering's constant folding** — rules whose ``will_fire``
+  signal folds to constant 0;
+* the **IR dataflow** (:mod:`.dataflow`) — rules that abort on every
+  path, writes and external calls on statically-dead paths, arithmetic
+  that provably wraps, registers declared wider than any value they can
+  hold, numpy-backend infeasibility.
 
-Run it via ``lint_design`` or ``python -m repro report DESIGN`` (the
-report appends lint findings).
+All findings flow through the :class:`~.findings.Finding` model and its
+suppression machinery (``# lint: disable=`` pragmas,
+``design.lint_disable``).  Severities: ``error`` — certainly a bug;
+``warning`` — almost certainly unintended; ``note`` — worth a look.
+
+``env`` names the environment whose devices may poke registers between
+cycles; its :meth:`~repro.harness.env.Environment.poked_registers`
+footprint pins those registers at ⊤ in the dataflow.  Without an
+environment every register is treated as externally driven — maximally
+conservative, so a bare ``lint_design(design)`` never reports a
+state-dependent finding that some harness could refute.
+
+Run it via ``lint_design``, ``python -m repro lint DESIGN`` or
+``python -m repro report DESIGN`` (the report appends lint findings).
+The dynamic counterpart is the lint soundness oracle
+(:mod:`repro.analysis.oracle`), which replays these static claims
+against executed traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..cuttlesim import ir
 from ..koika.ast import Read, Write, walk
 from ..koika.design import Design
-from .abstract import NO, RD0, RD1, WR0, WR1, YES, AbstractLog, _RulePass, \
-    analyze
+from .abstract import analyze
+from .dataflow import ModuleDataflow, analyze_module
+from .findings import Finding, apply_suppressions, render_text
+
+#: Back-compat alias: findings used to be a lint-private dataclass.
+LintFinding = Finding
+
+#: Minimum number of provably-unused high bits before a register is
+#: flagged as oversized (small slack is usually intentional headroom).
+OVERSIZED_SLACK = 8
+
+_PORT_NAMES = {(Read, 0): "rd0", (Read, 1): "rd1",
+               (Write, 0): "wr0", (Write, 1): "wr1"}
 
 
-@dataclass
-class LintFinding:
-    severity: str       # "error" | "warning"
-    kind: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity}] {self.kind}: {self.message}"
+def _src(design: Design, rule_name: Optional[str]) -> Optional[str]:
+    rule = design.rules.get(rule_name) if rule_name else None
+    if rule is None or rule.src is None:
+        return None
+    filename, lineno = rule.src
+    return f"{filename}:{lineno}"
 
 
-def _always_failing_ops(design: Design) -> List[LintFinding]:
-    """Re-run the per-rule pass, flagging checks whose blockers are YES."""
-    findings: List[LintFinding] = []
-    analysis = analyze(design)
-    registers = list(design.registers)
-    cycle = AbstractLog(registers)
+# ----------------------------------------------------------------------
+# Abstract-interpretation findings (port conflicts, Goldberg).
+# ----------------------------------------------------------------------
+
+
+def _always_failing_ops(design: Design, analysis) -> List[Finding]:
+    """Operations whose port check fails on *every* execution.
+
+    ``NodeInfo.always_fail`` is sound for the in-order schedule only
+    (``schedule_sensitive`` in the claim payload): under a permuted
+    schedule the blocking writes may run later and the check may pass.
+    """
+    findings: List[Finding] = []
     for rule_name in design.scheduler:
-        rule_pass = _RulePass(analysis, cycle.copy(), rule_name)
-        rule_pass.run(design.rules[rule_name].body)
         for node in walk(design.rules[rule_name].body):
+            if not isinstance(node, (Read, Write)):
+                continue
+            info = analysis.node_info.get(node.uid)
+            if info is None or not info.always_fail:
+                continue
+            op = _PORT_NAMES[(type(node), node.port)]
             if isinstance(node, Read):
-                entry = cycle.entries[node.reg]
-                if node.port == 0 and (entry[WR0] == YES
-                                       or entry[WR1] == YES):
-                    findings.append(LintFinding(
-                        "error", "always-fails",
-                        f"rule {rule_name!r}: {node.reg}.rd0 always "
-                        f"conflicts (an earlier rule unconditionally "
-                        f"writes {node.reg})"))
-                if node.port == 1 and entry[WR1] == YES:
-                    findings.append(LintFinding(
-                        "error", "always-fails",
-                        f"rule {rule_name!r}: {node.reg}.rd1 always "
-                        f"conflicts (an earlier rule unconditionally "
-                        f"wr1-writes {node.reg})"))
-            elif isinstance(node, Write) and node.port == 0:
-                entry = cycle.entries[node.reg]
-                if YES in (entry[RD1], entry[WR0], entry[WR1]):
-                    findings.append(LintFinding(
-                        "error", "always-fails",
-                        f"rule {rule_name!r}: {node.reg}.wr0 always "
-                        f"conflicts with an earlier rule's unconditional "
-                        f"access"))
-            elif isinstance(node, Write) and node.port == 1:
-                entry = cycle.entries[node.reg]
-                if entry[WR1] == YES:
-                    findings.append(LintFinding(
-                        "error", "always-fails",
-                        f"rule {rule_name!r}: {node.reg}.wr1 always "
-                        f"conflicts (double unconditional wr1)"))
-        cycle.absorb(rule_pass.rule_log, weaken=rule_pass.may_abort)
+                cause = (f"an earlier rule unconditionally "
+                         f"{'writes' if node.port == 0 else 'wr1-writes'} "
+                         f"{node.reg}")
+            elif node.port == 0:
+                cause = "a conflicting rd1/wr0/wr1 always precedes it"
+            else:
+                cause = "another unconditional wr1 always precedes it"
+            findings.append(Finding(
+                "error", "always-fails",
+                f"rule {rule_name!r}: {node.reg}.{op} always fails its "
+                f"port check ({cause})",
+                rule=rule_name, register=node.reg, uid=node.uid,
+                source=_src(design, rule_name),
+                data={"claim": "always-fails", "op": op, "port": node.port,
+                      "schedule_sensitive": True}))
     return findings
 
 
-def _never_firing_rules(design: Design) -> List[LintFinding]:
+def _goldberg(design: Design, analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule_name in design.scheduler:
+        for node in walk(design.rules[rule_name].body):
+            if not isinstance(node, Read) or node.port != 1:
+                continue
+            info = analysis.node_info.get(node.uid)
+            if info is None or not info.goldberg:
+                continue
+            findings.append(Finding(
+                "warning", "goldberg",
+                f"rule {rule_name!r}: rd1({node.reg}) after a same-rule "
+                f"wr1; merged-data models misread this (anti-pattern, "
+                f"see paper §3.2)",
+                rule=rule_name, register=node.reg, uid=node.uid,
+                source=_src(design, rule_name)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Never-firing rules (two independent detectors).
+# ----------------------------------------------------------------------
+
+
+def _never_firing_rules(design: Design,
+                        flow: ModuleDataflow) -> List[Finding]:
     from ..rtl.circuit import NConst
     from ..rtl.lower import lower_design
 
-    findings: List[LintFinding] = []
+    findings: List[Finding] = []
     netlist = lower_design(design)
     for rule_name, will_fire in netlist.will_fire.items():
         if isinstance(will_fire, NConst) and will_fire.value == 0:
-            findings.append(LintFinding(
+            findings.append(Finding(
                 "error", "never-fires",
                 f"rule {rule_name!r} can never commit (its will-fire "
-                f"signal folds to constant 0)"))
+                f"signal folds to constant 0)",
+                rule=rule_name, source=_src(design, rule_name),
+                data={"claim": "never-fires", "detector": "rtl-fold",
+                      "schedule_sensitive": True}))
+    folded = {finding.rule for finding in findings}
+    for rule_name, facts in flow.rules.items():
+        if facts.always_aborts and rule_name not in folded:
+            findings.append(Finding(
+                "error", "never-fires",
+                f"rule {rule_name!r} aborts on every path through its "
+                f"body (it can never commit)",
+                rule=rule_name, source=_src(design, rule_name),
+                data={"claim": "never-fires", "detector": "dataflow",
+                      "schedule_sensitive": False}))
     return findings
 
 
-def _register_usage(design: Design) -> List[LintFinding]:
-    findings: List[LintFinding] = []
+# ----------------------------------------------------------------------
+# Dataflow findings over the lowered IR.
+# ----------------------------------------------------------------------
+
+
+def _dataflow_findings(design: Design, flow: ModuleDataflow) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in flow.module.rules:
+        facts = flow.rules[rule.name]
+        src = _src(design, rule.name)
+        uses = ir.count_uses(rule.body)
+        for stmt in ir.walk_stmts(rule.body):
+            dead = id(stmt) in facts.unreachable
+            if isinstance(stmt, ir.SWrite) and dead:
+                findings.append(Finding(
+                    "warning", "dead-write",
+                    f"rule {rule.name!r}: wr{stmt.port}({stmt.reg}) is "
+                    f"on a statically-dead path and never executes",
+                    rule=rule.name, register=stmt.reg, uid=stmt.uid,
+                    source=src,
+                    data={"claim": "dead-write", "port": stmt.port}))
+            elif isinstance(stmt, ir.SAbort) and dead:
+                findings.append(Finding(
+                    "note", "unreachable-abort",
+                    f"rule {rule.name!r}: an abort/guard is on a "
+                    f"statically-dead path (the guard can never trip)",
+                    rule=rule.name, uid=stmt.uid, source=src,
+                    data={"claim": "unreachable-abort"}))
+            elif isinstance(stmt, ir.Bind) and isinstance(stmt.op, ir.IExt):
+                if dead:
+                    findings.append(Finding(
+                        "warning", "dead-extcall",
+                        f"rule {rule.name!r}: external call "
+                        f"{stmt.op.fn!r} is under a statically-false "
+                        f"guard and never reaches the environment",
+                        rule=rule.name, uid=stmt.uid, source=src,
+                        data={"claim": "dead-extcall", "fn": stmt.op.fn}))
+                elif not uses.get(stmt.temp.id):
+                    findings.append(Finding(
+                        "note", "dead-extcall-result",
+                        f"rule {rule.name!r}: the result of external "
+                        f"call {stmt.op.fn!r} is never used (the call "
+                        f"still happens — drop the result knowingly)",
+                        rule=rule.name, uid=stmt.uid, source=src))
+            elif isinstance(stmt, ir.Bind) and isinstance(stmt.op, ir.IBin) \
+                    and not dead:
+                wrap = _provable_wrap(stmt, facts)
+                if wrap is not None:
+                    findings.append(Finding(
+                        "warning", "width-truncation",
+                        f"rule {rule.name!r}: {wrap} — the "
+                        f"{stmt.op.width}-bit result provably wraps",
+                        rule=rule.name, uid=stmt.uid, source=src,
+                        data={"claim": "width-truncation",
+                              "op": stmt.op.op, "width": stmt.op.width}))
+    return findings
+
+
+def _provable_wrap(stmt: ir.Bind, facts) -> Optional[str]:
+    """A message when this add/sub/mul wraps on *every* execution."""
+    op = stmt.op
+    operands = facts.operand_values.get(id(stmt))
+    if operands is None:
+        return None
+    a, b = operands
+    limit = (1 << op.width) - 1
+    if op.op == "add" and a.lo + b.lo > limit:
+        return (f"add of values ≥ {a.lo} and ≥ {b.lo} always exceeds "
+                f"the {op.width}-bit range")
+    if op.op == "sub" and a.hi < b.lo:
+        return (f"subtracting a value ≥ {b.lo} from a value ≤ {a.hi} "
+                f"always borrows")
+    if op.op == "mul" and a.lo > 0 and b.lo > 0 and a.lo * b.lo > limit:
+        return (f"product of values ≥ {a.lo} and ≥ {b.lo} always "
+                f"exceeds the {op.width}-bit range")
+    return None
+
+
+def _oversized_registers(design: Design,
+                         flow: ModuleDataflow) -> List[Finding]:
+    findings: List[Finding] = []
+    for name, invariant in sorted(flow.invariants.items()):
+        if invariant.is_top:
+            continue
+        width = design.registers[name].typ.width
+        needed = max(1, invariant.hi.bit_length())
+        if width - needed < OVERSIZED_SLACK:
+            continue
+        findings.append(Finding(
+            "note", "oversized-register",
+            f"register {name!r} is declared {width} bits wide but no "
+            f"reachable value exceeds {needed} bit(s) "
+            f"(range [{invariant.lo}, {invariant.hi}])",
+            register=name,
+            data={"claim": "invariant", "lo": invariant.lo,
+                  "hi": invariant.hi, "kmask": invariant.kmask,
+                  "kval": invariant.kval}))
+    return findings
+
+
+def _backend_notes(design: Design, flow: ModuleDataflow) -> List[Finding]:
+    from ..cuttlesim.batch import NUMPY_MAX_WIDTH, max_value_width
+
+    findings: List[Finding] = []
+    widest = max_value_width(design)
+    if widest > NUMPY_MAX_WIDTH:
+        findings.append(Finding(
+            "note", "numpy-infeasible",
+            f"the widest value in the design is {widest} bits; the "
+            f"numpy batch backend supports at most {NUMPY_MAX_WIDTH} "
+            f"(batched runs fall back to the list backend)"))
+    ext_rules = sorted(
+        {rule.name for rule in flow.module.rules
+         for stmt in ir.walk_stmts(rule.body)
+         if isinstance(stmt, ir.Bind) and isinstance(stmt.op, ir.IExt)})
+    if ext_rules:
+        findings.append(Finding(
+            "note", "extcall-lane-order",
+            f"rules {', '.join(repr(r) for r in ext_rules)} make "
+            f"external calls; the batched tier issues them once per "
+            f"lane in lane order, so extfuns shared across lanes must "
+            f"not care which lane calls first"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Register usage (AST level; no dataflow needed).
+# ----------------------------------------------------------------------
+
+
+def _register_usage(design: Design) -> List[Finding]:
+    findings: List[Finding] = []
     read_registers = set()
     written_registers = set()
     for rule in design.rules.values():
@@ -107,38 +295,55 @@ def _register_usage(design: Design) -> List[LintFinding]:
                 written_registers.add(node.reg)
     for name in design.registers:
         if name not in read_registers and name not in written_registers:
-            findings.append(LintFinding(
+            findings.append(Finding(
                 "warning", "unused-register",
                 f"register {name!r} is never accessed by any rule "
-                f"(testbench-only registers are fine; otherwise dead)"))
+                f"(testbench-only registers are fine; otherwise dead)",
+                register=name))
         elif name in written_registers and name not in read_registers:
-            findings.append(LintFinding(
+            findings.append(Finding(
                 "warning", "write-only-register",
                 f"register {name!r} is written but never read by the "
-                f"design (observable only through the testbench)"))
+                f"design (observable only through the testbench)",
+                register=name))
     return findings
 
 
-def lint_design(design: Design,
-                include_goldberg: bool = True) -> List[LintFinding]:
-    """All lint findings for a finalized design, errors first."""
+# ----------------------------------------------------------------------
+# Entry points.
+# ----------------------------------------------------------------------
+
+
+def lint_design(design: Design, env=None,
+                include_goldberg: bool = True) -> List[Finding]:
+    """All lint findings for a finalized design, most severe first.
+
+    ``env`` (an :class:`~repro.harness.env.Environment`) declares which
+    registers devices may poke between cycles; omitted, every register
+    is treated as externally driven.
+    """
+    from ..cuttlesim.passes import run_pipeline
+
     if not design.finalized:
         design.finalize()
-    findings = []
-    findings += _always_failing_ops(design)
-    findings += _never_firing_rules(design)
+    inputs = env.poked_registers() if env is not None else None
+    analysis = analyze(design)
+    module = run_pipeline(design, 0)
+    flow = analyze_module(module, assume_state=True, inputs=inputs)
+
+    findings: List[Finding] = []
+    findings += _always_failing_ops(design, analysis)
+    findings += _never_firing_rules(design, flow)
+    findings += _dataflow_findings(design, flow)
+    findings += _oversized_registers(design, flow)
+    findings += _backend_notes(design, flow)
     findings += _register_usage(design)
     if include_goldberg:
-        for warning in analyze(design).goldberg_warnings:
-            findings.append(LintFinding("warning", "goldberg", warning))
-    findings.sort(key=lambda f: (f.severity != "error", f.kind))
+        findings += _goldberg(design, analysis)
+    findings = apply_suppressions(findings, design)
+    findings.sort(key=Finding.sort_key)
     return findings
 
 
-def lint_report(design: Design) -> str:
-    findings = lint_design(design)
-    if not findings:
-        return f"lint: {design.name}: clean"
-    lines = [f"lint: {design.name}: {len(findings)} finding(s)"]
-    lines += [f"  {finding}" for finding in findings]
-    return "\n".join(lines)
+def lint_report(design: Design, env=None) -> str:
+    return render_text(lint_design(design, env=env), design.name)

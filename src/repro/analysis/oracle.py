@@ -1,0 +1,240 @@
+"""The lint soundness oracle: replay static claims against real traces.
+
+The lint suite makes *universally quantified* claims — "this port check
+fails on every execution", "this rule never commits", "this write is on
+a dead path", "register r always holds a value in [lo, hi]".  A single
+observed counterexample refutes such a claim outright, so the
+differential fuzzer can double as a soundness checker for the analyses:
+run the design on a ``debug=True`` model (whose generated code calls
+``self._hook(...)`` at every successful read, write, and commit), watch
+for events the analyses said were impossible, and bucket each one as a
+campaign failure.
+
+Claims are rebuilt here directly from the analyses (:func:`build_claims`
+mirrors the lint detectors) rather than parsed back out of findings, so
+a lint-side rendering or suppression change can never silently unarm the
+oracle.  Schedule-sensitive claims (always-fails, the RTL never-fires
+fold) are only sound for the compiled in-order scheduler, which is
+exactly what the oracle runs.
+
+Register-invariant claims are checked on the committed state after every
+cycle, and only when the environment's poke footprint is known
+(:meth:`~repro.harness.env.Environment.poked_registers`): a poked
+register is ⊤ in the fixpoint, so its claim is vacuous, and an
+*undeclared* device disarms state claims entirely.
+
+Entry points: :func:`check_design` (one design, returns violations) and
+``verify_design(lint_oracle=True)`` /
+``repro fuzz run --lint-oracle`` (campaign integration, status
+``lint-unsound``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..koika.ast import Read, Write, walk
+from ..koika.design import Design
+from .abstract import analyze
+from .dataflow import AbsVal, analyze_module
+
+#: Stop collecting after this many violations: one unsound claim fires
+#: every cycle, and the first few occurrences triage identically.
+MAX_VIOLATIONS = 25
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One refuted static claim: what was claimed, what was observed."""
+
+    claim: str                      # "always-fails" | "never-fires" | ...
+    message: str
+    rule: Optional[str] = None
+    register: Optional[str] = None
+    uid: Optional[int] = None
+    cycle: Optional[int] = None
+
+    @property
+    def signature(self) -> str:
+        """Stable triage bucket key (mirrors fuzz ``signature_for``)."""
+        return f"lint:{self.claim}:{self.register or self.rule or '?'}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"claim": self.claim, "message": self.message,
+                "rule": self.rule, "register": self.register,
+                "uid": self.uid, "cycle": self.cycle}
+
+
+class LintUnsoundError(ReproError):
+    """An executed trace refuted at least one static lint claim."""
+
+    def __init__(self, design_name: str,
+                 violations: List[Violation]) -> None:
+        self.design_name = design_name
+        self.violations = violations
+        first = violations[0]
+        extra = (f" (+{len(violations) - 1} more)"
+                 if len(violations) > 1 else "")
+        super().__init__(
+            f"design {design_name!r}: lint claim refuted by execution: "
+            f"{first.message}{extra}")
+
+
+@dataclass
+class LintClaims:
+    """The checkable subset of the lint suite's claims for one design.
+
+    All maps carry a human-readable description of the claim, used
+    verbatim in violation messages.
+    """
+
+    always_fail: Dict[int, str] = field(default_factory=dict)  # by AST uid
+    never_fires: Dict[str, str] = field(default_factory=dict)  # by rule
+    dead_writes: Dict[int, str] = field(default_factory=dict)  # by AST uid
+    invariants: Dict[str, AbsVal] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.always_fail or self.never_fires or
+                    self.dead_writes or self.invariants)
+
+
+_PORTS = {(Read, 0): "rd0", (Read, 1): "rd1",
+          (Write, 0): "wr0", (Write, 1): "wr1"}
+
+
+def build_claims(design: Design, inputs=()) -> LintClaims:
+    """Rebuild the oracle-checkable claims from the analyses.
+
+    ``inputs`` is the set of externally-driven registers (pinned at ⊤ in
+    the invariant fixpoint); ``None`` means *unknown* footprint, which
+    disarms every state-dependent claim — same contract as
+    :func:`~repro.analysis.lint.lint_design`.
+    """
+    from ..cuttlesim import ir
+    from ..cuttlesim.passes import run_pipeline
+    from ..rtl.circuit import NConst
+    from ..rtl.lower import lower_design
+
+    if not design.finalized:
+        design.finalize()
+    claims = LintClaims()
+
+    analysis = analyze(design)
+    for rule_name in design.scheduler:
+        for node in walk(design.rules[rule_name].body):
+            if not isinstance(node, (Read, Write)):
+                continue
+            info = analysis.node_info.get(node.uid)
+            if info is not None and info.always_fail:
+                op = _PORTS[(type(node), node.port)]
+                claims.always_fail[node.uid] = \
+                    f"rule {rule_name!r}: {node.reg}.{op} always fails"
+
+    netlist = lower_design(design)
+    for rule_name, will_fire in netlist.will_fire.items():
+        if isinstance(will_fire, NConst) and will_fire.value == 0:
+            claims.never_fires[rule_name] = \
+                f"rule {rule_name!r} never commits (rtl-fold)"
+
+    module = run_pipeline(design, 0)
+    flow = analyze_module(module, assume_state=True, inputs=inputs)
+    for rule in module.rules:
+        facts = flow.rules[rule.name]
+        if facts.always_aborts:
+            claims.never_fires.setdefault(
+                rule.name,
+                f"rule {rule.name!r} never commits (aborts on every path)")
+        for stmt in ir.walk_stmts(rule.body):
+            if isinstance(stmt, ir.SWrite) and id(stmt) in facts.unreachable:
+                claims.dead_writes[stmt.uid] = (
+                    f"rule {rule.name!r}: wr{stmt.port}({stmt.reg}) is on "
+                    f"a statically-dead path")
+    if inputs is not None:
+        claims.invariants = {name: value
+                             for name, value in flow.invariants.items()
+                             if not value.is_top}
+    return claims
+
+
+def check_design(design: Design, cycles: int = 32, env=None,
+                 claims: Optional[LintClaims] = None) -> List[Violation]:
+    """Run ``design`` for ``cycles`` on a debug O0 model and return every
+    observed counterexample to the static claims (empty list = sound).
+
+    ``env`` is instantiated into the model; its declared poke footprint
+    scopes the invariant claims.  The run is in-order, so the
+    schedule-sensitive claims are checkable too.
+    """
+    from ..cuttlesim.codegen import compile_model
+
+    if not design.finalized:
+        design.finalize()
+    if claims is None:
+        inputs = env.poked_registers() if env is not None else ()
+        claims = build_claims(design, inputs=inputs)
+    if not claims:
+        return []
+
+    model_cls = compile_model(design, opt=0, debug=True,
+                              warn_goldberg=False)
+    sim = model_cls(env) if env is not None else model_cls()
+    violations: List[Violation] = []
+    seen = set()
+    cycle = 0
+
+    def report(violation: Violation) -> None:
+        key = (violation.claim, violation.uid, violation.rule,
+               violation.register)
+        if key not in seen and len(violations) < MAX_VIOLATIONS:
+            seen.add(key)
+            violations.append(violation)
+
+    def hook(kind, *args):
+        # Success events only: the generated code calls 'read'/'write'
+        # after the port check passed, and 'commit' after the whole rule
+        # succeeded — each one is a witness against an always/never claim.
+        if kind in ("read", "write"):
+            uid, register = args[0], args[1]
+            description = claims.always_fail.get(uid)
+            if description is not None:
+                report(Violation(
+                    "always-fails",
+                    f"{description} — but succeeded in cycle {cycle}",
+                    register=register, uid=uid, cycle=cycle))
+            if kind == "write":
+                description = claims.dead_writes.get(uid)
+                if description is not None:
+                    report(Violation(
+                        "dead-write",
+                        f"{description} — but executed in cycle {cycle}",
+                        register=register, uid=uid, cycle=cycle))
+        elif kind == "commit":
+            rule_name = args[0]
+            description = claims.never_fires.get(rule_name)
+            if description is not None:
+                report(Violation(
+                    "never-fires",
+                    f"{description} — but committed in cycle {cycle}",
+                    rule=rule_name, cycle=cycle))
+
+    sim.set_hook(hook)
+    for cycle in range(cycles):
+        sim.run_cycle()
+        for register, invariant in claims.invariants.items():
+            value = sim.peek(register)
+            if not invariant.contains(value):
+                report(Violation(
+                    "invariant",
+                    f"register {register!r} holds {value} after cycle "
+                    f"{cycle}, outside the derived invariant "
+                    f"[{invariant.lo}, {invariant.hi}]",
+                    register=register, cycle=cycle))
+        if len(violations) >= MAX_VIOLATIONS:
+            break
+    return violations
+
+
+__all__ = ["LintClaims", "LintUnsoundError", "MAX_VIOLATIONS", "Violation",
+           "build_claims", "check_design"]

@@ -185,9 +185,50 @@ def cmd_verilog(args) -> int:
 
 
 def cmd_report(args) -> int:
+    design = _get_design(args.design)
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        from .analysis import analyze, conflict_graph, lint_design
+
+        analysis = analyze(design)
+        findings = lint_design(design,
+                               env=_default_env(design, None, 100))
+        payload = {
+            "schema": "repro-report-v1",
+            "design": design.name,
+            "registers": len(design.registers),
+            "rules": len(design.rules),
+            "schedule": list(design.scheduler),
+            "analysis": analysis.summary(),
+            "conflicts": conflict_graph(design).as_dict(),
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     from .analysis.report import design_report
 
-    print(design_report(_get_design(args.design)))
+    print(design_report(design))
+    return 0
+
+
+#: Exit-threshold ranks for ``repro lint --fail-on``.
+_SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
+
+
+def cmd_lint(args) -> int:
+    from .analysis import (lint_design, render_json, render_sarif,
+                           render_text, worst_severity)
+
+    design = _get_design(args.design)
+    findings = lint_design(design, env=_default_env(design, None, 100))
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    print(renderer(findings, design.name))
+    worst = worst_severity(findings)
+    if args.fail_on != "never" and worst is not None and \
+            _SEVERITY_RANK[worst] >= _SEVERITY_RANK[args.fail_on]:
+        return 1
     return 0
 
 
@@ -445,6 +486,7 @@ def cmd_fuzz_run(args) -> int:
         "mutate": args.mutate, "mutation_depth": args.mutation_depth,
         "batch": args.batch, "batch_backend": args.batch_backend,
         "pass_prefixes": args.pass_oracle,
+        "lint_oracle": args.lint_oracle,
     }
     try:
         store = CampaignStore.create(args.state, config, force=args.force)
@@ -591,12 +633,31 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn, help_text in (
         ("pretty", cmd_pretty, "pretty-print a design (Koika syntax)"),
         ("verilog", cmd_verilog, "emit Verilog for a design"),
-        ("report", cmd_report, "static-analysis report for a design"),
         ("synth", cmd_synth, "area/critical-path estimates, both lowerings"),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("design")
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser("report", help="static-analysis report for a design")
+    p.add_argument("design")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="text report or a repro-report-v1 JSON document "
+                        "(conflict graph + lint findings)")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("lint", help="static lint: port conflicts, dead "
+                                    "rules/writes, width and liveness "
+                                    "checks")
+    p.add_argument("design")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"),
+                   help="output format (default: %(default)s)")
+    p.add_argument("--fail-on", default="error", metavar="SEVERITY",
+                   choices=("error", "warning", "note", "never"),
+                   help="exit nonzero when a finding at or above this "
+                        "severity is present (default: %(default)s)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("model", help="print the generated Cuttlesim model")
     p.add_argument("design")
@@ -714,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also diff every pass-pipeline prefix "
                          "(--stop-after each pass), localizing a "
                          "miscompile to the pass that introduced it")
+    fp.add_argument("--lint-oracle", action="store_true",
+                    help="also replay each design's static lint claims "
+                         "against an executed debug trace; refutations "
+                         "bucket as lint-unsound failures")
     fp.add_argument("--mutate", type=int, default=2,
                     help="mutants queued per interesting corpus entry")
     fp.add_argument("--mutation-depth", type=int, default=2,

@@ -67,10 +67,15 @@ _register("reset-on-failure", 1, _opt.reset_on_failure,
           "O3: reset the accumulated log on failure, not on entry")
 _register("state-merge", 1, _opt.state_merge,
           "O4: merged data ports, logs are the state")
-_register("register-classification", 1, _opt.register_classification,
+# v2: NodeInfo.may_fail now ORs over visits of a node reused within one
+# body (it used to keep the last visit only), which can retain checks v1
+# elided.
+_register("register-classification", 2, _opt.register_classification,
           "O5: static analysis drops provably-safe checks and flags")
 _register("early-fail", 1, _opt.early_fail,
           "O5: failures before any effect return without rollback")
+_register("const-guard-prune", 1, _opt.const_guard_prune,
+          "fold dataflow-decided branches; drop dead abort checks")
 _register("read-check-dedup", 1, _opt.read_check_dedup,
           "suppress re-checking reads already checked unconditionally")
 
@@ -84,10 +89,10 @@ PIPELINES: Dict[int, List[str]] = {
     3: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
         "read-check-dedup"],
     4: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
-        "state-merge", "read-check-dedup"],
+        "state-merge", "const-guard-prune", "read-check-dedup"],
     5: [LOWER, "rwset-separation", "log-accumulation", "reset-on-failure",
         "state-merge", "register-classification", "early-fail",
-        "read-check-dedup"],
+        "const-guard-prune", "read-check-dedup"],
 }
 
 

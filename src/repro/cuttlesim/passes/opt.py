@@ -130,3 +130,102 @@ def read_check_dedup(module: ir.ModuleIR) -> None:
     later ones; a check inside a branch may not have run.)"""
     for rule in module.rules:
         _dedup(rule.body, set(), 0)
+
+
+# -- constant-guard pruning --------------------------------------------
+
+
+def _subst_value(value, subst):
+    if isinstance(value, ir.Temp):
+        return subst.get(value.id, value)
+    return value
+
+
+def _apply_subst(stmt: ir.Stmt, subst) -> None:
+    """Rewrite a statement's operands through the substitution map."""
+    if not subst:
+        return
+    if isinstance(stmt, ir.Bind):
+        op = stmt.op
+        if isinstance(op, ir.IBin):
+            op.a = _subst_value(op.a, subst)
+            op.b = _subst_value(op.b, subst)
+        elif isinstance(op, (ir.IUn, ir.IExt)):
+            op.a = _subst_value(op.a, subst)
+        elif isinstance(op, ir.ISubst):
+            op.a = _subst_value(op.a, subst)
+            op.value = _subst_value(op.value, subst)
+        elif isinstance(op, ir.ICall):
+            op.args = tuple(_subst_value(a, subst) for a in op.args)
+    elif isinstance(stmt, (ir.SSet, ir.SWrite)):
+        stmt.value = _subst_value(stmt.value, subst)
+    elif isinstance(stmt, ir.SIf):
+        stmt.cond = _subst_value(stmt.cond, subst)
+
+
+def _prune_block(stmts, facts, subst):
+    """Prune one block: fold decided branches, drop post-abort tails.
+
+    A folded value-producing branch ends with the ``SSet`` of its join
+    temp; the emitter only knows join temps through their enclosing SIf,
+    so the SSet is dropped and the temp substituted by its value at
+    every later use (bind-once makes this a plain map).  A folded arm
+    ending in an abort truncates the block — everything after it,
+    including uses of the join temp, is unreachable.
+    """
+    out = []
+    for stmt in stmts:
+        _apply_subst(stmt, subst)
+        if isinstance(stmt, ir.SAbort):
+            out.append(stmt)
+            break
+        if not isinstance(stmt, ir.SIf):
+            out.append(stmt)
+            continue
+        decided = facts.cond_const(stmt)
+        if decided is None:
+            stmt.then = _prune_block(stmt.then, facts, subst)
+            if stmt.orelse is not None:
+                stmt.orelse = _prune_block(stmt.orelse, facts, subst)
+            out.append(stmt)
+            continue
+        arm = stmt.then if decided else (stmt.orelse or [])
+        pruned = _prune_block(list(arm), facts, subst)
+        if stmt.result is not None:
+            if pruned and isinstance(pruned[-1], ir.SSet) and \
+                    isinstance(pruned[-1].target, ir.Temp) and \
+                    pruned[-1].target.id == stmt.result.id:
+                last = pruned.pop()
+                out.extend(pruned)
+                subst[stmt.result.id] = last.value
+                continue
+            # The arm aborted before producing the join value; the rest
+            # of this block (including every use of it) is unreachable.
+            assert pruned and isinstance(pruned[-1], ir.SAbort), pruned
+            out.extend(pruned)
+            break
+        out.extend(pruned)
+        if pruned and isinstance(pruned[-1], ir.SAbort):
+            break
+    return out
+
+
+def const_guard_prune(module: ir.ModuleIR) -> None:
+    """O4/O5: delete branches and abort checks the dataflow decides.
+
+    Runs the IR value dataflow with **no state assumptions** (every
+    register reads as ⊤ — the debugger and the batch harness can poke
+    any register to any value between cycles), so only literal constants
+    propagated through temps and locals can decide a branch.  Register
+    invariants are deliberately *not* consulted here; they feed lints
+    and the runtime lint oracle only.
+
+    Pure function bodies are left alone: the dataflow records facts for
+    them per call site, so a shared statement may carry the last call's
+    condition value — folding on that would miscompile other callers.
+    """
+    from ...analysis.dataflow import analyze_module
+
+    flow = analyze_module(module, assume_state=False)
+    for rule in module.rules:
+        rule.body = _prune_block(rule.body, flow.rules[rule.name], {})

@@ -307,6 +307,8 @@ class CoherenceDriver(Device):
                  sequential: bool = True):
         self.script = list(script)
         self.sequential = sequential
+        self.pokes = {f"c{core}_cmd_{field}" for core in (0, 1)
+                      for field in ("addr", "want", "data", "valid")}
         self.reset()
 
     def reset(self) -> None:

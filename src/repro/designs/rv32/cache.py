@@ -211,6 +211,8 @@ class CacheMemoryDevice(Device):
             raise ValueError("memory latency must be >= 1 cycle")
         self.program = program
         self.latency = latency
+        self.pokes = {"ic_mrsp_data", "ic_mrsp_valid", "ic_mreq_valid",
+                      "dc_mrsp_data", "dc_mrsp_valid", "dc_mreq_valid"}
         self.reset()
 
     def reset(self) -> None:

@@ -35,6 +35,9 @@ class RV32MemoryDevice(Device):
         self.program = program
         self.prefix = prefix
         self.latency = latency
+        self.pokes = {f"{prefix}{reg}" for reg in (
+            "fromIMem_data", "fromIMem_valid", "toIMem_valid",
+            "fromDMem_data", "fromDMem_valid", "toDMem_valid")}
         self.reset()
 
     def reset(self) -> None:

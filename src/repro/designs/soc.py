@@ -48,6 +48,9 @@ class SocDevice(RV32MemoryDevice):
     def __init__(self, program: Program, uart_prefix: str = "u_"):
         super().__init__(program)
         self.uart_prefix = uart_prefix
+        self.pokes = set(self.pokes) | {
+            f"{uart_prefix}tx_fifo_data", f"{uart_prefix}tx_fifo_valid",
+            f"{uart_prefix}rx_fifo_valid"}
         self.printed: List[int] = []
 
     def reset(self) -> None:

@@ -137,6 +137,7 @@ class UartDriver(Device):
 
     def __init__(self, payload: List[int]):
         self.payload = [b & 0xFF for b in payload]
+        self.pokes = {"tx_fifo_data", "tx_fifo_valid", "rx_fifo_valid"}
         self.reset()
 
     def reset(self) -> None:

@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.oracle import LintUnsoundError
 from ..debug.coverage import CoverageReport
 from ..koika.design import Design
 from ..koika.pretty import pretty_action
@@ -68,6 +69,9 @@ class SeedJob:
     #: Per-pass oracle: also diff every pipeline prefix (``--stop-after``
     #: each pass in turn), localizing a miscompile to the pass at fault.
     pass_prefixes: bool = False
+    #: Lint soundness oracle: replay the static analyses' claims against
+    #: an executed debug trace (status ``lint-unsound`` on refutation).
+    lint_oracle: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -82,6 +86,7 @@ class SeedJob:
             "batch": self.batch,
             "batch_backend": self.batch_backend,
             "pass_prefixes": self.pass_prefixes,
+            "lint_oracle": self.lint_oracle,
         }
 
     @classmethod
@@ -99,6 +104,7 @@ class SeedJob:
             batch=int(payload.get("batch", 0)),
             batch_backend=str(payload.get("batch_backend", "auto")),
             pass_prefixes=bool(payload.get("pass_prefixes", False)),
+            lint_oracle=bool(payload.get("lint_oracle", False)),
         )
 
     def narrowed(self, **changes) -> "SeedJob":
@@ -197,7 +203,8 @@ def verify_design(design: Design, cycles: int = 32,
                   schedule_seeds: Sequence[int] = (0, 1),
                   cache=None, batch: int = 0,
                   batch_backend: str = "auto",
-                  pass_prefixes: bool = False) -> None:
+                  pass_prefixes: bool = False,
+                  lint_oracle: bool = False) -> None:
     """Differentially verify ``design``; raise on the first disagreement.
 
     This is the campaign's check function *and* what emitted repro
@@ -212,8 +219,20 @@ def verify_design(design: Design, cycles: int = 32,
     every other lane from a distinct deterministic poke set, each lane
     diffed cycle-by-cycle against a fresh scalar O2 model started from
     the identical state (``batch_backend`` picks numpy/list/auto).
+
+    ``lint_oracle=True`` additionally replays the static analyses' claims
+    (always-failing ops, never-firing rules, dead writes, register
+    invariants) against an in-order debug trace and raises
+    :class:`~repro.analysis.oracle.LintUnsoundError` on any refutation.
     """
     from ..cuttlesim.codegen import compile_model
+
+    if lint_oracle:
+        from ..analysis.oracle import check_design
+
+        violations = check_design(design, cycles=cycles)
+        if violations:
+            raise LintUnsoundError(design.name, violations)
 
     registers = list(design.registers)
     reference = interpreter_trace(design, cycles)
@@ -342,7 +361,15 @@ def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
                       include_simplified=job.include_simplified,
                       schedule_seeds=job.schedule_seeds, cache=cache,
                       batch=job.batch, batch_backend=job.batch_backend,
-                      pass_prefixes=job.pass_prefixes)
+                      pass_prefixes=job.pass_prefixes,
+                      lint_oracle=job.lint_oracle)
+    except LintUnsoundError as exc:
+        outcome["status"] = "lint-unsound"
+        outcome["error"] = {"type": "LintUnsoundError",
+                            "message": str(exc),
+                            "violations": [v.as_dict()
+                                           for v in exc.violations]}
+        outcome["signature"] = exc.violations[0].signature
     except DivergenceError as exc:
         outcome["status"] = "divergence"
         outcome["divergence"] = exc.as_dict()

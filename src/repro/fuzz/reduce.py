@@ -219,8 +219,12 @@ def reduce_bucket(job: SeedJob, signature: str,
     # 1. Narrow the backend matrix to the diverging pair.
     backend = signature.split(":", 1)[0]
     narrowed = dict(opts=(), include_rtl=False, include_simplified=False,
-                    schedule_seeds=(), batch=0)
-    if backend.startswith("cuttlesim-batch"):
+                    schedule_seeds=(), batch=0, lint_oracle=False)
+    if backend == "lint":
+        # Lint-oracle refutation: the claim replays on its own debug
+        # trace, no differential backend needed.
+        narrowed["lint_oracle"] = True
+    elif backend.startswith("cuttlesim-batch"):
         # Batched-tier divergence: keep the lockstep check (and its lane
         # width — lane state depends on it), drop every other backend.
         narrowed["batch"] = job.batch
@@ -243,6 +247,11 @@ def reduce_bucket(job: SeedJob, signature: str,
     outcome = run_seed_job(job)
     divergence = outcome.get("divergence") or {}
     cycle = divergence.get("cycle")
+    if cycle is None:
+        # Lint-oracle outcomes carry the refuting cycle per violation.
+        violations = (outcome.get("error") or {}).get("violations") or []
+        if violations:
+            cycle = violations[0].get("cycle")
     if isinstance(cycle, int) and cycle + 1 < job.cycles:
         attempt(job.narrowed(cycles=cycle + 1))
     while job.cycles > 1 and attempt(job.narrowed(cycles=job.cycles // 2)):

@@ -40,6 +40,7 @@ _DEFAULT_CONFIG = {
     "batch": 0,             # lanes of the batched lockstep oracle (0 = off)
     "pass_prefixes": False,  # per-pass oracle: diff every pipeline prefix
     "batch_backend": "auto",
+    "lint_oracle": False,    # replay static lint claims against traces
 }
 
 
@@ -140,6 +141,7 @@ class CampaignStore:
             batch=int(config.get("batch", 0)),
             batch_backend=str(config.get("batch_backend", "auto")),
             pass_prefixes=bool(config.get("pass_prefixes", False)),
+            lint_oracle=bool(config.get("lint_oracle", False)),
         )
 
     def next_jobs(self, limit: int) -> List[SeedJob]:

@@ -16,7 +16,7 @@ A design talks to the outside world through two mechanisms:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Collection, Dict, List, Optional, Protocol, Set
 
 from ..errors import SimulationError
 
@@ -41,6 +41,14 @@ class Device:
     """
 
     extfuns: Dict[str, Callable[[int], int]] = {}
+
+    #: Registers this device may poke between cycles.  The static
+    #: analysis (``repro.analysis.dataflow``) treats these as external
+    #: inputs that can hold any value at any cycle boundary; ``None``
+    #: means "undeclared" and taints *every* register, so devices should
+    #: declare their footprint (usually in ``__init__``) to keep the
+    #: register-invariant lints precise.
+    pokes: Optional[Collection[str]] = None
 
     def reset(self) -> None:
         """Return the device to its power-on state."""
@@ -96,6 +104,17 @@ class Environment:
 
     def has_extfun(self, name: str) -> bool:
         return name in self._extfuns
+
+    def poked_registers(self) -> Optional[Set[str]]:
+        """The union of every device's declared poke footprint, or
+        ``None`` when some device leaves its footprint undeclared (the
+        analysis must then assume every register is externally driven)."""
+        poked: Set[str] = set()
+        for device in self.devices:
+            if device.pokes is None:
+                return None
+            poked.update(device.pokes)
+        return poked
 
     def resolve(self, name: str) -> Callable[[int], int]:
         """Return the callable behind an external function (for prebinding

@@ -98,6 +98,10 @@ class Rule:
     def __init__(self, name: str, body: Action):
         self.name = name
         self.body = body
+        #: ``(filename, lineno)`` of the ``design.rule(...)`` call, when
+        #: known — lint findings anchor to it, and ``# lint: disable=``
+        #: pragmas on that line suppress them.
+        self.src: Optional[Tuple[str, int]] = None
 
     def __repr__(self) -> str:
         return f"Rule({self.name})"
@@ -114,6 +118,9 @@ class Design:
         self.extfuns: Dict[str, ExtFun] = {}
         self.scheduler: List[str] = []
         self.finalized = False
+        #: ``(rule_name_or_None, kind)`` lint suppressions registered via
+        #: :meth:`lint_disable` (None matches findings on any rule).
+        self.lint_disabled: List[Tuple[Optional[str], str]] = []
 
     # -- construction ------------------------------------------------------
     def reg(self, name: str, typ: Union[Type, int], init: int = 0) -> Register:
@@ -128,8 +135,18 @@ class Design:
         if name in self.rules:
             raise KoikaElaborationError(f"duplicate rule {name!r}")
         rule = Rule(name, body)
+        import sys
+
+        frame = sys._getframe(1)
+        rule.src = (frame.f_code.co_filename, frame.f_lineno)
         self.rules[name] = rule
         return rule
+
+    def lint_disable(self, *kinds: str, rule: Optional[str] = None) -> None:
+        """Suppress lint findings of the given kinds (``"all"`` matches
+        every kind); ``rule`` restricts the suppression to one rule."""
+        for kind in kinds:
+            self.lint_disabled.append((rule, kind))
 
     def fn(self, name: str, args: Sequence[Tuple[str, Union[Type, int]]], body: Action) -> Fn:
         if name in self.fns:

@@ -1,0 +1,157 @@
+"""The const-guard-prune pass: folding, soundness, and no-op-ness.
+
+The pass may only act on facts that hold in *every* state (registers
+read as ⊤ — the debugger and batch harness can poke anything), so on the
+bundled designs it must be byte-identical to its pipeline prefix; it
+earns its keep on generated/buggy designs with statically-decided
+guards, where it deletes the dead branch and everything it dominates.
+"""
+
+import pytest
+
+from repro.cli import DESIGNS
+from repro.cuttlesim import compile_model, ir
+from repro.cuttlesim.codegen import compile_model_prefix
+from repro.cuttlesim.passes import PASSES, PIPELINES, run_pipeline
+from repro.koika import C, Design, If, guard, seq
+from repro.testing.differential import (collect_trace, compare_traces,
+                                        interpreter_trace)
+
+CYCLES = 12
+
+
+def _stmts(design, opt=4):
+    module = run_pipeline(design, opt)
+    return [type(s).__name__ for rule in module.rules
+            for s in ir.walk_stmts(rule.body)]
+
+
+class TestRegistration:
+    def test_pass_registered_and_versioned(self):
+        assert "const-guard-prune" in PASSES
+        assert PASSES["const-guard-prune"].version >= 1
+
+    def test_in_o4_and_o5_pipelines(self):
+        for opt in (4, 5):
+            names = PIPELINES[opt]
+            assert "const-guard-prune" in names
+            # It must run before dedup so spliced reads dedup normally.
+            assert names.index("const-guard-prune") < \
+                names.index("read-check-dedup")
+
+    def test_not_in_lower_pipelines(self):
+        for opt in (0, 1, 2, 3):
+            assert "const-guard-prune" not in PIPELINES[opt]
+
+
+class TestFolding:
+    def test_constant_true_guard_disappears(self):
+        design = Design("fold1")
+        x = design.reg("x", 8)
+        design.rule("r", seq(guard(C(1, 1) == C(1, 1)),
+                             x.wr0(x.rd0() + C(1, 8))))
+        design.schedule("r")
+        design.finalize()
+        names = _stmts(design)
+        assert "SIf" not in names and "SAbort" not in names
+
+    def test_constant_false_guard_truncates_rule(self):
+        design = Design("fold0")
+        x = design.reg("x", 8)
+        design.rule("r", seq(guard(C(0, 1) == C(1, 1)),
+                             x.wr0(C(9, 8))))
+        design.schedule("r")
+        design.finalize()
+        names = _stmts(design)
+        assert "SWrite" not in names, "write after dead guard must go"
+        assert names.count("SAbort") == 1
+
+    def test_value_branch_substitutes_join_temp(self):
+        design = Design("foldval")
+        x = design.reg("x", 8)
+        design.rule("r", x.wr0(If(C(1, 1), x.rd0() + C(3, 8), C(0, 8))))
+        design.schedule("r")
+        design.finalize()
+        names = _stmts(design)
+        assert "SIf" not in names and "SSet" not in names
+
+    def test_dynamic_branch_survives(self):
+        """Register contents are ⊤ for this pass: a branch on state must
+        not fold even when the power-on fixpoint would decide it."""
+        design = Design("dyn")
+        flag = design.reg("flag", 1, init=0)  # never written: still ⊤
+        x = design.reg("x", 8)
+        design.rule("r", If(flag.rd0() == C(0, 1),
+                            x.wr0(x.rd0() + C(1, 8)),
+                            x.wr0(C(0, 8))))
+        design.schedule("r")
+        design.finalize()
+        assert "SIf" in _stmts(design)
+
+
+class TestSemanticsPreserved:
+    def _check(self, design):
+        registers = list(design.registers)
+        reference = interpreter_trace(design, CYCLES)
+        for opt in (4, 5):
+            cls = compile_model(design, opt=opt, warn_goldberg=False)
+            compare_traces(design.name, f"O{opt}",
+                           collect_trace(cls(), registers, CYCLES),
+                           reference, registers)
+
+    def test_folded_guard_design_matches_interpreter(self):
+        design = Design("sem1")
+        x = design.reg("x", 8, init=1)
+        design.rule("r", seq(guard(C(1, 1) == C(1, 1)),
+                             x.wr0(x.rd0() + C(2, 8))))
+        design.schedule("r")
+        self._check(design.finalize())
+
+    def test_dead_rule_design_matches_interpreter(self):
+        design = Design("sem2")
+        x = design.reg("x", 8, init=1)
+        y = design.reg("y", 8)
+        design.rule("dead", seq(guard(C(0, 1) == C(1, 1)),
+                                x.wr0(C(77, 8))))
+        design.rule("live", y.wr0(y.rd0() + x.rd0()))
+        design.schedule("dead", "live")
+        self._check(design.finalize())
+
+    def test_value_fold_matches_interpreter(self):
+        design = Design("sem3")
+        x = design.reg("x", 8, init=3)
+        design.rule("r", x.wr0(If(C(1, 1), x.rd0() * C(2, 8), C(0, 8))))
+        design.schedule("r")
+        self._check(design.finalize())
+
+    def test_poked_state_still_correct(self):
+        """A branch the power-on invariant would decide must keep
+        working when the state is poked off the invariant."""
+        design = Design("sem4")
+        mode = design.reg("mode", 1, init=0)
+        x = design.reg("x", 8)
+        design.rule("r", If(mode.rd0() == C(0, 1),
+                            x.wr0(x.rd0() + C(1, 8)),
+                            x.wr0(x.rd0() - C(1, 8))))
+        design.schedule("r")
+        design.finalize()
+        for opt in (4, 5):
+            sim = compile_model(design, opt=opt, warn_goldberg=False)()
+            sim.poke("mode", 1)
+            sim.poke("x", 10)
+            sim.run(3)
+            assert sim.peek("x") == 7, "poked branch must still execute"
+
+
+class TestNoOpOnBundledDesigns:
+    @pytest.mark.parametrize("name", sorted(DESIGNS))
+    @pytest.mark.parametrize("opt,before", ((4, "state-merge"),
+                                            (5, "early-fail")))
+    def test_byte_identical_to_prefix(self, name, opt, before):
+        def body(stop):
+            source = compile_model_prefix(DESIGNS[name](), opt=opt,
+                                          stop_after=stop).SOURCE
+            return "\n".join(line for line in source.splitlines()
+                             if "stopped after" not in line)
+
+        assert body(before) == body("const-guard-prune")

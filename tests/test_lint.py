@@ -1,37 +1,57 @@
-"""Tests for the design linter."""
+"""Tests for the design linter (findings, suppression, emitters)."""
+
+import json
 
 import pytest
 
-from repro.analysis import lint_design, lint_report
+from repro.analysis import (Finding, conflict_graph, lint_design,
+                            lint_report, render_json, render_sarif,
+                            worst_severity)
 from repro.designs import (build_collatz, build_msi, build_rv32i,
                            build_uart)
-from repro.koika import C, Design, Read, Seq, Write, guard, seq
+from repro.harness import Environment
+from repro.koika import C, Design, If, guard, seq
 
 
 def kinds(findings):
     return {finding.kind for finding in findings}
 
 
+def errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
 class TestCleanDesigns:
     def test_collatz_is_clean(self):
         assert lint_design(build_collatz()) == []
 
-    def test_uart_only_testbench_warning(self):
+    def test_uart_has_no_errors(self):
         findings = lint_design(build_uart())
-        assert kinds(findings) == {"write-only-register"}
+        assert not errors(findings)
         # rx_fifo_data is indeed drained by the testbench, not the design
-        assert "rx_fifo_data" in findings[0].message
+        assert any(f.kind == "write-only-register"
+                   and f.register == "rx_fifo_data" for f in findings)
 
-    def test_rv32i_only_testbench_warnings(self):
+    def test_rv32i_only_testbench_findings(self):
         findings = lint_design(build_rv32i())
-        assert all(f.severity == "warning" for f in findings)
-        assert kinds(findings) == {"write-only-register"}
-        named = {f.message.split("'")[1] for f in findings}
+        assert not errors(findings)
+        named = {f.register for f in findings
+                 if f.kind == "write-only-register"}
         assert named == {"toIMem_addr", "toDMem_data"}
 
     def test_msi_fixed_has_no_errors(self):
-        findings = lint_design(build_msi())
-        assert not any(f.severity == "error" for f in findings)
+        assert not errors(lint_design(build_msi()))
+
+    def test_all_bundled_designs_zero_errors(self):
+        """No false-positive errors across the whole design suite, with
+        each design's conventional environment declared."""
+        from repro.cli import DESIGNS, _default_env
+
+        for name in sorted(DESIGNS):
+            design = DESIGNS[name]()
+            env = _default_env(design, None, 100)
+            findings = lint_design(design, env=env)
+            assert not errors(findings), (name, errors(findings))
 
 
 class TestAlwaysFailingOps:
@@ -45,8 +65,32 @@ class TestAlwaysFailingOps:
         findings = lint_design(design.finalize())
         assert "always-fails" in kinds(findings)
         assert "never-fires" in kinds(findings)
-        message = next(f for f in findings if f.kind == "always-fails")
-        assert "r.rd0" in message.message and "reader" in message.message
+        finding = next(f for f in findings if f.kind == "always-fails")
+        assert "r.rd0" in finding.message and finding.rule == "reader"
+        assert finding.register == "r"
+        assert finding.data["schedule_sensitive"] is True
+
+    def test_rd1_after_unconditional_wr1(self):
+        design = Design("bad-rd1")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr1(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd1()))
+        design.schedule("writer", "reader")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "rd1" in f.message
+                   for f in findings)
+
+    def test_wr0_after_unconditional_rd1(self):
+        design = Design("bad-wr0")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("fwd", out.wr0(r.rd1()))
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.schedule("fwd", "writer")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "wr0" in f.message
+                   and f.rule == "writer" for f in findings)
 
     def test_double_unconditional_wr1(self):
         design = Design("bad2")
@@ -54,6 +98,35 @@ class TestAlwaysFailingOps:
         design.rule("a", r.wr1(C(1, 8)))
         design.rule("b", r.wr1(C(2, 8)))
         design.schedule("a", "b")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "wr1" in f.message
+                   for f in findings)
+
+    def test_same_rule_wr1_then_wr0(self):
+        """A wr0 after a same-rule wr1 fails even with an empty cycle
+        log — the rule's own entry flags block it."""
+        design = Design("self-conflict")
+        r = design.reg("r", 8)
+        design.rule("both", seq(r.wr1(C(1, 8)), r.wr0(C(2, 8))))
+        design.schedule("both")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "wr0" in f.message
+                   and f.rule == "both" for f in findings)
+
+    def test_same_rule_double_wr0(self):
+        design = Design("double-wr0")
+        r = design.reg("r", 8)
+        design.rule("twice", seq(r.wr0(C(1, 8)), r.wr0(C(2, 8))))
+        design.schedule("twice")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "always-fails" and "wr0" in f.message
+                   for f in findings)
+
+    def test_same_rule_double_wr1(self):
+        design = Design("double-wr1")
+        r = design.reg("r", 8)
+        design.rule("twice", seq(r.wr1(C(1, 8)), r.wr1(C(2, 8))))
+        design.schedule("twice")
         findings = lint_design(design.finalize())
         assert any(f.kind == "always-fails" and "wr1" in f.message
                    for f in findings)
@@ -81,8 +154,154 @@ class TestNeverFiringRules:
                                  x.wr0(C(1, 8))))
         design.schedule("never")
         findings = lint_design(design.finalize())
-        assert any(f.kind == "never-fires" and "never" in f.message
+        assert any(f.kind == "never-fires" and f.rule == "never"
                    for f in findings)
+
+
+class TestDataflowLints:
+    def test_dead_write_in_constant_false_arm(self):
+        design = Design("deadwrite")
+        x = design.reg("x", 8)
+        y = design.reg("y", 8)
+        design.rule("r", If(C(0, 1), x.wr0(C(1, 8)),
+                            y.wr0(y.rd0())))
+        design.schedule("r")
+        findings = lint_design(design.finalize())
+        dead = [f for f in findings if f.kind == "dead-write"]
+        assert len(dead) == 1
+        assert dead[0].register == "x" and dead[0].severity == "warning"
+
+    def test_dead_extcall_under_false_guard(self):
+        design = Design("deadext")
+        out = design.reg("out", 8)
+        ext = design.extfun("probe", 8, 8)
+        design.rule("r", If(C(0, 1), out.wr0(ext(C(1, 8))),
+                            out.wr0(out.rd0())))
+        design.schedule("r")
+        findings = lint_design(design.finalize())
+        assert any(f.kind == "dead-extcall" and "probe" in f.message
+                   for f in findings)
+
+    def test_width_wrap_on_add(self):
+        design = Design("wrap")
+        out = design.reg("out", 8)
+        design.rule("r", out.wr0(C(200, 8) + C(100, 8)))
+        design.schedule("r")
+        findings = lint_design(design.finalize())
+        wraps = [f for f in findings if f.kind == "width-truncation"]
+        assert len(wraps) == 1
+        assert wraps[0].severity == "warning"
+        assert wraps[0].data["op"] == "add"
+
+    def test_feasible_add_not_flagged(self):
+        design = Design("nowrap")
+        out = design.reg("out", 8)
+        design.rule("r", out.wr0(out.rd0() + C(1, 8)))
+        design.schedule("r")
+        assert "width-truncation" not in kinds(lint_design(design.finalize()))
+
+    def test_oversized_register_with_declared_env(self):
+        """A 32-bit register that provably never leaves [0, 3] is flagged
+        once the environment's poke footprint (empty here) is known."""
+        design = Design("oversized")
+        big = design.reg("big", 32)
+        design.rule("r", big.wr0(If(big.rd0() == C(0, 32),
+                                    C(3, 32), C(0, 32))))
+        design.schedule("r")
+        findings = lint_design(design.finalize(), env=Environment())
+        over = [f for f in findings if f.kind == "oversized-register"]
+        assert len(over) == 1 and over[0].register == "big"
+        assert over[0].data["hi"] == 3
+
+    def test_oversized_not_reported_without_env(self):
+        """Without a declared environment every register may be poked, so
+        no invariant-based finding survives."""
+        design = Design("oversized2")
+        big = design.reg("big", 32)
+        design.rule("r", big.wr0(If(big.rd0() == C(0, 32),
+                                    C(3, 32), C(0, 32))))
+        design.schedule("r")
+        findings = lint_design(design.finalize())
+        assert "oversized-register" not in kinds(findings)
+
+
+class TestGoldenBuggyFixture:
+    """One intentionally-buggy design exercising several lints at once."""
+
+    @pytest.fixture
+    def buggy(self):
+        design = Design("buggy")
+        r = design.reg("fought", 8)
+        out = design.reg("out", 8)
+        x = design.reg("x", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("loser", out.wr0(r.rd0()))          # always conflicts
+        design.rule("never", seq(guard(C(0, 1) == C(1, 1)),
+                                 x.wr0(C(9, 8))))       # constant-0 fire
+        design.rule("wrap", x.wr0(C(255, 8) + C(255, 8)))
+        design.rule("deadarm", If(C(0, 1), x.wr1(C(5, 8)),
+                                  out.wr1(out.rd1())))  # dead wr1
+        design.schedule("writer", "loser", "never", "wrap", "deadarm")
+        return design.finalize()
+
+    def test_golden_findings(self, buggy):
+        findings = lint_design(buggy)
+        assert {"always-fails", "never-fires", "width-truncation",
+                "dead-write"} <= kinds(findings)
+        conflict = next(f for f in findings if f.kind == "always-fails")
+        assert conflict.rule == "loser" and conflict.register == "fought"
+        assert worst_severity(findings) == "error"
+
+    def test_findings_sorted_most_severe_first(self, buggy):
+        findings = lint_design(buggy)
+        order = {"error": 0, "warning": 1, "note": 2}
+        ranks = [order[f.severity] for f in findings]
+        assert ranks == sorted(ranks)
+
+    def test_finding_roundtrip(self, buggy):
+        for finding in lint_design(buggy):
+            clone = Finding.from_dict(
+                json.loads(json.dumps(finding.as_dict())))
+            assert clone == finding
+
+
+class TestSuppression:
+    def _conflicted(self):
+        design = Design("sup")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd0()))  # lint: disable=always-fails
+        design.schedule("writer", "reader")
+        return design
+
+    def test_pragma_suppresses_rule_findings(self):
+        findings = lint_design(self._conflicted().finalize())
+        assert "always-fails" not in kinds(findings)
+
+    def test_lint_disable_programmatic(self):
+        design = Design("sup2")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd0()))
+        design.schedule("writer", "reader")
+        design.lint_disable("always-fails", rule="reader")
+        design.lint_disable("never-fires")
+        findings = lint_design(design.finalize())
+        assert "always-fails" not in kinds(findings)
+        assert "never-fires" not in kinds(findings)
+
+    def test_lint_disable_wrong_rule_keeps_finding(self):
+        design = Design("sup3")
+        r = design.reg("r", 8)
+        out = design.reg("out", 8)
+        design.rule("writer", r.wr0(C(1, 8)))
+        design.rule("reader", out.wr0(r.rd0()))
+        design.schedule("writer", "reader")
+        design.lint_disable("always-fails", rule="writer")
+        findings = lint_design(design.finalize())
+        assert "always-fails" in kinds(findings)
 
 
 class TestRegisterUsage:
@@ -93,21 +312,80 @@ class TestRegisterUsage:
         design.rule("r", live.wr0(live.rd0() + C(1, 8)))
         design.schedule("r")
         findings = lint_design(design.finalize())
-        assert any(f.kind == "unused-register" and "ghost" in f.message
+        assert any(f.kind == "unused-register" and f.register == "ghost"
                    for f in findings)
 
-    def test_errors_sort_before_warnings(self):
-        design = Design("mix")
-        design.reg("ghost", 8)
+
+class TestEmitters:
+    def _findings(self):
+        design = Design("emit")
         r = design.reg("r", 8)
         out = design.reg("out", 8)
         design.rule("writer", r.wr0(C(1, 8)))
         design.rule("reader", out.wr0(r.rd0()))
         design.schedule("writer", "reader")
-        findings = lint_design(design.finalize())
-        severities = [f.severity for f in findings]
-        assert severities == sorted(severities,
-                                    key=lambda s: s != "error")
+        return lint_design(design.finalize()), design
+
+    def test_json_schema(self):
+        findings, design = self._findings()
+        payload = json.loads(render_json(findings, design.name))
+        assert payload["schema"] == "repro-lint-v1"
+        assert payload["design"] == "emit"
+        assert payload["counts"]["error"] >= 1
+        assert len(payload["findings"]) == len(findings)
+
+    def test_sarif_shape(self):
+        findings, design = self._findings()
+        log = json.loads(render_sarif(findings, design.name))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == len(findings)
+        levels = {result["level"] for result in run["results"]}
+        assert levels <= {"error", "warning", "note"}
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {result["ruleId"] for result in run["results"]} <= rule_ids
+        # Rule-anchored findings carry a physical location.
+        located = [result for result in run["results"]
+                   if "locations" in result]
+        assert located, "expected at least one located finding"
+
+    def test_sarif_empty_is_valid(self):
+        log = json.loads(render_sarif([], "clean"))
+        assert log["runs"][0]["results"] == []
+
+
+class TestConflictGraph:
+    def test_collatz_single_edge(self):
+        graph = conflict_graph(build_collatz())
+        assert len(graph.rules) == 2
+        assert len(graph.edges) == 1
+        assert not graph.independent_pairs()
+
+    def test_msi_has_independent_pairs(self):
+        graph = conflict_graph(build_msi())
+        pairs = graph.independent_pairs()
+        assert pairs
+        for a, b in pairs:
+            assert not graph.conflicts(a, b)
+
+    def test_edges_have_reasons(self):
+        graph = conflict_graph(build_collatz())
+        payload = graph.as_dict()
+        assert payload["edges"][0]["reasons"]
+        reason = payload["edges"][0]["reasons"][0]
+        assert "blocked by" in reason
+
+    def test_disjoint_rules_do_not_conflict(self):
+        design = Design("disjoint")
+        a = design.reg("a", 8)
+        b = design.reg("b", 8)
+        design.rule("ra", a.wr0(a.rd0() + C(1, 8)))
+        design.rule("rb", b.wr0(b.rd0() + C(1, 8)))
+        design.schedule("ra", "rb")
+        graph = conflict_graph(design.finalize())
+        assert not graph.conflicts("ra", "rb")
+        assert graph.independent_pairs() == [("ra", "rb")]
 
 
 class TestReportIntegration:

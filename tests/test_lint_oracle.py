@@ -1,0 +1,219 @@
+"""The lint soundness oracle (repro.analysis.oracle).
+
+Two directions:
+
+* **Soundness sweep** — every bundled design and every checked-in corpus
+  repro must execute without refuting a single static claim (the
+  analyses' claims hold on real traces).
+* **Detection** — deliberately false claims injected into the checker
+  must be refuted by the matching observed event (a success at an
+  "always-fails" site, a commit of a "never-fires" rule, an executed
+  "dead" write, a state outside a claimed invariant).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import AbsVal
+from repro.analysis.oracle import (LintClaims, LintUnsoundError, Violation,
+                                   build_claims, check_design)
+from repro.cli import DESIGNS, _default_env
+from repro.fuzz.executor import SeedJob, run_seed_job, verify_design
+from repro.koika import C, Design, If, guard, seq
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*/repro.py"))
+
+
+def _counter(name="osc"):
+    design = Design(name)
+    x = design.reg("x", 8, init=0)
+    design.rule("tick", x.wr0(x.rd0() + C(1, 8)))
+    design.schedule("tick")
+    return design.finalize()
+
+
+# ----------------------------------------------------------------------
+# Soundness: bundled designs and the regression corpus are clean.
+# ----------------------------------------------------------------------
+
+
+class TestBundledDesignsSound:
+    @pytest.mark.parametrize("name", sorted(DESIGNS))
+    def test_no_violations(self, name):
+        design = DESIGNS[name]()
+        env = _default_env(design, None, 100)
+        violations = check_design(design, cycles=48, env=env)
+        assert violations == [], \
+            "\n".join(v.message for v in violations)
+
+
+class TestCorpusSound:
+    @pytest.mark.parametrize("path", CORPUS,
+                             ids=[p.parent.name for p in CORPUS])
+    def test_corpus_designs_pass_oracle(self, path):
+        namespace = runpy.run_path(str(path))
+        design = namespace["build_design"]()
+        violations = check_design(design, cycles=namespace["CYCLES"])
+        assert violations == [], \
+            "\n".join(v.message for v in violations)
+
+
+class TestGeneratedDesignsSound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_designs_pass_oracle(self, seed):
+        from repro.testing.generators import random_design
+
+        violations = check_design(random_design(seed), cycles=24)
+        assert violations == [], \
+            "\n".join(v.message for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Detection: injected false claims are refuted.
+# ----------------------------------------------------------------------
+
+
+def _write_uid(design, reg_name):
+    from repro.koika.ast import Write, walk
+
+    for rule in design.rules.values():
+        for node in walk(rule.body):
+            if isinstance(node, Write) and node.reg == reg_name:
+                return node.uid
+    raise AssertionError(f"no write to {reg_name}")
+
+
+class TestDetection:
+    def test_false_always_fails_claim_is_refuted(self):
+        design = _counter()
+        claims = LintClaims(always_fail={
+            _write_uid(design, "x"): "rule 'tick': x.wr0 always fails"})
+        violations = check_design(design, cycles=4, claims=claims)
+        assert violations and violations[0].claim == "always-fails"
+        assert "succeeded" in violations[0].message
+
+    def test_false_never_fires_claim_is_refuted(self):
+        design = _counter()
+        claims = LintClaims(never_fires={
+            "tick": "rule 'tick' never commits"})
+        violations = check_design(design, cycles=4, claims=claims)
+        assert violations and violations[0].claim == "never-fires"
+        assert violations[0].rule == "tick"
+
+    def test_false_dead_write_claim_is_refuted(self):
+        design = _counter()
+        claims = LintClaims(dead_writes={
+            _write_uid(design, "x"): "rule 'tick': wr0(x) is dead"})
+        violations = check_design(design, cycles=4, claims=claims)
+        assert violations and violations[0].claim == "dead-write"
+        assert violations[0].register == "x"
+
+    def test_false_invariant_claim_is_refuted(self):
+        design = _counter()
+        claims = LintClaims(invariants={"x": AbsVal.range(0, 2, 8)})
+        violations = check_design(design, cycles=8, claims=claims)
+        assert violations and violations[0].claim == "invariant"
+        # The counter leaves [0, 2] when it commits 3 — after cycle 2.
+        assert violations[0].cycle == 2
+
+    def test_true_claims_are_not_refuted(self):
+        # A never-written register genuinely keeps its init value.
+        design = Design("still")
+        design.reg("frozen", 8, init=7)
+        x = design.reg("x", 8, init=0)
+        design.rule("dead", seq(guard(C(0, 1) == C(1, 1)),
+                                x.wr0(C(1, 8))))
+        design.rule("live", x.wr0(x.rd0() + C(1, 8)))
+        design.schedule("dead", "live")
+        design.finalize()
+        claims = build_claims(design)
+        assert "dead" in claims.never_fires
+        assert claims.invariants["frozen"].is_const
+        assert check_design(design, cycles=16, claims=claims) == []
+
+    def test_violations_are_deduplicated_and_capped(self):
+        design = _counter()
+        claims = LintClaims(never_fires={"tick": "never"})
+        violations = check_design(design, cycles=50, claims=claims)
+        assert len(violations) == 1, "one claim, many cycles, one record"
+
+
+# ----------------------------------------------------------------------
+# Claim construction mirrors the lint detectors.
+# ----------------------------------------------------------------------
+
+
+class TestBuildClaims:
+    def test_dead_guard_rule_claims_never_fires_and_dead_write(self):
+        design = Design("buggy")
+        x = design.reg("x", 8)
+        y = design.reg("y", 8)
+        design.rule("writer", x.wr0(C(1, 8)))
+        design.rule("loser", seq(x.wr0(C(2, 8)), y.wr0(C(3, 8))))
+        design.rule("deadarm", If(C(0, 1), y.wr1(C(9, 8)),
+                                  y.wr1(y.rd0())))
+        design.schedule("writer", "loser", "deadarm")
+        design.finalize()
+        claims = build_claims(design)
+        # loser's x.wr0 always fails (writer ran first).
+        assert claims.always_fail
+        assert any("never commits" in text
+                   for text in claims.never_fires.values())
+        assert claims.dead_writes, "y.wr1 under If(0) is a dead write"
+
+    def test_unknown_footprint_disarms_invariants(self):
+        claims = build_claims(_counter(), inputs=None)
+        assert claims.invariants == {}
+
+    def test_clean_design_yields_no_bug_claims(self):
+        claims = build_claims(_counter())
+        assert not claims.always_fail
+        assert not claims.never_fires
+        assert not claims.dead_writes
+
+
+# ----------------------------------------------------------------------
+# Fuzz integration.
+# ----------------------------------------------------------------------
+
+
+class TestFuzzIntegration:
+    def test_seed_job_roundtrips_lint_oracle_flag(self):
+        job = SeedJob(seed=3, lint_oracle=True)
+        assert SeedJob.from_dict(job.as_dict()).lint_oracle is True
+        assert SeedJob.from_dict({"seed": 3}).lint_oracle is False
+
+    def test_run_seed_job_with_oracle_is_ok(self):
+        job = SeedJob(seed=0, cycles=12, opts=(0, 2), include_rtl=False,
+                      include_simplified=False, schedule_seeds=(),
+                      lint_oracle=True)
+        outcome = run_seed_job(job)
+        assert outcome["status"] == "ok", outcome
+
+    def test_verify_design_raises_structured_error(self, monkeypatch):
+        import repro.analysis.oracle as oracle_mod
+
+        violation = Violation("never-fires", "rule 'r' committed",
+                              rule="r", cycle=0)
+        monkeypatch.setattr(oracle_mod, "check_design",
+                            lambda design, cycles: [violation])
+        design = _counter()
+        with pytest.raises(LintUnsoundError) as exc_info:
+            verify_design(design, cycles=4, opts=(), include_rtl=False,
+                          include_simplified=False, schedule_seeds=(),
+                          lint_oracle=True)
+        assert exc_info.value.violations == [violation]
+        assert violation.signature == "lint:never-fires:r"
+
+    def test_violation_signature_prefers_register(self):
+        violation = Violation("invariant", "m", rule="r", register="x")
+        assert violation.signature == "lint:invariant:x"
+
+    def test_store_config_plumbs_lint_oracle(self, tmp_path):
+        from repro.fuzz.store import CampaignStore
+
+        store = CampaignStore.create(str(tmp_path / "fz"),
+                                     {"lint_oracle": True})
+        assert store.job_for(0).lint_oracle is True
