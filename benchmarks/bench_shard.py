@@ -1,0 +1,126 @@
+"""Sharded-tier scaling: cycles/second vs shard count.
+
+Runs the 8-core, 32-line MSI system with built-in LFSR traffic (rare
+cross-core sharing — the workload class the partitioner targets) on the
+sharded bulk-synchronous tier at K = 1, 2, 4, byte-checking every run
+against the scalar simulator and writing ``BENCH_shard.json``
+(``repro-shard-v1``).
+
+Two throughput numbers are reported per K:
+
+* ``cycles_per_second`` — measured wall clock.  This only shows the
+  parallel win when the host actually has a core per shard; on a
+  single-core box K forked workers time-share one CPU and wall clock can
+  never beat K=1 (the JSON carries ``cpus`` so readers can tell).
+* ``critical_path_cycles_per_second`` — modeled from per-worker CPU
+  times: each barrier round contributes its *slowest* worker's compute
+  (plus the coordinator's serial replays).  That sum is what the same
+  run costs with one core per shard, measured — not extrapolated — so
+  it is the scaling figure that transfers across hosts.
+
+``speedup_k4_vs_k1`` keys off the critical path; the wall-clock ratio is
+``wall_speedup_k4_vs_k1`` next to it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.designs.msi import make_msi
+from repro.harness import Environment
+from repro.shard import ShardedSimulator
+
+CYCLES = 4_000
+SHARD_COUNTS = [1, 2, 4]
+_RESULTS = {}
+_REF_STATE = []
+
+
+def _design():
+    return make_msi(8, 32, traffic=11)
+
+
+def _reference_state():
+    if not _REF_STATE:
+        model = compile_model(_design(), opt=5,
+                              warn_goldberg=False)(Environment())
+        model.run(CYCLES)
+        _REF_STATE.append({r: model.peek(r)
+                           for r in _design().registers})
+    return _REF_STATE[0]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_throughput(benchmark, shards):
+    benchmark.group = "shard:msi8x32-traffic"
+    sims = []
+
+    def setup():
+        sim = ShardedSimulator(_design(), shards, mode="auto")
+        sims.append(sim)
+        return (sim,), {}
+
+    benchmark.pedantic(lambda sim: sim.run(CYCLES), setup=setup,
+                       rounds=3, iterations=1)
+    try:
+        sim = sims[-1]
+        assert sim.state_dict() == _reference_state(), \
+            f"K={shards} diverged from the scalar simulator"
+        stats = sim.stats
+        mean = benchmark.stats.stats.mean
+        wall_cps = CYCLES / mean
+        critical = stats.critical_seconds
+        critical_cps = CYCLES / critical if critical > 0 else wall_cps
+        payload = {
+            "shards": sim.partition.n_shards,
+            "mode": sim.mode,
+            "wall_seconds": round(mean, 6),
+            "cycles_per_second": round(wall_cps, 1),
+            "critical_path_cycles_per_second": round(critical_cps, 1),
+            "stats": stats.as_dict(),
+            "matches_serial": True,
+        }
+        benchmark.extra_info.update(payload)
+        _RESULTS[shards] = payload
+    finally:
+        for sim in sims:
+            sim.close()
+
+
+def teardown_module(module):
+    if set(SHARD_COUNTS) - set(_RESULTS):
+        return
+    base = _RESULTS[1]
+    print(f"\n\nSharded tier — msi8x32-traffic11, {CYCLES} cycles, "
+          f"{os.cpu_count()} CPU(s) on this host")
+    print(f"{'K':>3}  {'wall c/s':>12}  {'critical-path c/s':>18}  "
+          f"{'replay':>7}")
+    for shards in SHARD_COUNTS:
+        row = _RESULTS[shards]
+        fraction = row["stats"]["replay_fraction"] or 0.0
+        print(f"{shards:>3}  {row['cycles_per_second']:>12,.0f}  "
+              f"{row['critical_path_cycles_per_second']:>18,.0f}  "
+              f"{fraction:>6.1%}")
+    bench = {
+        "schema": "repro-shard-v1",
+        "design": "msi8x32_traffic11",
+        "cycles": CYCLES,
+        "cpus": os.cpu_count(),
+        "shards": {str(k): _RESULTS[k] for k in SHARD_COUNTS},
+        "wall_speedup_k4_vs_k1": round(
+            _RESULTS[4]["cycles_per_second"]
+            / base["cycles_per_second"], 3),
+        "speedup_k4_vs_k1": round(
+            _RESULTS[4]["critical_path_cycles_per_second"]
+            / base["critical_path_cycles_per_second"], 3),
+        "speedup_metric": "critical_path_cycles_per_second (measured "
+                          "per-worker CPU time, max per barrier round; "
+                          "equals wall clock given one core per shard)",
+    }
+    with open("BENCH_shard.json", "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+    print(f"K=4 vs K=1: {bench['speedup_k4_vs_k1']:.2f}x critical-path, "
+          f"{bench['wall_speedup_k4_vs_k1']:.2f}x wall")
+    print("BENCH_shard.json written")

@@ -27,7 +27,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from .designs import (TABLE1_DESIGNS, build_msi, build_rv32i_bypass,
-                      build_rv32im, build_stm)
+                      build_rv32im, build_stm, make_msi)
 from .harness import Environment, make_simulator
 from .koika import design_sloc, pretty_design
 
@@ -42,6 +42,9 @@ DESIGNS["rv32i-cached"] = build_rv32i_cached
 DESIGNS["stm"] = build_stm
 DESIGNS["msi"] = build_msi
 DESIGNS["msi-buggy"] = lambda: build_msi(bug=True)
+DESIGNS["msi4"] = lambda: make_msi(4, 16)
+DESIGNS["msi8"] = lambda: make_msi(8, 32)
+DESIGNS["msi8-traffic"] = lambda: make_msi(8, 32, traffic=True)
 
 from .designs import build_uart  # noqa: E402  (registry entries)
 
@@ -124,11 +127,21 @@ def _default_env(design, program: Optional[str],
 
         return make_uart_env([0x48, 0x49, 0x21])
     if name.startswith("msi"):
+        if "traffic" in name:
+            # Traffic-mode MSI systems carry their own per-core LFSR
+            # request generators; a driver device would double-drive
+            # the command registers.
+            return Environment()
         from .designs.msi import make_msi_env
 
-        return make_msi_env([(1, "write", 2, 0xAAAA),
-                             (0, "write", 2, 0xBBBB),
-                             (1, "read", 2, 0)])
+        # Conventional contended script, scaled to the core count: every
+        # core writes the same line, then core 0 reads it back (on the
+        # 2-core system this is the case-study-1 sharing pattern).
+        cores = sorted({int(reg.split("_")[0][1:]) for reg in design.registers
+                        if reg[0] == "c" and reg.split("_")[0][1:].isdigit()})
+        script = [(core, "write", 2, 0xAA00 | core) for core in cores]
+        script.append((0, "read", 2, 0))
+        return make_msi_env(script, n_cores=len(cores))
     return Environment()
 
 
@@ -184,8 +197,89 @@ def cmd_verilog(args) -> int:
     return 0
 
 
+#: Fill colors for up to 8 shards in ``repro report --conflicts
+#: --format dot`` (ColorBrewer qualitative; wraps past 8).
+_SHARD_PALETTE = ("#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                  "#cab2d6", "#ffff99", "#8dd3c7", "#fccde5")
+
+
+def _conflict_dot(graph, partition=None) -> str:
+    """Graphviz rendering of the conflict graph; with a partition,
+    nodes are colored by shard and cut edges drawn red."""
+    owner = {}
+    if partition is not None:
+        for index, rules in enumerate(partition.shards):
+            for rule in rules:
+                owner[rule] = index
+    lines = [f'graph "{graph.design_name}" {{',
+             '  layout=fdp; overlap=false;',
+             '  node [style=filled, shape=box, fontsize=10, '
+             'fillcolor="#eeeeee"];']
+    for rule in graph.rules:
+        attrs = []
+        if rule in owner:
+            index = owner[rule]
+            color = _SHARD_PALETTE[index % len(_SHARD_PALETTE)]
+            attrs.append(f'fillcolor="{color}"')
+            attrs.append(f'label="{rule}\\nshard {index}"')
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{rule}"{suffix};')
+    for pair, reasons in sorted(graph.edges.items(),
+                                key=lambda kv: sorted(kv[0])):
+        a, b = sorted(pair)
+        attrs = [f'tooltip="{"; ".join(reasons)}"']
+        if owner and owner.get(a) != owner.get(b):
+            attrs.append('color="#d62728"')
+            attrs.append("penwidth=2")
+        lines.append(f'  "{a}" -- "{b}" [{", ".join(attrs)}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _report_conflicts(design, fmt: str, shards: int) -> int:
+    import json
+
+    from .analysis import conflict_graph
+
+    graph = conflict_graph(design)
+    partition = None
+    if shards:
+        from .shard import partition_design
+
+        partition = partition_design(design, shards, graph=graph)
+    if fmt == "dot":
+        print(_conflict_dot(graph, partition))
+        return 0
+    if fmt == "json":
+        payload = {
+            "schema": "repro-conflicts-v1",
+            "design": design.name,
+            "conflicts": graph.as_dict(),
+            "partition": partition.as_dict() if partition else None,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"conflict graph of {design.name}: {len(graph.rules)} rule(s), "
+          f"{len(graph.edges)} conflicting pair(s)")
+    for pair, reasons in sorted(graph.edges.items(),
+                                key=lambda kv: sorted(kv[0])):
+        a, b = sorted(pair)
+        print(f"  {a} -- {b}")
+        for reason in reasons:
+            print(f"      {reason}")
+    if partition is not None:
+        print()
+        print(partition.summary())
+    return 0
+
+
 def cmd_report(args) -> int:
     design = _get_design(args.design)
+    if getattr(args, "conflicts", False):
+        return _report_conflicts(design, getattr(args, "format", "text"),
+                                 getattr(args, "shards", 0))
+    if getattr(args, "format", "text") == "dot":
+        raise SystemExit("--format dot requires --conflicts")
     if getattr(args, "format", "text") == "json":
         import json
 
@@ -378,11 +472,78 @@ def _cmd_parallel_lockstep(args) -> int:
     return 0
 
 
+def _cmd_parallel_shards(args) -> int:
+    """``repro parallel --shards K``: run the sharded bulk-synchronous
+    tier, optionally byte-checking it against the scalar simulator."""
+    import json
+    import os
+
+    from .shard import ShardedSimulator
+
+    design = _get_design(args.design)
+    cache = None if args.no_cache else True
+
+    serial_seconds = serial_state = None
+    if args.compare_serial:
+        serial_env = _default_env(design, args.program, args.arg)
+        serial = make_simulator(design, backend="cuttlesim",
+                                env=serial_env, cache=cache)
+        started = time.perf_counter()
+        serial.run(args.cycles)
+        serial_seconds = time.perf_counter() - started
+        serial_state = serial.state_dict()
+
+    env = _default_env(design, args.program, args.arg)
+    sim = ShardedSimulator(design, args.shards, env=env, cache=cache,
+                           mode=args.shard_mode)
+    started = time.perf_counter()
+    sim.run(args.cycles)
+    wall = time.perf_counter() - started
+    state = sim.state_dict()
+    stats, partition, mode = sim.stats, sim.partition, sim.mode
+    sim.close()
+
+    rate = args.cycles / wall if wall else float("inf")
+    payload = {
+        "schema": "repro-shard-run-v1",
+        "design": args.design,
+        "cycles": args.cycles,
+        "shards": partition.n_shards,
+        "mode": mode,
+        "cpus": os.cpu_count(),
+        "wall_seconds": round(wall, 6),
+        "cycles_per_second": round(rate, 1),
+        "stats": stats.as_dict(),
+        "partition": partition.as_dict(),
+    }
+    print(f"[sharded k={partition.n_shards} {mode}] {args.cycles} cycles "
+          f"in {wall:.3f}s ({rate:,.0f} cycles/s)")
+    fraction = stats.replay_fraction
+    print(f"clean {stats.clean_cycles}, replayed {stats.replay_cycles}"
+          + (f" ({fraction:.1%})" if fraction is not None else ""))
+    identical = True
+    if serial_state is not None:
+        identical = state == serial_state
+        payload["serial_seconds"] = round(serial_seconds, 6)
+        payload["matches_serial"] = identical
+        print(f"serial {serial_seconds:.3f}s; sharded == serial: "
+              + ("yes" if identical else "NO"))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if identical else 1
+
+
 def cmd_parallel(args) -> int:
     import json
 
     from .debug.randomize import randomized_sweep
 
+    if args.shards:
+        if args.batch:
+            raise SystemExit("--shards and --batch are mutually exclusive")
+        return _cmd_parallel_shards(args)
     if args.batch:
         return _cmd_parallel_lockstep(args)
 
@@ -487,6 +648,7 @@ def cmd_fuzz_run(args) -> int:
         "batch": args.batch, "batch_backend": args.batch_backend,
         "pass_prefixes": args.pass_oracle,
         "lint_oracle": args.lint_oracle,
+        "shard_oracle": args.shard_oracle,
     }
     try:
         store = CampaignStore.create(args.state, config, force=args.force)
@@ -641,9 +803,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="static-analysis report for a design")
     p.add_argument("design")
-    p.add_argument("--format", default="text", choices=("text", "json"),
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "dot"),
                    help="text report or a repro-report-v1 JSON document "
-                        "(conflict graph + lint findings)")
+                        "(conflict graph + lint findings); dot needs "
+                        "--conflicts")
+    p.add_argument("--conflicts", action="store_true",
+                   help="dump the rule-conflict graph instead of the full "
+                        "report (text, repro-conflicts-v1 JSON, or "
+                        "Graphviz dot)")
+    p.add_argument("--shards", type=int, default=0, metavar="K",
+                   help="with --conflicts: also partition into K shards "
+                        "(dot colors nodes by shard and draws cut edges "
+                        "red; json embeds the partition)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("lint", help="static lint: port conflicts, dead "
@@ -709,6 +881,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-backend", default="auto",
                    choices=("auto", "numpy", "list"),
                    help="lane storage for --batch (default: %(default)s)")
+    p.add_argument("--shards", type=int, default=0, metavar="K",
+                   help="run the sharded bulk-synchronous tier (K shard "
+                        "models under a cycle barrier) instead of the "
+                        "trial sweep; with --compare-serial the final "
+                        "state is byte-checked against the scalar "
+                        "simulator; --json writes repro-shard-run-v1")
+    p.add_argument("--shard-mode", default="auto",
+                   choices=("auto", "local", "process"),
+                   help="shard transport for --shards "
+                        "(default: %(default)s)")
     p.add_argument("--program", default=None,
                    help="built-in RISC-V program (rv32 designs)")
     p.add_argument("--arg", type=int, default=100)
@@ -779,6 +961,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also replay each design's static lint claims "
                          "against an executed debug trace; refutations "
                          "bucket as lint-unsound failures")
+    fp.add_argument("--shard-oracle", action="store_true",
+                    help="also diff local-mode sharded simulators (K=2,3) "
+                         "against the scalar reference; divergences "
+                         "bucket as sharded-k* failures")
     fp.add_argument("--mutate", type=int, default=2,
                     help="mutants queued per interesting corpus entry")
     fp.add_argument("--mutation-depth", type=int, default=2,

@@ -157,7 +157,8 @@ class ModelCache:
     # -- keys -----------------------------------------------------------------
     def key_for(self, design: Design, *, opt: int, order_independent: bool,
                 simplify: bool, inline_rules, host_optimize: int,
-                batch: int = 0, batch_backend: str = "") -> str:
+                batch: int = 0, batch_backend: str = "",
+                shard: str = "") -> str:
         """Cache key for one (design, compile-flags) combination.
 
         ``host_optimize`` only affects the host ``compile()`` step, but it
@@ -166,7 +167,11 @@ class ModelCache:
         lockstep compiles; they fold the lane width, lane backend and the
         batch emitter version into the key, so scalar and batched builds
         of the same design coexist and a batch emitter upgrade misses
-        cleanly.
+        cleanly.  ``shard`` is nonempty for shard sub-design compiles —
+        it carries the shard index, partitioner version and partition
+        content hash (see :mod:`repro.shard`), so a shard model never
+        collides with a whole-design model of the same fingerprint and a
+        partitioner change misses cleanly.
 
         The key also embeds the *pass-list fingerprint* (pass names and
         versions, :func:`~.passes.pipeline_fingerprint`): reordering the
@@ -185,6 +190,8 @@ class ModelCache:
 
             flags += (f";batch={int(batch)};bk={batch_backend}"
                       f";bcg={BATCH_CODEGEN_VERSION}")
+        if shard:
+            flags += f";shard={shard}"
         return hashlib.sha256(
             f"{design_fingerprint(design)};{flags}".encode()).hexdigest()
 

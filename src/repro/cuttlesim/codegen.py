@@ -1732,7 +1732,8 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
                   debug: bool = False, order_independent: bool = False,
                   warn_goldberg: bool = True, inline_rules=None,
                   host_optimize: int = -1, simplify: bool = False,
-                  cache=None, batch: int = 0, batch_backend: str = "auto"):
+                  cache=None, batch: int = 0, batch_backend: str = "auto",
+                  shard_key: str = ""):
     """Compile a design into a Cuttlesim model class.
 
     Returns the class; instantiate with an :class:`Environment` to simulate.
@@ -1758,6 +1759,11 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
     representation (``"auto"``, ``"numpy"`` or ``"list"``).  Batched
     builds follow the O2 semantics family and reject ``instrument``,
     ``debug``, ``simplify`` and ``inline_rules``.
+
+    ``shard_key`` is set by the sharded tier (:mod:`repro.shard`) when
+    compiling a shard *sub-design*: it extends the cache key with the
+    shard's index and the partition's content hash, keeping shard models
+    distinct from whole-design models in the shared cache.
     """
     if not design.finalized:
         design.finalize()
@@ -1778,7 +1784,7 @@ def compile_model(design: Design, opt: int = 5, instrument: bool = False,
         store = resolve_cache(cache)
         key = store.key_for(design, opt=opt, order_independent=order_independent,
                             simplify=simplify, inline_rules=inline_rules,
-                            host_optimize=host_optimize)
+                            host_optimize=host_optimize, shard=shard_key)
         cls = store.lookup_class(key)
         if cls is not None:
             return cls

@@ -7,7 +7,7 @@ Table 1 lists them.
 from .collatz import build_collatz, build_stm
 from .fft import build_fft, fixed_point_fft_stage
 from .fir import DEFAULT_TAPS, build_fir, reference_fir
-from .msi import CoherenceDriver, build_msi, make_msi_env
+from .msi import CoherenceDriver, build_msi, make_msi, make_msi_env
 from .soc import SocDevice, build_soc, make_soc_env, print_string_source
 from .stdlib import Fifo2, Lfsr, RisingEdge, SaturatingCounter
 from .uart import UartDriver, build_uart, make_uart_env
@@ -29,7 +29,7 @@ TABLE1_DESIGNS = {
 __all__ = [
     "build_collatz", "build_stm", "build_fft", "fixed_point_fft_stage",
     "DEFAULT_TAPS", "build_fir", "reference_fir",
-    "CoherenceDriver", "build_msi", "make_msi_env",
+    "CoherenceDriver", "build_msi", "make_msi", "make_msi_env",
     "UartDriver", "build_uart", "make_uart_env",
     "SocDevice", "build_soc", "make_soc_env", "print_string_source",
     "Fifo2", "Lfsr", "RisingEdge", "SaturatingCounter",

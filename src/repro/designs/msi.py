@@ -1,14 +1,20 @@
-"""A 2-core MSI cache-coherence system (case study 1).
+"""An N-core MSI cache-coherence system (case study 1, parameterized).
 
-Two cores with L1 "child" caches and a "parent" protocol engine
-implementing the MSI protocol over a 4-line address space.  The moving
-pieces match the paper's description:
+``make_msi(n_cores, n_lines)`` builds a directory-based MSI protocol:
+N cores with L1 "child" caches and one "parent" protocol engine over an
+``n_lines``-line address space.  The moving pieces match the paper's
+description:
 
 * **MSHRs** — each cache has a miss-status holding register whose tag is
   ``Ready``, ``SendFillReq`` (miss: must request a fill from the parent),
   or ``WaitFillResp`` (waiting for the parent's response).
-* **The parent** is either ``Idle`` or ``ConfirmDowngrades`` — the latter
-  while it waits for the other core to acknowledge a downgrade.
+* **The parent** walks ``Idle`` → ``ProcessRequest`` →
+  (``ConfirmDowngrades`` → ``ProcessRequest``)* → ``Idle``: it accepts
+  one fill request, then downgrades needy rivals *one at a time* —
+  re-checking the directory after each acknowledgement — and finally
+  grants.  With two cores this is the paper's protocol with one extra
+  pipeline stage; with N cores the re-check loop is what visits every
+  sharer.
 * Downgrade acknowledgements travel over a *wire*: the downgrading child
   announces completion every cycle at port 0, and the parent's
   ``confirm_downgrades`` rule reads it at port 1 in the same cycle.
@@ -16,32 +22,41 @@ pieces match the paper's description:
 ``bug=True`` reproduces the case-study deadlock verbatim: the child's
 announce rule *accidentally writes at port 1 instead of port 0*.  A write
 at port 1 conflicts with the parent's same-cycle read at port 1, so
-``confirm_downgrades`` aborts — every cycle, forever: core 0 is stuck in
-``WaitFillResp`` and the parent in ``ConfirmDowngrades``, exactly the
-state the paper's programmer finds in gdb.
+``confirm_downgrades`` aborts — every cycle, forever: the requesting core
+is stuck in ``WaitFillResp`` and the parent in ``ConfirmDowngrades``,
+exactly the state the paper's programmer finds in gdb.
+
+``build_msi(bug)`` keeps the original fixed 2-core, 4-line system (the
+case study); the parameterized variants (``make_msi(4, 8)``,
+``make_msi(8, 16)``, ...) are the workloads the sharded simulation tier
+(:mod:`repro.shard`) partitions — each core's cache is almost entirely
+shard-private state.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..harness.env import Device, Environment, SimHandle
 from ..koika.ast import C, If, Let, Seq, V, enum_const, struct_init, unit
 from ..koika.design import Design
 from ..koika.dsl import RegArray, guard, mux, seq, when
 from ..koika.types import EnumType, StructType, bits
+from .stdlib import Lfsr
 
 #: Cache-line coherence states.
 MSI = EnumType("msi", ["I", "S", "M"])
 #: MSHR tags (names straight from the paper).
 MSHR = EnumType("mshr_tag", ["Ready", "SendFillReq", "WaitFillResp"])
-#: Parent protocol-engine states.
-PSTATE = EnumType("pstate", ["Idle", "ConfirmDowngrades"])
+#: Parent protocol-engine states.  ``ProcessRequest`` holds the accepted
+#: request while the parent downgrades rivals one at a time.
+PSTATE = EnumType("pstate", ["Idle", "ConfirmDowngrades", "ProcessRequest"])
 
+#: The case study's fixed geometry (kept for compatibility).
 N_LINES = 4
 ADDR_W = 2
 
-#: Child -> parent fill request.
+#: Child -> parent fill request (case-study geometry).
 CREQ = StructType("creq", [("addr", bits(ADDR_W)), ("want", MSI)])
 #: Parent -> child fill response.
 CRSP = StructType("crsp", [("addr", bits(ADDR_W)), ("state", MSI),
@@ -50,38 +65,84 @@ CRSP = StructType("crsp", [("addr", bits(ADDR_W)), ("state", MSI),
 DREQ = StructType("dreq", [("addr", bits(ADDR_W)), ("to", MSI)])
 
 
-def build_msi(bug: bool = False) -> Design:
-    """Build the coherence system; ``bug=True`` plants the wr1 deadlock."""
-    design = Design("msi" + ("_buggy" if bug else ""))
+def make_msi(n_cores: int = 2, n_lines: int = 4, bug: bool = False,
+             traffic: Union[bool, int] = False,
+             name: Optional[str] = None) -> Design:
+    """Build an ``n_cores``-core, ``n_lines``-line MSI coherence system.
+
+    ``bug=True`` plants the case study's wr1 deadlock in every child's
+    announce rule.  ``traffic`` adds a self-driving traffic generator to
+    every core (an LFSR-fed rule that issues the next memory access
+    whenever the core is idle — mostly to a per-core private line
+    stripe, rarely to a shared range), so the design makes progress with
+    *no testbench device at all*; that is the workload the sharded
+    tier's chunked barriers want, since devices pin the barrier to
+    per-cycle granularity.  ``traffic=True`` means a shared access about
+    every 2**8 issues; an integer ``s`` (1..11) makes it every 2**s.
+    Traffic mode needs power-of-two ``n_cores``/``n_lines`` with
+    ``2 * n_cores <= n_lines <= 64`` (lower half of the lines = private
+    stripes, upper half = shared).  ``name`` overrides the design name
+    (defaults to ``msi{n_cores}x{n_lines}`` plus
+    ``_buggy``/``_traffic{s}``).
+    """
+    if n_cores < 2:
+        raise ValueError("make_msi needs at least 2 cores")
+    if n_lines < 1:
+        raise ValueError("make_msi needs at least 1 line")
+    shared_shift = 0
+    if traffic:
+        shared_shift = 8 if traffic is True else int(traffic)
+        if not 1 <= shared_shift <= 11:
+            raise ValueError("traffic rarity must be in 1..11 "
+                             "(shared access every 2**s issues)")
+        if n_cores & (n_cores - 1) or n_lines & (n_lines - 1) \
+                or n_lines < 2 * n_cores or n_lines > 64:
+            raise ValueError(
+                "traffic mode needs power-of-two n_cores and n_lines "
+                "with 2 * n_cores <= n_lines <= 64")
+    addr_w = max(1, (n_lines - 1).bit_length())
+    core_w = max(1, (n_cores - 1).bit_length())
+    if name is None:
+        name = (f"msi{n_cores}x{n_lines}" + ("_buggy" if bug else "")
+                + (f"_traffic{shared_shift}" if traffic else ""))
+    design = Design(name)
+
+    # Channel payloads are sized to the address space, so every geometry
+    # gets its own struct types (same shapes as the module-level
+    # case-study constants).
+    creq_t = StructType("creq", [("addr", bits(addr_w)), ("want", MSI)])
+    crsp_t = StructType("crsp", [("addr", bits(addr_w)), ("state", MSI),
+                                 ("data", bits(32))])
+    dreq_t = StructType("dreq", [("addr", bits(addr_w)), ("to", MSI)])
 
     children = []
-    for i in (0, 1):
+    for i in range(n_cores):
         p = f"c{i}_"
         child = {
-            "states": RegArray(design, f"{p}state", N_LINES, MSI, MSI.I),
-            "data": RegArray(design, f"{p}data", N_LINES, 32),
+            "states": RegArray(design, f"{p}state", n_lines, MSI, MSI.I),
+            "data": RegArray(design, f"{p}data", n_lines, 32),
             "mshr": design.reg(f"{p}mshr", MSHR, MSHR.Ready),
-            "mshr_addr": design.reg(f"{p}mshr_addr", ADDR_W, 0),
+            "mshr_addr": design.reg(f"{p}mshr_addr", addr_w, 0),
             "mshr_want": design.reg(f"{p}mshr_want", MSI, MSI.I),
             "cmd_valid": design.reg(f"{p}cmd_valid", 1, 0),
-            "cmd_addr": design.reg(f"{p}cmd_addr", ADDR_W, 0),
+            "cmd_addr": design.reg(f"{p}cmd_addr", addr_w, 0),
             "cmd_want": design.reg(f"{p}cmd_want", MSI, MSI.I),
             "cmd_data": design.reg(f"{p}cmd_data", 32, 0),
             "result": design.reg(f"{p}result", 32, 0),
             "done": design.reg(f"{p}done", 16, 0),
             # fill request channel (child enq @0, parent deq @1)
             "creq_valid": design.reg(f"{p}creq_valid", 1, 0),
-            "creq_data": design.reg(f"{p}creq_data", CREQ, 0),
+            "creq_data": design.reg(f"{p}creq_data", creq_t, 0),
             # fill response channel (parent enq @1, child deq @0)
             "crsp_valid": design.reg(f"{p}crsp_valid", 1, 0),
-            "crsp_data": design.reg(f"{p}crsp_data", CRSP, 0),
+            "crsp_data": design.reg(f"{p}crsp_data", crsp_t, 0),
             # downgrade request channel (parent enq @1, child deq @0)
             "dreq_valid": design.reg(f"{p}dreq_valid", 1, 0),
-            "dreq_data": design.reg(f"{p}dreq_data", DREQ, 0),
+            "dreq_data": design.reg(f"{p}dreq_data", dreq_t, 0),
             # downgrade-acknowledge *wire* (child announces @0, parent
             # reads @1 the same cycle)
             "ack_valid": design.reg(f"{p}ack_valid", 1, 0),
-            "ack_addr": design.reg(f"{p}ack_addr", ADDR_W, 0),
+            "ack_addr": design.reg(f"{p}ack_addr", addr_w, 0),
             "ack_data": design.reg(f"{p}ack_data", 32, 0),
             "ack_was_m": design.reg(f"{p}ack_was_m", 1, 0),
             # announcing mode flag
@@ -89,12 +150,13 @@ def build_msi(bug: bool = False) -> Design:
         }
         children.append(child)
 
-    directory = [RegArray(design, f"dir_c{i}", N_LINES, MSI, MSI.I)
-                 for i in (0, 1)]
-    pmem = RegArray(design, "pmem", N_LINES, 32)
+    directory = [RegArray(design, f"dir_c{i}", n_lines, MSI, MSI.I)
+                 for i in range(n_cores)]
+    pmem = RegArray(design, "pmem", n_lines, 32)
     p_state = design.reg("p_state", PSTATE, PSTATE.Idle)
-    p_child = design.reg("p_child", 1, 0)        # requesting child
-    p_addr = design.reg("p_addr", ADDR_W, 0)
+    p_child = design.reg("p_child", core_w, 0)   # requesting child
+    p_rival = design.reg("p_rival", core_w, 0)   # child being downgraded
+    p_addr = design.reg("p_addr", addr_w, 0)
     p_want = design.reg("p_want", MSI, MSI.I)
     p_to = design.reg("p_to", MSI, MSI.I)        # downgrade target state
 
@@ -108,18 +170,18 @@ def build_msi(bug: bool = False) -> Design:
         p = f"c{i}_"
 
         # recv_resp: install the fill response, complete the command.
-        addr = V("addr")
         resp = V("resp")
         design.rule(f"{p}recv_resp", seq(
             guard(child["crsp_valid"].rd0() == C(1, 1)),
             Let("resp", child["crsp_data"].rd0(), Let(
                 "addr", resp.field("addr"), seq(
                     child["crsp_valid"].wr0(C(0, 1)),
-                    child["states"].write(0, addr, resp.field("state")),
+                    child["states"].write(0, V("addr"), resp.field("state")),
                     If(resp.field("state") == msi_c("M"),
                        # write fill: install the store data
-                       child["data"].write(0, addr, child["cmd_data"].rd0()),
-                       child["data"].write(0, addr, resp.field("data"))),
+                       child["data"].write(0, V("addr"),
+                                           child["cmd_data"].rd0()),
+                       child["data"].write(0, V("addr"), resp.field("data"))),
                     child["result"].wr0(resp.field("data")),
                     child["mshr"].wr0(enum_const(MSHR, "Ready")),
                     child["cmd_valid"].wr0(C(0, 1)),
@@ -196,98 +258,176 @@ def build_msi(bug: bool = False) -> Design:
             guard(child["mshr"].rd0() == enum_const(MSHR, "SendFillReq")),
             guard(child["creq_valid"].rd0() == C(0, 1)),
             child["creq_data"].wr0(struct_init(
-                CREQ, addr=child["mshr_addr"].rd0(),
+                creq_t, addr=child["mshr_addr"].rd0(),
                 want=child["mshr_want"].rd0())),
             child["creq_valid"].wr0(C(1, 1)),
             child["mshr"].wr0(enum_const(MSHR, "WaitFillResp")),
         ))
 
     # ------------------------------------------------------------------
+    # Traffic generators (traffic mode only): whenever a core is idle,
+    # issue its next access — LFSR-picked address and op, mostly inside
+    # the core's private line stripe, rarely (1/256) into the shared
+    # upper half.  Everything a generator touches is core-private, so
+    # under the sharded tier these rules never cross shards.
+    # ------------------------------------------------------------------
+    if traffic:
+        half = n_lines // 2
+        priv = half // n_cores  # power-of-two stripe, >= 1
+        priv_bits = (priv - 1).bit_length()
+        shared_bits = (half - 1).bit_length()  # <= 5 (n_lines <= 64)
+        # LFSR bit budget: [0:s] rarity test, [10] op choice, [11:16]
+        # address offset — offsets never alias the zeroed rarity bits,
+        # so shared accesses still spread over the whole shared range.
+        for i, child in enumerate(children):
+            p = f"c{i}_"
+            lfsr = Lfsr(design, f"{p}lfsr", 16,
+                        seed=((0xACE1 + 0x9E37 * i) & 0xFFFF) or 1)
+            rnd = V("rnd")
+            priv_addr = C(i * priv, addr_w)
+            if priv > 1:
+                priv_addr = priv_addr | rnd[11:11 + priv_bits].zext(addr_w)
+            shared_addr = C(half, addr_w) | \
+                rnd[11:11 + shared_bits].zext(addr_w)
+            design.rule(f"{p}traffic", seq(
+                guard(child["cmd_valid"].rd0() == C(0, 1)),
+                guard(child["mshr"].rd0() == enum_const(MSHR, "Ready")),
+                Let("rnd", lfsr.value(0), seq(
+                    child["cmd_addr"].wr0(mux(
+                        rnd[0:shared_shift] == C(0, shared_shift),
+                        shared_addr, priv_addr)),
+                    child["cmd_want"].wr0(mux(
+                        rnd[10] == C(1, 1), msi_c("M"), msi_c("S"))),
+                    child["cmd_data"].wr0(rnd.zext(32)),
+                    child["cmd_valid"].wr0(C(1, 1)),
+                )),
+                lfsr.step(0),
+            ))
+
+    # ------------------------------------------------------------------
     # Parent rules.
     # ------------------------------------------------------------------
     def handle_request(i: int):
-        """Process child i's fill request (runs with p_state == Idle)."""
-        other = 1 - i
-        child, rival = children[i], children[other]
+        """Accept child i's fill request (runs with p_state == Idle).
+
+        Only latches the request; the downgrade walk and the grant run
+        in ``ProcessRequest``.  The ``p_state`` wr0 here blocks the
+        same-cycle rd0 in every later ``handle_req`` rule, so exactly
+        one request is accepted per Idle window (lowest core index
+        wins the cycle).
+        """
+        child = children[i]
         req = V("req")
-        addr = req.field("addr")
-        want = req.field("want")
-        # Port 1: see directory updates made by an earlier grant this cycle.
-        rival_state = directory[other].read(1, addr)
-        needs_downgrade = mux(
-            want == msi_c("M"), rival_state != msi_c("I"),
-            mux(want == msi_c("S"), rival_state == msi_c("M"), C(0, 1)))
-        grant = seq(
+        return seq(
+            guard(p_state.rd0() == enum_const(PSTATE, "Idle")),
+            guard(child["creq_valid"].rd1() == C(1, 1)),
+            child["creq_valid"].wr1(C(0, 1)),
+            Let("req", child["creq_data"].rd1(), seq(
+                p_addr.wr0(req.field("addr")),
+                p_want.wr0(req.field("want")),
+            )),
+            p_child.wr0(C(i, core_w)),
+            p_state.wr0(enum_const(PSTATE, "ProcessRequest")),
+        )
+
+    for i in range(n_cores):
+        design.rule(f"parent_handle_req{i}", handle_request(i))
+
+    # parent_process: with a request latched, either start downgrading
+    # the first rival whose directory state conflicts, or — when no
+    # rival conflicts any more — grant.
+    def need_for(j: int):
+        """Does rival j's directory entry block the latched request?"""
+        rival_state = directory[j].read(0, p_addr.rd0())
+        return mux(
+            p_want.rd0() == msi_c("M"), rival_state != msi_c("I"),
+            mux(p_want.rd0() == msi_c("S"), rival_state == msi_c("M"),
+                C(0, 1)))
+
+    def downgrade(j: int):
+        rival = children[j]
+        return seq(
+            guard(rival["dreq_valid"].rd1() == C(0, 1)),
+            rival["dreq_data"].wr1(struct_init(
+                dreq_t, addr=p_addr.rd0(),
+                to=mux(p_want.rd0() == msi_c("M"), msi_c("I"),
+                       msi_c("S")))),
+            rival["dreq_valid"].wr1(C(1, 1)),
+            p_rival.wr0(C(j, core_w)),
+            p_to.wr0(mux(p_want.rd0() == msi_c("M"), msi_c("I"),
+                         msi_c("S"))),
+            p_state.wr0(enum_const(PSTATE, "ConfirmDowngrades")),
+        )
+
+    def grant(i: int):
+        child = children[i]
+        return seq(
             guard(child["crsp_valid"].rd1() == C(0, 1)),
             child["crsp_valid"].wr1(C(1, 1)),
             child["crsp_data"].wr1(struct_init(
-                CRSP, addr=addr, state=want,
-                data=pmem.read(0, addr))),
-            directory[i].write(0, addr, want),
-        )
-        downgrade = seq(
-            guard(rival["dreq_valid"].rd1() == C(0, 1)),
-            rival["dreq_data"].wr1(struct_init(
-                DREQ, addr=addr,
-                to=mux(want == msi_c("M"), msi_c("I"), msi_c("S")))),
-            rival["dreq_valid"].wr1(C(1, 1)),
-            p_state.wr0(enum_const(PSTATE, "ConfirmDowngrades")),
-            p_child.wr0(C(i, 1)),
-            p_addr.wr0(addr),
-            p_want.wr0(want),
-            p_to.wr0(mux(want == msi_c("M"), msi_c("I"), msi_c("S"))),
-        )
-        return seq(
-            guard(p_state.rd0() == enum_const(PSTATE, "Idle")),
-            guard(children[i]["creq_valid"].rd1() == C(1, 1)),
-            children[i]["creq_valid"].wr1(C(0, 1)),
-            Let("req", children[i]["creq_data"].rd1(),
-                If(needs_downgrade, downgrade, grant)),
+                crsp_t, addr=p_addr.rd0(), state=p_want.rd0(),
+                data=pmem.read(0, p_addr.rd0()))),
+            directory[i].write(0, p_addr.rd0(), p_want.rd0()),
+            p_state.wr0(enum_const(PSTATE, "Idle")),
         )
 
-    design.rule("parent_handle_req0", handle_request(0))
-    design.rule("parent_handle_req1", handle_request(1))
+    def process_for(i: int):
+        """Downgrade-or-grant when the requesting child is ``i``."""
+        body = grant(i)
+        for j in reversed([j for j in range(n_cores) if j != i]):
+            body = If(need_for(j), downgrade(j), body)
+        return body
 
-    # confirm_downgrades: wait for the other child's acknowledgement.
-    def confirm_for(other: int):
-        """Confirmation path when the downgrading child is ``other``."""
-        rival = children[other]
-        req_child = children[1 - other]
+    process = process_for(n_cores - 1)
+    for i in reversed(range(n_cores - 1)):
+        process = If(p_child.rd0() == C(i, core_w), process_for(i), process)
+    design.rule("parent_process", seq(
+        guard(p_state.rd0() == enum_const(PSTATE, "ProcessRequest")),
+        process,
+    ))
+
+    # confirm_downgrades: wait for the downgrading child's wire
+    # acknowledgement, retire it, and loop back to ProcessRequest to
+    # re-check the remaining rivals (or grant).
+    def confirm_for(j: int):
+        rival = children[j]
         return seq(
             # The read at port 1 the case study stares at in gdb:
             guard(rival["ack_valid"].rd1() == C(1, 1)),
             # Collect the writeback if the line was Modified.
             when(rival["ack_was_m"].rd1() == C(1, 1),
                  pmem.write(0, p_addr.rd0(), rival["ack_data"].rd1())),
-            directory[other].write(0, p_addr.rd0(), p_to.rd0()),
+            directory[j].write(0, p_addr.rd0(), p_to.rd0()),
             rival["ack_valid"].wr1(C(0, 1)),
             rival["announcing"].wr1(C(0, 1)),
-            # Grant the original request.
-            guard(req_child["crsp_valid"].rd1() == C(0, 1)),
-            req_child["crsp_valid"].wr1(C(1, 1)),
-            req_child["crsp_data"].wr1(struct_init(
-                CRSP, addr=p_addr.rd0(), state=p_want.rd0(),
-                data=pmem.read(1, p_addr.rd0()))),
-            directory[1 - other].write(0, p_addr.rd0(), p_want.rd0()),
-            p_state.wr0(enum_const(PSTATE, "Idle")),
+            p_state.wr0(enum_const(PSTATE, "ProcessRequest")),
         )
 
+    confirm = confirm_for(n_cores - 1)
+    for j in reversed(range(n_cores - 1)):
+        confirm = If(p_rival.rd0() == C(j, core_w), confirm_for(j), confirm)
     design.rule("parent_confirm_downgrades", seq(
         guard(p_state.rd0() == enum_const(PSTATE, "ConfirmDowngrades")),
-        If(p_child.rd0() == C(0, 1),
-           confirm_for(other=1),
-           confirm_for(other=0)),
+        confirm,
     ))
 
     schedule = []
-    for i in (0, 1):
+    for i in range(n_cores):
         p = f"c{i}_"
         schedule += [f"{p}recv_resp", f"{p}handle_downgrade",
                      f"{p}announce", f"{p}request", f"{p}send_fill"]
-    schedule += ["parent_handle_req0", "parent_handle_req1",
-                 "parent_confirm_downgrades"]
+        if traffic:
+            schedule.append(f"{p}traffic")
+    schedule += [f"parent_handle_req{i}" for i in range(n_cores)]
+    schedule += ["parent_process", "parent_confirm_downgrades"]
     design.schedule(*schedule)
     return design.finalize()
+
+
+def build_msi(bug: bool = False) -> Design:
+    """The case study's fixed 2-core, 4-line system (compat entry point)."""
+    return make_msi(2, N_LINES, bug=bug,
+                    name="msi" + ("_buggy" if bug else ""))
 
 
 class CoherenceDriver(Device):
@@ -299,28 +439,35 @@ class CoherenceDriver(Device):
 
     ``sequential=True`` (the default) issues operations one at a time in
     script order — deterministic, for checking data values.  With
-    ``sequential=False`` both cores run their own streams concurrently
+    ``sequential=False`` every core runs its own stream concurrently
     (a stress mode; inter-core ordering is then up to the protocol).
+
+    ``n_cores`` defaults to 2, or more when the script names a higher
+    core index.
     """
 
     def __init__(self, script: List[Tuple[int, str, int, int]],
-                 sequential: bool = True):
+                 sequential: bool = True, n_cores: Optional[int] = None):
         self.script = list(script)
+        if n_cores is None:
+            n_cores = max([2] + [core + 1 for core, _, _, _ in self.script])
+        self.n_cores = n_cores
         self.sequential = sequential
-        self.pokes = {f"c{core}_cmd_{field}" for core in (0, 1)
+        self.pokes = {f"c{core}_cmd_{field}" for core in range(n_cores)
                       for field in ("addr", "want", "data", "valid")}
         self.reset()
 
     def reset(self) -> None:
-        self.queues: List[List[Tuple[str, int, int]]] = [[], []]
+        n = self.n_cores
+        self.queues: List[List[Tuple[str, int, int]]] = [[] for _ in range(n)]
         self.global_queue = [(core, op, addr, data)
                              for core, op, addr, data in self.script]
         if not self.sequential:
             for core, op, addr, data in self.script:
                 self.queues[core].append((op, addr, data))
-        self.inflight: List[Optional[Tuple[str, int, int]]] = [None, None]
-        self.completed = [0, 0]
-        self.reads: List[List[int]] = [[], []]
+        self.inflight: List[Optional[Tuple[str, int, int]]] = [None] * n
+        self.completed = [0] * n
+        self.reads: List[List[int]] = [[] for _ in range(n)]
 
     def _retire(self, sim: SimHandle, core: int) -> None:
         p = f"c{core}_"
@@ -342,14 +489,14 @@ class CoherenceDriver(Device):
         self.inflight[core] = (op, addr, data)
 
     def after_cycle(self, sim: SimHandle) -> None:
-        for core in (0, 1):
+        for core in range(self.n_cores):
             self._retire(sim, core)
         if self.sequential:
-            if self.inflight == [None, None] and self.global_queue:
+            if not any(self.inflight) and self.global_queue:
                 core, op, addr, data = self.global_queue.pop(0)
                 self._issue(sim, core, op, addr, data)
             return
-        for core in (0, 1):
+        for core in range(self.n_cores):
             if self.inflight[core] is None and self.queues[core] \
                     and not sim.peek(f"c{core}_cmd_valid"):
                 op, addr, data = self.queues[core].pop(0)
@@ -358,11 +505,14 @@ class CoherenceDriver(Device):
     @property
     def all_done(self) -> bool:
         if self.sequential:
-            return not self.global_queue and self.inflight == [None, None]
-        return (not any(self.queues) and self.inflight == [None, None])
+            return not self.global_queue and not any(self.inflight)
+        return (not any(self.queues) and not any(self.inflight))
 
 
-def make_msi_env(script: List[Tuple[int, str, int, int]]) -> Environment:
+def make_msi_env(script: List[Tuple[int, str, int, int]],
+                 sequential: bool = True,
+                 n_cores: Optional[int] = None) -> Environment:
     env = Environment()
-    env.add_device(CoherenceDriver(script))
+    env.add_device(CoherenceDriver(script, sequential=sequential,
+                                   n_cores=n_cores))
     return env

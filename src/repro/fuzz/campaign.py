@@ -246,6 +246,7 @@ def reduce_buckets(store: CampaignStore, budget: int = 400,
             schedule_seeds=final.schedule_seeds,
             batch=final.batch, batch_backend=final.batch_backend,
             lint_oracle=final.lint_oracle,
+            shard_oracle=final.shard_oracle,
             name=f"repro_{slugify(signature)[:40]}",
             provenance={"seed": final.seed,
                         "mutations": list(final.mutations),

@@ -83,7 +83,7 @@ def repro_script(design: Design, *, signature: str, cycles: int,
                  opts=(), include_rtl: bool = False,
                  include_simplified: bool = False, schedule_seeds=(),
                  batch: int = 0, batch_backend: str = "auto",
-                 lint_oracle: bool = False,
+                 lint_oracle: bool = False, shard_oracle: bool = False,
                  provenance: Optional[Dict[str, object]] = None,
                  name: Optional[str] = None) -> str:
     """A standalone, executable repro module for a reduced bucket.
@@ -113,7 +113,8 @@ def repro_script(design: Design, *, signature: str, cycles: int,
                     f"include_simplified={include_simplified}, "
                     f"schedule_seeds={tuple(schedule_seeds)!r}, "
                     f"batch={batch}, batch_backend={batch_backend!r}, "
-                    f"lint_oracle={lint_oracle})")
+                    f"lint_oracle={lint_oracle}, "
+                    f"shard_oracle={shard_oracle})")
     return "\n".join(header + [
         "",
         "import os as _os, sys as _sys",

@@ -72,6 +72,9 @@ class SeedJob:
     #: Lint soundness oracle: replay the static analyses' claims against
     #: an executed debug trace (status ``lint-unsound`` on refutation).
     lint_oracle: bool = False
+    #: Sharded-simulation oracle: diff local-mode sharded simulators
+    #: (K=2, 3) against the reference trace (:mod:`repro.shard`).
+    shard_oracle: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -87,6 +90,7 @@ class SeedJob:
             "batch_backend": self.batch_backend,
             "pass_prefixes": self.pass_prefixes,
             "lint_oracle": self.lint_oracle,
+            "shard_oracle": self.shard_oracle,
         }
 
     @classmethod
@@ -105,6 +109,7 @@ class SeedJob:
             batch_backend=str(payload.get("batch_backend", "auto")),
             pass_prefixes=bool(payload.get("pass_prefixes", False)),
             lint_oracle=bool(payload.get("lint_oracle", False)),
+            shard_oracle=bool(payload.get("shard_oracle", False)),
         )
 
     def narrowed(self, **changes) -> "SeedJob":
@@ -204,7 +209,8 @@ def verify_design(design: Design, cycles: int = 32,
                   cache=None, batch: int = 0,
                   batch_backend: str = "auto",
                   pass_prefixes: bool = False,
-                  lint_oracle: bool = False) -> None:
+                  lint_oracle: bool = False,
+                  shard_oracle: bool = False) -> None:
     """Differentially verify ``design``; raise on the first disagreement.
 
     This is the campaign's check function *and* what emitted repro
@@ -224,6 +230,12 @@ def verify_design(design: Design, cycles: int = 32,
     (always-failing ops, never-firing rules, dead writes, register
     invariants) against an in-order debug trace and raises
     :class:`~repro.analysis.oracle.LintUnsoundError` on any refutation.
+
+    ``shard_oracle=True`` additionally diffs the sharded bulk-synchronous
+    tier (:class:`repro.shard.ShardedSimulator`, local mode, K=2 and 3)
+    against the reference trace — exercising the partitioner's hot-rule
+    analysis and the barrier's replay machinery on every generated
+    design.  Backends report as ``sharded-k2``/``sharded-k3``.
     """
     from ..cuttlesim.codegen import compile_model
 
@@ -289,6 +301,18 @@ def verify_design(design: Design, cycles: int = 32,
             compare_traces(design.name, f"{model.backend_name}-lane{lane}",
                            trace, collect_trace(scalar, registers, cycles),
                            registers, reference_name="cuttlesim-O2")
+
+    if shard_oracle:
+        from ..shard import ShardedSimulator
+
+        for k in (2, 3):
+            sim = ShardedSimulator(design, k, mode="local", cache=cache)
+            try:
+                if sim.partition.n_shards < 2:
+                    continue  # clamped to solo: nothing sharded to test
+                check(f"sharded-k{sim.partition.n_shards}", sim)
+            finally:
+                sim.close()
 
     if schedule_seeds:
         from ..semantics.interp import Interpreter
@@ -362,7 +386,8 @@ def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
                       schedule_seeds=job.schedule_seeds, cache=cache,
                       batch=job.batch, batch_backend=job.batch_backend,
                       pass_prefixes=job.pass_prefixes,
-                      lint_oracle=job.lint_oracle)
+                      lint_oracle=job.lint_oracle,
+                      shard_oracle=job.shard_oracle)
     except LintUnsoundError as exc:
         outcome["status"] = "lint-unsound"
         outcome["error"] = {"type": "LintUnsoundError",

@@ -219,7 +219,8 @@ def reduce_bucket(job: SeedJob, signature: str,
     # 1. Narrow the backend matrix to the diverging pair.
     backend = signature.split(":", 1)[0]
     narrowed = dict(opts=(), include_rtl=False, include_simplified=False,
-                    schedule_seeds=(), batch=0, lint_oracle=False)
+                    schedule_seeds=(), batch=0, lint_oracle=False,
+                    shard_oracle=False)
     if backend == "lint":
         # Lint-oracle refutation: the claim replays on its own debug
         # trace, no differential backend needed.
@@ -229,6 +230,11 @@ def reduce_bucket(job: SeedJob, signature: str,
         # width — lane state depends on it), drop every other backend.
         narrowed["batch"] = job.batch
         narrowed["batch_backend"] = job.batch_backend
+    elif backend.startswith("sharded-k"):
+        # Sharded-tier divergence: keep the shard oracle (it re-runs
+        # both K values — the partition of a shrunk design shifts
+        # anyway), drop every other backend.
+        narrowed["shard_oracle"] = True
     elif backend.startswith("cuttlesim-O5-sched"):
         narrowed["schedule_seeds"] = (int(backend[len("cuttlesim-O5-sched"):]),)
     elif backend == "cuttlesim-O5-simplified":

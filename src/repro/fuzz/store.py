@@ -41,6 +41,7 @@ _DEFAULT_CONFIG = {
     "pass_prefixes": False,  # per-pass oracle: diff every pipeline prefix
     "batch_backend": "auto",
     "lint_oracle": False,    # replay static lint claims against traces
+    "shard_oracle": False,   # diff sharded simulators (K=2,3) vs reference
 }
 
 
@@ -142,6 +143,7 @@ class CampaignStore:
             batch_backend=str(config.get("batch_backend", "auto")),
             pass_prefixes=bool(config.get("pass_prefixes", False)),
             lint_oracle=bool(config.get("lint_oracle", False)),
+            shard_oracle=bool(config.get("shard_oracle", False)),
         )
 
     def next_jobs(self, limit: int) -> List[SeedJob]:

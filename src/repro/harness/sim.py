@@ -35,13 +35,33 @@ BACKENDS = ("interp", "cuttlesim", "rtl-cycle", "rtl-event", "rtl-bluespec")
 def make_simulator(design: Design, backend: str = "cuttlesim",
                    env: Optional[Environment] = None, opt: int = 5,
                    instrument: bool = False, debug: bool = False,
-                   order_independent: bool = False, cache=None):
+                   order_independent: bool = False, cache=None,
+                   shards: int = 0, shard_mode: str = "auto"):
     """Build a ready-to-run simulator for ``design`` on any backend.
 
     ``cache`` is forwarded to the Cuttlesim compiler (a
     :class:`~repro.cuttlesim.cache.ModelCache` or ``True`` for the shared
-    default); other backends ignore it."""
+    default); other backends ignore it.
+
+    ``shards=K`` (K >= 1, cuttlesim backend only) returns the sharded
+    bulk-synchronous tier instead: the design is statically partitioned
+    into K shard models advanced under a per-cycle barrier
+    (:class:`repro.shard.ShardedSimulator`), trace-identical to the
+    scalar simulator.  ``shard_mode`` picks the transport (``auto``,
+    ``local``, ``process``)."""
     env = env or Environment()
+    if shards:
+        if backend != "cuttlesim":
+            raise SimulationError(
+                "shards=K requires the cuttlesim backend")
+        if instrument or debug:
+            raise SimulationError(
+                "sharded simulation does not support instrument/debug "
+                "builds; use the scalar tier")
+        from ..shard import ShardedSimulator
+
+        return ShardedSimulator(design, shards, env=env, opt=opt,
+                                cache=cache, mode=shard_mode)
     if backend == "interp":
         from ..semantics.interp import Interpreter
 

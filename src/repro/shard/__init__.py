@@ -1,0 +1,22 @@
+"""Sharded bulk-synchronous simulation: partition a design's rule set
+across K compiled shard models that advance under a per-cycle barrier,
+reproducing serial one-rule-at-a-time semantics exactly.
+
+:mod:`repro.shard.partition` cuts the schedule (conflict-graph-aware,
+deterministic); :mod:`repro.shard.runner` runs the shards — in-process
+or in forked workers — exchanging only cross-shard register writes.
+"""
+
+from .partition import PARTITION_VERSION, Partition, partition_design, \
+    rule_footprints
+from .runner import ShardedSimulator, ShardStats, shard_design
+
+__all__ = [
+    "PARTITION_VERSION",
+    "Partition",
+    "partition_design",
+    "rule_footprints",
+    "ShardedSimulator",
+    "ShardStats",
+    "shard_design",
+]

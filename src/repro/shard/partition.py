@@ -1,0 +1,370 @@
+"""Static partitioning of a design's rule set across simulation shards.
+
+The sharded tier (:mod:`repro.shard.runner`) advances K compiled
+sub-models under a bulk-synchronous cycle barrier.  This module decides
+*which rules go where* and precomputes everything the barrier needs:
+
+* **shards** — the rule sets, each kept in global schedule order so a
+  shard's local execution order agrees with the serial scheduler;
+* **register footprints** — the registers each shard may read or write
+  (syntactic over-approximation: every ``Read``/``Write`` node in a rule
+  body counts, including every element a :class:`~repro.koika.dsl.RegArray`
+  mux tree can touch), which is exactly the register table each shard's
+  sub-design carries;
+* **frontier sets** — per shard, the registers it shares with any other
+  shard.  Only these can ever carry cross-shard traffic; everything else
+  is shard-private and never crosses the barrier;
+* **hot rules** — rules whose static write set reaches a register that
+  some *later-in-schedule* rule of another shard touches, or that some
+  *earlier-in-schedule* rule of another shard reads at port 1 (an rd1
+  flag vetoes a later wr0, so it can flip the writer's commit/abort
+  outcome).  A cycle in which any *committed* rule is hot may have been
+  mis-speculated and is replayed serially (see the runner); cycles
+  committing only cold rules are provably identical to the serial
+  semantics and need no replay.  The schedule-order refinement matters:
+  a write observed by other shards only through *earlier* rules' port-0
+  reads is invisible within the cycle (rd0 sees the cycle-start value
+  either way, and its flag blocks nothing), so a protocol engine
+  scheduled last — like the MSI parent — never triggers replays as long
+  as the cores only rd0 its outputs.
+
+The partition itself is deterministic and two-phase.  Phase one is a
+greedy agglomeration: rules start as singleton clusters and the
+highest-affinity pair merges, where affinity counts shared registers
+(plus a bonus for conflict-graph edges, which are the pairs most likely
+to force replays when split) and a balance cap keeps clusters
+comparable in weight.  Merging stops when K clusters remain or no
+positive-affinity merge fits under the cap — clusters with nothing in
+common are *not* force-merged, because which bin an unrelated cluster
+lands in is a pure load-balancing decision.  Phase two makes that
+decision: longest-processing-time bin packing of the remaining clusters
+into K shards, minimising the heaviest shard (the barrier waits for the
+slowest worker, so the max — not the spread — is the cost).  Everything
+iterates over sorted or schedule-ordered structures, so the same design
+and K produce a byte-identical partition in any process and under any
+``PYTHONHASHSEED`` — which matters because the partition is folded into
+shard model cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..koika.ast import If, Read, Write, walk
+from ..koika.design import Design
+
+__all__ = ["PARTITION_VERSION", "Partition", "partition_design",
+           "rule_footprints"]
+
+#: Bump when the partitioning algorithm changes shape; folded into shard
+#: model cache keys so a new algorithm misses cleanly.
+PARTITION_VERSION = 2
+
+#: Affinity bonus for rule pairs with a conflict-graph edge: splitting a
+#: conflicting pair across shards makes every co-fire a replayed cycle,
+#: so conflicts pull harder than plain register sharing.
+_CONFLICT_BONUS = 4
+
+
+def rule_footprints(design: Design) -> Dict[str, Tuple[FrozenSet[str],
+                                                       FrozenSet[str]]]:
+    """``rule -> (reads, writes)``, syntactically over-approximated.
+
+    Walks each rule body (and the bodies of every internal function it
+    could call — functions are pure, so they contribute no accesses) and
+    collects the register names behind every ``Read``/``Write`` node.
+    Dynamic ``RegArray`` accesses lower to mux trees over the individual
+    element registers, so this naturally covers every element an index
+    could select.
+    """
+    footprints: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+    for name in design.scheduler:
+        reads, writes = set(), set()
+        for node in walk(design.rules[name].body):
+            if isinstance(node, Read):
+                reads.add(node.reg)
+            elif isinstance(node, Write):
+                writes.add(node.reg)
+        footprints[name] = (frozenset(reads), frozenset(writes))
+    return footprints
+
+
+@dataclass
+class Partition:
+    """A static K-way cut of one design's schedule, plus barrier metadata."""
+
+    design_name: str
+    n_shards: int
+    #: Rule names per shard, each list in global schedule order.
+    shards: List[List[str]]
+    #: Sorted register names each shard may touch (its sub-design table).
+    registers: List[List[str]]
+    #: Sorted registers each shard shares with at least one other shard.
+    frontier: List[List[str]]
+    #: Per shard, the rules whose commit forces a serial replay of the
+    #: cycle (their static writes reach a register that a later rule of
+    #: another shard touches, or that an earlier one rd1-reads).
+    hot_rules: List[List[str]]
+    #: Per shard, the rules that write a cross-shard register but only
+    #: one that *earlier*-scheduled rules of other shards touch: safe
+    #: within the cycle (no replay), but the write must cross the
+    #: barrier before the next cycle, so a committed warm rule ends a
+    #: chunked-execution speculation window.
+    warm_rules: List[List[str]] = field(default_factory=list)
+    #: rule -> shard index.
+    owner: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.owner:
+            self.owner = {rule: index
+                          for index, rules in enumerate(self.shards)
+                          for rule in rules}
+        if not self.warm_rules:
+            self.warm_rules = [[] for _ in range(self.n_shards)]
+
+    @property
+    def cross_registers(self) -> List[str]:
+        """Every register shared by two or more shards, sorted."""
+        out = set()
+        for frontier in self.frontier:
+            out.update(frontier)
+        return sorted(out)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design_name,
+            "n_shards": self.n_shards,
+            "version": PARTITION_VERSION,
+            "shards": [
+                {
+                    "index": index,
+                    "rules": list(self.shards[index]),
+                    "registers": list(self.registers[index]),
+                    "frontier": list(self.frontier[index]),
+                    "hot_rules": list(self.hot_rules[index]),
+                    "warm_rules": list(self.warm_rules[index])
+                    if self.warm_rules else [],
+                }
+                for index in range(self.n_shards)
+            ],
+            "cross_registers": self.cross_registers,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the partition (feeds shard cache keys)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def summary(self) -> str:
+        lines = [f"partition of {self.design_name!r} into "
+                 f"{self.n_shards} shard(s) "
+                 f"({len(self.cross_registers)} cross-shard register(s))"]
+        for index in range(self.n_shards):
+            lines.append(
+                f"  shard {index}: {len(self.shards[index])} rule(s), "
+                f"{len(self.registers[index])} register(s), "
+                f"frontier {len(self.frontier[index])}, "
+                f"hot {len(self.hot_rules[index])}, "
+                f"warm {len(self.warm_rules[index])}")
+        return "\n".join(lines)
+
+
+def _expected_cost(node) -> float:
+    """Expected executed-AST size of ``node``, one node = one unit.
+
+    A rule evaluates exactly one arm of every ``If`` per cycle, so
+    summing both arms (plain AST size) badly overstates dispatch-heavy
+    rules — a protocol engine that muxes over many mostly-idle states
+    looks huge statically but runs a short path almost every cycle.
+    Averaging the arms instead prices each conditional at its mean path,
+    which tracks measured per-cycle cost far better.  Deterministic:
+    pure float arithmetic over a fixed traversal order.
+    """
+    if isinstance(node, If):
+        arms = (_expected_cost(node.then),
+                _expected_cost(node.orelse) if node.orelse is not None
+                else 0.0)
+        return 1.0 + _expected_cost(node.cond) + (arms[0] + arms[1]) / 2.0
+    return 1.0 + sum(_expected_cost(child) for child in node.children())
+
+
+def _conflict_pairs(design: Design, graph) -> FrozenSet[FrozenSet[str]]:
+    if graph is None:
+        from ..analysis.conflicts import conflict_graph
+
+        graph = conflict_graph(design)
+    return frozenset(graph.edges)
+
+
+def partition_design(design: Design, n_shards: int,
+                     graph=None) -> Partition:
+    """Cut ``design``'s schedule into ``n_shards`` balanced shards.
+
+    ``graph`` may pass a precomputed
+    :class:`~repro.analysis.conflicts.ConflictGraph`; omitted, it is
+    computed here.  ``n_shards`` is clamped to ``[1, len(rules)]``.
+    Deterministic: byte-identical output for the same design and K in
+    any process (hash-seed independent).
+    """
+    if not design.finalized:
+        design.finalize()
+    rules = list(design.scheduler)
+    if not rules:
+        raise SimulationError(
+            f"design {design.name!r} has no scheduled rules to shard")
+    n_shards = max(1, min(int(n_shards), len(rules)))
+    footprints = rule_footprints(design)
+    sched_index = {rule: index for index, rule in enumerate(rules)}
+    conflicts = _conflict_pairs(design, graph)
+
+    # Rule weight: sqrt-damped *expected-path* cost (see _expected_cost)
+    # as a per-cycle cost proxy.  Expected-path already prices If arms
+    # at their mean; the square root further compresses the spread so a
+    # single wide rule cannot swallow a whole shard's balance budget.
+    weight = {rule: 1 + math.isqrt(int(_expected_cost(
+        design.rules[rule].body))) for rule in rules}
+
+    # Agglomerative clustering.  A cluster is a sorted-by-schedule tuple
+    # of rule names; state is kept in schedule-ordered lists only.
+    clusters: List[List[str]] = [[rule] for rule in rules]
+    touch = {rule: footprints[rule][0] | footprints[rule][1]
+             for rule in rules}
+    cluster_touch: List[FrozenSet[str]] = [touch[rule] for rule in rules]
+    cluster_weight: List[int] = [weight[rule] for rule in rules]
+    # Barrier latency is set by the *slowest* shard, so keep shards close
+    # to the ideal weight: allow 25% slack over total/k (plus rounding).
+    # A single rule heavier than the cap just stays a singleton cluster —
+    # nothing may merge with it (the lightest-pair fallback below still
+    # guarantees the loop reaches K clusters).
+    total_weight = sum(cluster_weight)
+    ideal = -(-total_weight // n_shards)  # ceil
+    balance_cap = ideal + ideal // 4
+
+    def affinity(a: int, b: int) -> int:
+        score = len(cluster_touch[a] & cluster_touch[b])
+        for rule_a in clusters[a]:
+            for rule_b in clusters[b]:
+                if frozenset((rule_a, rule_b)) in conflicts:
+                    score += _CONFLICT_BONUS
+        return score
+
+    # Phase one: agglomerate while some pair genuinely belongs together.
+    # Zero-affinity pairs never merge here — an unrelated cluster's
+    # placement is a load-balancing call, and phase two makes it better.
+    while len(clusters) > n_shards:
+        best: Optional[Tuple[float, int, int, int]] = None
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                combined = cluster_weight[a] + cluster_weight[b]
+                if combined > balance_cap:
+                    continue
+                score = affinity(a, b)
+                if score <= 0:
+                    continue
+                # Highest affinity *density* wins (affinity per unit of
+                # merged weight — a big cluster touches everything, so raw
+                # affinity would snowball it); ties prefer the lightest
+                # merge, then the earliest schedule positions (all
+                # deterministic, float division included).
+                candidate = (-(score / combined), combined, a, b)
+                if best is None or candidate < best:
+                    best = candidate
+        if best is None:
+            break
+        _, _, a, b = best
+        merged = sorted(clusters[a] + clusters[b],
+                        key=sched_index.__getitem__)
+        merged_touch = cluster_touch[a] | cluster_touch[b]
+        merged_weight = cluster_weight[a] + cluster_weight[b]
+        for index in sorted((a, b), reverse=True):
+            del clusters[index], cluster_touch[index], cluster_weight[index]
+        clusters.append(merged)
+        cluster_touch.append(merged_touch)
+        cluster_weight.append(merged_weight)
+
+    # Phase two: longest-processing-time bin packing of the remaining
+    # clusters into exactly K shards.  The barrier waits for the slowest
+    # worker each round, so the objective is the *max* shard weight;
+    # LPT (heaviest cluster first into the currently lightest bin) is
+    # the classic 4/3-approximation for it.  Ties are broken by first
+    # schedule position (clusters) and lowest index (bins) — fully
+    # deterministic.  Clusters ≥ K here, so no bin stays empty.
+    if len(clusters) > n_shards:
+        by_weight = sorted(
+            range(len(clusters)),
+            key=lambda index: (-cluster_weight[index],
+                               sched_index[clusters[index][0]]))
+        bins: List[List[str]] = [[] for _ in range(n_shards)]
+        bin_weight = [0] * n_shards
+        for index in by_weight:
+            target = min(range(n_shards),
+                         key=lambda b: (bin_weight[b], b))
+            bins[target].extend(clusters[index])
+            bin_weight[target] += cluster_weight[index]
+        clusters = [sorted(rules_, key=sched_index.__getitem__)
+                    for rules_ in bins]
+
+    # Deterministic shard order: by first schedule position.
+    order = sorted(range(len(clusters)),
+                   key=lambda index: sched_index[clusters[index][0]])
+    shards = [clusters[index] for index in order]
+
+    shard_touch = [frozenset().union(*(touch[rule] for rule in rules_))
+                   for rules_ in shards]
+    registers = [sorted(regs) for regs in shard_touch]
+    owner = {rule: index for index, rules_ in enumerate(shards)
+             for rule in rules_}
+    # Port-1 read sets: an rd1 leaves a log flag that *blocks* a
+    # later-scheduled wr0 on the same register (write_check consults
+    # rd1|wr0|wr1), so unlike rd0 it can change a later writer's
+    # commit/abort outcome, not just the value it observes.
+    rd1_reads: Dict[str, FrozenSet[str]] = {}
+    for name in rules:
+        rd1_reads[name] = frozenset(
+            node.reg for node in walk(design.rules[name].body)
+            if isinstance(node, Read) and node.port == 1)
+
+    frontier: List[List[str]] = []
+    hot_rules: List[List[str]] = []
+    warm_rules: List[List[str]] = []
+    for index, rules_ in enumerate(shards):
+        others: FrozenSet[str] = frozenset().union(
+            *(shard_touch[j] for j in range(len(shards)) if j != index)) \
+            if len(shards) > 1 else frozenset()
+        frontier.append(sorted(shard_touch[index] & others))
+        # Hot = this rule's write could interact with another shard
+        # *within the cycle*: either a register it writes is touched by
+        # a rule scheduled after it that lives elsewhere (the write — or
+        # its port flag — would be observed), or a rule scheduled
+        # *before* it elsewhere does an rd1 on a written register (that
+        # rd1's flag would veto this rule's wr0 serially, and the shard
+        # cannot see it).  Writes seen by other shards only through
+        # earlier rules' rd0s stay speculation-safe — rd0 reads the
+        # cycle-start value either way and its flag blocks nothing — and
+        # cross the barrier as ordinary end-of-cycle deltas.
+        hot: List[str] = []
+        warm: List[str] = []
+        for rule in rules_:
+            writes = footprints[rule][1]
+            if not writes:
+                continue
+            position = sched_index[rule]
+            if any(owner[later] != index and writes & touch[later]
+                   for later in rules[position + 1:]) or \
+               any(owner[earlier] != index and writes & rd1_reads[earlier]
+                   for earlier in rules[:position]):
+                hot.append(rule)
+            elif writes & others:
+                warm.append(rule)
+        hot_rules.append(hot)
+        warm_rules.append(warm)
+
+    return Partition(design_name=design.name, n_shards=len(shards),
+                     shards=shards, registers=registers, frontier=frontier,
+                     hot_rules=hot_rules, warm_rules=warm_rules)

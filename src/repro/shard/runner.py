@@ -1,0 +1,755 @@
+"""The sharded bulk-synchronous simulation runtime.
+
+:class:`ShardedSimulator` advances K compiled shard models — one per
+partition cell, each a real Cuttlesim model of a *sub-design* carrying
+only that shard's rules and registers — under a per-cycle barrier, and
+produces traces byte-identical to the serial simulator (same committed
+rule lists, same register values, every cycle).
+
+How exactness survives speculation
+----------------------------------
+
+Each cycle, every shard runs its rules *speculatively*: it sees its own
+registers and port flags but not the other shards'.  Missing flags can
+only make rules commit **more** than they would serially, never less, so
+the one divergence direction to worry about is a speculative commit (or
+a speculatively-read stale value) that serial execution would not
+produce.  Every such divergence involves a *write* that a rule scheduled
+*after* the writer, in another shard, could observe within the cycle —
+the partitioner's per-rule ``hot`` analysis captures exactly this (a
+write seen only by earlier rules is invisible intra-cycle: their rd0
+already read the cycle-start value, and port flags only block later
+accesses).  So the barrier applies a simple test to the committed-rule
+lists the shards report:
+
+* **no committed rule is hot** → the cycle is *clean*: every shard's
+  execution is provably identical to the serial schedule (writes stayed
+  shard-private, so the shards' deltas are disjoint and merge directly
+  into the authoritative state, and the committed lists interleave by
+  schedule position);
+* **some committed rule is hot** → the cycle is *replayed*: the
+  coordinator re-runs it on a private serial model of the whole design
+  (from the authoritative pre-cycle state), takes the serial result as
+  the truth, and queues per-shard corrections that land before the next
+  cycle.
+
+Hot commits are the partitioner's minimized cross-shard traffic; on
+well-partitioned designs (each core of the N-core MSI system hitting in
+its own cache) almost every cycle is clean and the shards genuinely run
+in parallel.
+
+Chunked barriers
+----------------
+
+A per-cycle barrier round costs more than a cycle of Python simulation,
+so :meth:`ShardedSimulator.run` switches to *chunked* execution whenever
+the environment has no devices (devices peek/poke between every cycle,
+which pins the barrier to cycle granularity).  One round tells every
+shard "run up to N cycles, stop after a cycle that commits one of your
+hot rules"; each worker snapshots its register file first.  If nobody
+stopped early, all N cycles were provably clean and one exchange of
+end-of-chunk deltas settles the whole chunk.  If the earliest hot commit
+across shards was at chunk-local cycle ``m``, cycles ``0..m-1`` are
+still provably clean — a second round rolls every shard back to its
+snapshot and replays exactly ``m`` hot-free cycles, the coordinator
+replays cycle ``m`` serially, and the next chunk carries the
+corrections.  The chunk size adapts (shrinks toward hot bursts, doubles
+while clean, capped at :data:`MAX_CHUNK`), and the result — states,
+stats, everything — is byte-identical to per-cycle barriers by
+construction; only the message count changes.
+
+Devices and external functions
+------------------------------
+
+Devices stay on the coordinator: their ``before_cycle``/``after_cycle``
+hooks run against a handle that peeks the authoritative state and
+records pokes (forwarded to every shard that touches the register).
+Shard and replay models get device-*less* environments (compiled models
+call the env hooks internally — attaching the real devices would fire
+them once per shard).  External functions are shared: they are cycle-
+pure by contract.  In ``process`` mode, environments whose extfuns come
+from *devices* are rejected — the device state would fork into workers
+and silently diverge from the coordinator's copy.
+
+Unsupported operations: ``run_cycle(order=...)`` (scheduler
+randomization) and ``snapshot``/``restore`` raise, as on the batched
+tier.
+"""
+
+from __future__ import annotations
+
+import os
+from time import process_time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..harness.env import Environment
+from ..koika.design import Design
+from .partition import PARTITION_VERSION, Partition, partition_design
+
+__all__ = ["ShardedSimulator", "ShardStats", "shard_design"]
+
+#: Transport modes: in-process shards (tests, fuzz oracle, platforms
+#: without fork) vs one forked worker per shard.
+MODES = ("auto", "local", "process")
+
+#: Chunked-run adaptation bounds: the chunk doubles after every fully
+#: clean chunk up to MAX_CHUNK and resets to MIN_CHUNK after a replay,
+#: so barrier traffic tracks the design's hot-commit bursts.
+MIN_CHUNK = 4
+MAX_CHUNK = 256
+
+
+def shard_design(design: Design, rules: Sequence[str],
+                 registers: Sequence[str], name: str) -> Design:
+    """A sub-design carrying one shard's rules and register table.
+
+    Register, rule, and AST objects are *shared* with the parent design
+    (re-typechecking is idempotent; analyses key per-instance state by
+    node uid, and aliasing checks are within-design only).  Register
+    declaration order follows the parent so generated tables are stable.
+    """
+    wanted = frozenset(registers)
+    sub = Design(name)
+    sub.registers = {reg_name: register
+                     for reg_name, register in design.registers.items()
+                     if reg_name in wanted}
+    sub.fns = dict(design.fns)
+    sub.extfuns = dict(design.extfuns)
+    sub.rules = {rule: design.rules[rule] for rule in rules}
+    sub.scheduler = list(rules)
+    sub.lint_disabled = list(design.lint_disabled)
+    return sub.finalize()
+
+
+class ShardStats:
+    """Per-run barrier statistics.
+
+    Besides the clean/replayed cycle split, the runtime keeps a *modeled
+    critical path*: every barrier round, each worker reports how long it
+    computed, and ``critical_seconds`` accumulates the slowest worker's
+    time per round plus the coordinator's serial-replay time.  On a
+    multi-core host that sum is (up to barrier latency) the wall clock;
+    on a single-core host — where the workers time-share one CPU and
+    wall clock can never beat the serial simulator — it is the honest
+    estimate of what the same run would cost with one core per shard.
+    ``worker_busy`` holds the per-shard compute totals (the balance the
+    partitioner aimed for).
+    """
+
+    def __init__(self) -> None:
+        self.clean_cycles = 0
+        self.replay_cycles = 0
+        self.worker_busy: List[float] = []
+        self.critical_seconds = 0.0
+
+    @property
+    def cycles(self) -> int:
+        return self.clean_cycles + self.replay_cycles
+
+    @property
+    def replay_fraction(self) -> Optional[float]:
+        if not self.cycles:
+            return None
+        return self.replay_cycles / self.cycles
+
+    def note_round(self, busy: Sequence[float]) -> None:
+        """Record one barrier round's per-worker compute times."""
+        while len(self.worker_busy) < len(busy):
+            self.worker_busy.append(0.0)
+        for index, seconds in enumerate(busy):
+            self.worker_busy[index] += seconds
+        if busy:
+            self.critical_seconds += max(busy)
+
+    def as_dict(self) -> Dict[str, object]:
+        fraction = self.replay_fraction
+        return {"clean_cycles": self.clean_cycles,
+                "replay_cycles": self.replay_cycles,
+                "replay_fraction": round(fraction, 6)
+                if fraction is not None else None,
+                "worker_busy_seconds": [round(b, 6)
+                                        for b in self.worker_busy],
+                "critical_seconds": round(self.critical_seconds, 6)}
+
+    def __repr__(self) -> str:
+        return (f"ShardStats(clean={self.clean_cycles}, "
+                f"replay={self.replay_cycles})")
+
+
+#: Chunk stop reasons reported by the worker: ran to the end of the
+#: window, stopped on a warm commit (cross write, no replay needed), or
+#: stopped on a hot commit (cycle must be replayed serially).
+_RAN_OUT, _STOP_WARM, _STOP_HOT = 0, 1, 2
+
+
+class _LocalShard:
+    """One shard advanced in-process (also the worker-side engine)."""
+
+    def __init__(self, model, hot: FrozenSet[str] = frozenset(),
+                 warm: FrozenSet[str] = frozenset()) -> None:
+        self.model = model
+        self.hot = hot
+        self.stop = hot | warm
+        self._prev: List[int] = [model._get_reg(i)
+                                 for i in range(len(model.REG_NAMES))]
+        self._snapshot: Optional[List[int]] = None
+        self._snapshot_cycle = 0
+
+    def _apply(self, updates: Dict[str, int]) -> None:
+        model, ids, prev = self.model, self.model.REG_IDS, self._prev
+        for name, value in updates.items():
+            index = ids[name]
+            model._set_reg(index, value)
+            prev[index] = model._get_reg(index)
+
+    def _delta(self) -> Dict[str, int]:
+        model, prev = self.model, self._prev
+        delta: Dict[str, int] = {}
+        names = model.REG_NAMES
+        for index in range(len(names)):
+            value = model._get_reg(index)
+            if value != prev[index]:
+                delta[names[index]] = value
+                prev[index] = value
+        return delta
+
+    def exchange(self, updates: Dict[str, int]
+                 ) -> Tuple[List[str], Dict[str, int], float]:
+        """Apply pre-cycle updates, run one cycle, report (committed,
+        value delta, compute seconds) — the single barrier message pair."""
+        start = process_time()
+        self._apply(updates)
+        committed = self.model.run_cycle()
+        return committed, self._delta(), process_time() - start
+
+    def chunk(self, updates: Dict[str, int],
+              cycles: int) -> Tuple[int, int, Dict[str, int], float]:
+        """Apply updates, snapshot, then run up to ``cycles`` cycles,
+        stopping after the first cycle that commits a hot or warm rule.
+        Returns ``(cycles_run, stop_reason, total delta, seconds)``."""
+        start = process_time()
+        self._apply(updates)
+        self._snapshot = list(self._prev)
+        self._snapshot_cycle = self.model.cycle
+        hot, stop = self.hot, self.stop
+        ran, reason = 0, _RAN_OUT
+        model = self.model
+        run_cycle = model.run_cycle
+        while ran < cycles:
+            committed = run_cycle()
+            ran += 1
+            if stop and not stop.isdisjoint(committed):
+                reason = _STOP_HOT if not hot.isdisjoint(committed) \
+                    else _STOP_WARM
+                break
+            if not committed:
+                # Zero commits = zero writes = a fixed point, and no
+                # cross-shard input can arrive mid-window, so every
+                # remaining cycle is identical — skip straight to the
+                # end of the window.  (This is what lets an idle
+                # protocol engine cost ~nothing per chunk.)
+                model.cycle += cycles - ran
+                ran = cycles
+                break
+        return ran, reason, self._delta(), process_time() - start
+
+    def truncate(self, cycles: int) -> Tuple[Dict[str, int], float]:
+        """Roll back to the last :meth:`chunk` snapshot and replay
+        exactly ``cycles`` (provably hot-free) cycles."""
+        start = process_time()
+        model, snapshot = self.model, self._snapshot
+        assert snapshot is not None, "truncate without a chunk snapshot"
+        for index, value in enumerate(snapshot):
+            model._set_reg(index, value)
+        self._prev = list(snapshot)
+        model.cycle = self._snapshot_cycle
+        remaining = cycles
+        while remaining > 0:
+            committed = model.run_cycle()
+            remaining -= 1
+            if not committed:  # same fixed-point skip as chunk()
+                model.cycle += remaining
+                break
+        return self._delta(), process_time() - start
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, model_cls, extfuns: Dict[str, object],
+                  hot: FrozenSet[str], warm: FrozenSet[str]) -> None:
+    """Forked worker loop: one barrier round per message.
+
+    Messages are ``("cycle", updates)``, ``("chunk", updates, n)`` and
+    ``("truncate", m)``, mirroring the :class:`_LocalShard` methods;
+    ``None`` shuts the worker down.
+    """
+    shard = _LocalShard(model_cls(Environment(extfuns)), hot, warm)
+    handlers = {
+        "cycle": lambda args: shard.exchange(*args),
+        "chunk": lambda args: shard.chunk(*args),
+        "truncate": lambda args: shard.truncate(*args),
+    }
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            try:
+                result = handlers[message[0]](message[1:])
+            except Exception as exc:  # surface, don't hang the barrier
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                break
+            conn.send(("ok",) + tuple(result))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """One shard in a forked worker, spoken to over a duplex pipe."""
+
+    def __init__(self, ctx, model_cls, extfuns: Dict[str, object],
+                 hot: FrozenSet[str], warm: FrozenSet[str],
+                 label: str) -> None:
+        self.label = label
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(target=_shard_worker,
+                                 args=(child_conn, model_cls, extfuns,
+                                       hot, warm),
+                                 name=f"repro-shard-{label}", daemon=True)
+        self._proc.start()
+        child_conn.close()
+
+    def send(self, message) -> None:
+        self._conn.send(message)
+
+    def recv(self) -> Tuple:
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError):
+            raise SimulationError(
+                f"shard worker {self.label} died mid-cycle "
+                f"(exitcode {self._proc.exitcode})")
+        if reply[0] != "ok":
+            raise SimulationError(f"shard worker {self.label} failed: "
+                                  f"{reply[1]}")
+        return reply[1:]
+
+    def close(self) -> None:
+        try:
+            self._conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - stuck worker
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._conn.close()
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return None
+
+
+class _CoordinatorHandle:
+    """What devices see of a sharded simulation (the SimHandle facade)."""
+
+    def __init__(self, owner: "ShardedSimulator") -> None:
+        self._owner = owner
+
+    def peek(self, register: str) -> int:
+        return self._owner.peek(register)
+
+    def poke(self, register: str, value: int) -> None:
+        self._owner.poke(register, value)
+
+    @property
+    def cycle(self) -> int:
+        return self._owner.cycle
+
+
+class ShardedSimulator:
+    """K partitioned shard models behind the standard simulator API.
+
+    ``mode`` picks the transport: ``"local"`` advances every shard
+    in-process (deterministic, no fork — what tests and the fuzz oracle
+    use), ``"process"`` forks one worker per shard, ``"auto"`` (default)
+    forks when the partition has more than one shard and the platform
+    supports fork.  ``shards`` is clamped to the rule count; ``shards=1``
+    wraps the unsharded model (no sub-design, no barrier — the honest
+    baseline the benchmark compares against).
+    """
+
+    backend_name = "sharded"
+
+    def __init__(self, design: Design, shards: int,
+                 env: Optional[Environment] = None, opt: int = 5,
+                 cache=None, mode: str = "auto",
+                 partition: Optional[Partition] = None) -> None:
+        from ..cuttlesim.codegen import compile_model
+
+        if mode not in MODES:
+            raise SimulationError(
+                f"unknown shard mode {mode!r}; choose one of {MODES}")
+        if not design.finalized:
+            design.finalize()
+        self.design = design
+        self.env = env if env is not None else Environment()
+        self.partition = partition if partition is not None \
+            else partition_design(design, shards)
+        k = self.partition.n_shards
+        ctx = _fork_context() if mode in ("auto", "process") and k > 1 \
+            else None
+        if mode == "process" and k > 1 and ctx is None:
+            raise SimulationError(
+                "process-mode sharding needs fork(); use mode='local'")
+        self.mode = "process" if ctx is not None else "local"
+        if self.mode == "process" and \
+                any(device.extfuns for device in self.env.devices):
+            raise SimulationError(
+                "process-mode sharding cannot fork device-provided external "
+                "functions (the device state would diverge from the "
+                "coordinator's copy); use mode='local' or move the extfuns "
+                "off the device")
+        extfun_map = {name: self.env.resolve(name)
+                      for name in design.extfuns}
+
+        # The authoritative state + the coordinator's replay model.
+        self._auth: Dict[str, int] = {name: register.init for name, register
+                                      in design.registers.items()}
+        self._masks: Dict[str, int] = {
+            name: (1 << register.typ.width) - 1
+            for name, register in design.registers.items()}
+        serial_cls = compile_model(design, opt=opt, warn_goldberg=False,
+                                   cache=cache)
+        self._serial = serial_cls(Environment(extfun_map))
+        #: Registers whose auth value the replay model has not seen yet.
+        self._stale: set = set()
+
+        # Shard model classes (compiled before forking so workers inherit
+        # warm classes; shard cache keys extend the normal compile key).
+        shard_classes = []
+        partition_tag = self.partition.key()[:16]
+        for index in range(k):
+            if k == 1:
+                sub, shard_key = design, ""
+            else:
+                sub = shard_design(
+                    design, self.partition.shards[index],
+                    self.partition.registers[index],
+                    f"{design.name}__shard{index}of{k}")
+                shard_key = (f"{index}of{k};pv={PARTITION_VERSION}"
+                             f";pk={partition_tag}")
+            shard_classes.append(compile_model(
+                sub, opt=opt, warn_goldberg=False, cache=cache,
+                shard_key=shard_key))
+
+        # Barrier bookkeeping.
+        self._views: List[Dict[str, int]] = [
+            {name: self._auth[name] for name in self.partition.registers[i]}
+            for i in range(k)]
+        self._pending: List[Dict[str, int]] = [{} for _ in range(k)]
+        self._sharers: Dict[str, List[int]] = {}
+        for index in range(k):
+            for name in self.partition.registers[index]:
+                self._sharers.setdefault(name, []).append(index)
+        self._hot = frozenset(rule for rules in self.partition.hot_rules
+                              for rule in rules)
+        self._sched_index = {rule: position for position, rule
+                             in enumerate(design.scheduler)}
+        self._handle = _CoordinatorHandle(self)
+        self.cycle = 0
+        self.stats = ShardStats()
+        #: Chunked-run adaptation state: the current speculation window
+        #: (1 = per-cycle rounds) and the clean-cycle streak that has to
+        #: build up before re-entering chunked speculation.
+        self._chunk = MIN_CHUNK
+        self._streak = 0
+
+        self._shards: List[object] = []
+        self._closed = False
+        for index, cls in enumerate(shard_classes):
+            hot = frozenset(self.partition.hot_rules[index])
+            warm = frozenset(self.partition.warm_rules[index])
+            if self.mode == "process":
+                self._shards.append(_ProcessShard(
+                    ctx, cls, extfun_map, hot, warm, label=f"{index}of{k}"))
+            else:
+                self._shards.append(_LocalShard(
+                    cls(Environment(extfun_map)), hot, warm))
+        #: k == 1 is the honest unsharded baseline: one model, no
+        #: barrier, no delta scans — peeks/pokes/cycles go straight to
+        #: it (used by the benchmark's K=1 leg).
+        self._solo = self._shards[0].model if k == 1 else None
+
+    # -- SimHandle ----------------------------------------------------------
+    def peek(self, register: str) -> int:
+        if self._solo is not None:
+            try:
+                return self._solo._get_reg(self._solo.REG_IDS[register])
+            except KeyError:
+                raise SimulationError(f"unknown register {register!r}")
+        try:
+            return self._auth[register]
+        except KeyError:
+            raise SimulationError(f"unknown register {register!r}")
+
+    def poke(self, register: str, value: int) -> None:
+        mask = self._masks.get(register)
+        if mask is None:
+            raise SimulationError(f"unknown register {register!r}")
+        value = int(value) & mask
+        if self._solo is not None:
+            self._solo._set_reg(self._solo.REG_IDS[register], value)
+            return
+        self._auth[register] = value
+        self._stale.add(register)
+        for index in self._sharers.get(register, ()):
+            self._pending[index][register] = value
+            self._views[index][register] = value
+
+    # -- execution ------------------------------------------------------------
+    def run_cycle(self, order=None) -> List[str]:
+        """One barrier round; returns the serial-order committed rules."""
+        if order is not None:
+            raise SimulationError(
+                "sharded simulation does not support run_cycle(order=...); "
+                "scheduler randomization needs the one-rule-at-a-time tier")
+        if self._closed:
+            raise SimulationError("sharded simulator is closed")
+        env = self.env
+        env.before_cycle(self._handle)
+
+        if self._solo is not None:
+            committed_all = self._solo.run_cycle()
+            self.stats.clean_cycles += 1
+            self.cycle += 1
+            env.after_cycle(self._handle)
+            return committed_all
+
+        if self.mode == "process":
+            for index, shard in enumerate(self._shards):
+                shard.send(("cycle", self._pending[index]))
+            replies = [shard.recv() for shard in self._shards]
+        else:
+            replies = [shard.exchange(self._pending[index])
+                       for index, shard in enumerate(self._shards)]
+        for pending in self._pending:
+            pending.clear()
+
+        self.stats.note_round([busy for _c, _d, busy in replies])
+        dirty = any(rule in self._hot
+                    for committed, _delta, _busy in replies
+                    for rule in committed)
+        if not dirty:
+            committed_all: List[str] = []
+            for index, (committed, delta, _busy) in enumerate(replies):
+                self._merge_delta(index, delta)
+                committed_all.extend(committed)
+            committed_all.sort(key=self._sched_index.__getitem__)
+            self.stats.clean_cycles += 1
+        else:
+            committed_all = self._replay(replies)
+            self.stats.replay_cycles += 1
+
+        self.cycle += 1
+        env.after_cycle(self._handle)
+        return committed_all
+
+    def _merge_delta(self, index: int, delta: Dict[str, int]) -> None:
+        """Fold one shard's (provably clean) delta into the
+        authoritative state, and forward every cross-shard write into
+        the other sharers' views and pre-cycle update queues."""
+        auth, stale = self._auth, self._stale
+        view = self._views[index]
+        sharers, views, pending = self._sharers, self._views, self._pending
+        for name, value in delta.items():
+            auth[name] = value
+            view[name] = value
+            stale.add(name)
+            owners = sharers[name]
+            if len(owners) > 1:
+                for sharer in owners:
+                    if sharer != index:
+                        pending[sharer][name] = value
+                        views[sharer][name] = value
+
+    def _replay(self, replies) -> List[str]:
+        """Serially re-run a mis-speculatable cycle; queue corrections."""
+        for index, (_committed, delta, _busy) in enumerate(replies):
+            self._views[index].update(delta)
+        return self._serial_replay_cycle()
+
+    def _serial_replay_cycle(self) -> List[str]:
+        """Run one cycle on the private serial model from the
+        authoritative state, take its result as the truth, and queue
+        per-shard corrections for every register a shard's model now
+        holds wrong."""
+        start = process_time()
+        serial = self._serial
+        ids = serial.REG_IDS
+        for name in self._stale:
+            serial._set_reg(ids[name], self._auth[name])
+        self._stale.clear()
+        serial.cycle = self.cycle
+        committed = serial.run_cycle()
+        auth = self._auth
+        for index, name in enumerate(serial.REG_NAMES):
+            value = serial._get_reg(index)
+            if value != auth[name]:
+                auth[name] = value
+        for index in range(self.partition.n_shards):
+            view = self._views[index]
+            pending = self._pending[index]
+            for name in self.partition.registers[index]:
+                value = auth[name]
+                if view[name] != value:
+                    pending[name] = value
+                    view[name] = value
+        # The coordinator's replay is serial work on the critical path.
+        self.stats.critical_seconds += process_time() - start
+        return committed
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles.
+
+        With devices attached (they peek/poke between every cycle) or in
+        single-shard/local mode this is a plain :meth:`run_cycle` loop;
+        otherwise it runs the chunked-barrier protocol, which produces
+        byte-identical states and stats with far fewer barrier rounds.
+        """
+        if self.env.devices or self.mode != "process" \
+                or self.partition.n_shards == 1:
+            for _ in range(cycles):
+                self.run_cycle()
+            return
+        if self._closed:
+            raise SimulationError("sharded simulator is closed")
+        remaining = cycles
+        while remaining > 0:
+            if self._chunk <= 1:
+                # Hot/warm burst: per-cycle rounds need no rollbacks.
+                replayed = self.stats.replay_cycles
+                self.run_cycle()
+                remaining -= 1
+                if self.stats.replay_cycles != replayed or \
+                        any(self._pending):
+                    self._streak = 0
+                elif self._streak < MIN_CHUNK:
+                    self._streak += 1
+                else:
+                    self._chunk = MIN_CHUNK
+                continue
+            remaining -= self._run_chunk(min(self._chunk, remaining))
+
+    def _run_chunk(self, window: int) -> int:
+        """One speculation round of up to ``window`` cycles; returns the
+        number of cycles actually retired."""
+        shards = self._shards
+        for index, shard in enumerate(shards):
+            shard.send(("chunk", self._pending[index], window))
+        replies = [shard.recv() for shard in shards]
+        for pending in self._pending:
+            pending.clear()
+
+        # The committed prefix: cycles strictly before any shard's first
+        # hot/warm commit are provably clean and private everywhere; a
+        # warm-only boundary cycle is itself still exact (warm writes
+        # are invisible within their cycle) and extends the prefix.
+        stops = [ran - 1 if reason else ran
+                 for ran, reason, _delta, _busy in replies]
+        boundary = min(stops)
+        hot_boundary = any(reason == _STOP_HOT and stop == boundary
+                           for (_ran, reason, _d, _b), stop
+                           in zip(replies, stops))
+        keep = boundary if hot_boundary else min(boundary + 1, window)
+
+        busy = [reply[3] for reply in replies]
+        for index, shard in enumerate(shards):
+            ran = replies[index][0]
+            if ran != keep:
+                shard.send(("truncate", keep))
+        for index, shard in enumerate(shards):
+            ran, _reason, delta, _busy = replies[index]
+            if ran != keep:
+                delta, truncate_busy = shard.recv()
+                busy[index] += truncate_busy
+            self._merge_delta(index, delta)
+        self.stats.note_round(busy)
+        self.stats.clean_cycles += keep
+        self.cycle += keep
+
+        if hot_boundary:
+            self._serial_replay_cycle()
+            self.stats.replay_cycles += 1
+            self.cycle += 1
+            self._chunk = 1
+            self._streak = 0
+            return keep + 1
+        if keep == window:
+            self._chunk = min(MAX_CHUNK, self._chunk * 2)
+        else:
+            self._chunk = 1
+            self._streak = 0
+        return keep
+
+    def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:
+        for elapsed in range(max_cycles):
+            if predicate(self):
+                return elapsed
+            self.run_cycle()
+        raise SimulationError(
+            f"predicate not reached within {max_cycles} cycles")
+
+    # -- tooling ----------------------------------------------------------------
+    def state_dict(self) -> Dict[str, int]:
+        if self._solo is not None:
+            solo = self._solo
+            return {name: solo._get_reg(solo.REG_IDS[name])
+                    for name in self.design.registers}
+        return {name: self._auth[name] for name in self.design.registers}
+
+    def snapshot(self):
+        raise SimulationError("sharded simulation does not support "
+                              "snapshot/restore; use the scalar tier")
+
+    def restore(self, snapshot) -> None:
+        raise SimulationError("sharded simulation does not support "
+                              "snapshot/restore; use the scalar tier")
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self._shards = []
+
+    def __enter__(self) -> "ShardedSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"ShardedSimulator({self.design.name}, "
+                f"k={self.partition.n_shards}, mode={self.mode}, "
+                f"cycle={self.cycle}, {self.stats!r})")

@@ -244,3 +244,98 @@ class TestRandomScripts:
             if driver.all_done:
                 break
         assert driver.all_done
+
+
+class TestParameterizedGeometry:
+    """The N-core, L-line generalization (``make_msi``)."""
+
+    @pytest.mark.parametrize("n_cores", [2, 4, 8])
+    def test_n_core_liveness(self, n_cores):
+        from repro.designs.msi import make_msi
+
+        design = make_msi(n_cores, 4 * n_cores)
+        cls = compile_model(design, opt=5, warn_goldberg=False)
+        # every core writes its own line, then everyone reads core 0's
+        script = [(core, "write", core, 0x100 + core)
+                  for core in range(n_cores)]
+        script += [(core, "read", 0, 0) for core in range(n_cores)]
+        env = make_msi_env(script, n_cores=n_cores)
+        driver = env.devices[0]
+        model = cls(env)
+        model.run_until(lambda _s: driver.all_done, max_cycles=20_000)
+        assert driver.all_done
+        for core in range(n_cores):
+            assert driver.reads[core] == [0x100]
+
+    def test_cross_line_sharing_at_scale(self):
+        from repro.designs.msi import make_msi
+
+        design = make_msi(4, 16)
+        cls = compile_model(design, opt=5, warn_goldberg=False)
+        script = [(0, "write", 9, 0xF00D), (1, "read", 9, 0),
+                  (2, "read", 9, 0), (3, "write", 9, 0xBEEF),
+                  (1, "read", 9, 0)]
+        env = make_msi_env(script, n_cores=4)
+        driver = env.devices[0]
+        model = cls(env)
+        model.run_until(lambda _s: driver.all_done, max_cycles=20_000)
+        assert driver.reads[1] == [0xF00D, 0xBEEF]
+        assert driver.reads[2] == [0xF00D]
+
+    def test_two_core_bug_deadlocks_identically(self):
+        """`make_msi(2, 4, bug=True)` preserves the case study's
+        deadlock, byte-for-byte in the stuck protocol states."""
+        from repro.designs.msi import make_msi
+
+        script = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB)]
+        legacy = compile_model(build_msi(bug=True), opt=5,
+                               warn_goldberg=False)
+        param = compile_model(make_msi(2, 4, bug=True), opt=5,
+                              warn_goldberg=False)
+        finals = []
+        for cls in (legacy, param):
+            env = make_msi_env(script)
+            driver = env.devices[0]
+            model = cls(env)
+            model.run(400)
+            assert not driver.all_done
+            assert MSHR.member_of(model.peek("c0_mshr")) == "WaitFillResp"
+            assert PSTATE.member_of(model.peek("p_state")) \
+                == "ConfirmDowngrades"
+            finals.append(model.state_dict())
+        assert finals[0] == finals[1]
+
+    @pytest.mark.parametrize("builder", [
+        lambda: __import__("repro.designs.msi", fromlist=["make_msi"])
+        .make_msi(4, 16),
+        lambda: __import__("repro.designs.msi", fromlist=["make_msi"])
+        .make_msi(8, 32),
+        lambda: __import__("repro.designs.msi", fromlist=["make_msi"])
+        .make_msi(4, 16, traffic=3),
+    ], ids=["msi4x16", "msi8x32", "msi4x16-traffic"])
+    def test_variants_lint_clean(self, builder):
+        from repro.analysis import lint_design, worst_severity
+
+        findings = lint_design(builder())
+        assert worst_severity(findings) != "error", [
+            f.as_dict() for f in findings
+            if f.severity == "error"]
+
+    def test_traffic_mode_makes_progress(self):
+        from repro.designs.msi import make_msi
+
+        design = make_msi(2, 8, traffic=2)
+        model = compile_model(design, opt=5, warn_goldberg=False)()
+        model.run(2000)
+        done = [model.peek("c0_done"), model.peek("c1_done")]
+        assert all(count > 0 for count in done), done
+
+    def test_traffic_geometry_validation(self):
+        from repro.designs.msi import make_msi
+
+        with pytest.raises(ValueError):
+            make_msi(3, 12, traffic=True)       # non-power-of-two cores
+        with pytest.raises(ValueError):
+            make_msi(4, 4, traffic=True)        # too few lines
+        with pytest.raises(ValueError):
+            make_msi(2, 8, traffic=13)          # rarity out of range

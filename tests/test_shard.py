@@ -1,0 +1,455 @@
+"""Tests for the sharded bulk-synchronous simulation tier.
+
+Covers the static partitioner (coverage, determinism across processes,
+the rd1 hot-rule refinement), the barrier runtime (byte-identity with
+the serial simulator in local and process mode, per-cycle and chunked),
+the cache-key extension, and the error surface.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cuttlesim import compile_model
+from repro.cuttlesim.cache import ModelCache
+from repro.designs import build_collatz, build_fir, build_msi, build_stm
+from repro.designs.msi import make_msi, make_msi_env
+from repro.errors import SimulationError
+from repro.harness import Environment, make_simulator
+from repro.harness.env import Device
+from repro.koika import C, Design, guard, seq
+from repro.shard import (PARTITION_VERSION, Partition, ShardedSimulator,
+                         ShardStats, partition_design, shard_design)
+
+MSI_SCRIPT = [(1, "write", 2, 0xAAAA), (0, "write", 2, 0xBBBB),
+              (1, "read", 2, 0), (0, "read", 1, 0)]
+
+
+def counter_pair_design():
+    """Two independent counters — the perfectly partitionable case."""
+    design = Design("counter_pair")
+    x = design.reg("x", 8)
+    y = design.reg("y", 8)
+    design.rule("inc_x", x.wr0(x.rd0() + C(1, 8)))
+    design.rule("inc_y", y.wr0(y.rd0() + C(3, 8)))
+    design.schedule("inc_x", "inc_y")
+    return design.finalize()
+
+
+def contended_design():
+    """Rules racing on one register — the replay-every-cycle case."""
+    design = Design("contended")
+    r = design.reg("r", 8)
+    s = design.reg("s", 8)
+    design.rule("a", seq(guard(r.rd0() < C(10, 8)),
+                         r.wr0(r.rd0() + C(1, 8))))
+    design.rule("b", r.wr0(C(99, 8)))
+    design.rule("c", s.wr0(s.rd0() + C(2, 8)))
+    design.schedule("a", "b", "c")
+    return design.finalize()
+
+
+def rd1_veto_design():
+    """An earlier rule's rd1 vetoes a later rule's wr0 cross-shard.
+
+    Serially ``writer`` NEVER commits (``watcher``'s rd1 flag on ``x``
+    blocks its wr0); a sharded run that did not classify ``writer`` hot
+    would commit it every cycle.  This is the regression test for the
+    partitioner's rd1 hot-rule refinement.
+    """
+    design = Design("rd1_veto")
+    x = design.reg("x", 8)
+    y = design.reg("y", 8)
+    design.rule("watcher", y.wr0(x.rd1() + C(1, 8)))
+    design.rule("writer", x.wr0(x.rd0() + C(5, 8)))
+    design.schedule("watcher", "writer")
+    return design.finalize()
+
+
+def idle_after_design():
+    """Counters that reach a fixed point (exercises zero-commit skip)."""
+    design = Design("idler")
+    x = design.reg("x", 8)
+    y = design.reg("y", 8)
+    design.rule("up_x", seq(guard(x.rd0() < C(7, 8)),
+                            x.wr0(x.rd0() + C(1, 8))))
+    design.rule("up_y", seq(guard(y.rd0() < C(11, 8)),
+                            y.wr0(y.rd0() + C(1, 8))))
+    design.schedule("up_x", "up_y")
+    return design.finalize()
+
+
+def _env_for(design) -> Environment:
+    name = design.name
+    if name == "fir":
+        return Environment({"get_sample": lambda _: 0x12345678,
+                            "put_result": lambda _v: 0})
+    if name == "stm":
+        return Environment({"get_input": lambda _: 0xDEAD,
+                            "put_output": lambda _v: 0})
+    if name.startswith("msi") and "traffic" not in name:
+        return make_msi_env(list(MSI_SCRIPT))
+    return Environment()
+
+
+def serial_reference(design, cycles):
+    """Per-cycle (committed, state) trace of the scalar simulator."""
+    model = compile_model(design, opt=5, warn_goldberg=False)(
+        _env_for(design))
+    trace = []
+    registers = list(design.registers)
+    for _ in range(cycles):
+        committed = tuple(model.run_cycle())
+        trace.append((committed,
+                      tuple(model.peek(r) for r in registers)))
+    return trace
+
+
+def sharded_trace(design, shards, cycles, mode="local"):
+    sim = ShardedSimulator(design, shards, env=_env_for(design), mode=mode)
+    try:
+        trace = []
+        registers = list(design.registers)
+        for _ in range(cycles):
+            committed = tuple(sim.run_cycle())
+            trace.append((committed,
+                          tuple(sim.peek(r) for r in registers)))
+        return trace, sim.stats
+    finally:
+        sim.close()
+
+
+# ----------------------------------------------------------------------
+# The partitioner.
+# ----------------------------------------------------------------------
+
+class TestPartition:
+    def test_covers_every_rule_exactly_once(self):
+        design = make_msi(4, 16)
+        partition = partition_design(design, 3)
+        seen = [rule for shard in partition.shards for rule in shard]
+        assert sorted(seen) == sorted(design.rules)
+        assert len(seen) == len(set(seen))
+        for index, rules in enumerate(partition.shards):
+            covered = set()
+            for rule in rules:
+                assert partition.owner[rule] == index
+            covered.update(partition.registers[index])
+            # every register a shard's rules touch is in its table
+            for rule in rules:
+                assert partition.owner[rule] == index
+
+    def test_clamps_to_rule_count(self):
+        design = counter_pair_design()
+        partition = partition_design(design, 16)
+        assert partition.n_shards == 2
+
+    def test_key_is_stable_in_process(self):
+        design = make_msi(4, 16)
+        first = partition_design(design, 3)
+        second = partition_design(design, 3)
+        assert first.key() == second.key()
+        assert first.as_dict() == second.as_dict()
+
+    def test_rd1_read_makes_cross_shard_writer_hot(self):
+        partition = partition_design(rd1_veto_design(), 2)
+        hot = {rule for rules in partition.hot_rules for rule in rules}
+        assert "writer" in hot
+
+    def test_disjoint_shards_have_no_hot_rules(self):
+        partition = partition_design(counter_pair_design(), 2)
+        assert not any(partition.hot_rules)
+        assert not any(partition.warm_rules)
+        assert not any(partition.frontier)
+
+    def test_summary_mentions_shards(self):
+        summary = partition_design(make_msi(4, 16), 2).summary()
+        assert "shard" in summary.lower()
+
+
+def _partition_fingerprint(hashseed):
+    snippet = (
+        "from repro.designs.msi import make_msi\n"
+        "from repro.shard import partition_design\n"
+        "from repro.testing.generators import random_design\n"
+        "print(partition_design(make_msi(4, 16), 3).key())\n"
+        "print(partition_design(make_msi(8, 32, traffic=4), 4).key())\n"
+        "print(partition_design(random_design(7), 2).key())\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.run([sys.executable, "-c", snippet], env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.abspath(__file__))),
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_partition_is_byte_stable_across_processes():
+    """Same partition key under different PYTHONHASHSEED values —
+    partitioning never depends on hash iteration order."""
+    assert _partition_fingerprint(1) == _partition_fingerprint(42)
+
+
+# ----------------------------------------------------------------------
+# Byte-identity with the serial simulator.
+# ----------------------------------------------------------------------
+
+IDENTITY_DESIGNS = [
+    (counter_pair_design, 120),
+    (contended_design, 120),
+    (rd1_veto_design, 60),
+    (idle_after_design, 80),
+    (build_collatz, 150),
+    (build_stm, 120),
+    (build_fir, 120),
+    (build_msi, 250),
+    (lambda: build_msi(bug=True), 250),
+    (lambda: make_msi(4, 16), 250),
+    (lambda: make_msi(4, 16, traffic=3), 300),
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("builder,cycles", IDENTITY_DESIGNS,
+                             ids=lambda v: getattr(v, "__name__", str(v)))
+    def test_local_mode_k2_k3(self, builder, cycles):
+        design = builder()
+        reference = serial_reference(design, cycles)
+        for k in (2, 3):
+            trace, stats = sharded_trace(design, k, cycles)
+            assert trace == reference, f"k={k} diverged on {design.name}"
+            assert stats.cycles == cycles
+
+    def test_process_mode_per_cycle(self):
+        design = make_msi(4, 16)
+        reference = serial_reference(design, 250)
+        trace, _stats = sharded_trace(design, 3, 250, mode="process")
+        assert trace == reference
+
+    def test_process_mode_chunked_run(self):
+        design = make_msi(8, 32, traffic=4)
+        cycles = 600
+        serial = compile_model(design, opt=5, warn_goldberg=False)(
+            Environment())
+        serial.run(cycles)
+        ref_state = {r: serial.peek(r) for r in design.registers}
+
+        sim = ShardedSimulator(design, 4, mode="process")
+        try:
+            sim.run(cycles)
+            assert sim.cycle == cycles
+            assert sim.state_dict() == ref_state
+            assert sim.stats.cycles == cycles
+            # chunked execution must report the same clean/replay split
+            # as per-cycle barriers
+            local = ShardedSimulator(design, 4, mode="local")
+            try:
+                for _ in range(cycles):
+                    local.run_cycle()
+                assert local.state_dict() == ref_state
+                assert (sim.stats.clean_cycles, sim.stats.replay_cycles) \
+                    == (local.stats.clean_cycles,
+                        local.stats.replay_cycles)
+            finally:
+                local.close()
+        finally:
+            sim.close()
+
+    def test_zero_commit_skip_reaches_fixed_point(self):
+        design = idle_after_design()
+        sim = ShardedSimulator(design, 2, mode="process")
+        try:
+            sim.run(5000)
+            assert sim.cycle == 5000
+            assert sim.peek("x") == 7
+            assert sim.peek("y") == 11
+            assert sim.stats.cycles == 5000
+        finally:
+            sim.close()
+
+    def test_rd1_veto_behavior(self):
+        """The writer rule must never commit — serially or sharded."""
+        design = rd1_veto_design()
+        trace, _ = sharded_trace(design, 2, 30)
+        for committed, _state in trace:
+            assert "writer" not in committed
+            assert "watcher" in committed
+
+    def test_stats_replay_fraction(self):
+        design = contended_design()
+        _trace, stats = sharded_trace(design, 2, 50)
+        assert stats.cycles == 50
+        assert stats.replay_fraction is not None
+        assert 0.0 <= stats.replay_fraction <= 1.0
+        assert ShardStats().replay_fraction is None
+
+
+class TestSoloBaseline:
+    def test_k1_matches_serial(self):
+        design = build_collatz()
+        reference = serial_reference(design, 100)
+        trace, stats = sharded_trace(design, 1, 100)
+        assert trace == reference
+        assert stats.clean_cycles == 100
+
+    def test_k1_peek_poke_roundtrip(self):
+        sim = ShardedSimulator(counter_pair_design(), 1)
+        try:
+            sim.poke("x", 200)
+            assert sim.peek("x") == 200
+            sim.run(2)
+            assert sim.peek("x") == 202
+            assert sim.state_dict()["y"] == 6
+        finally:
+            sim.close()
+
+
+class TestHarnessIntegration:
+    def test_make_simulator_shards(self):
+        design = counter_pair_design()
+        sim = make_simulator(design, shards=2, shard_mode="local")
+        try:
+            assert isinstance(sim, ShardedSimulator)
+            assert sim.backend_name == "sharded"
+            sim.run(5)
+            assert sim.peek("x") == 5
+        finally:
+            sim.close()
+
+    def test_make_simulator_shards_rejects_other_backends(self):
+        with pytest.raises(SimulationError):
+            make_simulator(counter_pair_design(), backend="interp",
+                           shards=2)
+
+    def test_make_simulator_shards_rejects_instrument(self):
+        with pytest.raises(SimulationError):
+            make_simulator(counter_pair_design(), shards=2,
+                           instrument=True)
+
+    def test_run_until(self):
+        sim = make_simulator(counter_pair_design(), shards=2,
+                             shard_mode="local")
+        try:
+            elapsed = sim.run_until(lambda s: s.peek("x") >= 9)
+            assert elapsed == 9
+        finally:
+            sim.close()
+
+
+# ----------------------------------------------------------------------
+# Cache keys.
+# ----------------------------------------------------------------------
+
+class TestShardCacheKeys:
+    def test_shard_key_extends_compile_key(self, tmp_path):
+        cache = ModelCache(str(tmp_path))
+        design = counter_pair_design()
+        base = dict(opt=5, order_independent=False, simplify=False,
+                    inline_rules=None, host_optimize=-1)
+        plain = cache.key_for(design, **base)
+        shard0 = cache.key_for(design, shard="0of2;pv=1;pk=abc", **base)
+        shard1 = cache.key_for(design, shard="1of2;pv=1;pk=abc", **base)
+        other = cache.key_for(design, shard="0of2;pv=1;pk=def", **base)
+        assert len({plain, shard0, shard1, other}) == 4
+
+    def test_shard_models_share_cache(self, tmp_path):
+        cache = ModelCache(str(tmp_path))
+        design = make_msi(4, 16)
+        sim = ShardedSimulator(design, 2, mode="local", cache=cache)
+        sim.close()
+        first = cache.stats.snapshot()
+        sim = ShardedSimulator(design, 2, mode="local", cache=cache)
+        sim.close()
+        second = cache.stats.since(first)
+        assert second["hits"] > 0
+        assert second["misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Error surface.
+# ----------------------------------------------------------------------
+
+class TestErrors:
+    def test_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            ShardedSimulator(counter_pair_design(), 2, mode="thread")
+
+    def test_order_kwarg_rejected(self):
+        sim = ShardedSimulator(counter_pair_design(), 2, mode="local")
+        try:
+            with pytest.raises(SimulationError):
+                sim.run_cycle(order=["inc_x", "inc_y"])
+        finally:
+            sim.close()
+
+    def test_snapshot_restore_rejected(self):
+        sim = ShardedSimulator(counter_pair_design(), 2, mode="local")
+        try:
+            with pytest.raises(SimulationError):
+                sim.snapshot()
+            with pytest.raises(SimulationError):
+                sim.restore(None)
+        finally:
+            sim.close()
+
+    def test_unknown_register(self):
+        sim = ShardedSimulator(counter_pair_design(), 2, mode="local")
+        try:
+            with pytest.raises(SimulationError):
+                sim.peek("nope")
+            with pytest.raises(SimulationError):
+                sim.poke("nope", 1)
+        finally:
+            sim.close()
+
+    def test_closed_simulator_rejects_cycles(self):
+        sim = ShardedSimulator(counter_pair_design(), 2, mode="local")
+        sim.close()
+        with pytest.raises(SimulationError):
+            sim.run_cycle()
+
+    def test_process_mode_rejects_device_extfuns(self):
+        design = Design("dev_extfun")
+        x = design.reg("x", 8)
+        probe = design.extfun("probe", 8, 8)
+        design.rule("step", x.wr0(probe(x.rd0())))
+        design.rule("idle", seq(guard(x.rd0() < C(0, 8)), x.wr0(C(0, 8))))
+        design.schedule("step", "idle")
+        design.finalize()
+
+        class ExtfunDevice(Device):
+            extfuns = {"probe": lambda v: (v + 1) & 0xFF}
+
+        env = Environment()
+        env.add_device(ExtfunDevice())
+        with pytest.raises(SimulationError):
+            ShardedSimulator(design, 2, env=env, mode="process")
+        # local mode accepts the same environment
+        sim = ShardedSimulator(design, 2, env=env, mode="local")
+        try:
+            sim.run(3)
+            assert sim.peek("x") == 3
+        finally:
+            sim.close()
+
+
+# ----------------------------------------------------------------------
+# shard_design.
+# ----------------------------------------------------------------------
+
+class TestShardDesign:
+    def test_sub_design_shares_objects(self):
+        design = make_msi(4, 16)
+        partition = partition_design(design, 2)
+        sub = shard_design(design, partition.shards[0],
+                           partition.registers[0], "msi_sub0")
+        assert sub.finalized
+        for rule in sub.rules.values():
+            assert design.rules[rule.name].body is rule.body
+        assert set(sub.registers) == set(partition.registers[0])
+        assert list(sub.scheduler) == list(partition.shards[0])
