@@ -1,0 +1,141 @@
+"""Stream-observability overhead: cycles/second and logged
+transactions/second with a :class:`StreamObserver` attached.
+
+Runs the self-driving ``dsp`` stream pipeline (LFSR source -> FIR ->
+Q2.14 gain -> sink) with per-stream transaction logging on the scalar
+tier, the batched lockstep tier (1 and 32 lanes), and the sharded tier
+(K = 1 and 4), byte-checking every recorded transaction log against the
+scalar reference and writing ``BENCH_stream.json``
+(``repro-stream-v1``).
+
+Two throughput numbers are reported per configuration:
+
+* ``cycles_per_second`` — simulated (lane-)cycles per wall-clock
+  second; for batch runs this counts every lane, so it is the
+  aggregate simulation throughput.
+* ``transactions_per_second`` — observer events (push/pop/stall)
+  recorded per wall-clock second across all lanes, i.e. the sustained
+  logging rate of the TAPA-style transaction stream.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cuttlesim import compile_batch_model, compile_model
+from repro.designs import build_dsp
+from repro.harness import Environment
+from repro.harness.streams import StreamObserver, check_stream_events
+from repro.shard import ShardedSimulator
+
+CYCLES = 3_000
+CONFIGS = [("scalar", 0), ("batch", 1), ("batch", 32),
+           ("shard", 1), ("shard", 4)]
+_RESULTS = {}
+_REFERENCE = []
+
+
+def _design():
+    return build_dsp()
+
+
+def _observed_env(design):
+    env = Environment()
+    observer = env.add_device(StreamObserver(design))
+    return env, observer
+
+
+def _reference_events():
+    if not _REFERENCE:
+        design = _design()
+        env, observer = _observed_env(design)
+        compile_model(design, opt=5, warn_goldberg=False)(env).run(CYCLES)
+        assert check_stream_events(design, observer.events) == []
+        _REFERENCE.append(observer.events)
+    return _REFERENCE[0]
+
+
+@pytest.mark.parametrize("tier,width", CONFIGS,
+                         ids=[f"{t}{w or ''}" for t, w in CONFIGS])
+def test_stream_logging_throughput(benchmark, tier, width):
+    benchmark.group = "stream:dsp-observed"
+    design = _design()
+    runs = []
+
+    def setup():
+        if tier == "scalar":
+            env, observer = _observed_env(design)
+            sim = compile_model(design, opt=5, warn_goldberg=False)(env)
+            observers = [observer]
+        elif tier == "batch":
+            envs, observers = [], []
+            for _ in range(width):
+                env, observer = _observed_env(design)
+                envs.append(env)
+                observers.append(observer)
+            sim = compile_batch_model(design, width)(envs=envs)
+        else:
+            env, observer = _observed_env(design)
+            sim = ShardedSimulator(design, width, env=env)
+            observers = [observer]
+        runs.append((sim, observers))
+        return (sim,), {}
+
+    benchmark.pedantic(lambda sim: sim.run(CYCLES), setup=setup,
+                       rounds=3, iterations=1)
+    try:
+        sim, observers = runs[-1]
+        reference = _reference_events()
+        for observer in observers:
+            assert observer.events == reference, \
+                f"{tier} x{width} transaction log diverged from scalar"
+        lanes = len(observers)
+        transactions = sum(len(o.events) for o in observers)
+        mean = benchmark.stats.stats.mean
+        payload = {
+            "tier": tier,
+            "lanes_or_shards": width or 1,
+            "wall_seconds": round(mean, 6),
+            "cycles_per_second": round(CYCLES * lanes / mean, 1),
+            "transactions": transactions,
+            "transactions_per_second": round(transactions / mean, 1),
+            "matches_scalar_log": True,
+        }
+        benchmark.extra_info.update(payload)
+        _RESULTS[(tier, width)] = payload
+    finally:
+        for sim, _ in runs:
+            if hasattr(sim, "close"):
+                sim.close()
+
+
+def teardown_module(module):
+    if set(CONFIGS) - set(_RESULTS):
+        return
+    print(f"\n\nStream observer — dsp pipeline, {CYCLES} cycles/run, "
+          f"{os.cpu_count()} CPU(s) on this host")
+    print(f"{'config':>10}  {'cycles/s':>12}  {'txn/s':>12}  {'txns':>8}")
+    for tier, width in CONFIGS:
+        row = _RESULTS[(tier, width)]
+        label = f"{tier}x{width}" if width else tier
+        print(f"{label:>10}  {row['cycles_per_second']:>12,.0f}  "
+              f"{row['transactions_per_second']:>12,.0f}  "
+              f"{row['transactions']:>8}")
+    bench = {
+        "schema": "repro-stream-v1",
+        "design": "dsp",
+        "cycles": CYCLES,
+        "cpus": os.cpu_count(),
+        "reference_transactions": len(_reference_events()),
+        "configs": {f"{tier}:{width}": _RESULTS[(tier, width)]
+                    for tier, width in CONFIGS},
+        "batch32_vs_batch1_cps": round(
+            _RESULTS[("batch", 32)]["cycles_per_second"]
+            / _RESULTS[("batch", 1)]["cycles_per_second"], 3),
+    }
+    with open("BENCH_stream.json", "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+    print(f"batch=32 vs batch=1: "
+          f"{bench['batch32_vs_batch1_cps']:.2f}x aggregate cycles/s")
+    print("BENCH_stream.json written")

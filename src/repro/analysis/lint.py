@@ -293,7 +293,16 @@ def _register_usage(design: Design) -> List[Finding]:
                 read_registers.add(node.reg)
             elif isinstance(node, Write):
                 written_registers.add(node.reg)
+    # Stream observability registers (payload mirrors, push/pop counters)
+    # and harness-observed accumulators exist precisely to be written by
+    # the design and read only from outside — not a usage smell.
+    observed = set(getattr(design, "lint_observed", ()) or ())
+    for info in getattr(design, "streams", {}).values():
+        observed.update((info.pushed, info.popped,
+                         info.data_in, info.data_out))
     for name in design.registers:
+        if name in observed:
+            continue
         if name not in read_registers and name not in written_registers:
             findings.append(Finding(
                 "warning", "unused-register",

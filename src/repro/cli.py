@@ -54,6 +54,12 @@ from .designs import build_soc  # noqa: E402
 
 DESIGNS["soc"] = build_soc
 
+from .designs import build_dsp, build_prodcons, build_router  # noqa: E402
+
+DESIGNS["dsp"] = build_dsp
+DESIGNS["router"] = build_router
+DESIGNS["prodcons"] = build_prodcons
+
 #: Built-in RISC-V programs: name -> source builder taking an int arg.
 PROGRAMS: Dict[str, Callable] = {}
 
@@ -274,6 +280,21 @@ def _report_conflicts(design, fmt: str, shards: int) -> int:
 
 
 def cmd_report(args) -> int:
+    streams_path = getattr(args, "streams", None)
+    if streams_path:
+        from .harness.streams import (render_stream_summary,
+                                      summarize_stream_log)
+
+        summary = summarize_stream_log(streams_path)
+        if getattr(args, "format", "text") == "json":
+            import json
+
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_stream_summary(summary))
+        return 0
+    if not args.design:
+        raise SystemExit("a design name is required (or --streams PATH)")
     design = _get_design(args.design)
     if getattr(args, "conflicts", False):
         return _report_conflicts(design, getattr(args, "format", "text"),
@@ -540,6 +561,10 @@ def cmd_parallel(args) -> int:
 
     from .debug.randomize import randomized_sweep
 
+    stream_log = getattr(args, "stream_log", None)
+    if stream_log and (args.batch or args.shards):
+        raise SystemExit("--stream-log applies to the trial sweep only; "
+                         "it cannot be combined with --batch or --shards")
     if args.shards:
         if args.batch:
             raise SystemExit("--shards and --batch are mutually exclusive")
@@ -549,7 +574,49 @@ def cmd_parallel(args) -> int:
 
     design = _get_design(args.design)
     cache = None if args.no_cache else True
-    env_factory = lambda: _default_env(design, args.program, args.arg)  # noqa: E731
+    if stream_log:
+        if not design.streams:
+            raise SystemExit(
+                f"design {args.design!r} declares no streams; --stream-log "
+                f"needs a StreamFifo-based design (try dsp, router, "
+                f"prodcons)")
+        import itertools
+        import os
+
+        from .harness.streams import (StreamObserver, StreamOracleError,
+                                      check_stream_events)
+
+        _trial_counter = itertools.count()
+
+        def env_factory():
+            # One NDJSON file per trial: the pid disambiguates forked
+            # fleet workers, the counter disambiguates in-process trials.
+            env = _default_env(design, args.program, args.arg)
+            env.add_device(StreamObserver(
+                design, log_dir=stream_log,
+                log_label=f"p{os.getpid()}-t{next(_trial_counter)}"))
+            return env
+
+        def observe(model, env):
+            # Flush+close the log before the (possibly forked) trial
+            # returns, so no tail event is lost in a worker teardown —
+            # then hold the trial to the stream oracles.  Stream designs
+            # are schedule-*sensitive* (EHR forwarding depends on rule
+            # order), so final states legitimately differ across trials;
+            # the invariant randomization must preserve is the stream
+            # discipline, not byte-identical state.
+            violations = []
+            for device in env.devices:
+                if isinstance(device, StreamObserver):
+                    device.close()
+                    violations.extend(
+                        check_stream_events(design, device.events))
+            if violations:
+                raise StreamOracleError(design.name, violations)
+            return model.state_dict()
+    else:
+        env_factory = lambda: _default_env(design, args.program, args.arg)  # noqa: E731
+        observe = lambda model, env: model.state_dict()  # noqa: E731
 
     serial_seconds = None
     if args.compare_serial:
@@ -557,7 +624,7 @@ def cmd_parallel(args) -> int:
         serial = randomized_sweep(
             design, env_factory,
             until=lambda model, env: model.cycle >= args.cycles,
-            observe=lambda model, env: model.state_dict(),
+            observe=observe,
             trials=args.trials, seed=args.seed, max_cycles=args.cycles + 1,
             workers=1, cache=cache)
         serial.raise_on_failure()
@@ -566,7 +633,7 @@ def cmd_parallel(args) -> int:
     report = randomized_sweep(
         design, env_factory,
         until=lambda model, env: model.cycle >= args.cycles,
-        observe=lambda model, env: model.state_dict(),
+        observe=observe,
         trials=args.trials, seed=args.seed, max_cycles=args.cycles + 1,
         workers=args.workers, timeout=args.timeout, cache=cache)
     report.serial_seconds = serial_seconds
@@ -593,7 +660,16 @@ def cmd_parallel(args) -> int:
         cache_info = payload["cache"]
         print(f"model cache: {cache_info['hits']} hit(s), "
               f"{cache_info['misses']} miss(es)")
-    print("order-independent:", "yes" if order_independent else "NO")
+    print("order-independent:", "yes" if order_independent else "NO"
+          + (" (informational: stream designs are schedule-sensitive; "
+             "trials are gated on the stream oracles instead)"
+             if stream_log else ""))
+    if stream_log:
+        import glob
+        n_logs = len(glob.glob(os.path.join(
+            stream_log, f"{design.name}-*.ndjson")))
+        print(f"stream logs: {n_logs} repro-stream-log-v1 file(s) in "
+              f"{stream_log}/ (inspect with `repro report --streams PATH`)")
     if args.compare_serial:
         print("parallel == serial:", "yes" if payload["matches_serial"]
               else "NO")
@@ -601,7 +677,7 @@ def cmd_parallel(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, default=repr)
         print(f"report written to {args.json}")
-    if report.failures or not order_independent:
+    if report.failures or (not order_independent and not stream_log):
         return 1
     return 0
 
@@ -649,6 +725,7 @@ def cmd_fuzz_run(args) -> int:
         "pass_prefixes": args.pass_oracle,
         "lint_oracle": args.lint_oracle,
         "shard_oracle": args.shard_oracle,
+        "stream_oracle": args.stream_oracle,
     }
     try:
         store = CampaignStore.create(args.state, config, force=args.force)
@@ -802,12 +879,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("report", help="static-analysis report for a design")
-    p.add_argument("design")
+    p.add_argument("design", nargs="?", default=None)
     p.add_argument("--format", default="text",
                    choices=("text", "json", "dot"),
                    help="text report or a repro-report-v1 JSON document "
                         "(conflict graph + lint findings); dot needs "
                         "--conflicts")
+    p.add_argument("--streams", default=None, metavar="PATH",
+                   help="summarize a repro-stream-log-v1 NDJSON transaction "
+                        "log (per-stream pushes/pops/stalls/throughput) "
+                        "instead of reporting on a design; --format json "
+                        "prints the raw summary")
     p.add_argument("--conflicts", action="store_true",
                    help="dump the rule-conflict graph instead of the full "
                         "report (text, repro-conflicts-v1 JSON, or "
@@ -891,6 +973,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("auto", "local", "process"),
                    help="shard transport for --shards "
                         "(default: %(default)s)")
+    p.add_argument("--stream-log", default=None, metavar="DIR",
+                   help="attach a StreamObserver to every trial and write "
+                        "one repro-stream-log-v1 NDJSON transaction log "
+                        "per trial under DIR (stream designs only; not "
+                        "with --batch/--shards)")
     p.add_argument("--program", default=None,
                    help="built-in RISC-V program (rv32 designs)")
     p.add_argument("--arg", type=int, default=100)
@@ -965,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also diff local-mode sharded simulators (K=2,3) "
                          "against the scalar reference; divergences "
                          "bucket as sharded-k* failures")
+    fp.add_argument("--stream-oracle", action="store_true",
+                    help="also check stream invariants (no-drop, ordering, "
+                         "conservation, backpressure liveness) over each "
+                         "design's transaction log; violations bucket as "
+                         "stream:{property}:{stream} failures")
     fp.add_argument("--mutate", type=int, default=2,
                     help="mutants queued per interesting corpus entry")
     fp.add_argument("--mutation-depth", type=int, default=2,

@@ -5,11 +5,16 @@ Table 1 lists them.
 """
 
 from .collatz import build_collatz, build_stm
+from .dsp import DSP_GAIN, DSP_TAPS, build_dsp, reference_dsp
 from .fft import build_fft, fixed_point_fft_stage
 from .fir import DEFAULT_TAPS, build_fir, reference_fir
 from .msi import CoherenceDriver, build_msi, make_msi, make_msi_env
+from .prodcons import build_prodcons, reference_prodcons
+from .router import build_router
 from .soc import SocDevice, build_soc, make_soc_env, print_string_source
-from .stdlib import Fifo2, Lfsr, RisingEdge, SaturatingCounter
+from .stdlib import (Fifo2, Lfsr, RisingEdge, SaturatingCounter, SkidBuffer,
+                     StreamFifo, StreamSink, StreamSource, fork_stage,
+                     join_stage, lfsr_reference, map_stage)
 from .uart import UartDriver, build_uart, make_uart_env
 from .rv32 import (RV32MemoryDevice, add_rv32_core, build_rv32e, build_rv32i,
                    build_rv32i_bp, build_rv32i_bypass, build_rv32i_mc,
@@ -33,6 +38,10 @@ __all__ = [
     "UartDriver", "build_uart", "make_uart_env",
     "SocDevice", "build_soc", "make_soc_env", "print_string_source",
     "Fifo2", "Lfsr", "RisingEdge", "SaturatingCounter",
+    "SkidBuffer", "StreamFifo", "StreamSink", "StreamSource",
+    "fork_stage", "join_stage", "lfsr_reference", "map_stage",
+    "DSP_GAIN", "DSP_TAPS", "build_dsp", "reference_dsp",
+    "build_prodcons", "reference_prodcons", "build_router",
     "RV32MemoryDevice", "add_rv32_core", "build_rv32e", "build_rv32i",
     "build_rv32i_bp", "build_rv32i_bypass", "build_rv32i_mc",
     "build_rv32im", "make_core_env",

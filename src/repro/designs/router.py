@@ -1,0 +1,78 @@
+"""The ``router`` bundled design: a round-robin stream router/arbiter.
+
+Two independent sources feed two ingress FIFOs; a round-robin *arbiter*
+merges them into one shared trunk FIFO, and a round-robin *distributor*
+spreads the trunk across two egress FIFOs, each drained by a sink::
+
+    src0 -> in0_q \\                    / d0_q -> sink0
+               [arb] -> mid_q -> [dist]
+    src1 -> in1_q /                    \\ d1_q -> sink1
+
+Both schedulers skip an empty (arbiter) or full (distributor) port
+rather than stalling on it, and only advance their grant register when a
+beat actually moves — an aborted rule rolls the grant back, so fairness
+is preserved under backpressure.  The merge/route edges are recorded in
+``design.stream_edges`` so the stream oracle can check beat conservation
+across the many-to-one and one-to-many hops.
+"""
+
+from __future__ import annotations
+
+from ..koika.ast import C, If
+from ..koika.design import Design
+from ..koika.dsl import seq
+from .stdlib import StreamFifo, StreamSink, StreamSource
+
+WIDTH = 16
+
+
+def build_router(depth: int = 2) -> Design:
+    """Build the 2x2 round-robin stream router (16-bit payloads)."""
+    design = Design("router")
+    in0_q = StreamFifo(design, "in0_q", WIDTH, depth=depth)
+    in1_q = StreamFifo(design, "in1_q", WIDTH, depth=depth)
+    mid_q = StreamFifo(design, "mid_q", WIDTH, depth=depth)
+    d0_q = StreamFifo(design, "d0_q", WIDTH, depth=depth)
+    d1_q = StreamFifo(design, "d1_q", WIDTH, depth=depth)
+
+    # Distinguishable traffic: a counter on port 0, an LFSR on port 1.
+    src0 = StreamSource(design, "src0", in0_q, mode="counter")
+    src1 = StreamSource(design, "src1", in1_q, mode="lfsr", every=2)
+
+    # Arbiter: prefer the granted ingress, skip it when empty, flip the
+    # grant away from whoever was served.  Both-empty aborts (no beat).
+    grant = design.reg("arb_grant", 1, 0)
+
+    def serve(src: StreamFifo, next_grant: int):
+        return seq(mid_q.enq(src.deq()), grant.wr0(C(next_grant, 1)))
+
+    design.rule("arb", If(
+        grant.rd0() == C(0, 1),
+        If(in0_q.can_deq(), serve(in0_q, 1), serve(in1_q, 0)),
+        If(in1_q.can_deq(), serve(in1_q, 0), serve(in0_q, 1))))
+    design.stream_edges.append({
+        "kind": "merge", "ins": ["in0_q", "in1_q"], "outs": ["mid_q"],
+        "rule": "arb"})
+
+    # Distributor: prefer the granted egress, skip it when full.
+    dgrant = design.reg("dist_grant", 1, 0)
+
+    def route(dst: StreamFifo, next_grant: int):
+        return seq(dst.enq(mid_q.deq()), dgrant.wr0(C(next_grant, 1)))
+
+    design.rule("dist", If(
+        dgrant.rd0() == C(0, 1),
+        If(d0_q.can_enq(), route(d0_q, 1), route(d1_q, 0)),
+        If(d1_q.can_enq(), route(d1_q, 0), route(d0_q, 1))))
+    design.stream_edges.append({
+        "kind": "route", "ins": ["mid_q"], "outs": ["d0_q", "d1_q"],
+        "rule": "dist"})
+
+    sink0 = StreamSink(design, "snk0", d0_q)
+    sink1 = StreamSink(design, "snk1", d1_q, every=2)
+
+    design.schedule(*sink0.rule_names[:1], *sink1.rule_names[:1],
+                    "dist", "arb",
+                    *src0.rule_names, *src1.rule_names,
+                    *sink1.rule_names[1:])
+    return design.finalize()

@@ -25,7 +25,8 @@ from ..koika.design import Design
 from ..riscv.assembler import Program
 from .rv32.core import add_rv32_core
 from .rv32.memory import RV32MemoryDevice
-from .uart import build_uart
+from .uart import (STREAM_POP_POKES, STREAM_PUSH_POKES, build_uart,
+                   poke_stream_pop, poke_stream_push)
 
 UART_TX_ADDR = 0x40000010
 UART_STATUS_ADDR = 0x40000014
@@ -48,9 +49,11 @@ class SocDevice(RV32MemoryDevice):
     def __init__(self, program: Program, uart_prefix: str = "u_"):
         super().__init__(program)
         self.uart_prefix = uart_prefix
-        self.pokes = set(self.pokes) | {
-            f"{uart_prefix}tx_fifo_data", f"{uart_prefix}tx_fifo_valid",
-            f"{uart_prefix}rx_fifo_valid"}
+        self.pokes = set(self.pokes) \
+            | {t.format(s=f"{uart_prefix}tx_fifo")
+               for t in STREAM_PUSH_POKES} \
+            | {t.format(s=f"{uart_prefix}rx_fifo")
+               for t in STREAM_POP_POKES}
         self.printed: List[int] = []
 
     def reset(self) -> None:
@@ -66,21 +69,20 @@ class SocDevice(RV32MemoryDevice):
             request = DMEM_REQ.unpack(sim.peek("toDMem_data"))
             addr = request["addr"]
             if request["is_store"] and addr == UART_TX_ADDR:
-                if not sim.peek(f"{u}tx_fifo_valid"):
-                    sim.poke(f"{u}tx_fifo_data", request["data"] & 0xFF)
-                    sim.poke(f"{u}tx_fifo_valid", 1)
+                if not sim.peek(f"{u}tx_fifo_count"):
+                    poke_stream_push(sim, f"{u}tx_fifo",
+                                     request["data"] & 0xFF)
                 # A store to a busy FIFO is dropped; software must poll.
                 sim.poke("toDMem_valid", 0)
             elif not request["is_store"] and addr == UART_STATUS_ADDR:
-                busy = sim.peek(f"{u}tx_fifo_valid")
+                busy = sim.peek(f"{u}tx_fifo_count")
                 sim.poke("fromDMem_data", busy)
                 sim.poke("fromDMem_valid", 1)
                 sim.poke("toDMem_valid", 0)
         super().after_cycle(sim)
         # Drain the UART's RX FIFO into the "printed" stream.
-        if sim.peek(f"{u}rx_fifo_valid"):
-            self.printed.append(sim.peek(f"{u}rx_fifo_data"))
-            sim.poke(f"{u}rx_fifo_valid", 0)
+        if sim.peek(f"{u}rx_fifo_count"):
+            self.printed.append(poke_stream_pop(sim, f"{u}rx_fifo"))
 
     @property
     def printed_text(self) -> str:

@@ -8,12 +8,12 @@ every backend and every analysis sees ordinary Kôika registers.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..errors import KoikaElaborationError
-from ..koika.ast import Action, Binop, C, If, unit
-from ..koika.design import Design, Register
-from ..koika.dsl import guard, mux, seq
+from ..koika.ast import Action, Binop, C, If, Let, V, unit
+from ..koika.design import Design, Register, StreamInfo
+from ..koika.dsl import guard, mux, seq, when
 from ..koika.types import Type, bits
 
 
@@ -137,6 +137,300 @@ def lfsr_reference(width: int, seed: int, steps: int) -> int:
         if lsb:
             state ^= taps
     return state
+
+
+def _fresh_name(design: Design, hint: str) -> str:
+    """A Let-binder name that is unique *per design*, so elaboration stays
+    byte-deterministic (same builder order => same names => cache hits)."""
+    counter = getattr(design, "_dsl_fresh_names", 0) + 1
+    design._dsl_fresh_names = counter
+    return f"_{hint}{counter}"
+
+
+#: Width of the wrap-around ``pushed``/``popped`` observability counters.
+STREAM_COUNTER_WIDTH = 16
+
+
+class StreamFifo:
+    """A handshaked stream FIFO of parameterized depth.
+
+    Built on the EHR-style forwarding discipline of :class:`Fifo2`:
+    dequeue at port 0, enqueue at port 1, so a full FIFO still accepts an
+    element in the cycle its head is dequeued — provided the consumer
+    rule is scheduled *before* the producer rule.  The head is always
+    slot 0; a dequeue shifts the remaining elements down one slot.
+
+    Beyond the data path, every StreamFifo carries four *observability*
+    registers (wrap-around ``pushed``/``popped`` counters plus
+    last-payload mirrors ``_in``/``_out``) and registers itself in
+    ``design.streams`` so the harness's :class:`~repro.harness.streams.
+    StreamObserver` can reconstruct the per-cycle transaction stream on
+    any backend without instrumenting the simulator.  The port rules
+    already guarantee at most one push and one pop per stream per cycle
+    (a second enqueue's ``wr1`` on ``count`` conflicts and aborts), so
+    the single-payload mirrors are exact.
+    """
+
+    def __init__(self, design: Design, name: str, typ: Union[Type, int],
+                 depth: int = 2):
+        if isinstance(typ, int):
+            typ = bits(typ)
+        if depth < 1:
+            raise KoikaElaborationError("StreamFifo depth must be >= 1")
+        if name in design.streams:
+            raise KoikaElaborationError(f"duplicate stream {name!r}")
+        self.design = design
+        self.name = name
+        self.typ = typ
+        self.depth = depth
+        self.count_width = depth.bit_length()
+        self.slots: List[Register] = [
+            design.reg(f"{name}_q{i}", typ, 0) for i in range(depth)]
+        self.count = design.reg(f"{name}_count", self.count_width, 0)
+        self.pushed = design.reg(f"{name}_pushed", STREAM_COUNTER_WIDTH, 0)
+        self.popped = design.reg(f"{name}_popped", STREAM_COUNTER_WIDTH, 0)
+        self.data_in = design.reg(f"{name}_in", typ, 0)
+        self.data_out = design.reg(f"{name}_out", typ, 0)
+        design.streams[name] = StreamInfo(
+            name=name, depth=depth, count=self.count.name,
+            pushed=self.pushed.name, popped=self.popped.name,
+            data_in=self.data_in.name, data_out=self.data_out.name)
+        design.lint_observed.update((self.pushed.name, self.popped.name,
+                                     self.data_in.name, self.data_out.name))
+
+    # -- producer side (port 1) -------------------------------------------
+    def can_enq(self) -> Action:
+        return self.count.rd1() < C(self.depth, self.count_width)
+
+    def enq(self, value: Action) -> Action:
+        """Append ``value``; aborts the rule when full (backpressure)."""
+        cw = self.count_width
+        idx = _fresh_name(self.design, "enq_idx")
+        val = _fresh_name(self.design, "enq_val")
+        parts: List[Action] = [guard(V(idx) < C(self.depth, cw))]
+        for i in range(self.depth):
+            parts.append(when(V(idx) == C(i, cw),
+                              self.slots[i].wr1(V(val))))
+        parts.append(self.count.wr1(V(idx) + C(1, cw)))
+        parts.append(self.pushed.wr1(
+            self.pushed.rd1() + C(1, STREAM_COUNTER_WIDTH)))
+        parts.append(self.data_in.wr1(V(val)))
+        return Let(idx, self.count.rd1(),
+                   Let(val, value, seq(*parts)))
+
+    # -- consumer side (port 0) -------------------------------------------
+    def can_deq(self) -> Action:
+        return self.count.rd0() != C(0, self.count_width)
+
+    def first(self) -> Action:
+        return seq(guard(self.can_deq()), self.slots[0].rd0())
+
+    def deq(self) -> Action:
+        """Dequeue and return the head; aborts the rule when empty."""
+        cw = self.count_width
+        parts: List[Action] = [guard(self.can_deq())]
+        for i in range(self.depth - 1):
+            parts.append(self.slots[i].wr0(self.slots[i + 1].rd0()))
+        parts.append(self.count.wr0(
+            self.count.rd0() - C(1, cw)))
+        parts.append(self.popped.wr0(
+            self.popped.rd0() + C(1, STREAM_COUNTER_WIDTH)))
+        parts.append(self.data_out.wr0(self.slots[0].rd0()))
+        parts.append(self.slots[0].rd0())
+        return seq(*parts)
+
+
+class SkidBuffer:
+    """A credit-based skid buffer: a :class:`StreamFifo` plus an explicit
+    credit counter the producer spends (``offer``) and the consumer
+    returns (``take``).  The invariant ``credits == depth - occupancy``
+    holds by construction — both sides update the credit in the same
+    atomic rule as the FIFO operation — and the stream oracle's
+    conservation checker verifies it from the transaction log.
+
+    Duck-types the :class:`StreamFifo` handshake (``enq``/``deq``/
+    ``can_enq``/``can_deq``/``first``/``name``) so sources, sinks, and
+    combinators compose with it unchanged.
+    """
+
+    def __init__(self, design: Design, name: str, typ: Union[Type, int],
+                 depth: int = 2):
+        self.fifo = StreamFifo(design, name, typ, depth)
+        self.name = name
+        self.typ = self.fifo.typ
+        self.depth = depth
+        self.count_width = self.fifo.count_width
+        self.credits = design.reg(f"{name}_credits", self.count_width, depth)
+
+    def can_enq(self) -> Action:
+        return self.credits.rd1() != C(0, self.count_width)
+
+    def offer(self, value: Action) -> Action:
+        """Producer side: spend a credit and enqueue (aborts when out of
+        credits, which coincides with the FIFO being full)."""
+        cw = self.count_width
+        return seq(
+            guard(self.credits.rd1() != C(0, cw)),
+            self.credits.wr1(self.credits.rd1() - C(1, cw)),
+            self.fifo.enq(value),
+        )
+
+    enq = offer
+
+    def can_deq(self) -> Action:
+        return self.fifo.can_deq()
+
+    def first(self) -> Action:
+        return self.fifo.first()
+
+    def take(self) -> Action:
+        """Consumer side: dequeue and return a credit."""
+        cw = self.count_width
+        return seq(
+            self.credits.wr0(self.credits.rd0() + C(1, cw)),
+            self.fifo.deq(),
+        )
+
+    deq = take
+
+
+class StreamSource:
+    """Drives a stream from a deterministic in-hardware generator.
+
+    ``mode="counter"`` emits 0, 1, 2, … ; ``mode="lfsr"`` emits a Galois
+    LFSR sequence.  ``every=N`` (N a power of two) paces emission to one
+    beat every N cycles via a free-running phase register.  The phase
+    advances in its own unconditional ``{name}_tick`` rule — advancing it
+    inside the emit rule would stall the clock whenever backpressure
+    aborts the emit.  Schedule ``{name}_tick`` *after* ``{name}_emit``
+    (the emit's ``rd0`` of the phase must precede the tick's ``wr0``);
+    :attr:`rule_names` is already in that order.
+
+    When the producer is paced but the FIFO is full, the beat is simply
+    retried next matching phase: the generator state rolls back with the
+    aborted rule, so no values are ever skipped.
+    """
+
+    def __init__(self, design: Design, name: str, fifo: StreamFifo,
+                 mode: str = "counter", every: int = 1, seed: int = 1):
+        if every < 1 or (every & (every - 1)) != 0:
+            raise KoikaElaborationError(
+                "StreamSource every= must be a power of two")
+        self.name = name
+        self.fifo = fifo
+        width = fifo.typ.width
+        parts: List[Action] = []
+        self.rule_names: List[str] = [f"{name}_emit"]
+        if every > 1:
+            self.phase = design.reg(f"{name}_phase", 8, 0)
+            design.rule(f"{name}_tick",
+                        self.phase.wr0(self.phase.rd0() + C(1, 8)))
+            self.rule_names.append(f"{name}_tick")
+            parts.append(guard(
+                (self.phase.rd0() & C(every - 1, 8)) == C(0, 8)))
+        if mode == "counter":
+            self.state = design.reg(f"{name}_next", width, 0)
+            parts.append(self.fifo.enq(self.state.rd0()))
+            parts.append(self.state.wr0(self.state.rd0() + C(1, width)))
+        elif mode == "lfsr":
+            self.lfsr = Lfsr(design, f"{name}_lfsr", width, seed)
+            parts.append(self.fifo.enq(self.lfsr.value(0)))
+            parts.append(self.lfsr.step(0))
+        else:
+            raise KoikaElaborationError(
+                f"unknown StreamSource mode {mode!r}")
+        design.rule(f"{name}_emit", seq(*parts))
+
+
+class StreamSink:
+    """Drains a stream into observable accumulators: ``{name}_last`` (the
+    most recent payload), ``{name}_sum`` (wrap-around payload sum), and
+    ``{name}_taken`` (beat count).  ``every=N`` paces consumption the
+    same way :class:`StreamSource` paces production — tick rule last."""
+
+    def __init__(self, design: Design, name: str, fifo: StreamFifo,
+                 every: int = 1):
+        if every < 1 or (every & (every - 1)) != 0:
+            raise KoikaElaborationError(
+                "StreamSink every= must be a power of two")
+        self.name = name
+        self.fifo = fifo
+        width = fifo.typ.width
+        self.last = design.reg(f"{name}_last", width, 0)
+        self.sum = design.reg(f"{name}_sum", width, 0)
+        self.taken = design.reg(f"{name}_taken", STREAM_COUNTER_WIDTH, 0)
+        design.lint_observed.update(
+            (self.last.name, self.sum.name, self.taken.name))
+        parts: List[Action] = []
+        self.rule_names: List[str] = [f"{name}_drain"]
+        if every > 1:
+            self.phase = design.reg(f"{name}_phase", 8, 0)
+            design.rule(f"{name}_tick",
+                        self.phase.wr0(self.phase.rd0() + C(1, 8)))
+            self.rule_names.append(f"{name}_tick")
+            parts.append(guard(
+                (self.phase.rd0() & C(every - 1, 8)) == C(0, 8)))
+        x = _fresh_name(design, "sink_val")
+        parts.append(Let(x, self.fifo.deq(), seq(
+            self.last.wr0(V(x)),
+            self.sum.wr0(self.sum.rd0() + V(x)),
+            self.taken.wr0(
+                self.taken.rd0() + C(1, STREAM_COUNTER_WIDTH)),
+        )))
+        design.rule(f"{name}_drain", seq(*parts))
+
+
+def map_stage(design: Design, name: str, src: StreamFifo, dst: StreamFifo,
+              fn: Callable[[Action], Action]) -> str:
+    """One rule moving one beat per cycle from ``src`` through ``fn`` into
+    ``dst``.  Dequeue and enqueue are atomic in the rule, so backpressure
+    on ``dst`` leaves the beat in ``src`` — nothing is ever dropped."""
+    x = _fresh_name(design, "map_val")
+    design.rule(name, Let(x, src.deq(), dst.enq(fn(V(x)))))
+    design.stream_edges.append({
+        "kind": "map", "ins": [src.name], "outs": [dst.name], "rule": name})
+    return name
+
+
+def fork_stage(design: Design, name: str, src: StreamFifo,
+               dsts: Sequence[StreamFifo],
+               fns: Optional[Sequence[Callable[[Action], Action]]] = None,
+               ) -> str:
+    """Replicate each beat of ``src`` into every stream in ``dsts``
+    (optionally through a per-branch ``fns[i]``).  All-or-nothing: if any
+    destination is full the rule aborts, so the branch streams advance in
+    lockstep — the conservation oracle checks exactly this."""
+    if not dsts:
+        raise KoikaElaborationError("fork_stage needs >= 1 destination")
+    if fns is not None and len(fns) != len(dsts):
+        raise KoikaElaborationError("fork_stage fns/dsts length mismatch")
+    x = _fresh_name(design, "fork_val")
+    enqs = [dst.enq(fns[i](V(x)) if fns is not None else V(x))
+            for i, dst in enumerate(dsts)]
+    design.rule(name, Let(x, src.deq(), seq(*enqs)))
+    design.stream_edges.append({
+        "kind": "fork", "ins": [src.name],
+        "outs": [dst.name for dst in dsts], "rule": name})
+    return name
+
+
+def join_stage(design: Design, name: str, srcs: Sequence[StreamFifo],
+               dst: StreamFifo,
+               fn: Callable[..., Action]) -> str:
+    """Combine one beat from *every* stream in ``srcs`` through ``fn``
+    into one beat on ``dst``.  Atomic: if any source is empty or ``dst``
+    is full nothing moves, so the sources stay aligned beat-for-beat."""
+    if not srcs:
+        raise KoikaElaborationError("join_stage needs >= 1 source")
+    names = [_fresh_name(design, "join_val") for _ in srcs]
+    body: Action = dst.enq(fn(*[V(n) for n in names]))
+    for var, src in zip(reversed(names), reversed(list(srcs))):
+        body = Let(var, src.deq(), body)
+    design.rule(name, body)
+    design.stream_edges.append({
+        "kind": "join", "ins": [src.name for src in srcs],
+        "outs": [dst.name], "rule": name})
+    return name
 
 
 class RisingEdge:

@@ -25,8 +25,9 @@ from typing import List, Optional
 from ..harness.env import Device, Environment, SimHandle
 from ..koika.ast import C, If, Let, V, enum_const
 from ..koika.design import Design
-from ..koika.dsl import Fifo1, guard, mux, seq, when
+from ..koika.dsl import guard, mux, seq, when
 from ..koika.types import EnumType
+from .stdlib import StreamFifo
 
 TX_STATE = EnumType("tx_state", ["Idle", "Data", "Stop"])
 RX_STATE = EnumType("rx_state", ["Hunt", "Data", "Stop"])
@@ -52,8 +53,12 @@ def build_uart(divisor: int = 4) -> Design:
     # The serial line, idle-high, written by TX and sampled by RX.
     line = design.reg("line", 1, 1)
 
-    tx_fifo = Fifo1(design, "tx_fifo", 8)
-    rx_fifo = Fifo1(design, "rx_fifo", 8)
+    # Depth-1 stream FIFOs at both ends: same handshake as the old Fifo1
+    # (enq aborts when full, deq when empty), but with the stream
+    # observability registers, so a StreamObserver sees every byte cross
+    # the MMIO/testbench boundary.
+    tx_fifo = StreamFifo(design, "tx_fifo", 8, depth=1)
+    rx_fifo = StreamFifo(design, "rx_fifo", 8, depth=1)
 
     tx_state = design.reg("tx_state", TX_STATE, TX_STATE.Idle)
     tx_shift = design.reg("tx_shift", 8, 0)
@@ -132,12 +137,43 @@ def build_uart(divisor: int = 4) -> Design:
     return design.finalize()
 
 
+def poke_stream_push(sim: SimHandle, stream: str, value: int) -> None:
+    """Inject one beat into a depth-1 :class:`StreamFifo` from a device,
+    keeping the observability registers consistent (a raw poke bypasses
+    ``enq``, so the device must mirror its accounting)."""
+    sim.poke(f"{stream}_q0", value)
+    sim.poke(f"{stream}_count", 1)
+    sim.poke(f"{stream}_in", value)
+    sim.poke(f"{stream}_pushed", (sim.peek(f"{stream}_pushed") + 1) & 0xFFFF)
+
+
+def poke_stream_pop(sim: SimHandle, stream: str) -> int:
+    """Drain one beat from a depth-1 :class:`StreamFifo` from a device,
+    mirroring ``deq``'s accounting."""
+    value = sim.peek(f"{stream}_q0")
+    sim.poke(f"{stream}_count", 0)
+    sim.poke(f"{stream}_out", value)
+    sim.poke(f"{stream}_popped", (sim.peek(f"{stream}_popped") + 1) & 0xFFFF)
+    return value
+
+
+#: Registers a device must declare to drive a depth-1 stream's producer
+#: (push) or consumer (pop) side from the testbench.
+STREAM_PUSH_POKES = ("{s}_q0", "{s}_count", "{s}_in", "{s}_pushed")
+STREAM_POP_POKES = ("{s}_count", "{s}_out", "{s}_popped")
+
+
+def _stream_pokes(stream: str, templates) -> List[str]:
+    return [t.format(s=stream) for t in templates]
+
+
 class UartDriver(Device):
     """Feeds bytes into the TX FIFO and drains the RX FIFO."""
 
     def __init__(self, payload: List[int]):
         self.payload = [b & 0xFF for b in payload]
-        self.pokes = {"tx_fifo_data", "tx_fifo_valid", "rx_fifo_valid"}
+        self.pokes = set(_stream_pokes("tx_fifo", STREAM_PUSH_POKES)
+                         + _stream_pokes("rx_fifo", STREAM_POP_POKES))
         self.reset()
 
     def reset(self) -> None:
@@ -145,12 +181,10 @@ class UartDriver(Device):
         self.received: List[int] = []
 
     def after_cycle(self, sim: SimHandle) -> None:
-        if self.to_send and not sim.peek("tx_fifo_valid"):
-            sim.poke("tx_fifo_data", self.to_send.pop(0))
-            sim.poke("tx_fifo_valid", 1)
-        if sim.peek("rx_fifo_valid"):
-            self.received.append(sim.peek("rx_fifo_data"))
-            sim.poke("rx_fifo_valid", 0)
+        if self.to_send and not sim.peek("tx_fifo_count"):
+            poke_stream_push(sim, "tx_fifo", self.to_send.pop(0))
+        if sim.peek("rx_fifo_count"):
+            self.received.append(poke_stream_pop(sim, "rx_fifo"))
 
     @property
     def done(self) -> bool:

@@ -247,6 +247,8 @@ def reduce_buckets(store: CampaignStore, budget: int = 400,
             batch=final.batch, batch_backend=final.batch_backend,
             lint_oracle=final.lint_oracle,
             shard_oracle=final.shard_oracle,
+            stream_oracle=final.stream_oracle,
+            expect_signature=signature.startswith("stream:"),
             name=f"repro_{slugify(signature)[:40]}",
             provenance={"seed": final.seed,
                         "mutations": list(final.mutations),

@@ -75,6 +75,17 @@ def design_to_python(design: Design, name: Optional[str] = None,
         lines.append(f"d.rule({rule.name!r}, {_emit_action(rule.body)})")
     schedule = ", ".join(repr(r) for r in design.scheduler)
     lines.append(f"d.schedule({schedule})")
+    for info in design.streams.values():
+        lines.append(
+            f"d.streams[{info.name!r}] = StreamInfo(name={info.name!r}, "
+            f"depth={info.depth}, count={info.count!r}, "
+            f"pushed={info.pushed!r}, popped={info.popped!r}, "
+            f"data_in={info.data_in!r}, data_out={info.data_out!r})")
+    for edge in design.stream_edges:
+        lines.append(
+            f"d.stream_edges.append({{'kind': {edge['kind']!r}, "
+            f"'ins': {list(edge['ins'])!r}, 'outs': {list(edge['outs'])!r}, "
+            f"'rule': {edge['rule']!r}}})")
     lines.append("return d.finalize()")
     return "\n".join(indent + line for line in lines)
 
@@ -84,6 +95,8 @@ def repro_script(design: Design, *, signature: str, cycles: int,
                  include_simplified: bool = False, schedule_seeds=(),
                  batch: int = 0, batch_backend: str = "auto",
                  lint_oracle: bool = False, shard_oracle: bool = False,
+                 stream_oracle: bool = False,
+                 expect_signature: bool = False,
                  provenance: Optional[Dict[str, object]] = None,
                  name: Optional[str] = None) -> str:
     """A standalone, executable repro module for a reduced bucket.
@@ -91,6 +104,12 @@ def repro_script(design: Design, *, signature: str, cycles: int,
     Run directly it re-checks the divergence (exits loudly while the bug
     is live, quietly once fixed); imported by the regression-corpus hook
     it exposes ``build_design()`` and ``CHECK_KWARGS``.
+
+    ``expect_signature=True`` flips the polarity for *design* bugs
+    (stream-oracle violations): the reduced design itself is buggy and
+    will never pass, so ``check()`` asserts the oracle still raises with
+    the recorded signature — the regression being guarded is the oracle's
+    ability to catch the bug, not the bug's absence.
     """
     header = [
         '"""Minimal repro emitted by `repro fuzz reduce`.',
@@ -114,7 +133,44 @@ def repro_script(design: Design, *, signature: str, cycles: int,
                     f"schedule_seeds={tuple(schedule_seeds)!r}, "
                     f"batch={batch}, batch_backend={batch_backend!r}, "
                     f"lint_oracle={lint_oracle}, "
-                    f"shard_oracle={shard_oracle})")
+                    f"shard_oracle={shard_oracle}, "
+                    f"stream_oracle={stream_oracle})")
+    if expect_signature:
+        check_lines = [
+            "def check():",
+            "    from repro.fuzz.executor import verify_design",
+            "    from repro.harness.streams import StreamOracleError",
+            "",
+            "    try:",
+            "        verify_design(build_design(), **CHECK_KWARGS)",
+            "    except StreamOracleError as exc:",
+            "        found = exc.violations[0].signature",
+            "        assert found == SIGNATURE, (",
+            "            f\"oracle signature changed: {found} != "
+            "{SIGNATURE}\")",
+            "        return",
+            "    raise AssertionError(",
+            "        f\"stream oracle no longer catches {SIGNATURE}\")",
+            "",
+            "",
+            'if __name__ == "__main__":',
+            "    check()",
+            '    print("stream oracle caught the expected violation: "',
+            "          + SIGNATURE)",
+        ]
+    else:
+        check_lines = [
+            "def check():",
+            "    from repro.fuzz.executor import verify_design",
+            "",
+            "    verify_design(build_design(), **CHECK_KWARGS)",
+            "",
+            "",
+            'if __name__ == "__main__":',
+            "    check()",
+            '    print("no divergence: the bug this repro was reduced from '
+            'is fixed")',
+        ]
     return "\n".join(header + [
         "",
         "import os as _os, sys as _sys",
@@ -128,7 +184,7 @@ def repro_script(design: Design, *, signature: str, cycles: int,
         "from repro.koika.ast import (Abort, Assign, Binop, C, If, Let, "
         "Read, Seq,",
         "                             Unop, V, Write, unit)",
-        "from repro.koika.design import Design",
+        "from repro.koika.design import Design, StreamInfo",
         "from repro.koika.types import bits",
         "",
         f"SIGNATURE = {signature!r}",
@@ -140,15 +196,4 @@ def repro_script(design: Design, *, signature: str, cycles: int,
         body,
         "",
         "",
-        "def check():",
-        "    from repro.fuzz.executor import verify_design",
-        "",
-        "    verify_design(build_design(), **CHECK_KWARGS)",
-        "",
-        "",
-        'if __name__ == "__main__":',
-        "    check()",
-        '    print("no divergence: the bug this repro was reduced from is '
-        'fixed")',
-        "",
-    ])
+    ] + check_lines + [""])

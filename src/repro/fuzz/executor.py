@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.oracle import LintUnsoundError
 from ..debug.coverage import CoverageReport
+from ..harness.streams import StreamOracleError
 from ..koika.design import Design
 from ..koika.pretty import pretty_action
 from ..testing.differential import (DivergenceError, collect_batch_traces,
@@ -75,6 +76,11 @@ class SeedJob:
     #: Sharded-simulation oracle: diff local-mode sharded simulators
     #: (K=2, 3) against the reference trace (:mod:`repro.shard`).
     shard_oracle: bool = False
+    #: Stream oracle: record the per-stream transaction log through a
+    #: :class:`~repro.harness.streams.StreamObserver` and run the
+    #: no-drop/ordering/conservation/backpressure checkers over it
+    #: (status ``stream-violation`` on failure).
+    stream_oracle: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -91,6 +97,7 @@ class SeedJob:
             "pass_prefixes": self.pass_prefixes,
             "lint_oracle": self.lint_oracle,
             "shard_oracle": self.shard_oracle,
+            "stream_oracle": self.stream_oracle,
         }
 
     @classmethod
@@ -110,6 +117,7 @@ class SeedJob:
             pass_prefixes=bool(payload.get("pass_prefixes", False)),
             lint_oracle=bool(payload.get("lint_oracle", False)),
             shard_oracle=bool(payload.get("shard_oracle", False)),
+            stream_oracle=bool(payload.get("stream_oracle", False)),
         )
 
     def narrowed(self, **changes) -> "SeedJob":
@@ -210,7 +218,9 @@ def verify_design(design: Design, cycles: int = 32,
                   batch_backend: str = "auto",
                   pass_prefixes: bool = False,
                   lint_oracle: bool = False,
-                  shard_oracle: bool = False) -> None:
+                  shard_oracle: bool = False,
+                  stream_oracle: bool = False,
+                  max_stall: Optional[int] = None) -> None:
     """Differentially verify ``design``; raise on the first disagreement.
 
     This is the campaign's check function *and* what emitted repro
@@ -236,6 +246,15 @@ def verify_design(design: Design, cycles: int = 32,
     against the reference trace — exercising the partitioner's hot-rule
     analysis and the barrier's replay machinery on every generated
     design.  Backends report as ``sharded-k2``/``sharded-k3``.
+
+    ``stream_oracle=True`` records the per-stream transaction log (a
+    :class:`~repro.harness.streams.StreamObserver` on a fresh in-order
+    O2 model) and runs the stream assertions — no-drop, FIFO ordering,
+    conservation, bounded stall (``max_stall``, default
+    :data:`~repro.harness.streams.DEFAULT_MAX_STALL`) — raising
+    :class:`~repro.harness.streams.StreamOracleError` with
+    ``stream:{property}:{stream}`` signatures.  Designs that declare no
+    streams pass vacuously.
     """
     from ..cuttlesim.codegen import compile_model
 
@@ -301,6 +320,23 @@ def verify_design(design: Design, cycles: int = 32,
             compare_traces(design.name, f"{model.backend_name}-lane{lane}",
                            trace, collect_trace(scalar, registers, cycles),
                            registers, reference_name="cuttlesim-O2")
+
+    if stream_oracle and design.streams:
+        from ..harness.env import Environment
+        from ..harness.streams import (DEFAULT_MAX_STALL, StreamObserver,
+                                       StreamOracleError,
+                                       check_stream_events)
+
+        env = Environment()
+        observer = env.add_device(StreamObserver(design))
+        stream_cls = compile_model(design, opt=2, warn_goldberg=False,
+                                   cache=cache)
+        stream_cls(env).run(cycles)
+        stream_violations = check_stream_events(
+            design, observer.events,
+            max_stall=DEFAULT_MAX_STALL if max_stall is None else max_stall)
+        if stream_violations:
+            raise StreamOracleError(design.name, stream_violations)
 
     if shard_oracle:
         from ..shard import ShardedSimulator
@@ -387,7 +423,15 @@ def run_seed_job(job: SeedJob, cache=None) -> Dict[str, object]:
                       batch=job.batch, batch_backend=job.batch_backend,
                       pass_prefixes=job.pass_prefixes,
                       lint_oracle=job.lint_oracle,
-                      shard_oracle=job.shard_oracle)
+                      shard_oracle=job.shard_oracle,
+                      stream_oracle=job.stream_oracle)
+    except StreamOracleError as exc:
+        outcome["status"] = "stream-violation"
+        outcome["error"] = {"type": "StreamOracleError",
+                            "message": str(exc),
+                            "violations": [v.as_dict()
+                                           for v in exc.violations]}
+        outcome["signature"] = exc.violations[0].signature
     except LintUnsoundError as exc:
         outcome["status"] = "lint-unsound"
         outcome["error"] = {"type": "LintUnsoundError",

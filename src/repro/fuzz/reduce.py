@@ -220,11 +220,15 @@ def reduce_bucket(job: SeedJob, signature: str,
     backend = signature.split(":", 1)[0]
     narrowed = dict(opts=(), include_rtl=False, include_simplified=False,
                     schedule_seeds=(), batch=0, lint_oracle=False,
-                    shard_oracle=False)
+                    shard_oracle=False, stream_oracle=False)
     if backend == "lint":
         # Lint-oracle refutation: the claim replays on its own debug
         # trace, no differential backend needed.
         narrowed["lint_oracle"] = True
+    elif backend == "stream":
+        # Stream-oracle violation: the checkers replay on the stream's
+        # own transaction log, no differential backend needed.
+        narrowed["stream_oracle"] = True
     elif backend.startswith("cuttlesim-batch"):
         # Batched-tier divergence: keep the lockstep check (and its lane
         # width — lane state depends on it), drop every other backend.

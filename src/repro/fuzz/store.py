@@ -42,6 +42,7 @@ _DEFAULT_CONFIG = {
     "batch_backend": "auto",
     "lint_oracle": False,    # replay static lint claims against traces
     "shard_oracle": False,   # diff sharded simulators (K=2,3) vs reference
+    "stream_oracle": False,  # check stream no-drop/ordering/conservation
 }
 
 
@@ -144,6 +145,7 @@ class CampaignStore:
             pass_prefixes=bool(config.get("pass_prefixes", False)),
             lint_oracle=bool(config.get("lint_oracle", False)),
             shard_oracle=bool(config.get("shard_oracle", False)),
+            stream_oracle=bool(config.get("stream_oracle", False)),
         )
 
     def next_jobs(self, limit: int) -> List[SeedJob]:

@@ -6,8 +6,15 @@ from .parallel import (FleetReport, Trial, TrialOutput, TrialResult,
                        execute_trial, fleet_available_workers, run_fleet)
 from .perf import PerfMonitor, measure_rate, perf_sweep
 from .sim import BACKENDS, make_simulator
+from .streams import (DEFAULT_MAX_STALL, STREAM_LOG_SCHEMA,
+                      StreamObserver, StreamOracleError, StreamViolation,
+                      check_stream_events, render_stream_summary,
+                      summarize_stream_log)
 
 __all__ = ["Device", "Environment", "SimHandle", "BACKENDS",
            "make_simulator", "PerfMonitor", "measure_rate", "perf_sweep",
            "FleetReport", "Trial", "TrialOutput", "TrialResult",
-           "execute_trial", "fleet_available_workers", "run_fleet"]
+           "execute_trial", "fleet_available_workers", "run_fleet",
+           "DEFAULT_MAX_STALL", "STREAM_LOG_SCHEMA", "StreamObserver",
+           "StreamOracleError", "StreamViolation", "check_stream_events",
+           "render_stream_summary", "summarize_stream_log"]

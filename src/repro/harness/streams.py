@@ -1,0 +1,408 @@
+"""TAPA-style per-stream transaction observability and stream oracles.
+
+Every :class:`~repro.designs.stdlib.StreamFifo` carries wrap-around
+``pushed``/``popped`` counters and last-payload mirror registers, so a
+plain :class:`~repro.harness.env.Device` peeking them *between* cycles
+can reconstruct the exact push/pop/stall transaction stream on any
+backend — interpreter, compiled O0-O5, batch lanes, shards — without
+instrumenting the simulator:
+
+* :class:`StreamObserver` — attach to an :class:`Environment`; records
+  one event dict per transaction, optionally mirrored to an NDJSON log
+  (``repro-stream-log-v1``) under ``log_dir`` or
+  ``$REPRO_STREAM_LOG_DIR`` (the rapidstream-tapa
+  ``TAPA_STREAM_LOG_DIR`` idiom).
+
+* :func:`check_stream_events` — stream-aware assertions over a recorded
+  event list: FIFO **no-drop** and **ordering** (pop payloads must be
+  exactly the push payloads, in order), **conservation** (occupancy
+  matches pushes minus pops, per cycle, and beat counts match across
+  map/fork/join/merge/route edges), and **backpressure liveness**
+  (no stream stays full-and-stuck longer than ``max_stall`` cycles).
+  Violations carry ``stream:{property}:{stream}`` signatures so fuzz
+  campaigns bucket them like any other divergence.
+
+Event schema (one dict per event, also one NDJSON line)::
+
+    {"cycle": 12, "stream": "in_q", "event": "push", "payload": 7}
+    {"cycle": 13, "stream": "in_q", "event": "pop",  "payload": 7}
+    {"cycle": 14, "stream": "in_q", "event": "stall"}            # full, no pop
+
+A ``stall`` is recorded only when the FIFO is full *and* nothing was
+popped that cycle — a full FIFO sustaining one push and one pop per
+cycle is healthy steady-state, not a stall.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..koika.design import Design, StreamInfo
+from .env import Device, SimHandle
+
+#: Schema tag written in the NDJSON header line.
+STREAM_LOG_SCHEMA = "repro-stream-log-v1"
+
+#: Environment variable naming the default transaction-log directory.
+STREAM_LOG_DIR_VAR = "REPRO_STREAM_LOG_DIR"
+
+#: Default bound for the backpressure-liveness checker: a stream that is
+#: full with no pop for more than this many *consecutive* cycles is stuck.
+DEFAULT_MAX_STALL = 16
+
+
+@dataclass(frozen=True)
+class StreamViolation:
+    """One failed stream assertion.
+
+    ``property`` is one of ``no-drop``, ``ordering``, ``conservation``,
+    ``backpressure``; ``cycle`` is where the violation was first
+    observable; ``detail`` is a human-readable explanation.
+    """
+
+    property: str
+    stream: str
+    cycle: int
+    detail: str
+
+    @property
+    def signature(self) -> str:
+        return f"stream:{self.property}:{self.stream}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"property": self.property, "stream": self.stream,
+                "cycle": self.cycle, "detail": self.detail,
+                "signature": self.signature}
+
+
+class StreamOracleError(ReproError):
+    """A design violated a stream-level assertion."""
+
+    def __init__(self, design_name: str, violations: Sequence[StreamViolation]):
+        self.design_name = design_name
+        self.violations = list(violations)
+        first = self.violations[0]
+        extra = (f" (+{len(self.violations) - 1} more)"
+                 if len(self.violations) > 1 else "")
+        super().__init__(
+            f"stream oracle violated on {design_name!r}: "
+            f"{first.property} on stream {first.stream!r} at cycle "
+            f"{first.cycle}: {first.detail}{extra}")
+
+
+class StreamObserver(Device):
+    """Reconstructs per-stream transactions by peeking the observability
+    registers after every cycle.  Purely read-only (``pokes = ()``), so
+    it never perturbs the design or the static analysis.
+
+    The observer double-checks occupancy conservation *inline* (running
+    ``pushes - pops`` against the live ``count`` register) and records a
+    ``conservation`` event on mismatch, so the log stays compact — one
+    line per transaction, not one per cycle per stream.
+    """
+
+    pokes: Tuple[str, ...] = ()
+
+    def __init__(self, design: Design, log_dir: Optional[str] = None,
+                 log_label: Optional[str] = None):
+        self.design_name = design.name
+        self.streams: List[StreamInfo] = list(design.streams.values())
+        # Register widths read live from the design, so reduced variants
+        # (shrunk registers) stay consistent with their own geometry.
+        self._wrap: Dict[str, int] = {}
+        self._prev: Dict[str, Tuple[int, int]] = {}
+        for info in self.streams:
+            counter_width = design.registers[info.pushed].typ.width
+            self._wrap[info.name] = 1 << counter_width
+            self._prev[info.name] = (design.registers[info.pushed].init,
+                                     design.registers[info.popped].init)
+        self.events: List[Dict[str, object]] = []
+        self._stall_run: Dict[str, int] = {info.name: 0
+                                           for info in self.streams}
+        self.max_stall_run: Dict[str, int] = {info.name: 0
+                                              for info in self.streams}
+        self.cycles_observed = 0
+        if log_dir is None:
+            log_dir = os.environ.get(STREAM_LOG_DIR_VAR) or None
+        self._log_dir = log_dir
+        self._log_label = log_label
+        self._log_file = None
+
+    # -- logging ----------------------------------------------------------
+    def _log_path(self) -> str:
+        label = f"-{self._log_label}" if self._log_label else ""
+        return os.path.join(self._log_dir,
+                            f"{self.design_name}{label}.ndjson")
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+        if self._log_dir is None:
+            return
+        if self._log_file is None:
+            os.makedirs(self._log_dir, exist_ok=True)
+            self._log_file = open(self._log_path(), "w", encoding="utf-8")
+            header = {"schema": STREAM_LOG_SCHEMA,
+                      "design": self.design_name,
+                      "streams": [info.as_dict() for info in self.streams]}
+            self._log_file.write(json.dumps(header) + "\n")
+        self._log_file.write(json.dumps(event) + "\n")
+
+    def close(self) -> None:
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+
+    # -- the hook ---------------------------------------------------------
+    def after_cycle(self, sim: SimHandle) -> None:
+        cycle = sim.cycle
+        self.cycles_observed += 1
+        for info in self.streams:
+            wrap = self._wrap[info.name]
+            prev_pushed, prev_popped = self._prev[info.name]
+            pushed = sim.peek(info.pushed)
+            popped = sim.peek(info.popped)
+            d_push = (pushed - prev_pushed) % wrap
+            d_pop = (popped - prev_popped) % wrap
+            self._prev[info.name] = (pushed, popped)
+            if d_push:
+                payload = sim.peek(info.data_in)
+                for k in range(d_push):
+                    self._emit({"cycle": cycle, "stream": info.name,
+                                "event": "push",
+                                "payload": payload if k == d_push - 1
+                                else None})
+            if d_pop:
+                payload = sim.peek(info.data_out)
+                for k in range(d_pop):
+                    self._emit({"cycle": cycle, "stream": info.name,
+                                "event": "pop",
+                                "payload": payload if k == d_pop - 1
+                                else None})
+            count = sim.peek(info.count)
+            expected = ((pushed - popped) % wrap)
+            if expected > info.depth or count != expected:
+                self._emit({"cycle": cycle, "stream": info.name,
+                            "event": "conservation", "count": count,
+                            "expected": expected})
+            if count == info.depth and not d_pop:
+                run = self._stall_run[info.name] + 1
+                self._stall_run[info.name] = run
+                if run > self.max_stall_run[info.name]:
+                    self.max_stall_run[info.name] = run
+                self._emit({"cycle": cycle, "stream": info.name,
+                            "event": "stall"})
+            else:
+                self._stall_run[info.name] = 0
+
+    # Snapshot/restore must not try to deepcopy an open file handle.
+    def snapshot_state(self):
+        import copy
+
+        state = {k: v for k, v in self.__dict__.items() if k != "_log_file"}
+        return copy.deepcopy(state)
+
+    def restore_state(self, snapshot) -> None:
+        import copy
+
+        self.__dict__.update(copy.deepcopy(snapshot))
+
+
+def check_stream_events(design: Design, events: Sequence[Dict[str, object]],
+                        max_stall: int = DEFAULT_MAX_STALL,
+                        ) -> List[StreamViolation]:
+    """Run every stream assertion over a recorded event list.
+
+    Edge conservation is checked per cycle for each edge whose input
+    streams are consumed by no other edge and whose output streams are
+    fed by no other edge (sources and sinks don't interfere: a source
+    only pushes to an edge's input, a sink only pops from its output).
+    """
+    violations: List[StreamViolation] = []
+    pushes: Dict[str, List[Tuple[int, object]]] = {}
+    pops: Dict[str, List[Tuple[int, object]]] = {}
+    stall_runs: Dict[str, List[int]] = {}
+    per_cycle: Dict[int, Dict[str, List[int]]] = {}
+    for event in events:
+        stream = str(event["stream"])
+        cycle = int(event["cycle"])  # type: ignore[arg-type]
+        kind = event["event"]
+        if kind == "push":
+            pushes.setdefault(stream, []).append((cycle, event["payload"]))
+            per_cycle.setdefault(cycle, {}).setdefault(
+                f"push:{stream}", []).append(1)
+        elif kind == "pop":
+            pops.setdefault(stream, []).append((cycle, event["payload"]))
+            per_cycle.setdefault(cycle, {}).setdefault(
+                f"pop:{stream}", []).append(1)
+        elif kind == "stall":
+            stall_runs.setdefault(stream, []).append(cycle)
+        elif kind == "conservation":
+            violations.append(StreamViolation(
+                "conservation", stream, cycle,
+                f"occupancy {event['count']} != pushes-pops "
+                f"{event['expected']}"))
+
+    # FIFO no-drop / ordering: pop payloads must be exactly the push
+    # payloads, in order (unknown payloads from multi-beat cycles skip
+    # the comparison at that index).
+    for name in design.streams:
+        pushed_seq = pushes.get(name, [])
+        popped_seq = pops.get(name, [])
+        if len(popped_seq) > len(pushed_seq):
+            violations.append(StreamViolation(
+                "conservation", name, popped_seq[len(pushed_seq)][0],
+                f"{len(popped_seq)} pops but only {len(pushed_seq)} "
+                f"pushes"))
+            continue
+        mismatch = None
+        for i, (cycle, got) in enumerate(popped_seq):
+            want = pushed_seq[i][1]
+            if want is None or got is None:
+                continue
+            if got != want:
+                mismatch = (i, cycle, got, want)
+                break
+        if mismatch is None:
+            continue
+        i, cycle, got, want = mismatch
+        # Classify by the first mismatch: if the popped value appears
+        # *later* in the push sequence, the beats in between were dropped
+        # (no-drop); otherwise the stream reordered or corrupted a beat.
+        dropped = any(p == got for _, p in pushed_seq[i + 1:])
+        violations.append(StreamViolation(
+            "no-drop" if dropped else "ordering", name, cycle,
+            f"pop #{i} returned {got} but push #{i} was {want}"))
+
+    # Backpressure liveness: consecutive stalls bounded by max_stall.
+    for name, cycles in stall_runs.items():
+        run_start = None
+        run_len = 0
+        prev_cycle = None
+        for cycle in cycles:
+            if prev_cycle is not None and cycle == prev_cycle + 1:
+                run_len += 1
+            else:
+                run_start, run_len = cycle, 1
+            prev_cycle = cycle
+            if run_len == max_stall + 1:
+                violations.append(StreamViolation(
+                    "backpressure", name, cycle,
+                    f"full with no pop for more than {max_stall} "
+                    f"consecutive cycles (since cycle {run_start})"))
+                break
+
+    # Edge conservation: matching beat counts across each edge, per cycle.
+    in_edges: Dict[str, int] = {}
+    out_edges: Dict[str, int] = {}
+    for edge in design.stream_edges:
+        for s in edge["ins"]:
+            in_edges[s] = in_edges.get(s, 0) + 1
+        for s in edge["outs"]:
+            out_edges[s] = out_edges.get(s, 0) + 1
+    for edge in design.stream_edges:
+        ins = list(edge["ins"])
+        outs = list(edge["outs"])
+        if any(in_edges[s] > 1 for s in ins):
+            continue
+        if any(out_edges[s] > 1 for s in outs):
+            continue
+        kind = edge["kind"]
+        for cycle in sorted(per_cycle):
+            moved = per_cycle[cycle]
+            pops_in = [len(moved.get(f"pop:{s}", ())) for s in ins]
+            pushes_out = [len(moved.get(f"push:{s}", ())) for s in outs]
+            ok = True
+            if kind in ("map", "fork"):
+                ok = all(p == pops_in[0] for p in pushes_out + pops_in)
+            elif kind == "join":
+                ok = (all(p == pushes_out[0] for p in pops_in)
+                      and len(set(pushes_out)) == 1)
+            elif kind == "merge":
+                ok = sum(pops_in) == pushes_out[0]
+            elif kind == "route":
+                ok = pops_in[0] == sum(pushes_out)
+            if not ok:
+                violations.append(StreamViolation(
+                    "conservation", outs[0], cycle,
+                    f"{kind} edge {edge['rule']!r} moved "
+                    f"{pops_in} beats in but {pushes_out} beats out"))
+                break
+    violations.sort(key=lambda v: (v.cycle, v.stream, v.property))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Log summarization (``repro report --streams``).
+# ----------------------------------------------------------------------
+
+
+def summarize_stream_log(path: str) -> Dict[str, object]:
+    """Parse a ``repro-stream-log-v1`` NDJSON file into per-stream
+    statistics (pushes, pops, stalls, longest stall run, throughput)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("schema") != STREAM_LOG_SCHEMA:
+            raise ReproError(
+                f"{path}: not a {STREAM_LOG_SCHEMA} log "
+                f"(schema={header.get('schema')!r})")
+        stats: Dict[str, Dict[str, object]] = {
+            info["name"]: {"depth": info["depth"], "pushes": 0, "pops": 0,
+                           "stalls": 0, "max_stall_run": 0,
+                           "first_cycle": None, "last_cycle": None}
+            for info in header.get("streams", [])}
+        run: Dict[str, Tuple[int, int]] = {}
+        last_cycle = -1
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            name = event["stream"]
+            entry = stats.setdefault(
+                name, {"depth": None, "pushes": 0, "pops": 0, "stalls": 0,
+                       "max_stall_run": 0, "first_cycle": None,
+                       "last_cycle": None})
+            cycle = event["cycle"]
+            last_cycle = max(last_cycle, cycle)
+            if entry["first_cycle"] is None:
+                entry["first_cycle"] = cycle
+            entry["last_cycle"] = cycle
+            kind = event["event"]
+            if kind == "push":
+                entry["pushes"] += 1
+            elif kind == "pop":
+                entry["pops"] += 1
+            elif kind == "stall":
+                prev, length = run.get(name, (-2, 0))
+                length = length + 1 if cycle == prev + 1 else 1
+                run[name] = (cycle, length)
+                entry["stalls"] += 1
+                if length > entry["max_stall_run"]:
+                    entry["max_stall_run"] = length
+    return {"schema": STREAM_LOG_SCHEMA, "design": header.get("design"),
+            "path": path, "cycles": last_cycle + 1, "streams": stats}
+
+
+def render_stream_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize_stream_log`."""
+    lines = [f"stream log: {summary['path']}",
+             f"design: {summary['design']}  "
+             f"(last event at cycle {summary['cycles'] - 1})"]
+    header = (f"{'stream':<16} {'depth':>5} {'pushes':>7} {'pops':>7} "
+              f"{'stalls':>7} {'max-stall':>9} {'beats/cyc':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    cycles = max(int(summary["cycles"]), 1)
+    for name in sorted(summary["streams"]):
+        entry = summary["streams"][name]
+        rate = entry["pops"] / cycles
+        depth = entry["depth"] if entry["depth"] is not None else "?"
+        lines.append(
+            f"{name:<16} {depth:>5} {entry['pushes']:>7} "
+            f"{entry['pops']:>7} {entry['stalls']:>7} "
+            f"{entry['max_stall_run']:>9} {rate:>9.3f}")
+    return "\n".join(lines)

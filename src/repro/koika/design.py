@@ -13,11 +13,48 @@ built imperatively::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import KoikaElaborationError
 from .ast import Action, Call, Read, Write
 from .types import BitsType, Type, bits
+
+
+@dataclass(frozen=True)
+class StreamInfo:
+    """Metadata for one handshaked stream declared by the stdlib.
+
+    A stream is an ordinary group of registers (slots + a count) plus
+    four *observability* registers the harness reads between cycles to
+    reconstruct the transaction stream: wrap-around ``pushed``/``popped``
+    counters and the last enqueued/dequeued payload mirrors.  The
+    metadata is plain register names, so it survives design emission
+    (``repro.fuzz.emit``) and instantiation prefixing unchanged.
+    """
+
+    name: str
+    depth: int
+    count: str     # occupancy register (0..depth)
+    pushed: str    # wrap-around push counter
+    popped: str    # wrap-around pop counter
+    data_in: str   # last enqueued payload
+    data_out: str  # last dequeued payload
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "depth": self.depth,
+                "count": self.count, "pushed": self.pushed,
+                "popped": self.popped, "data_in": self.data_in,
+                "data_out": self.data_out}
+
+    def prefixed(self, prefix: str) -> "StreamInfo":
+        return StreamInfo(
+            name=f"{prefix}{self.name}", depth=self.depth,
+            count=f"{prefix}{self.count}",
+            pushed=f"{prefix}{self.pushed}",
+            popped=f"{prefix}{self.popped}",
+            data_in=f"{prefix}{self.data_in}",
+            data_out=f"{prefix}{self.data_out}")
 
 
 class Register:
@@ -121,6 +158,17 @@ class Design:
         #: ``(rule_name_or_None, kind)`` lint suppressions registered via
         #: :meth:`lint_disable` (None matches findings on any rule).
         self.lint_disabled: List[Tuple[Optional[str], str]] = []
+        #: Handshaked streams declared by the stdlib, keyed by stream name.
+        self.streams: Dict[str, StreamInfo] = {}
+        #: Dataflow edges between streams: dicts with ``kind`` (one of
+        #: ``map``/``fork``/``join``/``merge``/``route``), ``ins``/``outs``
+        #: (stream-name lists) and ``rule`` — consumed by the conservation
+        #: checker in :mod:`repro.harness.streams`.
+        self.stream_edges: List[Dict[str, object]] = []
+        #: Registers that exist to be *observed* by the harness (stream
+        #: payload mirrors, sink accumulators): exempt from the lint
+        #: write-only/unused-register warnings.
+        self.lint_observed: set = set()
 
     # -- construction ------------------------------------------------------
     def reg(self, name: str, typ: Union[Type, int], init: int = 0) -> Register:

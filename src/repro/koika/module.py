@@ -139,6 +139,21 @@ def instantiate(parent: Design, child: Design, prefix: str,
         parent.rule(new_name,
                     clone_action(child.rules[name].body, reg_map, fn_map))
         rule_map[name] = new_name
+    for name, info in child.streams.items():
+        new_info = info.prefixed(prefix)
+        if new_info.name in parent.streams:
+            raise KoikaElaborationError(
+                f"duplicate stream {new_info.name!r}")
+        parent.streams[new_info.name] = new_info
+    for observed in child.lint_observed:
+        parent.lint_observed.add(f"{prefix}{observed}")
+    for edge in child.stream_edges:
+        parent.stream_edges.append({
+            "kind": edge["kind"],
+            "ins": [f"{prefix}{s}" for s in edge["ins"]],
+            "outs": [f"{prefix}{s}" for s in edge["outs"]],
+            "rule": f"{prefix}{edge['rule']}",
+        })
     if schedule:
         parent.schedule(*(rule_map[name] for name in order))
     return Instance(prefix, reg_map, rule_map)

@@ -143,9 +143,133 @@ class _RuleGen:
         return Write(reg, 0, self.expr(width, 1))
 
 
+#: Seeds at or above this value generate *stream* designs (handshaked
+#: StreamFifo pipelines) instead of register-contention designs.  The
+#: reserved subspace keeps every pre-existing seed's design byte-identical
+#: — campaigns and corpus entries recorded before streams existed replay
+#: exactly — while letting ``repro fuzz run --seeds 1000000:1000050
+#: --stream-oracle`` sweep stream recipes.
+STREAM_SEED_BASE = 1_000_000
+
+
+def random_stream_design(seed: int) -> Design:
+    """Generate a stream design from a seed (``seed % 5`` picks the recipe).
+
+    Recipes 0-2 are *healthy* topologies (pipe, fork, join) that satisfy
+    every stream invariant under any schedule; recipes 3 and 4 carry
+    seeded bugs the stream oracle must catch:
+
+    * ``seed % 5 == 3`` — **dropped beat**: the consumer's hand-rolled
+      dequeue skip-shifts a depth-3 FIFO (slot 0 takes slot 2's value,
+      slot 1 never moves down), so occupancy accounting stays exact but
+      the beat in slot 1 is silently lost whenever the queue runs deep.
+      First violation: ``stream:no-drop:s_in``.
+    * ``seed % 5 == 4`` — **stuck consumer**: the drain rule guards on a
+      ready bit nothing ever sets, so the FIFO fills and stays
+      full-with-no-pop forever.  First violation:
+      ``stream:backpressure:s_in``.
+    """
+    from ..designs.stdlib import (STREAM_COUNTER_WIDTH, StreamFifo,
+                                  StreamSink, StreamSource, fork_stage,
+                                  join_stage, map_stage)
+    from ..koika.dsl import guard, seq
+
+    rng = random.Random(seed)
+    recipe = seed % 5
+    width = rng.choice([8, 16])
+    depth = rng.randint(1, 3)
+    design = Design(f"stream_{seed}")
+
+    if recipe == 3:
+        # Dropped beat: needs occupancy >= 3 before the first buggy pop,
+        # so the queue is depth 3 and the drain is paced 4x slower than
+        # the source.
+        fifo = StreamFifo(design, "s_in", width, depth=3)
+        StreamSource(design, "src", fifo, mode="counter")
+        cw = fifo.count_width
+        phase = design.reg("drain_phase", 8, 0)
+        design.rule("drain_tick", phase.wr0(phase.rd0() + C(1, 8)))
+        last = design.reg("drain_last", width, 0)
+        design.lint_observed.add(last.name)
+        design.rule("drain", seq(
+            guard((phase.rd0() & C(3, 8)) == C(0, 8)),
+            guard(fifo.can_deq()),
+            # BUG: slot 0 takes slot 2 directly; slot 1 is never shifted
+            # down, so its beat vanishes (counters stay consistent).
+            fifo.slots[0].wr0(fifo.slots[2].rd0()),
+            fifo.count.wr0(fifo.count.rd0() - C(1, cw)),
+            fifo.popped.wr0(
+                fifo.popped.rd0() + C(1, STREAM_COUNTER_WIDTH)),
+            fifo.data_out.wr0(fifo.slots[0].rd0()),
+            last.wr0(fifo.slots[0].rd0()),
+        ))
+        design.schedule("drain", "drain_tick", "src_emit")
+        return design.finalize()
+
+    if recipe == 4:
+        # Stuck consumer: the ready bit is never written, so the drain
+        # aborts every cycle and the FIFO wedges full.
+        fifo = StreamFifo(design, "s_in", width, depth=depth)
+        StreamSource(design, "src", fifo, mode="counter")
+        ready = design.reg("drain_ready", 1, 0)
+        last = design.reg("drain_last", width, 0)
+        design.lint_observed.add(last.name)
+        design.rule("drain", seq(
+            guard(ready.rd0() == C(1, 1)),
+            Let("_x", fifo.deq(), last.wr0(V("_x"))),
+        ))
+        design.schedule("drain", "src_emit")
+        return design.finalize()
+
+    src_every = rng.choice([1, 2])
+    sink_every = rng.choice([1, 2])
+    k = C(rng.getrandbits(width) & mask(width), width)
+    if recipe == 0:
+        # Pipe: src -> a -> map -> b -> sink.
+        a = StreamFifo(design, "a", width, depth=depth)
+        b = StreamFifo(design, "b", width, depth=depth)
+        source = StreamSource(design, "src", a, mode="counter",
+                              every=src_every)
+        map_stage(design, "xform", a, b, lambda x: x + k)
+        sink = StreamSink(design, "snk", b, every=sink_every)
+        design.schedule(sink.rule_names[0], "xform", source.rule_names[0],
+                        *sink.rule_names[1:], *source.rule_names[1:])
+    elif recipe == 1:
+        # Fork: src -> a -> (b, c) -> two sinks.
+        a = StreamFifo(design, "a", width, depth=depth)
+        b = StreamFifo(design, "b", width, depth=depth)
+        c = StreamFifo(design, "c", width, depth=depth)
+        source = StreamSource(design, "src", a, mode="counter",
+                              every=src_every)
+        fork_stage(design, "split", a, [b, c],
+                   fns=[lambda x: x, lambda x: x ^ k])
+        sink_b = StreamSink(design, "snkb", b)
+        sink_c = StreamSink(design, "snkc", c, every=sink_every)
+        design.schedule(sink_b.rule_names[0], sink_c.rule_names[0],
+                        "split", source.rule_names[0],
+                        *sink_c.rule_names[1:], *source.rule_names[1:])
+    else:
+        # Join: (a, b) -> c -> sink.
+        a = StreamFifo(design, "a", width, depth=depth)
+        b = StreamFifo(design, "b", width, depth=depth)
+        c = StreamFifo(design, "c", width, depth=depth)
+        src_a = StreamSource(design, "srca", a, mode="counter")
+        src_b = StreamSource(design, "srcb", b, mode="counter",
+                             seed=seed & 0xFFFF)
+        join_stage(design, "merge", [a, b], c,
+                   lambda x, y: x + y)
+        sink = StreamSink(design, "snk", c, every=sink_every)
+        design.schedule(sink.rule_names[0], "merge",
+                        src_a.rule_names[0], src_b.rule_names[0],
+                        *sink.rule_names[1:])
+    return design.finalize()
+
+
 def random_design(seed: int, n_registers: Optional[int] = None,
                   n_rules: Optional[int] = None) -> Design:
     """Generate a random, type-correct design from a seed."""
+    if seed >= STREAM_SEED_BASE:
+        return random_stream_design(seed)
     rng = random.Random(seed)
     n_registers = n_registers or rng.randint(2, 5)
     n_rules = n_rules or rng.randint(1, 4)

@@ -1,0 +1,71 @@
+"""Minimal repro emitted by `repro fuzz reduce`.
+
+bucket signature: stream:no-drop:s_in
+checks: 150
+mutations: []
+reductions: 41
+seed: 1000003
+
+Standalone: `python repro.py` re-runs the differential check that
+diverged (raises DivergenceError while the bug is present).  The
+tests/corpus/ hook imports it and asserts the check passes.
+"""
+
+import os as _os, sys as _sys
+
+# The script is conventionally named repro.py, which would shadow
+# the repro package when run directly — drop its own directory.
+_here = _os.path.dirname(_os.path.abspath(__file__))
+_sys.path[:] = [p for p in _sys.path
+                if _os.path.abspath(p or _os.getcwd()) != _here]
+
+from repro.koika.ast import (Abort, Assign, Binop, C, If, Let, Read, Seq,
+                             Unop, V, Write, unit)
+from repro.koika.design import Design, StreamInfo
+from repro.koika.types import bits
+
+SIGNATURE = 'stream:no-drop:s_in'
+CYCLES = 10
+CHECK_KWARGS = dict(cycles=10, opts=(), include_rtl=False, include_simplified=False, schedule_seeds=(), batch=0, batch_backend='auto', lint_oracle=False, shard_oracle=False, stream_oracle=True)
+
+
+def build_design():
+    d = Design('repro_stream-no-drop-s_in')
+    d.reg('s_in_q0', bits(2), init=0)
+    d.reg('s_in_q1', bits(1), init=0)
+    d.reg('s_in_q2', bits(2), init=0)
+    d.reg('s_in_count', bits(2), init=0)
+    d.reg('s_in_pushed', bits(2), init=0)
+    d.reg('s_in_popped', bits(2), init=0)
+    d.reg('s_in_in', bits(2), init=0)
+    d.reg('s_in_out', bits(1), init=0)
+    d.reg('src_next', bits(1), init=0)
+    d.reg('drain_phase', bits(1), init=0)
+    d.reg('drain_last', bits(1), init=0)
+    d.rule('src_emit', Seq(Let('_enq_idx1', Read('s_in_count', 1), Let('_enq_val2', Unop('zextl', Unop('zextl', Unop('zextl', Unop('zextl', Read('src_next', 0), param=2), param=4), param=8), param=16), Seq(unit(), Write('s_in_q0', 1, Unop('slice', Unop('slice', Unop('slice', V('_enq_val2'), param=(0, 8)), param=(0, 4)), param=(0, 2))), unit(), unit(), Write('s_in_count', 1, Binop('add', V('_enq_idx1'), C(1, 2))), Write('s_in_pushed', 1, Unop('slice', Unop('slice', Unop('slice', Binop('add', Unop('zextl', Unop('zextl', Unop('zextl', Read('s_in_pushed', 1), param=4), param=8), param=16), C(1, 16)), param=(0, 8)), param=(0, 4)), param=(0, 2))), Write('s_in_in', 1, Unop('slice', Unop('slice', Unop('slice', V('_enq_val2'), param=(0, 8)), param=(0, 4)), param=(0, 2)))))), Write('src_next', 0, Unop('slice', Unop('slice', Unop('slice', Unop('slice', Binop('add', C(0, 16), C(1, 16)), param=(0, 8)), param=(0, 4)), param=(0, 2)), param=(0, 1)))))
+    d.rule('drain_tick', Write('drain_phase', 0, Unop('slice', Unop('slice', Unop('slice', Binop('add', Unop('zextl', Unop('zextl', Unop('zextl', Read('drain_phase', 0), param=2), param=4), param=8), C(1, 8)), param=(0, 4)), param=(0, 2)), param=(0, 1))))
+    d.rule('drain', Seq(If(Binop('eq', Binop('and', Unop('zextl', Unop('zextl', Unop('zextl', Read('drain_phase', 0), param=2), param=4), param=8), C(3, 8)), C(0, 8)), unit(), Abort()), If(Binop('ne', Read('s_in_count', 0), C(0, 2)), unit(), Abort()), Write('s_in_q0', 0, Unop('slice', Unop('slice', Unop('slice', Unop('zextl', Unop('zextl', Unop('zextl', Read('s_in_q2', 0), param=4), param=8), param=16), param=(0, 8)), param=(0, 4)), param=(0, 2))), Write('s_in_count', 0, Binop('sub', Read('s_in_count', 0), C(1, 2))), Write('s_in_popped', 0, Unop('slice', Unop('slice', Unop('slice', Binop('add', Unop('zextl', Unop('zextl', Unop('zextl', Read('s_in_popped', 0), param=4), param=8), param=16), C(1, 16)), param=(0, 8)), param=(0, 4)), param=(0, 2))), Write('s_in_out', 0, Unop('slice', Unop('slice', Unop('slice', Unop('slice', Unop('zextl', Unop('zextl', Unop('zextl', Read('s_in_q0', 0), param=4), param=8), param=16), param=(0, 8)), param=(0, 4)), param=(0, 2)), param=(0, 1))), Write('drain_last', 0, Unop('slice', Unop('slice', Unop('slice', Unop('slice', Unop('zextl', Unop('zextl', Unop('zextl', Read('s_in_q0', 0), param=4), param=8), param=16), param=(0, 8)), param=(0, 4)), param=(0, 2)), param=(0, 1)))))
+    d.schedule('drain', 'drain_tick', 'src_emit')
+    d.streams['s_in'] = StreamInfo(name='s_in', depth=3, count='s_in_count', pushed='s_in_pushed', popped='s_in_popped', data_in='s_in_in', data_out='s_in_out')
+    return d.finalize()
+
+
+def check():
+    from repro.fuzz.executor import verify_design
+    from repro.harness.streams import StreamOracleError
+
+    try:
+        verify_design(build_design(), **CHECK_KWARGS)
+    except StreamOracleError as exc:
+        found = exc.violations[0].signature
+        assert found == SIGNATURE, (
+            f"oracle signature changed: {found} != {SIGNATURE}")
+        return
+    raise AssertionError(
+        f"stream oracle no longer catches {SIGNATURE}")
+
+
+if __name__ == "__main__":
+    check()
+    print("stream oracle caught the expected violation: "
+          + SIGNATURE)

@@ -1,0 +1,125 @@
+"""End-to-end tests of the stream-aware fuzzing oracle.
+
+The generator reserves the seed subspace above ``STREAM_SEED_BASE`` for
+stream designs: seeds ``% 5 in (0, 1, 2)`` are healthy pipe/fork/join
+topologies, ``% 5 == 3`` injects a dropped-beat drain, and ``% 5 == 4``
+a wedged consumer.  These tests pin the seed -> recipe -> signature
+mapping, prove the violations are invisible to the differential oracles
+alone (every backend agrees on the buggy trace — only the stream
+invariants catch it), and run a full campaign: catch, bucket, reduce,
+and re-execute the emitted repro script.
+"""
+
+import runpy
+
+import pytest
+
+from repro.fuzz import CampaignStore, reduce_buckets, run_campaign
+from repro.fuzz.executor import SeedJob, run_seed_job, verify_design
+from repro.harness.streams import StreamOracleError
+from repro.testing.generators import (STREAM_SEED_BASE, random_design,
+                                      random_stream_design)
+
+#: Narrow check matrix: the stream oracle runs on the interpreter trace,
+#: so one compiled level is plenty for these tests.
+NARROW = dict(cycles=32, opts=(0,), include_rtl=False,
+              include_simplified=False, schedule_seeds=())
+
+
+def stream_job(seed, **overrides):
+    kwargs = dict(NARROW, stream_oracle=True)
+    kwargs.update(overrides)
+    return SeedJob(seed=STREAM_SEED_BASE + seed, **kwargs)
+
+
+class TestStreamSeedRecipes:
+    def test_seed_base_dispatches_to_stream_designs(self):
+        design = random_design(STREAM_SEED_BASE)
+        assert design.streams, "stream subspace must elaborate streams"
+        assert design.name == f"stream_{STREAM_SEED_BASE}"
+
+    def test_seed_base_leaves_old_seeds_untouched(self):
+        # Pre-existing fuzz seeds must keep producing byte-identical
+        # designs: the stream recipes live in their own subspace.
+        for seed in (0, 7, 42):
+            design = random_design(seed)
+            assert not design.streams
+            assert design.name == f"random_{seed}"
+
+    @pytest.mark.parametrize("seed", (0, 1, 2, 5, 6, 7))
+    def test_healthy_recipes_pass_every_oracle(self, seed):
+        outcome = run_seed_job(stream_job(seed))
+        assert outcome["status"] == "ok", outcome["error"]
+        assert outcome["signature"] is None
+
+    @pytest.mark.parametrize("seed", (3, 8))
+    def test_dropped_beat_recipe_buckets_as_no_drop(self, seed):
+        outcome = run_seed_job(stream_job(seed))
+        assert outcome["status"] == "stream-violation"
+        assert outcome["signature"] == "stream:no-drop:s_in"
+        [first] = outcome["error"]["violations"][:1]
+        assert first["property"] == "no-drop"
+        assert first["stream"] == "s_in"
+
+    @pytest.mark.parametrize("seed", (4, 9))
+    def test_stuck_consumer_recipe_buckets_as_backpressure(self, seed):
+        outcome = run_seed_job(stream_job(seed))
+        assert outcome["status"] == "stream-violation"
+        assert outcome["signature"] == "stream:backpressure:s_in"
+
+    @pytest.mark.parametrize("seed", (3, 4))
+    def test_faults_are_invisible_without_the_stream_oracle(self, seed):
+        """Every backend simulates the buggy designs identically — the
+        differential oracles alone cannot see a dropped or wedged beat.
+        That blind spot is exactly what the stream oracle closes."""
+        outcome = run_seed_job(stream_job(seed, stream_oracle=False))
+        assert outcome["status"] == "ok", outcome["error"]
+
+    def test_verify_design_raises_structured_error(self):
+        design = random_stream_design(STREAM_SEED_BASE + 3)
+        with pytest.raises(StreamOracleError) as excinfo:
+            verify_design(design, stream_oracle=True, **NARROW)
+        error = excinfo.value
+        assert error.violations[0].signature == "stream:no-drop:s_in"
+        assert "no-drop" in str(error)
+        # Without the oracle the same matrix passes clean.
+        verify_design(design, stream_oracle=False, **NARROW)
+
+
+class TestStreamCampaign:
+    @pytest.fixture
+    def store(self, tmp_path):
+        config = {
+            "seed_start": STREAM_SEED_BASE + 3,
+            "seed_stop": STREAM_SEED_BASE + 5,
+            "cycles": 32, "opts": [0], "include_rtl": False,
+            "include_simplified": False, "schedule_seeds": 0,
+            "mutate": 0, "mutation_depth": 0, "stream_oracle": True,
+        }
+        return CampaignStore.create(str(tmp_path / "camp"), config)
+
+    def test_campaign_catches_reduces_and_reexecutes(self, store):
+        report = run_campaign(store)
+        assert report.executed == 2
+        slugs = set(store.bucket_slugs())
+        assert {"stream-no-drop-s_in",
+                "stream-backpressure-s_in"} <= slugs
+
+        reduced = reduce_buckets(store, budget=150)
+        assert {slug for slug, _ in reduced} == slugs
+        for slug, bucket in reduced:
+            assert bucket["reduced"] is True
+            assert bucket["signature"].startswith("stream:")
+            # The reduced job must still trip the same bucket.
+            assert bucket["reduced_job"]["cycles"] <= 32
+            assert bucket["reduced_job"]["stream_oracle"] is True
+
+        for slug in slugs:
+            namespace = runpy.run_path(store.repro_path(slug))
+            assert namespace["SIGNATURE"].startswith("stream:")
+            assert namespace["CHECK_KWARGS"]["stream_oracle"] is True
+            design = namespace["build_design"]()
+            assert design.streams, "emitted script must rebuild streams"
+            # check() asserts the oracle *still catches* the violation
+            # (flipped polarity: the reduced design is the bug).
+            namespace["check"]()

@@ -1,0 +1,436 @@
+"""Tests for the stream stdlib, the transaction observer, and the
+stream oracles.
+
+Covers:
+
+* property tests of :class:`StreamFifo` against a plain Python deque
+  reference, driven through a pipe design at several depths and rates;
+* observer event-stream byte-identity across the interpreter, compiled
+  O0-O5, both batch-lane backends at width 8, and the sharded tier at
+  K=2/3 — the TAPA-style log is backend-independent by construction;
+* unit tests of :func:`check_stream_events`'s violation classification
+  (no-drop vs ordering vs conservation vs backpressure) on synthetic
+  event lists;
+* the NDJSON transaction log (``repro-stream-log-v1``) end to end:
+  write, summarize, render;
+* the three bundled stream designs (dsp / router / prodcons): golden
+  software models, cross-backend byte-identity, zero lint findings;
+* the :class:`SkidBuffer` credit invariant and stream metadata
+  propagation through :func:`repro.koika.module.instantiate`.
+"""
+
+import collections
+import itertools
+import json
+
+import pytest
+
+from repro.analysis import lint_design
+from repro.cuttlesim import compile_batch_model
+from repro.designs import build_dsp, build_prodcons, build_router
+from repro.designs.dsp import reference_dsp
+from repro.designs.prodcons import reference_prodcons
+from repro.designs.stdlib import (STREAM_COUNTER_WIDTH, SkidBuffer,
+                                  StreamFifo, StreamSink, StreamSource,
+                                  map_stage)
+from repro.errors import ReproError
+from repro.harness import Environment, make_simulator
+from repro.harness.streams import (DEFAULT_MAX_STALL, StreamObserver,
+                                   StreamOracleError, StreamViolation,
+                                   check_stream_events,
+                                   render_stream_summary,
+                                   summarize_stream_log)
+from repro.koika.ast import C
+from repro.koika.design import Design
+from repro.koika.module import instantiate
+from repro.shard import ShardedSimulator
+from repro.testing import assert_backends_equal
+
+
+def pipe_design(depth=2, src_every=1, sink_every=2, name="pipe"):
+    """counter source -> a -> [+7] -> b -> paced sink."""
+    design = Design(name)
+    a = StreamFifo(design, "a", 16, depth=depth)
+    b = StreamFifo(design, "b", 16, depth=depth)
+    source = StreamSource(design, "src", a, mode="counter", every=src_every)
+    map_stage(design, "xform", a, b, lambda x: x + C(7, 16))
+    sink = StreamSink(design, "snk", b, every=sink_every)
+    # Consumers before producers (EHR forwarding), tick rules last.
+    design.schedule(sink.rule_names[0], "xform", source.rule_names[0],
+                    *sink.rule_names[1:], *source.rule_names[1:])
+    return design.finalize()
+
+
+def observed_run(design, cycles, backend="interp", opt=5):
+    """Run ``design`` with a :class:`StreamObserver` attached; return the
+    recorded transaction events."""
+    env = Environment()
+    observer = env.add_device(StreamObserver(design))
+    sim = make_simulator(design, backend=backend, env=env, opt=opt)
+    sim.run(cycles)
+    return observer.events
+
+
+def split_events(events, stream):
+    pushes = [e["payload"] for e in events
+              if e["stream"] == stream and e["event"] == "push"]
+    pops = [e["payload"] for e in events
+            if e["stream"] == stream and e["event"] == "pop"]
+    return pushes, pops
+
+
+class TestStreamFifoProperties:
+    """The FIFO against a software deque, at every depth and pacing."""
+
+    @pytest.mark.parametrize("depth", (1, 2, 3))
+    @pytest.mark.parametrize("src_every,sink_every",
+                             [(1, 1), (1, 2), (2, 1), (2, 4)])
+    def test_fifo_behaves_like_a_deque(self, depth, src_every, sink_every):
+        design = pipe_design(depth=depth, src_every=src_every,
+                             sink_every=sink_every)
+        events = observed_run(design, 64)
+        queues = {"a": collections.deque(), "b": collections.deque()}
+        # Within one cycle a full FIFO may pop its head *and* accept a
+        # new beat (EHR forwarding: deq at port 0 precedes enq at port
+        # 1), so the reference applies each cycle's pops before its
+        # pushes; occupancy is bounded at cycle boundaries.
+        for _, group in itertools.groupby(events, key=lambda e: e["cycle"]):
+            cycle_events = list(group)
+            for event in cycle_events:
+                assert event["event"] in ("push", "pop", "stall"), \
+                    f"unexpected {event['event']} event: {event}"
+                if event["event"] == "pop":
+                    queue = queues[event["stream"]]
+                    assert queue, f"pop from empty stream: {event}"
+                    assert queue.popleft() == event["payload"]
+            for event in cycle_events:
+                if event["event"] == "push":
+                    queues[event["stream"]].append(event["payload"])
+            for queue in queues.values():
+                assert len(queue) <= depth
+        assert check_stream_events(design, events) == []
+
+    def test_counter_source_emits_naturals_in_order(self):
+        design = pipe_design()
+        events = observed_run(design, 48)
+        pushes, pops = split_events(events, "a")
+        assert pushes == list(range(len(pushes)))
+        assert pops == pushes[:len(pops)]
+        # The map stage applies +7 to every beat it moves.
+        b_pushes, _ = split_events(events, "b")
+        assert b_pushes == [x + 7 for x in pops[:len(b_pushes)]]
+
+    def test_slow_sink_exerts_backpressure_without_loss(self):
+        design = pipe_design(depth=1, src_every=1, sink_every=4)
+        events = observed_run(design, 128)
+        pushes, pops = split_events(events, "a")
+        # The source stalls against the full FIFO yet never skips a value.
+        assert pushes == list(range(len(pushes)))
+        stalls = [e for e in events if e["event"] == "stall"]
+        assert stalls, "a 4x-slower sink must produce stall events"
+        assert check_stream_events(design, events) == []
+
+    def test_duplicate_stream_name_rejected(self):
+        from repro.errors import KoikaElaborationError
+
+        design = Design("dup")
+        StreamFifo(design, "s", 8, depth=1)
+        with pytest.raises(KoikaElaborationError, match="duplicate stream"):
+            StreamFifo(design, "s", 8, depth=2)
+
+
+class TestObserverBackendIdentity:
+    """The transaction log is identical on every backend: the observer
+    peeks committed architectural state only."""
+
+    def setup_method(self):
+        self.design = pipe_design()
+        self.reference = observed_run(self.design, 48)
+        assert self.reference, "reference run recorded no events"
+
+    @pytest.mark.parametrize("opt", range(6))
+    def test_compiled_opt_levels(self, opt):
+        events = observed_run(self.design, 48, backend="cuttlesim", opt=opt)
+        assert events == self.reference
+
+    @pytest.mark.parametrize("backend", ("numpy", "list"))
+    def test_batch_lanes(self, backend):
+        lanes = 8
+        envs = []
+        observers = []
+        for _ in range(lanes):
+            env = Environment()
+            observers.append(env.add_device(StreamObserver(self.design)))
+            envs.append(env)
+        model = compile_batch_model(self.design, lanes,
+                                    backend=backend)(envs=envs)
+        for _ in range(48):
+            model.run_cycle()
+        for observer in observers:
+            assert observer.events == self.reference
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_sharded_tier(self, shards):
+        env = Environment()
+        observer = env.add_device(StreamObserver(self.design))
+        sim = ShardedSimulator(self.design, shards, env=env, mode="local")
+        sim.run(48)
+        assert observer.events == self.reference
+
+
+def synthetic_design():
+    """A one-stream design used to feed hand-written events to the
+    checker."""
+    design = Design("synth")
+    StreamFifo(design, "s", 8, depth=2)
+    t = design.reg("t", 1, 0)
+    design.rule("nop", t.wr0(t.rd0()))
+    design.schedule("nop")
+    return design.finalize()
+
+
+def ev(cycle, event, payload=None, stream="s"):
+    out = {"cycle": cycle, "stream": stream, "event": event}
+    if event in ("push", "pop"):
+        out["payload"] = payload
+    return out
+
+
+class TestCheckerClassification:
+    def setup_method(self):
+        self.design = synthetic_design()
+
+    def check(self, events, **kwargs):
+        return check_stream_events(self.design, events, **kwargs)
+
+    def test_healthy_prefix_is_clean(self):
+        events = [ev(0, "push", 1), ev(1, "push", 2), ev(1, "pop", 1),
+                  ev(2, "push", 3), ev(2, "pop", 2)]
+        assert self.check(events) == []
+
+    def test_dropped_beat_is_no_drop(self):
+        # pop #0 returned push #1's payload: beat 1 was dropped.
+        events = [ev(0, "push", 1), ev(1, "push", 2), ev(2, "push", 3),
+                  ev(5, "pop", 2)]
+        [violation] = self.check(events)
+        assert violation.property == "no-drop"
+        assert violation.stream == "s"
+        assert violation.cycle == 5
+        assert violation.signature == "stream:no-drop:s"
+
+    def test_corrupted_beat_is_ordering(self):
+        # The popped value never appears later in the push sequence.
+        events = [ev(0, "push", 1), ev(1, "push", 2), ev(4, "pop", 9)]
+        [violation] = self.check(events)
+        assert violation.property == "ordering"
+        assert violation.signature == "stream:ordering:s"
+
+    def test_excess_pops_are_conservation(self):
+        events = [ev(0, "push", 1), ev(1, "pop", 1), ev(2, "pop", 0)]
+        [violation] = self.check(events)
+        assert violation.property == "conservation"
+        assert "2 pops but only 1" in violation.detail
+
+    def test_inline_conservation_event_passes_through(self):
+        events = [{"cycle": 3, "stream": "s", "event": "conservation",
+                   "count": 2, "expected": 1}]
+        [violation] = self.check(events)
+        assert violation.property == "conservation"
+        assert violation.cycle == 3
+
+    def test_bounded_stall_is_healthy(self):
+        events = [ev(c, "stall") for c in range(DEFAULT_MAX_STALL)]
+        assert self.check(events) == []
+
+    def test_unbounded_stall_is_backpressure(self):
+        events = [ev(c, "stall") for c in range(10)]
+        [violation] = self.check(events, max_stall=4)
+        assert violation.property == "backpressure"
+        assert violation.cycle == 4          # run exceeds max_stall here
+        assert "since cycle 0" in violation.detail
+
+    def test_interrupted_stall_run_resets(self):
+        cycles = list(range(4)) + list(range(6, 10))   # gap at cycle 4-5
+        events = [ev(c, "stall") for c in cycles]
+        assert self.check(events, max_stall=4) == []
+
+    def test_unknown_payload_skips_comparison(self):
+        # Multi-beat cycles record payload=None for all but the last
+        # beat; the comparator must not flag those indices.
+        events = [ev(0, "push", None), ev(1, "push", 2),
+                  ev(2, "pop", 7), ev(3, "pop", 2)]
+        assert self.check(events) == []
+
+    def test_violation_sort_order_and_error_message(self):
+        violations = [StreamViolation("ordering", "s", 9, "late"),
+                      StreamViolation("no-drop", "s", 2, "early")]
+        error = StreamOracleError("synth", sorted(
+            violations, key=lambda v: (v.cycle, v.stream, v.property)))
+        assert "no-drop" in str(error)
+        assert "(+1 more)" in str(error)
+        assert violations[0].as_dict()["signature"] == "stream:ordering:s"
+
+
+class TestNdjsonLog:
+    def test_write_summarize_render_roundtrip(self, tmp_path):
+        design = pipe_design()
+        env = Environment()
+        observer = env.add_device(StreamObserver(
+            design, log_dir=str(tmp_path), log_label="t0"))
+        sim = make_simulator(design, backend="interp", env=env)
+        sim.run(32)
+        observer.close()
+        path = tmp_path / "pipe-t0.ndjson"
+        assert path.exists()
+        with open(path, encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+        assert header["schema"] == "repro-stream-log-v1"
+        assert header["design"] == "pipe"
+        assert {s["name"] for s in header["streams"]} == {"a", "b"}
+
+        summary = summarize_stream_log(str(path))
+        a_pushes, a_pops = split_events(observer.events, "a")
+        assert summary["streams"]["a"]["pushes"] == len(a_pushes)
+        assert summary["streams"]["a"]["pops"] == len(a_pops)
+        assert summary["streams"]["a"]["depth"] == 2
+        assert summary["cycles"] >= 1
+
+        rendered = render_stream_summary(summary)
+        assert "a" in rendered and "b" in rendered
+        assert "beats/cyc" in rendered
+
+    def test_env_var_selects_log_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_LOG_DIR", str(tmp_path))
+        design = pipe_design()
+        env = Environment()
+        observer = env.add_device(StreamObserver(design))
+        make_simulator(design, backend="interp", env=env).run(8)
+        observer.close()
+        assert (tmp_path / "pipe.ndjson").exists()
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bogus.ndjson"
+        path.write_text(json.dumps({"schema": "not-a-stream-log"}) + "\n")
+        with pytest.raises(ReproError, match="not a repro-stream-log-v1"):
+            summarize_stream_log(str(path))
+
+
+DSP = build_dsp()
+ROUTER = build_router()
+PRODCONS = build_prodcons()
+BUNDLED = [DSP, ROUTER, PRODCONS]
+
+
+class TestBundledDesigns:
+    @pytest.mark.parametrize("design", BUNDLED,
+                             ids=[d.name for d in BUNDLED])
+    def test_byte_identical_across_backends(self, design):
+        assert_backends_equal(design, cycles=48)
+
+    @pytest.mark.parametrize("design", BUNDLED,
+                             ids=[d.name for d in BUNDLED])
+    def test_lint_clean(self, design):
+        assert lint_design(design) == []
+
+    @pytest.mark.parametrize("design", BUNDLED,
+                             ids=[d.name for d in BUNDLED])
+    def test_stream_oracle_clean(self, design):
+        events = observed_run(design, 256)
+        assert events, f"{design.name} recorded no stream transactions"
+        assert check_stream_events(design, events) == []
+
+    def test_dsp_matches_golden_model(self):
+        events = observed_run(DSP, 256)
+        _, sink_beats = split_events(events, "out_q")
+        assert len(sink_beats) > 32
+        assert sink_beats == reference_dsp(len(sink_beats))
+
+    def test_prodcons_matches_golden_model(self):
+        events = observed_run(PRODCONS, 256)
+        _, sink_beats = split_events(events, "out_q")
+        assert len(sink_beats) > 32
+        assert sink_beats == reference_prodcons(len(sink_beats))
+
+    def test_router_conserves_and_serves_both_ports(self):
+        events = observed_run(ROUTER, 256)
+        in0_pushes, in0_pops = split_events(events, "in0_q")
+        in1_pushes, in1_pops = split_events(events, "in1_q")
+        mid_pushes, mid_pops = split_events(events, "mid_q")
+        _, d0_pops = split_events(events, "d0_q")
+        _, d1_pops = split_events(events, "d1_q")
+        # Many-to-one conservation: every trunk beat came off an ingress.
+        assert len(mid_pushes) == len(in0_pops) + len(in1_pops)
+        # Round-robin fairness: both ingress ports and both egress ports
+        # actually move traffic.
+        assert in0_pops and in1_pops and d0_pops and d1_pops
+        # Egress beats partition the trunk distribution: no duplication,
+        # no loss — everything popped off the trunk either reached a
+        # sink or is still buffered in an egress FIFO (4 slots total).
+        egress = collections.Counter(d0_pops + d1_pops)
+        trunk = collections.Counter(mid_pops)
+        assert all(trunk[beat] >= n for beat, n in egress.items())
+        assert len(mid_pops) - len(d0_pops) - len(d1_pops) <= 4
+
+    def test_prodcons_backpressure_reaches_the_source(self):
+        """The half-rate sink must eventually stall the producer chain;
+        the stalls stay bounded (the pipeline drains every other
+        cycle), so the liveness oracle still passes."""
+        env = Environment()
+        observer = env.add_device(StreamObserver(PRODCONS))
+        make_simulator(PRODCONS, backend="interp", env=env).run(256)
+        assert any(run > 0 for run in observer.max_stall_run.values())
+        assert max(observer.max_stall_run.values()) <= DEFAULT_MAX_STALL
+        assert check_stream_events(PRODCONS, observer.events) == []
+
+
+class TestSkidBuffer:
+    def test_credit_invariant_every_cycle(self):
+        sim = make_simulator(PRODCONS, backend="interp")
+        depth = PRODCONS.streams["skid"].depth
+        for _ in range(128):
+            sim.run(1)
+            assert sim.peek("skid_credits") + sim.peek("skid_count") == depth
+
+    def test_duck_types_the_fifo_handshake(self):
+        design = Design("skid_pipe")
+        skid = SkidBuffer(design, "sb", 8, depth=2)
+        out = StreamFifo(design, "out", 8, depth=2)
+        source = StreamSource(design, "src", skid, mode="counter")
+        map_stage(design, "move", skid, out, lambda x: x)
+        sink = StreamSink(design, "snk", out)
+        design.schedule(sink.rule_names[0], "move", source.rule_names[0])
+        design = design.finalize()
+        events = observed_run(design, 32)
+        pushes, pops = split_events(events, "sb")
+        assert pushes == list(range(len(pushes)))
+        assert pops == pushes[:len(pops)]
+        assert check_stream_events(design, events) == []
+
+
+class TestInstantiatePrefixing:
+    def test_stream_metadata_survives_composition(self):
+        parent = Design("outer")
+        instantiate(parent, pipe_design(), "p_")
+        parent = parent.finalize()
+        assert set(parent.streams) == {"p_a", "p_b"}
+        info = parent.streams["p_a"]
+        assert info.pushed == "p_a_pushed"
+        assert info.popped == "p_a_popped"
+        assert info.data_in == "p_a_in"
+        assert info.data_out == "p_a_out"
+        assert info.count == "p_a_count"
+        assert info.depth == 2
+        [edge] = parent.stream_edges
+        assert edge == {"kind": "map", "ins": ["p_a"], "outs": ["p_b"],
+                        "rule": "p_xform"}
+        assert "p_a_pushed" in parent.lint_observed
+
+    def test_composed_streams_are_observable(self):
+        parent = Design("outer2")
+        instantiate(parent, pipe_design(), "p_")
+        parent = parent.finalize()
+        events = observed_run(parent, 32)
+        pushes, pops = split_events(events, "p_a")
+        assert pushes == list(range(len(pushes)))
+        assert pops == pushes[:len(pops)]
+        assert check_stream_events(parent, events) == []
